@@ -1,0 +1,1 @@
+bench/workloads.ml: Array Float Lazy Printf Spnc Spnc_data Spnc_machine Spnc_spn Sys

@@ -1,0 +1,311 @@
+(** spnc — command-line driver for the SPN compiler.
+
+    Subcommands:
+    - [generate]: synthesize a random SPN (generic or RAT-SPN) and write
+      it to a binary or text file;
+    - [inspect]: print model statistics and optionally the HiSPN / LoSPN
+      IR of its query;
+    - [compile]: run the full pipeline, printing per-stage timings,
+      instruction counts and (for GPU) the pseudo-PTX;
+    - [run]: compile and execute over synthetic inputs, printing result
+      statistics and a comparison against the reference evaluator. *)
+
+open Cmdliner
+module Model = Spnc_spn.Model
+
+let read_model path : Spnc_spn.Model.t =
+  if Filename.check_suffix path ".spn" then
+    match Spnc_spn.Serialize.read_file path with
+    | Ok m -> m
+    | Error e -> failwith (Printf.sprintf "%s: %s" path e)
+  else
+    let ic = open_in path in
+    let content =
+      Fun.protect
+        ~finally:(fun () -> close_in ic)
+        (fun () -> really_input_string ic (in_channel_length ic))
+    in
+    Spnc_spn.Text.of_string content
+
+let write_model path m =
+  if Filename.check_suffix path ".spn" then Spnc_spn.Serialize.write_file path m
+  else begin
+    let oc = open_out path in
+    Fun.protect
+      ~finally:(fun () -> close_out oc)
+      (fun () -> output_string oc (Spnc_spn.Text.to_string m))
+  end
+
+(* -- generate ----------------------------------------------------------------- *)
+
+let generate seed kind features min_ops out =
+  let rng = Spnc_data.Rng.create ~seed in
+  let model =
+    match kind with
+    | `Generic ->
+        Spnc_spn.Random_spn.generate_sized rng
+          { Spnc_spn.Random_spn.speaker_id_config with num_features = features }
+          ~min_ops
+    | `Rat ->
+        let models =
+          Spnc_spn.Rat_spn.generate rng
+            { Spnc_spn.Rat_spn.bench_config with num_features = features }
+        in
+        models.(0)
+  in
+  write_model out model;
+  Fmt.pr "wrote %s: %a@." out Spnc_spn.Stats.pp (Spnc_spn.Stats.compute model);
+  0
+
+let generate_cmd =
+  let seed = Arg.(value & opt int 1 & info [ "seed" ] ~doc:"RNG seed.") in
+  let kind =
+    Arg.(
+      value
+      & opt (enum [ ("generic", `Generic); ("rat-spn", `Rat) ]) `Generic
+      & info [ "kind" ] ~doc:"Model family: generic or rat-spn.")
+  in
+  let features =
+    Arg.(value & opt int 26 & info [ "features" ] ~doc:"Number of input features.")
+  in
+  let min_ops =
+    Arg.(value & opt int 2000 & info [ "min-ops" ] ~doc:"Minimum operation count.")
+  in
+  let out =
+    Arg.(
+      value & opt string "model.spn"
+      & info [ "o"; "output" ] ~doc:"Output path (.spn binary or .txt DSL).")
+  in
+  Cmd.v (Cmd.info "generate" ~doc:"Synthesize a random SPN model.")
+    Term.(const generate $ seed $ kind $ features $ min_ops $ out)
+
+(* -- train ---------------------------------------------------------------------- *)
+
+let train data_path em_iters min_rows out seed =
+  let rng = Spnc_data.Rng.create ~seed in
+  let dataset =
+    match data_path with
+    | Some path -> (
+        match Spnc_data.Csv.read_file path with
+        | Ok d -> d
+        | Error e -> failwith (Printf.sprintf "%s: %s" path e))
+    | None ->
+        (* no data given: synthesize a Gaussian-mixture training set *)
+        let gmms =
+          [| Spnc_data.Synth.random_gmm rng ~num_features:8 ~components:3 ~spread:3.0 |]
+        in
+        Spnc_data.Synth.dataset_of_gmms rng gmms ~rows_per_class:600
+  in
+  Fmt.pr "training data: %d rows x %d features@."
+    (Spnc_data.Synth.num_rows dataset)
+    dataset.Spnc_data.Synth.num_features;
+  let model =
+    Spnc_spn.Learnspn.learn rng
+      ~config:{ Spnc_spn.Learnspn.default_config with min_rows }
+      dataset.Spnc_data.Synth.samples
+      ~num_features:dataset.Spnc_data.Synth.num_features ~name:"learned"
+  in
+  Fmt.pr "LearnSPN structure: %a@." Spnc_spn.Stats.pp (Spnc_spn.Stats.compute model);
+  let model, report =
+    Spnc_spn.Em.fit
+      ~config:{ Spnc_spn.Em.default_config with iterations = em_iters }
+      model dataset.Spnc_data.Synth.samples
+  in
+  (match (report.Spnc_spn.Em.log_likelihoods, List.rev report.Spnc_spn.Em.log_likelihoods) with
+  | first :: _, last :: _ -> Fmt.pr "EM (%d iters): train LL %.2f -> %.2f@." em_iters first last
+  | _ -> ());
+  write_model out model;
+  Fmt.pr "wrote %s@." out;
+  0
+
+let train_cmd =
+  let data =
+    Arg.(
+      value & opt (some string) None
+      & info [ "data" ] ~doc:"Training CSV (float features; NaN/empty = missing).")
+  in
+  let em = Arg.(value & opt int 5 & info [ "em-iterations" ] ~doc:"EM iterations.") in
+  let min_rows =
+    Arg.(value & opt int 16 & info [ "min-rows" ] ~doc:"LearnSPN row threshold.")
+  in
+  let out =
+    Arg.(value & opt string "learned.spn" & info [ "o"; "output" ] ~doc:"Output model path.")
+  in
+  let seed = Arg.(value & opt int 1 & info [ "seed" ] ~doc:"RNG seed.") in
+  Cmd.v
+    (Cmd.info "train" ~doc:"Learn an SPN from data (LearnSPN structure + EM weights).")
+    Term.(const train $ data $ em $ min_rows $ out $ seed)
+
+(* -- inspect ------------------------------------------------------------------- *)
+
+let inspect path dump_hispn dump_lospn =
+  let model = read_model path in
+  Fmt.pr "%s: %a@." path Spnc_spn.Stats.pp (Spnc_spn.Stats.compute model);
+  (match Spnc_spn.Validate.check model with
+  | [] -> Fmt.pr "structure: valid (smooth, decomposable, normalized)@."
+  | issues ->
+      Fmt.pr "structure: INVALID@.%s@." (Spnc_spn.Validate.issues_to_string issues));
+  if dump_hispn then begin
+    let hi = Spnc_hispn.From_model.translate model in
+    Fmt.pr "--- HiSPN ---@.%s@." (Spnc_mlir.Printer.modul_to_string hi)
+  end;
+  if dump_lospn then begin
+    let hi = Spnc_hispn.From_model.translate model in
+    let lo = Spnc_lospn.Lower_hispn.run hi in
+    Fmt.pr "--- LoSPN ---@.%s@." (Spnc_mlir.Printer.modul_to_string lo)
+  end;
+  0
+
+let inspect_cmd =
+  let path = Arg.(required & pos 0 (some string) None & info [] ~docv:"MODEL") in
+  let hispn = Arg.(value & flag & info [ "hispn" ] ~doc:"Dump the HiSPN IR.") in
+  let lospn = Arg.(value & flag & info [ "lospn" ] ~doc:"Dump the LoSPN IR.") in
+  Cmd.v (Cmd.info "inspect" ~doc:"Show statistics and IR of a model.")
+    Term.(const inspect $ path $ hispn $ lospn)
+
+(* -- shared compile options ------------------------------------------------------ *)
+
+let options_term =
+  let target =
+    Arg.(
+      value
+      & opt (enum [ ("cpu", Spnc.Options.Cpu); ("gpu", Spnc.Options.Gpu) ]) Spnc.Options.Cpu
+      & info [ "target" ] ~doc:"Compilation target: cpu or gpu.")
+  in
+  let vectorize = Arg.(value & flag & info [ "vectorize" ] ~doc:"Enable SIMD vectorization.") in
+  let no_veclib =
+    Arg.(value & flag & info [ "no-veclib" ] ~doc:"Disable the vector math library.")
+  in
+  let no_shuffle =
+    Arg.(value & flag & info [ "no-shuffle" ] ~doc:"Use gathers instead of shuffled loads.")
+  in
+  let opt_level =
+    Arg.(value & opt int 1 & info [ "O"; "opt-level" ] ~doc:"Optimization level 0-3.")
+  in
+  let partition =
+    Arg.(
+      value & opt (some int) None
+      & info [ "max-partition-size" ] ~doc:"Enable graph partitioning with this max task size.")
+  in
+  let batch = Arg.(value & opt int 4096 & info [ "batch-size" ] ~doc:"Batch size hint.") in
+  let block = Arg.(value & opt int 64 & info [ "block-size" ] ~doc:"GPU block size.") in
+  let marginal =
+    Arg.(value & flag & info [ "support-marginal" ] ~doc:"Compile marginal inference support.")
+  in
+  let threads = Arg.(value & opt int 1 & info [ "threads" ] ~doc:"Runtime worker threads.") in
+  let machine =
+    Arg.(
+      value
+      & opt (enum [ ("ryzen", `Ryzen); ("xeon", `Xeon) ]) `Ryzen
+      & info [ "machine" ] ~doc:"CPU model: ryzen (AVX2) or xeon (AVX-512).")
+  in
+  let build target vectorize no_veclib no_shuffle opt_level partition batch block
+      marginal threads machine =
+    {
+      Spnc.Options.default with
+      target;
+      machine =
+        (match machine with
+        | `Ryzen -> Spnc_machine.Machine.ryzen_3900xt
+        | `Xeon -> Spnc_machine.Machine.xeon_9242);
+      vectorize;
+      use_veclib = not no_veclib;
+      use_shuffle = not no_shuffle;
+      opt_level = Spnc_cpu.Optimizer.level_of_int opt_level;
+      max_partition_size = partition;
+      batch_size = batch;
+      block_size = block;
+      support_marginal = marginal;
+      threads;
+    }
+  in
+  Term.(
+    const build $ target $ vectorize $ no_veclib $ no_shuffle $ opt_level
+    $ partition $ batch $ block $ marginal $ threads $ machine)
+
+(* -- compile ---------------------------------------------------------------------- *)
+
+let compile path options dump_ptx =
+  let model = read_model path in
+  let c = Spnc.Compiler.compile ~options model in
+  Fmt.pr "model: %a@." Spnc_spn.Stats.pp c.Spnc.Compiler.model_stats;
+  Fmt.pr "options: %a@." Spnc.Options.pp options;
+  Fmt.pr "datatype: %s (worst log2 magnitude %.1f)@."
+    (if c.Spnc.Compiler.datatype.Spnc_lospn.Lower_hispn.use_log_space then
+       "log-space f32"
+     else "linear f32")
+    c.Spnc.Compiler.datatype.Spnc_lospn.Lower_hispn.worst_log2_magnitude;
+  Fmt.pr "tasks: %d@." c.Spnc.Compiler.num_tasks;
+  Fmt.pr "--- compile time breakdown ---@.%a" Spnc.Compiler.pp_timings c;
+  (match c.Spnc.Compiler.artifact with
+  | Spnc.Compiler.Cpu_kernel { lir; regalloc; _ } ->
+      Fmt.pr "kernel instructions: %d@." (Spnc_cpu.Lir.module_size lir);
+      let spills =
+        Array.fold_left (fun acc s -> acc + Spnc_cpu.Regalloc.total_spills s) 0 regalloc
+      in
+      Fmt.pr "register spills: %d@." spills
+  | Spnc.Compiler.Gpu_kernel { ptx; cubin; _ } ->
+      Fmt.pr "SASS instructions: %d, registers: %d, cubin bytes: %d@."
+        cubin.Spnc_gpu.Ptx.instructions cubin.Spnc_gpu.Ptx.regs_allocated
+        (Bytes.length cubin.Spnc_gpu.Ptx.bytes);
+      if dump_ptx then Fmt.pr "--- PTX ---@.%s@." ptx);
+  0
+
+let compile_cmd =
+  let path = Arg.(required & pos 0 (some string) None & info [] ~docv:"MODEL") in
+  let ptx = Arg.(value & flag & info [ "dump-ptx" ] ~doc:"Print the pseudo-PTX.") in
+  Cmd.v (Cmd.info "compile" ~doc:"Compile a model and report the pipeline.")
+    Term.(const compile $ path $ options_term $ ptx)
+
+(* -- run ---------------------------------------------------------------------------- *)
+
+let run path options rows seed verify =
+  let model = read_model path in
+  let rng = Spnc_data.Rng.create ~seed in
+  let data =
+    Array.init rows (fun _ ->
+        Array.init model.Model.num_features (fun _ ->
+            Spnc_data.Rng.range rng (-3.0) 3.0))
+  in
+  let c = Spnc.Compiler.compile ~options model in
+  let t0 = Unix.gettimeofday () in
+  let out = Spnc.Compiler.execute c data in
+  let wall = Unix.gettimeofday () -. t0 in
+  let sum = Array.fold_left ( +. ) 0.0 out in
+  Fmt.pr "evaluated %d samples in %.4fs (host wall-clock)@." rows wall;
+  Fmt.pr "modelled execution time on %s: %.6fs@."
+    (match options.Spnc.Options.target with
+    | Spnc.Options.Cpu -> options.Spnc.Options.machine.Spnc_machine.Machine.cpu_name
+    | Spnc.Options.Gpu -> options.Spnc.Options.gpu.Spnc_machine.Machine.gpu_name)
+    (Spnc.Compiler.estimate_seconds c ~rows);
+  Fmt.pr "mean log-likelihood: %.6f@." (sum /. float_of_int rows);
+  if verify then begin
+    let worst = ref 0.0 in
+    Array.iteri
+      (fun i row ->
+        let expected = Spnc_spn.Infer.log_likelihood model row in
+        let d = Float.abs (out.(i) -. expected) in
+        if d > !worst then worst := d)
+      data;
+    Fmt.pr "verification vs reference evaluator: max |delta| = %.3g %s@." !worst
+      (if !worst < 1e-6 then "(OK)" else "(MISMATCH)")
+  end;
+  0
+
+let run_cmd =
+  let path = Arg.(required & pos 0 (some string) None & info [] ~docv:"MODEL") in
+  let rows = Arg.(value & opt int 1000 & info [ "rows" ] ~doc:"Sample count.") in
+  let seed = Arg.(value & opt int 7 & info [ "seed" ] ~doc:"Data RNG seed.") in
+  let verify =
+    Arg.(value & flag & info [ "verify" ] ~doc:"Check against the reference evaluator.")
+  in
+  Cmd.v (Cmd.info "run" ~doc:"Compile and execute a model on synthetic data.")
+    Term.(const run $ path $ options_term $ rows $ seed $ verify)
+
+let main_cmd =
+  Cmd.group
+    (Cmd.info "spnc" ~version:"1.0.0"
+       ~doc:"MLIR-style compiler for fast Sum-Product Network inference.")
+    [ generate_cmd; train_cmd; inspect_cmd; compile_cmd; run_cmd ]
+
+let () = exit (Cmd.eval' main_cmd)

@@ -1,0 +1,106 @@
+(** spnc_opt — the [mlir-opt]-style pass driver.
+
+    Reads a module in the generic textual IR form (from a file or stdin),
+    runs a comma-separated pass pipeline, and prints the resulting module,
+    e.g.:
+
+    {v
+    spnc_opt --pipeline 'canonicalize,lospn-partition=500,lospn-bufferize,verify' in.mlir
+    spnc_cli inspect model.spn --hispn | spnc_opt --pipeline lower-to-lospn -
+    v} *)
+
+open Cmdliner
+
+let read_input = function
+  | "-" ->
+      let buf = Buffer.create 4096 in
+      (try
+         while true do
+           Buffer.add_channel buf stdin 4096
+         done
+       with End_of_file -> ());
+      Buffer.contents buf
+  | path ->
+      let ic = open_in path in
+      Fun.protect
+        ~finally:(fun () -> close_in ic)
+        (fun () -> really_input_string ic (in_channel_length ic))
+
+let run pipeline input verify_each timings list_passes print_after_all =
+  if list_passes then begin
+    List.iter print_endline (Spnc.Pipelines.available ());
+    0
+  end
+  else if print_after_all then begin
+    (* run pass-by-pass, dumping the IR after each stage to stderr —
+       the equivalent of mlir-opt's --print-ir-after-all *)
+    let src = read_input input in
+    match Spnc.Pipelines.parse_pipeline pipeline with
+    | Error e ->
+        Fmt.epr "spnc_opt: %s@." e;
+        1
+    | Ok passes -> (
+        match Spnc_mlir.Parser.modul_of_string src with
+        | exception (Spnc_mlir.Parser.Error e | Spnc_mlir.Lexer.Error e) ->
+            Fmt.epr "spnc_opt: parse error: %s@." e;
+            1
+        | m ->
+            let final =
+              List.fold_left
+                (fun m (p : Spnc_mlir.Pass.pass) ->
+                  match p.Spnc_mlir.Pass.run m with
+                  | Ok m' ->
+                      Fmt.epr "// ----- IR after %s -----@.%s@."
+                        p.Spnc_mlir.Pass.name
+                        (Spnc_mlir.Printer.modul_to_string m');
+                      m'
+                  | Error e ->
+                      Fmt.epr "spnc_opt: pass %s failed: %s@." p.Spnc_mlir.Pass.name e;
+                      exit 1)
+                m passes
+            in
+            print_string (Spnc_mlir.Printer.modul_to_string final);
+            0)
+  end
+  else begin
+    let src = read_input input in
+    match Spnc.Pipelines.run_on_source ~verify_each ~pipeline src with
+    | Error e ->
+        Fmt.epr "spnc_opt: %s@." e;
+        1
+    | Ok result ->
+        if timings then Fmt.epr "%a" Spnc_mlir.Pass.pp_timings result;
+        print_string (Spnc_mlir.Printer.modul_to_string result.Spnc_mlir.Pass.modul);
+        0
+  end
+
+let cmd =
+  let pipeline =
+    Arg.(
+      value & opt string "verify"
+      & info [ "pipeline"; "p" ] ~doc:"Comma-separated pass pipeline.")
+  in
+  let input =
+    Arg.(value & pos 0 string "-" & info [] ~docv:"INPUT" ~doc:"Input file or '-' for stdin.")
+  in
+  let verify_each =
+    Arg.(value & flag & info [ "verify-each" ] ~doc:"Run the verifier after every pass.")
+  in
+  let timings =
+    Arg.(value & flag & info [ "timings" ] ~doc:"Print per-pass timings to stderr.")
+  in
+  let list_passes =
+    Arg.(value & flag & info [ "list-passes" ] ~doc:"List available passes and exit.")
+  in
+  let print_after_all =
+    Arg.(
+      value & flag
+      & info [ "print-after-all" ]
+          ~doc:"Print the IR to stderr after every pass (mlir-opt style).")
+  in
+  Cmd.v
+    (Cmd.info "spnc_opt" ~version:"1.0.0"
+       ~doc:"Run pass pipelines over textual SPNC IR modules.")
+    Term.(const run $ pipeline $ input $ verify_each $ timings $ list_passes $ print_after_all)
+
+let () = exit (Cmd.eval' cmd)

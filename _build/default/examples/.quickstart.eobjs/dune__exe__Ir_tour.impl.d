@@ -1,0 +1,1 @@
+examples/ir_tour.ml: Array Fmt List Printer Spnc_cpu Spnc_gpu Spnc_hispn Spnc_lospn Spnc_mlir Spnc_spn String

@@ -1,0 +1,1 @@
+examples/partitioning_demo.ml: Array Fmt List Spnc Spnc_cpu Spnc_data Spnc_spn

@@ -1,0 +1,1 @@
+examples/quickstart.ml: Array Float Fmt List Spnc Spnc_spn

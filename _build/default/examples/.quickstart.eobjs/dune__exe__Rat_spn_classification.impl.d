@@ -1,0 +1,1 @@
+examples/rat_spn_classification.ml: Array Float Fmt Spnc Spnc_baselines Spnc_cpu Spnc_data Spnc_spn Unix

@@ -1,0 +1,1 @@
+examples/rat_spn_classification.mli:

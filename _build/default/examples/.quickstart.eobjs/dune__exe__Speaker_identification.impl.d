@@ -1,0 +1,1 @@
+examples/speaker_identification.ml: Array Float Fmt List Printf Spnc Spnc_baselines Spnc_data Spnc_spn

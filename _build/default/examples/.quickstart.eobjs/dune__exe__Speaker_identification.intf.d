@@ -1,0 +1,1 @@
+examples/speaker_identification.mli:

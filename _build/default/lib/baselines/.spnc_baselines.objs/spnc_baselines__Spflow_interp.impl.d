@@ -1,0 +1,1 @@
+lib/baselines/spflow_interp.ml: Array Float Hashtbl List Spnc_machine Spnc_spn

@@ -1,0 +1,1 @@
+lib/baselines/spflow_interp.mli: Spnc_machine Spnc_spn

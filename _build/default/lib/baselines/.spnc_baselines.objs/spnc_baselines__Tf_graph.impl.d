@@ -1,0 +1,1 @@
+lib/baselines/tf_graph.ml: Array Float Hashtbl List Spnc_machine Spnc_spn

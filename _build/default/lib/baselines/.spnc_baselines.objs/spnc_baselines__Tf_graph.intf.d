@@ -1,0 +1,1 @@
+lib/baselines/tf_graph.mli: Spnc_machine Spnc_spn

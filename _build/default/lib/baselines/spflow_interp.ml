@@ -1,0 +1,76 @@
+(** The SPFlow baseline: Python/numpy-style batched DAG interpretation.
+
+    SPFlow's `log_likelihood` walks the SPN graph node by node in
+    topological order; at each node a numpy vector operation is applied
+    to the whole batch.  This module implements exactly that algorithm
+    (one batch-wide array per node, nodes dispatched one at a time), so
+    it is both a second correctness oracle and the performance baseline
+    of Figs. 7/8.
+
+    Wall-clock measured on this OCaml implementation reflects the same
+    algorithmic structure but not CPython's interpreter overhead; the
+    paper-scale baseline numbers therefore come from {!model_seconds},
+    which prices each node dispatch with the calibrated Python overhead
+    from {!Spnc_machine.Machine.spflow_python} plus the batch work.
+    (DESIGN.md §1.) *)
+
+module M = Spnc_machine.Machine
+
+(** [log_likelihood_batch t rows] — batched bottom-up evaluation, one
+    array per node, NaN marginalization as in SPFlow. *)
+let log_likelihood_batch (t : Spnc_spn.Model.t) (rows : float array array) :
+    float array =
+  let n = Array.length rows in
+  let node_values : (int, float array) Hashtbl.t = Hashtbl.create 256 in
+  let nodes = Spnc_spn.Model.nodes_postorder t in
+  List.iter
+    (fun (node : Spnc_spn.Model.node) ->
+      let out =
+        match node.Spnc_spn.Model.desc with
+        | Spnc_spn.Model.Gaussian { var; mean; stddev } ->
+            Array.init n (fun i ->
+                let x = rows.(i).(var) in
+                if Float.is_nan x then 0.0
+                else Spnc_spn.Infer.gaussian_logpdf ~mean ~stddev x)
+        | Spnc_spn.Model.Categorical { var; probs } ->
+            Array.init n (fun i ->
+                let x = rows.(i).(var) in
+                if Float.is_nan x then 0.0
+                else log (Spnc_spn.Infer.categorical_prob probs x))
+        | Spnc_spn.Model.Histogram { var; breaks; densities } ->
+            Array.init n (fun i ->
+                log (Spnc_spn.Infer.histogram_prob ~breaks ~densities rows.(i).(var)))
+        | Spnc_spn.Model.Product children ->
+            let acc = Array.make n 0.0 in
+            List.iter
+              (fun (c : Spnc_spn.Model.node) ->
+                let cv = Hashtbl.find node_values c.Spnc_spn.Model.id in
+                for i = 0 to n - 1 do
+                  acc.(i) <- acc.(i) +. cv.(i)
+                done)
+              children;
+            acc
+        | Spnc_spn.Model.Sum children ->
+            let acc = Array.make n Float.neg_infinity in
+            List.iter
+              (fun (w, (c : Spnc_spn.Model.node)) ->
+                let cv = Hashtbl.find node_values c.Spnc_spn.Model.id in
+                let lw = if w > 0.0 then log w else Float.neg_infinity in
+                for i = 0 to n - 1 do
+                  acc.(i) <- Spnc_spn.Infer.log_sum_exp acc.(i) (lw +. cv.(i))
+                done)
+              children;
+            acc
+      in
+      Hashtbl.replace node_values node.Spnc_spn.Model.id out)
+    nodes;
+  Hashtbl.find node_values t.Spnc_spn.Model.root.Spnc_spn.Model.id
+
+(** [model_seconds ?python t ~rows] — modelled SPFlow/Python execution
+    time: per-node interpreter dispatch plus per-element numpy work. *)
+let model_seconds ?(python = M.spflow_python) (t : Spnc_spn.Model.t) ~rows :
+    float =
+  let nodes = float_of_int (Spnc_spn.Model.node_count t) in
+  let dispatch = nodes *. python.M.per_node_dispatch_us *. 1e-6 in
+  let work = nodes *. float_of_int rows *. python.M.per_element_ns *. 1e-9 in
+  dispatch +. work

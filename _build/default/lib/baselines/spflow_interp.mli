@@ -1,0 +1,16 @@
+(** The SPFlow baseline: Python/numpy-style batched DAG interpretation —
+    one batch-wide array per node, nodes dispatched one at a time.  Both
+    a second correctness oracle and the performance baseline of the
+    paper's Figs. 7/8 (see DESIGN.md §1 for the calibration note). *)
+
+(** [log_likelihood_batch t rows] — batched bottom-up evaluation with NaN
+    marginalization, exactly SPFlow's algorithm. *)
+val log_likelihood_batch : Spnc_spn.Model.t -> float array array -> float array
+
+(** [model_seconds ?python t ~rows] — modelled SPFlow/Python execution
+    time: per-node interpreter dispatch plus per-element numpy work. *)
+val model_seconds :
+  ?python:Spnc_machine.Machine.python_model ->
+  Spnc_spn.Model.t ->
+  rows:int ->
+  float

@@ -1,0 +1,39 @@
+(** The TensorFlow baseline: SPFlow's SPN→TF-graph translation plus a
+    batched op-at-a-time executor (paper §V-A.2 / §VI).  As in the paper,
+    the translation does not support marginalization — the missing TF
+    bars of Fig. 8. *)
+
+type op_kind =
+  | TGaussianLog of int * float * float  (** var, mean, stddev *)
+  | TCategoricalLog of int * float array
+  | THistogramLog of int * int array * float array
+  | TWeightedLogSumExp of (float * int) list  (** (weight, input op id) *)
+  | TAddN of int list  (** log-space product: sum of inputs *)
+
+type op = { op_id : int; kind : op_kind }
+
+type graph = {
+  ops : op array;  (** topological order *)
+  output : int;  (** op id of the root *)
+  num_features : int;
+}
+
+(** [translate t ~marginal] — SPN → TF graph; [Error] when [marginal]. *)
+val translate : Spnc_spn.Model.t -> marginal:bool -> (graph, string) result
+
+(** [execute g rows] — batched op-at-a-time execution; log-likelihoods. *)
+val execute : graph -> float array array -> float array
+
+type device = TF_CPU | TF_GPU
+
+(** Modelled op-at-a-time TF execution time (generic SPNs). *)
+val model_seconds :
+  ?tf:Spnc_machine.Machine.tf_model -> graph -> rows:int -> device:device -> float
+
+(** Modelled execution time for natively tensorized implementations such
+    as RAT-SPNs (§V-B.2), where the GPU is far more efficient. *)
+val model_seconds_tensorized :
+  ?tf:Spnc_machine.Machine.tf_model -> graph -> rows:int -> device:device -> float
+
+(** Modelled SPFlow→TF translation time (paper: 8.6 s average). *)
+val translation_seconds : Spnc_spn.Model.t -> float

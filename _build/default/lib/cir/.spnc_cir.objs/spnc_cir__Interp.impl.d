@@ -1,0 +1,1 @@
+lib/cir/interp.ml: Array Attr Float Fmt Hashtbl Ir List Ops Option Spnc_mlir Types

@@ -1,0 +1,1 @@
+lib/cir/ops.ml: Array Attr Builder Dialect Ir List Spnc_mlir Types

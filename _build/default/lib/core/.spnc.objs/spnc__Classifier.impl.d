@@ -1,0 +1,1 @@
+lib/core/classifier.ml: Array Compiler Spnc_spn

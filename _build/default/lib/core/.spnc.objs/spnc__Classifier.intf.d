@@ -1,0 +1,1 @@
+lib/core/classifier.mli: Compiler Options Spnc_spn

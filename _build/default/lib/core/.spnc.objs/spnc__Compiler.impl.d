@@ -1,0 +1,1 @@
+lib/core/compiler.ml: Array Builder Bytes Canonicalize Constfold Cse Fmt Ir List Option Options Rewrite Spnc_cpu Spnc_gpu Spnc_hispn Spnc_lospn Spnc_machine Spnc_mlir Spnc_runtime Spnc_spn Types Unix

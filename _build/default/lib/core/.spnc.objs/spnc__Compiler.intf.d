@@ -1,0 +1,1 @@
+lib/core/compiler.mli: Format Ir Options Spnc_cpu Spnc_gpu Spnc_lospn Spnc_mlir Spnc_spn

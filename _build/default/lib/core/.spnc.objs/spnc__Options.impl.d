@@ -1,0 +1,1 @@
+lib/core/options.ml: Fmt Spnc_cpu Spnc_lospn Spnc_machine Spnc_mlir

@@ -1,0 +1,1 @@
+lib/core/options.mli: Format Spnc_cpu Spnc_lospn Spnc_machine Spnc_mlir

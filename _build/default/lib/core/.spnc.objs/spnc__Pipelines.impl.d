@@ -1,0 +1,1 @@
+lib/core/pipelines.ml: Builder Constfold Lexer List Parser Pass Printf Result Spnc_cir Spnc_cpu Spnc_gpu Spnc_hispn Spnc_lospn Spnc_mlir String

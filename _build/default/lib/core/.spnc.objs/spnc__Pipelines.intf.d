@@ -1,0 +1,1 @@
+lib/core/pipelines.mli: Pass Spnc_mlir

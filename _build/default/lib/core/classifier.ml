@@ -1,0 +1,53 @@
+(** Multi-model classification — the decision rule of both applications
+    in the paper's evaluation (§V): one SPN per class/speaker, a sample
+    is assigned to the model with the highest (log-)likelihood.
+
+    Compiles every class model once and evaluates batches through the
+    compiled kernels. *)
+
+type t = {
+  compiled : Compiler.compiled array;
+  class_names : string array;
+}
+
+(** [compile ?options models] compiles one kernel per class model. *)
+let compile ?options (models : Spnc_spn.Model.t array) : t =
+  {
+    compiled = Array.map (fun m -> Compiler.compile ?options m) models;
+    class_names = Array.map (fun (m : Spnc_spn.Model.t) -> m.Spnc_spn.Model.name) models;
+  }
+
+let num_classes (t : t) = Array.length t.compiled
+
+(** [log_likelihoods t rows] — per-class log-likelihood matrix:
+    [result.(c).(i)] is class [c]'s score for sample [i]. *)
+let log_likelihoods (t : t) (rows : float array array) : float array array =
+  Array.map (fun c -> Compiler.execute c rows) t.compiled
+
+(** [predict t rows] — argmax class index per sample. *)
+let predict (t : t) (rows : float array array) : int array =
+  let out = log_likelihoods t rows in
+  let n = Array.length rows in
+  Array.init n (fun i ->
+      let best = ref 0 in
+      for c = 1 to Array.length out - 1 do
+        if out.(c).(i) > out.(!best).(i) then best := c
+      done;
+      !best)
+
+(** [accuracy t rows labels] — fraction of samples classified into their
+    ground-truth label. *)
+let accuracy (t : t) (rows : float array array) (labels : int array) : float =
+  let predicted = predict t rows in
+  let ok = ref 0 in
+  Array.iteri (fun i p -> if p = labels.(i) then incr ok) predicted;
+  float_of_int !ok /. float_of_int (max 1 (Array.length predicted))
+
+(** [total_compile_seconds t] — summed compile time over all classes. *)
+let total_compile_seconds (t : t) =
+  Array.fold_left (fun acc c -> acc +. Compiler.compile_seconds c) 0.0 t.compiled
+
+(** [estimate_seconds t ~rows] — modelled time to score all classes over
+    [rows] samples (the §V-B.2 "ten distinct SPNs" accounting). *)
+let estimate_seconds (t : t) ~rows =
+  Array.fold_left (fun acc c -> acc +. Compiler.estimate_seconds c ~rows) 0.0 t.compiled

@@ -1,0 +1,27 @@
+(** Multi-model classification — the decision rule of both applications
+    in the paper's evaluation (§V): one SPN per class, a sample is
+    assigned to the model with the highest log-likelihood. *)
+
+type t = {
+  compiled : Compiler.compiled array;
+  class_names : string array;
+}
+
+(** [compile ?options models] compiles one kernel per class model. *)
+val compile : ?options:Options.t -> Spnc_spn.Model.t array -> t
+
+val num_classes : t -> int
+
+(** [log_likelihoods t rows] — [result.(c).(i)] is class [c]'s score for
+    sample [i]. *)
+val log_likelihoods : t -> float array array -> float array array
+
+(** [predict t rows] — argmax class index per sample. *)
+val predict : t -> float array array -> int array
+
+val accuracy : t -> float array array -> int array -> float
+val total_compile_seconds : t -> float
+
+(** Modelled time to score all classes over [rows] samples (the §V-B.2
+    "ten distinct SPNs" accounting). *)
+val estimate_seconds : t -> rows:int -> float

@@ -1,0 +1,294 @@
+(** The SPNC driver: end-to-end compilation of a probabilistic query on an
+    SPN model, with per-stage wall-clock timing.
+
+    This is the OCaml equivalent of the paper's "single API call" Python
+    interface: {!compile} runs the full pipeline
+
+    {v
+    model → HiSPN → canonicalize → LoSPN → partition → bufferize →
+    buffer-opt → (CPU: cir → Lir → -O pipeline → regalloc → kernel)
+                 (GPU: kernels + host → copy-opt → PTX → CUBIN)
+    v}
+
+    and {!execute} runs the compiled artifact over data.  The timing
+    ledger drives the compile-time experiments (Figs. 10–13, §V-B.1). *)
+
+open Spnc_mlir
+
+type timing = { stage : string; seconds : float }
+
+type cpu_artifact = {
+  lir : Spnc_cpu.Lir.modul;
+  regalloc : Spnc_cpu.Regalloc.stats array;
+  cir : Ir.modul;
+}
+
+type gpu_artifact = {
+  gpu_module : Ir.modul;  (** host function + gpu.func kernels *)
+  ptx : string;
+  cubin : Spnc_gpu.Ptx.cubin;
+}
+
+type artifact = Cpu_kernel of cpu_artifact | Gpu_kernel of gpu_artifact
+
+type compiled = {
+  model_stats : Spnc_spn.Stats.t;
+  options : Options.t;
+  timings : timing list;
+  lospn : Ir.modul;  (** final bufferized LoSPN (diagnostics) *)
+  out_cols : int;  (** slots per sample in the kernel output buffer *)
+  num_tasks : int;
+  artifact : artifact;
+  datatype : Spnc_lospn.Lower_hispn.datatype_choice;
+}
+
+let compile_seconds (c : compiled) =
+  List.fold_left (fun acc t -> acc +. t.seconds) 0.0 c.timings
+
+let stage_seconds (c : compiled) stage =
+  List.fold_left
+    (fun acc t -> if t.stage = stage then acc +. t.seconds else acc)
+    0.0 c.timings
+
+let pp_timings ppf (c : compiled) =
+  let total = compile_seconds c in
+  List.iter
+    (fun t ->
+      Fmt.pf ppf "%-22s %8.4fs (%5.1f%%)@." t.stage t.seconds
+        (if total > 0.0 then 100.0 *. t.seconds /. total else 0.0))
+    c.timings;
+  Fmt.pf ppf "%-22s %8.4fs@." "TOTAL" total
+
+(* Determine the output-slot count from the bufferized kernel signature. *)
+let out_cols_of_lospn (m : Ir.modul) =
+  match
+    List.find_opt (fun (o : Ir.op) -> o.Ir.name = Spnc_lospn.Ops.kernel_name) m.Ir.mops
+  with
+  | Some kernel -> (
+      match List.rev (Option.get (Ir.entry_block kernel)).Ir.bargs with
+      | last :: _ -> (
+          match last.Ir.vty with
+          | Types.MemRef ([ _; Some c ], _) -> c
+          | _ -> 1)
+      | [] -> 1)
+  | None -> 1
+
+(** [compile ?options model] — the full pipeline.
+    @raise Spnc_spn.Validate.Invalid if the model is structurally invalid. *)
+let compile ?(options = Options.default) (model : Spnc_spn.Model.t) : compiled =
+  Spnc_spn.Validate.validate_exn model;
+  let timings = ref [] in
+  let timed stage f =
+    let t0 = Unix.gettimeofday () in
+    let r = f () in
+    timings := { stage; seconds = Unix.gettimeofday () -. t0 } :: !timings;
+    r
+  in
+  let query =
+    {
+      Spnc_hispn.From_model.batch_size = options.Options.batch_size;
+      input_type = Types.F32;
+      support_marginal = options.Options.support_marginal;
+    }
+  in
+  let hi =
+    timed "hispn-translation" (fun () ->
+        Spnc_hispn.From_model.translate ~query model)
+  in
+  let hi = timed "canonicalize" (fun () -> Canonicalize.run hi) in
+  (* datatype decision, recorded for reporting *)
+  let datatype =
+    let graph_ops =
+      match Ir.find_ops (fun o -> o.Ir.name = "hi_spn.graph") hi with
+      | g :: _ -> Ir.single_region_ops g
+      | [] -> []
+    in
+    Spnc_lospn.Lower_hispn.choose_datatype
+      ~options:
+        {
+          Spnc_lospn.Lower_hispn.default_options with
+          space = options.Options.space;
+          base_type = options.Options.base_type;
+        }
+      graph_ops
+  in
+  let lo =
+    timed "lower-to-lospn" (fun () ->
+        Spnc_lospn.Lower_hispn.run
+          ~options:
+            {
+              space = options.Options.space;
+              base_type = options.Options.base_type;
+              kernel_name = "spn_kernel";
+            }
+          hi)
+  in
+  (* LoSPN-level optimization (§IV-A5): constant folding through the
+     canonicalization framework plus dialect-agnostic CSE/DCE.  Running it
+     before partitioning lets the partitioner see the deduplicated DAG. *)
+  let lo =
+    timed "lospn-optimization" (fun () ->
+        Rewrite.dce (Cse.run (Constfold.run (Builder.seed_from lo) lo)))
+  in
+  let lo =
+    match options.Options.max_partition_size with
+    | Some size ->
+        timed "graph-partitioning" (fun () ->
+            Spnc_lospn.Partition_pass.run
+              ~options:
+                {
+                  Spnc_lospn.Partition_pass.default_options with
+                  max_partition_size = size;
+                }
+              lo)
+    | None -> lo
+  in
+  let lo = timed "bufferization" (fun () -> Spnc_lospn.Bufferize.run lo) in
+  let lo = timed "buffer-optimization" (fun () -> Spnc_lospn.Buffer_opt.run lo) in
+  let out_cols = out_cols_of_lospn lo in
+  let num_tasks = Ir.count_ops (fun o -> o.Ir.name = Spnc_lospn.Ops.task_name) lo in
+  let artifact =
+    match options.Options.target with
+    | Options.Cpu ->
+        let cir =
+          timed "cpu-lowering" (fun () ->
+              Spnc_cpu.Lower_cpu.run ~options:(Options.cpu_lower_options options) lo)
+        in
+        let lir =
+          timed "instruction-selection" (fun () ->
+              Spnc_cpu.Isel.run cir ~entry:"spn_kernel")
+        in
+        let lir =
+          timed "llvm-optimization" (fun () ->
+              Spnc_cpu.Optimizer.run options.Options.opt_level lir)
+        in
+        let regalloc =
+          timed "register-allocation" (fun () ->
+              Spnc_cpu.Regalloc.allocate_module lir)
+        in
+        Cpu_kernel { lir; regalloc; cir }
+    | Options.Gpu ->
+        let g =
+          timed "gpu-lowering" (fun () ->
+              Spnc_gpu.Lower_gpu.run
+                ~options:{ Spnc_gpu.Lower_gpu.block_size = options.Options.block_size }
+                lo)
+        in
+        let g = timed "gpu-copy-optimization" (fun () -> Spnc_gpu.Copy_opt.run g) in
+        (* kernel-level optimization (CSE/DCE on the device code) at -O1+;
+           -O0 keeps the naive kernels, which execute more instructions *)
+        let g =
+          if options.Options.opt_level = Spnc_cpu.Optimizer.O0 then g
+          else
+            timed "gpu-kernel-optimization" (fun () ->
+                Rewrite.dce (Cse.run g))
+        in
+        let ptx = timed "ptx-generation" (fun () -> Spnc_gpu.Ptx.emit g) in
+        let cubin =
+          (* CUBIN assembly effort scales with -O level, like ptxas *)
+          timed "cubin-assembly" (fun () ->
+              let passes =
+                match options.Options.opt_level with
+                | Spnc_cpu.Optimizer.O0 -> 1
+                | Spnc_cpu.Optimizer.O1 -> 2
+                | Spnc_cpu.Optimizer.O2 -> 3
+                | Spnc_cpu.Optimizer.O3 -> 4
+              in
+              let c = ref (Spnc_gpu.Ptx.assemble ptx) in
+              for _ = 2 to passes do
+                c := Spnc_gpu.Ptx.assemble ptx
+              done;
+              !c)
+        in
+        Gpu_kernel { gpu_module = g; ptx; cubin }
+  in
+  {
+    model_stats = Spnc_spn.Stats.compute model;
+    options;
+    timings = List.rev !timings;
+    lospn = lo;
+    out_cols;
+    num_tasks;
+    artifact;
+    datatype;
+  }
+
+(* -- Execution ---------------------------------------------------------------- *)
+
+(** [execute c rows] — run the compiled kernel on row-major samples and
+    return one {e log}-likelihood per sample (kernels compiled for linear
+    space have their probabilities converted on the way out, so the API is
+    uniform).  CPU kernels run on the VM through the multi-threaded
+    runtime; GPU kernels run in the functional GPU simulator. *)
+let rec execute (c : compiled) (rows : float array array) : float array =
+  let raw = execute_raw c rows in
+  if c.datatype.Spnc_lospn.Lower_hispn.use_log_space then raw
+  else Array.map log raw
+
+and execute_raw (c : compiled) (rows : float array array) : float array =
+  match c.artifact with
+  | Cpu_kernel { lir; _ } ->
+      let exec =
+        Spnc_runtime.Exec.load ~batch_size:c.options.Options.batch_size
+          ~threads:c.options.Options.threads ~out_cols:c.out_cols lir
+      in
+      Spnc_runtime.Exec.execute_rows exec rows
+  | Gpu_kernel { gpu_module; _ } ->
+      let n = Array.length rows in
+      if n = 0 then [||]
+      else begin
+        let flat = Array.concat (Array.to_list rows) in
+        let res =
+          Spnc_gpu.Sim.run gpu_module ~gpu:c.options.Options.gpu
+            ~entry:"spn_kernel" ~inputs:[ flat ] ~rows:n ~out_cols:c.out_cols ()
+        in
+        Array.sub res.Spnc_gpu.Sim.output 0 n
+      end
+
+(** [estimate_seconds c ~rows] — modelled single-run execution time on the
+    configured machine (the quantity plotted in Figs. 6–8 and 10–13). *)
+let rec estimate_seconds (c : compiled) ~rows : float =
+  match c.artifact with
+  | Cpu_kernel { lir; regalloc; _ } ->
+      let est =
+        Spnc_cpu.Cost.kernel_estimate c.options.Options.machine lir ~regalloc
+          ~rows ()
+      in
+      Spnc_cpu.Cost.threaded_seconds est ~threads:c.options.Options.threads
+  | Gpu_kernel { gpu_module; _ } ->
+      (* GPU execution is chunked by the user batch size: each chunk is a
+         full upload / launch / download schedule (§V-A.1: the batch size
+         becomes the block size of the launches).  A one-time CUDA
+         context / module-load overhead is paid per run; it amortizes
+         with the sample count, which is why the GPU overtakes scalar CPU
+         only on the larger noisy workload (Figs. 7/8), and it grows with
+         the CUBIN size, which is part of why the huge RAT-SPN kernels
+         are slower on GPU than CPU (§V-B.2). *)
+      gpu_init_seconds c
+      +. Spnc_gpu.Sim.total_seconds
+           (Spnc_gpu.Sim.estimate_chunked gpu_module ~gpu:c.options.Options.gpu
+              ~entry:"spn_kernel" ~rows ~chunk:c.options.Options.batch_size)
+
+(** One-time CUDA context + module-load overhead of a run: a fixed
+    context cost plus a per-megabyte CUBIN upload/JIT cost. *)
+and gpu_init_seconds (c : compiled) : float =
+  match c.artifact with
+  | Gpu_kernel { cubin; _ } ->
+      (c.options.Options.gpu.Spnc_machine.Machine.module_load_ms *. 1e-3)
+      +. (float_of_int (Bytes.length cubin.Spnc_gpu.Ptx.bytes) /. 1e6 *. 0.030)
+  | Cpu_kernel _ -> 0.0
+
+(** [gpu_ledger c ~rows] — the GPU time breakdown (Fig. 9). *)
+let gpu_ledger (c : compiled) ~rows : Spnc_gpu.Sim.ledger option =
+  match c.artifact with
+  | Gpu_kernel { gpu_module; _ } ->
+      Some
+        (Spnc_gpu.Sim.estimate_chunked gpu_module ~gpu:c.options.Options.gpu
+           ~entry:"spn_kernel" ~rows ~chunk:c.options.Options.batch_size)
+  | Cpu_kernel _ -> None
+
+(** [compile_and_execute ?options model rows] — the paper's one-call
+    Python-style interface. *)
+let compile_and_execute ?options model rows =
+  let c = compile ?options model in
+  (c, execute c rows)

@@ -1,0 +1,78 @@
+(** The SPNC driver: end-to-end compilation of a probabilistic query on an
+    SPN model, with per-stage wall-clock timing — the OCaml equivalent of
+    the paper's single-API-call Python interface.
+
+    {v
+    model → HiSPN → canonicalize → LoSPN → optimize → partition →
+    bufferize → buffer-opt → (CPU: cir → Lir → -O pipeline → regalloc)
+                             (GPU: kernels + host → copy-opt → PTX → CUBIN)
+    v} *)
+
+open Spnc_mlir
+
+type timing = { stage : string; seconds : float }
+
+type cpu_artifact = {
+  lir : Spnc_cpu.Lir.modul;  (** the executable kernel (VM code) *)
+  regalloc : Spnc_cpu.Regalloc.stats array;  (** per-function allocation *)
+  cir : Ir.modul;  (** mid-level IR, for inspection *)
+}
+
+type gpu_artifact = {
+  gpu_module : Ir.modul;  (** host function + gpu.func kernels *)
+  ptx : string;  (** pseudo-PTX text *)
+  cubin : Spnc_gpu.Ptx.cubin;  (** assembled device image *)
+}
+
+type artifact = Cpu_kernel of cpu_artifact | Gpu_kernel of gpu_artifact
+
+type compiled = {
+  model_stats : Spnc_spn.Stats.t;
+  options : Options.t;
+  timings : timing list;  (** per-stage wall-clock, in pipeline order *)
+  lospn : Ir.modul;  (** final bufferized LoSPN (diagnostics) *)
+  out_cols : int;  (** slots per sample in the kernel output buffer *)
+  num_tasks : int;
+  artifact : artifact;
+  datatype : Spnc_lospn.Lower_hispn.datatype_choice;
+      (** the deferred-datatype decision (log space or linear, f32/f64) *)
+}
+
+(** [compile_seconds c] — total measured compile time. *)
+val compile_seconds : compiled -> float
+
+(** [stage_seconds c stage] — time spent in the named stage. *)
+val stage_seconds : compiled -> string -> float
+
+val pp_timings : Format.formatter -> compiled -> unit
+
+(** [compile ?options model] runs the full pipeline.
+    @raise Spnc_spn.Validate.Invalid if the model is structurally invalid. *)
+val compile : ?options:Options.t -> Spnc_spn.Model.t -> compiled
+
+(** [execute c rows] runs the compiled kernel on row-major samples and
+    returns one {e log}-likelihood per sample (linear-space kernels have
+    their probabilities converted on the way out).  CPU kernels run on
+    the register VM through the multi-threaded runtime; GPU kernels run
+    in the functional GPU simulator. *)
+val execute : compiled -> float array array -> float array
+
+(** [gpu_init_seconds c] — modelled one-time CUDA context + module-load
+    overhead of a GPU run (grows with CUBIN size); [0] for CPU. *)
+val gpu_init_seconds : compiled -> float
+
+(** [estimate_seconds c ~rows] — modelled single-run execution time on
+    the configured machine: the quantity plotted in Figs. 6–8 and 10–13
+    (see DESIGN.md §1 for the substitution rationale). *)
+val estimate_seconds : compiled -> rows:int -> float
+
+(** [gpu_ledger c ~rows] — the GPU time breakdown of Fig. 9 (transfers /
+    kernel / launch / alloc); [None] for CPU artifacts. *)
+val gpu_ledger : compiled -> rows:int -> Spnc_gpu.Sim.ledger option
+
+(** [compile_and_execute ?options model rows] — the one-call interface. *)
+val compile_and_execute :
+  ?options:Options.t ->
+  Spnc_spn.Model.t ->
+  float array array ->
+  compiled * float array

@@ -1,0 +1,82 @@
+(** User-facing compiler options — the knobs the paper's Python interface
+    exposes (§IV, §V): target, vectorization configuration, optimization
+    level, maximum partition size, batch size, GPU block size, and the
+    computation-space override. *)
+
+module M = Spnc_machine.Machine
+
+type target = Cpu | Gpu
+
+let target_to_string = function Cpu -> "cpu" | Gpu -> "gpu"
+
+type t = {
+  target : target;
+  machine : M.cpu;  (** CPU descriptor: ISA, veclib, frequency, cores *)
+  gpu : M.gpu;
+  vectorize : bool;
+  use_veclib : bool;
+  use_shuffle : bool;
+  use_gather_tables : bool;
+      (** vectorize discrete-leaf lookups with hardware indexed gathers
+          (extension; requires AVX2/AVX-512) *)
+  opt_level : Spnc_cpu.Optimizer.level;
+  max_partition_size : int option;
+      (** [None] disables graph partitioning (whole graph in one Task) *)
+  batch_size : int;  (** chunk-size hint for the runtime *)
+  block_size : int;  (** GPU threads per block *)
+  space : Spnc_lospn.Lower_hispn.space_option;
+  base_type : Spnc_mlir.Types.t;  (** computation base type: F32 or F64 *)
+  support_marginal : bool;
+  threads : int;  (** runtime worker domains *)
+}
+
+let default =
+  {
+    target = Cpu;
+    machine = M.ryzen_3900xt;
+    gpu = M.rtx_2070_super;
+    vectorize = false;
+    use_veclib = true;
+    use_shuffle = true;
+    use_gather_tables = false;
+    opt_level = Spnc_cpu.Optimizer.O1;
+    max_partition_size = None;
+    batch_size = 4096;
+    block_size = 64;
+    space = Spnc_lospn.Lower_hispn.Auto;
+    base_type = Spnc_mlir.Types.F32;
+    support_marginal = false;
+    threads = 1;
+  }
+
+(** The best CPU configuration found by the paper's DSE (Fig. 6):
+    vectorization + vector library + shuffled loads. *)
+let best_cpu ?(machine = M.ryzen_3900xt) () =
+  { default with target = Cpu; machine; vectorize = true; use_veclib = true;
+    use_shuffle = true }
+
+(** The best GPU configuration (§V-A.1): batch/block size 64. *)
+let best_gpu ?(gpu = M.rtx_2070_super) () =
+  { default with target = Gpu; gpu; block_size = 64; batch_size = 64 }
+
+let cpu_lower_options (t : t) : Spnc_cpu.Lower_cpu.options =
+  {
+    Spnc_cpu.Lower_cpu.vectorize = t.vectorize;
+    width =
+      (if t.vectorize then M.simd_width t.machine.M.isa ~bits:32 else 1);
+    use_veclib = t.use_veclib && t.machine.M.veclib <> M.No_veclib;
+    use_shuffle = t.use_shuffle;
+    gather_tables =
+      t.use_gather_tables && t.vectorize
+      && (match t.machine.M.isa with
+         | M.AVX2 | M.AVX512 -> true
+         | _ -> false);
+  }
+
+let pp ppf (t : t) =
+  Fmt.pf ppf "%s %s vec=%b veclib=%b shuffle=%b %s part=%s batch=%d block=%d"
+    (target_to_string t.target) t.machine.M.cpu_name t.vectorize t.use_veclib
+    t.use_shuffle
+    (Spnc_cpu.Optimizer.level_to_string t.opt_level)
+    (match t.max_partition_size with None -> "off" | Some s -> string_of_int s)
+    t.batch_size t.block_size

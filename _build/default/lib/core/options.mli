@@ -1,0 +1,46 @@
+(** User-facing compiler options — the knobs the paper's Python interface
+    exposes (§IV, §V): target, vectorization configuration, optimization
+    level, maximum partition size, batch size, GPU block size, and the
+    computation-space/base-type overrides. *)
+
+module M = Spnc_machine.Machine
+
+type target = Cpu | Gpu
+
+val target_to_string : target -> string
+
+type t = {
+  target : target;
+  machine : M.cpu;  (** CPU descriptor: ISA, veclib, frequency, cores *)
+  gpu : M.gpu;
+  vectorize : bool;
+  use_veclib : bool;
+  use_shuffle : bool;
+  use_gather_tables : bool;
+      (** vectorize discrete-leaf lookups with hardware indexed gathers
+          (extension; requires AVX2/AVX-512) *)
+  opt_level : Spnc_cpu.Optimizer.level;
+  max_partition_size : int option;
+      (** [None] disables graph partitioning (whole graph in one Task) *)
+  batch_size : int;  (** chunk-size hint for the runtime *)
+  block_size : int;  (** GPU threads per block *)
+  space : Spnc_lospn.Lower_hispn.space_option;
+  base_type : Spnc_mlir.Types.t;  (** computation base type: F32 or F64 *)
+  support_marginal : bool;
+  threads : int;  (** runtime worker domains *)
+}
+
+val default : t
+
+(** The best CPU configuration found by the paper's DSE (Fig. 6):
+    vectorization + vector library + shuffled loads. *)
+val best_cpu : ?machine:M.cpu -> unit -> t
+
+(** The best GPU configuration (§V-A.1): batch/block size 64. *)
+val best_gpu : ?gpu:M.gpu -> unit -> t
+
+(** Derives the CPU-lowering options (vector width from the machine's
+    ISA, veclib availability, gather-table eligibility). *)
+val cpu_lower_options : t -> Spnc_cpu.Lower_cpu.options
+
+val pp : Format.formatter -> t -> unit

@@ -1,0 +1,120 @@
+(** Named pass registry and textual pipeline parsing — the machinery
+    behind the [spnc_opt] tool (the equivalent of MLIR's [mlir-opt]
+    driver): passes are addressed by name, composed into pipelines, and
+    run over modules parsed from the textual IR format. *)
+
+open Spnc_mlir
+
+let ( let* ) = Result.bind
+
+(* Ensure all dialects are registered before running any pass. *)
+let register_dialects () =
+  Spnc_hispn.Ops.register ();
+  Spnc_lospn.Ops.register ();
+  Spnc_cir.Ops.register ();
+  Spnc_gpu.Lower_gpu.register ()
+
+(** [pass_of_name name] resolves a pass by its textual name.  Parameterized
+    passes use [name=value], e.g. ["lospn-partition=5000"]. *)
+let pass_of_name (spec : string) : (Pass.pass, string) result =
+  register_dialects ();
+  let name, arg =
+    match String.index_opt spec '=' with
+    | Some i ->
+        ( String.sub spec 0 i,
+          Some (String.sub spec (i + 1) (String.length spec - i - 1)) )
+    | None -> (spec, None)
+  in
+  let int_arg ~default =
+    match arg with
+    | None -> Ok default
+    | Some a -> (
+        match int_of_string_opt a with
+        | Some v -> Ok v
+        | None -> Error (Printf.sprintf "pass %s: bad integer argument %S" name a))
+  in
+  match name with
+  | "verify" -> Ok Pass.verify_pass
+  | "canonicalize" -> Ok Pass.canonicalize_pass
+  | "cse" -> Ok Pass.cse_pass
+  | "dce" -> Ok Pass.dce_pass
+  | "constfold" ->
+      Ok (Pass.make "constfold" (fun m -> Constfold.run (Builder.seed_from m) m))
+  | "lower-to-lospn" ->
+      Ok (Pass.make "lower-to-lospn" (fun m -> Spnc_lospn.Lower_hispn.run m))
+  | "lospn-partition" ->
+      let* size = int_arg ~default:10_000 in
+      Ok
+        (Pass.make "lospn-partition" (fun m ->
+             Spnc_lospn.Partition_pass.run
+               ~options:
+                 {
+                   Spnc_lospn.Partition_pass.default_options with
+                   max_partition_size = size;
+                 }
+               m))
+  | "lospn-bufferize" -> Ok (Pass.make "lospn-bufferize" Spnc_lospn.Bufferize.run)
+  | "lospn-buffer-opt" ->
+      Ok (Pass.make "lospn-buffer-opt" Spnc_lospn.Buffer_opt.run)
+  | "cpu-lower" ->
+      Ok (Pass.make "cpu-lower" (fun m -> Spnc_cpu.Lower_cpu.run m))
+  | "cpu-lower-vectorized" ->
+      let* width = int_arg ~default:8 in
+      Ok
+        (Pass.make "cpu-lower-vectorized" (fun m ->
+             Spnc_cpu.Lower_cpu.run
+               ~options:
+                 {
+                   Spnc_cpu.Lower_cpu.scalar_options with
+                   Spnc_cpu.Lower_cpu.vectorize = true;
+                   width;
+                   use_veclib = true;
+                   use_shuffle = true;
+                 }
+               m))
+  | "gpu-lower" ->
+      let* block_size = int_arg ~default:64 in
+      Ok
+        (Pass.make "gpu-lower" (fun m ->
+             Spnc_gpu.Lower_gpu.run ~options:{ Spnc_gpu.Lower_gpu.block_size } m))
+  | "gpu-copy-opt" -> Ok (Pass.make "gpu-copy-opt" Spnc_gpu.Copy_opt.run)
+  | other -> Error (Printf.sprintf "unknown pass %S" other)
+
+(** [parse_pipeline spec] parses a comma-separated pipeline such as
+    ["canonicalize,lospn-partition=500,lospn-bufferize,verify"]. *)
+let parse_pipeline (spec : string) : (Pass.pass list, string) result =
+  let names =
+    String.split_on_char ',' spec
+    |> List.map String.trim
+    |> List.filter (fun s -> s <> "")
+  in
+  List.fold_left
+    (fun acc name ->
+      let* acc = acc in
+      let* p = pass_of_name name in
+      Ok (p :: acc))
+    (Ok []) names
+  |> Result.map List.rev
+
+(** [available ()] lists the registered pass names. *)
+let available () =
+  [
+    "verify"; "canonicalize"; "cse"; "dce"; "constfold"; "lower-to-lospn";
+    "lospn-partition[=N]"; "lospn-bufferize"; "lospn-buffer-opt"; "cpu-lower";
+    "cpu-lower-vectorized[=W]"; "gpu-lower[=BLOCK]"; "gpu-copy-opt";
+  ]
+
+(** [run_on_source ?verify_each ~pipeline src] parses a textual module,
+    runs the pipeline, and returns the result module with timings. *)
+let run_on_source ?(verify_each = false) ~(pipeline : string) (src : string) :
+    (Pass.result, string) result =
+  register_dialects ();
+  let* passes = parse_pipeline pipeline in
+  match Parser.modul_of_string src with
+  | exception Parser.Error e -> Error ("parse error: " ^ e)
+  | exception Lexer.Error e -> Error ("lex error: " ^ e)
+  | m -> (
+      match Pass.run_pipeline ~verify_each passes m with
+      | r -> Ok r
+      | exception Pass.Pipeline_error (p, msg) ->
+          Error (Printf.sprintf "pass %s failed: %s" p msg))

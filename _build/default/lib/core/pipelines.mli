@@ -1,0 +1,28 @@
+(** Named pass registry and textual pipeline parsing — the machinery
+    behind the [spnc_opt] tool (the analogue of MLIR's [mlir-opt]).
+
+    Pipelines are comma-separated pass names; parameterized passes use
+    [name=value], e.g.
+    ["canonicalize,lospn-partition=5000,lospn-bufferize,verify"]. *)
+
+open Spnc_mlir
+
+(** Registers every dialect (HiSPN, LoSPN, cir, gpu) in the global
+    registry; idempotent. *)
+val register_dialects : unit -> unit
+
+(** [pass_of_name spec] resolves a single pass by name. *)
+val pass_of_name : string -> (Pass.pass, string) result
+
+(** [parse_pipeline spec] resolves a comma-separated pipeline. *)
+val parse_pipeline : string -> (Pass.pass list, string) result
+
+(** [available ()] lists the registered pass names (with argument
+    placeholders). *)
+val available : unit -> string list
+
+(** [run_on_source ?verify_each ~pipeline src] parses a textual module,
+    runs the pipeline, and returns the result with per-pass timings.
+    With [verify_each], the verifier runs after every pass. *)
+val run_on_source :
+  ?verify_each:bool -> pipeline:string -> string -> (Pass.result, string) result

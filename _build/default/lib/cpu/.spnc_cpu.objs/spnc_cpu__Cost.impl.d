@@ -1,0 +1,1 @@
+lib/cpu/cost.ml: Array Float Lir Regalloc Spnc_machine

@@ -1,0 +1,1 @@
+lib/cpu/cost.mli: Lir Regalloc Spnc_machine

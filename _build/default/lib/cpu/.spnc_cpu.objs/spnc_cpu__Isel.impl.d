@@ -1,0 +1,1 @@
+lib/cpu/isel.ml: Array Attr Fmt Hashtbl Ir Lir List Optimizer Option Spnc_mlir Types

@@ -1,0 +1,1 @@
+lib/cpu/isel.mli: Ir Lir Spnc_mlir

@@ -1,0 +1,1 @@
+lib/cpu/lir.ml: Array Fmt

@@ -1,0 +1,1 @@
+lib/cpu/lower_cpu.ml: Array Attr Builder Float Hashtbl Ir List Option Printf Spnc_cir Spnc_lospn Spnc_machine Spnc_mlir Types

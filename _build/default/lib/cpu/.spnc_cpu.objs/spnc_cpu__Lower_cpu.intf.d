@@ -1,0 +1,1 @@
+lib/cpu/lower_cpu.mli: Builder Ir Spnc_machine Spnc_mlir Types

@@ -1,0 +1,1 @@
+lib/cpu/optimizer.ml: Array Float Hashtbl Lir List Option

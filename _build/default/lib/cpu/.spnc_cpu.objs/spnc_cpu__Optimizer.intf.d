@@ -1,0 +1,1 @@
+lib/cpu/optimizer.mli: Lir

@@ -1,0 +1,1 @@
+lib/cpu/regalloc.ml: Array Hashtbl Lir List Optimizer Option

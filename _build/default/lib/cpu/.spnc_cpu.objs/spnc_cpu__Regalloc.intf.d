@@ -1,0 +1,1 @@
+lib/cpu/regalloc.mli: Lir

@@ -1,0 +1,1 @@
+lib/cpu/vm.ml: Array Float Fmt Lir List

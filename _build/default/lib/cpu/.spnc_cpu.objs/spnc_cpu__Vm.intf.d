@@ -1,0 +1,1 @@
+lib/cpu/vm.mli: Lir

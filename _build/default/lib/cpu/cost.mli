@@ -1,0 +1,22 @@
+(** Execution-time estimation for compiled CPU kernels: prices the actual
+    Lir instruction stream under a machine description — the source of
+    the ISA-specific execution times in Figs. 6–8 and 10–13 (DESIGN.md
+    §1 explains why this substitution preserves the paper's shapes). *)
+
+module M = Spnc_machine.Machine
+
+type estimate = {
+  cycles : float;
+  seconds : float;  (** single-threaded *)
+  spill_cycles : float;  (** contribution of register-spill traffic *)
+}
+
+(** [kernel_estimate cpu m ?regalloc ~rows ()] — one execution of the
+    entry function over [rows] samples; [regalloc] stats add spill
+    traffic. *)
+val kernel_estimate :
+  M.cpu -> Lir.modul -> ?regalloc:Regalloc.stats array -> rows:int -> unit -> estimate
+
+(** [threaded_seconds est ~threads] applies the runtime's chunked
+    multi-threading at 90% parallel efficiency. *)
+val threaded_seconds : estimate -> threads:int -> float

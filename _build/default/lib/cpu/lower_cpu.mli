@@ -1,0 +1,83 @@
+(** CPU target lowering (paper §IV-B): bufferized LoSPN → cir.
+
+    Each [lo_spn.task] becomes a function with a loop over the batch; the
+    kernel becomes a function that allocates intermediates and calls the
+    tasks in order.  With [vectorize], the batch loop is vectorized
+    data-parallel over [width] samples plus a scalar epilogue; access
+    patterns exploit the LoSPN semantics (contiguous vector loads from
+    transposed intermediate buffers; gathers or shuffled loads for
+    strided input features); without [use_veclib], vector elementary
+    functions are scalarized into extract/call/insert cascades — the
+    Fig. 6 penalty. *)
+
+open Spnc_mlir
+
+type options = {
+  vectorize : bool;
+  width : int;
+  use_veclib : bool;
+  use_shuffle : bool;
+  gather_tables : bool;
+      (** vectorize discrete-leaf table lookups with hardware indexed
+          gathers instead of scalarizing (extension; AVX2/AVX-512) *)
+}
+
+val scalar_options : options
+
+(** Options matching a machine description's best configuration. *)
+val of_machine : Spnc_machine.Machine.cpu -> options
+
+(** Vectorization mode of an emission site. *)
+type mode = Scalar | Vec of int
+
+(** The emitter: accumulates ops in order (exposed so the GPU lowering
+    can reuse the scalar emission helpers). *)
+type emitter = {
+  b : Builder.t;
+  opts : options;
+  mutable acc : Ir.op list;  (** reversed *)
+}
+
+val emit : emitter -> Ir.op -> Ir.value
+val emit_ : emitter -> Ir.op -> unit
+val bool_ty : mode -> Types.t
+val const_f : emitter -> mode -> float -> base:Types.t -> Ir.value
+val const_i : emitter -> int -> Ir.value
+val bin : emitter -> mode -> string -> Ir.value -> Ir.value -> base:Types.t -> Ir.value
+val cmp : emitter -> mode -> string -> Ir.value -> Ir.value -> Ir.value
+
+val select :
+  emitter -> mode -> Ir.value -> Ir.value -> Ir.value -> base:Types.t -> Ir.value
+
+(** -inf-safe two-operand log-sum-exp emission. *)
+val log_sum_exp :
+  emitter -> mode -> Ir.value -> Ir.value -> base:Types.t -> Ir.value
+
+(** Gaussian (log-)PDF emission with optional NaN marginalization. *)
+val gaussian :
+  emitter ->
+  mode ->
+  x:Ir.value ->
+  mean:float ->
+  stddev:float ->
+  is_log:bool ->
+  marginal:bool ->
+  base:Types.t ->
+  Ir.value
+
+(** Linear index of (sample, slot) under the row-major or transposed
+    (slot-major) layout. *)
+val linear_index :
+  emitter ->
+  transposed:bool ->
+  iv:Ir.value ->
+  slot:int ->
+  cols:int ->
+  rows_v:Ir.value ->
+  Ir.value
+
+val buffer_cols : Ir.value -> int
+
+(** [run ?options m] lowers every bufferized LoSPN kernel to a cir module
+    with one function per task plus the kernel entry function. *)
+val run : ?options:options -> Ir.modul -> Ir.modul

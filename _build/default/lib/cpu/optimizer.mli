@@ -1,0 +1,42 @@
+(** Lir optimization pipeline — the "LLVM IR optimized further" stage of
+    §IV-B, with the compiler optimization levels investigated in the
+    paper's Figs. 11/13:
+
+    - [-O0]: the naive isel output;
+    - [-O1]: constant folding, local CSE, dead-code elimination;
+    - [-O2]: -O1 plus loop-invariant code motion;
+    - [-O3]: -O2 plus FMA fusion and a second clean-up round.
+
+    All passes preserve semantics; the test suite runs the VM on every
+    level against the reference evaluator. *)
+
+type level = O0 | O1 | O2 | O3
+
+val level_of_int : int -> level
+val level_to_string : level -> string
+
+(** Register class of an operand/result (used by regalloc and isel's
+    hazard scan): float / int / vector / buffer. *)
+type rc = F | I | V | B
+
+(** [defs i] — the registers instruction [i] defines, with classes.  A
+    [Loop] defines its induction variable. *)
+val defs : Lir.instr -> (rc * Lir.reg) list
+
+(** [uses i] — the registers instruction [i] reads, with classes. *)
+val uses : Lir.instr -> (rc * Lir.reg) list
+
+(** [pure i] — no side effects; eligible for CSE/DCE/hoisting.  Loads are
+    deliberately not pure (a preceding store may alias). *)
+val pure : Lir.instr -> bool
+
+(* Individual passes (exposed for testing). *)
+
+val constfold : Lir.func -> Lir.func
+val cse : Lir.func -> Lir.func
+val dce : Lir.func -> Lir.func
+val licm : Lir.func -> Lir.func
+val fma : Lir.func -> Lir.func
+
+(** [run level m] optimizes every function of the module at [level]. *)
+val run : level -> Lir.modul -> Lir.modul

@@ -1,0 +1,180 @@
+(** Linear-scan register allocation.
+
+    The paper reports that for large RAT-SPN tasks ~25% of CPU compile
+    time is spent in LLVM's (greedy) register allocator; this pass is the
+    corresponding stage here.  Live intervals are computed over the
+    linearized instruction order (values live across a loop extend to the
+    loop end); the scan maintains an explicitly sorted active list — with
+    the very wide live sets of large SPN task bodies the active-list
+    maintenance is the superlinear component that shows up in Fig. 10.
+
+    The allocation is recorded as statistics (registers used, spill
+    count): the VM executes virtual-register code, but the spill traffic
+    feeds the execution cost model, and the allocation time is part of the
+    measured compile time (DESIGN.md §1). *)
+
+open Lir
+
+type stats = {
+  intervals : int;
+  spills_f : int;
+  spills_i : int;
+  spills_v : int;
+  max_pressure_f : int;
+  max_pressure_v : int;
+}
+
+(** Physical register budget, x86-64-flavoured: 16 GP + 16 SIMD. *)
+let phys_regs = 16
+
+(* Linearize the function body, assigning each instruction a position;
+   returns per-class (first_def, last_use) keyed by register.  A register
+   used inside a loop body but defined before the loop has its last_use
+   extended to the loop's end position, since it is needed on every
+   iteration. *)
+let live_intervals (f : func) =
+  let first_def_f = Hashtbl.create 256 and last_use_f = Hashtbl.create 256 in
+  let first_def_i = Hashtbl.create 256 and last_use_i = Hashtbl.create 256 in
+  let first_def_v = Hashtbl.create 256 and last_use_v = Hashtbl.create 256 in
+  (* constants are rematerializable: the allocator re-emits them at their
+     uses instead of keeping them live, so they form no intervals *)
+  let remat_f = Hashtbl.create 64 and remat_i = Hashtbl.create 64 in
+  let remat_v = Hashtbl.create 64 in
+  let rec mark_remat (body : instr array) =
+    Array.iter
+      (fun i ->
+        match i with
+        | ConstF (d, _) -> Hashtbl.replace remat_f d ()
+        | ConstI (d, _) -> Hashtbl.replace remat_i d ()
+        | VConst (d, _) -> Hashtbl.replace remat_v d ()
+        | Loop l -> mark_remat l.body
+        | _ -> ())
+      body
+  in
+  mark_remat f.body;
+  let is_remat (c : Optimizer.rc) r =
+    match c with
+    | Optimizer.F -> Hashtbl.mem remat_f r
+    | Optimizer.I -> Hashtbl.mem remat_i r
+    | Optimizer.V -> Hashtbl.mem remat_v r
+    | Optimizer.B -> false
+  in
+  let pos = ref 0 in
+  let def_tbl = function
+    | Optimizer.F -> Some first_def_f
+    | Optimizer.I -> Some first_def_i
+    | Optimizer.V -> Some first_def_v
+    | Optimizer.B -> None
+  in
+  let use_tbl = function
+    | Optimizer.F -> Some last_use_f
+    | Optimizer.I -> Some last_use_i
+    | Optimizer.V -> Some last_use_v
+    | Optimizer.B -> None
+  in
+  let rec scan (body : instr array) ~loop_ends =
+    Array.iter
+      (fun ins ->
+        incr pos;
+        let p = !pos in
+        List.iter
+          (fun (c, r) ->
+            match use_tbl c with
+            | Some _ when is_remat c r -> ()
+            | Some tbl ->
+                (* if defined outside the current loops, extend to the
+                   outermost loop end after the definition *)
+                let d_tbl = Option.get (def_tbl c) in
+                let endpoint =
+                  match Hashtbl.find_opt d_tbl r with
+                  | Some dpos ->
+                      List.fold_left
+                        (fun acc (lstart, lend) ->
+                          if dpos < lstart then max acc lend else acc)
+                        p loop_ends
+                  | None -> p
+                in
+                Hashtbl.replace tbl r
+                  (max endpoint (Option.value ~default:0 (Hashtbl.find_opt tbl r)))
+            | None -> ())
+          (Optimizer.uses ins);
+        List.iter
+          (fun (c, r) ->
+            match def_tbl c with
+            | Some _ when is_remat c r -> ()
+            | Some tbl -> if not (Hashtbl.mem tbl r) then Hashtbl.replace tbl r p
+            | None -> ())
+          (Optimizer.defs ins);
+        match ins with
+        | Loop l ->
+            let lstart = !pos in
+            (* pre-compute the end position of this loop *)
+            let size = Lir.count_instrs l.body in
+            let lend = lstart + size + 1 in
+            scan l.body ~loop_ends:((lstart, lend) :: loop_ends)
+        | _ -> ())
+      body
+  in
+  scan f.body ~loop_ends:[];
+  let gather fd lu =
+    Hashtbl.fold
+      (fun r d acc ->
+        let e = max d (Option.value ~default:d (Hashtbl.find_opt lu r)) in
+        (r, d, e) :: acc)
+      fd []
+  in
+  ( gather first_def_f last_use_f,
+    gather first_def_i last_use_i,
+    gather first_def_v last_use_v )
+
+(* Classic linear scan over one class; returns (spills, max_pressure). *)
+let linear_scan intervals ~k =
+  let sorted = List.sort (fun (_, d1, _) (_, d2, _) -> compare d1 d2) intervals in
+  (* active list kept sorted by increasing end point; maintained by linear
+     insertion — the superlinear component under high pressure *)
+  let active = ref [] in
+  let spills = ref 0 in
+  let max_pressure = ref 0 in
+  List.iter
+    (fun (_, start, stop) ->
+      (* expire *)
+      active := List.filter (fun (_, e) -> e > start) !active;
+      if List.length !active >= k then begin
+        (* spill the interval with the furthest end (Poletto-Sarkar) *)
+        match List.rev !active with
+        | (_, e_last) :: rest_rev when e_last > stop ->
+            incr spills;
+            (* spill the active one, take its place *)
+            active :=
+              List.merge
+                (fun (_, a) (_, b) -> compare a b)
+                (List.rev rest_rev)
+                [ ((), stop) ]
+        | _ -> incr spills (* spill the new interval itself *)
+      end
+      else
+        active :=
+          List.merge (fun (_, a) (_, b) -> compare a b) !active [ ((), stop) ];
+      if List.length !active > !max_pressure then max_pressure := List.length !active)
+    sorted;
+  (!spills, !max_pressure)
+
+(** [allocate f] runs linear scan on all three register classes. *)
+let allocate (f : func) : stats =
+  let fi, ii, vi = live_intervals f in
+  let spills_f, mp_f = linear_scan fi ~k:phys_regs in
+  let spills_i, _ = linear_scan ii ~k:phys_regs in
+  let spills_v, mp_v = linear_scan vi ~k:phys_regs in
+  {
+    intervals = List.length fi + List.length ii + List.length vi;
+    spills_f;
+    spills_i;
+    spills_v;
+    max_pressure_f = mp_f;
+    max_pressure_v = mp_v;
+  }
+
+let total_spills s = s.spills_f + s.spills_i + s.spills_v
+
+(** [allocate_module m] — per-function stats, in function order. *)
+let allocate_module (m : Lir.modul) : stats array = Array.map allocate m.Lir.funcs

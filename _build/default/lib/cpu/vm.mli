@@ -1,0 +1,22 @@
+(** The execution engine for compiled kernels: a register VM over Lir —
+    the closest OCaml equivalent of the JIT-ed native code the real SPNC
+    loads (§IV-B).  Execution is a tight dispatch over flat instruction
+    arrays with class-separated register files, so measured wall-clock
+    scales with the instruction count the backend actually emitted. *)
+
+exception Trap of string  (** out-of-bounds access, arity mismatch, ... *)
+
+type buffer = { data : float array; rows : int; cols : int }
+
+(** [buffer ~rows ~cols] — a zeroed buffer. *)
+val buffer : rows:int -> cols:int -> buffer
+
+(** [of_flat data ~rows ~cols] wraps an existing row-major array.
+    @raise Trap if the size does not match. *)
+val of_flat : float array -> rows:int -> cols:int -> buffer
+
+(** [run m ~buffers] executes the module's entry function with the given
+    buffer arguments (bound to its parameters in order).  Outputs are
+    visible through the shared buffers.
+    @raise Trap on runtime errors. *)
+val run : Lir.modul -> buffers:buffer list -> unit

@@ -1,0 +1,1 @@
+lib/data/csv.ml: Array Buffer Float Fun List Printf Result String Synth

@@ -1,0 +1,1 @@
+lib/data/mnist.ml: Array List Rng Synth

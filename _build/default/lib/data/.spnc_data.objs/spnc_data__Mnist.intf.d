@@ -1,0 +1,1 @@
+lib/data/mnist.mli: Rng Synth

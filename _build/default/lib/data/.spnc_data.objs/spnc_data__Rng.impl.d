@@ -1,0 +1,1 @@
+lib/data/rng.ml: Array Float Int64 List Stdlib

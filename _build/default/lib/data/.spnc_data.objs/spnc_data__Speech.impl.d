@@ -1,0 +1,1 @@
+lib/data/speech.ml: Array Synth

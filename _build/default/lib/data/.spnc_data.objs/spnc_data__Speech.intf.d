@@ -1,0 +1,1 @@
+lib/data/speech.mli: Rng Synth

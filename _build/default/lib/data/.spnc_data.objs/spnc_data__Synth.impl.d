@@ -1,0 +1,1 @@
+lib/data/synth.ml: Array Float Fun List Rng

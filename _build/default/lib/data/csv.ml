@@ -1,0 +1,108 @@
+(** Minimal CSV reader/writer for numeric datasets.
+
+    Supports the shape SPN tooling needs: rows of float features with an
+    optional header line and an optional trailing integer label column.
+    Empty cells and the literals [nan]/[NaN]/[?] parse as NaN — the
+    missing-value encoding the marginal queries consume. *)
+
+let split_line line =
+  String.split_on_char ',' line |> List.map String.trim
+
+let parse_cell (s : string) : (float, string) result =
+  match s with
+  | "" | "?" | "nan" | "NaN" | "NA" -> Ok Float.nan
+  | s -> (
+      match float_of_string_opt s with
+      | Some f -> Ok f
+      | None -> Error (Printf.sprintf "not a number: %S" s))
+
+let looks_like_header (cells : string list) =
+  List.exists (fun c -> Result.is_error (parse_cell c)) cells
+
+(** [parse ?labels src] reads CSV text into a dataset.  With [labels]
+    (default [false]) the last column is an integer class label.
+    Returns [Error] with a line-numbered message on malformed input. *)
+let parse ?(labels = false) (src : string) : (Synth.dataset, string) result =
+  let lines =
+    String.split_on_char '\n' src
+    |> List.map String.trim
+    |> List.filter (fun l -> l <> "" && l.[0] <> '#')
+  in
+  match lines with
+  | [] -> Error "empty input"
+  | first :: rest ->
+      let data_lines =
+        if looks_like_header (split_line first) then rest else first :: rest
+      in
+      let ( let* ) = Result.bind in
+      let* rows =
+        List.fold_left
+          (fun acc (lineno, line) ->
+            let* acc = acc in
+            let cells = split_line line in
+            let* values =
+              List.fold_left
+                (fun acc c ->
+                  let* acc = acc in
+                  match parse_cell c with
+                  | Ok f -> Ok (f :: acc)
+                  | Error e -> Error (Printf.sprintf "line %d: %s" lineno e))
+                (Ok []) cells
+            in
+            Ok (Array.of_list (List.rev values) :: acc))
+          (Ok [])
+          (List.mapi (fun i l -> (i + 1, l)) data_lines)
+      in
+      let rows = Array.of_list (List.rev rows) in
+      if Array.length rows = 0 then Error "no data rows"
+      else begin
+        let width = Array.length rows.(0) in
+        if width = 0 then Error "empty rows"
+        else if Array.exists (fun r -> Array.length r <> width) rows then
+          Error "ragged rows: inconsistent column counts"
+        else if labels && width < 2 then Error "label column requires >= 2 columns"
+        else if labels then
+          Ok
+            {
+              Synth.samples =
+                Array.map (fun r -> Array.sub r 0 (width - 1)) rows;
+              labels =
+                Array.map (fun (r : float array) -> int_of_float r.(width - 1)) rows;
+              num_features = width - 1;
+            }
+        else
+          Ok
+            {
+              Synth.samples = rows;
+              labels = Array.make (Array.length rows) (-1);
+              num_features = width;
+            }
+      end
+
+(** [print ?labels d] renders a dataset back to CSV (NaN prints as [nan]). *)
+let print ?(labels = false) (d : Synth.dataset) : string =
+  let buf = Buffer.create 4096 in
+  Array.iteri
+    (fun i (row : float array) ->
+      Array.iteri
+        (fun j v ->
+          if j > 0 then Buffer.add_char buf ',';
+          if Float.is_nan v then Buffer.add_string buf "nan"
+          else Buffer.add_string buf (Printf.sprintf "%.9g" v))
+        row;
+      if labels then Buffer.add_string buf (Printf.sprintf ",%d" d.Synth.labels.(i));
+      Buffer.add_char buf '\n')
+    d.Synth.samples;
+  Buffer.contents buf
+
+let read_file ?labels path : (Synth.dataset, string) result =
+  let ic = open_in path in
+  Fun.protect
+    ~finally:(fun () -> close_in ic)
+    (fun () -> parse ?labels (really_input_string ic (in_channel_length ic)))
+
+let write_file ?labels path d =
+  let oc = open_out path in
+  Fun.protect
+    ~finally:(fun () -> close_out oc)
+    (fun () -> output_string oc (print ?labels d))

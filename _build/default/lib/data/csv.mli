@@ -1,0 +1,18 @@
+(** Minimal CSV reader/writer for numeric datasets.
+
+    Rows of float features, an optional header line, and an optional
+    trailing integer label column.  Empty cells and the literals
+    [nan]/[NaN]/[NA]/[?] parse as NaN — the missing-value encoding the
+    marginal queries consume. *)
+
+(** [parse ?labels src] reads CSV text.  With [labels] (default [false])
+    the last column is an integer class label.  Malformed input returns a
+    line-numbered [Error]. *)
+val parse : ?labels:bool -> string -> (Synth.dataset, string) result
+
+(** [print ?labels d] renders a dataset back to CSV; NaN prints as
+    [nan]. *)
+val print : ?labels:bool -> Synth.dataset -> string
+
+val read_file : ?labels:bool -> string -> (Synth.dataset, string) result
+val write_file : ?labels:bool -> string -> Synth.dataset -> unit

@@ -1,0 +1,81 @@
+(** Synthetic stand-in for MNIST / fashion-MNIST used by the RAT-SPN
+    stress-test application (paper §V-B).
+
+    Real MNIST is 28x28 grayscale digits, 10 classes, 10,000 test images.
+    The property the experiments need is only: a 10-class task over a
+    few-hundred-dimensional input on which a RAT-SPN can be built and
+    evaluated.  We synthesize class-conditional images from smooth random
+    class prototypes plus pixel noise; feature count is configurable
+    (default 28x28 = 784, scaled-down variants for quick benches). *)
+
+let num_classes = 10
+let paper_test_images = 10_000
+
+type variant = Digits | Fashion
+
+type t = {
+  variant : variant;
+  side : int;  (** image side length; features = side * side *)
+  data : Synth.dataset;
+}
+
+let num_features t = t.side * t.side
+
+(* A smooth prototype: sum of a few random 2-D Gaussian blobs, which gives
+   MNIST-like blotchy class shapes rather than white noise. *)
+let prototype rng side =
+  let blobs =
+    List.init 4 (fun _ ->
+        ( Rng.range rng 0.2 0.8 *. float_of_int side,
+          Rng.range rng 0.2 0.8 *. float_of_int side,
+          Rng.range rng 1.5 (float_of_int side /. 3.0),
+          Rng.range rng 0.4 1.0 ))
+  in
+  Array.init (side * side) (fun idx ->
+      let x = float_of_int (idx mod side) and y = float_of_int (idx / side) in
+      List.fold_left
+        (fun acc (cx, cy, s, a) ->
+          let d2 = (((x -. cx) ** 2.0) +. ((y -. cy) ** 2.0)) /. (2.0 *. s *. s) in
+          acc +. (a *. exp (-.d2)))
+        0.0 blobs)
+
+(** [generate rng ~variant ~side ~images ()] synthesizes a test set.
+    [images] defaults to a scaled-down count; pass
+    [~images:paper_test_images] for paper scale. *)
+let generate ?(variant = Digits) ?(side = 28) ?(images = 1000) rng () =
+  let protos = Array.init num_classes (fun _ -> prototype rng side) in
+  let noise = match variant with Digits -> 0.15 | Fashion -> 0.25 in
+  let rows = Array.make images [||] and labels = Array.make images 0 in
+  for i = 0 to images - 1 do
+    let cls = Rng.int rng num_classes in
+    labels.(i) <- cls;
+    rows.(i) <-
+      Array.map (fun v -> v +. Rng.gaussian_ms rng ~mean:0.0 ~stddev:noise) protos.(cls)
+  done;
+  {
+    variant;
+    side;
+    data = { Synth.samples = rows; labels; num_features = side * side };
+  }
+
+(** [train_rows rng t ~per_class] draws fresh labeled training rows from
+    the same generative process. *)
+let train_rows rng t ~per_class =
+  let side = t.side in
+  (* regenerate prototypes deterministically from a split of rng is not
+     possible post-hoc; instead sample around the mean of each class's
+     test rows, which preserves class structure for weight fitting. *)
+  let sums = Array.init num_classes (fun _ -> Array.make (side * side) 0.0) in
+  let counts = Array.make num_classes 0 in
+  Array.iteri
+    (fun i row ->
+      let c = t.data.labels.(i) in
+      counts.(c) <- counts.(c) + 1;
+      Array.iteri (fun f v -> sums.(c).(f) <- sums.(c).(f) +. v) row)
+    t.data.samples;
+  Array.init num_classes (fun c ->
+      let mean =
+        Array.map (fun s -> s /. float_of_int (max 1 counts.(c))) sums.(c)
+      in
+      Array.init per_class (fun _ ->
+          Array.map (fun m -> m +. Rng.gaussian_ms rng ~mean:0.0 ~stddev:0.2) mean))

@@ -1,0 +1,26 @@
+(** Synthetic stand-in for MNIST / fashion-MNIST (paper §V-B): a 10-class
+    task over a few-hundred-dimensional image-like input on which
+    RAT-SPNs can be built and evaluated.  Class-conditional images are
+    smooth random blob prototypes plus pixel noise. *)
+
+val num_classes : int
+val paper_test_images : int
+
+type variant = Digits | Fashion
+
+type t = {
+  variant : variant;
+  side : int;  (** image side length; features = side * side *)
+  data : Synth.dataset;
+}
+
+val num_features : t -> int
+
+(** [generate ?variant ?side ?images rng ()] synthesizes a test set
+    (default scaled-down size; pass [~images:paper_test_images] for paper
+    scale). *)
+val generate : ?variant:variant -> ?side:int -> ?images:int -> Rng.t -> unit -> t
+
+(** [train_rows rng t ~per_class] — labeled training rows drawn around
+    the class means of the test set. *)
+val train_rows : Rng.t -> t -> per_class:int -> float array array array

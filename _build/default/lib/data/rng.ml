@@ -1,0 +1,107 @@
+(** Deterministic pseudo-random number generator (SplitMix64).
+
+    All stochastic components of the reproduction (structure generators,
+    synthetic datasets, weight initialization) draw from an explicit [t]
+    so experiments are reproducible bit-for-bit from a seed, independent
+    of OCaml's global [Random] state. *)
+
+type t = { mutable state : int64 }
+
+let create ~seed = { state = Int64.of_int seed }
+
+(** [split t] derives an independent generator; the parent advances. *)
+let split t =
+  let mix = ref t.state in
+  t.state <- Int64.add t.state 0x9E3779B97F4A7C15L;
+  { state = Int64.logxor !mix 0x1234567890ABCDEFL }
+
+let next_int64 t =
+  t.state <- Int64.add t.state 0x9E3779B97F4A7C15L;
+  let z = t.state in
+  let z = Int64.mul (Int64.logxor z (Int64.shift_right_logical z 30)) 0xBF58476D1CE4E5B9L in
+  let z = Int64.mul (Int64.logxor z (Int64.shift_right_logical z 27)) 0x94D049BB133111EBL in
+  Int64.logxor z (Int64.shift_right_logical z 31)
+
+(** [float t] is uniform in [0, 1). *)
+let float t =
+  let bits = Int64.shift_right_logical (next_int64 t) 11 in
+  Int64.to_float bits *. (1.0 /. 9007199254740992.0)
+
+(** [int t n] is uniform in [0, n). *)
+let int t n =
+  if n <= 0 then invalid_arg "Rng.int: bound must be positive";
+  int_of_float (float t *. Stdlib.float_of_int n)
+
+(** [range t lo hi] is uniform in [lo, hi). *)
+let range t lo hi = lo +. (float t *. (hi -. lo))
+
+(** [gaussian t] is standard-normal (Box–Muller). *)
+let gaussian t =
+  let u1 = Stdlib.max 1e-12 (float t) in
+  let u2 = float t in
+  sqrt (-2.0 *. log u1) *. cos (2.0 *. Float.pi *. u2)
+
+(** [gaussian_ms t ~mean ~stddev] is normal with the given moments. *)
+let gaussian_ms t ~mean ~stddev = mean +. (stddev *. gaussian t)
+
+(** [choose t xs] picks a uniform element of a non-empty list. *)
+let choose t xs =
+  match xs with
+  | [] -> invalid_arg "Rng.choose: empty list"
+  | _ -> List.nth xs (int t (List.length xs))
+
+(** [shuffle t a] shuffles a copy of [a] (Fisher–Yates). *)
+let shuffle t a =
+  let a = Array.copy a in
+  for i = Array.length a - 1 downto 1 do
+    let j = int t (i + 1) in
+    let tmp = a.(i) in
+    a.(i) <- a.(j);
+    a.(j) <- tmp
+  done;
+  a
+
+(** [categorical t probs] samples an index according to [probs] (assumed
+    normalized; the tail absorbs rounding). *)
+let categorical t probs =
+  let u = float t in
+  let n = Array.length probs in
+  let acc = ref 0.0 and res = ref (n - 1) and found = ref false in
+  Array.iteri
+    (fun i p ->
+      if not !found then begin
+        acc := !acc +. p;
+        if u < !acc then begin
+          res := i;
+          found := true
+        end
+      end)
+    probs;
+  !res
+
+(** [dirichlet t ~alpha n] samples a length-[n] normalized weight vector
+    (via Gamma(alpha) marginals, Marsaglia–Tsang for alpha >= 1 after
+    boosting). *)
+let dirichlet t ~alpha n =
+  let gamma_sample alpha =
+    (* Marsaglia-Tsang; boost for alpha < 1 *)
+    let boost, alpha =
+      if alpha < 1.0 then (Float.pow (Stdlib.max 1e-12 (float t)) (1.0 /. alpha), alpha +. 1.0)
+      else (1.0, alpha)
+    in
+    let d = alpha -. (1.0 /. 3.0) in
+    let c = 1.0 /. sqrt (9.0 *. d) in
+    let rec loop () =
+      let x = gaussian t in
+      let v = Float.pow (1.0 +. (c *. x)) 3.0 in
+      if v <= 0.0 then loop ()
+      else
+        let u = Stdlib.max 1e-12 (float t) in
+        if log u < (0.5 *. x *. x) +. d -. (d *. v) +. (d *. log v) then d *. v
+        else loop ()
+    in
+    boost *. loop ()
+  in
+  let raw = Array.init n (fun _ -> gamma_sample alpha) in
+  let s = Array.fold_left ( +. ) 0.0 raw in
+  Array.map (fun x -> x /. s) raw

@@ -1,0 +1,44 @@
+(** Deterministic pseudo-random number generator (SplitMix64).
+
+    All stochastic components of the reproduction (structure generators,
+    synthetic datasets, weight initialization) draw from an explicit [t],
+    so every experiment is reproducible bit-for-bit from a seed,
+    independent of OCaml's global [Random] state. *)
+
+type t
+
+val create : seed:int -> t
+
+(** [split t] derives an independent generator; the parent advances. *)
+val split : t -> t
+
+val next_int64 : t -> int64
+
+(** [float t] — uniform in [0, 1). *)
+val float : t -> float
+
+(** [int t n] — uniform in [0, n).
+    @raise Invalid_argument unless [n > 0]. *)
+val int : t -> int -> int
+
+(** [range t lo hi] — uniform in [lo, hi). *)
+val range : t -> float -> float -> float
+
+(** [gaussian t] — standard normal (Box–Muller). *)
+val gaussian : t -> float
+
+val gaussian_ms : t -> mean:float -> stddev:float -> float
+
+(** @raise Invalid_argument on an empty list. *)
+val choose : t -> 'a list -> 'a
+
+(** [shuffle t a] — a shuffled copy of [a] (Fisher–Yates); [a] is
+    untouched. *)
+val shuffle : t -> 'a array -> 'a array
+
+(** [categorical t probs] samples an index according to [probs] (assumed
+    normalized; the last bucket absorbs rounding). *)
+val categorical : t -> float array -> int
+
+(** [dirichlet t ~alpha n] — a length-[n] normalized weight vector. *)
+val dirichlet : t -> alpha:float -> int -> float array

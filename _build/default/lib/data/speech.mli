@@ -1,0 +1,28 @@
+(** Synthetic stand-in for the speaker-identification workload of
+    Nicolson et al. (paper §V-A): per-speaker Gaussian mixtures over 26
+    speech features; the clean scenario has full evidence, the noisy one
+    drops feature values to NaN for marginalization.  See DESIGN.md §1
+    for the substitution rationale. *)
+
+val num_features : int
+val paper_clean_samples : int
+val paper_noisy_samples : int
+
+type scenario = Clean | Noisy
+
+type t = {
+  scenario : scenario;
+  num_speakers : int;
+  data : Synth.dataset;  (** labels are ground-truth speaker indices *)
+  gmms : Synth.gmm array;  (** per-speaker generating mixture *)
+}
+
+(** [generate ?num_speakers ?scenario ?scale rng ()] — [scale] multiplies
+    the paper's sample counts (default 0.01). *)
+val generate :
+  ?num_speakers:int -> ?scenario:scenario -> ?scale:float -> Rng.t -> unit -> t
+
+(** [train_split rng t ~per_speaker] — fresh training rows per speaker
+    from the ground-truth mixtures (training data stays separate from the
+    evaluation samples). *)
+val train_split : Rng.t -> t -> per_speaker:int -> float array array array

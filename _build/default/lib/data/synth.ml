@@ -1,0 +1,81 @@
+(** Generic synthetic-data substrates: Gaussian-mixture samplers and
+    dataset containers shared by the speaker-ID and image workloads. *)
+
+type dataset = {
+  samples : float array array;  (** [samples.(i).(f)] = feature f of row i *)
+  labels : int array;  (** class label per row; [-1] when unlabeled *)
+  num_features : int;
+}
+
+let num_rows d = Array.length d.samples
+
+(** Flatten to the row-major layout the compiled kernels consume. *)
+let to_flat d =
+  let n = num_rows d and f = d.num_features in
+  let flat = Array.make (n * f) 0.0 in
+  Array.iteri (fun i row -> Array.blit row 0 flat (i * f) f) d.samples;
+  flat
+
+(** A diagonal-covariance Gaussian-mixture model over [num_features]
+    variables — the ground-truth generator behind the synthetic tasks. *)
+type gmm = {
+  weights : float array;
+  means : float array array;  (** [means.(k).(f)] *)
+  stddevs : float array array;
+}
+
+(** [random_gmm rng ~num_features ~components ~spread] builds a GMM whose
+    component means are separated by roughly [spread] stddev units, giving
+    datasets with learnable cluster structure. *)
+let random_gmm rng ~num_features ~components ~spread =
+  let weights = Rng.dirichlet rng ~alpha:5.0 components in
+  let means =
+    Array.init components (fun _ ->
+        Array.init num_features (fun _ -> Rng.range rng (-.spread) spread))
+  in
+  let stddevs =
+    Array.init components (fun _ ->
+        Array.init num_features (fun _ -> Rng.range rng 0.5 1.5))
+  in
+  { weights; means; stddevs }
+
+let sample_gmm rng (g : gmm) =
+  let k = Rng.categorical rng g.weights in
+  Array.init
+    (Array.length g.means.(k))
+    (fun f -> Rng.gaussian_ms rng ~mean:g.means.(k).(f) ~stddev:g.stddevs.(k).(f))
+
+(** [dataset_of_gmms rng gmms ~rows_per_class] draws a labeled dataset with
+    one GMM per class. *)
+let dataset_of_gmms rng (gmms : gmm array) ~rows_per_class =
+  let num_features = Array.length gmms.(0).means.(0) in
+  let samples = ref [] and labels = ref [] in
+  Array.iteri
+    (fun cls g ->
+      for _ = 1 to rows_per_class do
+        samples := sample_gmm rng g :: !samples;
+        labels := cls :: !labels
+      done)
+    gmms;
+  let samples = Array.of_list (List.rev !samples) in
+  let labels = Array.of_list (List.rev !labels) in
+  (* shuffle rows jointly *)
+  let order = Rng.shuffle rng (Array.init (Array.length samples) Fun.id) in
+  {
+    samples = Array.map (fun i -> samples.(i)) order;
+    labels = Array.map (fun i -> labels.(i)) order;
+    num_features;
+  }
+
+(** [corrupt_with_nans rng d ~fraction] replaces [fraction] of all feature
+    values by NaN — the encoding for "missing, marginalize over this
+    variable" used by the noisy-speech scenario. *)
+let corrupt_with_nans rng d ~fraction =
+  {
+    d with
+    samples =
+      Array.map
+        (fun row ->
+          Array.map (fun v -> if Rng.float rng < fraction then Float.nan else v) row)
+        d.samples;
+  }

@@ -1,0 +1,38 @@
+(** Generic synthetic-data substrates: dataset containers and
+    Gaussian-mixture samplers shared by the speaker-ID and image
+    workloads. *)
+
+type dataset = {
+  samples : float array array;  (** [samples.(i).(f)] — feature f, row i *)
+  labels : int array;  (** class label per row; [-1] when unlabeled *)
+  num_features : int;
+}
+
+val num_rows : dataset -> int
+
+(** Row-major flattening, the layout compiled kernels consume. *)
+val to_flat : dataset -> float array
+
+(** A diagonal-covariance Gaussian mixture — the ground-truth generator
+    behind the synthetic tasks. *)
+type gmm = {
+  weights : float array;
+  means : float array array;  (** [means.(k).(f)] *)
+  stddevs : float array array;
+}
+
+(** [random_gmm rng ~num_features ~components ~spread] — component means
+    separated by roughly [spread], giving learnable cluster structure. *)
+val random_gmm :
+  Rng.t -> num_features:int -> components:int -> spread:float -> gmm
+
+val sample_gmm : Rng.t -> gmm -> float array
+
+(** [dataset_of_gmms rng gmms ~rows_per_class] — a labeled, shuffled
+    dataset with one mixture per class. *)
+val dataset_of_gmms : Rng.t -> gmm array -> rows_per_class:int -> dataset
+
+(** [corrupt_with_nans rng d ~fraction] replaces the given fraction of
+    feature values by NaN — the "missing, marginalize this variable"
+    encoding. *)
+val corrupt_with_nans : Rng.t -> dataset -> fraction:float -> dataset

@@ -1,0 +1,1 @@
+lib/gpu/copy_opt.ml: Hashtbl Ir List Option Spnc_mlir

@@ -1,0 +1,1 @@
+lib/gpu/copy_opt.mli: Ir Spnc_mlir

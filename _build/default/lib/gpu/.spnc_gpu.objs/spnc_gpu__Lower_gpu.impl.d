@@ -1,0 +1,1 @@
+lib/gpu/lower_gpu.ml: Array Attr Builder Dialect Float Hashtbl Ir List Option Printf Spnc_cir Spnc_cpu Spnc_lospn Spnc_mlir Types

@@ -1,0 +1,1 @@
+lib/gpu/lower_gpu.mli: Ir Spnc_mlir

@@ -1,0 +1,1 @@
+lib/gpu/ptx.ml: Array Attr Buffer Hashtbl Int32 Ir List Option Printf Spnc_mlir String Types

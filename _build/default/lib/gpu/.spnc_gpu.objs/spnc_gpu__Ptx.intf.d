@@ -1,0 +1,1 @@
+lib/gpu/ptx.mli: Ir Spnc_mlir

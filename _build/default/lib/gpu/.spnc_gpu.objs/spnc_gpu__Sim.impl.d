@@ -1,0 +1,1 @@
+lib/gpu/sim.ml: Array Float Fmt Hashtbl Ir List Option Spnc_cir Spnc_machine Spnc_mlir Types

@@ -1,0 +1,1 @@
+lib/gpu/sim.mli: Format Ir Spnc_machine Spnc_mlir

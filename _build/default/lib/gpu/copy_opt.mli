@@ -1,0 +1,13 @@
+(** Device buffer re-use / copy elimination (paper §IV-C): removes the
+    naive schedule's host round-trips of intermediate results — uploads
+    of still-valid device copies are deleted, downloads whose host
+    destination is never read by host code are deleted, and unused
+    allocations swept.  The kernel's real output is still downloaded
+    exactly once. *)
+
+open Spnc_mlir
+
+val run : Ir.modul -> Ir.modul
+
+(** [count_transfers m] — (h2d, d2h) op counts, for tests and reports. *)
+val count_transfers : Ir.modul -> int * int

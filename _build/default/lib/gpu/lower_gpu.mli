@@ -1,0 +1,27 @@
+(** GPU target lowering (paper §IV-C): bufferized LoSPN → host function +
+    one [gpu.func] kernel per Task.  Each kernel computes a single sample
+    ([sample = block_id * block_dim + thread_id] with a bounds guard);
+    discrete leaves lower to select cascades rather than table lookups;
+    the naive host schedule round-trips every intermediate (removed by
+    {!Copy_opt}). *)
+
+open Spnc_mlir
+
+val gpu_func : string
+val gpu_alloc : string
+val gpu_dealloc : string
+val memcpy_h2d : string
+val memcpy_d2h : string
+val launch : string
+val thread_id : string
+val block_id : string
+val block_dim : string
+
+type options = { block_size : int }
+
+val default_options : options
+
+(** Registers the gpu dialect (and cir); idempotent. *)
+val register : unit -> unit
+
+val run : ?options:options -> Ir.modul -> Ir.modul

@@ -1,0 +1,23 @@
+(** Pseudo-PTX emission and CUBIN assembly (paper §IV-C).
+
+    {!emit} prints every [gpu.func] as PTX-like text; {!assemble}
+    performs the expensive machine-level work on it — parsing, a
+    size-scaled sliding-window dependence scheduler, register-interval
+    analysis and instruction encoding — reproducing the paper's
+    observation that ~95% of GPU compile time is the PTX→CUBIN step, with
+    superlinear growth in kernel size (Figs. 12/13). *)
+
+open Spnc_mlir
+
+(** [emit m] — pseudo-PTX for all [gpu.func] kernels of [m]. *)
+val emit : Ir.modul -> string
+
+type cubin = {
+  bytes : bytes;  (** 16 bytes per SASS instruction *)
+  instructions : int;
+  regs_allocated : int;  (** maximum live registers over all kernels *)
+}
+
+(** [assemble ptx] assembles each kernel separately (like ptxas) and
+    concatenates the images. *)
+val assemble : string -> cubin

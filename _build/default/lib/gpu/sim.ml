@@ -1,0 +1,315 @@
+(** Functional + timing simulator for the GPU target.
+
+    Functional part: executes the host function with real buffers; each
+    [gpu.launch_func] runs the kernel body for {e every} thread of every
+    block through the cir interpreter (the grid intrinsics are bound per
+    thread), so correctness of the whole GPU path — select cascades,
+    bounds guards, copy schedule after {!Copy_opt} — is checked exactly.
+
+    Timing part: an analytic SM/occupancy/PCIe model of the RTX-class
+    device descriptions in {!Spnc_machine.Machine}, applied to the actual
+    operation stream: transfer times from real buffer sizes, kernel times
+    from the per-thread instruction cost and an occupancy model in which
+    high per-thread register demand limits resident blocks — which is why
+    small block sizes win in the paper's sweep (§V-A.1).  The ledger
+    separates transfer from compute time, producing Fig. 9. *)
+
+open Spnc_mlir
+module CI = Spnc_cir.Interp
+module M = Spnc_machine.Machine
+
+type ledger = {
+  mutable h2d_s : float;
+  mutable d2h_s : float;
+  mutable kernel_s : float;
+  mutable launch_s : float;
+  mutable alloc_s : float;
+}
+
+let empty_ledger () =
+  { h2d_s = 0.0; d2h_s = 0.0; kernel_s = 0.0; launch_s = 0.0; alloc_s = 0.0 }
+
+let total_seconds l = l.h2d_s +. l.d2h_s +. l.kernel_s +. l.launch_s +. l.alloc_s
+
+let transfer_fraction l =
+  let t = total_seconds l in
+  if t <= 0.0 then 0.0 else (l.h2d_s +. l.d2h_s) /. t
+
+let pp_ledger ppf l =
+  Fmt.pf ppf "h2d %.6fs d2h %.6fs kernel %.6fs launch %.6fs alloc %.6fs (transfers %.1f%%)"
+    l.h2d_s l.d2h_s l.kernel_s l.launch_s l.alloc_s (100.0 *. transfer_fraction l)
+
+(* -- Per-thread kernel cost --------------------------------------------------- *)
+
+let rec op_cycles (g : M.gpu) (op : Ir.op) : float =
+  let nested =
+    List.fold_left
+      (fun acc (r : Ir.region) ->
+        List.fold_left
+          (fun acc (b : Ir.block) ->
+            List.fold_left (fun acc o -> acc +. op_cycles g o) acc b.Ir.bops)
+          acc r.Ir.blocks)
+      0.0 op.Ir.regions
+  in
+  nested
+  +.
+  match op.Ir.name with
+  | "arith.constant" -> 0.25
+  | "arith.addf" | "arith.subf" | "arith.mulf" | "arith.maxf" | "arith.minf" ->
+      g.M.gpu_flop_cost
+  | "arith.divf" -> 4.0 *. g.M.gpu_flop_cost
+  | "math.log" | "math.exp" | "math.log1p" -> g.M.gpu_special_cost
+  | "arith.select" -> g.M.gpu_select_cost
+  | "arith.cmpf" | "arith.cmpi" | "arith.andi" | "arith.ori" -> 1.0
+  | "arith.addi" | "arith.muli" | "arith.divi" -> 0.5
+  | "arith.fptosi" | "arith.sitofp" -> 1.0
+  | "memref.load" -> g.M.gpu_load_cost
+  | "memref.store" -> g.M.gpu_store_cost
+  | "memref.dim" -> 0.5
+  | "gpu.thread_id" | "gpu.block_id" | "gpu.block_dim" -> 0.5
+  | "scf.if" -> 1.0  (* predicated execution *)
+  | "func.return" | "scf.yield" -> 0.0
+  | _ -> 1.0
+
+let kernel_thread_cycles (g : M.gpu) (kernel : Ir.op) : float =
+  List.fold_left
+    (fun acc o -> acc +. op_cycles g o)
+    0.0
+    (Ir.single_region_ops kernel)
+
+(* Register demand estimate: base machine state plus live SPN values.  A
+   Turing SM has a 64k-register file; blocks whose threads need too many
+   registers limit occupancy. *)
+let regs_per_thread (kernel : Ir.op) : int =
+  let body_ops =
+    List.fold_left
+      (fun acc (o : Ir.op) ->
+        acc + 1 + List.length (Ir.single_region_ops o))
+      0
+      (Ir.single_region_ops kernel)
+  in
+  min 255 (24 + (body_ops / 40))
+
+(** [kernel_seconds g kernel ~rows ~block_size] — one launch. *)
+let kernel_seconds (g : M.gpu) (kernel : Ir.op) ~rows ~block_size : float =
+  let per_thread = kernel_thread_cycles g kernel in
+  let blocks = (rows + block_size - 1) / block_size in
+  let total_threads = blocks * block_size in
+  let regs = regs_per_thread kernel in
+  let reg_limit_threads = 65536 / regs in
+  let resident_blocks =
+    min (min 16 (reg_limit_threads / block_size)) (g.M.max_threads_per_sm / block_size)
+  in
+  let spill_factor, resident_blocks =
+    if resident_blocks = 0 then
+      (* a single block does not fit in the register file: spill *)
+      (float_of_int (regs * block_size) /. 65536.0, 1)
+    else (1.0, resident_blocks)
+  in
+  let resident_warps = resident_blocks * block_size / g.M.warp_size in
+  (* ~2 resident warps per SM already hide most latency here *)
+  let efficiency = Float.min 1.0 (float_of_int resident_warps /. 2.0) /. spill_factor in
+  (* 64 FP32 lanes per SM; small grids cannot use every SM.  Dual-issue
+     and instruction-level parallelism hide about half the latency of the
+     straight-line SPN code. *)
+  let lanes = float_of_int (min blocks g.M.sm_count * 64) in
+  let ilp = 2.0 in
+  let cycles = per_thread *. float_of_int total_threads /. lanes /. ilp in
+  let block_sched =
+    float_of_int blocks *. 300.0 /. float_of_int g.M.sm_count
+    (* block dispatch cost in cycles *)
+  in
+  M.gpu_cycles_to_seconds g ((cycles /. efficiency) +. block_sched)
+
+let transfer_seconds (g : M.gpu) ~bytes =
+  (g.M.transfer_latency_us *. 1e-6)
+  +. (float_of_int bytes /. (g.M.pcie_gb_per_s *. 1e9))
+
+(* -- Execution ------------------------------------------------------------------- *)
+
+exception Gpu_error of string
+
+let fail fmt = Fmt.kstr (fun s -> raise (Gpu_error s)) fmt
+
+(* Execute a kernel body for one thread. *)
+let exec_thread (ctx : CI.ctx) (kernel : Ir.op) ~args ~block ~thread ~block_size =
+  let blk = Option.get (Ir.entry_block kernel) in
+  List.iter2 (fun (barg : Ir.value) v -> CI.set ctx barg v) blk.Ir.bargs args;
+  List.iter
+    (fun (op : Ir.op) ->
+      match op.Ir.name with
+      | "gpu.thread_id" -> CI.set ctx (Ir.result op) (CI.I thread)
+      | "gpu.block_id" -> CI.set ctx (Ir.result op) (CI.I block)
+      | "gpu.block_dim" -> CI.set ctx (Ir.result op) (CI.I block_size)
+      | _ -> CI.exec_op ctx op)
+    blk.Ir.bops
+
+type result = {
+  ledger : ledger;
+  output : float array;  (** contents of the last host parameter *)
+}
+
+(** [run m ~gpu ~entry ~inputs ~rows ~out_cols ()] executes the host
+    function functionally and returns the output buffer plus the timing
+    ledger (timing is modelled, execution is exact). *)
+let run (m : Ir.modul) ~(gpu : M.gpu) ~entry ~(inputs : float array list)
+    ~rows ~out_cols () : result =
+  let kernels = Hashtbl.create 8 in
+  let hosts = Hashtbl.create 8 in
+  List.iter
+    (fun (op : Ir.op) ->
+      match (op.Ir.name, Ir.string_attr op "sym_name") with
+      | "gpu.func", Some n -> Hashtbl.replace kernels n op
+      | "func.func", Some n -> Hashtbl.replace hosts n op
+      | _ -> ())
+    m.Ir.mops;
+  let host =
+    match Hashtbl.find_opt hosts entry with
+    | Some h -> h
+    | None -> fail "host function %S not found" entry
+  in
+  let blk = Option.get (Ir.entry_block host) in
+  let ledger = empty_ledger () in
+  let ctx = { CI.funcs = Hashtbl.create 4; values = Hashtbl.create 1024 } in
+  (* bind host parameters *)
+  let cols_of (v : Ir.value) =
+    match v.Ir.vty with
+    | Types.MemRef ([ _; Some c ], _) -> c
+    | Types.MemRef ([ Some c; _ ], _) -> c
+    | _ -> 1
+  in
+  let out_buf = ref [||] in
+  let rec bind args ins =
+    match (args, ins) with
+    | [ out_arg ], [] ->
+        let data = Array.make (rows * out_cols) 0.0 in
+        out_buf := data;
+        CI.set ctx out_arg (CI.Buf { CI.data; rows; cols = cols_of out_arg })
+    | arg :: rest, data :: more ->
+        CI.set ctx arg (CI.Buf { CI.data; rows; cols = cols_of arg });
+        bind rest more
+    | _ -> fail "host arity mismatch"
+  in
+  bind blk.Ir.bargs inputs;
+  let buf v =
+    match CI.lookup ctx v with CI.Buf b -> b | _ -> fail "expected buffer"
+  in
+  let bytes_of (b : CI.buffer) = 4 * Array.length b.CI.data in
+  List.iter
+    (fun (op : Ir.op) ->
+      match op.Ir.name with
+      | "memref.dim" | "memref.alloc" | "memref.dealloc" | "memref.copy" ->
+          CI.exec_op ctx op
+      | "gpu.alloc" ->
+          ledger.alloc_s <- ledger.alloc_s +. 0.3e-6;
+          let res = Ir.result op in
+          let cols = cols_of res in
+          CI.set ctx res
+            (CI.Buf { CI.data = Array.make (rows * cols) 0.0; rows; cols })
+      | "gpu.dealloc" -> ledger.alloc_s <- ledger.alloc_s +. 0.1e-6
+      | "gpu.memcpy_h2d" ->
+          let src = buf (Ir.operand_n op 0) and dst = buf (Ir.operand_n op 1) in
+          Array.blit src.CI.data 0 dst.CI.data 0 (Array.length src.CI.data);
+          ledger.h2d_s <- ledger.h2d_s +. transfer_seconds gpu ~bytes:(bytes_of src)
+      | "gpu.memcpy_d2h" ->
+          let src = buf (Ir.operand_n op 0) and dst = buf (Ir.operand_n op 1) in
+          Array.blit src.CI.data 0 dst.CI.data 0 (Array.length src.CI.data);
+          ledger.d2h_s <- ledger.d2h_s +. transfer_seconds gpu ~bytes:(bytes_of src)
+      | "gpu.launch_func" ->
+          let kname = Option.get (Ir.string_attr op "kernel") in
+          let kernel =
+            match Hashtbl.find_opt kernels kname with
+            | Some k -> k
+            | None -> fail "kernel %S not found" kname
+          in
+          let block_size = Option.get (Ir.int_attr op "blockSize") in
+          let blocks = (rows + block_size - 1) / block_size in
+          let args = List.map (CI.lookup ctx) op.Ir.operands in
+          for b = 0 to blocks - 1 do
+            for t = 0 to block_size - 1 do
+              exec_thread ctx kernel ~args ~block:b ~thread:t ~block_size
+            done
+          done;
+          ledger.launch_s <- ledger.launch_s +. (gpu.M.kernel_launch_us *. 1e-6);
+          ledger.kernel_s <-
+            ledger.kernel_s +. kernel_seconds gpu kernel ~rows ~block_size
+      | "func.return" -> ()
+      | other -> fail "gpu sim: unsupported host op %s" other)
+    blk.Ir.bops;
+  { ledger; output = !out_buf }
+
+let scale_ledger l k =
+  {
+    h2d_s = l.h2d_s *. k;
+    d2h_s = l.d2h_s *. k;
+    kernel_s = l.kernel_s *. k;
+    launch_s = l.launch_s *. k;
+    alloc_s = l.alloc_s *. k;
+  }
+
+let add_ledger a b =
+  {
+    h2d_s = a.h2d_s +. b.h2d_s;
+    d2h_s = a.d2h_s +. b.d2h_s;
+    kernel_s = a.kernel_s +. b.kernel_s;
+    launch_s = a.launch_s +. b.launch_s;
+    alloc_s = a.alloc_s +. b.alloc_s;
+  }
+
+(** [estimate m ~gpu ~entry ~rows] — timing ledger only, no execution;
+    used by the benchmark harness at paper-scale row counts. *)
+let estimate (m : Ir.modul) ~(gpu : M.gpu) ~entry ~rows : ledger =
+  let kernels = Hashtbl.create 8 in
+  List.iter
+    (fun (op : Ir.op) ->
+      match (op.Ir.name, Ir.string_attr op "sym_name") with
+      | "gpu.func", Some n -> Hashtbl.replace kernels n op
+      | _ -> ())
+    m.Ir.mops;
+  let host =
+    List.find
+      (fun (o : Ir.op) ->
+        o.Ir.name = "func.func" && Ir.string_attr o "sym_name" = Some entry)
+      m.Ir.mops
+  in
+  let blk = Option.get (Ir.entry_block host) in
+  let ledger = empty_ledger () in
+  let cols_of (v : Ir.value) =
+    match v.Ir.vty with
+    | Types.MemRef ([ _; Some c ], _) -> c
+    | Types.MemRef ([ Some c; _ ], _) -> c
+    | _ -> 1
+  in
+  List.iter
+    (fun (op : Ir.op) ->
+      match op.Ir.name with
+      | "gpu.alloc" -> ledger.alloc_s <- ledger.alloc_s +. 0.3e-6
+      | "gpu.dealloc" -> ledger.alloc_s <- ledger.alloc_s +. 0.1e-6
+      | "gpu.memcpy_h2d" ->
+          let bytes = 4 * rows * cols_of (Ir.operand_n op 0) in
+          ledger.h2d_s <- ledger.h2d_s +. transfer_seconds gpu ~bytes
+      | "gpu.memcpy_d2h" ->
+          let bytes = 4 * rows * cols_of (Ir.operand_n op 0) in
+          ledger.d2h_s <- ledger.d2h_s +. transfer_seconds gpu ~bytes
+      | "gpu.launch_func" ->
+          let kname = Option.get (Ir.string_attr op "kernel") in
+          let kernel = Hashtbl.find kernels kname in
+          let block_size = Option.get (Ir.int_attr op "blockSize") in
+          ledger.launch_s <- ledger.launch_s +. (gpu.M.kernel_launch_us *. 1e-6);
+          ledger.kernel_s <-
+            ledger.kernel_s +. kernel_seconds gpu kernel ~rows ~block_size
+      | _ -> ())
+    blk.Ir.bops;
+  ledger
+
+(** [estimate_chunked m ~gpu ~entry ~rows ~chunk] — ledger for processing
+    [rows] samples in host-side chunks of [chunk] samples, one full
+    upload/launch/download schedule per chunk.  With small chunk sizes
+    (the paper's GPU batch size of 64) per-transfer latency dominates —
+    exactly the Fig. 9 situation. *)
+let estimate_chunked (m : Ir.modul) ~gpu ~entry ~rows ~chunk : ledger =
+  let chunk = max 1 (min chunk rows) in
+  let full = rows / chunk in
+  let rem = rows mod chunk in
+  let l_full = scale_ledger (estimate m ~gpu ~entry ~rows:chunk) (float_of_int full) in
+  if rem = 0 then l_full else add_ledger l_full (estimate m ~gpu ~entry ~rows:rem)

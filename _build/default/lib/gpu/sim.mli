@@ -1,0 +1,70 @@
+(** Functional + timing simulator for the GPU target.
+
+    Functional part: executes the host function with real buffers; each
+    [gpu.launch_func] runs the kernel body for {e every} thread of every
+    block, so correctness of the whole GPU path — select cascades, bounds
+    guards, the copy schedule after {!Copy_opt} — is checked exactly.
+
+    Timing part: an analytic SM/occupancy/PCIe model applied to the
+    actual operation stream (DESIGN.md §1).  The ledger separates
+    transfer from compute time, producing the paper's Fig. 9. *)
+
+open Spnc_mlir
+module M = Spnc_machine.Machine
+
+type ledger = {
+  mutable h2d_s : float;
+  mutable d2h_s : float;
+  mutable kernel_s : float;
+  mutable launch_s : float;
+  mutable alloc_s : float;
+}
+
+val total_seconds : ledger -> float
+
+(** Fraction of the total spent moving data (the Fig. 9 quantity). *)
+val transfer_fraction : ledger -> float
+
+val pp_ledger : Format.formatter -> ledger -> unit
+
+(** [kernel_thread_cycles gpu kernel] — modelled per-thread cost of one
+    [gpu.func] body. *)
+val kernel_thread_cycles : M.gpu -> Ir.op -> float
+
+(** [kernel_seconds gpu kernel ~rows ~block_size] — one launch under the
+    occupancy model (register pressure limits resident blocks; small
+    grids cannot use every SM). *)
+val kernel_seconds : M.gpu -> Ir.op -> rows:int -> block_size:int -> float
+
+exception Gpu_error of string
+
+type result = {
+  ledger : ledger;
+  output : float array;  (** contents of the last host parameter *)
+}
+
+(** [run m ~gpu ~entry ~inputs ~rows ~out_cols ()] executes the host
+    function functionally; timing is modelled, execution exact. *)
+val run :
+  Ir.modul ->
+  gpu:M.gpu ->
+  entry:string ->
+  inputs:float array list ->
+  rows:int ->
+  out_cols:int ->
+  unit ->
+  result
+
+(** [estimate m ~gpu ~entry ~rows] — timing only, one whole-batch
+    schedule. *)
+val estimate : Ir.modul -> gpu:M.gpu -> entry:string -> rows:int -> ledger
+
+val scale_ledger : ledger -> float -> ledger
+val add_ledger : ledger -> ledger -> ledger
+
+(** [estimate_chunked m ~gpu ~entry ~rows ~chunk] — [rows] samples
+    processed in host-side chunks of [chunk], one upload/launch/download
+    schedule per chunk (the paper's batch-size-64 execution; with small
+    chunks the per-transfer latency dominates — Fig. 9). *)
+val estimate_chunked :
+  Ir.modul -> gpu:M.gpu -> entry:string -> rows:int -> chunk:int -> ledger

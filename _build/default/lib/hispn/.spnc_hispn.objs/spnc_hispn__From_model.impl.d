@@ -1,0 +1,1 @@
+lib/hispn/from_model.ml: Array Builder Hashtbl Ir List Model Ops Spnc_mlir Spnc_spn Types

@@ -1,0 +1,1 @@
+lib/hispn/ops.ml: Array Attr Builder Dialect Float Ir List Printf Spnc_mlir Types

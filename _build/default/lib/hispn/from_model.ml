@@ -1,0 +1,74 @@
+(** Translation from the SPN model (SPFlow representation) into the HiSPN
+    dialect — the paper's §IV-A2, the entry point into the MLIR framework.
+
+    DAG sharing is preserved: each model node id maps to one HiSPN op;
+    parents re-use the SSA result of an already-translated child. *)
+
+open Spnc_mlir
+open Spnc_spn
+
+(** Probabilistic query descriptor, mirroring the information the paper
+    attaches to the query operation. *)
+type query = {
+  batch_size : int;
+  input_type : Types.t;  (** element type of the feature inputs *)
+  support_marginal : bool;  (** marginal inference via NaN evidence *)
+}
+
+let default_query =
+  { batch_size = 4096; input_type = Types.F32; support_marginal = false }
+
+(** [translate ?query model] produces a module containing a single
+    [hi_spn.joint_query] with the translated graph. *)
+let translate ?(query = default_query) (model : Model.t) : Ir.modul =
+  Ops.register ();
+  let b = Builder.create () in
+  let num_features = model.Model.num_features in
+  let body =
+    Builder.block b
+      ~arg_tys:(List.init num_features (fun _ -> query.input_type))
+      (fun features ->
+        let feature = Array.of_list features in
+        let translated : (int, Ir.value) Hashtbl.t = Hashtbl.create 256 in
+        let ops_rev = ref [] in
+        let emit op =
+          ops_rev := op :: !ops_rev;
+          Ir.result op
+        in
+        let rec go (n : Model.node) : Ir.value =
+          match Hashtbl.find_opt translated n.Model.id with
+          | Some v -> v
+          | None ->
+              let v =
+                match n.Model.desc with
+                | Model.Sum cs ->
+                    let operands = List.map (fun (_, c) -> go c) cs in
+                    let weights =
+                      Array.of_list (List.map (fun (w, _) -> w) cs)
+                    in
+                    emit (Ops.sum b ~operands ~weights)
+                | Model.Product cs ->
+                    emit (Ops.product b ~operands:(List.map go cs))
+                | Model.Gaussian { var; mean; stddev } ->
+                    emit (Ops.gaussian b ~evidence:feature.(var) ~mean ~stddev)
+                | Model.Categorical { var; probs } ->
+                    emit
+                      (Ops.categorical b ~index:feature.(var)
+                         ~probabilities:probs)
+                | Model.Histogram { var; breaks; densities } ->
+                    emit (Ops.histogram b ~index:feature.(var) ~breaks ~densities)
+              in
+              Hashtbl.replace translated n.Model.id v;
+              v
+        in
+        let root_value = go model.Model.root in
+        let root_op = Ops.root b ~value:root_value in
+        List.rev (root_op :: !ops_rev))
+  in
+  let graph_op = Ops.graph b ~num_features ~body in
+  let query_op =
+    Ops.joint_query b ~num_features ~batch_size:query.batch_size
+      ~input_type:query.input_type ~support_marginal:query.support_marginal
+      ~graph_op
+  in
+  Builder.modul ~name:model.Model.name [ query_op ]

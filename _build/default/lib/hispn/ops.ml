@@ -1,0 +1,198 @@
+(** The HiSPN dialect (paper §III-A, Table I).
+
+    HiSPN captures query and SPN-DAG structure at SPFlow's level of
+    abstraction.  The DAG lives inside the single region of a
+    [hi_spn.graph] op, whose block arguments are the feature values; the
+    graph sits inside the single region of a query op
+    ([hi_spn.joint_query]) that carries batch size, feature count, input
+    type and marginalization support as attributes.  All node results use
+    the abstract [!hi_spn.probability] type — the concrete computation
+    type is chosen only during lowering to LoSPN. *)
+
+open Spnc_mlir
+
+let dialect = "hi_spn"
+
+(* Operation names *)
+let joint_query_name = "hi_spn.joint_query"
+let graph_name = "hi_spn.graph"
+let root_name = "hi_spn.root"
+let sum_name = "hi_spn.sum"
+let product_name = "hi_spn.product"
+let gaussian_name = "hi_spn.gaussian"
+let categorical_name = "hi_spn.categorical"
+let histogram_name = "hi_spn.histogram"
+
+(* -- Builders -------------------------------------------------------------- *)
+
+let sum b ~operands ~weights =
+  Builder.op b sum_name ~operands ~results:[ Types.Prob ]
+    ~attrs:[ ("weights", Attr.DenseF weights) ]
+    ()
+
+let product b ~operands =
+  Builder.op b product_name ~operands ~results:[ Types.Prob ] ()
+
+let gaussian b ~evidence ~mean ~stddev =
+  Builder.op b gaussian_name ~operands:[ evidence ] ~results:[ Types.Prob ]
+    ~attrs:[ ("mean", Attr.Float mean); ("stddev", Attr.Float stddev) ]
+    ()
+
+let categorical b ~index ~probabilities =
+  Builder.op b categorical_name ~operands:[ index ] ~results:[ Types.Prob ]
+    ~attrs:[ ("probabilities", Attr.DenseF probabilities) ]
+    ()
+
+let histogram b ~index ~breaks ~densities =
+  Builder.op b histogram_name ~operands:[ index ] ~results:[ Types.Prob ]
+    ~attrs:
+      [
+        ("buckets", Attr.Array (Array.to_list (Array.map (fun i -> Attr.Int i) breaks)));
+        ("bucketCount", Attr.Int (Array.length densities));
+        ("densities", Attr.DenseF densities);
+      ]
+    ()
+
+let root b ~value = Builder.op b root_name ~operands:[ value ] ()
+
+let graph b ~num_features ~body =
+  Builder.op b graph_name
+    ~attrs:[ ("numFeatures", Attr.Int num_features) ]
+    ~regions:[ Builder.region1 body ]
+    ()
+
+let joint_query b ~num_features ~batch_size ~input_type ~support_marginal
+    ~graph_op =
+  Builder.op b joint_query_name
+    ~attrs:
+      [
+        ("numFeatures", Attr.Int num_features);
+        ("batchSize", Attr.Int batch_size);
+        ("inputType", Attr.Type input_type);
+        ("supportMarginal", Attr.Bool support_marginal);
+      ]
+    ~regions:[ Builder.region1 { Ir.bargs = []; bops = [ graph_op ] } ]
+    ()
+
+(* -- Verifiers ------------------------------------------------------------- *)
+
+open Dialect
+
+let verify_sum (op : Ir.op) =
+  let* () = expect_min_operands op 1 in
+  let* () = expect_results op 1 in
+  let* weights = expect_dense_attr op "weights" in
+  let* () =
+    checkf
+      (Array.length weights = List.length op.Ir.operands)
+      "weights count %d does not match operand count %d" (Array.length weights)
+      (List.length op.Ir.operands)
+  in
+  let total = Array.fold_left ( +. ) 0.0 weights in
+  let* () =
+    checkf (Float.abs (total -. 1.0) <= 1e-5) "weights sum to %.9f, not 1.0" total
+  in
+  check
+    (List.for_all (fun (v : Ir.value) -> Types.equal v.Ir.vty Types.Prob) op.Ir.operands)
+    "sum operands must have probability type"
+
+let verify_product (op : Ir.op) =
+  let* () = expect_min_operands op 1 in
+  let* () = expect_results op 1 in
+  check
+    (List.for_all (fun (v : Ir.value) -> Types.equal v.Ir.vty Types.Prob) op.Ir.operands)
+    "product operands must have probability type"
+
+let verify_gaussian (op : Ir.op) =
+  let* () = expect_operands op 1 in
+  let* () = expect_results op 1 in
+  let* _ = expect_attr op "mean" in
+  let* a = expect_attr op "stddev" in
+  match Attr.as_float a with
+  | Some s when s > 0.0 -> Ok ()
+  | Some s -> Error (Printf.sprintf "gaussian stddev %g must be positive" s)
+  | None -> Error "gaussian stddev must be a float"
+
+let verify_categorical (op : Ir.op) =
+  let* () = expect_operands op 1 in
+  let* () = expect_results op 1 in
+  let* probs = expect_dense_attr op "probabilities" in
+  checkf
+    (Float.abs (Array.fold_left ( +. ) 0.0 probs -. 1.0) <= 1e-5)
+    "categorical probabilities must sum to 1"
+
+let verify_histogram (op : Ir.op) =
+  let* () = expect_operands op 1 in
+  let* () = expect_results op 1 in
+  let* n = expect_int_attr op "bucketCount" in
+  let* densities = expect_dense_attr op "densities" in
+  let* () =
+    checkf (Array.length densities = n) "bucketCount %d but %d densities" n
+      (Array.length densities)
+  in
+  let* bks = expect_attr op "buckets" in
+  match Attr.as_array bks with
+  | Some l ->
+      checkf (List.length l = n + 1) "buckets must have bucketCount+1 entries"
+  | None -> Error "buckets must be an array attribute"
+
+let verify_root (op : Ir.op) =
+  let* () = expect_operands op 1 in
+  expect_results op 0
+
+let verify_graph (op : Ir.op) =
+  let* () = expect_regions op 1 in
+  let* nf = expect_int_attr op "numFeatures" in
+  match Ir.entry_block op with
+  | Some blk ->
+      let* () =
+        checkf
+          (List.length blk.Ir.bargs = nf)
+          "graph block must have %d feature arguments, has %d" nf
+          (List.length blk.Ir.bargs)
+      in
+      let roots =
+        List.filter (fun (o : Ir.op) -> o.Ir.name = root_name) blk.Ir.bops
+      in
+      checkf (List.length roots = 1) "graph must contain exactly one hi_spn.root"
+  | None -> Error "graph region must have an entry block"
+
+let verify_joint_query (op : Ir.op) =
+  let* () = expect_regions op 1 in
+  let* _ = expect_int_attr op "numFeatures" in
+  let* _ = expect_int_attr op "batchSize" in
+  let* _ = expect_attr op "inputType" in
+  let graphs =
+    List.filter (fun (o : Ir.op) -> o.Ir.name = graph_name) (Ir.single_region_ops op)
+  in
+  checkf (List.length graphs = 1) "query must contain exactly one hi_spn.graph"
+
+(* -- Canonicalization patterns (paper §IV-A2) ------------------------------ *)
+
+(* A sum or product with a single operand computes the identity (for sums,
+   once weights are normalized the single weight is 1), so forward the
+   operand. *)
+let canon_single_operand _b (op : Ir.op) =
+  match op.Ir.operands with
+  | [ single ] ->
+      if op.Ir.name = product_name then Some ([], [ single ])
+      else (
+        match Ir.dense_attr op "weights" with
+        | Some [| w |] when Float.abs (w -. 1.0) <= 1e-9 -> Some ([], [ single ])
+        | _ -> None)
+  | _ -> None
+
+(** [register ()] installs the dialect into the global registry;
+    idempotent. *)
+let register () =
+  register_simple ~pure:true ~canon:canon_single_operand sum_name verify_sum;
+  register_simple ~pure:true ~canon:canon_single_operand product_name
+    verify_product;
+  register_simple ~pure:true gaussian_name verify_gaussian;
+  register_simple ~pure:true categorical_name verify_categorical;
+  register_simple ~pure:true histogram_name verify_histogram;
+  register_simple root_name verify_root;
+  register_simple graph_name verify_graph;
+  register_simple joint_query_name verify_joint_query
+
+let () = register ()

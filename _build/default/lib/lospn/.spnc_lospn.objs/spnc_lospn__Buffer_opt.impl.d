@@ -1,0 +1,1 @@
+lib/lospn/buffer_opt.ml: Hashtbl Ir List Ops Option Spnc_mlir

@@ -1,0 +1,1 @@
+lib/lospn/buffer_opt.mli: Ir Spnc_mlir

@@ -1,0 +1,1 @@
+lib/lospn/bufferize.ml: Attr Builder Hashtbl Ir List Ops Option Spnc_mlir Types

@@ -1,0 +1,1 @@
+lib/lospn/bufferize.mli: Ir Spnc_mlir

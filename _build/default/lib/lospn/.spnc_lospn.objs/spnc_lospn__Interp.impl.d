@@ -1,0 +1,1 @@
+lib/lospn/interp.ml: Array Attr Float Fmt Hashtbl Ir List Option Spnc_mlir Spnc_spn Types

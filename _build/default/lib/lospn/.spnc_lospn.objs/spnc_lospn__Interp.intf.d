@@ -1,0 +1,1 @@
+lib/lospn/interp.mli: Ir Spnc_mlir

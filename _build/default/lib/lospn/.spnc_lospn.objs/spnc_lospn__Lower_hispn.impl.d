@@ -1,0 +1,1 @@
+lib/lospn/lower_hispn.ml: Array Attr Builder Float Hashtbl Ir List Ops Option Spnc_mlir Types

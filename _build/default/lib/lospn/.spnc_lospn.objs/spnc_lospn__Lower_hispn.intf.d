@@ -1,0 +1,1 @@
+lib/lospn/lower_hispn.mli: Ir Spnc_mlir Types

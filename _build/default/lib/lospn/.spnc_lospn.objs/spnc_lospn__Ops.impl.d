@@ -1,0 +1,1 @@
+lib/lospn/ops.ml: Array Attr Builder Dialect Float Hashtbl Ir List Option Spnc_mlir Types

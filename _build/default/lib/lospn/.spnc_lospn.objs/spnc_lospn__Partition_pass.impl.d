@@ -1,0 +1,1 @@
+lib/lospn/partition_pass.ml: Array Builder Hashtbl Ir List Ops Option Spnc_mlir Spnc_partition Types

@@ -1,0 +1,1 @@
+lib/lospn/partition_pass.mli: Ir Spnc_mlir

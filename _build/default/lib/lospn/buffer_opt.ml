@@ -1,0 +1,130 @@
+(** Buffer-copy optimization after bufferization (paper §IV-A5):
+    avoid copying an intermediate result buffer into the kernel's output
+    buffer by making the producing task write to the output directly.
+
+    Pattern: [%buf = alloc; task(..., %buf); copy(%buf, %out); dealloc %buf]
+    where [%out] is a kernel block argument and [%buf] has no other
+    consumer → rewrite the task to use [%out], drop alloc/copy/dealloc.
+
+    Additionally re-schedules [dealloc]s to sit immediately after the last
+    use of each remaining intermediate buffer (BufferDeallocation). *)
+
+open Spnc_mlir
+
+let run (m : Ir.modul) : Ir.modul =
+  let rewrite_kernel (kernel : Ir.op) : Ir.op =
+    let kb = Option.get (Ir.entry_block kernel) in
+    let ops = kb.Ir.bops in
+    (* find copy ops whose destination is a kernel block arg *)
+    let arg_ids =
+      List.map (fun (v : Ir.value) -> v.Ir.vid) kb.Ir.bargs
+    in
+    let copies =
+      List.filter
+        (fun (o : Ir.op) ->
+          o.Ir.name = Ops.copy_name
+          && List.mem (Ir.operand_n o 1).Ir.vid arg_ids)
+        ops
+    in
+    (* count uses of each value among tasks (excluding copy/dealloc) *)
+    let use_count = Hashtbl.create 16 in
+    List.iter
+      (fun (o : Ir.op) ->
+        if o.Ir.name = Ops.task_name then
+          List.iter
+            (fun (v : Ir.value) ->
+              Hashtbl.replace use_count v.Ir.vid
+                (1 + Option.value ~default:0 (Hashtbl.find_opt use_count v.Ir.vid)))
+            o.Ir.operands)
+      ops;
+    (* buffers to forward: src of an eligible copy, used by exactly one
+       task (as its output) *)
+    let forward : (int, Ir.value) Hashtbl.t = Hashtbl.create 4 in
+    List.iter
+      (fun (c : Ir.op) ->
+        let src = Ir.operand_n c 0 and dst = Ir.operand_n c 1 in
+        if Option.value ~default:0 (Hashtbl.find_opt use_count src.Ir.vid) = 1
+        then Hashtbl.replace forward src.Ir.vid dst)
+      copies;
+    let substituted =
+      List.filter_map
+        (fun (o : Ir.op) ->
+          if o.Ir.name = Ops.alloc_name && Hashtbl.mem forward (Ir.result o).Ir.vid
+          then None
+          else if
+            o.Ir.name = Ops.copy_name && Hashtbl.mem forward (Ir.operand_n o 0).Ir.vid
+          then None
+          else if
+            o.Ir.name = Ops.dealloc_name
+            && Hashtbl.mem forward (Ir.operand_n o 0).Ir.vid
+          then None
+          else if o.Ir.name = Ops.task_name then
+            Some
+              {
+                o with
+                Ir.operands =
+                  List.map
+                    (fun (v : Ir.value) ->
+                      (* forwarding changes the buffer a task writes; the
+                         region's output block arg keeps its type (same
+                         shape), so only the operand changes *)
+                      Option.value ~default:v (Hashtbl.find_opt forward v.Ir.vid))
+                    o.Ir.operands;
+              }
+          else Some o)
+        ops
+    in
+    (* BufferDeallocation: move each dealloc right after the last task that
+       uses its buffer *)
+    let deallocs, rest =
+      List.partition (fun (o : Ir.op) -> o.Ir.name = Ops.dealloc_name) substituted
+    in
+    let last_use = Hashtbl.create 8 in
+    List.iteri
+      (fun i (o : Ir.op) ->
+        if o.Ir.name = Ops.task_name || o.Ir.name = Ops.copy_name then
+          List.iter
+            (fun (v : Ir.value) -> Hashtbl.replace last_use v.Ir.vid i)
+            o.Ir.operands)
+      rest;
+    let scheduled = ref [] in
+    List.iteri
+      (fun i (o : Ir.op) ->
+        scheduled := o :: !scheduled;
+        List.iter
+          (fun (d : Ir.op) ->
+            let buf = Ir.operand_n d 0 in
+            if Hashtbl.find_opt last_use buf.Ir.vid = Some i then
+              scheduled := d :: !scheduled)
+          deallocs)
+      rest;
+    (* deallocs whose buffer has no use at all: emit before the return *)
+    let emitted =
+      List.concat_map
+        (fun (o : Ir.op) ->
+          if o.Ir.name = Ops.dealloc_name then [ (Ir.operand_n o 0).Ir.vid ] else [])
+        !scheduled
+    in
+    let unscheduled =
+      List.filter
+        (fun (d : Ir.op) -> not (List.mem (Ir.operand_n d 0).Ir.vid emitted))
+        deallocs
+    in
+    let final_ops =
+      let rev = !scheduled in
+      (* insert unscheduled deallocs before the trailing return *)
+      match rev with
+      | ret :: tl when ret.Ir.name = Ops.return_name ->
+          List.rev (ret :: List.rev_append (List.rev unscheduled) tl)
+      | _ -> List.rev (List.rev_append (List.rev unscheduled) rev)
+    in
+    { kernel with Ir.regions = [ { Ir.blocks = [ { kb with Ir.bops = final_ops } ] } ] }
+  in
+  {
+    m with
+    Ir.mops =
+      List.map
+        (fun (op : Ir.op) ->
+          if op.Ir.name = Ops.kernel_name then rewrite_kernel op else op)
+        m.Ir.mops;
+  }

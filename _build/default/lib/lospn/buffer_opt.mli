@@ -1,0 +1,9 @@
+(** Buffer-copy optimization after bufferization (paper §IV-A5): make the
+    final task write directly to the kernel's output buffer instead of
+    copying an intermediate, and re-schedule deallocations to sit
+    immediately after each buffer's last use (the BufferDeallocation
+    equivalent). *)
+
+open Spnc_mlir
+
+val run : Ir.modul -> Ir.modul

@@ -1,0 +1,166 @@
+(** Bufferization (paper §IV-A5): replace value-semantics [tensor]s by
+    [memref] buffers.
+
+    The kernel signature changes from [(tensor in) -> tensor out] to
+    [(memref in, memref out) -> ()]: results become writes into buffers
+    supplied as output arguments.  Each task gets its output buffer
+    appended as its last operand (recorded in the ["numInputs"] attribute);
+    [batch_extract]/[batch_collect] become [batch_read]/[batch_write].
+
+    This pass is deliberately naive about the final result: it allocates
+    an intermediate buffer for the last task and copies it into the kernel
+    output argument.  {!Buffer_opt} removes that copy by writing directly
+    to the output — the paper's "write directly to the final output buffer
+    of the Kernel instead of copying an intermediate result buffer".
+    Buffer deallocation (the MLIR [BufferDeallocation] equivalent) inserts
+    [lo_spn.dealloc] after each intermediate buffer's last use. *)
+
+open Spnc_mlir
+
+let memref_of_tensor (t : Types.t) =
+  match t with Types.Tensor (d, e) -> Types.MemRef (d, e) | t -> t
+
+(** [run m] bufferizes every kernel of [m]. *)
+let run (m : Ir.modul) : Ir.modul =
+  let b = Builder.seed_from m in
+  let rewrite_kernel (kernel : Ir.op) : Ir.op =
+    let kb = Option.get (Ir.entry_block kernel) in
+    let tasks = List.filter (fun (o : Ir.op) -> o.Ir.name = Ops.task_name) kb.Ir.bops in
+    let ret =
+      match
+        List.find_opt (fun (o : Ir.op) -> o.Ir.name = Ops.return_name) kb.Ir.bops
+      with
+      | Some r -> r
+      | None -> invalid_arg "bufferize: kernel has no return"
+    in
+    let result_value =
+      match ret.Ir.operands with
+      | [ v ] -> v
+      | _ -> invalid_arg "bufferize: kernel must return exactly one tensor"
+    in
+    (* new kernel block arguments: bufferized originals + output memref *)
+    let new_args =
+      List.map
+        (fun (v : Ir.value) -> Builder.fresh b (memref_of_tensor v.Ir.vty))
+        kb.Ir.bargs
+    in
+    let out_arg = Builder.fresh b (memref_of_tensor result_value.Ir.vty) in
+    (* tensor value -> memref value *)
+    let buffer_of : (int, Ir.value) Hashtbl.t = Hashtbl.create 16 in
+    List.iter2
+      (fun (old_arg : Ir.value) new_arg ->
+        Hashtbl.replace buffer_of old_arg.Ir.vid new_arg)
+      kb.Ir.bargs new_args;
+    let new_ops = ref [] in
+    let emit op = new_ops := op :: !new_ops in
+    let allocated = ref [] in
+    List.iter
+      (fun (task : Ir.op) ->
+        (* allocate the buffer this task writes *)
+        let task_result = Ir.result task in
+        let buf_ty = memref_of_tensor task_result.Ir.vty in
+        let alloc = Ops.alloc b ~ty:buf_ty in
+        emit alloc;
+        allocated := Ir.result alloc :: !allocated;
+        Hashtbl.replace buffer_of task_result.Ir.vid (Ir.result alloc);
+        (* rewrite the task *)
+        let in_bufs =
+          List.map
+            (fun (v : Ir.value) ->
+              match Hashtbl.find_opt buffer_of v.Ir.vid with
+              | Some m -> m
+              | None -> invalid_arg "bufferize: task input has no buffer")
+            task.Ir.operands
+        in
+        let operands = in_bufs @ [ Ir.result alloc ] in
+        let tb = Option.get (Ir.entry_block task) in
+        (* new block args: index, memref per input, output memref *)
+        let idx_arg = Builder.fresh b Types.Index in
+        let in_args =
+          List.map
+            (fun (v : Ir.value) -> Builder.fresh b (memref_of_tensor v.Ir.vty))
+            task.Ir.operands
+        in
+        let out_barg = Builder.fresh b buf_ty in
+        (* value substitution inside the task region *)
+        let subst_tbl : (int, Ir.value) Hashtbl.t = Hashtbl.create 32 in
+        (match tb.Ir.bargs with
+        | old_idx :: old_ins ->
+            Hashtbl.replace subst_tbl old_idx.Ir.vid idx_arg;
+            List.iter2
+              (fun (o : Ir.value) n -> Hashtbl.replace subst_tbl o.Ir.vid n)
+              old_ins in_args
+        | [] -> invalid_arg "bufferize: task block has no args");
+        let subst (v : Ir.value) =
+          match Hashtbl.find_opt subst_tbl v.Ir.vid with
+          | Some v' -> v'
+          | None -> v
+        in
+        let body_ops =
+          List.concat_map
+            (fun (o : Ir.op) ->
+              if o.Ir.name = Ops.batch_extract_name then begin
+                let read =
+                  Builder.op b Ops.batch_read_name
+                    ~operands:(List.map subst o.Ir.operands)
+                    ~results:(List.map (fun (r : Ir.value) -> r.Ir.vty) o.Ir.results)
+                    ~attrs:o.Ir.attrs ()
+                in
+                Hashtbl.replace subst_tbl (Ir.result o).Ir.vid (Ir.result read);
+                [ read ]
+              end
+              else if o.Ir.name = Ops.batch_collect_name then
+                match o.Ir.operands with
+                | batch_index :: values ->
+                    [
+                      Ops.batch_write b ~memref:out_barg
+                        ~batch_index:(subst batch_index)
+                        ~values:(List.map subst values)
+                        ~transposed:
+                          (Option.value ~default:false (Ir.bool_attr o "transposed"));
+                    ]
+                | [] -> []
+              else if o.Ir.name = Ops.yield_name then []
+              else
+                (* ops with regions (lo_spn.body) only capture per-sample
+                   scalars, never tensors: substitute operands, keep
+                   regions as-is *)
+                [ { o with Ir.operands = List.map subst o.Ir.operands } ])
+            tb.Ir.bops
+        in
+        let new_task =
+          Builder.op b Ops.task_name ~operands
+            ~attrs:
+              [
+                ( "batchSize",
+                  Attr.Int (Option.value ~default:0 (Ir.int_attr task "batchSize")) );
+                ("numInputs", Attr.Int (List.length in_bufs));
+              ]
+            ~regions:
+              [
+                Builder.region1
+                  { Ir.bargs = (idx_arg :: in_args) @ [ out_barg ]; bops = body_ops };
+              ]
+            ()
+        in
+        emit new_task)
+      tasks;
+    (* copy the last task's buffer to the kernel output, then deallocate
+       all intermediates (naive; Buffer_opt cleans this up) *)
+    let final_buf = Hashtbl.find buffer_of result_value.Ir.vid in
+    emit (Ops.copy b ~src:final_buf ~dst:out_arg);
+    List.iter (fun buf -> emit (Ops.dealloc b ~memref:buf)) !allocated;
+    emit (Ops.return_ b ~values:[]);
+    Ops.kernel b
+      ~sym_name:(Option.value ~default:"spn_kernel" (Ir.string_attr kernel "sym_name"))
+      ~result_tys:[]
+      ~body_block:{ Ir.bargs = new_args @ [ out_arg ]; bops = List.rev !new_ops }
+  in
+  {
+    m with
+    Ir.mops =
+      List.map
+        (fun (op : Ir.op) ->
+          if op.Ir.name = Ops.kernel_name then rewrite_kernel op else op)
+        m.Ir.mops;
+  }

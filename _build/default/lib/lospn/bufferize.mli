@@ -1,0 +1,12 @@
+(** Bufferization (paper §IV-A5): replace value-semantics [tensor]s by
+    [memref] buffers.  The kernel signature changes from
+    [(tensor in) -> tensor out] to [(memref in, memref out) -> ()]; each
+    task gets its output buffer appended as its last operand (recorded in
+    ["numInputs"]); accesses become [batch_read]/[batch_write].
+
+    Deliberately naive about the final result (allocate + copy into the
+    output argument); {!Buffer_opt} removes the copy. *)
+
+open Spnc_mlir
+
+val run : Ir.modul -> Ir.modul

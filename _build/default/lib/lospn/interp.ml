@@ -1,0 +1,234 @@
+(** Reference interpreter for bufferized LoSPN modules.
+
+    Used by the test suite to check, {e before} any target-specific
+    lowering, that the target-independent pipeline (HiSPN translation,
+    lowering, partitioning, bufferization, buffer optimization) preserves
+    the semantics of the model: interpreting the kernel must match
+    {!Spnc_spn.Infer} on every sample.
+
+    Value conventions: a value of type [!lo_spn.log<T>] holds the
+    log-probability as an ordinary float; marginalized evidence is NaN. *)
+
+open Spnc_mlir
+
+(** A runtime buffer: flat storage plus the two logical dimensions.
+    [rows] is the dynamic batch dimension, [cols] the static one;
+    accesses honour the [transposed] attribute of the access op. *)
+type buffer = { data : float array; rows : int; cols : int }
+
+let create_buffer ~rows ~cols = { data = Array.make (rows * cols) 0.0; rows; cols }
+
+let buf_index buf ~transposed ~sample ~slot =
+  if transposed then (slot * buf.rows) + sample else (sample * buf.cols) + slot
+
+exception Runtime_error of string
+
+let fail fmt = Fmt.kstr (fun s -> raise (Runtime_error s)) fmt
+
+type env = {
+  values : (int, float) Hashtbl.t;  (** scalar SSA values *)
+  buffers : (int, buffer) Hashtbl.t;  (** memref SSA values *)
+}
+
+let scalar env (v : Ir.value) =
+  match Hashtbl.find_opt env.values v.Ir.vid with
+  | Some f -> f
+  | None -> fail "undefined scalar value %%%d" v.Ir.vid
+
+let buffer env (v : Ir.value) =
+  match Hashtbl.find_opt env.buffers v.Ir.vid with
+  | Some b -> b
+  | None -> fail "undefined buffer value %%%d" v.Ir.vid
+
+let is_log_type (t : Types.t) = match t with Types.Log _ -> true | _ -> false
+
+let set env (v : Ir.value) f = Hashtbl.replace env.values v.Ir.vid f
+
+(* Evaluate the leaf distributions; semantics match Spnc_spn.Infer. *)
+
+let eval_gaussian ~is_log ~mean ~stddev ~marginal x =
+  if marginal && Float.is_nan x then if is_log then 0.0 else 1.0
+  else
+    let lp = Spnc_spn.Infer.gaussian_logpdf ~mean ~stddev x in
+    if is_log then lp else exp lp
+
+let eval_categorical ~is_log ~(probs : float array) ~marginal x =
+  if marginal && Float.is_nan x then if is_log then 0.0 else 1.0
+  else
+    let i = int_of_float (Float.round x) in
+    if i < 0 || i >= Array.length probs then
+      if is_log then Float.neg_infinity else 0.0
+    else probs.(i)
+
+let eval_histogram ~is_log ~(breaks : int array) ~(densities : float array)
+    ~marginal x =
+  if marginal && Float.is_nan x then (if is_log then 0.0 else 1.0)
+  else begin
+    let i = int_of_float (Float.floor x) in
+    let n = Array.length densities in
+    let rec find k =
+      if k >= n then if is_log then Float.neg_infinity else 0.0
+      else if i >= breaks.(k) && i < breaks.(k + 1) then densities.(k)
+      else find (k + 1)
+    in
+    find 0
+  end
+
+let rec exec_ops env ~sample (ops : Ir.op list) : unit =
+  List.iter (exec_op env ~sample) ops
+
+and exec_op env ~sample (op : Ir.op) : unit =
+  match op.Ir.name with
+  | "lo_spn.constant" ->
+      set env (Ir.result op) (Option.get (Ir.float_attr op "value"))
+  | "lo_spn.mul" ->
+      let a = scalar env (Ir.operand_n op 0)
+      and b = scalar env (Ir.operand_n op 1) in
+      let r = Ir.result op in
+      set env r (if is_log_type r.Ir.vty then a +. b else a *. b)
+  | "lo_spn.add" ->
+      let a = scalar env (Ir.operand_n op 0)
+      and b = scalar env (Ir.operand_n op 1) in
+      let r = Ir.result op in
+      set env r
+        (if is_log_type r.Ir.vty then Spnc_spn.Infer.log_sum_exp a b
+         else a +. b)
+  | "lo_spn.gaussian" ->
+      let x = scalar env (Ir.operand_n op 0) in
+      let r = Ir.result op in
+      set env r
+        (eval_gaussian ~is_log:(is_log_type r.Ir.vty)
+           ~mean:(Option.get (Ir.float_attr op "mean"))
+           ~stddev:(Option.get (Ir.float_attr op "stddev"))
+           ~marginal:(Option.value ~default:false (Ir.bool_attr op "supportMarginal"))
+           x)
+  | "lo_spn.categorical" ->
+      let x = scalar env (Ir.operand_n op 0) in
+      let r = Ir.result op in
+      set env r
+        (eval_categorical ~is_log:(is_log_type r.Ir.vty)
+           ~probs:(Option.get (Ir.dense_attr op "probabilities"))
+           ~marginal:(Option.value ~default:false (Ir.bool_attr op "supportMarginal"))
+           x)
+  | "lo_spn.histogram" ->
+      let x = scalar env (Ir.operand_n op 0) in
+      let r = Ir.result op in
+      let breaks =
+        match Ir.attr op "buckets" with
+        | Some (Attr.Array l) ->
+            Array.of_list (List.map (fun a -> Option.get (Attr.as_int a)) l)
+        | _ -> [||]
+      in
+      set env r
+        (eval_histogram ~is_log:(is_log_type r.Ir.vty) ~breaks
+           ~densities:(Option.get (Ir.dense_attr op "densities"))
+           ~marginal:(Option.value ~default:false (Ir.bool_attr op "supportMarginal"))
+           x)
+  | "lo_spn.batch_read" ->
+      let buf = buffer env (Ir.operand_n op 0) in
+      let transposed = Option.value ~default:false (Ir.bool_attr op "transposed") in
+      let slot = Option.get (Ir.int_attr op "staticIndex") in
+      set env (Ir.result op) buf.data.(buf_index buf ~transposed ~sample ~slot)
+  | "lo_spn.batch_write" -> (
+      match op.Ir.operands with
+      | memref :: _batch_index :: values ->
+          let buf = buffer env memref in
+          let transposed =
+            Option.value ~default:false (Ir.bool_attr op "transposed")
+          in
+          List.iteri
+            (fun slot v ->
+              buf.data.(buf_index buf ~transposed ~sample ~slot) <- scalar env v)
+            values
+      | _ -> fail "malformed batch_write")
+  | "lo_spn.body" -> (
+      let blk = Option.get (Ir.entry_block op) in
+      List.iter2
+        (fun (barg : Ir.value) operand -> set env barg (scalar env operand))
+        blk.Ir.bargs op.Ir.operands;
+      exec_ops env ~sample
+        (List.filter (fun (o : Ir.op) -> o.Ir.name <> "lo_spn.yield") blk.Ir.bops);
+      match
+        List.find_opt (fun (o : Ir.op) -> o.Ir.name = "lo_spn.yield") blk.Ir.bops
+      with
+      | Some y ->
+          List.iter2
+            (fun (r : Ir.value) (v : Ir.value) -> set env r (scalar env v))
+            op.Ir.results y.Ir.operands
+      | None -> fail "body without yield")
+  | "lo_spn.yield" -> ()
+  | other -> fail "interp: unsupported op inside task: %s" other
+
+(** [run_kernel m ~inputs ~rows ~out_cols] executes the (bufferized)
+    kernel of module [m].  [inputs] supplies one float array per kernel
+    input argument (row-major, transposed=false); the function allocates
+    and returns the output buffer. *)
+let run_kernel (m : Ir.modul) ~(inputs : float array list) ~(rows : int) :
+    float array =
+  let kernel =
+    match
+      List.find_opt (fun (o : Ir.op) -> o.Ir.name = "lo_spn.kernel") m.Ir.mops
+    with
+    | Some k -> k
+    | None -> fail "module has no lo_spn.kernel"
+  in
+  let kb = Option.get (Ir.entry_block kernel) in
+  let env = { values = Hashtbl.create 1024; buffers = Hashtbl.create 16 } in
+  let n_args = List.length kb.Ir.bargs in
+  if List.length inputs <> n_args - 1 then
+    fail "kernel expects %d input buffers, got %d" (n_args - 1)
+      (List.length inputs);
+  let cols_of (v : Ir.value) =
+    match v.Ir.vty with
+    | Types.MemRef ([ _; Some c ], _) -> c
+    | Types.MemRef ([ Some c; _ ], _) -> c
+    | _ -> 1
+  in
+  (* bind inputs; the last kernel arg is the output buffer *)
+  let rec bind args ins =
+    match (args, ins) with
+    | [ out_arg ], [] ->
+        let buf = create_buffer ~rows ~cols:(cols_of out_arg) in
+        Hashtbl.replace env.buffers (out_arg : Ir.value).Ir.vid buf;
+        buf
+    | arg :: rest, data :: more ->
+        let cols = cols_of arg in
+        if Array.length data <> rows * cols then
+          fail "input buffer size %d does not match rows=%d cols=%d"
+            (Array.length data) rows cols;
+        Hashtbl.replace env.buffers (arg : Ir.value).Ir.vid
+          { data; rows; cols };
+        bind rest more
+    | _ -> fail "argument/input mismatch"
+  in
+  let out_buf = bind kb.Ir.bargs inputs in
+  (* execute kernel ops *)
+  List.iter
+    (fun (op : Ir.op) ->
+      match op.Ir.name with
+      | "lo_spn.alloc" ->
+          let r = Ir.result op in
+          let cols = cols_of r in
+          Hashtbl.replace env.buffers r.Ir.vid (create_buffer ~rows ~cols)
+      | "lo_spn.dealloc" -> ()
+      | "lo_spn.copy" ->
+          let src = buffer env (Ir.operand_n op 0) in
+          let dst = buffer env (Ir.operand_n op 1) in
+          Array.blit src.data 0 dst.data 0 (Array.length src.data)
+      | "lo_spn.return" -> ()
+      | "lo_spn.task" ->
+          let tb = Option.get (Ir.entry_block op) in
+          (* bind block args: index is set per sample; buffers now *)
+          (match tb.Ir.bargs with
+          | _idx :: buf_args ->
+              List.iter2
+                (fun (barg : Ir.value) operand ->
+                  Hashtbl.replace env.buffers barg.Ir.vid (buffer env operand))
+                buf_args op.Ir.operands
+          | [] -> fail "task block without args");
+          for sample = 0 to rows - 1 do
+            exec_ops env ~sample tb.Ir.bops
+          done
+      | other -> fail "interp: unsupported op inside kernel: %s" other)
+    kb.Ir.bops;
+  out_buf.data

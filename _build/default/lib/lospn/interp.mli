@@ -1,0 +1,26 @@
+(** Reference interpreter for bufferized LoSPN modules — checks, before
+    any target-specific lowering, that the target-independent pipeline
+    preserves the model's semantics.
+
+    Conventions: a value of type [!lo_spn.log<T>] holds the
+    log-probability as an ordinary float; marginalized evidence is NaN;
+    buffers with [transposed] accesses are slot-major. *)
+
+open Spnc_mlir
+
+type buffer = { data : float array; rows : int; cols : int }
+
+val create_buffer : rows:int -> cols:int -> buffer
+
+(** [buf_index buf ~transposed ~sample ~slot] — the linear index of one
+    element under the chosen layout. *)
+val buf_index : buffer -> transposed:bool -> sample:int -> slot:int -> int
+
+exception Runtime_error of string
+
+(** [run_kernel m ~inputs ~rows] executes the bufferized kernel of [m]:
+    one float array per input parameter (row-major), [rows] samples; the
+    output buffer is allocated and returned (transposed layout, so slot 0
+    occupies the first [rows] entries).
+    @raise Runtime_error on malformed modules or size mismatches. *)
+val run_kernel : Ir.modul -> inputs:float array list -> rows:int -> float array

@@ -1,0 +1,316 @@
+(** The LoSPN dialect (paper §III-B, Table II).
+
+    LoSPN represents the actual computation of a query:
+
+    - a [lo_spn.kernel] is the query entry point (function-like, one
+      region; its entry-block arguments are the kernel parameters);
+    - a [lo_spn.task] applies its region to every sample of a batch; the
+      entry block has a leading [index] argument (the batch index) followed
+      by one argument per task input;
+    - a [lo_spn.body] holds the per-sample arithmetic (sum/product leaves
+      decomposed to binary [lo_spn.add]/[lo_spn.mul]);
+    - [lo_spn.batch_extract]/[lo_spn.batch_read] access one feature of one
+      sample from a tensor/memref; [lo_spn.batch_collect]/
+      [lo_spn.batch_write] store per-sample results;
+    - computation happens in a concrete type CT — float, or the log-space
+      type [!lo_spn.log<f32>] that instructs later lowerings to emit
+      log-space arithmetic (§III-B).
+
+    Before bufferization, batches are [tensor]s and tasks return tensors;
+    after bufferization they are [memref]s passed as output arguments. *)
+
+open Spnc_mlir
+
+let dialect = "lo_spn"
+
+let kernel_name = "lo_spn.kernel"
+let task_name = "lo_spn.task"
+let body_name = "lo_spn.body"
+let batch_extract_name = "lo_spn.batch_extract"
+let batch_read_name = "lo_spn.batch_read"
+let batch_collect_name = "lo_spn.batch_collect"
+let batch_write_name = "lo_spn.batch_write"
+let mul_name = "lo_spn.mul"
+let add_name = "lo_spn.add"
+let gaussian_name = "lo_spn.gaussian"
+let categorical_name = "lo_spn.categorical"
+let histogram_name = "lo_spn.histogram"
+let constant_name = "lo_spn.constant"
+let yield_name = "lo_spn.yield"
+let return_name = "lo_spn.return"
+let alloc_name = "lo_spn.alloc"
+let dealloc_name = "lo_spn.dealloc"
+let copy_name = "lo_spn.copy"
+
+(* -- Builders -------------------------------------------------------------- *)
+
+let kernel b ~sym_name ~result_tys ~body_block =
+  Builder.op b kernel_name
+    ~attrs:
+      [
+        ("sym_name", Attr.String sym_name);
+        ( "function_type",
+          Attr.Type
+            (Types.Func
+               ( List.map (fun (v : Ir.value) -> v.Ir.vty) body_block.Ir.bargs,
+                 result_tys )) );
+      ]
+    ~regions:[ Builder.region1 body_block ]
+    ()
+
+let task b ~inputs ~batch_size ~result_tys ~body_block =
+  Builder.op b task_name ~operands:inputs ~results:result_tys
+    ~attrs:[ ("batchSize", Attr.Int batch_size) ]
+    ~regions:[ Builder.region1 body_block ]
+    ()
+
+let body b ~inputs ~result_tys ~body_block =
+  Builder.op b body_name ~operands:inputs ~results:result_tys
+    ~regions:[ Builder.region1 body_block ]
+    ()
+
+let batch_extract b ~tensor ~dynamic_index ~static_index ~transposed ~result_ty
+    =
+  Builder.op b batch_extract_name ~operands:[ tensor; dynamic_index ]
+    ~results:[ result_ty ]
+    ~attrs:
+      [
+        ("staticIndex", Attr.Int static_index);
+        ("transposed", Attr.Bool transposed);
+      ]
+    ()
+
+let batch_read b ~memref ~dynamic_index ~static_index ~transposed ~result_ty =
+  Builder.op b batch_read_name ~operands:[ memref; dynamic_index ]
+    ~results:[ result_ty ]
+    ~attrs:
+      [
+        ("staticIndex", Attr.Int static_index);
+        ("transposed", Attr.Bool transposed);
+      ]
+    ()
+
+let batch_collect b ~batch_index ~values ~transposed ~result_ty =
+  Builder.op b batch_collect_name
+    ~operands:(batch_index :: values)
+    ~results:[ result_ty ]
+    ~attrs:[ ("transposed", Attr.Bool transposed) ]
+    ()
+
+let batch_write b ~memref ~batch_index ~values ~transposed =
+  Builder.op b batch_write_name
+    ~operands:(memref :: batch_index :: values)
+    ~attrs:[ ("transposed", Attr.Bool transposed) ]
+    ()
+
+let mul b ~lhs ~rhs ~ty = Builder.op b mul_name ~operands:[ lhs; rhs ] ~results:[ ty ] ()
+let add b ~lhs ~rhs ~ty = Builder.op b add_name ~operands:[ lhs; rhs ] ~results:[ ty ] ()
+
+let constant b ~value ~ty =
+  Builder.op b constant_name ~results:[ ty ] ~attrs:[ ("value", Attr.Float value) ] ()
+
+let gaussian b ~evidence ~mean ~stddev ~support_marginal ~ty =
+  Builder.op b gaussian_name ~operands:[ evidence ] ~results:[ ty ]
+    ~attrs:
+      [
+        ("mean", Attr.Float mean);
+        ("stddev", Attr.Float stddev);
+        ("supportMarginal", Attr.Bool support_marginal);
+      ]
+    ()
+
+let categorical b ~index ~probabilities ~support_marginal ~ty =
+  Builder.op b categorical_name ~operands:[ index ] ~results:[ ty ]
+    ~attrs:
+      [
+        ("probabilities", Attr.DenseF probabilities);
+        ("supportMarginal", Attr.Bool support_marginal);
+      ]
+    ()
+
+let histogram b ~index ~breaks ~densities ~support_marginal ~ty =
+  Builder.op b histogram_name ~operands:[ index ] ~results:[ ty ]
+    ~attrs:
+      [
+        ( "buckets",
+          Attr.Array (Array.to_list (Array.map (fun i -> Attr.Int i) breaks)) );
+        ("bucketCount", Attr.Int (Array.length densities));
+        ("densities", Attr.DenseF densities);
+        ("supportMarginal", Attr.Bool support_marginal);
+      ]
+    ()
+
+let yield b ~values = Builder.op b yield_name ~operands:values ()
+let return_ b ~values = Builder.op b return_name ~operands:values ()
+
+let alloc b ~ty = Builder.op b alloc_name ~results:[ ty ] ()
+let dealloc b ~memref = Builder.op b dealloc_name ~operands:[ memref ] ()
+let copy b ~src ~dst = Builder.op b copy_name ~operands:[ src; dst ] ()
+
+(* -- Helpers --------------------------------------------------------------- *)
+
+(** [is_leaf_op op] — one of the three univariate distribution ops. *)
+let is_leaf_op (op : Ir.op) =
+  op.Ir.name = gaussian_name
+  || op.Ir.name = categorical_name
+  || op.Ir.name = histogram_name
+
+(** [is_arith_op op] — ops that may appear inside a body. *)
+let is_arith_op (op : Ir.op) =
+  is_leaf_op op
+  || op.Ir.name = mul_name
+  || op.Ir.name = add_name
+  || op.Ir.name = constant_name
+
+(* -- Verifiers ------------------------------------------------------------- *)
+
+open Dialect
+
+let computation_type (v : Ir.value) = Types.is_computation v.Ir.vty
+
+let verify_binary (op : Ir.op) =
+  let* () = expect_operands op 2 in
+  let* () = expect_results op 1 in
+  let l = Ir.operand_n op 0 and r = Ir.operand_n op 1 in
+  let* () =
+    checkf
+      (Types.equal l.Ir.vty r.Ir.vty)
+      "operand types differ: %s vs %s" (Types.to_string l.Ir.vty)
+      (Types.to_string r.Ir.vty)
+  in
+  check (computation_type l) "operands must have computation type"
+
+let verify_leaf (op : Ir.op) =
+  let* () = expect_operands op 1 in
+  expect_results op 1
+
+let verify_constant (op : Ir.op) =
+  let* () = expect_operands op 0 in
+  let* () = expect_results op 1 in
+  let* _ = expect_attr op "value" in
+  Ok ()
+
+let verify_kernel (op : Ir.op) =
+  let* () = expect_regions op 1 in
+  let* _ = expect_attr op "sym_name" in
+  let* _ = expect_attr op "function_type" in
+  Ok ()
+
+let verify_task (op : Ir.op) =
+  let* () = expect_regions op 1 in
+  let* _ = expect_int_attr op "batchSize" in
+  match Ir.entry_block op with
+  | Some blk ->
+      let* () =
+        checkf
+          (List.length blk.Ir.bargs = List.length op.Ir.operands + 1)
+          "task block must have batch-index arg plus one arg per input"
+      in
+      (match blk.Ir.bargs with
+      | idx :: _ ->
+          checkf (Types.equal idx.Ir.vty Types.Index)
+            "first task block arg must be the index-typed batch index"
+      | [] -> Error "task block has no arguments")
+  | None -> Error "task must have an entry block"
+
+let verify_body (op : Ir.op) =
+  let* () = expect_regions op 1 in
+  match Ir.entry_block op with
+  | Some blk ->
+      let* () =
+        checkf
+          (List.length blk.Ir.bargs = List.length op.Ir.operands)
+          "body block arguments must match operands"
+      in
+      let yields =
+        List.filter (fun (o : Ir.op) -> o.Ir.name = yield_name) blk.Ir.bops
+      in
+      let* () = checkf (List.length yields = 1) "body must contain exactly one yield" in
+      let y = List.hd yields in
+      checkf
+        (List.length y.Ir.operands = List.length op.Ir.results)
+        "yield arity must match body results"
+  | None -> Error "body must have an entry block"
+
+let verify_batch_access (op : Ir.op) =
+  let* () = expect_min_operands op 2 in
+  let container = Ir.operand_n op 0 in
+  let* _ = expect_int_attr op "staticIndex" in
+  check (Types.is_shaped container.Ir.vty)
+    "first operand must be a tensor or memref"
+
+let verify_batch_collect (op : Ir.op) =
+  let* () = expect_min_operands op 2 in
+  expect_results op 1
+
+let verify_batch_write (op : Ir.op) =
+  let* () = expect_min_operands op 3 in
+  let* () = expect_results op 0 in
+  let m = Ir.operand_n op 0 in
+  check
+    (match m.Ir.vty with Types.MemRef _ -> true | _ -> false)
+    "first operand of batch_write must be a memref"
+
+let verify_yield (op : Ir.op) = expect_results op 0
+let verify_return (op : Ir.op) = expect_results op 0
+
+let verify_alloc (op : Ir.op) =
+  let* () = expect_results op 1 in
+  check
+    (match (Ir.result op).Ir.vty with Types.MemRef _ -> true | _ -> false)
+    "alloc result must be a memref"
+
+let verify_dealloc (op : Ir.op) = expect_operands op 1
+let verify_copy (op : Ir.op) = expect_operands op 2
+
+(* -- Constant folding ------------------------------------------------------ *)
+
+(* Fold mul/add of two known constants.  In log space, [lo_spn.mul] is an
+   addition of log-values and [lo_spn.add] is log-sum-exp; the folder must
+   respect that semantics (paper §III-B). *)
+let fold_binary (op : Ir.op) (consts : (int, Attr.t) Hashtbl.t) =
+  let get (v : Ir.value) =
+    Option.bind (Hashtbl.find_opt consts v.Ir.vid) Attr.as_float
+  in
+  match (op.Ir.operands, op.Ir.results) with
+  | [ l; r ], [ res ] -> (
+      match (get l, get r) with
+      | Some a, Some b ->
+          let is_log = match res.Ir.vty with Types.Log _ -> true | _ -> false in
+          let value =
+            if op.Ir.name = mul_name then if is_log then a +. b else a *. b
+            else if is_log then
+              (* log-sum-exp *)
+              if a = Float.neg_infinity then b
+              else if b = Float.neg_infinity then a
+              else
+                let m = Float.max a b in
+                m +. log (exp (a -. m) +. exp (b -. m))
+            else a +. b
+          in
+          Some (Attr.Float value)
+      | _ -> None)
+  | _ -> None
+
+(** [register ()] installs the dialect; idempotent. *)
+let register () =
+  register_simple ~pure:true ~fold:fold_binary mul_name verify_binary;
+  register_simple ~pure:true ~fold:fold_binary add_name verify_binary;
+  register_simple ~pure:true gaussian_name verify_leaf;
+  register_simple ~pure:true categorical_name verify_leaf;
+  register_simple ~pure:true histogram_name verify_leaf;
+  register_simple ~pure:true constant_name verify_constant;
+  register_simple kernel_name verify_kernel;
+  register_simple task_name verify_task;
+  register_simple ~pure:true body_name verify_body;
+  register_simple ~pure:true batch_extract_name verify_batch_access;
+  register_simple batch_read_name verify_batch_access;
+  register_simple ~pure:true batch_collect_name verify_batch_collect;
+  register_simple batch_write_name verify_batch_write;
+  register_simple yield_name verify_yield;
+  register_simple return_name verify_return;
+  register_simple alloc_name verify_alloc;
+  register_simple dealloc_name verify_dealloc;
+  register_simple copy_name verify_copy
+
+let () = register ()

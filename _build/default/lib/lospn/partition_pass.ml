@@ -1,0 +1,430 @@
+(** LoSPN task partitioning (paper §IV-A4).
+
+    Splits a large [lo_spn.task] into several smaller, topologically
+    ordered tasks using the heuristic acyclic partitioner
+    ({!Spnc_partition.Partitioner}).  Cross-partition SSA values become
+    slots in the producing task's result tensor: the producer stores them
+    once via [batch_collect]; every consuming task loads them once via
+    [batch_extract] — this store-once/load-once behaviour is exactly the
+    partitioner's cost model.
+
+    [lo_spn.constant]s are not partitioned: they are rematerialized in
+    every partition that uses them (cheaper than a buffer round-trip). *)
+
+open Spnc_mlir
+module P = Spnc_partition.Partitioner
+module Dag = Spnc_partition.Dag
+
+type options = { max_partition_size : int; slack : float; refinement_passes : int }
+
+let default_options =
+  { max_partition_size = 10_000; slack = 0.01; refinement_passes = 4 }
+
+(* Description of one original task, destructured. *)
+type task_parts = {
+  batch_size : int;
+  input_tensor : Ir.value;  (** kernel-level input tensor *)
+  input_type : Types.t;
+  ct : Types.t;  (** computation type of the body *)
+  feature_of_body_arg : (int, int) Hashtbl.t;  (** body arg vid -> feature *)
+  body_ops : Ir.op list;
+  root_value : Ir.value;
+}
+
+let destructure_task (task : Ir.op) : task_parts =
+  let batch_size = Option.get (Ir.int_attr task "batchSize") in
+  let input_tensor = Ir.operand_n task 0 in
+  let task_block = Option.get (Ir.entry_block task) in
+  let extracts =
+    List.filter (fun (o : Ir.op) -> o.Ir.name = Ops.batch_extract_name)
+      task_block.Ir.bops
+  in
+  let body_op =
+    match
+      List.find_opt (fun (o : Ir.op) -> o.Ir.name = Ops.body_name) task_block.Ir.bops
+    with
+    | Some o -> o
+    | None -> invalid_arg "partition_pass: task has no lo_spn.body"
+  in
+  let body_block = Option.get (Ir.entry_block body_op) in
+  (* map body block args to feature indices via the extracts feeding the
+     body operands *)
+  let feature_of_extract = Hashtbl.create 32 in
+  List.iter
+    (fun (e : Ir.op) ->
+      Hashtbl.replace feature_of_extract (Ir.result e).Ir.vid
+        (Option.get (Ir.int_attr e "staticIndex")))
+    extracts;
+  let feature_of_body_arg = Hashtbl.create 32 in
+  List.iteri
+    (fun i (operand : Ir.value) ->
+      match Hashtbl.find_opt feature_of_extract operand.Ir.vid with
+      | Some f ->
+          let arg = List.nth body_block.Ir.bargs i in
+          Hashtbl.replace feature_of_body_arg arg.Ir.vid f
+      | None -> ())
+    body_op.Ir.operands;
+  let yield =
+    match
+      List.find_opt (fun (o : Ir.op) -> o.Ir.name = Ops.yield_name) body_block.Ir.bops
+    with
+    | Some y -> y
+    | None -> invalid_arg "partition_pass: body has no yield"
+  in
+  let input_type =
+    match input_tensor.Ir.vty with
+    | Types.Tensor (_, t) -> t
+    | _ -> Types.F32
+  in
+  let ct =
+    match (Ir.operand_n yield 0).Ir.vty with t -> t
+  in
+  {
+    batch_size;
+    input_tensor;
+    input_type;
+    ct;
+    feature_of_body_arg;
+    body_ops =
+      List.filter (fun (o : Ir.op) -> o.Ir.name <> Ops.yield_name) body_block.Ir.bops;
+    root_value = Ir.operand_n yield 0;
+  }
+
+(* Where an externally produced value consumed inside a partition comes
+   from ([None] from classify = locally produced or a constant). *)
+type source =
+  | Feature of int  (** a feature of the input batch *)
+  | Remote of int * int  (** producing partition, slot in its result tensor *)
+
+(** [run ?options m] partitions every oversized task of every kernel. *)
+let run ?(options = default_options) (m : Ir.modul) : Ir.modul =
+  let b = Builder.seed_from m in
+  let rewrite_kernel (kernel : Ir.op) : Ir.op =
+    let kernel_block = Option.get (Ir.entry_block kernel) in
+    let task =
+      match
+        List.find_opt (fun (o : Ir.op) -> o.Ir.name = Ops.task_name)
+          kernel_block.Ir.bops
+      with
+      | Some t -> t
+      | None -> invalid_arg "partition_pass: kernel has no task"
+    in
+    let tp = destructure_task task in
+    (* DAG over non-constant body ops *)
+    let countable =
+      List.filter (fun (o : Ir.op) -> o.Ir.name <> Ops.constant_name) tp.body_ops
+    in
+    let n = List.length countable in
+    if n <= options.max_partition_size then kernel
+    else begin
+      let node_ops = Array.of_list countable in
+      let index_of_result = Hashtbl.create n in
+      Array.iteri
+        (fun i (o : Ir.op) ->
+          List.iter
+            (fun (r : Ir.value) -> Hashtbl.replace index_of_result r.Ir.vid i)
+            o.Ir.results)
+        node_ops;
+      (* constants: producer op by result vid, for rematerialization *)
+      let constant_of = Hashtbl.create 16 in
+      List.iter
+        (fun (o : Ir.op) ->
+          if o.Ir.name = Ops.constant_name then
+            Hashtbl.replace constant_of (Ir.result o).Ir.vid o)
+        tp.body_ops;
+      let edges = ref [] in
+      Array.iteri
+        (fun i (o : Ir.op) ->
+          List.iter
+            (fun (v : Ir.value) ->
+              match Hashtbl.find_opt index_of_result v.Ir.vid with
+              | Some src when src <> i -> edges := (src, i) :: !edges
+              | _ -> ())
+            o.Ir.operands)
+        node_ops;
+      let dag = Dag.create ~num_nodes:n ~edges:!edges in
+      let part =
+        P.run
+          ~config:
+            {
+              P.default_config with
+              P.max_partition_size = options.max_partition_size;
+              slack = options.slack;
+              refinement_passes = options.refinement_passes;
+            }
+          dag
+      in
+      let groups = P.groups part in
+      let num_parts = part.P.num_partitions in
+      (* escaping values per partition: used by a later partition, or the
+         root value *)
+      let escapes = Array.make num_parts [] in
+      let escape_slot : (int, int * int) Hashtbl.t = Hashtbl.create 64 in
+      let add_escape pj (v : Ir.value) =
+        if not (Hashtbl.mem escape_slot v.Ir.vid) then begin
+          let slot = List.length escapes.(pj) in
+          escapes.(pj) <- escapes.(pj) @ [ v ];
+          Hashtbl.replace escape_slot v.Ir.vid (pj, slot)
+        end
+      in
+      (* the root escapes first, so the final result sits at slot 0 *)
+      (match Hashtbl.find_opt index_of_result tp.root_value.Ir.vid with
+      | Some root_node -> add_escape part.P.assignment.(root_node) tp.root_value
+      | None -> invalid_arg "partition_pass: root value not produced by a body op");
+      Array.iteri
+        (fun i (o : Ir.op) ->
+          let home = part.P.assignment.(i) in
+          List.iter
+            (fun (v : Ir.value) ->
+              match Hashtbl.find_opt index_of_result v.Ir.vid with
+              | Some src when part.P.assignment.(src) <> home ->
+                  add_escape part.P.assignment.(src) v
+              | _ -> ())
+            o.Ir.operands)
+        node_ops;
+      (* build one new task per partition, in partition order *)
+      let kernel_ops = ref [] in
+      (* result tensor value of each already-built partition task *)
+      let part_result : Ir.value option array = Array.make num_parts None in
+      let root_partition =
+        match Hashtbl.find_opt escape_slot tp.root_value.Ir.vid with
+        | Some (pj, _) -> pj
+        | None -> num_parts - 1
+      in
+      let new_input_tensor = ref tp.input_tensor in
+      (* original program order, for stable intra-partition ordering *)
+      let order_of = Hashtbl.create (List.length tp.body_ops) in
+      List.iteri
+        (fun pos (o : Ir.op) ->
+          List.iter
+            (fun (r : Ir.value) -> Hashtbl.replace order_of r.Ir.vid pos)
+            o.Ir.results)
+        tp.body_ops;
+      for pj = 0 to num_parts - 1 do
+        let nodes = groups.(pj) in
+        if nodes <> [] then begin
+          let part_ops = List.map (fun i -> node_ops.(i)) nodes in
+          let part_ops =
+            List.sort
+              (fun (a : Ir.op) (b : Ir.op) ->
+                compare
+                  (Hashtbl.find_opt order_of (Ir.result a).Ir.vid)
+                  (Hashtbl.find_opt order_of (Ir.result b).Ir.vid))
+              part_ops
+          in
+          (* classify every external operand *)
+          let classify (v : Ir.value) : source option =
+            match Hashtbl.find_opt tp.feature_of_body_arg v.Ir.vid with
+            | Some f -> Some (Feature f)
+            | None -> (
+                match Hashtbl.find_opt index_of_result v.Ir.vid with
+                | Some src ->
+                    if part.P.assignment.(src) = pj then None
+                    else
+                      let spj, slot = Hashtbl.find escape_slot v.Ir.vid in
+                      Some (Remote (spj, slot))
+                | None -> None (* constant; rematerialized below *))
+          in
+          let features = ref [] and remotes = ref [] in
+          List.iter
+            (fun (o : Ir.op) ->
+              List.iter
+                (fun v ->
+                  match classify v with
+                  | Some (Feature f) ->
+                      if not (List.mem f !features) then features := f :: !features
+                  | Some (Remote (spj, _)) ->
+                      if not (List.mem spj !remotes) then remotes := spj :: !remotes
+                  | _ -> ())
+                o.Ir.operands)
+            part_ops;
+          let features = List.sort compare !features in
+          let remotes = List.sort compare !remotes in
+          let needs_input = features <> [] in
+          let remote_tensors =
+            List.map (fun spj -> (spj, Option.get part_result.(spj))) remotes
+          in
+          let task_inputs =
+            (if needs_input then [ !new_input_tensor ] else [])
+            @ List.map snd remote_tensors
+          in
+          let my_escapes = escapes.(pj) in
+          let result_ty =
+            Types.Tensor ([ None; Some (List.length my_escapes) ], tp.ct)
+          in
+          let task_block =
+            Builder.block b
+              ~arg_tys:
+                (Types.Index
+                 :: List.map (fun (v : Ir.value) -> v.Ir.vty) task_inputs)
+              (fun args ->
+                let batch_index = List.hd args in
+                let tensors = List.tl args in
+                let input_arg, remote_args =
+                  if needs_input then (Some (List.hd tensors), List.tl tensors)
+                  else (None, tensors)
+                in
+                let remote_arg_of =
+                  List.map2 (fun (spj, _) arg -> (spj, arg)) remote_tensors
+                    remote_args
+                in
+                (* extracts for features and remote values *)
+                let pre_ops = ref [] in
+                let feature_value = Hashtbl.create 8 in
+                List.iter
+                  (fun f ->
+                    let ex =
+                      Ops.batch_extract b ~tensor:(Option.get input_arg)
+                        ~dynamic_index:batch_index ~static_index:f
+                        ~transposed:false ~result_ty:tp.input_type
+                    in
+                    pre_ops := ex :: !pre_ops;
+                    Hashtbl.replace feature_value f (Ir.result ex))
+                  features;
+                let remote_value = Hashtbl.create 8 in
+                List.iter
+                  (fun (o : Ir.op) ->
+                    List.iter
+                      (fun (v : Ir.value) ->
+                        match classify v with
+                        | Some (Remote (spj, slot))
+                          when not (Hashtbl.mem remote_value v.Ir.vid) ->
+                            let ex =
+                              Ops.batch_extract b
+                                ~tensor:(List.assoc spj remote_arg_of)
+                                ~dynamic_index:batch_index ~static_index:slot
+                                ~transposed:true ~result_ty:tp.ct
+                            in
+                            pre_ops := ex :: !pre_ops;
+                            Hashtbl.replace remote_value v.Ir.vid (Ir.result ex)
+                        | _ -> ())
+                      o.Ir.operands)
+                  part_ops;
+                let pre_ops = List.rev !pre_ops in
+                (* the body op: inputs are all extracted values, in order *)
+                let body_inputs = List.map Ir.result pre_ops in
+                let body_block =
+                  Builder.block b
+                    ~arg_tys:(List.map (fun (v : Ir.value) -> v.Ir.vty) body_inputs)
+                    (fun body_args ->
+                      (* env: original value id -> new body-local value;
+                         seeded from the feature/remote extract tables —
+                         body arg i corresponds to body_inputs.(i), the
+                         result of pre_ops.(i) *)
+                      let env = Hashtbl.create 64 in
+                      List.iteri
+                        (fun i (pre : Ir.op) ->
+                          let barg = List.nth body_args i in
+                          let orig_ids =
+                            (* which original value ids does this extract
+                               satisfy? *)
+                            Hashtbl.fold
+                              (fun vid v acc ->
+                                if Ir.value_equal v (Ir.result pre) then vid :: acc
+                                else acc)
+                              remote_value []
+                            @ Hashtbl.fold
+                                (fun f v acc ->
+                                  if Ir.value_equal v (Ir.result pre) then
+                                    (* feature f: all body args of the
+                                       original task with that feature *)
+                                    Hashtbl.fold
+                                      (fun vid f' acc ->
+                                        if f' = f then vid :: acc else acc)
+                                      tp.feature_of_body_arg acc
+                                  else acc)
+                                feature_value []
+                          in
+                          List.iter
+                            (fun vid -> Hashtbl.replace env vid barg)
+                            orig_ids)
+                        pre_ops;
+                      let new_ops = ref [] in
+                      let subst (v : Ir.value) =
+                        match Hashtbl.find_opt env v.Ir.vid with
+                        | Some v' -> v'
+                        | None -> (
+                            (* constant: rematerialize *)
+                            match Hashtbl.find_opt constant_of v.Ir.vid with
+                            | Some cop ->
+                                let c =
+                                  Builder.op b Ops.constant_name
+                                    ~results:
+                                      (List.map (fun (r : Ir.value) -> r.Ir.vty)
+                                         cop.Ir.results)
+                                    ~attrs:cop.Ir.attrs ()
+                                in
+                                new_ops := c :: !new_ops;
+                                Hashtbl.replace env v.Ir.vid (Ir.result c);
+                                Ir.result c
+                            | None -> v)
+                      in
+                      List.iter
+                        (fun (o : Ir.op) ->
+                          let operands = List.map subst o.Ir.operands in
+                          let results =
+                            List.map (fun (r : Ir.value) -> Builder.fresh b r.Ir.vty)
+                              o.Ir.results
+                          in
+                          List.iter2
+                            (fun (old_r : Ir.value) new_r ->
+                              Hashtbl.replace env old_r.Ir.vid new_r)
+                            o.Ir.results results;
+                          new_ops :=
+                            { o with Ir.operands; results } :: !new_ops)
+                        part_ops;
+                      let yield_values =
+                        List.map
+                          (fun (v : Ir.value) -> Hashtbl.find env v.Ir.vid)
+                          my_escapes
+                      in
+                      List.rev
+                        (Ops.yield b ~values:yield_values :: !new_ops))
+                in
+                let body_op =
+                  Ops.body b ~inputs:body_inputs
+                    ~result_tys:(List.map (fun _ -> tp.ct) my_escapes)
+                    ~body_block
+                in
+                let collect =
+                  Ops.batch_collect b ~batch_index
+                    ~values:body_op.Ir.results ~transposed:true
+                    ~result_ty:result_ty
+                in
+                pre_ops
+                @ [ body_op; collect; Ops.yield b ~values:[ Ir.result collect ] ])
+          in
+          let new_task =
+            Ops.task b ~inputs:task_inputs ~batch_size:tp.batch_size
+              ~result_tys:[ result_ty ] ~body_block:task_block
+          in
+          part_result.(pj) <- Some (Ir.result new_task);
+          kernel_ops := new_task :: !kernel_ops
+        end
+      done;
+      let final_tensor = Option.get part_result.(root_partition) in
+      let kernel_ops = List.rev (Ops.return_ b ~values:[ final_tensor ] :: !kernel_ops) in
+      (* fresh kernel block argument for the input tensor *)
+      let new_kernel_block =
+        {
+          Ir.bargs = kernel_block.Ir.bargs;
+          bops = kernel_ops;
+        }
+      in
+      (* the tasks reference !new_input_tensor, which is the original kernel
+         block arg — unchanged, so reuse the block args directly *)
+      Ops.kernel b
+        ~sym_name:
+          (Option.value ~default:"spn_kernel" (Ir.string_attr kernel "sym_name"))
+        ~result_tys:[ final_tensor.Ir.vty ]
+        ~body_block:new_kernel_block
+    end
+  in
+  {
+    m with
+    Ir.mops =
+      List.map
+        (fun (op : Ir.op) ->
+          if op.Ir.name = Ops.kernel_name then rewrite_kernel op else op)
+        m.Ir.mops;
+  }

@@ -1,0 +1,20 @@
+(** LoSPN task partitioning (paper §IV-A4): splits a large [lo_spn.task]
+    into several smaller, topologically ordered tasks using the heuristic
+    acyclic partitioner.  Cross-partition SSA values become slots in the
+    producing task's result tensor — stored once, loaded once per
+    consuming task (exactly the partitioner's cost model).
+    [lo_spn.constant]s are rematerialized per partition. *)
+
+open Spnc_mlir
+
+type options = {
+  max_partition_size : int;
+  slack : float;
+  refinement_passes : int;
+}
+
+val default_options : options
+
+(** [run ?options m] partitions every oversized task of every kernel;
+    tasks at or below the limit are left untouched. *)
+val run : ?options:options -> Ir.modul -> Ir.modul

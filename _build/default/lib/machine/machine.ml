@@ -1,0 +1,210 @@
+(** Machine descriptions and the instruction-level cost model.
+
+    OCaml cannot emit AVX2/AVX-512/PTX, so ISA- and device-specific
+    execution times in the benchmark harness are produced by applying
+    these calibrated per-instruction costs to the {e actual} instruction
+    streams our backends generate (DESIGN.md §1).  The constants are
+    order-of-magnitude calibrations against the paper's absolute numbers,
+    not microarchitectural truth; EXPERIMENTS.md records the resulting
+    paper-vs-measured ratios. *)
+
+(** Vector instruction sets; [Scalar] means vectorization disabled. *)
+type isa = Scalar | AVX2 | AVX512 | Neon
+
+let isa_to_string = function
+  | Scalar -> "scalar"
+  | AVX2 -> "avx2"
+  | AVX512 -> "avx512"
+  | Neon -> "neon"
+
+(** [simd_width isa ~bits] — vector lanes for an element of [bits] width.
+    AVX2 is 256-bit, AVX-512 512-bit, Neon 128-bit. *)
+let simd_width isa ~bits =
+  match isa with
+  | Scalar -> 1
+  | AVX2 -> 256 / bits
+  | AVX512 -> 512 / bits
+  | Neon -> 128 / bits
+
+(** Vector math libraries providing vectorized elementary functions
+    (paper §IV-B: Intel SVML, GLIBC libmvec). *)
+type veclib = No_veclib | SVML | Libmvec
+
+let veclib_to_string = function
+  | No_veclib -> "none"
+  | SVML -> "svml"
+  | Libmvec -> "libmvec"
+
+type cpu = {
+  cpu_name : string;
+  isa : isa;
+  freq_ghz : float;
+  cores : int;
+  veclib : veclib;
+  (* per-operation latency in cycles (throughput-adjusted) *)
+  flop_cost : float;  (** add/mul/fma *)
+  div_cost : float;
+  scalar_call_cost : float;  (** scalar libm call (log/exp): ~20-40 cyc *)
+  veclib_call_cost : float;  (** one vectorized log/exp over a full vector *)
+  load_cost : float;
+  store_cost : float;
+  gather_cost_per_lane : float;  (** gathers cost per element on x86 *)
+  shuffle_cost : float;  (** one shuffle/permute instruction *)
+  vec_insert_extract_cost : float;  (** scalar <-> vector lane move *)
+  branch_cost : float;
+  loop_overhead : float;  (** per-iteration loop bookkeeping *)
+}
+
+type gpu = {
+  gpu_name : string;
+  sm_count : int;
+  gpu_freq_ghz : float;
+  warp_size : int;
+  max_threads_per_sm : int;
+  pcie_gb_per_s : float;  (** host<->device bandwidth *)
+  kernel_launch_us : float;  (** fixed launch overhead per kernel *)
+  transfer_latency_us : float;  (** fixed per-copy latency *)
+  module_load_ms : float;
+      (** one-time CUDA context + CUBIN module-load overhead per run *)
+  gpu_flop_cost : float;  (** cycles per fp op per thread *)
+  gpu_special_cost : float;  (** log/exp via SFU/libdevice *)
+  gpu_load_cost : float;
+  gpu_store_cost : float;
+  gpu_select_cost : float;
+}
+
+(** The Ryzen 9 3900XT system of the paper (AVX2, libmvec). *)
+let ryzen_3900xt =
+  {
+    cpu_name = "AMD Ryzen 9 3900XT";
+    isa = AVX2;
+    freq_ghz = 3.8;
+    cores = 12;
+    veclib = Libmvec;
+    flop_cost = 0.5;
+    div_cost = 4.0;
+    scalar_call_cost = 7.0;
+    veclib_call_cost = 40.0;
+    load_cost = 0.5;
+    store_cost = 1.0;
+    gather_cost_per_lane = 1.6;
+    shuffle_cost = 1.0;
+    vec_insert_extract_cost = 6.0;
+    branch_cost = 1.0;
+    loop_overhead = 2.0;
+  }
+
+(** The dual Xeon Platinum 9242 system of the paper (AVX-512, SVML). *)
+let xeon_9242 =
+  {
+    cpu_name = "Intel Xeon Platinum 9242";
+    isa = AVX512;
+    freq_ghz = 2.3;
+    cores = 48;
+    veclib = SVML;
+    flop_cost = 0.5;
+    div_cost = 4.0;
+    scalar_call_cost = 7.5;
+    veclib_call_cost = 46.0;
+    load_cost = 0.5;
+    store_cost = 1.0;
+    gather_cost_per_lane = 1.5;
+    shuffle_cost = 1.0;
+    vec_insert_extract_cost = 6.0;
+    branch_cost = 1.0;
+    loop_overhead = 2.0;
+  }
+
+(** A Neoverse-class ARM core with 128-bit Neon — the paper notes
+    vectorization is supported on x86 and ARM Neon (Â§IV-B). *)
+let neoverse_n1 =
+  {
+    cpu_name = "ARM Neoverse N1";
+    isa = Neon;
+    freq_ghz = 2.6;
+    cores = 16;
+    veclib = Libmvec;
+    flop_cost = 0.5;
+    div_cost = 5.0;
+    scalar_call_cost = 8.0;
+    veclib_call_cost = 24.0;
+    load_cost = 0.6;
+    store_cost = 1.0;
+    gather_cost_per_lane = 2.0;  (* no hardware gather: scalarized loads *)
+    shuffle_cost = 1.0;
+    vec_insert_extract_cost = 4.0;
+    branch_cost = 1.0;
+    loop_overhead = 2.0;
+  }
+
+(** The RTX 2070 Super of the paper. *)
+let rtx_2070_super =
+  {
+    gpu_name = "NVIDIA RTX 2070 Super";
+    sm_count = 40;
+    gpu_freq_ghz = 1.77;
+    warp_size = 32;
+    max_threads_per_sm = 1024;
+    pcie_gb_per_s = 11.0;
+    kernel_launch_us = 1.6;
+    transfer_latency_us = 4.0;
+    module_load_ms = 35.0;
+    gpu_flop_cost = 0.55;
+    gpu_special_cost = 2.0;
+    gpu_load_cost = 1.5;
+    gpu_store_cost = 4.0;
+    gpu_select_cost = 1.0;
+  }
+
+(** An RDNA2-class AMD GPU: the paper notes the lowering result "uses
+    generic GPU abstractions and could also be used to target GPUs from
+    other vendors" (Â§IV-C); only the machine description changes. *)
+let radeon_6800 =
+  {
+    gpu_name = "AMD Radeon RX 6800";
+    sm_count = 60;  (* compute units *)
+    gpu_freq_ghz = 1.82;
+    warp_size = 32;  (* wave32 *)
+    max_threads_per_sm = 1024;
+    pcie_gb_per_s = 13.0;
+    kernel_launch_us = 2.2;
+    transfer_latency_us = 5.0;
+    module_load_ms = 30.0;
+    gpu_flop_cost = 0.55;
+    gpu_special_cost = 2.5;
+    gpu_load_cost = 1.6;
+    gpu_store_cost = 4.0;
+    gpu_select_cost = 1.0;
+  }
+
+(** Python / numpy dispatch model for the SPFlow baseline: the Python
+    interpreter walks the DAG node by node; every node evaluation incurs
+    interpreter + numpy dispatch overhead, then does vectorized work over
+    the batch. *)
+type python_model = {
+  per_node_dispatch_us : float;  (** interpreter + numpy call overhead *)
+  per_element_ns : float;  (** amortized numpy per-element work *)
+}
+
+let spflow_python = { per_node_dispatch_us = 11.0; per_element_ns = 33.0 }
+
+(** TensorFlow graph-executor model: per-op kernel dispatch is cheaper
+    than Python but still per-node; per-element work is optimized. *)
+type tf_model = {
+  per_op_dispatch_us : float;
+  tf_per_element_ns : float;
+  tf_gpu_per_op_dispatch_us : float;
+  tf_gpu_per_element_ns : float;
+}
+
+let tensorflow = {
+  per_op_dispatch_us = 7.0;
+  tf_per_element_ns = 22.0;
+  tf_gpu_per_op_dispatch_us = 9.0;
+  tf_gpu_per_element_ns = 24.0;
+}
+
+(** [cycles_to_seconds cpu c] converts a cycle count. *)
+let cycles_to_seconds (cpu : cpu) c = c /. (cpu.freq_ghz *. 1e9)
+
+let gpu_cycles_to_seconds (g : gpu) c = c /. (g.gpu_freq_ghz *. 1e9)

@@ -1,0 +1,1 @@
+lib/mlir/attr.ml: Array Float Fmt List String Types

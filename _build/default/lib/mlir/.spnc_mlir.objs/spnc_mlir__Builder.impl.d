@@ -1,0 +1,1 @@
+lib/mlir/builder.ml: Attr Ir List Types

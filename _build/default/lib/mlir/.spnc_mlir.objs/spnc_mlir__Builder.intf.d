@@ -1,0 +1,1 @@
+lib/mlir/builder.mli: Attr Ir Types

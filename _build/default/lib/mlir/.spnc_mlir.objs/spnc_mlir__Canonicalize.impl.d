@@ -1,0 +1,1 @@
+lib/mlir/canonicalize.ml: Builder Constfold Cse Dialect Ir Rewrite

@@ -1,0 +1,1 @@
+lib/mlir/constfold.ml: Attr Builder Dialect Hashtbl Ir List Rewrite String

@@ -1,0 +1,1 @@
+lib/mlir/cse.ml: Attr Dialect Fmt Hashtbl Ir List Rewrite String Types

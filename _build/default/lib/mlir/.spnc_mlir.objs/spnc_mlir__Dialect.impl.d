@@ -1,0 +1,1 @@
+lib/mlir/dialect.ml: Attr Builder Fmt Hashtbl Ir List Printf Result String

@@ -1,0 +1,1 @@
+lib/mlir/ir.ml: Attr List Map Option Printf Set String Types

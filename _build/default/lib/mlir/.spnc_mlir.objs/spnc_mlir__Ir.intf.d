@@ -1,0 +1,1 @@
+lib/mlir/ir.mli: Attr Map Set Types

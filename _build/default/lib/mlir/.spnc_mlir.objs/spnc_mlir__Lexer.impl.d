@@ -1,0 +1,1 @@
+lib/mlir/lexer.ml: Buffer Fmt List Printf String

@@ -1,0 +1,1 @@
+lib/mlir/parser.ml: Array Attr Float Fmt Hashtbl Ir Lexer List Printf String Types

@@ -1,0 +1,1 @@
+lib/mlir/pass.ml: Canonicalize Cse Fmt Ir List Result Rewrite Unix Verifier

@@ -1,0 +1,1 @@
+lib/mlir/pass.mli: Format Ir Result

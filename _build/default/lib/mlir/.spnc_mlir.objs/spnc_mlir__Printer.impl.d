@@ -1,0 +1,1 @@
+lib/mlir/printer.ml: Attr Fmt Ir List String Types

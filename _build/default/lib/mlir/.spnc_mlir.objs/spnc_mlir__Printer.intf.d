@@ -1,0 +1,1 @@
+lib/mlir/printer.mli: Format Ir

@@ -1,0 +1,1 @@
+lib/mlir/rewrite.ml: Dialect Hashtbl Ir List

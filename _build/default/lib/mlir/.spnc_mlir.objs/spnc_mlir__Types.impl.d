@@ -1,0 +1,1 @@
+lib/mlir/types.ml: Fmt List

@@ -1,0 +1,1 @@
+lib/mlir/types.mli: Format

@@ -1,0 +1,1 @@
+lib/mlir/verifier.ml: Dialect Fmt Int Ir List Set

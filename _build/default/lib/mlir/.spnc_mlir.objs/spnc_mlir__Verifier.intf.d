@@ -1,0 +1,1 @@
+lib/mlir/verifier.mli: Format Ir

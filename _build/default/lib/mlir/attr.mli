@@ -1,0 +1,62 @@
+(** Attributes — compile-time constant information attached to
+    operations: integers, floats, strings, booleans, types, arrays, and
+    dense float arrays (used for sum weights, histogram buckets and
+    categorical probabilities). *)
+
+type t =
+  | Int of int
+  | Float of float
+  | String of string
+  | Bool of bool
+  | Type of Types.t
+  | Array of t list
+  | DenseF of float array  (** dense 1-D float payload *)
+  | Unit
+
+(** Structural equality; NaN equals NaN (needed by CSE keys). *)
+val equal : t -> t -> bool
+
+(* Accessors return [None] on kind mismatch so verifiers can produce
+   diagnostics instead of exceptions. *)
+
+val as_int : t -> int option
+
+(** [as_float] also accepts [Int]. *)
+val as_float : t -> float option
+
+val as_string : t -> string option
+val as_bool : t -> bool option
+val as_type : t -> Types.t option
+val as_array : t -> t list option
+
+(** [as_dense_f] also converts an all-numeric [Array]. *)
+val as_dense_f : t -> float array option
+
+(** Floats print so they re-parse: always a decimal point or exponent;
+    infinities and NaN print as the identifiers [inf]/[ninf]/[nanf]. *)
+val pp_float : Format.formatter -> float -> unit
+
+val pp : Format.formatter -> t -> unit
+val to_string : t -> string
+
+(** Named attribute dictionaries, stored sorted by key for deterministic
+    printing and structural comparison. *)
+module Dict : sig
+  type attr = t
+  type t = (string * attr) list
+
+  val empty : t
+
+  (** [of_list l] sorts by key. *)
+  val of_list : (string * attr) list -> t
+
+  val find : t -> string -> attr option
+  val mem : t -> string -> bool
+  val set : t -> string -> attr -> t
+  val remove : t -> string -> t
+  val equal : t -> t -> bool
+
+  (** Prints [ {k = v, ...}] with a leading space, or nothing when
+      empty. *)
+  val pp : Format.formatter -> t -> unit
+end

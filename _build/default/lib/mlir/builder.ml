@@ -1,0 +1,60 @@
+(** IR construction helpers.
+
+    A builder owns a monotonically increasing SSA id counter, so values
+    created through one builder are unique within the module being built.
+    Passes that rebuild a module create a fresh builder seeded past the
+    highest id of the input module (see {!seed_from}). *)
+
+type t = { mutable next_id : int }
+
+let create ?(first_id = 0) () = { next_id = first_id }
+
+(** [seed_from m] creates a builder whose ids do not collide with any value
+    already present in module [m]. *)
+let seed_from (m : Ir.modul) =
+  let max_id = ref (-1) in
+  Ir.walk
+    (fun op ->
+      List.iter (fun (v : Ir.value) -> if v.vid > !max_id then max_id := v.vid) op.results;
+      List.iter
+        (fun r ->
+          List.iter
+            (fun (b : Ir.block) ->
+              List.iter
+                (fun (v : Ir.value) -> if v.vid > !max_id then max_id := v.vid)
+                b.bargs)
+            r.Ir.blocks)
+        op.Ir.regions)
+    m;
+  create ~first_id:(!max_id + 1) ()
+
+(** [fresh b ty] mints a new SSA value of type [ty]. *)
+let fresh b (ty : Types.t) : Ir.value =
+  let v = { Ir.vid = b.next_id; vty = ty } in
+  b.next_id <- b.next_id + 1;
+  v
+
+let fresh_list b tys = List.map (fresh b) tys
+
+(** [op name ~operands ~results ~attrs ~regions] constructs an operation.
+    [results] are value {e types}; the values themselves are minted here. *)
+let op b name ?(operands = []) ?(results = []) ?(attrs = []) ?(regions = []) ()
+    : Ir.op =
+  {
+    Ir.name;
+    operands;
+    results = fresh_list b results;
+    attrs = Attr.Dict.of_list attrs;
+    regions;
+  }
+
+(** [block b ~arg_tys ops_of_args] builds a block: mints the block
+    arguments, then obtains the op list from the continuation. *)
+let block b ~arg_tys (f : Ir.value list -> Ir.op list) : Ir.block =
+  let bargs = fresh_list b arg_tys in
+  { Ir.bargs; bops = f bargs }
+
+let region blocks : Ir.region = { Ir.blocks }
+let region1 blk : Ir.region = { Ir.blocks = [ blk ] }
+
+let modul ?(name = "module") ops : Ir.modul = { Ir.mname = name; mops = ops }

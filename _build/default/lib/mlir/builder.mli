@@ -1,0 +1,40 @@
+(** IR construction helpers.
+
+    A builder owns a monotonically increasing SSA id counter, so values
+    created through one builder are unique within the module being
+    built.  Passes that rebuild a module create a fresh builder seeded
+    past the highest id of the input ({!seed_from}). *)
+
+type t
+
+val create : ?first_id:int -> unit -> t
+
+(** [seed_from m] — a builder whose ids do not collide with any value in
+    [m]. *)
+val seed_from : Ir.modul -> t
+
+(** [fresh b ty] mints a new SSA value. *)
+val fresh : t -> Types.t -> Ir.value
+
+val fresh_list : t -> Types.t list -> Ir.value list
+
+(** [op b name ~operands ~results ~attrs ~regions ()] constructs an
+    operation; [results] are the result {e types}, the values themselves
+    are minted here. *)
+val op :
+  t ->
+  string ->
+  ?operands:Ir.value list ->
+  ?results:Types.t list ->
+  ?attrs:(string * Attr.t) list ->
+  ?regions:Ir.region list ->
+  unit ->
+  Ir.op
+
+(** [block b ~arg_tys f] mints the block arguments, then obtains the op
+    list from the continuation [f]. *)
+val block : t -> arg_tys:Types.t list -> (Ir.value list -> Ir.op list) -> Ir.block
+
+val region : Ir.block list -> Ir.region
+val region1 : Ir.block -> Ir.region
+val modul : ?name:string -> Ir.op list -> Ir.modul

@@ -1,0 +1,42 @@
+(** Canonicalization driver.
+
+    Mirrors MLIR's [canonicalize] pass: repeatedly applies
+    dialect-registered canonicalization patterns, constant folding, CSE
+    and dead-code elimination until a fixpoint (bounded by [max_rounds]).
+
+    SPN-relevant patterns registered by the dialects include collapsing
+    single-operand [hi_spn.sum]/[hi_spn.product] nodes (the "transformation
+    of DAG nodes with only a single input" the paper performs right after
+    HiSPN translation). *)
+
+let apply_patterns (b : Builder.t) (m : Ir.modul) : Ir.modul * int =
+  let applied = ref 0 in
+  let m' =
+    Rewrite.transform m ~rewrite:(fun op ->
+        match Dialect.lookup op.Ir.name with
+        | Some { Dialect.canon = Some pattern; _ } -> (
+            match pattern b op with
+            | Some (ops, values) ->
+                incr applied;
+                Rewrite.Replace (ops, values)
+            | None -> Rewrite.Keep)
+        | _ -> Rewrite.Keep)
+  in
+  (m', !applied)
+
+(** [run ?max_rounds m] canonicalizes module [m]. *)
+let run ?(max_rounds = 8) (m : Ir.modul) : Ir.modul =
+  let b = Builder.seed_from m in
+  let count m = Ir.count_ops (fun _ -> true) m in
+  let rec go round m =
+    if round >= max_rounds then m
+    else
+      let before = count m in
+      let m, n_pat = apply_patterns b m in
+      let m = Constfold.run b m in
+      let m = Cse.run m in
+      let m' = Rewrite.dce m in
+      let changed = n_pat > 0 || count m' <> before in
+      if changed then go (round + 1) m' else m'
+  in
+  go 0 m

@@ -1,0 +1,46 @@
+(** Constant folding driver.
+
+    An op named [<dialect>.constant] with a ["value"] attribute defines a
+    known constant.  For every other op whose dialect registered a folder
+    ({!Dialect.op_info.fold}), the folder is consulted with the map of
+    known-constant operands; a successful fold replaces the op by a fresh
+    dialect constant.  Folded-over constants that become dead are cleaned
+    up by the subsequent DCE inside {!Canonicalize}. *)
+
+let is_constant_op (op : Ir.op) =
+  (match String.rindex_opt op.Ir.name '.' with
+  | Some i ->
+      String.sub op.Ir.name (i + 1) (String.length op.Ir.name - i - 1)
+        = "constant"
+  | None -> op.Ir.name = "constant")
+  && Ir.attr op "value" <> None
+
+(** [run b m] folds constants in [m], minting new values from [b]. *)
+let run (b : Builder.t) (m : Ir.modul) : Ir.modul =
+  let consts : (int, Attr.t) Hashtbl.t = Hashtbl.create 256 in
+  Rewrite.transform m ~rewrite:(fun op ->
+      if is_constant_op op then begin
+        (match (op.Ir.results, Ir.attr op "value") with
+        | [ r ], Some v -> Hashtbl.replace consts r.Ir.vid v
+        | _ -> ());
+        Rewrite.Keep
+      end
+      else
+        match Dialect.lookup op.Ir.name with
+        | Some { Dialect.fold = Some folder; _ } when List.length op.Ir.results = 1
+          -> (
+            match folder op consts with
+            | Some folded ->
+                let r = Ir.result op in
+                let dialect = Ir.dialect_of op in
+                let cst =
+                  Builder.op b
+                    (dialect ^ ".constant")
+                    ~results:[ r.Ir.vty ]
+                    ~attrs:[ ("value", folded) ]
+                    ()
+                in
+                Hashtbl.replace consts (Ir.result cst).Ir.vid folded;
+                Rewrite.Replace ([ cst ], [ Ir.result cst ])
+            | None -> Rewrite.Keep)
+        | _ -> Rewrite.Keep)

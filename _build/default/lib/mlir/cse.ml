@@ -1,0 +1,57 @@
+(** Common subexpression elimination.
+
+    Pure operations with identical name, operands, attributes and result
+    types are deduplicated within each block scope.  Nested regions see the
+    expressions of their enclosing scopes (our regions are not isolated
+    from above), but expressions inside a region do not leak out, since a
+    region's ops may execute under different control conditions. *)
+
+type key = string * int list * string * string
+(* op name, operand ids, rendered attrs, rendered result types *)
+
+let key_of (op : Ir.op) : key =
+  ( op.Ir.name,
+    List.map (fun (v : Ir.value) -> v.Ir.vid) op.Ir.operands,
+    Fmt.str "%a" Attr.Dict.pp op.Ir.attrs,
+    String.concat ","
+      (List.map (fun (v : Ir.value) -> Types.to_string v.Ir.vty) op.Ir.results)
+  )
+
+let run (m : Ir.modul) : Ir.modul =
+  let rec rebuild_ops (s : Rewrite.subst ref) (seen : (key, Ir.value list) Hashtbl.t)
+      (ops : Ir.op list) : Ir.op list =
+    List.concat_map
+      (fun (op : Ir.op) ->
+        let operands = List.map (Rewrite.subst_value !s) op.Ir.operands in
+        let regions =
+          List.map
+            (fun (r : Ir.region) ->
+              {
+                Ir.blocks =
+                  List.map
+                    (fun (b : Ir.block) ->
+                      (* child scope: copy of the parent's expression table *)
+                      let child = Hashtbl.copy seen in
+                      { b with Ir.bops = rebuild_ops s child b.Ir.bops })
+                    r.Ir.blocks;
+              })
+            op.Ir.regions
+        in
+        let op = { op with Ir.operands; regions } in
+        if (not (Dialect.is_pure op.Ir.name)) || op.Ir.regions <> [] then [ op ]
+        else
+          let k = key_of op in
+          match Hashtbl.find_opt seen k with
+          | Some prior_results ->
+              List.iter2
+                (fun old_r new_r -> s := Ir.VMap.add old_r new_r !s)
+                op.Ir.results prior_results;
+              []
+          | None ->
+              Hashtbl.replace seen k op.Ir.results;
+              [ op ])
+      ops
+  in
+  let s = ref Ir.VMap.empty in
+  let top = Hashtbl.create 256 in
+  { m with Ir.mops = rebuild_ops s top m.Ir.mops }

@@ -1,0 +1,128 @@
+(** Core IR structures: SSA values, operations, blocks, regions, modules.
+
+    Like MLIR, operations are the unit of semantics: every operation has a
+    dialect-qualified name ([dialect.op]), typed operands and results, an
+    attribute dictionary, and zero or more nested regions.  Regions contain
+    blocks; blocks carry typed block arguments and a sequence of operations.
+
+    Unlike MLIR's mutable, use-list-linked representation, this IR is a
+    plain immutable tree.  Passes are written rebuild-style: they walk the
+    tree and construct a fresh one, threading an environment that maps old
+    SSA values to new ones (see {!Rewrite}).  DESIGN.md §4 records this
+    deviation. *)
+
+(** An SSA value: a unique id plus its type.  Values are created by
+    {!Builder} so ids never collide within a module. *)
+type value = { vid : int; vty : Types.t }
+
+type op = {
+  name : string;  (** dialect-qualified operation name, e.g. ["lo_spn.mul"] *)
+  operands : value list;
+  results : value list;
+  attrs : Attr.Dict.t;
+  regions : region list;
+}
+
+and block = { bargs : value list; bops : op list }
+and region = { blocks : block list }
+
+(** A module is the top-level container: a name plus a list of top-level
+    operations (queries, kernels, functions). *)
+type modul = { mname : string; mops : op list }
+
+let value_equal (a : value) (b : value) = a.vid = b.vid
+
+module Value = struct
+  type t = value
+
+  let compare (a : t) (b : t) = compare a.vid b.vid
+end
+
+module VMap = Map.Make (Value)
+module VSet = Set.Make (Value)
+
+(** [result_n op n] is the [n]-th result of [op].
+    @raise Invalid_argument if [op] has fewer results. *)
+let result_n op n =
+  match List.nth_opt op.results n with
+  | Some v -> v
+  | None ->
+      invalid_arg
+        (Printf.sprintf "Ir.result_n: %s has %d results, asked for %d" op.name
+           (List.length op.results) n)
+
+(** [result op] is the single result of [op]. *)
+let result op = result_n op 0
+
+let operand_n op n =
+  match List.nth_opt op.operands n with
+  | Some v -> v
+  | None ->
+      invalid_arg
+        (Printf.sprintf "Ir.operand_n: %s has %d operands, asked for %d"
+           op.name (List.length op.operands) n)
+
+let attr op key = Attr.Dict.find op.attrs key
+
+let attr_exn op key =
+  match attr op key with
+  | Some a -> a
+  | None ->
+      invalid_arg (Printf.sprintf "Ir.attr_exn: %s has no attribute %S" op.name key)
+
+let int_attr op key = Option.bind (attr op key) Attr.as_int
+let float_attr op key = Option.bind (attr op key) Attr.as_float
+let string_attr op key = Option.bind (attr op key) Attr.as_string
+let bool_attr op key = Option.bind (attr op key) Attr.as_bool
+let dense_attr op key = Option.bind (attr op key) Attr.as_dense_f
+let type_attr op key = Option.bind (attr op key) Attr.as_type
+
+(** [entry_block op] is the first block of the first region of [op]. *)
+let entry_block op =
+  match op.regions with
+  | { blocks = b :: _ } :: _ -> Some b
+  | _ -> None
+
+(** [single_region_ops op] are the operations of the entry block, or [[]]. *)
+let single_region_ops op =
+  match entry_block op with Some b -> b.bops | None -> []
+
+(** [dialect_of op] is the dialect prefix of the operation name ("lo_spn"
+    for "lo_spn.mul"); ops without a dot belong to the builtin dialect. *)
+let dialect_of (op : op) =
+  match String.index_opt op.name '.' with
+  | Some i -> String.sub op.name 0 i
+  | None -> "builtin"
+
+(* -- Traversals ---------------------------------------------------------- *)
+
+(** [walk_ops f op] applies [f] to [op] and, pre-order, to every operation
+    nested in its regions. *)
+let rec walk_ops f (op : op) =
+  f op;
+  List.iter
+    (fun r -> List.iter (fun b -> List.iter (walk_ops f) b.bops) r.blocks)
+    op.regions
+
+(** [walk f m] applies [f] to every operation in the module, pre-order. *)
+let walk f (m : modul) = List.iter (walk_ops f) m.mops
+
+(** [count_ops pred m] counts operations satisfying [pred]. *)
+let count_ops pred m =
+  let n = ref 0 in
+  walk (fun op -> if pred op then incr n) m;
+  !n
+
+(** [find_ops pred m] collects all operations satisfying [pred],
+    pre-order. *)
+let find_ops pred m =
+  let acc = ref [] in
+  walk (fun op -> if pred op then acc := op :: !acc) m;
+  List.rev !acc
+
+(** [defining_map m] maps each SSA value id to the operation producing it.
+    Block arguments are absent from the map. *)
+let defining_map (m : modul) : op VMap.t =
+  let tbl = ref VMap.empty in
+  walk (fun op -> List.iter (fun r -> tbl := VMap.add r op !tbl) op.results) m;
+  !tbl

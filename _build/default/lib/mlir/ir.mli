@@ -1,0 +1,82 @@
+(** Core IR structures: SSA values, operations, blocks, regions, modules.
+
+    Like MLIR, operations are the unit of semantics: every operation has
+    a dialect-qualified name, typed operands and results, an attribute
+    dictionary, and zero or more nested regions of blocks.
+
+    Unlike MLIR's mutable use-list-linked representation, this IR is a
+    plain immutable tree; passes rebuild it while threading a value
+    substitution (see {!Rewrite}).  Deviation recorded in DESIGN.md §4. *)
+
+(** An SSA value: unique id plus type.  Values are minted by {!Builder},
+    so ids never collide within a module. *)
+type value = { vid : int; vty : Types.t }
+
+type op = {
+  name : string;  (** dialect-qualified, e.g. ["lo_spn.mul"] *)
+  operands : value list;
+  results : value list;
+  attrs : Attr.Dict.t;
+  regions : region list;
+}
+
+and block = { bargs : value list; bops : op list }
+and region = { blocks : block list }
+
+(** Top-level container: a name plus a list of top-level operations. *)
+type modul = { mname : string; mops : op list }
+
+val value_equal : value -> value -> bool
+
+module Value : sig
+  type t = value
+
+  val compare : t -> t -> int
+end
+
+module VMap : Map.S with type key = value
+module VSet : Set.S with type elt = value
+
+(** [result_n op n] — the [n]-th result.
+    @raise Invalid_argument if out of range. *)
+val result_n : op -> int -> value
+
+(** [result op] — the single (first) result. *)
+val result : op -> value
+
+val operand_n : op -> int -> value
+
+val attr : op -> string -> Attr.t option
+
+(** @raise Invalid_argument when the attribute is absent. *)
+val attr_exn : op -> string -> Attr.t
+
+val int_attr : op -> string -> int option
+val float_attr : op -> string -> float option
+val string_attr : op -> string -> string option
+val bool_attr : op -> string -> bool option
+val dense_attr : op -> string -> float array option
+val type_attr : op -> string -> Types.t option
+
+(** [entry_block op] — first block of the first region, if any. *)
+val entry_block : op -> block option
+
+(** [single_region_ops op] — the entry block's operations, or [[]]. *)
+val single_region_ops : op -> op list
+
+(** [dialect_of op] — the prefix before the dot ("builtin" if none). *)
+val dialect_of : op -> string
+
+(** [walk_ops f op] applies [f] to [op] and, pre-order, to every nested
+    operation. *)
+val walk_ops : (op -> unit) -> op -> unit
+
+(** [walk f m] applies [f] to every operation in the module, pre-order. *)
+val walk : (op -> unit) -> modul -> unit
+
+val count_ops : (op -> bool) -> modul -> int
+val find_ops : (op -> bool) -> modul -> op list
+
+(** [defining_map m] maps each result value to the operation producing
+    it (block arguments are absent). *)
+val defining_map : modul -> op VMap.t

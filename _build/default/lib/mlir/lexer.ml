@@ -1,0 +1,211 @@
+(** Hand-written lexer for the generic IR text format (see {!Printer}). *)
+
+type token =
+  | LBRACE
+  | RBRACE
+  | LPAREN
+  | RPAREN
+  | LBRACKET
+  | RBRACKET
+  | LANGLE
+  | RANGLE
+  | COLON
+  | COMMA
+  | EQUAL
+  | ARROW
+  | CARET  (** [^] introducing a block label *)
+  | AT  (** [@] introducing a symbol name *)
+  | PERCENT_INT of int  (** an SSA value reference [%N] *)
+  | INT of int
+  | FLOAT of float
+  | STRING of string
+  | IDENT of string  (** bare identifier, possibly dotted or [!]-prefixed *)
+  | QUESTION
+  | EOF
+
+let pp_token ppf = function
+  | LBRACE -> Fmt.string ppf "{"
+  | RBRACE -> Fmt.string ppf "}"
+  | LPAREN -> Fmt.string ppf "("
+  | RPAREN -> Fmt.string ppf ")"
+  | LBRACKET -> Fmt.string ppf "["
+  | RBRACKET -> Fmt.string ppf "]"
+  | LANGLE -> Fmt.string ppf "<"
+  | RANGLE -> Fmt.string ppf ">"
+  | COLON -> Fmt.string ppf ":"
+  | COMMA -> Fmt.string ppf ","
+  | EQUAL -> Fmt.string ppf "="
+  | ARROW -> Fmt.string ppf "->"
+  | CARET -> Fmt.string ppf "^"
+  | AT -> Fmt.string ppf "@"
+  | PERCENT_INT i -> Fmt.pf ppf "%%%d" i
+  | INT i -> Fmt.pf ppf "%d" i
+  | FLOAT f -> Fmt.pf ppf "%g" f
+  | STRING s -> Fmt.pf ppf "%S" s
+  | IDENT s -> Fmt.string ppf s
+  | QUESTION -> Fmt.string ppf "?"
+  | EOF -> Fmt.string ppf "<eof>"
+
+exception Error of string
+
+type state = { src : string; mutable pos : int; mutable line : int }
+
+let make src = { src; pos = 0; line = 1 }
+
+let peek_char st =
+  if st.pos < String.length st.src then Some st.src.[st.pos] else None
+
+let advance st =
+  (if st.pos < String.length st.src && st.src.[st.pos] = '\n' then
+     st.line <- st.line + 1);
+  st.pos <- st.pos + 1
+
+let error st msg = raise (Error (Printf.sprintf "line %d: %s" st.line msg))
+
+(* '-' is an identifier character (symbol names like @speaker-0); a
+   leading '-' still lexes as a number or arrow because the dispatcher
+   checks those cases before identifiers. *)
+let is_ident_char c =
+  (c >= 'a' && c <= 'z')
+  || (c >= 'A' && c <= 'Z')
+  || (c >= '0' && c <= '9')
+  || c = '_' || c = '.' || c = '$' || c = '-'
+
+let is_digit c = c >= '0' && c <= '9'
+
+let rec skip_ws st =
+  match peek_char st with
+  | Some (' ' | '\t' | '\n' | '\r') ->
+      advance st;
+      skip_ws st
+  | Some '/' when st.pos + 1 < String.length st.src && st.src.[st.pos + 1] = '/'
+    ->
+      (* line comment *)
+      while peek_char st <> None && peek_char st <> Some '\n' do
+        advance st
+      done;
+      skip_ws st
+  | _ -> ()
+
+let lex_number st =
+  let start = st.pos in
+  if peek_char st = Some '-' then advance st;
+  while (match peek_char st with Some c -> is_digit c | None -> false) do
+    advance st
+  done;
+  let is_float = ref false in
+  (match peek_char st with
+  | Some '.' ->
+      is_float := true;
+      advance st;
+      while (match peek_char st with Some c -> is_digit c | None -> false) do
+        advance st
+      done
+  | _ -> ());
+  (match peek_char st with
+  | Some ('e' | 'E') ->
+      is_float := true;
+      advance st;
+      (match peek_char st with Some ('+' | '-') -> advance st | _ -> ());
+      while (match peek_char st with Some c -> is_digit c | None -> false) do
+        advance st
+      done
+  | _ -> ());
+  let text = String.sub st.src start (st.pos - start) in
+  if !is_float then FLOAT (float_of_string text)
+  else
+    match int_of_string_opt text with
+    | Some i -> INT i
+    | None -> FLOAT (float_of_string text)
+
+let lex_string st =
+  advance st;
+  (* opening quote *)
+  let buf = Buffer.create 16 in
+  let rec go () =
+    match peek_char st with
+    | None -> error st "unterminated string literal"
+    | Some '"' -> advance st
+    | Some '\\' -> (
+        advance st;
+        match peek_char st with
+        | Some 'n' ->
+            Buffer.add_char buf '\n';
+            advance st;
+            go ()
+        | Some 't' ->
+            Buffer.add_char buf '\t';
+            advance st;
+            go ()
+        | Some c ->
+            Buffer.add_char buf c;
+            advance st;
+            go ()
+        | None -> error st "unterminated escape")
+    | Some c ->
+        Buffer.add_char buf c;
+        advance st;
+        go ()
+  in
+  go ();
+  STRING (Buffer.contents buf)
+
+let lex_ident st =
+  let start = st.pos in
+  if peek_char st = Some '!' then advance st;
+  while (match peek_char st with Some c -> is_ident_char c | None -> false) do
+    advance st
+  done;
+  IDENT (String.sub st.src start (st.pos - start))
+
+(** [next st] returns the next token, consuming it. *)
+let next st : token =
+  skip_ws st;
+  match peek_char st with
+  | None -> EOF
+  | Some c -> (
+      match c with
+      | '{' -> advance st; LBRACE
+      | '}' -> advance st; RBRACE
+      | '(' -> advance st; LPAREN
+      | ')' -> advance st; RPAREN
+      | '[' -> advance st; LBRACKET
+      | ']' -> advance st; RBRACKET
+      | '<' -> advance st; LANGLE
+      | '>' -> advance st; RANGLE
+      | ':' -> advance st; COLON
+      | ',' -> advance st; COMMA
+      | '=' -> advance st; EQUAL
+      | '^' -> advance st; CARET
+      | '@' -> advance st; AT
+      | '?' -> advance st; QUESTION
+      | '"' -> lex_string st
+      | '%' ->
+          advance st;
+          let start = st.pos in
+          while
+            match peek_char st with Some c -> is_digit c | None -> false
+          do
+            advance st
+          done;
+          if st.pos = start then error st "expected value id after '%'"
+          else PERCENT_INT (int_of_string (String.sub st.src start (st.pos - start)))
+      | '-' ->
+          if st.pos + 1 < String.length st.src && st.src.[st.pos + 1] = '>'
+          then begin
+            advance st;
+            advance st;
+            ARROW
+          end
+          else lex_number st
+      | c when is_digit c -> lex_number st
+      | c when is_ident_char c || c = '!' -> lex_ident st
+      | c -> error st (Printf.sprintf "unexpected character %C" c))
+
+(** [tokenize src] lexes the whole input eagerly. *)
+let tokenize src =
+  let st = make src in
+  let rec go acc =
+    match next st with EOF -> List.rev (EOF :: acc) | t -> go (t :: acc)
+  in
+  go []

@@ -1,0 +1,402 @@
+(** Recursive-descent parser for the generic IR text format.
+
+    Parses exactly the language emitted by {!Printer}; the round-trip
+    [parse (print m) = m] (up to SSA value identity) is property-tested in
+    the test suite.  Forward references are tolerated: an operand id not
+    yet defined is minted with the type stated in the trailing signature. *)
+
+exception Error of string
+
+type st = {
+  toks : Lexer.token array;
+  mutable pos : int;
+  env : (int, Ir.value) Hashtbl.t;  (** SSA id -> value *)
+}
+
+let make src =
+  { toks = Array.of_list (Lexer.tokenize src); pos = 0; env = Hashtbl.create 64 }
+
+let peek st = st.toks.(st.pos)
+let peek2 st =
+  if st.pos + 1 < Array.length st.toks then st.toks.(st.pos + 1) else Lexer.EOF
+
+let advance st = st.pos <- st.pos + 1
+
+let next st =
+  let t = peek st in
+  advance st;
+  t
+
+let error st msg =
+  raise (Error (Fmt.str "parse error at token %d (%a): %s" st.pos
+                  Lexer.pp_token (peek st) msg))
+
+let expect st tok =
+  let t = next st in
+  if t <> tok then
+    raise
+      (Error (Fmt.str "expected %a but found %a" Lexer.pp_token tok
+                Lexer.pp_token t))
+
+let expect_ident st =
+  match next st with
+  | Lexer.IDENT s -> s
+  | t -> raise (Error (Fmt.str "expected identifier, found %a" Lexer.pp_token t))
+
+(* -- Types --------------------------------------------------------------- *)
+
+let rec parse_type st : Types.t =
+  match next st with
+  | Lexer.LPAREN ->
+      (* function type: (tys) -> (tys) *)
+      let args = parse_type_list_until st Lexer.RPAREN in
+      expect st Lexer.ARROW;
+      expect st Lexer.LPAREN;
+      let res = parse_type_list_until st Lexer.RPAREN in
+      Types.Func (args, res)
+  | Lexer.IDENT "f32" -> Types.F32
+  | Lexer.IDENT "f64" -> Types.F64
+  | Lexer.IDENT "index" -> Types.Index
+  | Lexer.IDENT "none" -> Types.None_
+  | Lexer.IDENT "i1" -> Types.Bool
+  | Lexer.IDENT "!hi_spn.probability" -> Types.Prob
+  | Lexer.IDENT "!lo_spn.log" ->
+      expect st Lexer.LANGLE;
+      let t = parse_type st in
+      expect st Lexer.RANGLE;
+      Types.Log t
+  | Lexer.IDENT "tensor" ->
+      let dims, elt = parse_shaped st in
+      Types.Tensor (dims, elt)
+  | Lexer.IDENT "memref" ->
+      let dims, elt = parse_shaped st in
+      Types.MemRef (dims, elt)
+  | Lexer.IDENT "vector" ->
+      expect st Lexer.LANGLE;
+      let w =
+        match next st with
+        | Lexer.INT w -> w
+        | t -> raise (Error (Fmt.str "expected vector width, found %a" Lexer.pp_token t))
+      in
+      expect st Lexer.COMMA;
+      let elt = parse_type st in
+      expect st Lexer.RANGLE;
+      Types.Vector (w, elt)
+  | Lexer.IDENT s when String.length s > 1 && s.[0] = 'i' -> (
+      match int_of_string_opt (String.sub s 1 (String.length s - 1)) with
+      | Some w -> Types.Int w
+      | None -> error st (Printf.sprintf "unknown type %S" s))
+  | t -> raise (Error (Fmt.str "expected type, found %a" Lexer.pp_token t))
+
+and parse_shaped st =
+  expect st Lexer.LANGLE;
+  let dims = ref [] in
+  let rec dims_loop () =
+    match peek st with
+    | Lexer.INT n ->
+        advance st;
+        expect st Lexer.COMMA;
+        dims := Some n :: !dims;
+        dims_loop ()
+    | Lexer.QUESTION ->
+        advance st;
+        expect st Lexer.COMMA;
+        dims := None :: !dims;
+        dims_loop ()
+    | _ -> ()
+  in
+  dims_loop ();
+  let elt = parse_type st in
+  expect st Lexer.RANGLE;
+  (List.rev !dims, elt)
+
+and parse_type_list_until st closing =
+  if peek st = closing then begin
+    advance st;
+    []
+  end
+  else
+    let rec go acc =
+      let t = parse_type st in
+      match next st with
+      | Lexer.COMMA -> go (t :: acc)
+      | tok when tok = closing -> List.rev (t :: acc)
+      | tok ->
+          raise (Error (Fmt.str "expected ',' or closing, found %a" Lexer.pp_token tok))
+    in
+    go []
+
+(* -- Attributes ---------------------------------------------------------- *)
+
+let rec parse_attr st : Attr.t =
+  match peek st with
+  | Lexer.INT i ->
+      advance st;
+      Attr.Int i
+  | Lexer.FLOAT f ->
+      advance st;
+      Attr.Float f
+  | Lexer.STRING s ->
+      advance st;
+      Attr.String s
+  | Lexer.IDENT "true" ->
+      advance st;
+      Attr.Bool true
+  | Lexer.IDENT "false" ->
+      advance st;
+      Attr.Bool false
+  | Lexer.IDENT "unit" ->
+      advance st;
+      Attr.Unit
+  | Lexer.IDENT "inf" ->
+      advance st;
+      Attr.Float Float.infinity
+  | Lexer.IDENT "ninf" ->
+      advance st;
+      Attr.Float Float.neg_infinity
+  | Lexer.IDENT "nanf" ->
+      advance st;
+      Attr.Float Float.nan
+  | Lexer.IDENT "dense" ->
+      advance st;
+      expect st Lexer.LANGLE;
+      expect st Lexer.LBRACKET;
+      let xs = ref [] in
+      let rec go () =
+        match next st with
+        | Lexer.FLOAT f ->
+            xs := f :: !xs;
+            cont ()
+        | Lexer.INT i ->
+            xs := float_of_int i :: !xs;
+            cont ()
+        | Lexer.IDENT "inf" ->
+            xs := Float.infinity :: !xs;
+            cont ()
+        | Lexer.IDENT "ninf" ->
+            xs := Float.neg_infinity :: !xs;
+            cont ()
+        | Lexer.IDENT "nanf" ->
+            xs := Float.nan :: !xs;
+            cont ()
+        | Lexer.RBRACKET -> ()
+        | t -> raise (Error (Fmt.str "expected float in dense, found %a" Lexer.pp_token t))
+      and cont () =
+        match next st with
+        | Lexer.COMMA -> go ()
+        | Lexer.RBRACKET -> ()
+        | t -> raise (Error (Fmt.str "expected ',' or ']', found %a" Lexer.pp_token t))
+      in
+      (if peek st = Lexer.RBRACKET then advance st else go ());
+      expect st Lexer.RANGLE;
+      Attr.DenseF (Array.of_list (List.rev !xs))
+  | Lexer.LBRACKET ->
+      advance st;
+      if peek st = Lexer.RBRACKET then begin
+        advance st;
+        Attr.Array []
+      end
+      else
+        let rec go acc =
+          let a = parse_attr st in
+          match next st with
+          | Lexer.COMMA -> go (a :: acc)
+          | Lexer.RBRACKET -> Attr.Array (List.rev (a :: acc))
+          | t -> raise (Error (Fmt.str "expected ',' or ']', found %a" Lexer.pp_token t))
+        in
+        go []
+  | Lexer.IDENT _ | Lexer.LPAREN -> Attr.Type (parse_type st)
+  | t -> raise (Error (Fmt.str "expected attribute, found %a" Lexer.pp_token t))
+
+let parse_attr_dict st : Attr.Dict.t =
+  if peek st <> Lexer.LBRACE then Attr.Dict.empty
+  else begin
+    advance st;
+    if peek st = Lexer.RBRACE then begin
+      advance st;
+      Attr.Dict.empty
+    end
+    else
+      let rec go acc =
+        let key = expect_ident st in
+        expect st Lexer.EQUAL;
+        let v = parse_attr st in
+        match next st with
+        | Lexer.COMMA -> go ((key, v) :: acc)
+        | Lexer.RBRACE -> Attr.Dict.of_list (List.rev ((key, v) :: acc))
+        | t -> raise (Error (Fmt.str "expected ',' or '}', found %a" Lexer.pp_token t))
+      in
+      go []
+  end
+
+(* -- Values -------------------------------------------------------------- *)
+
+(** Look up [id], or mint it with type [ty] (forward reference). *)
+let value_of_id st id (ty : Types.t) : Ir.value =
+  match Hashtbl.find_opt st.env id with
+  | Some v ->
+      if not (Types.equal v.Ir.vty ty) then
+        error st
+          (Fmt.str "value %%%d used with type %a but defined with %a" id
+             Types.pp ty Types.pp v.Ir.vty);
+      v
+  | None ->
+      let v = { Ir.vid = id; vty = ty } in
+      Hashtbl.replace st.env id v;
+      v
+
+let define_value st id (ty : Types.t) : Ir.value =
+  match Hashtbl.find_opt st.env id with
+  | Some v when Types.equal v.Ir.vty ty -> v
+  | Some _ -> error st (Printf.sprintf "value %%%d redefined with different type" id)
+  | None ->
+      let v = { Ir.vid = id; vty = ty } in
+      Hashtbl.replace st.env id v;
+      v
+
+(* -- Operations ---------------------------------------------------------- *)
+
+let rec parse_op st : Ir.op =
+  (* optional result list: %0, %1 = *)
+  let result_ids = ref [] in
+  (match peek st with
+  | Lexer.PERCENT_INT _ ->
+      let rec go () =
+        match next st with
+        | Lexer.PERCENT_INT id -> (
+            result_ids := id :: !result_ids;
+            match next st with
+            | Lexer.COMMA -> go ()
+            | Lexer.EQUAL -> ()
+            | t -> raise (Error (Fmt.str "expected ',' or '=', found %a" Lexer.pp_token t)))
+        | t -> raise (Error (Fmt.str "expected value id, found %a" Lexer.pp_token t))
+      in
+      go ()
+  | _ -> ());
+  let result_ids = List.rev !result_ids in
+  let name =
+    match next st with
+    | Lexer.STRING s -> s
+    | t -> raise (Error (Fmt.str "expected op name string, found %a" Lexer.pp_token t))
+  in
+  expect st Lexer.LPAREN;
+  let operand_ids = ref [] in
+  (if peek st = Lexer.RPAREN then advance st
+   else
+     let rec go () =
+       match next st with
+       | Lexer.PERCENT_INT id -> (
+           operand_ids := id :: !operand_ids;
+           match next st with
+           | Lexer.COMMA -> go ()
+           | Lexer.RPAREN -> ()
+           | t -> raise (Error (Fmt.str "expected ',' or ')', found %a" Lexer.pp_token t)))
+       | t -> raise (Error (Fmt.str "expected operand id, found %a" Lexer.pp_token t))
+     in
+     go ());
+  let operand_ids = List.rev !operand_ids in
+  (* optional region list *)
+  let regions =
+    if peek st = Lexer.LPAREN && peek2 st = Lexer.LBRACE then begin
+      advance st;
+      let rec go acc =
+        let r = parse_region st in
+        match next st with
+        | Lexer.COMMA -> go (r :: acc)
+        | Lexer.RPAREN -> List.rev (r :: acc)
+        | t -> raise (Error (Fmt.str "expected ',' or ')', found %a" Lexer.pp_token t))
+      in
+      go []
+    end
+    else []
+  in
+  let attrs = parse_attr_dict st in
+  expect st Lexer.COLON;
+  expect st Lexer.LPAREN;
+  let operand_tys = parse_type_list_until st Lexer.RPAREN in
+  expect st Lexer.ARROW;
+  expect st Lexer.LPAREN;
+  let result_tys = parse_type_list_until st Lexer.RPAREN in
+  if List.length operand_tys <> List.length operand_ids then
+    error st (Printf.sprintf "op %S: %d operands but %d operand types" name
+                (List.length operand_ids) (List.length operand_tys));
+  if List.length result_tys <> List.length result_ids then
+    error st (Printf.sprintf "op %S: %d results but %d result types" name
+                (List.length result_ids) (List.length result_tys));
+  let operands = List.map2 (value_of_id st) operand_ids operand_tys in
+  let results = List.map2 (define_value st) result_ids result_tys in
+  { Ir.name; operands; results; attrs; regions }
+
+and parse_region st : Ir.region =
+  expect st Lexer.LBRACE;
+  let blocks = ref [] in
+  let rec go () =
+    match peek st with
+    | Lexer.CARET ->
+        blocks := parse_block st :: !blocks;
+        go ()
+    | Lexer.RBRACE -> advance st
+    | t -> raise (Error (Fmt.str "expected block or '}', found %a" Lexer.pp_token t))
+  in
+  go ();
+  { Ir.blocks = List.rev !blocks }
+
+and parse_block st : Ir.block =
+  expect st Lexer.CARET;
+  let _label = expect_ident st in
+  expect st Lexer.LPAREN;
+  let bargs = ref [] in
+  (if peek st = Lexer.RPAREN then advance st
+   else
+     let rec go () =
+       match next st with
+       | Lexer.PERCENT_INT id -> (
+           expect st Lexer.COLON;
+           let ty = parse_type st in
+           bargs := define_value st id ty :: !bargs;
+           match next st with
+           | Lexer.COMMA -> go ()
+           | Lexer.RPAREN -> ()
+           | t -> raise (Error (Fmt.str "expected ',' or ')', found %a" Lexer.pp_token t)))
+       | t -> raise (Error (Fmt.str "expected block arg, found %a" Lexer.pp_token t))
+     in
+     go ());
+  expect st Lexer.COLON;
+  let ops = ref [] in
+  let rec go () =
+    match peek st with
+    | Lexer.CARET | Lexer.RBRACE -> ()
+    | _ ->
+        ops := parse_op st :: !ops;
+        go ()
+  in
+  go ();
+  { Ir.bargs = List.rev !bargs; bops = List.rev !ops }
+
+let parse_modul st : Ir.modul =
+  expect st (Lexer.IDENT "module");
+  expect st Lexer.AT;
+  let name = expect_ident st in
+  expect st Lexer.LBRACE;
+  let ops = ref [] in
+  let rec go () =
+    match peek st with
+    | Lexer.RBRACE -> advance st
+    | _ ->
+        ops := parse_op st :: !ops;
+        go ()
+  in
+  go ();
+  expect st Lexer.EOF;
+  { Ir.mname = name; mops = List.rev !ops }
+
+(** [modul_of_string src] parses a whole module.
+    @raise Error on malformed input. *)
+let modul_of_string src = parse_modul (make src)
+
+(** [op_of_string src] parses a single operation (testing convenience). *)
+let op_of_string src =
+  let st = make src in
+  let op = parse_op st in
+  expect st Lexer.EOF;
+  op

@@ -1,0 +1,14 @@
+(** Recursive-descent parser for the generic IR text format — parses
+    exactly the language {!Printer} emits (grammar in docs/IR.md).
+    Forward value references are tolerated (minted with the type stated
+    in the trailing signature). *)
+
+exception Error of string
+
+(** [modul_of_string src] parses a whole module.
+    @raise Error on malformed input (and {!Lexer.Error} on lexical
+    errors). *)
+val modul_of_string : string -> Ir.modul
+
+(** [op_of_string src] parses a single operation (testing convenience). *)
+val op_of_string : string -> Ir.op

@@ -1,0 +1,41 @@
+(** Pass manager with per-pass wall-clock timing.
+
+    The timing ledger is load-bearing for the reproduction: the paper's
+    Figs. 10–13 plot compilation time against partition size and -O
+    level, and §V-B.1 breaks compile time down per stage.  Every pipeline
+    in this code base runs through this pass manager (or the equivalent
+    timers in [Spnc.Compiler]), so those numbers are real measured pass
+    times. *)
+
+type timing = { pass_name : string; seconds : float }
+
+type result = {
+  modul : Ir.modul;
+  timings : timing list;  (** in execution order *)
+}
+
+type pass = { name : string; run : Ir.modul -> (Ir.modul, string) Result.t }
+
+(** [make name f] wraps a total transformation as a pass. *)
+val make : string -> (Ir.modul -> Ir.modul) -> pass
+
+(** [make_fallible name f] wraps a transformation that can fail. *)
+val make_fallible : string -> (Ir.modul -> (Ir.modul, string) Result.t) -> pass
+
+(** Runs the verifier; fails the pipeline on diagnostics. *)
+val verify_pass : pass
+
+val canonicalize_pass : pass
+val cse_pass : pass
+val dce_pass : pass
+
+exception Pipeline_error of string * string  (** pass name, message *)
+
+(** [run_pipeline ?verify_each passes m] executes [passes] in order with
+    per-pass wall-clock timing.  With [verify_each] the verifier runs
+    after every pass, attributing IR breakage to the pass that caused it.
+    @raise Pipeline_error if a pass fails. *)
+val run_pipeline : ?verify_each:bool -> pass list -> Ir.modul -> result
+
+val total_seconds : result -> float
+val pp_timings : Format.formatter -> result -> unit

@@ -1,0 +1,65 @@
+(** Textual printer for the generic operation form.
+
+    The syntax follows MLIR's generic form closely:
+
+    {v
+    module @kernel {
+      %0, %1 = "dialect.op"(%2, %3) ({
+      ^bb0(%4: f32, %5: f32):
+        ...
+      }) {attr = 4} : (f32, f32) -> (f32, f32)
+    }
+    v}
+
+    One simplification: multiple results are printed as a comma-separated
+    value list rather than MLIR's [%0:2] group syntax, so the printed form
+    is trivially re-parseable by {!Parser}.  [Parser.modul_of_string]
+    round-trips the output of {!modul_to_string}; this is property-tested. *)
+
+let pp_value ppf (v : Ir.value) = Fmt.pf ppf "%%%d" v.Ir.vid
+
+let pp_value_typed ppf (v : Ir.value) =
+  Fmt.pf ppf "%%%d: %a" v.Ir.vid Types.pp v.Ir.vty
+
+let rec pp_op ~indent ppf (op : Ir.op) =
+  let pad = String.make indent ' ' in
+  Fmt.pf ppf "%s" pad;
+  (match op.results with
+  | [] -> ()
+  | rs -> Fmt.pf ppf "%a = " (Fmt.list ~sep:(Fmt.any ", ") pp_value) rs);
+  Fmt.pf ppf "%S(%a)" op.name (Fmt.list ~sep:(Fmt.any ", ") pp_value) op.operands;
+  if op.regions <> [] then begin
+    Fmt.pf ppf " (";
+    List.iteri
+      (fun i r ->
+        if i > 0 then Fmt.pf ppf ", ";
+        pp_region ~indent ppf r)
+      op.regions;
+    Fmt.pf ppf ")"
+  end;
+  Attr.Dict.pp ppf op.attrs;
+  Fmt.pf ppf " : (%a) -> (%a)"
+    (Fmt.list ~sep:(Fmt.any ", ") (fun ppf (v : Ir.value) -> Types.pp ppf v.vty))
+    op.operands
+    (Fmt.list ~sep:(Fmt.any ", ") (fun ppf (v : Ir.value) -> Types.pp ppf v.vty))
+    op.results
+
+and pp_region ~indent ppf (r : Ir.region) =
+  Fmt.pf ppf "{@.";
+  List.iter (pp_block ~indent:(indent + 2) ppf) r.Ir.blocks;
+  Fmt.pf ppf "%s}" (String.make indent ' ')
+
+and pp_block ~indent ppf (b : Ir.block) =
+  let pad = String.make (indent - 2) ' ' in
+  Fmt.pf ppf "%s^bb(%a):@." pad
+    (Fmt.list ~sep:(Fmt.any ", ") pp_value_typed)
+    b.Ir.bargs;
+  List.iter (fun op -> Fmt.pf ppf "%a@." (pp_op ~indent) op) b.Ir.bops
+
+let pp_modul ppf (m : Ir.modul) =
+  Fmt.pf ppf "module @%s {@." m.Ir.mname;
+  List.iter (fun op -> Fmt.pf ppf "%a@." (pp_op ~indent:2) op) m.Ir.mops;
+  Fmt.pf ppf "}@."
+
+let op_to_string op = Fmt.str "%a" (pp_op ~indent:0) op
+let modul_to_string m = Fmt.str "%a" pp_modul m

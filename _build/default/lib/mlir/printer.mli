@@ -1,0 +1,9 @@
+(** Textual printer for the generic operation form (MLIR-style; see
+    docs/IR.md for the grammar).  {!Parser.modul_of_string} round-trips
+    {!modul_to_string} output; property-tested. *)
+
+val pp_value : Format.formatter -> Ir.value -> unit
+val pp_op : indent:int -> Format.formatter -> Ir.op -> unit
+val pp_modul : Format.formatter -> Ir.modul -> unit
+val op_to_string : Ir.op -> string
+val modul_to_string : Ir.modul -> string

@@ -1,0 +1,77 @@
+(** Rebuild-style rewriting infrastructure.
+
+    Passes over this IR do not mutate in place (the structures are
+    immutable); instead they reconstruct blocks while threading a value
+    substitution.  {!transform} implements the generic driver: every
+    operation is visited in program order, its operands are substituted,
+    its regions rebuilt recursively, and a client callback decides whether
+    to keep it, replace it by new ops, or erase it. *)
+
+type subst = Ir.value Ir.VMap.t
+
+let subst_value (s : subst) (v : Ir.value) =
+  match Ir.VMap.find_opt v s with Some v' -> v' | None -> v
+
+type action =
+  | Keep  (** emit the operand-substituted op unchanged *)
+  | Replace of Ir.op list * Ir.value list
+      (** emit these ops; map the original results to the given values *)
+  | Erase  (** drop the op; it must have no results (or dead results) *)
+
+(** [transform ~rewrite m] rebuilds [m].  [rewrite] sees each op {e after}
+    operand substitution and region rebuilding. *)
+let transform ~(rewrite : Ir.op -> action) (m : Ir.modul) : Ir.modul =
+  let rec rebuild_op (s : subst ref) (op : Ir.op) : Ir.op list =
+    let operands = List.map (subst_value !s) op.Ir.operands in
+    let regions = List.map (rebuild_region s) op.Ir.regions in
+    let op = { op with Ir.operands; regions } in
+    match rewrite op with
+    | Keep -> [ op ]
+    | Replace (ops, new_results) ->
+        List.iter2
+          (fun old_r new_r -> s := Ir.VMap.add old_r new_r !s)
+          op.Ir.results new_results;
+        ops
+    | Erase -> []
+  and rebuild_region s (r : Ir.region) : Ir.region =
+    {
+      Ir.blocks =
+        List.map
+          (fun (b : Ir.block) ->
+            {
+              b with
+              Ir.bops = List.concat_map (rebuild_op s) b.Ir.bops;
+            })
+          r.Ir.blocks;
+    }
+  in
+  let s = ref Ir.VMap.empty in
+  { m with Ir.mops = List.concat_map (rebuild_op s) m.Ir.mops }
+
+(** [dce m] removes pure operations whose results are all unused.  Runs to
+    a fixpoint (an op may become dead once its only user is removed). *)
+let dce (m : Ir.modul) : Ir.modul =
+  let rec go m =
+    let used = Hashtbl.create 256 in
+    Ir.walk
+      (fun op ->
+        List.iter (fun (v : Ir.value) -> Hashtbl.replace used v.Ir.vid ()) op.Ir.operands)
+      m;
+    let removed = ref 0 in
+    let m' =
+      transform m ~rewrite:(fun op ->
+          if
+            Dialect.is_pure op.Ir.name
+            && op.Ir.results <> []
+            && List.for_all
+                 (fun (v : Ir.value) -> not (Hashtbl.mem used v.Ir.vid))
+                 op.Ir.results
+          then begin
+            incr removed;
+            Erase
+          end
+          else Keep)
+    in
+    if !removed = 0 then m' else go m'
+  in
+  go m

@@ -1,0 +1,117 @@
+(** Type system of the mini-MLIR infrastructure.
+
+    MLIR proper has an open, dialect-extensible type system.  For this
+    reproduction we use a closed variant that covers the builtin types the
+    paper's pipelines need ([f32]/[f64], signless integers, [index],
+    [tensor], [memref], [vector]) together with the two dialect types the
+    paper introduces: the abstract probability type of the HiSPN dialect
+    ([Prob], printed [!hi_spn.probability]) and the log-space computation
+    type of the LoSPN dialect ([Log], printed [!lo_spn.log<T>]).  The
+    deviation is recorded in DESIGN.md §4. *)
+
+(** Dimensions of a shaped type.  [None] encodes a dynamic extent, printed
+    as [?] like in MLIR. *)
+type dim = int option
+
+type t =
+  | F32  (** 32-bit IEEE-754 float *)
+  | F64  (** 64-bit IEEE-754 float *)
+  | Int of int  (** signless integer of the given bit width, e.g. [i32] *)
+  | Index  (** platform-width index type used for loop counters *)
+  | Bool  (** 1-bit predicate; printed [i1] *)
+  | Prob  (** abstract probability type of the HiSPN dialect *)
+  | Log of t  (** log-space computation type of the LoSPN dialect *)
+  | Tensor of dim list * t  (** immutable value-semantics batch container *)
+  | MemRef of dim list * t  (** mutable buffer reference *)
+  | Vector of int * t  (** fixed-width SIMD vector *)
+  | Func of t list * t list  (** function type, for kernel signatures *)
+  | None_  (** absence of a result; printed [none] *)
+
+let rec equal (a : t) (b : t) =
+  match (a, b) with
+  | F32, F32 | F64, F64 | Index, Index | Bool, Bool | Prob, Prob | None_, None_
+    ->
+      true
+  | Int w1, Int w2 -> w1 = w2
+  | Log t1, Log t2 -> equal t1 t2
+  | Tensor (d1, t1), Tensor (d2, t2) | MemRef (d1, t1), MemRef (d2, t2) ->
+      d1 = d2 && equal t1 t2
+  | Vector (w1, t1), Vector (w2, t2) -> w1 = w2 && equal t1 t2
+  | Func (a1, r1), Func (a2, r2) ->
+      List.length a1 = List.length a2
+      && List.length r1 = List.length r2
+      && List.for_all2 equal a1 a2
+      && List.for_all2 equal r1 r2
+  | _ -> false
+
+(** [element_type t] is the scalar element type of a shaped or vector type,
+    or [t] itself for scalars. *)
+let rec element_type = function
+  | Tensor (_, t) | MemRef (_, t) | Vector (_, t) -> element_type t
+  | t -> t
+
+(** [is_float t] holds for the two builtin float types. *)
+let is_float = function F32 | F64 -> true | _ -> false
+
+(** [is_integer t] holds for signless integers, [index] and [i1]. *)
+let is_integer = function Int _ | Index | Bool -> true | _ -> false
+
+(** [is_computation t] holds for types the LoSPN body may compute with:
+    floats, integers and log-space wrappers thereof (CT in Table II). *)
+let is_computation = function
+  | F32 | F64 | Int _ -> true
+  | Log (F32 | F64) -> true
+  | _ -> false
+
+(** [is_shaped t] holds for tensor and memref types. *)
+let is_shaped = function Tensor _ | MemRef _ -> true | _ -> false
+
+(** [shape t] is the dimension list of a shaped type. *)
+let shape = function
+  | Tensor (d, _) | MemRef (d, _) -> Some d
+  | _ -> None
+
+(** [strip_log t] unwraps one level of log-space typing. *)
+let strip_log = function Log t -> t | t -> t
+
+(** [bit_width t] is the storage width in bits of a scalar type. *)
+let rec bit_width = function
+  | F32 -> 32
+  | F64 -> 64
+  | Int w -> w
+  | Bool -> 1
+  | Index -> 64
+  | Prob -> 64
+  | Log t -> bit_width t
+  | Tensor _ | MemRef _ | Vector _ | Func _ | None_ -> 0
+
+(* Shaped types print dimensions comma-separated ([tensor<?,f32>] rather
+   than MLIR's [tensor<?xf32>]) so that the text format lexes with ordinary
+   tokens; recorded as a deviation in DESIGN.md. *)
+let rec pp ppf (t : t) =
+  let pp_dims ppf dims =
+    List.iter
+      (fun d ->
+        (match d with
+        | Some n -> Fmt.pf ppf "%d" n
+        | None -> Fmt.pf ppf "?");
+        Fmt.pf ppf ",")
+      dims
+  in
+  match t with
+  | F32 -> Fmt.string ppf "f32"
+  | F64 -> Fmt.string ppf "f64"
+  | Int w -> Fmt.pf ppf "i%d" w
+  | Bool -> Fmt.string ppf "i1"
+  | Index -> Fmt.string ppf "index"
+  | Prob -> Fmt.string ppf "!hi_spn.probability"
+  | Log t -> Fmt.pf ppf "!lo_spn.log<%a>" pp t
+  | Tensor (d, t) -> Fmt.pf ppf "tensor<%a%a>" pp_dims d pp t
+  | MemRef (d, t) -> Fmt.pf ppf "memref<%a%a>" pp_dims d pp t
+  | Vector (w, t) -> Fmt.pf ppf "vector<%d,%a>" w pp t
+  | Func (args, res) ->
+      Fmt.pf ppf "(%a) -> (%a)" (Fmt.list ~sep:(Fmt.any ", ") pp) args
+        (Fmt.list ~sep:(Fmt.any ", ") pp) res
+  | None_ -> Fmt.string ppf "none"
+
+let to_string t = Fmt.str "%a" pp t

@@ -1,0 +1,55 @@
+(** Type system of the mini-MLIR infrastructure.
+
+    MLIR proper has an open, dialect-extensible type system; this
+    reproduction uses a closed variant covering the builtin types the
+    paper's pipelines need plus the two dialect types the paper
+    introduces: the abstract probability type of HiSPN and the log-space
+    computation type of LoSPN (deviation recorded in DESIGN.md §4).
+
+    Shaped types print dimensions comma-separated ([tensor<?,f32>] rather
+    than MLIR's [tensor<?xf32>]) so the text format lexes with ordinary
+    tokens. *)
+
+(** A dimension; [None] is a dynamic extent, printed [?]. *)
+type dim = int option
+
+type t =
+  | F32  (** 32-bit IEEE-754 float *)
+  | F64  (** 64-bit IEEE-754 float *)
+  | Int of int  (** signless integer of the given bit width *)
+  | Index  (** platform-width index type for loop counters *)
+  | Bool  (** 1-bit predicate; printed [i1] *)
+  | Prob  (** abstract probability type of the HiSPN dialect *)
+  | Log of t  (** log-space computation type of the LoSPN dialect *)
+  | Tensor of dim list * t  (** immutable value-semantics batch container *)
+  | MemRef of dim list * t  (** mutable buffer reference *)
+  | Vector of int * t  (** fixed-width SIMD vector *)
+  | Func of t list * t list  (** function type, for kernel signatures *)
+  | None_  (** absence of a result; printed [none] *)
+
+val equal : t -> t -> bool
+
+(** [element_type t] — the scalar element of a shaped/vector type, or [t]
+    itself. *)
+val element_type : t -> t
+
+val is_float : t -> bool
+val is_integer : t -> bool
+
+(** [is_computation t] holds for types a LoSPN body may compute with:
+    floats, integers, and log-space wrappers thereof (CT in the paper's
+    Table II). *)
+val is_computation : t -> bool
+
+val is_shaped : t -> bool
+val shape : t -> dim list option
+
+(** [strip_log t] unwraps one level of log-space typing. *)
+val strip_log : t -> t
+
+(** [bit_width t] — storage width in bits of a scalar type; 0 for
+    aggregates. *)
+val bit_width : t -> int
+
+val pp : Format.formatter -> t -> unit
+val to_string : t -> string

@@ -1,0 +1,72 @@
+(** Module verifier.
+
+    Two layers, mirroring MLIR:
+    - generic structural checks: SSA values are defined exactly once, every
+      use is dominated by its definition (within straight-line blocks this
+      means "defined earlier in the block, as a block argument of an
+      enclosing region, or at an earlier top-level position");
+    - per-op dialect checks from {!Dialect}. *)
+
+type error = { op_name : string; message : string }
+
+let pp_error ppf e = Fmt.pf ppf "[%s] %s" e.op_name e.message
+
+exception Failed of error list
+
+(** [verify m] returns all diagnostics found in module [m]. *)
+let verify (m : Ir.modul) : error list =
+  let errors = ref [] in
+  let err op_name fmt =
+    Fmt.kstr (fun message -> errors := { op_name; message } :: !errors) fmt
+  in
+  (* defined: set of value ids in scope. Isolated-from-above is NOT assumed:
+     nested regions may refer to values of enclosing scopes, like the MLIR
+     ops we model (lo_spn.body captures nothing, but scf-like loops do). *)
+  let module ISet = Set.Make (Int) in
+  let define (scope : ISet.t ref) seen_all (v : Ir.value) name =
+    if ISet.mem v.Ir.vid !seen_all then
+      err name "value %%%d defined more than once" v.Ir.vid
+    else begin
+      seen_all := ISet.add v.Ir.vid !seen_all;
+      scope := ISet.add v.Ir.vid !scope
+    end
+  in
+  let seen_all = ref ISet.empty in
+  let rec check_op (scope : ISet.t ref) (op : Ir.op) =
+    List.iter
+      (fun (v : Ir.value) ->
+        if not (ISet.mem v.Ir.vid !scope) then
+          err op.name "operand %%%d used before definition" v.Ir.vid)
+      op.operands;
+    (* dialect-specific checks *)
+    (match Dialect.lookup op.name with
+    | Some info -> (
+        match info.Dialect.verify op with
+        | Ok () -> ()
+        | Error msg -> err op.name "%s" msg)
+    | None -> ());
+    (* nested regions: inherit enclosing scope *)
+    List.iter
+      (fun (r : Ir.region) ->
+        List.iter
+          (fun (b : Ir.block) ->
+            let inner = ref !scope in
+            List.iter (fun v -> define inner seen_all v op.name) b.Ir.bargs;
+            List.iter (check_op inner) b.Ir.bops)
+          r.Ir.blocks)
+      op.regions;
+    (* results become visible after the op *)
+    List.iter (fun v -> define scope seen_all v op.name) op.results
+  in
+  let top = ref ISet.empty in
+  List.iter (check_op top) m.Ir.mops;
+  List.rev !errors
+
+(** [verify_exn m] raises {!Failed} if the module has diagnostics. *)
+let verify_exn (m : Ir.modul) =
+  match verify m with [] -> () | errs -> raise (Failed errs)
+
+let is_valid m = verify m = []
+
+let errors_to_string errs =
+  Fmt.str "%a" (Fmt.list ~sep:(Fmt.any "@.") pp_error) errs

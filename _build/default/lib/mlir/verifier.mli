@@ -1,0 +1,18 @@
+(** Module verifier: generic structural SSA checks (single definition,
+    def-before-use with enclosing-scope visibility) plus per-op
+    dialect-registered checks from {!Dialect}. *)
+
+type error = { op_name : string; message : string }
+
+val pp_error : Format.formatter -> error -> unit
+
+exception Failed of error list
+
+(** [verify m] returns all diagnostics found in [m] (empty if valid). *)
+val verify : Ir.modul -> error list
+
+(** @raise Failed on diagnostics. *)
+val verify_exn : Ir.modul -> unit
+
+val is_valid : Ir.modul -> bool
+val errors_to_string : error list -> string

@@ -1,0 +1,1 @@
+lib/partition/dag.ml: Array Fun Int64 List

@@ -1,0 +1,1 @@
+lib/partition/partitioner.ml: Array Dag Hashtbl List

@@ -1,0 +1,132 @@
+(** Generic DAG representation consumed by the partitioner.
+
+    Nodes are dense integers [0 .. num_nodes-1]; edges point from producer
+    to consumer (dataflow direction).  The LoSPN partitioning pass builds
+    one of these from a Task body; tests build them directly. *)
+
+type t = {
+  num_nodes : int;
+  succ : int list array;  (** successors (consumers) per node *)
+  pred : int list array;  (** predecessors (producers) per node *)
+}
+
+let create ~num_nodes ~edges : t =
+  let succ = Array.make num_nodes [] in
+  let pred = Array.make num_nodes [] in
+  List.iter
+    (fun (src, dst) ->
+      if src < 0 || src >= num_nodes || dst < 0 || dst >= num_nodes then
+        invalid_arg "Dag.create: edge endpoint out of range";
+      succ.(src) <- dst :: succ.(src);
+      pred.(dst) <- src :: pred.(dst))
+    edges;
+  { num_nodes; succ; pred }
+
+let num_edges t =
+  Array.fold_left (fun acc l -> acc + List.length l) 0 t.succ
+
+let roots t =
+  (* nodes with no successors (e.g. the SPN root) *)
+  List.filter (fun i -> t.succ.(i) = []) (List.init t.num_nodes Fun.id)
+
+let leaves t = List.filter (fun i -> t.pred.(i) = []) (List.init t.num_nodes Fun.id)
+
+(** [is_acyclic t] checks for cycles via iterative DFS coloring. *)
+let is_acyclic t =
+  let color = Array.make t.num_nodes 0 in
+  (* 0 white, 1 grey, 2 black *)
+  let acyclic = ref true in
+  let rec visit stack =
+    match stack with
+    | [] -> ()
+    | `Enter n :: rest ->
+        if color.(n) = 1 then acyclic := false
+        else if color.(n) = 0 then begin
+          color.(n) <- 1;
+          visit
+            (List.fold_left
+               (fun acc s -> `Enter s :: acc)
+               (`Exit n :: rest) t.succ.(n))
+        end
+        else visit rest
+    | `Exit n :: rest ->
+        color.(n) <- 2;
+        visit rest
+  in
+  for n = 0 to t.num_nodes - 1 do
+    if color.(n) = 0 && !acyclic then visit [ `Enter n ]
+  done;
+  !acyclic
+
+(** [topo_random ~seed t] is a {e random} topological ordering — Kahn's
+    algorithm with a uniformly random choice among the ready nodes.  This
+    is the ordering the original heuristic of Herrmann et al. uses; the
+    paper replaces it with the DFS-flavoured {!topo_dfs} to keep SPN
+    subtrees contiguous.  Kept for the ablation benchmark comparing the
+    two choices. *)
+let topo_random ~seed (t : t) : int array =
+  let state = ref (Int64.of_int (seed * 2654435761 + 1)) in
+  let next_int bound =
+    (* splitmix64 step *)
+    state := Int64.add !state 0x9E3779B97F4A7C15L;
+    let z = !state in
+    let z = Int64.mul (Int64.logxor z (Int64.shift_right_logical z 30)) 0xBF58476D1CE4E5B9L in
+    let z = Int64.mul (Int64.logxor z (Int64.shift_right_logical z 27)) 0x94D049BB133111EBL in
+    let z = Int64.logxor z (Int64.shift_right_logical z 31) in
+    Int64.to_int (Int64.rem (Int64.logand z Int64.max_int) (Int64.of_int bound))
+  in
+  let indeg = Array.make t.num_nodes 0 in
+  for n = 0 to t.num_nodes - 1 do
+    indeg.(n) <- List.length t.pred.(n)
+  done;
+  let ready = ref [] in
+  for n = 0 to t.num_nodes - 1 do
+    if indeg.(n) = 0 then ready := n :: !ready
+  done;
+  let order = Array.make t.num_nodes 0 in
+  let filled = ref 0 in
+  let ready_arr = ref (Array.of_list !ready) in
+  while Array.length !ready_arr > 0 do
+    let arr = !ready_arr in
+    let k = next_int (Array.length arr) in
+    let n = arr.(k) in
+    arr.(k) <- arr.(Array.length arr - 1);
+    ready_arr := Array.sub arr 0 (Array.length arr - 1);
+    order.(!filled) <- n;
+    incr filled;
+    List.iter
+      (fun s ->
+        indeg.(s) <- indeg.(s) - 1;
+        if indeg.(s) = 0 then ready_arr := Array.append !ready_arr [| s |])
+      t.succ.(n)
+  done;
+  if !filled <> t.num_nodes then invalid_arg "Dag.topo_random: graph has a cycle";
+  order
+
+(** [topo_dfs t] orders nodes such that all predecessors of a node appear
+    before it, using the paper's depth-first variant: a node is emitted as
+    soon as all its children (predecessors, in dataflow direction) have
+    been emitted.  For the taper-towards-root shape of SPN DAGs this keeps
+    subtrees contiguous, making it likely that a node and its children
+    land in the same initial partition (§IV-A4). *)
+let topo_dfs t : int array =
+  let emitted = Array.make t.num_nodes false in
+  let order = ref [] in
+  let rec emit n =
+    if not emitted.(n) then begin
+      (* ensure all producers are emitted first, deepest-first *)
+      List.iter emit (List.rev t.pred.(n));
+      if not emitted.(n) then begin
+        emitted.(n) <- true;
+        order := n :: !order
+      end
+    end
+  in
+  (* start from the roots (consumers-of-everything), which recursively
+     pulls in whole subtrees depth-first *)
+  List.iter emit (roots t);
+  (* isolated or unreachable nodes *)
+  for n = 0 to t.num_nodes - 1 do
+    emit n
+  done;
+  Array.of_list (List.rev !order)

@@ -1,0 +1,36 @@
+(** Generic DAG representation consumed by the partitioner.
+
+    Nodes are dense integers [0 .. num_nodes-1]; edges point from producer
+    to consumer (dataflow direction). *)
+
+type t = {
+  num_nodes : int;
+  succ : int list array;  (** successors (consumers) per node *)
+  pred : int list array;  (** predecessors (producers) per node *)
+}
+
+(** @raise Invalid_argument on out-of-range edge endpoints. *)
+val create : num_nodes:int -> edges:(int * int) list -> t
+
+val num_edges : t -> int
+
+(** [roots t] — nodes with no successors (e.g. the SPN root). *)
+val roots : t -> int list
+
+(** [leaves t] — nodes with no predecessors. *)
+val leaves : t -> int list
+
+val is_acyclic : t -> bool
+
+(** [topo_random ~seed t] — a random topological ordering (Kahn's
+    algorithm with uniformly random tie-breaking): the ordering the
+    original heuristic of Herrmann et al. uses, kept for the ablation
+    benchmark.
+    @raise Invalid_argument on a cyclic graph. *)
+val topo_random : seed:int -> t -> int array
+
+(** [topo_dfs t] — the paper's depth-first-flavoured topological ordering
+    (§IV-A4): a node is emitted as soon as all its producers have been,
+    keeping SPN subtrees contiguous so that a node and its children tend
+    to land in the same initial partition. *)
+val topo_dfs : t -> int array

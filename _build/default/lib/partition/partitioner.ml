@@ -1,0 +1,175 @@
+(** Heuristic acyclic DAG partitioning (paper §IV-A4).
+
+    Follows the scheme of Herrmann et al.'s acyclic graph partitioning as
+    adapted by the paper:
+
+    - the initial partitioning cuts a depth-first topological ordering
+      ({!Dag.topo_dfs}) into contiguous chunks, so whole subtrees tend to
+      stay together; by construction no node in partition [j] has an edge
+      into partition [i < j] (partitions are topologically ordered, which
+      keeps the Task dependency graph acyclic);
+    - balancing allows a slack of 1% over the even partition size;
+    - the cost model charges, per SSA value crossing a partition boundary,
+      one store (the producing Task writes it to an intermediate buffer
+      once) plus one load per distinct consuming partition;
+    - refinement applies the lightweight "Simple Moves" heuristic: nodes
+      on partition boundaries may move to the neighbouring partition when
+      that reduces cost, preserving acyclicity and balance. *)
+
+type t = {
+  assignment : int array;  (** node -> partition index *)
+  num_partitions : int;
+}
+
+(** Initial-ordering strategy: the paper's DFS-flavoured ordering, or the
+    random topological ordering of the original heuristic (kept for the
+    ablation benchmark). *)
+type ordering = Dfs_order | Random_order of int  (** seed *)
+
+type config = {
+  max_partition_size : int;
+  slack : float;  (** fraction of allowed imbalance, paper uses 0.01 *)
+  refinement_passes : int;  (** 0 disables Simple-Moves refinement *)
+  ordering : ordering;
+}
+
+let default_config =
+  {
+    max_partition_size = 10_000;
+    slack = 0.01;
+    refinement_passes = 4;
+    ordering = Dfs_order;
+  }
+
+(** [cost dag p] — total store/load cost of cross-partition values. *)
+let cost (dag : Dag.t) (p : t) : int =
+  let total = ref 0 in
+  let consumers = Hashtbl.create 16 in
+  for n = 0 to dag.Dag.num_nodes - 1 do
+    Hashtbl.reset consumers;
+    let home = p.assignment.(n) in
+    List.iter
+      (fun s ->
+        let sp = p.assignment.(s) in
+        if sp <> home then Hashtbl.replace consumers sp ())
+      dag.Dag.succ.(n);
+    let k = Hashtbl.length consumers in
+    if k > 0 then total := !total + 1 + k (* one store + one load per part *)
+  done;
+  !total
+
+(** [partition_sizes p] — node count per partition. *)
+let partition_sizes (p : t) =
+  let sizes = Array.make p.num_partitions 0 in
+  Array.iter (fun a -> sizes.(a) <- sizes.(a) + 1) p.assignment;
+  sizes
+
+(** [respects_topological_order dag p] checks the acyclicity invariant:
+    every edge goes from a partition index to an equal or higher one. *)
+let respects_topological_order (dag : Dag.t) (p : t) =
+  let ok = ref true in
+  for n = 0 to dag.Dag.num_nodes - 1 do
+    List.iter
+      (fun s -> if p.assignment.(s) < p.assignment.(n) then ok := false)
+      dag.Dag.succ.(n)
+  done;
+  !ok
+
+(* -- Initial partitioning -------------------------------------------------- *)
+
+let initial (cfg : config) (dag : Dag.t) : t =
+  let n = dag.Dag.num_nodes in
+  if n = 0 then { assignment = [||]; num_partitions = 0 }
+  else begin
+    let k = max 1 ((n + cfg.max_partition_size - 1) / cfg.max_partition_size) in
+    let target = (n + k - 1) / k in
+    let order =
+      match cfg.ordering with
+      | Dfs_order -> Dag.topo_dfs dag
+      | Random_order seed -> Dag.topo_random ~seed dag
+    in
+    let assignment = Array.make n 0 in
+    Array.iteri (fun pos node -> assignment.(node) <- min (k - 1) (pos / target)) order;
+    { assignment; num_partitions = k }
+  end
+
+(* -- Simple-Moves refinement ----------------------------------------------- *)
+
+(* Gain of moving [n] from its partition to [dest]: recompute the store/
+   load cost contribution of n's incident values before and after. *)
+let move_gain (dag : Dag.t) (p : t) n dest =
+  let contribution assignment =
+    (* cost contributed by values produced by n or by a predecessor of n *)
+    let value_cost producer =
+      let home = assignment producer in
+      let seen = Hashtbl.create 4 in
+      List.iter
+        (fun s ->
+          let sp = assignment s in
+          if sp <> home then Hashtbl.replace seen sp ())
+        dag.Dag.succ.(producer);
+      let k = Hashtbl.length seen in
+      if k > 0 then 1 + k else 0
+    in
+    value_cost n + List.fold_left (fun acc pr -> acc + value_cost pr) 0 dag.Dag.pred.(n)
+  in
+  let before = contribution (fun i -> p.assignment.(i)) in
+  let after =
+    contribution (fun i -> if i = n then dest else p.assignment.(i))
+  in
+  before - after
+
+let feasible_move (dag : Dag.t) (p : t) n dest =
+  let cur = p.assignment.(n) in
+  if dest < 0 || dest >= p.num_partitions || dest = cur then false
+  else if dest > cur then
+    (* moving forward: all consumers must already be at >= dest *)
+    List.for_all (fun s -> p.assignment.(s) >= dest) dag.Dag.succ.(n)
+  else
+    (* moving backward: all producers must already be at <= dest *)
+    List.for_all (fun pr -> p.assignment.(pr) <= dest) dag.Dag.pred.(n)
+
+let refine (cfg : config) (dag : Dag.t) (p : t) : t =
+  if p.num_partitions <= 1 then p
+  else begin
+    let sizes = partition_sizes p in
+    let cap =
+      let even = (dag.Dag.num_nodes + p.num_partitions - 1) / p.num_partitions in
+      int_of_float (ceil (float_of_int even *. (1.0 +. cfg.slack)))
+    in
+    let p = { p with assignment = Array.copy p.assignment } in
+    for _pass = 1 to cfg.refinement_passes do
+      for n = 0 to dag.Dag.num_nodes - 1 do
+        let cur = p.assignment.(n) in
+        let try_move dest =
+          if
+            feasible_move dag p n dest
+            && sizes.(dest) < cap
+            && sizes.(cur) > 1
+            && move_gain dag p n dest > 0
+          then begin
+            p.assignment.(n) <- dest;
+            sizes.(cur) <- sizes.(cur) - 1;
+            sizes.(dest) <- sizes.(dest) + 1;
+            true
+          end
+          else false
+        in
+        (* neighbouring partitions only, as in Simple Moves *)
+        if not (try_move (cur + 1)) then ignore (try_move (cur - 1))
+      done
+    done;
+    p
+  end
+
+(** [run ?config dag] — initial partitioning plus refinement.  The result
+    always satisfies {!respects_topological_order}. *)
+let run ?(config = default_config) (dag : Dag.t) : t =
+  let p0 = initial config dag in
+  refine config dag p0
+
+(** [groups p] — nodes per partition, in ascending partition order. *)
+let groups (p : t) : int list array =
+  let out = Array.make (max 1 p.num_partitions) [] in
+  Array.iteri (fun n part -> out.(part) <- n :: out.(part)) p.assignment;
+  Array.map List.rev out

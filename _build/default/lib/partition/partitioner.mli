@@ -1,0 +1,51 @@
+(** Heuristic acyclic DAG partitioning (paper §IV-A4), after Herrmann et
+    al.: a topologically ordered initial cut with 1% balance slack,
+    refined by the lightweight Simple-Moves heuristic, under a
+    store-once/load-once communication cost model. *)
+
+type t = {
+  assignment : int array;  (** node -> partition index *)
+  num_partitions : int;
+}
+
+(** Initial-ordering strategy: the paper's DFS-flavoured ordering, or the
+    random topological ordering of the original heuristic (for the
+    ablation benchmark). *)
+type ordering = Dfs_order | Random_order of int  (** seed *)
+
+type config = {
+  max_partition_size : int;
+  slack : float;  (** fraction of allowed imbalance; the paper uses 0.01 *)
+  refinement_passes : int;  (** 0 disables Simple-Moves refinement *)
+  ordering : ordering;
+}
+
+val default_config : config
+
+(** [cost dag p] — total communication cost: per SSA value crossing a
+    partition boundary, one store (the producing task writes it once)
+    plus one load per distinct consuming partition. *)
+val cost : Dag.t -> t -> int
+
+val partition_sizes : t -> int array
+
+(** [respects_topological_order dag p] — the acyclicity invariant: every
+    edge goes from a partition index to an equal or higher one, so the
+    induced task dependency graph is acyclic. *)
+val respects_topological_order : Dag.t -> t -> bool
+
+(** [initial cfg dag] — contiguous chunks of the chosen topological
+    ordering. *)
+val initial : config -> Dag.t -> t
+
+(** [refine cfg dag p] — Simple-Moves refinement: boundary nodes move to
+    the neighbouring partition when that reduces {!cost}, preserving
+    the topological-order invariant and balance.  Never increases cost. *)
+val refine : config -> Dag.t -> t -> t
+
+(** [run ?config dag] — {!initial} followed by {!refine}.  The result
+    always satisfies {!respects_topological_order}. *)
+val run : ?config:config -> Dag.t -> t
+
+(** [groups p] — nodes per partition, ascending partition order. *)
+val groups : t -> int list array

@@ -1,0 +1,1 @@
+lib/runtime/exec.ml: Array Atomic Domain List Spnc_cpu

@@ -1,0 +1,78 @@
+(** Runtime component (paper §IV-B): loads a compiled kernel and executes
+    it over input data, multi-threaded.
+
+    The generated kernel itself is single-threaded; the runtime splits
+    the input into chunks of the user-provided batch size and processes
+    the chunks on a pool of OCaml 5 domains — "the runtime component ...
+    will split the input data into multiple chunks and use multiple
+    threads to process these chunks in parallel.  In this case, the
+    user-provided batch size is used as size for the chunks.  Note that
+    the batch size is a mere optimization hint, the generated kernel can
+    still process an arbitrary number of inputs." *)
+
+type t = {
+  kernel : Spnc_cpu.Lir.modul;
+  out_cols : int;  (** slots per sample in the kernel output buffer *)
+  batch_size : int;  (** chunk size hint *)
+  threads : int;
+}
+
+let load ?(batch_size = 4096) ?(threads = 1) ~out_cols kernel =
+  { kernel; out_cols; batch_size; threads }
+
+(* Execute one chunk [lo, hi) of the flat input. *)
+let run_chunk t ~(flat : float array) ~num_features ~lo ~hi : float array =
+  let rows = hi - lo in
+  let chunk = Array.sub flat (lo * num_features) (rows * num_features) in
+  let input = Spnc_cpu.Vm.of_flat chunk ~rows ~cols:num_features in
+  let out = Spnc_cpu.Vm.buffer ~rows ~cols:t.out_cols in
+  Spnc_cpu.Vm.run t.kernel ~buffers:[ input; out ];
+  (* result slot 0 is transposed: the first [rows] entries *)
+  Array.sub out.Spnc_cpu.Vm.data 0 rows
+
+(** [execute t ~flat ~rows ~num_features] — evaluate all samples,
+    chunked, possibly across domains; returns one value per sample. *)
+let execute (t : t) ~(flat : float array) ~rows ~num_features : float array =
+  if Array.length flat <> rows * num_features then
+    invalid_arg "Exec.execute: input size mismatch";
+  let out = Array.make rows 0.0 in
+  let chunks = ref [] in
+  let lo = ref 0 in
+  while !lo < rows do
+    let hi = min rows (!lo + t.batch_size) in
+    chunks := (!lo, hi) :: !chunks;
+    lo := hi
+  done;
+  let chunks = Array.of_list (List.rev !chunks) in
+  let process (lo, hi) =
+    let res = run_chunk t ~flat ~num_features ~lo ~hi in
+    Array.blit res 0 out lo (hi - lo)
+  in
+  if t.threads <= 1 || Array.length chunks <= 1 then
+    Array.iter process chunks
+  else begin
+    (* domain pool over an atomic work index *)
+    let next = Atomic.make 0 in
+    let worker () =
+      let continue = ref true in
+      while !continue do
+        let i = Atomic.fetch_and_add next 1 in
+        if i >= Array.length chunks then continue := false
+        else process chunks.(i)
+      done
+    in
+    let n_workers = min t.threads (Array.length chunks) in
+    let domains = List.init (n_workers - 1) (fun _ -> Domain.spawn worker) in
+    worker ();
+    List.iter Domain.join domains
+  end;
+  out
+
+(** [execute_rows t rows_2d] — convenience over row-major samples. *)
+let execute_rows (t : t) (rows_2d : float array array) : float array =
+  let rows = Array.length rows_2d in
+  if rows = 0 then [||]
+  else
+    let num_features = Array.length rows_2d.(0) in
+    let flat = Array.concat (Array.to_list rows_2d) in
+    execute t ~flat ~rows ~num_features

@@ -1,0 +1,23 @@
+(** Runtime component (paper §IV-B): loads a compiled kernel and executes
+    it over input data, multi-threaded.
+
+    The generated kernel is single-threaded; the runtime splits the input
+    into chunks of the user-provided batch size and processes them on a
+    pool of OCaml 5 domains.  The batch size is an optimization hint:
+    any row count works. *)
+
+type t
+
+(** [load ?batch_size ?threads ~out_cols kernel] prepares a kernel whose
+    output buffer has [out_cols] slots per sample (slot 0 is the query
+    result). *)
+val load :
+  ?batch_size:int -> ?threads:int -> out_cols:int -> Spnc_cpu.Lir.modul -> t
+
+(** [execute t ~flat ~rows ~num_features] evaluates all samples (row-major
+    flat input); one result per sample.
+    @raise Invalid_argument on size mismatch. *)
+val execute : t -> flat:float array -> rows:int -> num_features:int -> float array
+
+(** [execute_rows t rows] — convenience over row-major samples. *)
+val execute_rows : t -> float array array -> float array

@@ -1,0 +1,1 @@
+lib/spn/em.ml: Array Float Hashtbl Infer List Model Option

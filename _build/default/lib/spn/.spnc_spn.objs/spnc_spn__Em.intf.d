@@ -1,0 +1,1 @@
+lib/spn/em.mli: Model

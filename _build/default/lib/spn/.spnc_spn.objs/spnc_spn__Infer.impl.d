@@ -1,0 +1,1 @@
+lib/spn/infer.ml: Array Float Hashtbl List Model Spnc_data

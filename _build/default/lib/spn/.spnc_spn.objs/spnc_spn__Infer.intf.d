@@ -1,0 +1,1 @@
+lib/spn/infer.mli: Model Spnc_data

@@ -1,0 +1,1 @@
+lib/spn/learnspn.ml: Array Float Fun Hashtbl List Model Option Spnc_data

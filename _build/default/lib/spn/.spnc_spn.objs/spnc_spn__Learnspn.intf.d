@@ -1,0 +1,1 @@
+lib/spn/learnspn.mli: Model Spnc_data

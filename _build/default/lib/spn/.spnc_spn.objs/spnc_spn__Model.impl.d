@@ -1,0 +1,1 @@
+lib/spn/model.ml: Array Fmt Hashtbl List

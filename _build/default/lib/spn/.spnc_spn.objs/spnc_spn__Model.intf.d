@@ -1,0 +1,1 @@
+lib/spn/model.mli: Format

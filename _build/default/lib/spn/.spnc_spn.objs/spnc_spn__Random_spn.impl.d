@@ -1,0 +1,1 @@
+lib/spn/random_spn.ml: Array Fun List Model Spnc_data

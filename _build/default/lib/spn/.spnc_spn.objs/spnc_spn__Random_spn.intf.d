@@ -1,0 +1,1 @@
+lib/spn/random_spn.mli: Model Spnc_data

@@ -1,0 +1,1 @@
+lib/spn/rat_spn.ml: Array Float Fun Hashtbl List Model Printf Spnc_data

@@ -1,0 +1,1 @@
+lib/spn/rat_spn.mli: Model Spnc_data

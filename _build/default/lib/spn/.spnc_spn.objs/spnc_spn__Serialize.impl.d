@@ -1,0 +1,1 @@
+lib/spn/serialize.ml: Array Buffer Char Fmt Fun Hashtbl Int32 Int64 Lazy List Model String

@@ -1,0 +1,1 @@
+lib/spn/serialize.mli: Model

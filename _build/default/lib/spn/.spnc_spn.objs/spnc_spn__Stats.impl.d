@@ -1,0 +1,1 @@
+lib/spn/stats.ml: Fmt List Model

@@ -1,0 +1,1 @@
+lib/spn/stats.mli: Format Model

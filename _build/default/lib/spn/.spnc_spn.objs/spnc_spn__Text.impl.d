@@ -1,0 +1,1 @@
+lib/spn/text.ml: Array Buffer Float Fmt List Model String

@@ -1,0 +1,1 @@
+lib/spn/text.mli: Model

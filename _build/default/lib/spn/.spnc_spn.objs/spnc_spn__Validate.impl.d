@@ -1,0 +1,1 @@
+lib/spn/validate.ml: Array Float Fmt Hashtbl Int List Model Set

@@ -1,0 +1,1 @@
+lib/spn/validate.mli: Format Hashtbl Model Set

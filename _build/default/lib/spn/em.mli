@@ -1,0 +1,24 @@
+(** Expectation-Maximization parameter learning for a fixed SPN structure
+    (Peharz et al.'s latent-variable EM) — the training substrate the
+    paper defers to SPFlow (§II-A).
+
+    E-step: an upward log-likelihood pass plus a downward responsibility
+    pass per sample.  M-step: sum weights become normalized expected
+    counts; optionally, Gaussian leaves are re-fit from responsibility-
+    weighted moments.  The training log-likelihood is non-decreasing
+    across iterations (property-tested). *)
+
+type config = {
+  iterations : int;
+  learn_leaves : bool;  (** also update Gaussian leaf parameters *)
+  weight_floor : float;  (** minimum weight, keeps the SPN strictly positive *)
+  min_stddev : float;
+}
+
+val default_config : config
+
+type report = { log_likelihoods : float list (** one entry per iteration *) }
+
+(** [fit ?config t rows] returns the re-parameterized model and the
+    per-iteration training log-likelihood. *)
+val fit : ?config:config -> Model.t -> float array array -> Model.t * report

@@ -1,0 +1,217 @@
+(** Reference inference — the correctness oracle for every compiled kernel.
+
+    Implements the single bottom-up DAG evaluation of the paper (§II-A)
+    directly over the model, memoized per node id, in either linear or
+    log space.
+
+    Marginal inference: a NaN feature value means "no evidence for this
+    variable"; every leaf over that variable contributes probability 1
+    (log-probability 0), which marginalizes the variable out exactly. *)
+
+type space = Linear | LogSpace
+
+let log_sqrt_2pi = 0.5 *. log (2.0 *. Float.pi)
+
+(** [gaussian_logpdf ~mean ~stddev x] is the log of the normal density. *)
+let gaussian_logpdf ~mean ~stddev x =
+  let z = (x -. mean) /. stddev in
+  (-0.5 *. z *. z) -. log stddev -. log_sqrt_2pi
+
+let gaussian_pdf ~mean ~stddev x = exp (gaussian_logpdf ~mean ~stddev x)
+
+(** [categorical_prob probs x] looks the (rounded, clamped) index up. *)
+let categorical_prob probs x =
+  let i = int_of_float (Float.round x) in
+  if i < 0 || i >= Array.length probs then 0.0 else probs.(i)
+
+(** [histogram_prob ~breaks ~densities x] finds the bucket containing [x];
+    out-of-range evidence has probability 0. *)
+let histogram_prob ~breaks ~densities x =
+  let i = int_of_float (Float.floor x) in
+  let n = Array.length densities in
+  let rec find k =
+    if k >= n then 0.0
+    else if i >= breaks.(k) && i < breaks.(k + 1) then densities.(k)
+    else find (k + 1)
+  in
+  if Float.is_nan x then 1.0 else find 0
+
+(** [log_sum_exp a b] computes log(exp a + exp b) stably. *)
+let log_sum_exp a b =
+  if a = Float.neg_infinity then b
+  else if b = Float.neg_infinity then a
+  else
+    let m = Float.max a b in
+    m +. log (exp (a -. m) +. exp (b -. m))
+
+(** [log_likelihood t row] evaluates the SPN bottom-up in log space.
+    NaN features are marginalized. *)
+let log_likelihood (t : Model.t) (row : float array) : float =
+  let memo = Hashtbl.create 256 in
+  let rec eval (n : Model.node) =
+    match Hashtbl.find_opt memo n.id with
+    | Some v -> v
+    | None ->
+        let v =
+          match n.desc with
+          | Model.Gaussian { var; mean; stddev } ->
+              let x = row.(var) in
+              if Float.is_nan x then 0.0 else gaussian_logpdf ~mean ~stddev x
+          | Model.Categorical { var; probs } ->
+              let x = row.(var) in
+              if Float.is_nan x then 0.0 else log (categorical_prob probs x)
+          | Model.Histogram { var; breaks; densities } ->
+              log (histogram_prob ~breaks ~densities row.(var))
+          | Model.Product cs ->
+              List.fold_left (fun acc c -> acc +. eval c) 0.0 cs
+          | Model.Sum cs ->
+              List.fold_left
+                (fun acc (w, c) ->
+                  if w = 0.0 then acc
+                  else log_sum_exp acc (log w +. eval c))
+                Float.neg_infinity cs
+        in
+        Hashtbl.replace memo n.id v;
+        v
+  in
+  eval t.root
+
+(** [likelihood t row] evaluates in linear space (can underflow for deep
+    SPNs — exactly the failure mode the LoSPN log type exists for). *)
+let likelihood (t : Model.t) (row : float array) : float =
+  let memo = Hashtbl.create 256 in
+  let rec eval (n : Model.node) =
+    match Hashtbl.find_opt memo n.id with
+    | Some v -> v
+    | None ->
+        let v =
+          match n.desc with
+          | Model.Gaussian { var; mean; stddev } ->
+              let x = row.(var) in
+              if Float.is_nan x then 1.0 else gaussian_pdf ~mean ~stddev x
+          | Model.Categorical { var; probs } ->
+              let x = row.(var) in
+              if Float.is_nan x then 1.0 else categorical_prob probs x
+          | Model.Histogram { var; breaks; densities } ->
+              histogram_prob ~breaks ~densities row.(var)
+          | Model.Product cs ->
+              List.fold_left (fun acc c -> acc *. eval c) 1.0 cs
+          | Model.Sum cs ->
+              List.fold_left (fun acc (w, c) -> acc +. (w *. eval c)) 0.0 cs
+        in
+        Hashtbl.replace memo n.id v;
+        v
+  in
+  eval t.root
+
+(** [eval ~space t row] dispatches on the computation space; the result is
+    always reported as a log-likelihood for comparability. *)
+let eval ~space t row =
+  match space with
+  | LogSpace -> log_likelihood t row
+  | Linear -> log (likelihood t row)
+
+(** [log_likelihood_batch t rows] evaluates a batch; result per row. *)
+let log_likelihood_batch t rows = Array.map (log_likelihood t) rows
+
+(** [classify models row] returns the index of the model with the highest
+    log-likelihood — the per-speaker / per-class decision rule used by
+    both applications of the paper. *)
+let classify (models : Model.t array) (row : float array) : int =
+  let best = ref 0 and best_ll = ref Float.neg_infinity in
+  Array.iteri
+    (fun i m ->
+      let ll = log_likelihood m row in
+      if ll > !best_ll then begin
+        best := i;
+        best_ll := ll
+      end)
+    models;
+  !best
+
+(** [accuracy models data] is the fraction of rows classified into their
+    ground-truth label. *)
+let accuracy (models : Model.t array) (data : Spnc_data.Synth.dataset) : float =
+  let correct = ref 0 in
+  Array.iteri
+    (fun i row -> if classify models row = data.Spnc_data.Synth.labels.(i) then incr correct)
+    data.Spnc_data.Synth.samples;
+  float_of_int !correct /. float_of_int (Array.length data.Spnc_data.Synth.samples)
+
+(* -- MPE (max-product) inference --------------------------------------------- *)
+
+(** [mpe t row] — most-probable-explanation completion: NaN entries of
+    [row] are filled with their most probable values under [t].  Sums are
+    evaluated max-product upward; a downward traceback picks the argmax
+    child of each sum and the mode of each marginalized leaf.  (An
+    extension beyond the paper's joint/marginal queries; standard SPN
+    functionality.) *)
+let mpe (t : Model.t) (row : float array) : float array =
+  (* upward max-product pass in log space *)
+  let values = Hashtbl.create 256 in
+  let best_child = Hashtbl.create 64 in
+  List.iter
+    (fun (n : Model.node) ->
+      let v =
+        match n.Model.desc with
+        | Model.Gaussian { var; mean; stddev } ->
+            let x = row.(var) in
+            if Float.is_nan x then
+              (* mode of the Gaussian: density at the mean *)
+              gaussian_logpdf ~mean ~stddev mean
+            else gaussian_logpdf ~mean ~stddev x
+        | Model.Categorical { var; probs } ->
+            let x = row.(var) in
+            if Float.is_nan x then
+              log (Array.fold_left Float.max 0.0 probs)
+            else log (categorical_prob probs x)
+        | Model.Histogram { var; breaks; densities } ->
+            let x = row.(var) in
+            if Float.is_nan x then
+              log (Array.fold_left Float.max 0.0 densities)
+            else log (histogram_prob ~breaks ~densities x)
+        | Model.Product cs ->
+            List.fold_left (fun acc c -> acc +. Hashtbl.find values c.Model.id) 0.0 cs
+        | Model.Sum cs ->
+            let best = ref Float.neg_infinity and arg = ref 0 in
+            List.iteri
+              (fun i (w, c) ->
+                if w > 0.0 then begin
+                  let v = log w +. Hashtbl.find values c.Model.id in
+                  if v > !best then begin
+                    best := v;
+                    arg := i
+                  end
+                end)
+              cs;
+            Hashtbl.replace best_child n.Model.id !arg;
+            !best
+      in
+      Hashtbl.replace values n.Model.id v)
+    (Model.nodes_postorder t);
+  (* downward traceback filling the completion *)
+  let out = Array.copy row in
+  let rec descend (n : Model.node) =
+    match n.Model.desc with
+    | Model.Sum cs ->
+        let i = Hashtbl.find best_child n.Model.id in
+        descend (snd (List.nth cs i))
+    | Model.Product cs -> List.iter descend cs
+    | Model.Gaussian { var; mean; _ } ->
+        if Float.is_nan out.(var) then out.(var) <- mean
+    | Model.Categorical { var; probs } ->
+        if Float.is_nan out.(var) then begin
+          let best = ref 0 in
+          Array.iteri (fun i p -> if p > probs.(!best) then best := i) probs;
+          out.(var) <- float_of_int !best
+        end
+    | Model.Histogram { var; breaks; densities } ->
+        if Float.is_nan out.(var) then begin
+          let best = ref 0 in
+          Array.iteri (fun i d -> if d > densities.(!best) then best := i) densities;
+          out.(var) <-
+            (float_of_int breaks.(!best) +. float_of_int breaks.(!best + 1)) /. 2.0
+        end
+  in
+  descend t.Model.root;
+  out

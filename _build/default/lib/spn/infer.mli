@@ -1,0 +1,55 @@
+(** Reference inference — the correctness oracle for every compiled
+    kernel.
+
+    Implements the single bottom-up DAG evaluation of the paper (§II-A),
+    memoized per node id, in either linear or log space.  A NaN feature
+    value means "no evidence": every leaf over that variable contributes
+    probability 1, which marginalizes the variable out exactly. *)
+
+type space = Linear | LogSpace
+
+(** [gaussian_logpdf ~mean ~stddev x] — log of the normal density. *)
+val gaussian_logpdf : mean:float -> stddev:float -> float -> float
+
+val gaussian_pdf : mean:float -> stddev:float -> float -> float
+
+(** [categorical_prob probs x] looks up the (rounded) index; out-of-range
+    evidence has probability 0. *)
+val categorical_prob : float array -> float -> float
+
+(** [histogram_prob ~breaks ~densities x] — density of the bucket
+    containing [x]; 0 outside all buckets; 1 for NaN. *)
+val histogram_prob : breaks:int array -> densities:float array -> float -> float
+
+(** [log_sum_exp a b] computes log(exp a + exp b) stably, with
+    [neg_infinity] as the identity. *)
+val log_sum_exp : float -> float -> float
+
+(** [log_likelihood t row] — bottom-up evaluation in log space.  NaN
+    features are marginalized. *)
+val log_likelihood : Model.t -> float array -> float
+
+(** [likelihood t row] — linear-space evaluation; can underflow for deep
+    SPNs (the failure mode the LoSPN log type exists for). *)
+val likelihood : Model.t -> float array -> float
+
+(** [eval ~space t row] — evaluate in the given space; the result is
+    always reported as a log-likelihood for comparability. *)
+val eval : space:space -> Model.t -> float array -> float
+
+val log_likelihood_batch : Model.t -> float array array -> float array
+
+(** [classify models row] — index of the model with the highest
+    log-likelihood (the per-speaker / per-class decision rule of both
+    applications in the paper). *)
+val classify : Model.t array -> float array -> int
+
+(** [accuracy models data] — fraction of rows classified into their
+    ground-truth label. *)
+val accuracy : Model.t array -> Spnc_data.Synth.dataset -> float
+
+(** [mpe t row] — most-probable-explanation completion: NaN entries of
+    [row] are filled with their most probable values (max-product upward
+    pass, argmax traceback downward).  An extension beyond the paper's
+    joint/marginal queries. *)
+val mpe : Model.t -> float array -> float array

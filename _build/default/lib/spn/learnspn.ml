@@ -1,0 +1,161 @@
+(** LearnSPN-style structure learning (Gens & Domingos), miniature
+    edition.
+
+    The paper assumes SPNs are trained beforehand in SPFlow; this module
+    is the corresponding substrate so the examples can produce models from
+    data end-to-end.  The classic recursive scheme:
+
+    - few rows or a single variable → fit a univariate leaf;
+    - try to split variables into independence groups (via a pairwise
+      |correlation| threshold over the current rows) → product node;
+    - otherwise cluster the rows (k-means, k=2) → sum node whose weights
+      are the cluster proportions.  *)
+
+type config = {
+  min_rows : int;  (** stop splitting below this many rows *)
+  corr_threshold : float;  (** |pearson| above which vars are dependent *)
+  kmeans_iters : int;
+  min_stddev : float;  (** variance floor for fitted Gaussians *)
+}
+
+let default_config =
+  { min_rows = 16; corr_threshold = 0.3; kmeans_iters = 12; min_stddev = 0.05 }
+
+(* -- Basic statistics ----------------------------------------------------- *)
+
+let mean_of xs =
+  if Array.length xs = 0 then 0.0
+  else Array.fold_left ( +. ) 0.0 xs /. float_of_int (Array.length xs)
+
+let stddev_of xs =
+  let m = mean_of xs in
+  let var =
+    Array.fold_left (fun acc x -> acc +. ((x -. m) ** 2.0)) 0.0 xs
+    /. float_of_int (max 1 (Array.length xs - 1))
+  in
+  sqrt var
+
+let column rows var = Array.map (fun (r : float array) -> r.(var)) rows
+
+let pearson xs ys =
+  let mx = mean_of xs and my = mean_of ys in
+  let num = ref 0.0 and dx = ref 0.0 and dy = ref 0.0 in
+  Array.iteri
+    (fun i x ->
+      let a = x -. mx and b = ys.(i) -. my in
+      num := !num +. (a *. b);
+      dx := !dx +. (a *. a);
+      dy := !dy +. (b *. b))
+    xs;
+  if !dx <= 0.0 || !dy <= 0.0 then 0.0 else !num /. sqrt (!dx *. !dy)
+
+(* -- Variable grouping (union-find over the dependency graph) ------------- *)
+
+let dependency_groups cfg rows (vars : int array) : int array list =
+  let n = Array.length vars in
+  let parent = Array.init n Fun.id in
+  let rec find i = if parent.(i) = i then i else find parent.(i) in
+  let union i j =
+    let ri = find i and rj = find j in
+    if ri <> rj then parent.(ri) <- rj
+  in
+  for i = 0 to n - 1 do
+    for j = i + 1 to n - 1 do
+      let c = pearson (column rows vars.(i)) (column rows vars.(j)) in
+      if Float.abs c > cfg.corr_threshold then union i j
+    done
+  done;
+  let groups = Hashtbl.create 8 in
+  Array.iteri
+    (fun i v ->
+      let root = find i in
+      Hashtbl.replace groups root (v :: Option.value ~default:[] (Hashtbl.find_opt groups root)))
+    vars;
+  Hashtbl.fold (fun _ vs acc -> Array.of_list (List.rev vs) :: acc) groups []
+
+(* -- Row clustering (k-means, k = 2) -------------------------------------- *)
+
+let kmeans2 rng cfg (rows : float array array) (vars : int array) :
+    float array array * float array array =
+  let n = Array.length rows in
+  let dist r c =
+    Array.fold_left
+      (fun acc v -> acc +. (((r : float array).(v) -. c.(v)) ** 2.0))
+      0.0 vars
+  in
+  let c0 = ref (Array.copy rows.(Spnc_data.Rng.int rng n)) in
+  let c1 = ref (Array.copy rows.(Spnc_data.Rng.int rng n)) in
+  let assign = Array.make n 0 in
+  for _ = 1 to cfg.kmeans_iters do
+    Array.iteri
+      (fun i r -> assign.(i) <- (if dist r !c0 <= dist r !c1 then 0 else 1))
+      rows;
+    let recompute k =
+      let members = ref 0 in
+      let acc = Array.make (Array.length rows.(0)) 0.0 in
+      Array.iteri
+        (fun i r ->
+          if assign.(i) = k then begin
+            incr members;
+            Array.iteri (fun f v -> acc.(f) <- acc.(f) +. v) r
+          end)
+        rows;
+      if !members > 0 then
+        Array.map (fun v -> v /. float_of_int !members) acc
+      else Array.copy rows.(Spnc_data.Rng.int rng n)
+    in
+    c0 := recompute 0;
+    c1 := recompute 1
+  done;
+  let part k =
+    Array.of_list
+      (List.filteri (fun i _ -> assign.(i) = k) (Array.to_list rows))
+  in
+  (part 0, part 1)
+
+(* -- Leaf fitting ---------------------------------------------------------- *)
+
+let fit_leaf cfg rows var : Model.node =
+  let xs = column rows var in
+  Model.gaussian ~var ~mean:(mean_of xs)
+    ~stddev:(Float.max cfg.min_stddev (stddev_of xs))
+
+(* -- Main recursion -------------------------------------------------------- *)
+
+(** [learn rng ?config rows ~num_features ~name] learns an SPN structure
+    plus parameters from data rows. *)
+let learn ?(config = default_config) rng (rows : float array array)
+    ~num_features ~name : Model.t =
+  let cfg = config in
+  let rec go rows (vars : int array) ~can_cluster : Model.node =
+    if Array.length vars = 1 then fit_leaf cfg rows vars.(0)
+    else if Array.length rows < cfg.min_rows then
+      (* too little data: assume independence, factorize fully *)
+      Model.product (Array.to_list (Array.map (fit_leaf cfg rows) vars))
+    else
+      match dependency_groups cfg rows vars with
+      | [] -> assert false
+      | [ _single_group ] when can_cluster ->
+          (* variables are mutually dependent: cluster rows instead *)
+          let r0, r1 = kmeans2 rng cfg rows vars in
+          if Array.length r0 = 0 || Array.length r1 = 0 then
+            go rows vars ~can_cluster:false
+          else
+            let w0 =
+              float_of_int (Array.length r0)
+              /. float_of_int (Array.length rows)
+            in
+            Model.sum
+              [
+                (w0, go r0 vars ~can_cluster:false);
+                (1.0 -. w0, go r1 vars ~can_cluster:false);
+              ]
+      | [ _single_group ] ->
+          (* clustering failed to separate: fall back to factorization *)
+          Model.product (Array.to_list (Array.map (fit_leaf cfg rows) vars))
+      | groups ->
+          Model.product
+            (List.map (fun g -> go rows g ~can_cluster:true) groups)
+  in
+  let vars = Array.init num_features Fun.id in
+  Model.make ~name ~num_features (go rows vars ~can_cluster:true)

@@ -1,0 +1,26 @@
+(** LearnSPN-style structure learning (Gens & Domingos), miniature
+    edition — the training substrate the paper defers to SPFlow.
+
+    Recursive scheme: few rows or a single variable → fit a leaf;
+    variables split into independence groups (|pearson| threshold) →
+    product; otherwise k-means (k=2) row clustering → sum with weights
+    equal to cluster proportions. *)
+
+type config = {
+  min_rows : int;  (** stop splitting below this many rows *)
+  corr_threshold : float;  (** |pearson| above which vars are dependent *)
+  kmeans_iters : int;
+  min_stddev : float;  (** variance floor for fitted Gaussians *)
+}
+
+val default_config : config
+
+(** [learn ?config rng rows ~num_features ~name] learns structure and
+    parameters from data rows.  The result is always a valid SPN. *)
+val learn :
+  ?config:config ->
+  Spnc_data.Rng.t ->
+  float array array ->
+  num_features:int ->
+  name:string ->
+  Model.t

@@ -1,0 +1,153 @@
+(** The Sum-Product Network model — the DAG the compiler consumes.
+
+    Mirrors SPFlow's in-memory representation (the paper's HiSPN dialect
+    is designed to match it): weighted sum nodes, product nodes, and three
+    univariate leaf kinds — Gaussian (continuous), Categorical and
+    Histogram (discrete).
+
+    Nodes carry a unique integer id so the structure is a true DAG:
+    physically shared children (common in RAT-SPNs) are visited once by
+    id-memoized traversals. *)
+
+type node = { id : int; desc : desc }
+
+and desc =
+  | Sum of (float * node) list  (** weighted mixture; weights sum to 1 *)
+  | Product of node list  (** factorization of independent scopes *)
+  | Gaussian of { var : int; mean : float; stddev : float }
+  | Categorical of { var : int; probs : float array }
+  | Histogram of { var : int; breaks : int array; densities : float array }
+      (** [breaks] has one more entry than [densities]; bucket [i] covers
+          input values in [\[breaks.(i), breaks.(i+1))]. *)
+
+type t = {
+  root : node;
+  num_features : int;
+  name : string;  (** model name, used in module/kernel naming *)
+}
+
+(* Unique-id supply.  A plain global counter: model construction is
+   single-threaded in all our pipelines, and ids only need to be unique
+   within a process. *)
+let id_counter = ref 0
+
+let fresh_id () =
+  incr id_counter;
+  !id_counter
+
+let mk desc = { id = fresh_id (); desc }
+
+(** [sum children] builds a weighted sum node.
+    @raise Invalid_argument on empty children or non-positive weights. *)
+let sum children =
+  if children = [] then invalid_arg "Model.sum: no children";
+  List.iter
+    (fun (w, _) -> if w < 0.0 then invalid_arg "Model.sum: negative weight")
+    children;
+  mk (Sum children)
+
+(** [sum_normalized children] normalizes the weights to sum to 1. *)
+let sum_normalized children =
+  let total = List.fold_left (fun acc (w, _) -> acc +. w) 0.0 children in
+  if total <= 0.0 then invalid_arg "Model.sum_normalized: zero total weight";
+  sum (List.map (fun (w, c) -> (w /. total, c)) children)
+
+let product children =
+  if children = [] then invalid_arg "Model.product: no children";
+  mk (Product children)
+
+let gaussian ~var ~mean ~stddev =
+  if stddev <= 0.0 then invalid_arg "Model.gaussian: stddev must be positive";
+  mk (Gaussian { var; mean; stddev })
+
+let categorical ~var ~probs =
+  if Array.length probs = 0 then invalid_arg "Model.categorical: empty probs";
+  Array.iter
+    (fun p -> if p < 0.0 then invalid_arg "Model.categorical: negative prob")
+    probs;
+  mk (Categorical { var; probs = Array.copy probs })
+
+let histogram ~var ~breaks ~densities =
+  if Array.length breaks <> Array.length densities + 1 then
+    invalid_arg "Model.histogram: breaks must have densities+1 entries";
+  if Array.length densities = 0 then invalid_arg "Model.histogram: empty";
+  mk (Histogram { var; breaks = Array.copy breaks; densities = Array.copy densities })
+
+let make ?(name = "spn") ~num_features root = { root; num_features; name }
+
+(** [children n] lists direct children (without weights). *)
+let children n =
+  match n.desc with
+  | Sum cs -> List.map snd cs
+  | Product cs -> cs
+  | Gaussian _ | Categorical _ | Histogram _ -> []
+
+let is_leaf n = children n = []
+
+(** [var_of_leaf n] is the variable a leaf models. *)
+let var_of_leaf n =
+  match n.desc with
+  | Gaussian { var; _ } | Categorical { var; _ } | Histogram { var; _ } ->
+      Some var
+  | Sum _ | Product _ -> None
+
+(** [fold_unique f acc t] folds [f] over every node exactly once
+    (children before parents). *)
+let fold_unique f acc (t : t) =
+  let seen = Hashtbl.create 256 in
+  let acc = ref acc in
+  let rec go n =
+    if not (Hashtbl.mem seen n.id) then begin
+      Hashtbl.replace seen n.id ();
+      List.iter go (children n);
+      acc := f !acc n
+    end
+  in
+  go t.root;
+  !acc
+
+(** [iter_unique f t] visits every node exactly once, children first. *)
+let iter_unique f t = fold_unique (fun () n -> f n) () t
+
+(** [node_count t] counts unique nodes (the paper's "operations"). *)
+let node_count t = fold_unique (fun n _ -> n + 1) 0 t
+
+(** [nodes_postorder t] lists unique nodes, children before parents. *)
+let nodes_postorder t = List.rev (fold_unique (fun acc n -> n :: acc) [] t)
+
+(** [depth t] is the longest root-to-leaf path length (edges). *)
+let depth t =
+  let memo = Hashtbl.create 256 in
+  let rec go n =
+    match Hashtbl.find_opt memo n.id with
+    | Some d -> d
+    | None ->
+        let d =
+          match children n with
+          | [] -> 0
+          | cs -> 1 + List.fold_left (fun m c -> max m (go c)) 0 cs
+        in
+        Hashtbl.replace memo n.id d;
+        d
+  in
+  go t.root
+
+(** [scope n] is the set of variables appearing under [n], as a sorted
+    list.  Memoized externally by {!Validate}; this entry point is for
+    small/simple uses. *)
+let rec scope n =
+  match n.desc with
+  | Gaussian { var; _ } | Categorical { var; _ } | Histogram { var; _ } ->
+      [ var ]
+  | Sum cs -> scope (snd (List.hd cs))
+  | Product cs ->
+      List.sort_uniq compare (List.concat_map scope cs)
+
+let pp_desc_kind ppf n =
+  Fmt.string ppf
+    (match n.desc with
+    | Sum _ -> "sum"
+    | Product _ -> "product"
+    | Gaussian _ -> "gaussian"
+    | Categorical _ -> "categorical"
+    | Histogram _ -> "histogram")

@@ -1,0 +1,32 @@
+(** Random generic SPN structure generator.
+
+    Produces valid (smooth, decomposable) SPNs resembling what LearnSPN
+    finds for the speaker-identification models of §V-A, via the
+    classical recursive scheme: a scope is either split into independent
+    groups (product), mixed over (sum with identical child scopes), or
+    reduced to a univariate leaf. *)
+
+type config = {
+  num_features : int;
+  sum_children : int * int;  (** min/max children of a sum node *)
+  product_splits : int * int;  (** min/max scope groups of a product *)
+  max_depth : int;  (** recursion limit; forces leaves when reached *)
+  leaf_gaussian_fraction : float;  (** Gaussian vs discrete leaf mix *)
+  categorical_arity : int;
+  mean_range : float * float;
+  stddev_range : float * float;
+}
+
+val default_config : config
+
+(** Tuned to land near the paper's reported speaker-ID SPN statistics
+    (~2569 ops, ~49% Gaussian leaves, 26 features). *)
+val speaker_id_config : config
+
+(** [generate ?name rng cfg] builds a random valid SPN. *)
+val generate : ?name:string -> Spnc_data.Rng.t -> config -> Model.t
+
+(** [generate_sized ?name rng cfg ~min_ops] retries (growing depth if
+    necessary) until the node count reaches [min_ops]; best effort. *)
+val generate_sized :
+  ?name:string -> Spnc_data.Rng.t -> config -> min_ops:int -> Model.t

@@ -1,0 +1,171 @@
+(** Random Tensorized SPNs (RAT-SPNs), after Peharz et al. — the paper's
+    Application 2 (§V-B), used as a compiler stress test.
+
+    Construction follows the region-graph recipe:
+    - the full variable set is the root region;
+    - each region is split into two balanced random parts, recursively,
+      [depth] times; the whole split procedure is repeated [repetitions]
+      times, all hanging under the same root;
+    - each leaf region holds [num_input_distributions] factorized
+      multivariate distributions (products of univariate Gaussians);
+    - each internal region holds [num_sums] sum nodes; a partition
+      combines its two child regions' nodes as a cross product;
+    - the root region holds one sum node per class, giving [num_classes]
+      separate class SPNs that share the entire substructure — this is why
+      the DAG representation with physical sharing matters.
+
+    The paper reports per-class SPNs of about 165k leaves, 170k products
+    and 3k sums for their MNIST configuration; [paper_config] reproduces
+    that regime, [bench_config] is a scaled-down default. *)
+
+type config = {
+  num_features : int;
+  depth : int;  (** recursive splits *)
+  repetitions : int;  (** independent split structures (R) *)
+  num_sums : int;  (** sum nodes per internal region (S) *)
+  num_input_distributions : int;  (** distributions per leaf region (I) *)
+  num_classes : int;
+}
+
+(** Configuration in the size regime of the paper's MNIST RAT-SPNs. *)
+let paper_config =
+  {
+    num_features = 784;
+    depth = 4;
+    repetitions = 10;
+    num_sums = 10;
+    num_input_distributions = 10;
+    num_classes = 10;
+  }
+
+(** Scaled-down default used by the benchmark harness. *)
+let bench_config =
+  {
+    num_features = 64;
+    depth = 3;
+    repetitions = 4;
+    num_sums = 6;
+    num_input_distributions = 6;
+    num_classes = 10;
+  }
+
+(* A region's representation during construction: the nodes that compute
+   distributions over the region's scope. *)
+
+let rec build_region rng (cfg : config) ~depth (vars : int array) :
+    Model.node array =
+  if depth = 0 || Array.length vars <= 1 then
+    (* leaf region: factorized Gaussians *)
+    Array.init cfg.num_input_distributions (fun _ ->
+        let leaves =
+          Array.to_list
+            (Array.map
+               (fun var ->
+                 Model.gaussian ~var
+                   ~mean:(Spnc_data.Rng.range rng (-2.0) 2.0)
+                   ~stddev:(Spnc_data.Rng.range rng 0.5 1.5))
+               vars)
+        in
+        match leaves with [ l ] -> l | ls -> Model.product ls)
+  else begin
+    (* split into two balanced random halves *)
+    let shuffled = Spnc_data.Rng.shuffle rng vars in
+    let half = Array.length shuffled / 2 in
+    let left = Array.sub shuffled 0 half in
+    let right = Array.sub shuffled half (Array.length shuffled - half) in
+    let left_nodes = build_region rng cfg ~depth:(depth - 1) left in
+    let right_nodes = build_region rng cfg ~depth:(depth - 1) right in
+    (* partition: cross products of the child nodes *)
+    let products =
+      Array.concat
+        (Array.to_list
+           (Array.map
+              (fun l -> Array.map (fun r -> Model.product [ l; r ]) right_nodes)
+              left_nodes))
+    in
+    (* region: num_sums mixtures over the partition products *)
+    Array.init cfg.num_sums (fun _ ->
+        let ws =
+          Spnc_data.Rng.dirichlet rng ~alpha:1.0 (Array.length products)
+        in
+        Model.sum
+          (Array.to_list (Array.mapi (fun i p -> (ws.(i), p)) products)))
+  end
+
+(** [generate rng cfg] builds one SPN per class.  All class SPNs share the
+    same substructure below the root sums, as after the RAT-SPN-to-SPFlow
+    conversion described in the paper. *)
+let generate ?(name_prefix = "rat-spn") rng (cfg : config) : Model.t array =
+  let vars = Array.init cfg.num_features Fun.id in
+  (* the R repetitions each produce root-region candidate nodes *)
+  let repetition_nodes =
+    Array.concat
+      (List.init cfg.repetitions (fun _ ->
+           build_region rng cfg ~depth:cfg.depth vars))
+  in
+  Array.init cfg.num_classes (fun cls ->
+      let ws =
+        Spnc_data.Rng.dirichlet rng ~alpha:1.0 (Array.length repetition_nodes)
+      in
+      let root =
+        Model.sum
+          (Array.to_list
+             (Array.mapi (fun i n -> (ws.(i), n)) repetition_nodes))
+      in
+      Model.make
+        ~name:(Printf.sprintf "%s-class%d" name_prefix cls)
+        ~num_features:cfg.num_features root)
+
+(** [specialize rng model rows] re-fits the Gaussian leaves of a class SPN
+    to class data: every leaf over variable [v] gets a fresh mean drawn
+    around the class mean of [v] (jittered by the class stddev, so the
+    mixture components stay diverse) and a stddev scaled from the class
+    stddev.  This breaks the physical sharing with the other classes —
+    like the separate per-class SPNs the paper obtains after conversion
+    to SPFlow — and is the lightweight stand-in for the original
+    auto-diff weight learning. *)
+let specialize rng (model : Model.t) (rows : float array array) : Model.t =
+  let f = model.Model.num_features in
+  let n = float_of_int (max 1 (Array.length rows)) in
+  let mean = Array.make f 0.0 and m2 = Array.make f 0.0 in
+  Array.iter (fun (r : float array) -> Array.iteri (fun v x -> mean.(v) <- mean.(v) +. x) r) rows;
+  Array.iteri (fun v s -> mean.(v) <- s /. n) mean;
+  Array.iter
+    (fun (r : float array) ->
+      Array.iteri (fun v x -> m2.(v) <- m2.(v) +. ((x -. mean.(v)) ** 2.0)) r)
+    rows;
+  let stddev = Array.map (fun s -> Float.max 0.05 (sqrt (s /. n))) m2 in
+  let memo = Hashtbl.create 256 in
+  let rec go (node : Model.node) : Model.node =
+    match Hashtbl.find_opt memo node.Model.id with
+    | Some n -> n
+    | None ->
+        let fresh =
+          match node.Model.desc with
+          | Model.Gaussian { var; _ } ->
+              Model.gaussian ~var
+                ~mean:(mean.(var) +. (stddev.(var) *. Spnc_data.Rng.gaussian rng *. 0.6))
+                ~stddev:(stddev.(var) *. Spnc_data.Rng.range rng 0.8 1.3)
+          | Model.Categorical { var; probs } -> Model.categorical ~var ~probs
+          | Model.Histogram { var; breaks; densities } ->
+              Model.histogram ~var ~breaks ~densities
+          | Model.Product cs -> Model.product (List.map go cs)
+          | Model.Sum cs -> Model.sum (List.map (fun (w, c) -> (w, go c)) cs)
+        in
+        Hashtbl.replace memo node.Model.id fresh;
+        fresh
+  in
+  Model.make ~name:model.Model.name ~num_features:f (go model.Model.root)
+
+(** [fit_class_priors models labels] estimates class prior probabilities
+    from label frequencies — a lightweight stand-in for the EM/auto-diff
+    weight learning the original performs (structure, not weights, is what
+    the compiler experiments exercise). *)
+let fit_class_priors (models : Model.t array) (labels : int array) :
+    float array =
+  let counts = Array.make (Array.length models) 0 in
+  Array.iter
+    (fun l -> if l >= 0 && l < Array.length counts then counts.(l) <- counts.(l) + 1)
+    labels;
+  let total = float_of_int (max 1 (Array.fold_left ( + ) 0 counts)) in
+  Array.map (fun c -> float_of_int c /. total) counts

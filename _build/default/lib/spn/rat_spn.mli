@@ -1,0 +1,38 @@
+(** Random Tensorized SPNs (RAT-SPNs), after Peharz et al. — the paper's
+    Application 2 (§V-B), used as the compiler stress test.
+
+    Construction follows the region-graph recipe: recursive random
+    bisections of the variable set ([depth] deep, [repetitions] times),
+    [num_input_distributions] factorized Gaussian leaves per leaf region,
+    [num_sums] mixtures per internal region combined over partition cross
+    products, and one root sum per class.  Class SPNs physically share
+    the entire substructure. *)
+
+type config = {
+  num_features : int;
+  depth : int;  (** recursive splits *)
+  repetitions : int;  (** independent split structures (R) *)
+  num_sums : int;  (** sum nodes per internal region (S) *)
+  num_input_distributions : int;  (** distributions per leaf region (I) *)
+  num_classes : int;
+}
+
+(** The size regime of the paper's MNIST RAT-SPNs (~165k leaves, ~170k
+    products, >3k sums per class). *)
+val paper_config : config
+
+(** Scaled-down default used by the benchmark harness. *)
+val bench_config : config
+
+(** [generate ?name_prefix rng cfg] builds one SPN per class, sharing
+    substructure. *)
+val generate : ?name_prefix:string -> Spnc_data.Rng.t -> config -> Model.t array
+
+(** [specialize rng model rows] re-fits the Gaussian leaves of a class
+    SPN to class data (jittered class moments), breaking sharing with the
+    other classes — the lightweight stand-in for the original auto-diff
+    weight learning. *)
+val specialize : Spnc_data.Rng.t -> Model.t -> float array array -> Model.t
+
+(** [fit_class_priors models labels] — class priors from label counts. *)
+val fit_class_priors : Model.t array -> int array -> float array

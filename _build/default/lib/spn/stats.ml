@@ -1,0 +1,65 @@
+(** Model statistics — the numbers the paper reports about its workloads
+    (operation counts, leaf mix, depth) and that the benchmark harness
+    prints alongside results. *)
+
+type t = {
+  total : int;
+  sums : int;
+  products : int;
+  gaussians : int;
+  categoricals : int;
+  histograms : int;
+  edges : int;
+  depth : int;
+  num_features : int;
+}
+
+let leaf_count s = s.gaussians + s.categoricals + s.histograms
+
+(** Fraction of all operations that are Gaussian leaves (the paper quotes
+    ~49% for the speaker-ID models). *)
+let gaussian_fraction s =
+  if s.total = 0 then 0.0 else float_of_int s.gaussians /. float_of_int s.total
+
+let compute (t : Model.t) : t =
+  let sums = ref 0
+  and products = ref 0
+  and gaussians = ref 0
+  and categoricals = ref 0
+  and histograms = ref 0
+  and edges = ref 0
+  and total = ref 0 in
+  Model.iter_unique
+    (fun n ->
+      incr total;
+      match n.Model.desc with
+      | Model.Sum cs ->
+          incr sums;
+          edges := !edges + List.length cs
+      | Model.Product cs ->
+          incr products;
+          edges := !edges + List.length cs
+      | Model.Gaussian _ -> incr gaussians
+      | Model.Categorical _ -> incr categoricals
+      | Model.Histogram _ -> incr histograms)
+    t;
+  {
+    total = !total;
+    sums = !sums;
+    products = !products;
+    gaussians = !gaussians;
+    categoricals = !categoricals;
+    histograms = !histograms;
+    edges = !edges;
+    depth = Model.depth t;
+    num_features = t.Model.num_features;
+  }
+
+let pp ppf s =
+  Fmt.pf ppf
+    "ops=%d (sum=%d prod=%d gauss=%d cat=%d hist=%d) edges=%d depth=%d features=%d gauss%%=%.1f"
+    s.total s.sums s.products s.gaussians s.categoricals s.histograms s.edges
+    s.depth s.num_features
+    (100.0 *. gaussian_fraction s)
+
+let to_string s = Fmt.str "%a" pp s

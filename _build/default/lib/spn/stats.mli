@@ -1,0 +1,25 @@
+(** Model statistics — the numbers the paper reports about its workloads
+    (operation counts, leaf mix, depth), printed by the benchmark harness
+    alongside results. *)
+
+type t = {
+  total : int;
+  sums : int;
+  products : int;
+  gaussians : int;
+  categoricals : int;
+  histograms : int;
+  edges : int;
+  depth : int;
+  num_features : int;
+}
+
+val leaf_count : t -> int
+
+(** Fraction of all operations that are Gaussian leaves (the paper quotes
+    ~49% for the speaker-ID models). *)
+val gaussian_fraction : t -> float
+
+val compute : Model.t -> t
+val pp : Format.formatter -> t -> unit
+val to_string : t -> string

@@ -1,0 +1,308 @@
+(** Textual DSL for SPN models, in the spirit of SPFlow's embedded
+    Python syntax.  Intended for examples, tests and hand-written models;
+    large machine-generated SPNs use {!Serialize}.
+
+    Grammar (whitespace-insensitive, [//] line comments):
+
+    {v
+    model    := 'spn' STRING 'features' INT node
+    node     := sum | product | leaf
+    sum      := 'Sum' '(' weighted (',' weighted)* ')'
+    weighted := FLOAT '*' node
+    product  := 'Product' '(' node (',' node)* ')'
+    leaf     := 'Gaussian' '(' var ';' FLOAT ',' FLOAT ')'
+              | 'Categorical' '(' var ';' '[' FLOAT,* ']' ')'
+              | 'Histogram' '(' var ';' '[' INT,* ']' ';' '[' FLOAT,* ']' ')'
+    var      := 'x' INT
+    v}
+
+    Printing a model with shared subgraphs expands the sharing (the text
+    form is a tree); round-trip therefore preserves semantics, not
+    physical sharing. *)
+
+exception Error of string
+
+let fail fmt = Fmt.kstr (fun s -> raise (Error s)) fmt
+
+(* -- Printer -------------------------------------------------------------- *)
+
+let pp_f ppf f =
+  if Float.is_integer f && Float.abs f < 1e15 then Fmt.pf ppf "%.1f" f
+  else Fmt.pf ppf "%.17g" f
+
+let rec pp_node ppf (n : Model.node) =
+  match n.Model.desc with
+  | Model.Sum cs ->
+      Fmt.pf ppf "Sum(%a)"
+        (Fmt.list ~sep:(Fmt.any ", ") (fun ppf (w, c) ->
+             Fmt.pf ppf "%a*%a" pp_f w pp_node c))
+        cs
+  | Model.Product cs ->
+      Fmt.pf ppf "Product(%a)" (Fmt.list ~sep:(Fmt.any ", ") pp_node) cs
+  | Model.Gaussian { var; mean; stddev } ->
+      Fmt.pf ppf "Gaussian(x%d; %a, %a)" var pp_f mean pp_f stddev
+  | Model.Categorical { var; probs } ->
+      Fmt.pf ppf "Categorical(x%d; [%a])" var
+        (Fmt.array ~sep:(Fmt.any ", ") pp_f)
+        probs
+  | Model.Histogram { var; breaks; densities } ->
+      Fmt.pf ppf "Histogram(x%d; [%a]; [%a])" var
+        (Fmt.array ~sep:(Fmt.any ", ") Fmt.int)
+        breaks
+        (Fmt.array ~sep:(Fmt.any ", ") pp_f)
+        densities
+
+let to_string (t : Model.t) =
+  Fmt.str "spn %S features %d@.%a@." t.Model.name t.Model.num_features pp_node
+    t.Model.root
+
+(* -- Lexer ---------------------------------------------------------------- *)
+
+type token =
+  | TIdent of string
+  | TInt of int
+  | TFloat of float
+  | TString of string
+  | TLParen
+  | TRParen
+  | TLBracket
+  | TRBracket
+  | TComma
+  | TSemi
+  | TStar
+  | TEof
+
+let tokenize (src : string) : token list =
+  let n = String.length src in
+  let toks = ref [] in
+  let i = ref 0 in
+  let push t = toks := t :: !toks in
+  while !i < n do
+    let c = src.[!i] in
+    if c = ' ' || c = '\t' || c = '\n' || c = '\r' then incr i
+    else if c = '/' && !i + 1 < n && src.[!i + 1] = '/' then
+      while !i < n && src.[!i] <> '\n' do
+        incr i
+      done
+    else if c = '(' then (push TLParen; incr i)
+    else if c = ')' then (push TRParen; incr i)
+    else if c = '[' then (push TLBracket; incr i)
+    else if c = ']' then (push TRBracket; incr i)
+    else if c = ',' then (push TComma; incr i)
+    else if c = ';' then (push TSemi; incr i)
+    else if c = '*' then (push TStar; incr i)
+    else if c = '"' then begin
+      incr i;
+      let buf = Buffer.create 8 in
+      while !i < n && src.[!i] <> '"' do
+        Buffer.add_char buf src.[!i];
+        incr i
+      done;
+      if !i >= n then fail "unterminated string";
+      incr i;
+      push (TString (Buffer.contents buf))
+    end
+    else if (c >= '0' && c <= '9') || c = '-' || c = '+' then begin
+      let start = !i in
+      incr i;
+      let isf = ref false in
+      while
+        !i < n
+        &&
+        match src.[!i] with
+        | '0' .. '9' -> true
+        | '.' | 'e' | 'E' ->
+            isf := true;
+            true
+        | '+' | '-' -> !isf && (src.[!i - 1] = 'e' || src.[!i - 1] = 'E')
+        | _ -> false
+      do
+        incr i
+      done;
+      let text = String.sub src start (!i - start) in
+      match int_of_string_opt text with
+      | Some v when not !isf -> push (TInt v)
+      | _ -> (
+          match float_of_string_opt text with
+          | Some f -> push (TFloat f)
+          | None -> fail "bad number %S" text)
+    end
+    else if (c >= 'a' && c <= 'z') || (c >= 'A' && c <= 'Z') || c = '_' then begin
+      let start = !i in
+      while
+        !i < n
+        &&
+        match src.[!i] with
+        | 'a' .. 'z' | 'A' .. 'Z' | '0' .. '9' | '_' -> true
+        | _ -> false
+      do
+        incr i
+      done;
+      push (TIdent (String.sub src start (!i - start)))
+    end
+    else fail "unexpected character %C at offset %d" c !i
+  done;
+  List.rev (TEof :: !toks)
+
+(* -- Parser --------------------------------------------------------------- *)
+
+type pstate = { mutable toks : token list }
+
+let peek ps = match ps.toks with [] -> TEof | t :: _ -> t
+
+let advance ps = match ps.toks with [] -> () | _ :: r -> ps.toks <- r
+
+let expect ps t =
+  if peek ps = t then advance ps else fail "unexpected token in SPN text"
+
+let expect_ident ps =
+  match peek ps with
+  | TIdent s ->
+      advance ps;
+      s
+  | _ -> fail "expected identifier"
+
+let number ps =
+  match peek ps with
+  | TInt i ->
+      advance ps;
+      float_of_int i
+  | TFloat f ->
+      advance ps;
+      f
+  | _ -> fail "expected number"
+
+let integer ps =
+  match peek ps with
+  | TInt i ->
+      advance ps;
+      i
+  | _ -> fail "expected integer"
+
+let var ps =
+  match peek ps with
+  | TIdent s when String.length s > 1 && s.[0] = 'x' -> (
+      advance ps;
+      match int_of_string_opt (String.sub s 1 (String.length s - 1)) with
+      | Some v -> v
+      | None -> fail "bad variable %S" s)
+  | _ -> fail "expected variable xN"
+
+let float_list ps =
+  expect ps TLBracket;
+  let xs = ref [] in
+  (if peek ps <> TRBracket then
+     let rec go () =
+       xs := number ps :: !xs;
+       if peek ps = TComma then begin
+         advance ps;
+         go ()
+       end
+     in
+     go ());
+  expect ps TRBracket;
+  Array.of_list (List.rev !xs)
+
+let int_list ps =
+  expect ps TLBracket;
+  let xs = ref [] in
+  (if peek ps <> TRBracket then
+     let rec go () =
+       xs := integer ps :: !xs;
+       if peek ps = TComma then begin
+         advance ps;
+         go ()
+       end
+     in
+     go ());
+  expect ps TRBracket;
+  Array.of_list (List.rev !xs)
+
+let rec parse_node ps : Model.node =
+  match expect_ident ps with
+  | "Sum" ->
+      expect ps TLParen;
+      let rec children acc =
+        let w = number ps in
+        expect ps TStar;
+        let c = parse_node ps in
+        let acc = (w, c) :: acc in
+        if peek ps = TComma then begin
+          advance ps;
+          children acc
+        end
+        else List.rev acc
+      in
+      let cs = children [] in
+      expect ps TRParen;
+      Model.sum cs
+  | "Product" ->
+      expect ps TLParen;
+      let rec children acc =
+        let c = parse_node ps in
+        let acc = c :: acc in
+        if peek ps = TComma then begin
+          advance ps;
+          children acc
+        end
+        else List.rev acc
+      in
+      let cs = children [] in
+      expect ps TRParen;
+      Model.product cs
+  | "Gaussian" ->
+      expect ps TLParen;
+      let v = var ps in
+      expect ps TSemi;
+      let mean = number ps in
+      expect ps TComma;
+      let stddev = number ps in
+      expect ps TRParen;
+      Model.gaussian ~var:v ~mean ~stddev
+  | "Categorical" ->
+      expect ps TLParen;
+      let v = var ps in
+      expect ps TSemi;
+      let probs = float_list ps in
+      expect ps TRParen;
+      Model.categorical ~var:v ~probs
+  | "Histogram" ->
+      expect ps TLParen;
+      let v = var ps in
+      expect ps TSemi;
+      let breaks = int_list ps in
+      expect ps TSemi;
+      let densities = float_list ps in
+      expect ps TRParen;
+      Model.histogram ~var:v ~breaks ~densities
+  | other -> fail "unknown node kind %S" other
+
+(** [of_string src] parses a model from the DSL.
+    @raise Error on malformed input. *)
+let of_string (src : string) : Model.t =
+  let ps = { toks = tokenize src } in
+  (match expect_ident ps with
+  | "spn" -> ()
+  | _ -> fail "expected 'spn' header");
+  let name = match peek ps with
+    | TString s ->
+        advance ps;
+        s
+    | _ -> fail "expected model name string"
+  in
+  (match expect_ident ps with
+  | "features" -> ()
+  | _ -> fail "expected 'features'");
+  let num_features = integer ps in
+  let root = parse_node ps in
+  expect ps TEof;
+  Model.make ~name ~num_features root
+
+(** [of_string_result src] is {!of_string} with [result] error handling.
+    Model-constructor violations (negative weights, empty nodes, bad
+    histograms) are reported as errors too. *)
+let of_string_result src =
+  match of_string src with
+  | t -> Ok t
+  | exception Error e -> Error e
+  | exception Invalid_argument e -> Error e

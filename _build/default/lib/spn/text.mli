@@ -1,0 +1,27 @@
+(** Textual DSL for SPN models, in the spirit of SPFlow's embedded Python
+    syntax; intended for examples, tests and hand-written models (large
+    machine-generated SPNs use {!Serialize}).
+
+    {v
+    spn "name" features 2
+    Sum(0.3 * Product(Gaussian(x0; 0.0, 1.0), Categorical(x1; [0.2, 0.8])),
+        0.7 * Product(Gaussian(x0; 2.0, 1.5), Histogram(x1; [0,2]; [0.5])))
+    v}
+
+    Printing a model with shared subgraphs expands the sharing (the text
+    form is a tree); round-trips preserve semantics, not physical
+    sharing. *)
+
+exception Error of string
+
+(** [to_string t] prints a model in the DSL. *)
+val to_string : Model.t -> string
+
+(** [of_string src] parses a model.
+    @raise Error on malformed input. *)
+val of_string : string -> Model.t
+
+(** [of_string_result src] is {!of_string} with [result] error handling;
+    model-constructor violations (negative weights, empty nodes) are
+    reported as errors too. *)
+val of_string_result : string -> (Model.t, string) result

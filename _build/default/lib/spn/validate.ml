@@ -1,0 +1,117 @@
+(** Structural validity of Sum-Product Networks.
+
+    A valid SPN (in the sense required for tractable inference) is
+    {e smooth} (children of a sum node share the same scope) and
+    {e decomposable} (children of a product node have pairwise disjoint
+    scopes).  We additionally check weight normalization, leaf parameter
+    sanity, and that all referenced variables are within
+    [0 .. num_features-1]. *)
+
+module ISet = Set.Make (Int)
+
+type issue = { node_id : int; message : string }
+
+let pp_issue ppf i = Fmt.pf ppf "node %d: %s" i.node_id i.message
+
+(** [scopes t] computes the scope of every unique node, memoized by id. *)
+let scopes (t : Model.t) : (int, ISet.t) Hashtbl.t =
+  let memo = Hashtbl.create 256 in
+  Model.iter_unique
+    (fun n ->
+      let s =
+        match n.Model.desc with
+        | Model.Gaussian { var; _ }
+        | Model.Categorical { var; _ }
+        | Model.Histogram { var; _ } ->
+            ISet.singleton var
+        | Model.Sum cs ->
+            List.fold_left
+              (fun acc (_, c) -> ISet.union acc (Hashtbl.find memo c.Model.id))
+              ISet.empty cs
+        | Model.Product cs ->
+            List.fold_left
+              (fun acc c -> ISet.union acc (Hashtbl.find memo c.Model.id))
+              ISet.empty cs
+      in
+      Hashtbl.replace memo n.Model.id s)
+    t;
+  memo
+
+(** [check ?weight_eps t] returns all structural issues of [t]. *)
+let check ?(weight_eps = 1e-6) (t : Model.t) : issue list =
+  let issues = ref [] in
+  let add node_id fmt =
+    Fmt.kstr (fun message -> issues := { node_id; message } :: !issues) fmt
+  in
+  let scope_of = scopes t in
+  Model.iter_unique
+    (fun n ->
+      let id = n.Model.id in
+      match n.Model.desc with
+      | Model.Sum cs ->
+          let w_total = List.fold_left (fun acc (w, _) -> acc +. w) 0.0 cs in
+          if Float.abs (w_total -. 1.0) > weight_eps then
+            add id "sum weights total %.9f, expected 1.0" w_total;
+          List.iter
+            (fun (w, _) -> if w < 0.0 then add id "negative weight %g" w)
+            cs;
+          (* smoothness *)
+          (match cs with
+          | (_, first) :: rest ->
+              let s0 = Hashtbl.find scope_of first.Model.id in
+              List.iter
+                (fun (_, c) ->
+                  if not (ISet.equal s0 (Hashtbl.find scope_of c.Model.id)) then
+                    add id "not smooth: child %d has different scope" c.Model.id)
+                rest
+          | [] -> add id "sum with no children")
+      | Model.Product cs ->
+          (* decomposability *)
+          let union = ref ISet.empty in
+          List.iter
+            (fun c ->
+              let s = Hashtbl.find scope_of c.Model.id in
+              if not (ISet.is_empty (ISet.inter !union s)) then
+                add id "not decomposable: child %d overlaps previous scope"
+                  c.Model.id;
+              union := ISet.union !union s)
+            cs;
+          if cs = [] then add id "product with no children"
+      | Model.Gaussian { var; stddev; _ } ->
+          if stddev <= 0.0 then add id "gaussian stddev %g <= 0" stddev;
+          if var < 0 || var >= t.Model.num_features then
+            add id "gaussian variable %d out of range" var
+      | Model.Categorical { var; probs } ->
+          let total = Array.fold_left ( +. ) 0.0 probs in
+          if Float.abs (total -. 1.0) > weight_eps then
+            add id "categorical probabilities total %.9f" total;
+          if var < 0 || var >= t.Model.num_features then
+            add id "categorical variable %d out of range" var
+      | Model.Histogram { var; breaks; densities } ->
+          if var < 0 || var >= t.Model.num_features then
+            add id "histogram variable %d out of range" var;
+          Array.iteri
+            (fun i b ->
+              if i > 0 && b <= breaks.(i - 1) then
+                add id "histogram breaks not strictly increasing at %d" i)
+            breaks;
+          let mass = ref 0.0 in
+          Array.iteri
+            (fun i d ->
+              let width = float_of_int (breaks.(i + 1) - breaks.(i)) in
+              mass := !mass +. (d *. width))
+            densities;
+          if Float.abs (!mass -. 1.0) > 1e-3 then
+            add id "histogram mass %.9f, expected 1.0" !mass)
+    t;
+  List.rev !issues
+
+let is_valid t = check t = []
+
+exception Invalid of issue list
+
+(** [validate_exn t] raises {!Invalid} when [t] is ill-formed. *)
+let validate_exn t = match check t with [] -> () | issues -> raise (Invalid issues)
+
+let issues_to_string issues =
+  Fmt.str "%a" (Fmt.list ~sep:(Fmt.any "@.") pp_issue) issues

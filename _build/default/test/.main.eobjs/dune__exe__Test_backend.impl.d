@@ -1,0 +1,1 @@
+test/test_backend.ml: Alcotest Array Canonicalize Float Infer List Model Printf Random_spn Spnc_cpu Spnc_data Spnc_hispn Spnc_lospn Spnc_machine Spnc_mlir Spnc_spn

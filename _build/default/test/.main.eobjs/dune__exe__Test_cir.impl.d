@@ -1,0 +1,1 @@
+test/test_cir.ml: Alcotest Array Attr Builder Float Ir List Printf Spnc_cir Spnc_mlir Types

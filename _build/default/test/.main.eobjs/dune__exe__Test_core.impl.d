@@ -1,0 +1,1 @@
+test/test_core.ml: Alcotest Array Float Infer List Model Printf Random_spn Spnc Spnc_baselines Spnc_data Spnc_gpu Spnc_lospn Spnc_spn Validate

@@ -1,0 +1,1 @@
+test/test_cpu.ml: Alcotest Array Canonicalize Float Infer Ir List Model Option Printf Random_spn Spnc_cir Spnc_cpu Spnc_data Spnc_hispn Spnc_lospn Spnc_machine Spnc_mlir Spnc_spn Types

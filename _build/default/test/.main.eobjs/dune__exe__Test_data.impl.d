@@ -1,0 +1,1 @@
+test/test_data.ml: Alcotest Array Bytes Char Csv Float Fun List Printf QCheck QCheck_alcotest Speech Spnc_data Spnc_spn Synth

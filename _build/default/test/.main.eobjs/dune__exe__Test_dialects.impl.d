@@ -1,0 +1,1 @@
+test/test_dialects.ml: Alcotest Attr Builder Ir List Spnc_hispn Spnc_lospn Spnc_mlir Types Verifier

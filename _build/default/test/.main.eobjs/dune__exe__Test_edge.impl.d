@@ -1,0 +1,1 @@
+test/test_edge.ml: Alcotest Array Float Infer List Model Printf Spnc Spnc_cpu Spnc_data Spnc_gpu Spnc_lospn Spnc_machine Spnc_mlir Spnc_spn

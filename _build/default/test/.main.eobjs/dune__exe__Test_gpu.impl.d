@@ -1,0 +1,1 @@
+test/test_gpu.ml: Alcotest Array Astring_contains Bytes Canonicalize Float Infer Ir List Model Printf Random_spn Spnc_data Spnc_gpu Spnc_hispn Spnc_lospn Spnc_machine Spnc_mlir Spnc_spn String

@@ -1,0 +1,1 @@
+test/test_gpu_model.ml: Alcotest Attr Builder Bytes Ir List Printf Spnc_cir Spnc_data Spnc_gpu Spnc_hispn Spnc_lospn Spnc_machine Spnc_mlir Spnc_spn String Types

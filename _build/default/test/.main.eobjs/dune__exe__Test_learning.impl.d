@@ -1,0 +1,1 @@
+test/test_learning.ml: Alcotest Array Em Float Infer List Model Printf Random_spn Spnc_data Spnc_spn Validate

@@ -1,0 +1,1 @@
+test/test_lowering.ml: Alcotest Array Canonicalize Float Infer Ir List Model Option Parser Printer Random_spn Spnc_data Spnc_hispn Spnc_lospn Spnc_mlir Spnc_spn Types Verifier

@@ -1,0 +1,1 @@
+test/test_mlir.ml: Alcotest Array Attr Builder Constfold Cse Float Fun Ir Lexer List Parser Pass Printer QCheck QCheck_alcotest Rewrite Spnc_lospn Spnc_mlir Types Verifier

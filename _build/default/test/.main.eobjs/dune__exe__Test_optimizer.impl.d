@@ -1,0 +1,1 @@
+test/test_optimizer.ml: Alcotest Array List Spnc_cpu

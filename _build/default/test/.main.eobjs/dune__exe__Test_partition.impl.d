@@ -1,0 +1,1 @@
+test/test_partition.ml: Alcotest Array Dag List Partitioner Printf QCheck QCheck_alcotest Spnc_data Spnc_partition

@@ -1,0 +1,1 @@
+test/test_pipelines.ml: Alcotest Array Astring_contains Float Ir List Pass Printer Spnc Spnc_data Spnc_hispn Spnc_lospn Spnc_mlir Spnc_spn

@@ -1,0 +1,1 @@
+test/test_spn.ml: Alcotest Array Bytes Char Float Hashtbl Infer Learnspn List Model Printf QCheck QCheck_alcotest Random_spn Rat_spn Serialize Spnc_data Spnc_spn Stats String Text Validate

@@ -1,0 +1,1 @@
+test/test_vm.ml: Alcotest Array Float List Model Printf QCheck QCheck_alcotest Random_spn Spnc_cpu Spnc_data Spnc_hispn Spnc_lospn Spnc_partition Spnc_spn

@@ -1,0 +1,24 @@
+(** Test entry point aggregating all suites. *)
+
+let () =
+  Alcotest.run "spnc"
+    [
+      ("mlir", Test_mlir.suite);
+      ("spn", Test_spn.suite);
+      ("partition", Test_partition.suite);
+      ("lowering", Test_lowering.suite);
+      ("cpu", Test_cpu.suite);
+      ("backend", Test_backend.suite);
+      ("gpu", Test_gpu.suite);
+      ("core", Test_core.suite);
+      ("cir", Test_cir.suite);
+      ("vm", Test_vm.suite);
+      ("props", Test_props.suite);
+      ("pipelines", Test_pipelines.suite);
+      ("learning", Test_learning.suite);
+      ("data", Test_data.suite);
+      ("dialects", Test_dialects.suite);
+      ("edge", Test_edge.suite);
+      ("optimizer", Test_optimizer.suite);
+      ("gpu-model", Test_gpu_model.suite);
+    ]

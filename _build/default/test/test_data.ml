@@ -1,0 +1,247 @@
+(** Tests for the data substrates: deterministic RNG, synthetic dataset
+    generators, and serializer robustness under random corruption. *)
+
+open Spnc_data
+module Rng = Spnc_data.Rng
+
+let check = Alcotest.check
+let tbool = Alcotest.bool
+let tint = Alcotest.int
+
+(* -- RNG ------------------------------------------------------------------ *)
+
+let test_rng_deterministic () =
+  let a = Rng.create ~seed:7 and b = Rng.create ~seed:7 in
+  for _ = 1 to 100 do
+    check (Alcotest.float 0.0) "same stream" (Rng.float a) (Rng.float b)
+  done
+
+let test_rng_float_range () =
+  let rng = Rng.create ~seed:8 in
+  for _ = 1 to 1000 do
+    let f = Rng.float rng in
+    check tbool "in [0,1)" true (f >= 0.0 && f < 1.0)
+  done
+
+let test_rng_int_bounds () =
+  let rng = Rng.create ~seed:9 in
+  for _ = 1 to 1000 do
+    let i = Rng.int rng 7 in
+    check tbool "in [0,7)" true (i >= 0 && i < 7)
+  done;
+  match Rng.int rng 0 with
+  | exception Invalid_argument _ -> ()
+  | _ -> Alcotest.fail "zero bound accepted"
+
+let test_rng_gaussian_moments () =
+  let rng = Rng.create ~seed:10 in
+  let n = 20_000 in
+  let xs = Array.init n (fun _ -> Rng.gaussian rng) in
+  let mean = Array.fold_left ( +. ) 0.0 xs /. float_of_int n in
+  let var =
+    Array.fold_left (fun acc x -> acc +. ((x -. mean) ** 2.0)) 0.0 xs
+    /. float_of_int n
+  in
+  check tbool (Printf.sprintf "mean %.3f near 0" mean) true (Float.abs mean < 0.03);
+  check tbool (Printf.sprintf "var %.3f near 1" var) true (Float.abs (var -. 1.0) < 0.05)
+
+let test_rng_dirichlet_normalized () =
+  let rng = Rng.create ~seed:11 in
+  for _ = 1 to 50 do
+    let w = Rng.dirichlet rng ~alpha:1.5 5 in
+    let s = Array.fold_left ( +. ) 0.0 w in
+    check tbool "sums to 1" true (Float.abs (s -. 1.0) < 1e-9);
+    Array.iter (fun x -> check tbool "positive" true (x >= 0.0)) w
+  done
+
+let test_rng_categorical_distribution () =
+  let rng = Rng.create ~seed:12 in
+  let probs = [| 0.7; 0.2; 0.1 |] in
+  let counts = Array.make 3 0 in
+  let n = 10_000 in
+  for _ = 1 to n do
+    let i = Rng.categorical rng probs in
+    counts.(i) <- counts.(i) + 1
+  done;
+  Array.iteri
+    (fun i p ->
+      let freq = float_of_int counts.(i) /. float_of_int n in
+      check tbool (Printf.sprintf "bucket %d freq %.3f near %.1f" i freq p) true
+        (Float.abs (freq -. p) < 0.03))
+    probs
+
+let test_shuffle_is_permutation () =
+  let rng = Rng.create ~seed:13 in
+  let a = Array.init 50 Fun.id in
+  let s = Rng.shuffle rng a in
+  check tbool "same multiset" true
+    (List.sort compare (Array.to_list s) = Array.to_list a);
+  check tbool "original untouched" true (a = Array.init 50 Fun.id)
+
+(* -- Synthetic datasets ------------------------------------------------------ *)
+
+let test_speech_shapes () =
+  let rng = Rng.create ~seed:14 in
+  let d = Speech.generate ~num_speakers:4 ~scenario:Speech.Clean ~scale:0.001 rng () in
+  check tint "features" 26 d.Speech.data.Synth.num_features;
+  check tint "gmms per speaker" 4 (Array.length d.Speech.gmms);
+  Array.iter
+    (fun l -> check tbool "label in range" true (l >= 0 && l < 4))
+    d.Speech.data.Synth.labels;
+  Array.iter
+    (fun (row : float array) ->
+      check tint "row width" 26 (Array.length row);
+      Array.iter (fun v -> check tbool "clean has no NaN" true (not (Float.is_nan v))) row)
+    d.Speech.data.Synth.samples
+
+let test_speech_noisy_has_nans () =
+  let rng = Rng.create ~seed:15 in
+  let d = Speech.generate ~num_speakers:3 ~scenario:Speech.Noisy ~scale:0.0005 rng () in
+  let total = ref 0 and nans = ref 0 in
+  Array.iter
+    (fun (row : float array) ->
+      Array.iter
+        (fun v ->
+          incr total;
+          if Float.is_nan v then incr nans)
+        row)
+    d.Speech.data.Synth.samples;
+  let frac = float_of_int !nans /. float_of_int !total in
+  check tbool (Printf.sprintf "nan fraction %.2f near 0.25" frac) true
+    (frac > 0.18 && frac < 0.32)
+
+let test_mnist_shapes () =
+  let rng = Rng.create ~seed:16 in
+  let d = Spnc_data.Mnist.generate ~side:8 ~images:120 rng () in
+  check tint "features" 64 (Spnc_data.Mnist.num_features d);
+  check tint "rows" 120 (Array.length d.Spnc_data.Mnist.data.Synth.samples);
+  (* classes should be separable: mean images of two classes differ *)
+  let mean_of cls =
+    let acc = Array.make 64 0.0 and n = ref 0 in
+    Array.iteri
+      (fun i (row : float array) ->
+        if d.Spnc_data.Mnist.data.Synth.labels.(i) = cls then begin
+          incr n;
+          Array.iteri (fun f v -> acc.(f) <- acc.(f) +. v) row
+        end)
+      d.Spnc_data.Mnist.data.Synth.samples;
+    Array.map (fun s -> s /. float_of_int (max 1 !n)) acc
+  in
+  let m0 = mean_of 0 and m1 = mean_of 1 in
+  let dist =
+    sqrt (Array.fold_left ( +. ) 0.0 (Array.mapi (fun i a -> (a -. m1.(i)) ** 2.0) m0))
+  in
+  check tbool (Printf.sprintf "class means separated (%.3f)" dist) true (dist > 0.3)
+
+let test_flat_layout () =
+  let d =
+    {
+      Synth.samples = [| [| 1.0; 2.0 |]; [| 3.0; 4.0 |] |];
+      labels = [| 0; 1 |];
+      num_features = 2;
+    }
+  in
+  check tbool "row-major" true (Synth.to_flat d = [| 1.0; 2.0; 3.0; 4.0 |])
+
+(* -- Serializer fuzzing --------------------------------------------------------- *)
+
+let test_serializer_fuzz_never_crashes =
+  QCheck.Test.make ~count:200 ~name:"corrupted binary input never crashes the reader"
+    QCheck.(pair (int_range 0 100_000) (int_range 0 50))
+    (fun (seed, flips) ->
+      let rng = Rng.create ~seed in
+      let t =
+        Spnc_spn.Random_spn.generate rng
+          { Spnc_spn.Random_spn.default_config with num_features = 4; max_depth = 4 }
+      in
+      let s = Bytes.of_string (Spnc_spn.Serialize.to_string t) in
+      for _ = 1 to flips do
+        let i = Rng.int rng (Bytes.length s) in
+        Bytes.set s i (Char.chr (Rng.int rng 256))
+      done;
+      match Spnc_spn.Serialize.of_string (Bytes.to_string s) with
+      | Ok _ | Error _ -> true)
+
+let test_text_fuzz_never_crashes =
+  QCheck.Test.make ~count:200 ~name:"garbage text input never crashes the DSL parser"
+    QCheck.(string_of_size (QCheck.Gen.int_range 0 200))
+    (fun s ->
+      match Spnc_spn.Text.of_string_result s with Ok _ | Error _ -> true)
+
+let suite =
+  [
+    Alcotest.test_case "rng deterministic" `Quick test_rng_deterministic;
+    Alcotest.test_case "rng float range" `Quick test_rng_float_range;
+    Alcotest.test_case "rng int bounds" `Quick test_rng_int_bounds;
+    Alcotest.test_case "rng gaussian moments" `Quick test_rng_gaussian_moments;
+    Alcotest.test_case "rng dirichlet" `Quick test_rng_dirichlet_normalized;
+    Alcotest.test_case "rng categorical" `Quick test_rng_categorical_distribution;
+    Alcotest.test_case "shuffle permutation" `Quick test_shuffle_is_permutation;
+    Alcotest.test_case "speech shapes" `Quick test_speech_shapes;
+    Alcotest.test_case "speech noisy nans" `Quick test_speech_noisy_has_nans;
+    Alcotest.test_case "mnist shapes" `Quick test_mnist_shapes;
+    Alcotest.test_case "flat layout" `Quick test_flat_layout;
+    QCheck_alcotest.to_alcotest test_serializer_fuzz_never_crashes;
+    QCheck_alcotest.to_alcotest test_text_fuzz_never_crashes;
+  ]
+
+(* regression: constructor violations surface as Error, not exceptions *)
+let test_text_constructor_violations () =
+  List.iter
+    (fun src ->
+      match Spnc_spn.Text.of_string_result src with
+      | Error _ -> ()
+      | Ok _ -> Alcotest.failf "accepted %S" src)
+    [
+      {|spn "x" features 1 Sum(-1.0 * Gaussian(x0; 0.0, 1.0), 2.0 * Gaussian(x0; 1.0, 1.0))|};
+      {|spn "x" features 1 Gaussian(x0; 0.0, -1.0)|};
+      {|spn "x" features 1 Histogram(x0; [0]; [1.0])|};
+    ]
+
+let suite =
+  suite @ [ Alcotest.test_case "text constructor violations" `Quick test_text_constructor_violations ]
+
+(* -- CSV -------------------------------------------------------------------- *)
+
+let test_csv_roundtrip () =
+  let d =
+    {
+      Synth.samples = [| [| 1.5; Float.nan |]; [| -2.0; 3.25 |] |];
+      labels = [| 0; 1 |];
+      num_features = 2;
+    }
+  in
+  (match Csv.parse ~labels:true (Csv.print ~labels:true d) with
+  | Error e -> Alcotest.fail e
+  | Ok d' ->
+      check tint "features" 2 d'.Synth.num_features;
+      check tbool "labels preserved" true (d'.Synth.labels = [| 0; 1 |]);
+      check tbool "nan preserved" true (Float.is_nan d'.Synth.samples.(0).(1));
+      check tbool "values preserved" true (d'.Synth.samples.(1).(1) = 3.25));
+  match Csv.parse (Csv.print d) with
+  | Error e -> Alcotest.fail e
+  | Ok d' -> check tint "no-label width" 2 d'.Synth.num_features
+
+let test_csv_header_and_missing () =
+  match Csv.parse ~labels:true "f1,f2,label\n1.0,,0\n2.0,?,1\n" with
+  | Error e -> Alcotest.fail e
+  | Ok d ->
+      check tint "rows" 2 (Array.length d.Synth.samples);
+      check tbool "empty cell is nan" true (Float.is_nan d.Synth.samples.(0).(1));
+      check tbool "? is nan" true (Float.is_nan d.Synth.samples.(1).(1))
+
+let test_csv_errors () =
+  List.iter
+    (fun src ->
+      match Csv.parse src with
+      | Error _ -> ()
+      | Ok _ -> Alcotest.failf "accepted %S" src)
+    [ ""; "1.0,2.0\n3.0\n"; "a,b\nc,d\n" ]
+
+let suite =
+  suite
+  @ [
+      Alcotest.test_case "csv roundtrip" `Quick test_csv_roundtrip;
+      Alcotest.test_case "csv header/missing" `Quick test_csv_header_and_missing;
+      Alcotest.test_case "csv errors" `Quick test_csv_errors;
+    ]

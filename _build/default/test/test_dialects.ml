@@ -1,0 +1,249 @@
+(** Negative tests for the dialect verifiers: malformed HiSPN / LoSPN
+    operations must be rejected with diagnostics, matching the op
+    constraints of the paper's Tables I and II. *)
+
+open Spnc_mlir
+
+let check = Alcotest.check
+let tbool = Alcotest.bool
+
+let invalid m = not (Verifier.is_valid m)
+
+let prob = Types.Prob
+let f32 = Types.F32
+
+(* helper: one evidence value for leaf operands *)
+let with_evidence f =
+  Spnc_hispn.Ops.register ();
+  Spnc_lospn.Ops.register ();
+  let b = Builder.create () in
+  let c =
+    Builder.op b "lo_spn.constant" ~results:[ f32 ]
+      ~attrs:[ ("value", Attr.Float 0.5) ] ()
+  in
+  let ops = f b (Ir.result c) in
+  Builder.modul (c :: ops)
+
+(* -- HiSPN ------------------------------------------------------------------ *)
+
+let test_sum_weight_count_mismatch () =
+  let m =
+    with_evidence (fun b ev ->
+        let g = Spnc_hispn.Ops.gaussian b ~evidence:ev ~mean:0.0 ~stddev:1.0 in
+        (* two operands but only one weight *)
+        let s =
+          Builder.op b "hi_spn.sum"
+            ~operands:[ Ir.result g; Ir.result g ]
+            ~results:[ prob ]
+            ~attrs:[ ("weights", Attr.DenseF [| 1.0 |]) ]
+            ()
+        in
+        [ g; s ])
+  in
+  check tbool "rejected" true (invalid m)
+
+let test_sum_weights_not_normalized () =
+  let m =
+    with_evidence (fun b ev ->
+        let g = Spnc_hispn.Ops.gaussian b ~evidence:ev ~mean:0.0 ~stddev:1.0 in
+        let s =
+          Spnc_hispn.Ops.sum b
+            ~operands:[ Ir.result g; Ir.result g ]
+            ~weights:[| 0.5; 0.2 |]
+        in
+        [ g; s ])
+  in
+  check tbool "rejected" true (invalid m)
+
+let test_gaussian_nonpositive_stddev () =
+  let m =
+    with_evidence (fun b ev ->
+        [
+          Builder.op b "hi_spn.gaussian" ~operands:[ ev ] ~results:[ prob ]
+            ~attrs:[ ("mean", Attr.Float 0.0); ("stddev", Attr.Float (-1.0)) ]
+            ();
+        ])
+  in
+  check tbool "rejected" true (invalid m)
+
+let test_gaussian_missing_mean () =
+  let m =
+    with_evidence (fun b ev ->
+        [
+          Builder.op b "hi_spn.gaussian" ~operands:[ ev ] ~results:[ prob ]
+            ~attrs:[ ("stddev", Attr.Float 1.0) ]
+            ();
+        ])
+  in
+  check tbool "rejected" true (invalid m)
+
+let test_categorical_unnormalized () =
+  let m =
+    with_evidence (fun b ev ->
+        [
+          Builder.op b "hi_spn.categorical" ~operands:[ ev ] ~results:[ prob ]
+            ~attrs:[ ("probabilities", Attr.DenseF [| 0.5; 0.2 |]) ]
+            ();
+        ])
+  in
+  check tbool "rejected" true (invalid m)
+
+let test_histogram_bucket_count_mismatch () =
+  let m =
+    with_evidence (fun b ev ->
+        [
+          Builder.op b "hi_spn.histogram" ~operands:[ ev ] ~results:[ prob ]
+            ~attrs:
+              [
+                ("buckets", Attr.Array [ Attr.Int 0; Attr.Int 1 ]);
+                ("bucketCount", Attr.Int 3);
+                ("densities", Attr.DenseF [| 1.0 |]);
+              ]
+            ();
+        ])
+  in
+  check tbool "rejected" true (invalid m)
+
+let test_graph_without_root () =
+  Spnc_hispn.Ops.register ();
+  let b = Builder.create () in
+  let body =
+    Builder.block b ~arg_tys:[ f32 ] (fun args ->
+        [ Spnc_hispn.Ops.gaussian b ~evidence:(List.hd args) ~mean:0.0 ~stddev:1.0 ])
+  in
+  let g = Spnc_hispn.Ops.graph b ~num_features:1 ~body in
+  check tbool "rejected" true (invalid (Builder.modul [ g ]))
+
+let test_graph_arg_count_mismatch () =
+  Spnc_hispn.Ops.register ();
+  let b = Builder.create () in
+  let body =
+    Builder.block b ~arg_tys:[ f32 ] (fun args ->
+        let g =
+          Spnc_hispn.Ops.gaussian b ~evidence:(List.hd args) ~mean:0.0 ~stddev:1.0
+        in
+        [ g; Spnc_hispn.Ops.root b ~value:(Ir.result g) ])
+  in
+  (* claims three features but the block has one argument *)
+  let g = Spnc_hispn.Ops.graph b ~num_features:3 ~body in
+  check tbool "rejected" true (invalid (Builder.modul [ g ]))
+
+(* -- LoSPN ------------------------------------------------------------------- *)
+
+let test_binary_op_type_mismatch () =
+  let m =
+    with_evidence (fun b ev ->
+        let cl =
+          Builder.op b "lo_spn.constant"
+            ~results:[ Types.Log Types.F32 ]
+            ~attrs:[ ("value", Attr.Float 0.1) ]
+            ()
+        in
+        (* f32 * log<f32>: operand types differ *)
+        [
+          cl;
+          Builder.op b "lo_spn.mul"
+            ~operands:[ ev; Ir.result cl ]
+            ~results:[ f32 ] ();
+        ])
+  in
+  check tbool "rejected" true (invalid m)
+
+let test_mul_on_non_computation_type () =
+  Spnc_lospn.Ops.register ();
+  let b = Builder.create () in
+  let idx =
+    Builder.op b "lo_spn.constant" ~results:[ Types.Prob ]
+      ~attrs:[ ("value", Attr.Float 1.0) ]
+      ()
+  in
+  let m =
+    Builder.op b "lo_spn.mul"
+      ~operands:[ Ir.result idx; Ir.result idx ]
+      ~results:[ Types.Prob ] ()
+  in
+  check tbool "rejected" true (invalid (Builder.modul [ idx; m ]))
+
+let test_task_missing_index_arg () =
+  Spnc_lospn.Ops.register ();
+  let b = Builder.create () in
+  let mem = Types.MemRef ([ None; Some 1 ], f32) in
+  let kernel_block =
+    Builder.block b ~arg_tys:[ mem ] (fun args ->
+        let input = List.hd args in
+        (* block args: input only — the leading index argument is missing *)
+        let bad_block = Builder.block b ~arg_tys:[ mem ] (fun _ -> []) in
+        [
+          Builder.op b "lo_spn.task" ~operands:[ input ]
+            ~attrs:[ ("batchSize", Attr.Int 8) ]
+            ~regions:[ Builder.region1 bad_block ]
+            ();
+          Spnc_lospn.Ops.return_ b ~values:[];
+        ])
+  in
+  let k =
+    Spnc_lospn.Ops.kernel b ~sym_name:"k" ~result_tys:[] ~body_block:kernel_block
+  in
+  check tbool "rejected" true (invalid (Builder.modul [ k ]))
+
+let test_body_yield_arity_mismatch () =
+  let m =
+    with_evidence (fun b ev ->
+        let body_block =
+          Builder.block b ~arg_tys:[ f32 ] (fun args ->
+              [ Spnc_lospn.Ops.yield b ~values:[ List.hd args; List.hd args ] ])
+        in
+        [
+          Builder.op b "lo_spn.body" ~operands:[ ev ] ~results:[ f32 ]
+            ~regions:[ Builder.region1 body_block ]
+            ();
+        ])
+  in
+  check tbool "rejected" true (invalid m)
+
+let test_batch_write_to_tensor_rejected () =
+  Spnc_lospn.Ops.register ();
+  let b = Builder.create () in
+  let tensor_ty = Types.Tensor ([ None; Some 1 ], f32) in
+  let blk =
+    Builder.block b ~arg_tys:[ tensor_ty; Types.Index; f32 ] (fun args ->
+        match args with
+        | [ t; i; v ] ->
+            [
+              Builder.op b "lo_spn.batch_write" ~operands:[ t; i; v ]
+                ~attrs:[ ("transposed", Attr.Bool false) ]
+                ();
+            ]
+        | _ -> assert false)
+  in
+  let f =
+    Builder.op b "lo_spn.body"
+      ~regions:[ Builder.region1 blk ]
+      ()
+  in
+  (* batch_write's first operand must be a memref, not a tensor *)
+  check tbool "rejected" true (invalid (Builder.modul [ f ]))
+
+let test_alloc_result_must_be_memref () =
+  Spnc_lospn.Ops.register ();
+  let b = Builder.create () in
+  let a = Builder.op b "lo_spn.alloc" ~results:[ f32 ] () in
+  check tbool "rejected" true (invalid (Builder.modul [ a ]))
+
+let suite =
+  [
+    Alcotest.test_case "sum weight count" `Quick test_sum_weight_count_mismatch;
+    Alcotest.test_case "sum unnormalized" `Quick test_sum_weights_not_normalized;
+    Alcotest.test_case "gaussian stddev<=0" `Quick test_gaussian_nonpositive_stddev;
+    Alcotest.test_case "gaussian missing mean" `Quick test_gaussian_missing_mean;
+    Alcotest.test_case "categorical unnormalized" `Quick test_categorical_unnormalized;
+    Alcotest.test_case "histogram bucket count" `Quick test_histogram_bucket_count_mismatch;
+    Alcotest.test_case "graph without root" `Quick test_graph_without_root;
+    Alcotest.test_case "graph arg mismatch" `Quick test_graph_arg_count_mismatch;
+    Alcotest.test_case "binary type mismatch" `Quick test_binary_op_type_mismatch;
+    Alcotest.test_case "mul on prob type" `Quick test_mul_on_non_computation_type;
+    Alcotest.test_case "task missing index arg" `Quick test_task_missing_index_arg;
+    Alcotest.test_case "body yield arity" `Quick test_body_yield_arity_mismatch;
+    Alcotest.test_case "batch_write on tensor" `Quick test_batch_write_to_tensor_rejected;
+    Alcotest.test_case "alloc non-memref" `Quick test_alloc_result_must_be_memref;
+  ]

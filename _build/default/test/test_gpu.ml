@@ -1,0 +1,304 @@
+(** Tests for the GPU target: kernel lowering (select cascades, thread
+    guard), naive copy schedule, copy elimination, functional simulation
+    against the reference evaluator, timing model shape, PTX emission and
+    CUBIN assembly. *)
+
+open Spnc_mlir
+open Spnc_spn
+module Rng = Spnc_data.Rng
+module G = Spnc_gpu.Lower_gpu
+
+let check = Alcotest.check
+let tbool = Alcotest.bool
+let tint = Alcotest.int
+
+let gpu = Spnc_machine.Machine.rtx_2070_super
+
+let example_spn () =
+  Model.make ~name:"example" ~num_features:2
+    (Model.sum
+       [
+         ( 0.3,
+           Model.product
+             [
+               Model.gaussian ~var:0 ~mean:0.0 ~stddev:1.0;
+               Model.gaussian ~var:1 ~mean:1.0 ~stddev:0.5;
+             ] );
+         ( 0.7,
+           Model.product
+             [
+               Model.gaussian ~var:0 ~mean:2.0 ~stddev:1.5;
+               Model.gaussian ~var:1 ~mean:(-1.0) ~stddev:1.0;
+             ] );
+       ])
+
+let mixed_spn () =
+  Model.make ~name:"mixed" ~num_features:3
+    (Model.sum
+       [
+         ( 0.5,
+           Model.product
+             [
+               Model.categorical ~var:0 ~probs:[| 0.1; 0.6; 0.3 |];
+               Model.histogram ~var:1 ~breaks:[| 0; 1; 3 |] ~densities:[| 0.6; 0.2 |];
+               Model.gaussian ~var:2 ~mean:0.5 ~stddev:2.0;
+             ] );
+         ( 0.5,
+           Model.product
+             [
+               Model.categorical ~var:0 ~probs:[| 0.3; 0.3; 0.4 |];
+               Model.histogram ~var:1 ~breaks:[| 0; 2; 3 |] ~densities:[| 0.4; 0.2 |];
+               Model.gaussian ~var:2 ~mean:(-1.0) ~stddev:0.5;
+             ] );
+       ])
+
+let to_gpu ?(support_marginal = false) ?partition_size ?(copy_opt = true)
+    ?(block_size = 64) t =
+  let query = { Spnc_hispn.From_model.default_query with support_marginal } in
+  let hi = Spnc_hispn.From_model.translate ~query t in
+  let lo =
+    Spnc_lospn.Lower_hispn.run
+      ~options:
+        {
+          Spnc_lospn.Lower_hispn.default_options with
+          space = Spnc_lospn.Lower_hispn.Force_log;
+        }
+      hi
+  in
+  let lo = Canonicalize.run lo in
+  let lo =
+    match partition_size with
+    | Some s ->
+        Spnc_lospn.Partition_pass.run
+          ~options:
+            { Spnc_lospn.Partition_pass.default_options with max_partition_size = s }
+          lo
+    | None -> lo
+  in
+  let lo = Spnc_lospn.Bufferize.run lo in
+  let lo = Spnc_lospn.Buffer_opt.run lo in
+  let m = G.run ~options:{ G.block_size } lo in
+  if copy_opt then Spnc_gpu.Copy_opt.run m else m
+
+let differential ?support_marginal ?partition_size ?copy_opt ~tol t rows =
+  let m = to_gpu ?support_marginal ?partition_size ?copy_opt t in
+  let n = Array.length rows in
+  let flat = Array.concat (Array.to_list rows) in
+  let res =
+    Spnc_gpu.Sim.run m ~gpu ~entry:"spn_kernel" ~inputs:[ flat ] ~rows:n
+      ~out_cols:1 ()
+  in
+  Array.iteri
+    (fun i row ->
+      let expected = Infer.log_likelihood t row in
+      let got = res.Spnc_gpu.Sim.output.(i) in
+      if
+        not
+          ((Float.is_nan expected && Float.is_nan got)
+          || expected = got
+          || Float.abs (got -. expected) <= tol)
+      then Alcotest.failf "row %d: expected %.12g got %.12g" i expected got)
+    rows
+
+let random_rows rng n f =
+  Array.init n (fun _ -> Array.init f (fun _ -> Rng.range rng (-3.0) 3.0))
+
+(* -- Functional correctness ---------------------------------------------------- *)
+
+let test_gpu_gaussian () =
+  let rng = Rng.create ~seed:60 in
+  (* 70 rows with block 64: exercises the bounds guard in the last block *)
+  differential ~tol:1e-9 (example_spn ()) (random_rows rng 70 2)
+
+let test_gpu_select_cascades () =
+  let rng = Rng.create ~seed:61 in
+  let rows =
+    Array.init 50 (fun _ ->
+        [|
+          float_of_int (Rng.int rng 5) -. 1.0;
+          float_of_int (Rng.int rng 5) -. 1.0;
+          Rng.range rng (-2.0) 2.0;
+        |])
+  in
+  differential ~tol:1e-9 (mixed_spn ()) rows
+
+let test_gpu_marginal () =
+  let rng = Rng.create ~seed:62 in
+  let rows =
+    Array.map
+      (fun (row : float array) ->
+        Array.map (fun v -> if Rng.float rng < 0.3 then Float.nan else v) row)
+      (random_rows rng 40 2)
+  in
+  differential ~support_marginal:true ~tol:1e-9 (example_spn ()) rows
+
+let test_gpu_partitioned () =
+  let rng = Rng.create ~seed:63 in
+  let t =
+    Random_spn.generate_sized rng
+      { Random_spn.default_config with num_features = 10; max_depth = 7 }
+      ~min_ops:300
+  in
+  let rows = random_rows (Rng.create ~seed:64) 30 10 in
+  differential ~partition_size:60 ~tol:1e-8 t rows
+
+let test_gpu_naive_schedule_also_correct () =
+  let rng = Rng.create ~seed:65 in
+  let t =
+    Random_spn.generate_sized rng
+      { Random_spn.default_config with num_features = 8; max_depth = 7 }
+      ~min_ops:200
+  in
+  let rows = random_rows (Rng.create ~seed:66) 20 8 in
+  differential ~partition_size:50 ~copy_opt:false ~tol:1e-8 t rows
+
+(* -- Structure ------------------------------------------------------------------- *)
+
+let count_ops m name = Ir.count_ops (fun (o : Ir.op) -> o.Ir.name = name) m
+
+let test_kernel_per_task () =
+  let rng = Rng.create ~seed:67 in
+  let t =
+    Random_spn.generate_sized rng
+      { Random_spn.default_config with num_features = 10; max_depth = 7 }
+      ~min_ops:300
+  in
+  let m = to_gpu ~partition_size:60 t in
+  let kernels = count_ops m "gpu.func" in
+  let launches = count_ops m "gpu.launch_func" in
+  check tbool "several kernels" true (kernels > 1);
+  check tint "one launch per kernel" kernels launches
+
+let test_discrete_leaves_have_no_table_loads () =
+  let m = to_gpu (mixed_spn ()) in
+  (* GPU kernels use select cascades, not table lookups *)
+  let loads_in_kernels = ref 0 in
+  List.iter
+    (fun (op : Ir.op) ->
+      if op.Ir.name = "gpu.func" then
+        Ir.walk_ops
+          (fun o -> if o.Ir.name = "memref.global_table" then incr loads_in_kernels)
+          op)
+    m.Ir.mops;
+  check tint "no tables in kernels" 0 !loads_in_kernels;
+  check tbool "selects present" true (count_ops m "arith.select" > 0)
+
+let test_copy_opt_removes_roundtrips () =
+  let rng = Rng.create ~seed:68 in
+  let t =
+    Random_spn.generate_sized rng
+      { Random_spn.default_config with num_features = 10; max_depth = 7 }
+      ~min_ops:300
+  in
+  let naive = to_gpu ~partition_size:60 ~copy_opt:false t in
+  let opt = to_gpu ~partition_size:60 ~copy_opt:true t in
+  let h2d_n, d2h_n = Spnc_gpu.Copy_opt.count_transfers naive in
+  let h2d_o, d2h_o = Spnc_gpu.Copy_opt.count_transfers opt in
+  check tbool
+    (Printf.sprintf "h2d reduced: %d -> %d" h2d_n h2d_o)
+    true (h2d_o < h2d_n);
+  check tbool
+    (Printf.sprintf "d2h reduced: %d -> %d" d2h_n d2h_o)
+    true (d2h_o < d2h_n);
+  (* exactly one download must remain: the kernel output *)
+  check tint "single remaining download" 1 d2h_o
+
+let test_copy_opt_single_task_uploads_once () =
+  let m = to_gpu (example_spn ()) in
+  let h2d, d2h = Spnc_gpu.Copy_opt.count_transfers m in
+  check tint "one upload" 1 h2d;
+  check tint "one download" 1 d2h
+
+(* -- Timing model ------------------------------------------------------------------ *)
+
+let test_ledger_transfer_dominated () =
+  (* Fig. 9: for the speaker-ID-like models, data movement must dominate
+     the GPU execution time (>60%) *)
+  let rng = Rng.create ~seed:69 in
+  let t =
+    Random_spn.generate_sized rng Random_spn.speaker_id_config ~min_ops:2000
+  in
+  let m = to_gpu t in
+  let ledger = Spnc_gpu.Sim.estimate m ~gpu ~entry:"spn_kernel" ~rows:245_567 in
+  let frac = Spnc_gpu.Sim.transfer_fraction ledger in
+  check tbool
+    (Printf.sprintf "transfer fraction %.2f > 0.5" frac)
+    true (frac > 0.5)
+
+let test_block_size_sweep_prefers_small () =
+  (* §V-A.1: small block sizes (64) beat large ones (512+) *)
+  let rng = Rng.create ~seed:70 in
+  let t =
+    Random_spn.generate_sized rng Random_spn.speaker_id_config ~min_ops:2000
+  in
+  let time bs =
+    let m = to_gpu ~block_size:bs t in
+    Spnc_gpu.Sim.total_seconds
+      (Spnc_gpu.Sim.estimate m ~gpu ~entry:"spn_kernel" ~rows:100_000)
+  in
+  let t64 = time 64 and t1024 = time 1024 in
+  check tbool
+    (Printf.sprintf "block 64 (%.4fs) faster than 1024 (%.4fs)" t64 t1024)
+    true (t64 < t1024)
+
+let test_kernel_time_scales_with_rows () =
+  let m = to_gpu (example_spn ()) in
+  let t1 =
+    (Spnc_gpu.Sim.estimate m ~gpu ~entry:"spn_kernel" ~rows:10_000).Spnc_gpu.Sim.kernel_s
+  in
+  let t2 =
+    (Spnc_gpu.Sim.estimate m ~gpu ~entry:"spn_kernel" ~rows:40_000).Spnc_gpu.Sim.kernel_s
+  in
+  check tbool "kernel time grows ~linearly" true (t2 > 3.0 *. t1)
+
+(* -- PTX / CUBIN --------------------------------------------------------------------- *)
+
+let test_ptx_emission () =
+  let m = to_gpu (mixed_spn ()) in
+  let ptx = Spnc_gpu.Ptx.emit m in
+  check tbool "has entry" true
+    (String.length ptx > 0
+    && Astring_contains.contains ptx ".visible .entry");
+  check tbool "has selp (cascades)" true (Astring_contains.contains ptx "selp.f32");
+  check tbool "calls libdevice" true (Astring_contains.contains ptx "__nv_expf")
+
+let test_cubin_assembly () =
+  let m = to_gpu (example_spn ()) in
+  let ptx = Spnc_gpu.Ptx.emit m in
+  let cubin = Spnc_gpu.Ptx.assemble ptx in
+  check tbool "instructions counted" true (cubin.Spnc_gpu.Ptx.instructions > 10);
+  check tbool "bytes emitted" true
+    (Bytes.length cubin.Spnc_gpu.Ptx.bytes = 16 * cubin.Spnc_gpu.Ptx.instructions);
+  check tbool "registers allocated" true (cubin.Spnc_gpu.Ptx.regs_allocated > 0)
+
+let test_cubin_scales_with_kernel_size () =
+  let rng = Rng.create ~seed:71 in
+  let small = to_gpu (example_spn ()) in
+  let big =
+    to_gpu
+      (Random_spn.generate_sized rng
+         { Random_spn.default_config with num_features = 10; max_depth = 7 }
+         ~min_ops:400)
+  in
+  let i_small = (Spnc_gpu.Ptx.assemble (Spnc_gpu.Ptx.emit small)).Spnc_gpu.Ptx.instructions in
+  let i_big = (Spnc_gpu.Ptx.assemble (Spnc_gpu.Ptx.emit big)).Spnc_gpu.Ptx.instructions in
+  check tbool "bigger SPN, more SASS" true (i_big > 4 * i_small)
+
+let suite =
+  [
+    Alcotest.test_case "gpu gaussian + guard" `Quick test_gpu_gaussian;
+    Alcotest.test_case "gpu select cascades" `Quick test_gpu_select_cascades;
+    Alcotest.test_case "gpu marginal" `Quick test_gpu_marginal;
+    Alcotest.test_case "gpu partitioned" `Quick test_gpu_partitioned;
+    Alcotest.test_case "gpu naive schedule correct" `Quick test_gpu_naive_schedule_also_correct;
+    Alcotest.test_case "kernel per task" `Quick test_kernel_per_task;
+    Alcotest.test_case "no tables in kernels" `Quick test_discrete_leaves_have_no_table_loads;
+    Alcotest.test_case "copy opt removes roundtrips" `Quick test_copy_opt_removes_roundtrips;
+    Alcotest.test_case "single task single upload" `Quick test_copy_opt_single_task_uploads_once;
+    Alcotest.test_case "ledger transfer dominated" `Quick test_ledger_transfer_dominated;
+    Alcotest.test_case "block sweep prefers small" `Quick test_block_size_sweep_prefers_small;
+    Alcotest.test_case "kernel time scales" `Quick test_kernel_time_scales_with_rows;
+    Alcotest.test_case "ptx emission" `Quick test_ptx_emission;
+    Alcotest.test_case "cubin assembly" `Quick test_cubin_assembly;
+    Alcotest.test_case "cubin scales" `Quick test_cubin_scales_with_kernel_size;
+  ]

@@ -1,0 +1,137 @@
+(** Tests of the GPU timing model internals: occupancy behaviour of
+    {!Spnc_gpu.Sim.kernel_seconds}, ledger arithmetic, and PTX assembly
+    details. *)
+
+open Spnc_mlir
+module Sim = Spnc_gpu.Sim
+module M = Spnc_machine.Machine
+
+let check = Alcotest.check
+let tbool = Alcotest.bool
+let tint = Alcotest.int
+
+let gpu = M.rtx_2070_super
+
+(* A synthetic kernel op with [n] float adds in its body. *)
+let synthetic_kernel n =
+  Spnc_gpu.Lower_gpu.register ();
+  let b = Builder.create () in
+  let block =
+    Builder.block b ~arg_tys:[ Types.MemRef ([ None; Some 1 ], Types.F32) ]
+      (fun _ ->
+        let c = Spnc_cir.Ops.const_f b 1.0 ~ty:Types.F32 in
+        let ops = ref [ c ] in
+        let prev = ref (Ir.result c) in
+        for _ = 1 to n do
+          let a = Spnc_cir.Ops.binary b Spnc_cir.Ops.addf !prev !prev ~ty:Types.F32 in
+          ops := a :: !ops;
+          prev := Ir.result a
+        done;
+        List.rev (Builder.op b Spnc_cir.Ops.return_ () :: !ops))
+  in
+  Builder.op b "gpu.func"
+    ~attrs:[ ("sym_name", Attr.String "k") ]
+    ~regions:[ Builder.region1 block ]
+    ()
+
+let test_kernel_cycles_scale_with_body () =
+  let small = Sim.kernel_thread_cycles gpu (synthetic_kernel 10) in
+  let big = Sim.kernel_thread_cycles gpu (synthetic_kernel 1000) in
+  check tbool "100x body ~ 100x cycles" true
+    (big > 50.0 *. small && big < 200.0 *. small)
+
+let test_kernel_seconds_monotone_in_rows () =
+  let k = synthetic_kernel 200 in
+  let t1 = Sim.kernel_seconds gpu k ~rows:10_000 ~block_size:64 in
+  let t2 = Sim.kernel_seconds gpu k ~rows:80_000 ~block_size:64 in
+  check tbool "more rows, more time" true (t2 > t1)
+
+let test_kernel_seconds_small_grid_penalty () =
+  (* one block cannot use all SMs: per-sample time is much worse than a
+     grid-saturating launch *)
+  let k = synthetic_kernel 200 in
+  let per_sample rows =
+    Sim.kernel_seconds gpu k ~rows ~block_size:64 /. float_of_int rows
+  in
+  check tbool "64 rows/sample slower than 64k rows/sample" true
+    (per_sample 64 > 2.0 *. per_sample 65_536)
+
+let test_occupancy_penalty_for_huge_blocks () =
+  let k = synthetic_kernel 8000 in
+  (* very large blocks with high register pressure spill / lose occupancy *)
+  let t64 = Sim.kernel_seconds gpu k ~rows:100_000 ~block_size:64 in
+  let t1024 = Sim.kernel_seconds gpu k ~rows:100_000 ~block_size:1024 in
+  check tbool
+    (Printf.sprintf "1024-thread blocks slower (%.2e vs %.2e)" t1024 t64)
+    true (t1024 > t64)
+
+let test_ledger_arithmetic () =
+  let l1 =
+    { Sim.h2d_s = 1.0; d2h_s = 2.0; kernel_s = 3.0; launch_s = 4.0; alloc_s = 5.0 }
+  in
+  let l2 = Sim.scale_ledger l1 2.0 in
+  check (Alcotest.float 1e-12) "scaled total" 30.0 (Sim.total_seconds l2);
+  let l3 = Sim.add_ledger l1 l2 in
+  check (Alcotest.float 1e-12) "added total" 45.0 (Sim.total_seconds l3);
+  check (Alcotest.float 1e-12) "transfer fraction" (9.0 /. 45.0)
+    (Sim.transfer_fraction l3)
+
+(* -- PTX internals ------------------------------------------------------------- *)
+
+let test_ptx_assemble_two_kernels_independently () =
+  (* two identical kernels assemble to exactly twice the bytes of one *)
+  let ptx_one =
+    ".version 7.2\n.visible .entry a()\n{\n  add.f32 %f1, %f2, %f3;\n  ret;\n}\n"
+  in
+  let ptx_two =
+    ptx_one ^ ".visible .entry b()\n{\n  add.f32 %f1, %f2, %f3;\n  ret;\n}\n"
+  in
+  let one = Spnc_gpu.Ptx.assemble ptx_one in
+  let two = Spnc_gpu.Ptx.assemble ptx_two in
+  check tint "double instructions" (2 * one.Spnc_gpu.Ptx.instructions)
+    two.Spnc_gpu.Ptx.instructions;
+  check tint "double bytes"
+    (2 * Bytes.length one.Spnc_gpu.Ptx.bytes)
+    (Bytes.length two.Spnc_gpu.Ptx.bytes)
+
+let test_ptx_registers_reported () =
+  let ptx =
+    ".visible .entry a()\n{\n\
+    \  mov.f32 %f1, 0f00000000;\n\
+    \  mov.f32 %f2, 0f00000000;\n\
+    \  add.f32 %f3, %f1, %f2;\n\
+    \  st.global.f32 [%r1+%r2], %f3;\n\
+    \  ret;\n}\n"
+  in
+  let c = Spnc_gpu.Ptx.assemble ptx in
+  check tbool "register pressure > 0" true (c.Spnc_gpu.Ptx.regs_allocated >= 2)
+
+let test_ptx_determinism () =
+  let m =
+    let rng = Spnc_data.Rng.create ~seed:123 in
+    let t =
+      Spnc_spn.Random_spn.generate rng
+        { Spnc_spn.Random_spn.default_config with num_features = 4; max_depth = 4 }
+    in
+    let hi = Spnc_hispn.From_model.translate t in
+    let lo = Spnc_lospn.Lower_hispn.run hi in
+    let lo = Spnc_lospn.Buffer_opt.run (Spnc_lospn.Bufferize.run lo) in
+    Spnc_gpu.Copy_opt.run (Spnc_gpu.Lower_gpu.run lo)
+  in
+  let p1 = Spnc_gpu.Ptx.emit m and p2 = Spnc_gpu.Ptx.emit m in
+  check tbool "emission deterministic" true (String.equal p1 p2);
+  let c1 = Spnc_gpu.Ptx.assemble p1 and c2 = Spnc_gpu.Ptx.assemble p2 in
+  check tbool "assembly deterministic" true
+    (Bytes.equal c1.Spnc_gpu.Ptx.bytes c2.Spnc_gpu.Ptx.bytes)
+
+let suite =
+  [
+    Alcotest.test_case "kernel cycles scale" `Quick test_kernel_cycles_scale_with_body;
+    Alcotest.test_case "kernel seconds monotone" `Quick test_kernel_seconds_monotone_in_rows;
+    Alcotest.test_case "small grid penalty" `Quick test_kernel_seconds_small_grid_penalty;
+    Alcotest.test_case "huge block penalty" `Quick test_occupancy_penalty_for_huge_blocks;
+    Alcotest.test_case "ledger arithmetic" `Quick test_ledger_arithmetic;
+    Alcotest.test_case "ptx per-kernel assembly" `Quick test_ptx_assemble_two_kernels_independently;
+    Alcotest.test_case "ptx registers" `Quick test_ptx_registers_reported;
+    Alcotest.test_case "ptx determinism" `Quick test_ptx_determinism;
+  ]

@@ -1,0 +1,180 @@
+(** Tests for the training substrates: EM weight learning (monotone
+    likelihood, improvement over a poor initialization) and MPE
+    completion. *)
+
+open Spnc_spn
+module Rng = Spnc_data.Rng
+
+let check = Alcotest.check
+let tbool = Alcotest.bool
+
+(* A mixture model with deliberately wrong weights: the data comes from a
+   0.8/0.2 mixture but the model starts at 0.5/0.5. *)
+let skewed_mixture () =
+  Model.make ~name:"mix" ~num_features:1
+    (Model.sum
+       [
+         (0.5, Model.gaussian ~var:0 ~mean:(-2.0) ~stddev:0.6);
+         (0.5, Model.gaussian ~var:0 ~mean:2.0 ~stddev:0.6);
+       ])
+
+let sample_mixture rng n =
+  Array.init n (fun _ ->
+      if Rng.float rng < 0.8 then [| Rng.gaussian_ms rng ~mean:(-2.0) ~stddev:0.6 |]
+      else [| Rng.gaussian_ms rng ~mean:2.0 ~stddev:0.6 |])
+
+let data_ll t rows =
+  Array.fold_left (fun acc r -> acc +. Infer.log_likelihood t r) 0.0 rows
+
+let test_em_monotone_ll () =
+  let rng = Rng.create ~seed:101 in
+  let rows = sample_mixture rng 400 in
+  let _, report = Em.fit ~config:{ Em.default_config with iterations = 8 } (skewed_mixture ()) rows in
+  let rec monotone = function
+    | a :: (b :: _ as rest) ->
+        check tbool (Printf.sprintf "ll non-decreasing (%.3f -> %.3f)" a b) true
+          (b >= a -. 1e-6);
+        monotone rest
+    | _ -> ()
+  in
+  monotone report.Em.log_likelihoods
+
+let test_em_recovers_weights () =
+  let rng = Rng.create ~seed:102 in
+  let rows = sample_mixture rng 600 in
+  let trained, _ = Em.fit ~config:{ Em.default_config with iterations = 15 } (skewed_mixture ()) rows in
+  (match trained.Model.root.Model.desc with
+  | Model.Sum [ (w1, _); (w2, _) ] ->
+      check tbool (Printf.sprintf "w1 %.2f near 0.8" w1) true (Float.abs (w1 -. 0.8) < 0.07);
+      check tbool (Printf.sprintf "w2 %.2f near 0.2" w2) true (Float.abs (w2 -. 0.2) < 0.07)
+  | _ -> Alcotest.fail "structure changed");
+  check tbool "trained model valid" true (Validate.is_valid trained)
+
+let test_em_improves_ll () =
+  let rng = Rng.create ~seed:103 in
+  let rows = sample_mixture rng 400 in
+  let t0 = skewed_mixture () in
+  let before = data_ll t0 rows in
+  let trained, _ = Em.fit t0 rows in
+  let after = data_ll trained rows in
+  check tbool (Printf.sprintf "ll improved %.2f -> %.2f" before after) true
+    (after > before)
+
+let test_em_learn_leaves () =
+  (* leaves start at the wrong means; learn_leaves moves them *)
+  let rng = Rng.create ~seed:104 in
+  let rows = sample_mixture rng 600 in
+  let t0 =
+    Model.make ~num_features:1
+      (Model.sum
+         [
+           (0.5, Model.gaussian ~var:0 ~mean:(-0.5) ~stddev:1.5);
+           (0.5, Model.gaussian ~var:0 ~mean:0.5 ~stddev:1.5);
+         ])
+  in
+  let trained, _ =
+    Em.fit ~config:{ Em.default_config with iterations = 25; learn_leaves = true } t0 rows
+  in
+  let means =
+    Model.fold_unique
+      (fun acc (n : Model.node) ->
+        match n.Model.desc with
+        | Model.Gaussian { mean; _ } -> mean :: acc
+        | _ -> acc)
+      [] trained
+  in
+  let means = List.sort compare means in
+  match means with
+  | [ a; b ] ->
+      check tbool (Printf.sprintf "means %.2f/%.2f near -2/2" a b) true
+        (Float.abs (a +. 2.0) < 0.5 && Float.abs (b -. 2.0) < 0.5)
+  | _ -> Alcotest.fail "expected two gaussians"
+
+let test_em_on_random_structure () =
+  (* EM must keep arbitrary generated structures valid and not decrease
+     the training likelihood *)
+  let rng = Rng.create ~seed:105 in
+  let t =
+    Random_spn.generate rng
+      { Random_spn.default_config with num_features = 4; max_depth = 5 }
+  in
+  let rows =
+    Array.init 120 (fun _ -> Array.init 4 (fun _ -> Rng.range rng (-2.0) 2.0))
+  in
+  let trained, report = Em.fit ~config:{ Em.default_config with iterations = 5 } t rows in
+  check tbool "valid after EM" true (Validate.is_valid trained);
+  match (report.Em.log_likelihoods, List.rev report.Em.log_likelihoods) with
+  | first :: _, last :: _ ->
+      check tbool "ll not decreased" true (last >= first -. 1e-6)
+  | _ -> Alcotest.fail "no iterations recorded"
+
+(* -- MPE -------------------------------------------------------------------- *)
+
+let test_mpe_identity_on_full_evidence () =
+  let t = skewed_mixture () in
+  let row = [| -1.7 |] in
+  let out = Infer.mpe t row in
+  check (Alcotest.float 0.0) "unchanged" row.(0) out.(0)
+
+let test_mpe_fills_mode () =
+  let t = skewed_mixture () in
+  let out = Infer.mpe t [| Float.nan |] in
+  (* weights are equal, so either mode is acceptable; must be one of them *)
+  check tbool (Printf.sprintf "completion %.2f is a mode" out.(0)) true
+    (Float.abs (out.(0) -. 2.0) < 1e-9 || Float.abs (out.(0) +. 2.0) < 1e-9)
+
+let test_mpe_follows_evidence () =
+  (* two-variable model where x0 determines the mixture component; the
+     completion of x1 must follow the evidence on x0 *)
+  let t =
+    Model.make ~num_features:2
+      (Model.sum
+         [
+           ( 0.5,
+             Model.product
+               [
+                 Model.gaussian ~var:0 ~mean:(-3.0) ~stddev:0.5;
+                 Model.gaussian ~var:1 ~mean:(-5.0) ~stddev:0.5;
+               ] );
+           ( 0.5,
+             Model.product
+               [
+                 Model.gaussian ~var:0 ~mean:3.0 ~stddev:0.5;
+                 Model.gaussian ~var:1 ~mean:5.0 ~stddev:0.5;
+               ] );
+         ])
+  in
+  let a = Infer.mpe t [| -3.0; Float.nan |] in
+  let b = Infer.mpe t [| 3.0; Float.nan |] in
+  check (Alcotest.float 1e-9) "negative branch" (-5.0) a.(1);
+  check (Alcotest.float 1e-9) "positive branch" 5.0 b.(1)
+
+let test_mpe_completion_beats_antimode () =
+  let rng = Rng.create ~seed:106 in
+  let t =
+    Random_spn.generate rng
+      { Random_spn.default_config with num_features = 3; max_depth = 4 }
+  in
+  let partial = [| 0.5; Float.nan; Float.nan |] in
+  let completion = Infer.mpe t partial in
+  check tbool "no NaNs left" true
+    (Array.for_all (fun v -> not (Float.is_nan v)) completion);
+  (* the MPE completion should score at least as well as a far-away one *)
+  let anti = Array.copy completion in
+  anti.(1) <- 50.0;
+  anti.(2) <- -50.0;
+  check tbool "mpe beats antimode" true
+    (Infer.log_likelihood t completion > Infer.log_likelihood t anti)
+
+let suite =
+  [
+    Alcotest.test_case "em monotone ll" `Quick test_em_monotone_ll;
+    Alcotest.test_case "em recovers weights" `Quick test_em_recovers_weights;
+    Alcotest.test_case "em improves ll" `Quick test_em_improves_ll;
+    Alcotest.test_case "em learns leaves" `Quick test_em_learn_leaves;
+    Alcotest.test_case "em on random structure" `Quick test_em_on_random_structure;
+    Alcotest.test_case "mpe identity" `Quick test_mpe_identity_on_full_evidence;
+    Alcotest.test_case "mpe fills mode" `Quick test_mpe_fills_mode;
+    Alcotest.test_case "mpe follows evidence" `Quick test_mpe_follows_evidence;
+    Alcotest.test_case "mpe beats antimode" `Quick test_mpe_completion_beats_antimode;
+  ]

@@ -1,0 +1,347 @@
+(** Differential tests of the target-independent pipeline: SPN model →
+    HiSPN → LoSPN → (partitioning) → bufferization → buffer optimization,
+    checked at each stage by the verifier and, at the end, by executing
+    the bufferized kernel with {!Spnc_lospn.Interp} against the reference
+    evaluator {!Spnc_spn.Infer}. *)
+
+open Spnc_mlir
+open Spnc_spn
+module Rng = Spnc_data.Rng
+
+let check = Alcotest.check
+let tbool = Alcotest.bool
+let tint = Alcotest.int
+
+let example_spn () =
+  let g00 = Model.gaussian ~var:0 ~mean:0.0 ~stddev:1.0 in
+  let g01 = Model.gaussian ~var:1 ~mean:1.0 ~stddev:0.5 in
+  let g10 = Model.gaussian ~var:0 ~mean:2.0 ~stddev:1.5 in
+  let g11 = Model.gaussian ~var:1 ~mean:(-1.0) ~stddev:1.0 in
+  Model.make ~name:"example" ~num_features:2
+    (Model.sum
+       [
+         (0.3, Model.product [ g00; g01 ]);
+         (0.7, Model.product [ g10; g11 ]);
+       ])
+
+let mixed_spn () =
+  let c = Model.categorical ~var:0 ~probs:[| 0.1; 0.6; 0.3 |] in
+  let h = Model.histogram ~var:1 ~breaks:[| 0; 1; 3 |] ~densities:[| 0.6; 0.2 |] in
+  let g = Model.gaussian ~var:2 ~mean:0.5 ~stddev:2.0 in
+  Model.make ~name:"mixed" ~num_features:3
+    (Model.sum
+       [
+         (0.4, Model.product [ c; h; g ]);
+         ( 0.6,
+           Model.product
+             [
+               Model.categorical ~var:0 ~probs:[| 0.3; 0.3; 0.4 |];
+               Model.histogram ~var:1 ~breaks:[| 0; 2; 3 |] ~densities:[| 0.4; 0.2 |];
+               Model.gaussian ~var:2 ~mean:(-1.0) ~stddev:0.5;
+             ] );
+       ])
+
+(* -- HiSPN translation ------------------------------------------------------ *)
+
+let test_hispn_translation_valid () =
+  let m = Spnc_hispn.From_model.translate (example_spn ()) in
+  match Verifier.verify m with
+  | [] -> ()
+  | errs -> Alcotest.failf "invalid HiSPN: %s" (Verifier.errors_to_string errs)
+
+let test_hispn_preserves_sharing () =
+  let shared = Model.gaussian ~var:0 ~mean:0.0 ~stddev:1.0 in
+  let t =
+    Model.make ~num_features:2
+      (Model.sum
+         [
+           (0.5, Model.product [ shared; Model.gaussian ~var:1 ~mean:0.0 ~stddev:1.0 ]);
+           (0.5, Model.product [ shared; Model.gaussian ~var:1 ~mean:2.0 ~stddev:1.0 ]);
+         ])
+  in
+  let m = Spnc_hispn.From_model.translate t in
+  check tint "one gaussian per unique leaf" 3
+    (Ir.count_ops (fun o -> o.Ir.name = "hi_spn.gaussian") m)
+
+let test_hispn_structure () =
+  let m = Spnc_hispn.From_model.translate (example_spn ()) in
+  check tint "one query" 1 (Ir.count_ops (fun o -> o.Ir.name = "hi_spn.joint_query") m);
+  check tint "one graph" 1 (Ir.count_ops (fun o -> o.Ir.name = "hi_spn.graph") m);
+  check tint "one root" 1 (Ir.count_ops (fun o -> o.Ir.name = "hi_spn.root") m);
+  check tint "one sum" 1 (Ir.count_ops (fun o -> o.Ir.name = "hi_spn.sum") m);
+  check tint "two products" 2 (Ir.count_ops (fun o -> o.Ir.name = "hi_spn.product") m)
+
+let test_hispn_canonicalize_single_input () =
+  (* a sum with a single child (weight 1) collapses during canonicalization *)
+  let inner = Model.gaussian ~var:0 ~mean:0.0 ~stddev:1.0 in
+  let t = Model.make ~num_features:1 (Model.sum [ (1.0, inner) ]) in
+  let m = Spnc_hispn.From_model.translate t in
+  check tint "sum present before" 1 (Ir.count_ops (fun o -> o.Ir.name = "hi_spn.sum") m);
+  let m' = Canonicalize.run m in
+  check tint "sum collapsed" 0 (Ir.count_ops (fun o -> o.Ir.name = "hi_spn.sum") m');
+  match Verifier.verify m' with
+  | [] -> ()
+  | errs -> Alcotest.failf "invalid after canonicalize: %s" (Verifier.errors_to_string errs)
+
+(* -- HiSPN -> LoSPN ----------------------------------------------------------- *)
+
+let lower ?(space = Spnc_lospn.Lower_hispn.Auto) ?(support_marginal = false) t =
+  let query =
+    { Spnc_hispn.From_model.default_query with support_marginal }
+  in
+  let hi = Spnc_hispn.From_model.translate ~query t in
+  Spnc_lospn.Lower_hispn.run
+    ~options:{ Spnc_lospn.Lower_hispn.default_options with space }
+    hi
+
+let test_lospn_valid () =
+  let m = lower (example_spn ()) in
+  match Verifier.verify m with
+  | [] -> ()
+  | errs -> Alcotest.failf "invalid LoSPN: %s" (Verifier.errors_to_string errs)
+
+let test_lospn_binary_decomposition () =
+  let m = lower (example_spn ()) in
+  (* every lo_spn.mul/add has exactly two operands by construction; the
+     verifier enforces it, so just check they exist *)
+  check tbool "has mul" true (Ir.count_ops (fun o -> o.Ir.name = "lo_spn.mul") m > 0);
+  check tbool "has add" true (Ir.count_ops (fun o -> o.Ir.name = "lo_spn.add") m > 0);
+  check tint "one kernel" 1 (Ir.count_ops (fun o -> o.Ir.name = "lo_spn.kernel") m);
+  check tint "one task" 1 (Ir.count_ops (fun o -> o.Ir.name = "lo_spn.task") m)
+
+let test_datatype_selection_deep_graph_uses_log () =
+  (* a deep chain of products of small probabilities must select log space *)
+  let leaves =
+    List.init 60 (fun i -> Model.categorical ~var:i ~probs:[| 0.001; 0.999 |])
+  in
+  let t = Model.make ~num_features:60 (Model.product leaves) in
+  let hi = Spnc_hispn.From_model.translate t in
+  let query =
+    match hi.Ir.mops with [ q ] -> q | _ -> Alcotest.fail "expected one query"
+  in
+  let graph =
+    List.find (fun (o : Ir.op) -> o.Ir.name = "hi_spn.graph") (Ir.single_region_ops query)
+  in
+  let ops = (Option.get (Ir.entry_block graph)).Ir.bops in
+  let choice =
+    Spnc_lospn.Lower_hispn.choose_datatype
+      ~options:Spnc_lospn.Lower_hispn.default_options ops
+  in
+  check tbool "log space selected" true choice.Spnc_lospn.Lower_hispn.use_log_space
+
+let test_datatype_selection_shallow_stays_linear () =
+  let t = example_spn () in
+  let hi = Spnc_hispn.From_model.translate t in
+  let query = List.hd hi.Ir.mops in
+  let graph =
+    List.find (fun (o : Ir.op) -> o.Ir.name = "hi_spn.graph") (Ir.single_region_ops query)
+  in
+  let ops = (Option.get (Ir.entry_block graph)).Ir.bops in
+  let choice =
+    Spnc_lospn.Lower_hispn.choose_datatype
+      ~options:Spnc_lospn.Lower_hispn.default_options ops
+  in
+  check tbool "linear retained" false choice.Spnc_lospn.Lower_hispn.use_log_space
+
+(* -- Full pipeline to bufferized LoSPN, executed by the interpreter ---------- *)
+
+let pipeline ?space ?support_marginal ?partition_size t =
+  let m = lower ?space ?support_marginal t in
+  let m = Canonicalize.run m in
+  let m =
+    match partition_size with
+    | Some s ->
+        Spnc_lospn.Partition_pass.run
+          ~options:
+            { Spnc_lospn.Partition_pass.default_options with max_partition_size = s }
+          m
+    | None -> m
+  in
+  let m = Spnc_lospn.Bufferize.run m in
+  let m = Spnc_lospn.Buffer_opt.run m in
+  (match Verifier.verify m with
+  | [] -> ()
+  | errs -> Alcotest.failf "invalid final module: %s" (Verifier.errors_to_string errs));
+  m
+
+let flat_inputs (rows : float array array) =
+  Array.concat (Array.to_list rows)
+
+let differential_test ?space ?support_marginal ?partition_size ~tol t rows =
+  let m = pipeline ?space ?support_marginal ?partition_size t in
+  let flat = flat_inputs rows in
+  let out =
+    Spnc_lospn.Interp.run_kernel m ~inputs:[ flat ] ~rows:(Array.length rows)
+  in
+  let is_log =
+    Ir.find_ops (fun o -> o.Ir.name = "lo_spn.kernel") m
+    |> List.hd
+    |> fun k ->
+    match Ir.type_attr k "function_type" with
+    | Some (Types.Func (args, _)) -> (
+        match List.rev args with
+        | Types.MemRef (_, Types.Log _) :: _ -> true
+        | _ -> false)
+    | _ -> false
+  in
+  (* out buffer may have several slots per sample (partitioned kernels
+     reserve slot 0 for the result); rows are the dynamic dim and the
+     output is transposed, so slot 0 occupies the first [rows] entries *)
+  Array.iteri
+    (fun i row ->
+      let expected = Infer.log_likelihood t row in
+      let got = out.(i) in
+      let got_log = if is_log then got else log got in
+      if Float.abs (got_log -. expected) > tol then
+        Alcotest.failf "row %d: expected %.12f got %.12f" i expected got_log)
+    rows
+
+let random_rows rng n f =
+  Array.init n (fun _ -> Array.init f (fun _ -> Rng.range rng (-3.0) 3.0))
+
+let test_e2e_linear () =
+  let rng = Rng.create ~seed:21 in
+  differential_test ~space:Spnc_lospn.Lower_hispn.Force_linear ~tol:1e-9
+    (example_spn ()) (random_rows rng 64 2)
+
+let test_e2e_log () =
+  let rng = Rng.create ~seed:22 in
+  differential_test ~space:Spnc_lospn.Lower_hispn.Force_log ~tol:1e-9
+    (example_spn ()) (random_rows rng 64 2)
+
+let test_e2e_mixed_leaves () =
+  let rng = Rng.create ~seed:23 in
+  let rows =
+    Array.init 40 (fun _ ->
+        [|
+          float_of_int (Rng.int rng 4);
+          float_of_int (Rng.int rng 4);
+          Rng.range rng (-3.0) 3.0;
+        |])
+  in
+  differential_test ~space:Spnc_lospn.Lower_hispn.Force_log ~tol:1e-9
+    (mixed_spn ()) rows
+
+let test_e2e_marginal () =
+  let rng = Rng.create ~seed:24 in
+  let rows =
+    Array.map
+      (fun (row : float array) ->
+        Array.map (fun v -> if Rng.float rng < 0.3 then Float.nan else v) row)
+      (random_rows rng 64 2)
+  in
+  differential_test ~space:Spnc_lospn.Lower_hispn.Force_log
+    ~support_marginal:true ~tol:1e-9 (example_spn ()) rows
+
+let test_e2e_random_spns () =
+  let rng = Rng.create ~seed:25 in
+  for i = 0 to 2 do
+    let cfg = { Random_spn.default_config with num_features = 8; max_depth = 5 } in
+    let t = Random_spn.generate rng cfg in
+    let rows = random_rows (Rng.create ~seed:(100 + i)) 20 8 in
+    differential_test ~space:Spnc_lospn.Lower_hispn.Force_log ~tol:1e-8 t rows
+  done
+
+(* -- Partitioning pass --------------------------------------------------------- *)
+
+let big_spn rng =
+  Random_spn.generate_sized rng
+    { Random_spn.default_config with num_features = 12; max_depth = 7 }
+    ~min_ops:400
+
+let test_partition_pass_splits () =
+  let rng = Rng.create ~seed:26 in
+  let t = big_spn rng in
+  let m = lower ~space:Spnc_lospn.Lower_hispn.Force_log t in
+  let m' =
+    Spnc_lospn.Partition_pass.run
+      ~options:{ Spnc_lospn.Partition_pass.default_options with max_partition_size = 100 }
+      m
+  in
+  (match Verifier.verify m' with
+  | [] -> ()
+  | errs -> Alcotest.failf "invalid after partitioning: %s" (Verifier.errors_to_string errs));
+  check tbool "multiple tasks" true
+    (Ir.count_ops (fun o -> o.Ir.name = "lo_spn.task") m' > 1)
+
+let test_partition_pass_preserves_semantics () =
+  let rng = Rng.create ~seed:27 in
+  let t = big_spn rng in
+  let rows = random_rows (Rng.create ~seed:28) 16 12 in
+  differential_test ~space:Spnc_lospn.Lower_hispn.Force_log ~partition_size:80
+    ~tol:1e-8 t rows
+
+let test_partition_pass_small_graph_untouched () =
+  let t = example_spn () in
+  let m = lower t in
+  let m' = Spnc_lospn.Partition_pass.run m in
+  check tint "single task kept" 1 (Ir.count_ops (fun o -> o.Ir.name = "lo_spn.task") m')
+
+(* -- Bufferization ---------------------------------------------------------------- *)
+
+let test_bufferize_converts_types () =
+  let m = lower (example_spn ()) in
+  let m' = Spnc_lospn.Bufferize.run m in
+  check tint "no tensors left" 0
+    (Ir.count_ops (fun o -> o.Ir.name = "lo_spn.batch_extract") m');
+  check tbool "batch_read present" true
+    (Ir.count_ops (fun o -> o.Ir.name = "lo_spn.batch_read") m' > 0);
+  check tbool "batch_write present" true
+    (Ir.count_ops (fun o -> o.Ir.name = "lo_spn.batch_write") m' > 0);
+  (* naive bufferization inserts a copy *)
+  check tint "copy inserted" 1 (Ir.count_ops (fun o -> o.Ir.name = "lo_spn.copy") m')
+
+let test_buffer_opt_removes_copy () =
+  let m = lower (example_spn ()) in
+  let m = Spnc_lospn.Bufferize.run m in
+  let m' = Spnc_lospn.Buffer_opt.run m in
+  check tint "copy eliminated" 0 (Ir.count_ops (fun o -> o.Ir.name = "lo_spn.copy") m');
+  check tint "final alloc eliminated" 0
+    (Ir.count_ops (fun o -> o.Ir.name = "lo_spn.alloc") m')
+
+let test_buffer_opt_deallocs_match_allocs () =
+  let rng = Rng.create ~seed:29 in
+  let t = big_spn rng in
+  let m = lower ~space:Spnc_lospn.Lower_hispn.Force_log t in
+  let m =
+    Spnc_lospn.Partition_pass.run
+      ~options:{ Spnc_lospn.Partition_pass.default_options with max_partition_size = 100 }
+      m
+  in
+  let m = Spnc_lospn.Bufferize.run m in
+  let m' = Spnc_lospn.Buffer_opt.run m in
+  let allocs = Ir.count_ops (fun o -> o.Ir.name = "lo_spn.alloc") m' in
+  let deallocs = Ir.count_ops (fun o -> o.Ir.name = "lo_spn.dealloc") m' in
+  check tint "alloc/dealloc balance" allocs deallocs
+
+let test_print_parse_lowered_module () =
+  (* the full textual format handles real lowered modules *)
+  let m = pipeline (example_spn ()) in
+  let s = Printer.modul_to_string m in
+  match Parser.modul_of_string s with
+  | m' -> check Alcotest.string "roundtrip" s (Printer.modul_to_string m')
+  | exception Parser.Error e -> Alcotest.failf "parse error: %s" e
+
+let suite =
+  [
+    Alcotest.test_case "hispn translation valid" `Quick test_hispn_translation_valid;
+    Alcotest.test_case "hispn preserves sharing" `Quick test_hispn_preserves_sharing;
+    Alcotest.test_case "hispn structure" `Quick test_hispn_structure;
+    Alcotest.test_case "hispn canonicalize single input" `Quick test_hispn_canonicalize_single_input;
+    Alcotest.test_case "lospn valid" `Quick test_lospn_valid;
+    Alcotest.test_case "lospn binary decomposition" `Quick test_lospn_binary_decomposition;
+    Alcotest.test_case "datatype: deep graph -> log" `Quick test_datatype_selection_deep_graph_uses_log;
+    Alcotest.test_case "datatype: shallow -> linear" `Quick test_datatype_selection_shallow_stays_linear;
+    Alcotest.test_case "e2e linear" `Quick test_e2e_linear;
+    Alcotest.test_case "e2e log" `Quick test_e2e_log;
+    Alcotest.test_case "e2e mixed leaves" `Quick test_e2e_mixed_leaves;
+    Alcotest.test_case "e2e marginal" `Quick test_e2e_marginal;
+    Alcotest.test_case "e2e random spns" `Slow test_e2e_random_spns;
+    Alcotest.test_case "partition pass splits" `Quick test_partition_pass_splits;
+    Alcotest.test_case "partition preserves semantics" `Quick test_partition_pass_preserves_semantics;
+    Alcotest.test_case "partition leaves small graphs" `Quick test_partition_pass_small_graph_untouched;
+    Alcotest.test_case "bufferize converts" `Quick test_bufferize_converts_types;
+    Alcotest.test_case "buffer_opt removes copy" `Quick test_buffer_opt_removes_copy;
+    Alcotest.test_case "alloc/dealloc balance" `Quick test_buffer_opt_deallocs_match_allocs;
+    Alcotest.test_case "print/parse lowered module" `Quick test_print_parse_lowered_module;
+  ]

@@ -1,0 +1,320 @@
+(** Tests for the mini-MLIR infrastructure: types, attributes, IR
+    construction, printing/parsing round-trips, verification, CSE,
+    constant folding and canonicalization. *)
+
+open Spnc_mlir
+
+let check = Alcotest.check
+let tbool = Alcotest.bool
+let tstr = Alcotest.string
+let tint = Alcotest.int
+
+(* -- Types ------------------------------------------------------------- *)
+
+let test_type_printing () =
+  check tstr "f32" "f32" (Types.to_string Types.F32);
+  check tstr "log" "!lo_spn.log<f32>" (Types.to_string (Types.Log Types.F32));
+  check tstr "prob" "!hi_spn.probability" (Types.to_string Types.Prob);
+  check tstr "tensor" "tensor<?,26,f32>"
+    (Types.to_string (Types.Tensor ([ None; Some 26 ], Types.F32)));
+  check tstr "memref" "memref<?,1,!lo_spn.log<f32>>"
+    (Types.to_string (Types.MemRef ([ None; Some 1 ], Types.Log Types.F32)));
+  check tstr "vector" "vector<8,f32>" (Types.to_string (Types.Vector (8, Types.F32)));
+  check tstr "index" "index" (Types.to_string Types.Index)
+
+let test_type_equality () =
+  check tbool "equal tensors" true
+    (Types.equal
+       (Types.Tensor ([ None; Some 3 ], Types.F32))
+       (Types.Tensor ([ None; Some 3 ], Types.F32)));
+  check tbool "unequal dims" false
+    (Types.equal
+       (Types.Tensor ([ None; Some 3 ], Types.F32))
+       (Types.Tensor ([ None; Some 4 ], Types.F32)));
+  check tbool "log vs plain" false (Types.equal (Types.Log Types.F32) Types.F32);
+  check tbool "func type" true
+    (Types.equal (Types.Func ([ Types.F32 ], [])) (Types.Func ([ Types.F32 ], [])))
+
+let test_type_predicates () =
+  check tbool "is_float f64" true (Types.is_float Types.F64);
+  check tbool "is_float log" false (Types.is_float (Types.Log Types.F32));
+  check tbool "computation log" true (Types.is_computation (Types.Log Types.F32));
+  check tbool "computation prob" false (Types.is_computation Types.Prob);
+  check tint "bit width f32" 32 (Types.bit_width Types.F32);
+  check tint "bit width log f64" 64 (Types.bit_width (Types.Log Types.F64));
+  check tbool "element type" true
+    (Types.equal (Types.element_type (Types.Tensor ([ None ], Types.F64))) Types.F64)
+
+(* -- Attributes --------------------------------------------------------- *)
+
+let test_attr_dict () =
+  let d = Attr.Dict.of_list [ ("b", Attr.Int 2); ("a", Attr.Int 1) ] in
+  (* sorted by key *)
+  check tbool "find a" true (Attr.Dict.find d "a" = Some (Attr.Int 1));
+  check tbool "ordering" true (fst (List.hd d) = "a");
+  let d = Attr.Dict.set d "a" (Attr.Int 9) in
+  check tbool "set replaces" true (Attr.Dict.find d "a" = Some (Attr.Int 9));
+  check tbool "remove" true (Attr.Dict.find (Attr.Dict.remove d "a") "a" = None)
+
+let test_attr_equal () =
+  check tbool "dense equal" true
+    (Attr.equal (Attr.DenseF [| 1.0; 2.0 |]) (Attr.DenseF [| 1.0; 2.0 |]));
+  check tbool "dense unequal" false
+    (Attr.equal (Attr.DenseF [| 1.0 |]) (Attr.DenseF [| 1.0; 2.0 |]));
+  check tbool "nan equal" true (Attr.equal (Attr.Float Float.nan) (Attr.Float Float.nan));
+  check tbool "array of mixed" true
+    (Attr.equal
+       (Attr.Array [ Attr.Int 1; Attr.String "x" ])
+       (Attr.Array [ Attr.Int 1; Attr.String "x" ]))
+
+(* -- IR construction ----------------------------------------------------- *)
+
+let simple_module () =
+  let b = Builder.create () in
+  let c1 = Builder.op b "lo_spn.constant" ~results:[ Types.F32 ]
+      ~attrs:[ ("value", Attr.Float 2.0) ] () in
+  let c2 = Builder.op b "lo_spn.constant" ~results:[ Types.F32 ]
+      ~attrs:[ ("value", Attr.Float 3.0) ] () in
+  let m =
+    Builder.op b "lo_spn.mul"
+      ~operands:[ Ir.result c1; Ir.result c2 ]
+      ~results:[ Types.F32 ] ()
+  in
+  (Builder.modul ~name:"t" [ c1; c2; m ], m)
+
+let test_builder_ids_unique () =
+  let m, _ = simple_module () in
+  let ids = ref [] in
+  Ir.walk (fun op -> List.iter (fun (v : Ir.value) -> ids := v.Ir.vid :: !ids) op.Ir.results) m;
+  let sorted = List.sort_uniq compare !ids in
+  check tint "no duplicate ids" (List.length !ids) (List.length sorted)
+
+let test_walk_and_count () =
+  let m, _ = simple_module () in
+  check tint "three ops" 3 (Ir.count_ops (fun _ -> true) m);
+  check tint "two constants" 2
+    (Ir.count_ops (fun o -> o.Ir.name = "lo_spn.constant") m)
+
+let test_defining_map () =
+  let m, mul_op = simple_module () in
+  let dm = Ir.defining_map m in
+  let def = Ir.VMap.find (Ir.result mul_op) dm in
+  check tstr "mul defines its result" "lo_spn.mul" def.Ir.name
+
+(* -- Printer / parser round-trip ----------------------------------------- *)
+
+let test_print_parse_roundtrip_simple () =
+  let m, _ = simple_module () in
+  let s = Printer.modul_to_string m in
+  let m' = Parser.modul_of_string s in
+  let s' = Printer.modul_to_string m' in
+  check tstr "roundtrip fixpoint" s s'
+
+let test_parse_nested_regions () =
+  Spnc_lospn.Ops.register ();
+  let src =
+    {|module @k {
+  "lo_spn.body"() ({
+  ^bb(%1: f32):
+    %2 = "lo_spn.mul"(%1, %1) : (f32, f32) -> (f32)
+    "lo_spn.yield"(%2) : (f32) -> ()
+  }) : () -> ()
+}|}
+  in
+  (* note: operands of yield print inside parens *)
+  match Parser.modul_of_string src with
+  | m -> check tint "one top op" 1 (List.length m.Ir.mops)
+  | exception Parser.Error e -> Alcotest.failf "parse error: %s" e
+
+let test_parse_errors () =
+  let bad = "module @x { %0 = \"foo\"( : () -> (f32) }" in
+  (match Parser.modul_of_string bad with
+  | exception (Parser.Error _ | Lexer.Error _) -> ()
+  | _ -> Alcotest.fail "expected parse error");
+  match Parser.modul_of_string "not a module" with
+  | exception (Parser.Error _ | Lexer.Error _) -> ()
+  | _ -> Alcotest.fail "expected parse error"
+
+(* Property: random attribute dictionaries survive print->parse *)
+let attr_gen : Attr.t QCheck.Gen.t =
+  let open QCheck.Gen in
+  sized (fun n ->
+      fix
+        (fun self n ->
+          if n <= 0 then
+            oneof
+              [
+                map (fun i -> Attr.Int i) small_signed_int;
+                map (fun f -> Attr.Float f) (float_bound_inclusive 1000.0);
+                map (fun s -> Attr.String s) (string_size ~gen:(char_range 'a' 'z') (return 5));
+                map (fun b -> Attr.Bool b) bool;
+                map (fun a -> Attr.DenseF (Array.of_list a)) (small_list (float_bound_inclusive 10.0));
+              ]
+          else
+            frequency
+              [
+                (3, self 0);
+                (1, map (fun l -> Attr.Array l) (list_size (return 3) (self (n / 2))));
+              ])
+        n)
+
+let test_attr_roundtrip_prop =
+  QCheck.Test.make ~count:200 ~name:"attr print/parse roundtrip"
+    (QCheck.make attr_gen ~print:Attr.to_string)
+    (fun attr ->
+      let b = Builder.create () in
+      let op =
+        Builder.op b "test.op" ~results:[ Types.F32 ] ~attrs:[ ("a", attr) ] ()
+      in
+      let m = Builder.modul [ op ] in
+      let s = Printer.modul_to_string m in
+      match Parser.modul_of_string s with
+      | m' -> (
+          match m'.Ir.mops with
+          | [ op' ] -> (
+              match Ir.attr op' "a" with
+              | Some attr' -> Attr.equal attr attr'
+              | None -> false)
+          | _ -> false)
+      | exception _ -> false)
+
+(* -- Verifier ------------------------------------------------------------- *)
+
+let test_verifier_accepts_valid () =
+  let m, _ = simple_module () in
+  check tbool "valid module" true (Verifier.is_valid m)
+
+let test_verifier_rejects_use_before_def () =
+  let b = Builder.create () in
+  let phantom = Builder.fresh b Types.F32 in
+  let op =
+    Builder.op b "lo_spn.mul" ~operands:[ phantom; phantom ]
+      ~results:[ Types.F32 ] ()
+  in
+  let m = Builder.modul [ op ] in
+  check tbool "invalid" false (Verifier.is_valid m)
+
+let test_verifier_rejects_double_def () =
+  let b = Builder.create () in
+  let c = Builder.op b "lo_spn.constant" ~results:[ Types.F32 ]
+      ~attrs:[ ("value", Attr.Float 1.0) ] () in
+  (* duplicate the same op structure (same result value) twice *)
+  let m = Builder.modul [ c; c ] in
+  check tbool "double definition rejected" false (Verifier.is_valid m)
+
+let test_dialect_verifier_runs () =
+  Spnc_lospn.Ops.register ();
+  let b = Builder.create () in
+  let c = Builder.op b "lo_spn.constant" ~results:[ Types.F32 ] () in
+  (* missing the required "value" attribute *)
+  let m = Builder.modul [ c ] in
+  check tbool "missing attr rejected" false (Verifier.is_valid m)
+
+(* -- CSE / constant folding / DCE ------------------------------------------ *)
+
+let test_cse_dedups () =
+  Spnc_lospn.Ops.register ();
+  let b = Builder.create () in
+  let c1 = Builder.op b "lo_spn.constant" ~results:[ Types.F32 ]
+      ~attrs:[ ("value", Attr.Float 2.0) ] () in
+  let c2 = Builder.op b "lo_spn.constant" ~results:[ Types.F32 ]
+      ~attrs:[ ("value", Attr.Float 2.0) ] () in
+  let m1 = Builder.op b "lo_spn.mul" ~operands:[ Ir.result c1; Ir.result c1 ] ~results:[ Types.F32 ] () in
+  let m2 = Builder.op b "lo_spn.mul" ~operands:[ Ir.result c2; Ir.result c2 ] ~results:[ Types.F32 ] () in
+  let s = Builder.op b "lo_spn.add" ~operands:[ Ir.result m1; Ir.result m2 ] ~results:[ Types.F32 ] () in
+  let m = Builder.modul [ c1; c2; m1; m2; s ] in
+  let m' = Cse.run m in
+  (* c2 dedups into c1, then m2 dedups into m1 *)
+  check tint "ops after cse" 3 (Ir.count_ops (fun _ -> true) m');
+  check tbool "still valid" true (Verifier.is_valid m')
+
+let test_constfold_folds_chain () =
+  Spnc_lospn.Ops.register ();
+  let b = Builder.create () in
+  let c1 = Builder.op b "lo_spn.constant" ~results:[ Types.F32 ]
+      ~attrs:[ ("value", Attr.Float 2.0) ] () in
+  let c2 = Builder.op b "lo_spn.constant" ~results:[ Types.F32 ]
+      ~attrs:[ ("value", Attr.Float 3.0) ] () in
+  let m1 = Builder.op b "lo_spn.mul" ~operands:[ Ir.result c1; Ir.result c2 ] ~results:[ Types.F32 ] () in
+  let m = Builder.modul [ c1; c2; m1 ] in
+  let m' = Constfold.run (Builder.seed_from m) m in
+  let folded =
+    Ir.find_ops (fun o -> o.Ir.name = "lo_spn.constant") m'
+    |> List.filter_map (fun o -> Ir.float_attr o "value")
+  in
+  check tbool "6.0 appears" true (List.mem 6.0 folded)
+
+let test_constfold_log_space () =
+  Spnc_lospn.Ops.register ();
+  let lt = Types.Log Types.F32 in
+  let b = Builder.create () in
+  let c1 = Builder.op b "lo_spn.constant" ~results:[ lt ]
+      ~attrs:[ ("value", Attr.Float (log 0.5)) ] () in
+  let c2 = Builder.op b "lo_spn.constant" ~results:[ lt ]
+      ~attrs:[ ("value", Attr.Float (log 0.25)) ] () in
+  (* log-space mul is addition of logs: log(0.5*0.25) = log 0.125 *)
+  let m1 = Builder.op b "lo_spn.mul" ~operands:[ Ir.result c1; Ir.result c2 ] ~results:[ lt ] () in
+  let m = Builder.modul [ c1; c2; m1 ] in
+  let m' = Constfold.run (Builder.seed_from m) m in
+  let folded =
+    Ir.find_ops (fun o -> o.Ir.name = "lo_spn.constant") m'
+    |> List.filter_map (fun o -> Ir.float_attr o "value")
+  in
+  check tbool "log(0.125) appears" true
+    (List.exists (fun v -> Float.abs (v -. log 0.125) < 1e-6) folded)
+
+let test_dce_removes_dead () =
+  Spnc_lospn.Ops.register ();
+  let b = Builder.create () in
+  let c1 = Builder.op b "lo_spn.constant" ~results:[ Types.F32 ]
+      ~attrs:[ ("value", Attr.Float 2.0) ] () in
+  let dead = Builder.op b "lo_spn.constant" ~results:[ Types.F32 ]
+      ~attrs:[ ("value", Attr.Float 9.0) ] () in
+  let m1 = Builder.op b "lo_spn.mul" ~operands:[ Ir.result c1; Ir.result c1 ] ~results:[ Types.F32 ] () in
+  let keep = Builder.op b "lo_spn.yield" ~operands:[ Ir.result m1 ] () in
+  let m = Builder.modul [ c1; dead; m1; keep ] in
+  let m' = Rewrite.dce m in
+  check tint "dead constant removed" 3 (Ir.count_ops (fun _ -> true) m')
+
+(* -- Pass manager ----------------------------------------------------------- *)
+
+let test_pass_manager_timing () =
+  let m, _ = simple_module () in
+  let p1 = Pass.make "identity" Fun.id in
+  let r = Pass.run_pipeline [ p1; Pass.cse_pass; Pass.dce_pass ] m in
+  check tint "three timings" 3 (List.length r.Pass.timings);
+  check tbool "total nonnegative" true (Pass.total_seconds r >= 0.0)
+
+let test_pass_manager_error () =
+  let m, _ = simple_module () in
+  let failing = Pass.make_fallible "boom" (fun _ -> Error "nope") in
+  match Pass.run_pipeline [ failing ] m with
+  | exception Pass.Pipeline_error ("boom", "nope") -> ()
+  | exception _ -> Alcotest.fail "wrong error"
+  | _ -> Alcotest.fail "expected failure"
+
+let suite =
+  [
+    Alcotest.test_case "type printing" `Quick test_type_printing;
+    Alcotest.test_case "type equality" `Quick test_type_equality;
+    Alcotest.test_case "type predicates" `Quick test_type_predicates;
+    Alcotest.test_case "attr dict" `Quick test_attr_dict;
+    Alcotest.test_case "attr equality" `Quick test_attr_equal;
+    Alcotest.test_case "builder unique ids" `Quick test_builder_ids_unique;
+    Alcotest.test_case "walk and count" `Quick test_walk_and_count;
+    Alcotest.test_case "defining map" `Quick test_defining_map;
+    Alcotest.test_case "print/parse roundtrip" `Quick test_print_parse_roundtrip_simple;
+    Alcotest.test_case "parse nested regions" `Quick test_parse_nested_regions;
+    Alcotest.test_case "parse errors" `Quick test_parse_errors;
+    QCheck_alcotest.to_alcotest test_attr_roundtrip_prop;
+    Alcotest.test_case "verifier accepts valid" `Quick test_verifier_accepts_valid;
+    Alcotest.test_case "verifier rejects use-before-def" `Quick test_verifier_rejects_use_before_def;
+    Alcotest.test_case "verifier rejects double def" `Quick test_verifier_rejects_double_def;
+    Alcotest.test_case "dialect verifier runs" `Quick test_dialect_verifier_runs;
+    Alcotest.test_case "cse dedups" `Quick test_cse_dedups;
+    Alcotest.test_case "constfold chain" `Quick test_constfold_folds_chain;
+    Alcotest.test_case "constfold log space" `Quick test_constfold_log_space;
+    Alcotest.test_case "dce removes dead" `Quick test_dce_removes_dead;
+    Alcotest.test_case "pass manager timing" `Quick test_pass_manager_timing;
+    Alcotest.test_case "pass manager error" `Quick test_pass_manager_error;
+  ]

@@ -1,0 +1,267 @@
+(** Precise unit tests of the individual Lir optimizer passes on
+    hand-assembled functions (the differential tests elsewhere check
+    whole-pipeline equivalence; these pin down each pass's behaviour). *)
+
+module Lir = Spnc_cpu.Lir
+module Opt = Spnc_cpu.Optimizer
+
+let check = Alcotest.check
+let tint = Alcotest.int
+let tbool = Alcotest.bool
+
+let func body ~nf ~ni =
+  {
+    Lir.fname = "t";
+    params = [ 0 ];
+    body = Array.of_list body;
+    nf;
+    ni;
+    nv = 0;
+    nb = 1;
+    vec_width = 1;
+  }
+
+let size f = Lir.func_size f
+
+let count pred (f : Lir.func) = Lir.count_instrs ~filter:pred f.Lir.body
+
+(* -- constant folding ------------------------------------------------------- *)
+
+let test_constfold_folds () =
+  let f =
+    func ~nf:4 ~ni:1
+      [
+        Lir.ConstF (0, 2.0);
+        Lir.ConstF (1, 3.0);
+        Lir.FBin (Lir.FMul, 2, 0, 1);
+        (* -> ConstF (2, 6.0) *)
+        Lir.FBin (Lir.FAdd, 3, 2, 0);
+        (* -> ConstF (3, 8.0) *)
+        Lir.ConstI (0, 0);
+        Lir.Store (0, 0, 3);
+        Lir.Ret;
+      ]
+  in
+  let f' = Opt.constfold f in
+  let consts =
+    count (fun i -> match i with Lir.ConstF _ -> true | _ -> false) f'
+  in
+  check tint "both binops folded" 4 consts;
+  let has v =
+    count (fun i -> match i with Lir.ConstF (_, x) -> x = v | _ -> false) f' > 0
+  in
+  check tbool "6.0 present" true (has 6.0);
+  check tbool "8.0 present" true (has 8.0)
+
+let test_constfold_stops_at_unknown () =
+  let f =
+    func ~nf:3 ~ni:1
+      [
+        Lir.ConstF (0, 2.0);
+        Lir.Load (1, 0, 0);
+        (* unknown *)
+        Lir.FBin (Lir.FMul, 2, 0, 1);
+        Lir.Ret;
+      ]
+  in
+  let f' = Opt.constfold f in
+  check tint "mul not folded" 1
+    (count (fun i -> match i with Lir.FBin _ -> true | _ -> false) f')
+
+(* -- CSE ---------------------------------------------------------------------- *)
+
+let test_cse_dedups_and_rewrites_uses () =
+  let f =
+    func ~nf:5 ~ni:2
+      [
+        Lir.ConstF (0, 2.0);
+        Lir.ConstF (1, 2.0);
+        (* dup of r0 *)
+        Lir.FBin (Lir.FAdd, 2, 0, 0);
+        Lir.FBin (Lir.FAdd, 3, 1, 1);
+        (* dup of r2 once r1 -> r0 *)
+        Lir.FBin (Lir.FMul, 4, 2, 3);
+        Lir.ConstI (0, 0);
+        Lir.Store (0, 0, 4);
+        Lir.Ret;
+      ]
+  in
+  let f' = Opt.dce (Opt.cse f) in
+  check tint "constants deduped" 1
+    (count (fun i -> match i with Lir.ConstF _ -> true | _ -> false) f');
+  check tint "adds deduped" 1
+    (count (fun i -> match i with Lir.FBin (Lir.FAdd, _, _, _) -> true | _ -> false) f')
+
+let test_cse_does_not_merge_loads () =
+  let f =
+    func ~nf:3 ~ni:1
+      [
+        Lir.ConstI (0, 0);
+        Lir.Load (0, 0, 0);
+        Lir.Store (0, 0, 0);
+        (* intervening store *)
+        Lir.Load (1, 0, 0);
+        Lir.FBin (Lir.FAdd, 2, 0, 1);
+        Lir.Store (0, 0, 2);
+        Lir.Ret;
+      ]
+  in
+  let f' = Opt.cse f in
+  check tint "loads preserved" 2
+    (count (fun i -> match i with Lir.Load _ -> true | _ -> false) f')
+
+(* -- DCE ---------------------------------------------------------------------- *)
+
+let test_dce_keeps_effects () =
+  let f =
+    func ~nf:3 ~ni:1
+      [
+        Lir.ConstF (0, 1.0);
+        (* used *)
+        Lir.ConstF (1, 2.0);
+        (* dead *)
+        Lir.FBin (Lir.FAdd, 2, 1, 1);
+        (* dead chain *)
+        Lir.ConstI (0, 0);
+        Lir.Store (0, 0, 0);
+        Lir.Ret;
+      ]
+  in
+  let f' = Opt.dce f in
+  check tint "dead chain removed" 4 (size f');
+  check tint "store kept" 1
+    (count (fun i -> match i with Lir.Store _ -> true | _ -> false) f')
+
+(* -- LICM ---------------------------------------------------------------------- *)
+
+let test_licm_hoists_invariants_only () =
+  let loop_body =
+    [|
+      Lir.ConstF (0, 5.0);
+      (* invariant: hoist *)
+      Lir.ItoF (1, 2);
+      (* depends on iv: stays *)
+      Lir.FBin (Lir.FMul, 2, 0, 1);
+      (* depends on 1: stays *)
+      Lir.Store (0, 2, 2);
+      (* effect: stays *)
+    |]
+  in
+  let f =
+    func ~nf:3 ~ni:3
+      [
+        Lir.ConstI (0, 0);
+        Lir.Dim (1, 0);
+        Lir.Loop { Lir.iv = 2; lb = 0; ub = 1; step = 1; body = loop_body; vector_width = 1 };
+        Lir.Ret;
+      ]
+  in
+  let f' = Opt.licm f in
+  let in_loop pred =
+    let n = ref 0 in
+    Array.iter
+      (fun i ->
+        match i with
+        | Lir.Loop l -> Array.iter (fun i -> if pred i then incr n) l.Lir.body
+        | _ -> ())
+      f'.Lir.body;
+    !n
+  in
+  check tint "constant hoisted out" 0
+    (in_loop (fun i -> match i with Lir.ConstF _ -> true | _ -> false));
+  check tint "iv-dependent stays" 1
+    (in_loop (fun i -> match i with Lir.ItoF _ -> true | _ -> false));
+  check tint "store stays" 1
+    (in_loop (fun i -> match i with Lir.Store _ -> true | _ -> false))
+
+(* -- FMA fusion ----------------------------------------------------------------- *)
+
+let test_fma_fuses_single_use_mul () =
+  let f =
+    func ~nf:6 ~ni:1
+      [
+        Lir.ConstF (0, 2.0);
+        Lir.ConstF (1, 3.0);
+        Lir.ConstF (2, 4.0);
+        Lir.FBin (Lir.FMul, 3, 0, 1);
+        Lir.FBin (Lir.FAdd, 4, 3, 2);
+        Lir.ConstI (0, 0);
+        Lir.Store (0, 0, 4);
+        Lir.Ret;
+      ]
+  in
+  let f' = Opt.fma f in
+  check tint "fma created" 1
+    (count (fun i -> match i with Lir.FBin3 _ -> true | _ -> false) f');
+  check tint "mul+add gone" 0
+    (count
+       (fun i ->
+         match i with Lir.FBin ((Lir.FMul | Lir.FAdd), _, _, _) -> true | _ -> false)
+       f')
+
+let test_fma_respects_multiple_uses () =
+  (* the mul result is used twice: fusing would duplicate work *)
+  let f =
+    func ~nf:6 ~ni:1
+      [
+        Lir.ConstF (0, 2.0);
+        Lir.ConstF (1, 3.0);
+        Lir.FBin (Lir.FMul, 2, 0, 1);
+        Lir.FBin (Lir.FAdd, 3, 2, 0);
+        Lir.FBin (Lir.FAdd, 4, 2, 1);
+        (* second use of r2 *)
+        Lir.ConstI (0, 0);
+        Lir.Store (0, 0, 3);
+        Lir.Store (0, 0, 4);
+        Lir.Ret;
+      ]
+  in
+  let f' = Opt.fma f in
+  check tint "no fma" 0
+    (count (fun i -> match i with Lir.FBin3 _ -> true | _ -> false) f')
+
+(* semantic check: every pass preserves results on a concrete function *)
+let test_passes_preserve_semantics () =
+  let body =
+    [
+      Lir.ConstF (0, 2.0);
+      Lir.ConstF (1, 3.0);
+      Lir.FBin (Lir.FMul, 2, 0, 1);
+      Lir.FBin (Lir.FAdd, 3, 2, 0);
+      Lir.FBin (Lir.FSub, 4, 3, 1);
+      Lir.ConstI (0, 0);
+      Lir.Store (0, 0, 4);
+      Lir.Ret;
+    ]
+  in
+  let run f =
+    let out = Spnc_cpu.Vm.buffer ~rows:1 ~cols:1 in
+    Spnc_cpu.Vm.run { Lir.funcs = [| f |]; entry = 0 } ~buffers:[ out ];
+    out.Spnc_cpu.Vm.data.(0)
+  in
+  let f = func ~nf:5 ~ni:1 body in
+  let expected = run f in
+  List.iter
+    (fun (name, pass) ->
+      let got = run (pass f) in
+      check (Alcotest.float 0.0) name expected got)
+    [
+      ("constfold", Opt.constfold);
+      ("cse", Opt.cse);
+      ("dce", Opt.dce);
+      ("licm", Opt.licm);
+      ("fma", Opt.fma);
+    ]
+
+let suite =
+  [
+    Alcotest.test_case "constfold folds" `Quick test_constfold_folds;
+    Alcotest.test_case "constfold stops" `Quick test_constfold_stops_at_unknown;
+    Alcotest.test_case "cse dedups" `Quick test_cse_dedups_and_rewrites_uses;
+    Alcotest.test_case "cse keeps loads" `Quick test_cse_does_not_merge_loads;
+    Alcotest.test_case "dce keeps effects" `Quick test_dce_keeps_effects;
+    Alcotest.test_case "licm selective" `Quick test_licm_hoists_invariants_only;
+    Alcotest.test_case "fma fuses" `Quick test_fma_fuses_single_use_mul;
+    Alcotest.test_case "fma multiple uses" `Quick test_fma_respects_multiple_uses;
+    Alcotest.test_case "passes preserve semantics" `Quick test_passes_preserve_semantics;
+  ]

@@ -1,0 +1,186 @@
+(** Tests for the acyclic DAG partitioner: orderings, invariants
+    (topological order of partitions, balance), cost model, refinement. *)
+
+open Spnc_partition
+module Rng = Spnc_data.Rng
+
+let check = Alcotest.check
+let tbool = Alcotest.bool
+let tint = Alcotest.int
+
+(* A small diamond: 0 -> 1, 0 -> 2, 1 -> 3, 2 -> 3 *)
+let diamond () = Dag.create ~num_nodes:4 ~edges:[ (0, 1); (0, 2); (1, 3); (2, 3) ]
+
+(* A binary-tree-shaped SPN-like DAG with [leaves] leaves: leaves feed
+   pairwise into internal nodes up to a single root. *)
+let tree_dag leaves =
+  let nodes = ref [] and edges = ref [] and next = ref 0 in
+  let fresh () =
+    let n = !next in
+    incr next;
+    nodes := n :: !nodes;
+    n
+  in
+  let layer = ref (List.init leaves (fun _ -> fresh ())) in
+  while List.length !layer > 1 do
+    let rec pair = function
+      | a :: b :: rest ->
+          let p = fresh () in
+          edges := (a, p) :: (b, p) :: !edges;
+          p :: pair rest
+      | [ a ] -> [ a ]
+      | [] -> []
+    in
+    layer := pair !layer
+  done;
+  Dag.create ~num_nodes:!next ~edges:!edges
+
+let random_dag rng n ~edge_prob =
+  (* edges only from lower to higher index: acyclic by construction *)
+  let edges = ref [] in
+  for i = 0 to n - 1 do
+    for j = i + 1 to n - 1 do
+      if Rng.float rng < edge_prob then edges := (i, j) :: !edges
+    done
+  done;
+  Dag.create ~num_nodes:n ~edges:!edges
+
+let test_dag_basics () =
+  let d = diamond () in
+  check tint "edges" 4 (Dag.num_edges d);
+  check tbool "acyclic" true (Dag.is_acyclic d);
+  check tbool "roots" true (Dag.roots d = [ 3 ]);
+  check tbool "leaves" true (Dag.leaves d = [ 0 ])
+
+let test_cycle_detection () =
+  let d = Dag.create ~num_nodes:3 ~edges:[ (0, 1); (1, 2); (2, 0) ] in
+  check tbool "cyclic detected" false (Dag.is_acyclic d)
+
+let topo_respected (d : Dag.t) (order : int array) =
+  let pos = Array.make d.Dag.num_nodes 0 in
+  Array.iteri (fun p n -> pos.(n) <- p) order;
+  let ok = ref true in
+  for n = 0 to d.Dag.num_nodes - 1 do
+    List.iter (fun s -> if pos.(s) < pos.(n) then ok := false) d.Dag.succ.(n)
+  done;
+  !ok
+
+let test_topo_dfs_is_topological () =
+  let d = diamond () in
+  check tbool "diamond topo" true (topo_respected d (Dag.topo_dfs d));
+  let t = tree_dag 64 in
+  check tbool "tree topo" true (topo_respected t (Dag.topo_dfs t));
+  let rng = Rng.create ~seed:9 in
+  for _ = 1 to 5 do
+    let d = random_dag rng 60 ~edge_prob:0.05 in
+    check tbool "random topo" true (topo_respected d (Dag.topo_dfs d))
+  done
+
+let test_topo_dfs_complete () =
+  let d = tree_dag 33 in
+  let order = Dag.topo_dfs d in
+  check tint "all nodes present" d.Dag.num_nodes
+    (List.length (List.sort_uniq compare (Array.to_list order)))
+
+let test_partition_invariants () =
+  let rng = Rng.create ~seed:10 in
+  List.iter
+    (fun (dag, max_size) ->
+      let cfg = { Partitioner.default_config with max_partition_size = max_size } in
+      let p = Partitioner.run ~config:cfg dag in
+      check tbool "topological order respected" true
+        (Partitioner.respects_topological_order dag p);
+      let sizes = Partitioner.partition_sizes p in
+      Array.iter
+        (fun s -> check tbool "nonempty partitions allowed" true (s >= 0))
+        sizes;
+      check tint "all nodes assigned" dag.Dag.num_nodes
+        (Array.fold_left ( + ) 0 sizes))
+    [
+      (tree_dag 256, 50);
+      (tree_dag 100, 10);
+      (random_dag rng 200 ~edge_prob:0.02, 40);
+      (diamond (), 2);
+    ]
+
+let test_partition_respects_max_size_with_slack () =
+  let dag = tree_dag 512 in
+  let cfg = { Partitioner.default_config with max_partition_size = 100 } in
+  let p = Partitioner.run ~config:cfg dag in
+  let sizes = Partitioner.partition_sizes p in
+  let n = dag.Dag.num_nodes in
+  let k = p.Partitioner.num_partitions in
+  let even = (n + k - 1) / k in
+  let cap = int_of_float (ceil (float_of_int even *. 1.01)) in
+  Array.iter
+    (fun s -> check tbool (Printf.sprintf "size %d <= cap %d" s cap) true (s <= cap))
+    sizes
+
+let test_refinement_does_not_increase_cost () =
+  let rng = Rng.create ~seed:11 in
+  for _ = 1 to 5 do
+    let dag = random_dag rng 150 ~edge_prob:0.03 in
+    let cfg = { Partitioner.default_config with max_partition_size = 30 } in
+    let p0 = Partitioner.initial cfg dag in
+    let p1 = Partitioner.refine cfg dag p0 in
+    check tbool "refinement non-increasing" true
+      (Partitioner.cost dag p1 <= Partitioner.cost dag p0);
+    check tbool "still topological" true
+      (Partitioner.respects_topological_order dag p1)
+  done
+
+let test_cost_model_counts_store_load () =
+  (* two partitions, one value crossing: cost = 1 store + 1 load = 2 *)
+  let dag = Dag.create ~num_nodes:2 ~edges:[ (0, 1) ] in
+  let p = { Partitioner.assignment = [| 0; 1 |]; num_partitions = 2 } in
+  check tint "single crossing" 2 (Partitioner.cost dag p);
+  (* same value consumed twice in the same partition: still 2 *)
+  let dag2 = Dag.create ~num_nodes:3 ~edges:[ (0, 1); (0, 2) ] in
+  let p2 = { Partitioner.assignment = [| 0; 1; 1 |]; num_partitions = 2 } in
+  check tint "store-once load-once" 2 (Partitioner.cost dag2 p2);
+  (* value consumed by two different partitions: 1 store + 2 loads = 3 *)
+  let p3 = { Partitioner.assignment = [| 0; 1; 2 |]; num_partitions = 3 } in
+  check tint "two consumers" 3 (Partitioner.cost dag2 p3);
+  (* no crossing: 0 *)
+  let p4 = { Partitioner.assignment = [| 0; 0; 0 |]; num_partitions = 1 } in
+  check tint "no crossing" 0 (Partitioner.cost dag2 p4)
+
+let test_single_partition_when_small () =
+  let dag = tree_dag 16 in
+  let cfg = { Partitioner.default_config with max_partition_size = 1000 } in
+  let p = Partitioner.run ~config:cfg dag in
+  check tint "one partition" 1 p.Partitioner.num_partitions
+
+let test_groups_cover_all_nodes () =
+  let dag = tree_dag 128 in
+  let cfg = { Partitioner.default_config with max_partition_size = 20 } in
+  let p = Partitioner.run ~config:cfg dag in
+  let all = Array.to_list (Partitioner.groups p) |> List.concat in
+  check tint "all nodes grouped" dag.Dag.num_nodes
+    (List.length (List.sort_uniq compare all))
+
+let test_partition_property =
+  QCheck.Test.make ~count:25 ~name:"partitioning invariants on random DAGs"
+    QCheck.(pair (int_range 10 120) (int_range 5 40))
+    (fun (n, max_size) ->
+      let rng = Rng.create ~seed:(n * 1000 + max_size) in
+      let dag = random_dag rng n ~edge_prob:0.05 in
+      let cfg = { Partitioner.default_config with max_partition_size = max_size } in
+      let p = Partitioner.run ~config:cfg dag in
+      Partitioner.respects_topological_order dag p
+      && Array.fold_left ( + ) 0 (Partitioner.partition_sizes p) = n)
+
+let suite =
+  [
+    Alcotest.test_case "dag basics" `Quick test_dag_basics;
+    Alcotest.test_case "cycle detection" `Quick test_cycle_detection;
+    Alcotest.test_case "topo_dfs topological" `Quick test_topo_dfs_is_topological;
+    Alcotest.test_case "topo_dfs complete" `Quick test_topo_dfs_complete;
+    Alcotest.test_case "partition invariants" `Quick test_partition_invariants;
+    Alcotest.test_case "max size with slack" `Quick test_partition_respects_max_size_with_slack;
+    Alcotest.test_case "refinement cost" `Quick test_refinement_does_not_increase_cost;
+    Alcotest.test_case "cost model" `Quick test_cost_model_counts_store_load;
+    Alcotest.test_case "single partition" `Quick test_single_partition_when_small;
+    Alcotest.test_case "groups cover nodes" `Quick test_groups_cover_all_nodes;
+    QCheck_alcotest.to_alcotest test_partition_property;
+  ]

@@ -1,0 +1,307 @@
+(** Direct tests of the Lir layer: VM instruction semantics, optimizer
+    equivalence properties on randomly generated SPNs, regalloc
+    rematerialization, and the ablation-relevant partitioner variants. *)
+
+open Spnc_spn
+module Rng = Spnc_data.Rng
+module Lir = Spnc_cpu.Lir
+module Vm = Spnc_cpu.Vm
+module Opt = Spnc_cpu.Optimizer
+
+let check = Alcotest.check
+let tbool = Alcotest.bool
+let tfloat = Alcotest.float 1e-12
+
+(* -- Raw VM semantics -------------------------------------------------------- *)
+
+(* Hand-assemble a function: out[0] = fma(2,3,4) = 10; out[1] = select *)
+let test_vm_hand_assembled () =
+  let body =
+    [|
+      Lir.ConstF (0, 2.0);
+      Lir.ConstF (1, 3.0);
+      Lir.ConstF (2, 4.0);
+      Lir.FBin3 (Lir.FMA, 3, 0, 1, 2);
+      Lir.ConstI (0, 0);
+      Lir.Store (0, 0, 3);
+      (* select: cmp 2 < 3 -> pick 4.0 *)
+      Lir.FCmp (Lir.Olt, 1, 0, 1);
+      Lir.SelF (4, 1, 2, 0);
+      Lir.ConstI (1, 1);
+      Lir.Store (0, 1, 4);
+      Lir.Ret;
+    |]
+  in
+  let f =
+    {
+      Lir.fname = "t";
+      params = [ 0 ];
+      body;
+      nf = 5;
+      ni = 2;
+      nv = 1;
+      nb = 1;
+      vec_width = 1;
+    }
+  in
+  let m = { Lir.funcs = [| f |]; entry = 0 } in
+  let out = Vm.buffer ~rows:2 ~cols:1 in
+  Vm.run m ~buffers:[ out ];
+  check tfloat "fma" 10.0 out.Vm.data.(0);
+  check tfloat "select picks t" 4.0 out.Vm.data.(1)
+
+let test_vm_loop_and_dim () =
+  (* out[i] = 2*i for all rows, via Loop + Dim *)
+  let body =
+    [|
+      Lir.Dim (0, 0);
+      (* ub = rows *)
+      Lir.ConstI (1, 0);
+      (* lb *)
+      Lir.Loop
+        {
+          Lir.iv = 2;
+          lb = 1;
+          ub = 0;
+          step = 1;
+          vector_width = 1;
+          body =
+            [|
+              Lir.ItoF (0, 2);
+              Lir.ConstF (1, 2.0);
+              Lir.FBin (Lir.FMul, 2, 0, 1);
+              Lir.Store (0, 2, 2);
+            |];
+        };
+      Lir.Ret;
+    |]
+  in
+  let f =
+    { Lir.fname = "t"; params = [ 0 ]; body; nf = 3; ni = 3; nv = 1; nb = 1; vec_width = 1 }
+  in
+  let out = Vm.buffer ~rows:5 ~cols:1 in
+  Vm.run { Lir.funcs = [| f |]; entry = 0 } ~buffers:[ out ];
+  Array.iteri (fun i v -> check tfloat (Printf.sprintf "row %d" i) (2.0 *. float_of_int i) v) out.Vm.data
+
+let test_vm_vector_semantics () =
+  let w = 4 in
+  let body =
+    [|
+      Lir.ConstI (0, 0);
+      Lir.VLoad (0, 0, 0);
+      Lir.VConst (1, 10.0);
+      Lir.VBin (Lir.FAdd, 2, 0, 1);
+      Lir.VCmp (Lir.Ogt, 3, 2, 1);
+      (* mask: v+10 > 10 i.e. v > 0 *)
+      Lir.VSel (4, 3, 2, 1);
+      Lir.VStore (0, 0, 4);
+      Lir.Ret;
+    |]
+  in
+  let f =
+    { Lir.fname = "t"; params = [ 0 ]; body; nf = 1; ni = 1; nv = 5; nb = 1; vec_width = w }
+  in
+  let buf = Vm.of_flat [| 1.0; -2.0; 3.0; 0.0 |] ~rows:4 ~cols:1 in
+  Vm.run { Lir.funcs = [| f |]; entry = 0 } ~buffers:[ buf ];
+  check tfloat "lane0 selected" 11.0 buf.Vm.data.(0);
+  check tfloat "lane1 fallback" 10.0 buf.Vm.data.(1);
+  check tfloat "lane2 selected" 13.0 buf.Vm.data.(2);
+  check tfloat "lane3 fallback (0 not > 0)" 10.0 buf.Vm.data.(3)
+
+let test_vm_traps () =
+  let f =
+    {
+      Lir.fname = "t";
+      params = [ 0 ];
+      body = [| Lir.ConstI (0, 99); Lir.Load (0, 0, 0); Lir.Ret |];
+      nf = 1;
+      ni = 1;
+      nv = 1;
+      nb = 1;
+      vec_width = 1;
+    }
+  in
+  let out = Vm.buffer ~rows:1 ~cols:1 in
+  match Vm.run { Lir.funcs = [| f |]; entry = 0 } ~buffers:[ out ] with
+  | exception Vm.Trap _ -> ()
+  | () -> Alcotest.fail "out-of-bounds load did not trap"
+
+(* -- Optimizer equivalence properties ------------------------------------------ *)
+
+let compile_lir ?(vec = false) level t =
+  let hi = Spnc_hispn.From_model.translate t in
+  let lo =
+    Spnc_lospn.Lower_hispn.run
+      ~options:
+        {
+          Spnc_lospn.Lower_hispn.default_options with
+          space = Spnc_lospn.Lower_hispn.Force_log;
+        }
+      hi
+  in
+  let lo = Spnc_lospn.Buffer_opt.run (Spnc_lospn.Bufferize.run lo) in
+  let cir =
+    Spnc_cpu.Lower_cpu.run
+      ~options:
+        (if vec then
+           { Spnc_cpu.Lower_cpu.scalar_options with vectorize = true;
+             width = 8; use_veclib = true; use_shuffle = true }
+         else Spnc_cpu.Lower_cpu.scalar_options)
+      lo
+  in
+  Opt.run level (Spnc_cpu.Isel.run cir ~entry:"spn_kernel")
+
+let run_lir lir ~rows ~num_features =
+  let n = Array.length rows in
+  let input = Vm.of_flat (Array.concat (Array.to_list rows)) ~rows:n ~cols:num_features in
+  let out = Vm.buffer ~rows:n ~cols:1 in
+  Vm.run lir ~buffers:[ input; out ];
+  Array.sub out.Vm.data 0 n
+
+let test_optimizer_equivalence_prop =
+  QCheck.Test.make ~count:12 ~name:"O0 and O3 produce identical results"
+    QCheck.(int_range 0 10_000)
+    (fun seed ->
+      let rng = Rng.create ~seed in
+      let t =
+        Random_spn.generate rng
+          { Random_spn.default_config with num_features = 6; max_depth = 5 }
+      in
+      let data_rng = Rng.create ~seed:(seed + 1) in
+      let rows =
+        Array.init 9 (fun _ ->
+            Array.init 6 (fun _ -> Rng.range data_rng (-3.0) 3.0))
+      in
+      let o0 = run_lir (compile_lir Opt.O0 t) ~rows ~num_features:6 in
+      let o3 = run_lir (compile_lir Opt.O3 t) ~rows ~num_features:6 in
+      Array.for_all2 (fun a b -> a = b || Float.abs (a -. b) < 1e-12) o0 o3)
+
+let test_scalar_vector_equivalence_prop =
+  QCheck.Test.make ~count:12 ~name:"scalar and vectorized kernels agree"
+    QCheck.(int_range 0 10_000)
+    (fun seed ->
+      let rng = Rng.create ~seed in
+      let t =
+        Random_spn.generate rng
+          { Random_spn.default_config with num_features = 5; max_depth = 5 }
+      in
+      let data_rng = Rng.create ~seed:(seed + 2) in
+      let rows =
+        Array.init 19 (fun _ ->
+            Array.init 5 (fun _ -> Rng.range data_rng (-3.0) 3.0))
+      in
+      let s = run_lir (compile_lir ~vec:false Opt.O1 t) ~rows ~num_features:5 in
+      let v = run_lir (compile_lir ~vec:true Opt.O1 t) ~rows ~num_features:5 in
+      Array.for_all2 (fun a b -> a = b || Float.abs (a -. b) < 1e-9) s v)
+
+(* -- Regalloc rematerialization ----------------------------------------------------- *)
+
+let test_remat_reduces_intervals () =
+  (* a function whose loop body is dominated by constants: with
+     rematerialization they form no intervals *)
+  let t =
+    Model.make ~num_features:1
+      (Model.sum
+         (List.init 10 (fun i ->
+              (0.1, Model.gaussian ~var:0 ~mean:(float_of_int i) ~stddev:1.0))))
+  in
+  let lir = compile_lir Opt.O0 t in
+  let stats = Spnc_cpu.Regalloc.allocate_module lir in
+  (* O0 keeps all constants in the loop; without remat the interval count
+     would exceed the instruction count substantially *)
+  let intervals = Array.fold_left (fun a s -> a + s.Spnc_cpu.Regalloc.intervals) 0 stats in
+  let consts =
+    Array.fold_left
+      (fun a (f : Lir.func) ->
+        a
+        + Lir.count_instrs
+            ~filter:(fun i ->
+              match i with Lir.ConstF _ | Lir.ConstI _ | Lir.VConst _ -> true | _ -> false)
+            f.Lir.body)
+      0 lir.Lir.funcs
+  in
+  check tbool
+    (Printf.sprintf "intervals %d exclude the %d constants" intervals consts)
+    true
+    (intervals < Lir.module_size lir - consts + 8)
+
+(* -- Partitioner ablation invariants ------------------------------------------------- *)
+
+let tree_dag leaves =
+  let nodes = ref 0 and edges = ref [] in
+  let fresh () = let n = !nodes in incr nodes; n in
+  let layer = ref (List.init leaves (fun _ -> fresh ())) in
+  while List.length !layer > 1 do
+    let rec pair = function
+      | a :: b :: rest ->
+          let p = fresh () in
+          edges := (a, p) :: (b, p) :: !edges;
+          p :: pair rest
+      | rest -> rest
+    in
+    layer := pair !layer
+  done;
+  Spnc_partition.Dag.create ~num_nodes:!nodes ~edges:!edges
+
+let test_topo_random_is_topological () =
+  let module D = Spnc_partition.Dag in
+  let d = tree_dag 64 in
+  List.iter
+    (fun seed ->
+      let order = D.topo_random ~seed d in
+      let pos = Array.make d.D.num_nodes 0 in
+      Array.iteri (fun p n -> pos.(n) <- p) order;
+      for n = 0 to d.D.num_nodes - 1 do
+        List.iter
+          (fun s ->
+            if pos.(s) < pos.(n) then
+              Alcotest.failf "seed %d: edge %d->%d violates order" seed n s)
+          d.D.succ.(n)
+      done)
+    [ 1; 2; 3; 42 ]
+
+let test_dfs_beats_random_ordering () =
+  (* the paper's stated reason for replacing the random ordering *)
+  let module P = Spnc_partition.Partitioner in
+  let d = tree_dag 512 in
+  let cost ordering =
+    P.cost d
+      (P.run
+         ~config:{ P.default_config with P.max_partition_size = 64; ordering }
+         d)
+  in
+  let dfs = cost P.Dfs_order in
+  let rand =
+    (cost (P.Random_order 1) + cost (P.Random_order 2) + cost (P.Random_order 3)) / 3
+  in
+  check tbool
+    (Printf.sprintf "dfs cost %d < random avg cost %d" dfs rand)
+    true (dfs < rand)
+
+let test_refinement_never_hurts_random_start () =
+  let module P = Spnc_partition.Partitioner in
+  let d = tree_dag 256 in
+  List.iter
+    (fun seed ->
+      let base =
+        { P.default_config with P.max_partition_size = 40;
+          ordering = P.Random_order seed }
+      in
+      let p0 = P.initial base d in
+      let p1 = P.refine base d p0 in
+      check tbool "refinement non-increasing" true (P.cost d p1 <= P.cost d p0))
+    [ 5; 6; 7 ]
+
+let suite =
+  [
+    Alcotest.test_case "vm hand-assembled" `Quick test_vm_hand_assembled;
+    Alcotest.test_case "vm loop + dim" `Quick test_vm_loop_and_dim;
+    Alcotest.test_case "vm vector semantics" `Quick test_vm_vector_semantics;
+    Alcotest.test_case "vm traps" `Quick test_vm_traps;
+    QCheck_alcotest.to_alcotest test_optimizer_equivalence_prop;
+    QCheck_alcotest.to_alcotest test_scalar_vector_equivalence_prop;
+    Alcotest.test_case "remat excludes constants" `Quick test_remat_reduces_intervals;
+    Alcotest.test_case "topo_random topological" `Quick test_topo_random_is_topological;
+    Alcotest.test_case "dfs beats random ordering" `Quick test_dfs_beats_random_ordering;
+    Alcotest.test_case "refinement never hurts" `Quick test_refinement_never_hurts_random_start;
+  ]
