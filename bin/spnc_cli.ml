@@ -13,6 +13,31 @@
 open Cmdliner
 module Model = Spnc_spn.Model
 
+(* Every subcommand runs under this barrier: compiler and runtime
+   failures land on stderr as one diagnostic with a nonzero exit code,
+   never as an uncaught-exception backtrace. *)
+let guarded (f : unit -> int) : int =
+  try f () with
+  | Failure msg | Sys_error msg | Invalid_argument msg ->
+      Fmt.epr "spnc: error: %s@." msg;
+      1
+  | Spnc_mlir.Pass.Pipeline_error (p, msg) ->
+      Fmt.epr "spnc: error: pass %s failed: %s@." p msg;
+      1
+  | Spnc_resilience.Diag.Diag_error d | Spnc_resilience.Guard.Guard_failure d
+    ->
+      Fmt.epr "spnc: error: %a@." Spnc_resilience.Diag.pp d;
+      1
+  | Spnc_runtime.Exec.Chunk_error e ->
+      Fmt.epr "spnc: error: kernel failed on samples [%d,%d): %s@."
+        e.Spnc_runtime.Exec.chunk_lo e.Spnc_runtime.Exec.chunk_hi
+        e.Spnc_runtime.Exec.message;
+      1
+  | Spnc_spn.Validate.Invalid issues ->
+      Fmt.epr "spnc: error: invalid model:@.%s@."
+        (Spnc_spn.Validate.issues_to_string issues);
+      1
+
 let read_model path : Spnc_spn.Model.t =
   if Filename.check_suffix path ".spn" then
     match Spnc_spn.Serialize.read_file path with
@@ -39,6 +64,7 @@ let write_model path m =
 (* -- generate ----------------------------------------------------------------- *)
 
 let generate seed kind features min_ops out =
+  guarded @@ fun () ->
   let rng = Spnc_data.Rng.create ~seed in
   let model =
     match kind with
@@ -82,6 +108,7 @@ let generate_cmd =
 (* -- train ---------------------------------------------------------------------- *)
 
 let train data_path em_iters min_rows out seed =
+  guarded @@ fun () ->
   let rng = Spnc_data.Rng.create ~seed in
   let dataset =
     match data_path with
@@ -139,6 +166,7 @@ let train_cmd =
 (* -- inspect ------------------------------------------------------------------- *)
 
 let inspect path dump_hispn dump_lospn =
+  guarded @@ fun () ->
   let model = read_model path in
   Fmt.pr "%s: %a@." path Spnc_spn.Stats.pp (Spnc_spn.Stats.compute model);
   (match Spnc_spn.Validate.check model with
@@ -199,8 +227,28 @@ let options_term =
       & opt (enum [ ("ryzen", `Ryzen); ("xeon", `Xeon) ]) `Ryzen
       & info [ "machine" ] ~doc:"CPU model: ryzen (AVX2) or xeon (AVX-512).")
   in
+  let output_guard =
+    Arg.(
+      value
+      & opt
+          (enum
+             [
+               ("fail", Spnc_resilience.Guard.Fail);
+               ("warn", Spnc_resilience.Guard.Warn);
+               ("clamp", Spnc_resilience.Guard.Clamp);
+             ])
+          Spnc_resilience.Guard.Warn
+      & info [ "output-guard" ]
+          ~doc:"Policy for NaN/inf/log-underflow kernel outputs.")
+  in
+  let no_gpu_fallback =
+    Arg.(
+      value & flag
+      & info [ "no-gpu-fallback" ]
+          ~doc:"Fail instead of falling back to CPU on a GPU backend error.")
+  in
   let build target vectorize no_veclib no_shuffle opt_level partition batch block
-      marginal threads machine =
+      marginal threads machine output_guard no_gpu_fallback =
     {
       Spnc.Options.default with
       target;
@@ -217,15 +265,19 @@ let options_term =
       block_size = block;
       support_marginal = marginal;
       threads;
+      output_guard;
+      gpu_fallback = not no_gpu_fallback;
     }
   in
   Term.(
     const build $ target $ vectorize $ no_veclib $ no_shuffle $ opt_level
-    $ partition $ batch $ block $ marginal $ threads $ machine)
+    $ partition $ batch $ block $ marginal $ threads $ machine $ output_guard
+    $ no_gpu_fallback)
 
 (* -- compile ---------------------------------------------------------------------- *)
 
 let compile path options dump_ptx =
+  guarded @@ fun () ->
   let model = read_model path in
   let c = Spnc.Compiler.compile ~options model in
   Fmt.pr "model: %a@." Spnc_spn.Stats.pp c.Spnc.Compiler.model_stats;
@@ -236,6 +288,9 @@ let compile path options dump_ptx =
      else "linear f32")
     c.Spnc.Compiler.datatype.Spnc_lospn.Lower_hispn.worst_log2_magnitude;
   Fmt.pr "tasks: %d@." c.Spnc.Compiler.num_tasks;
+  List.iter
+    (fun d -> Fmt.pr "diagnostic: %a@." Spnc_resilience.Diag.pp d)
+    c.Spnc.Compiler.diags;
   Fmt.pr "--- compile time breakdown ---@.%a" Spnc.Compiler.pp_timings c;
   (match c.Spnc.Compiler.artifact with
   | Spnc.Compiler.Cpu_kernel { lir; regalloc; _ } ->
@@ -260,6 +315,7 @@ let compile_cmd =
 (* -- run ---------------------------------------------------------------------------- *)
 
 let run path options rows seed verify =
+  guarded @@ fun () ->
   let model = read_model path in
   let rng = Spnc_data.Rng.create ~seed in
   let data =

@@ -1,0 +1,226 @@
+(** spnc_fuzz — differential fuzzing driver (docs/RESILIENCE.md).
+
+    Generates seeded random SPNs ([Spnc_resilience.Fuzz]) and
+    cross-checks, for every case, the reference evaluator against:
+
+    - the bufferized LoSPN interpreter (the target-independent pipeline),
+    - the CPU backend at every [-O] level (VM execution),
+    - the GPU backend in the functional simulator.
+
+    A mismatch or crash is shrunk by structural reduction and written as
+    a reproducer bundle (model text, evidence data, diagnostic, replay
+    instructions).  Exit code is nonzero iff any case failed, so the run
+    gates CI.
+
+    {v
+    spnc_fuzz --seed 7 --cases 200
+    spnc_fuzz --seed 7 --cases 50 --inject-bad-peephole   # must fail
+    v} *)
+
+open Cmdliner
+module Fuzz = Spnc_resilience.Fuzz
+module Diag = Spnc_resilience.Diag
+
+(* -- Oracles ------------------------------------------------------------------ *)
+
+let base_options ~marginal threads =
+  {
+    Spnc.Options.default with
+    Spnc.Options.threads;
+    batch_size = 8;
+    (* NaN evidence means marginalization: the kernels must be compiled
+       with marginal support or they diverge from the reference by design *)
+    support_marginal = marginal;
+  }
+
+(* Run the bufferized LoSPN module of a compile through the reference
+   interpreter; converts linear-space kernels to log on the way out. *)
+let lospn_interp_eval ~marginal threads (model : Spnc_spn.Model.t)
+    (data : float array array) : float array =
+  let c = Spnc.Compiler.compile ~options:(base_options ~marginal threads) model in
+  let rows = Array.length data in
+  let flat = Array.concat (Array.to_list data) in
+  let out = Spnc_lospn.Interp.run_kernel c.Spnc.Compiler.lospn ~inputs:[ flat ] ~rows in
+  let slot0 = Array.sub out 0 rows in
+  if c.Spnc.Compiler.datatype.Spnc_lospn.Lower_hispn.use_log_space then slot0
+  else Array.map log slot0
+
+let cpu_eval ~marginal threads level (model : Spnc_spn.Model.t) (data : float array array)
+    : float array =
+  let options =
+    { (base_options ~marginal threads) with Spnc.Options.opt_level = level }
+  in
+  Spnc.Compiler.execute (Spnc.Compiler.compile ~options model) data
+
+let gpu_eval ~marginal (model : Spnc_spn.Model.t) (data : float array array) :
+    float array =
+  let options =
+    {
+      (base_options ~marginal 1) with
+      Spnc.Options.target = Spnc.Options.Gpu;
+      batch_size = 16;
+      block_size = 8;
+      gpu_fallback = false;
+    }
+  in
+  Spnc.Compiler.execute (Spnc.Compiler.compile ~options model) data
+
+let oracles ~marginal ~threads ~with_gpu : Fuzz.oracle list =
+  let cpu l = cpu_eval ~marginal threads l in
+  [
+    { Fuzz.oracle_name = "lospn-interp"; eval = lospn_interp_eval ~marginal threads };
+    { Fuzz.oracle_name = "cpu-O0"; eval = cpu Spnc_cpu.Optimizer.O0 };
+    { Fuzz.oracle_name = "cpu-O1"; eval = cpu Spnc_cpu.Optimizer.O1 };
+    { Fuzz.oracle_name = "cpu-O2"; eval = cpu Spnc_cpu.Optimizer.O2 };
+    { Fuzz.oracle_name = "cpu-O3"; eval = cpu Spnc_cpu.Optimizer.O3 };
+  ]
+  @
+  if with_gpu then [ { Fuzz.oracle_name = "gpu-sim"; eval = gpu_eval ~marginal } ]
+  else []
+
+(* -- Reporting ---------------------------------------------------------------- *)
+
+let data_to_csv (data : float array array) : string =
+  let buf = Buffer.create 256 in
+  Array.iter
+    (fun row ->
+      Buffer.add_string buf
+        (String.concat ","
+           (Array.to_list (Array.map (Printf.sprintf "%.17g") row)));
+      Buffer.add_char buf '\n')
+    data;
+  Buffer.contents buf
+
+let write_bundle ~out_dir (f : Fuzz.failure) ~(shrunk : Spnc_spn.Model.t)
+    ~(shrunk_data : float array array) =
+  let case = f.Fuzz.case in
+  let diag_text = Fmt.str "%a" Fuzz.pp_failure_kind f.Fuzz.kind in
+  let options_text =
+    Printf.sprintf "seed=%d case=%d tol-policy=differential" case.Fuzz.seed
+      case.Fuzz.id
+  in
+  Spnc_resilience.Reproducer.write ?dir:out_dir
+    ~extra:
+      [
+        ("model.txt", Spnc_spn.Text.to_string shrunk);
+        ("model-original.txt", Spnc_spn.Text.to_string case.Fuzz.model);
+        ("data.csv", data_to_csv shrunk_data);
+      ]
+    ~ir:"// differential fuzz failure: see model.txt / data.csv\n"
+    ~pipeline:"(differential: reference vs lospn-interp vs cpu-O0..O3 vs gpu-sim)"
+    ~options:options_text ~diag:diag_text ()
+
+(* -- Driver ------------------------------------------------------------------- *)
+
+let run seed cases rows target_ops max_depth tol threads no_gpu no_shrink
+    marginal_fraction out_dir inject verbose =
+  if inject then Spnc_cpu.Optimizer.inject_bad_peephole := true;
+  let config =
+    {
+      Fuzz.default_config with
+      Fuzz.rows;
+      target_ops;
+      max_depth;
+      marginal_fraction;
+    }
+  in
+  let oracles = oracles ~marginal:(marginal_fraction > 0.0) ~threads ~with_gpu:(not no_gpu) in
+  let failures = ref 0 in
+  let t0 = Unix.gettimeofday () in
+  for id = 0 to cases - 1 do
+    let case = Fuzz.gen_case ~config ~seed ~id () in
+    if verbose then
+      Fmt.epr "case %d: %d nodes, %d rows@." id
+        (Spnc_spn.Model.node_count case.Fuzz.model)
+        (Array.length case.Fuzz.data);
+    match Fuzz.check_case ~tol ~oracles case with
+    | None -> ()
+    | Some failure ->
+        incr failures;
+        Fmt.epr "FAIL case %d (seed %d): %a@." id seed Fuzz.pp_failure_kind
+          failure.Fuzz.kind;
+        let shrunk, shrunk_data =
+          if no_shrink then (case.Fuzz.model, case.Fuzz.data)
+          else
+            Fuzz.shrink
+              ~still_fails:(fun m d -> Fuzz.check ~tol ~oracles m d <> None)
+              case.Fuzz.model case.Fuzz.data
+        in
+        if not no_shrink then
+          Fmt.epr "shrunk: %d -> %d nodes, %d -> %d rows@."
+            (Spnc_spn.Model.node_count case.Fuzz.model)
+            (Spnc_spn.Model.node_count shrunk)
+            (Array.length case.Fuzz.data)
+            (Array.length shrunk_data);
+        (match write_bundle ~out_dir failure ~shrunk ~shrunk_data with
+        | Ok b -> Fmt.epr "reproducer written to %s@." b.Spnc_resilience.Reproducer.dir
+        | Error e -> Fmt.epr "(reproducer dump failed: %s)@." e)
+  done;
+  let dt = Unix.gettimeofday () -. t0 in
+  Fmt.pr "spnc_fuzz: %d cases, %d failure(s), %d oracle(s), %.1fs@." cases
+    !failures (List.length oracles) dt;
+  if !failures > 0 then 1 else 0
+
+let cmd =
+  let seed = Arg.(value & opt int 1 & info [ "seed" ] ~doc:"Base RNG seed.") in
+  let cases =
+    Arg.(value & opt int 100 & info [ "cases"; "n" ] ~doc:"Number of random cases.")
+  in
+  let rows =
+    Arg.(value & opt int 24 & info [ "rows" ] ~doc:"Evidence rows per case.")
+  in
+  let target_ops =
+    Arg.(
+      value & opt int 60
+      & info [ "target-ops" ] ~doc:"Soft node budget of generated SPNs.")
+  in
+  let max_depth =
+    Arg.(value & opt int 6 & info [ "max-depth" ] ~doc:"Maximum SPN depth.")
+  in
+  let tol =
+    Arg.(
+      value & opt float Fuzz.default_tol
+      & info [ "tol" ] ~doc:"Comparison tolerance (relative to the reference).")
+  in
+  let threads =
+    Arg.(value & opt int 1 & info [ "threads" ] ~doc:"Runtime worker threads.")
+  in
+  let no_gpu =
+    Arg.(value & flag & info [ "no-gpu" ] ~doc:"Skip the GPU-simulator oracle.")
+  in
+  let no_shrink =
+    Arg.(value & flag & info [ "no-shrink" ] ~doc:"Report failures unshrunk.")
+  in
+  let marginal =
+    Arg.(
+      value & opt float 0.0
+      & info [ "marginal-fraction" ]
+          ~doc:"Fraction of NaN (marginalized) evidence entries.")
+  in
+  let out_dir =
+    Arg.(
+      value & opt (some string) None
+      & info [ "out-dir" ] ~docv:"DIR"
+          ~doc:
+            "Parent directory for reproducer bundles (default: \
+             \\$SPNC_DUMP_DIR or ./spnc-reproducers).")
+  in
+  let inject =
+    Arg.(
+      value & flag
+      & info [ "inject-bad-peephole" ]
+          ~doc:
+            "Fault injection: enable a deliberately unsound -O1+ peephole; \
+             the run must then report mismatches.")
+  in
+  let verbose = Arg.(value & flag & info [ "verbose"; "v" ] ~doc:"Per-case log.") in
+  Cmd.v
+    (Cmd.info "spnc_fuzz" ~version:"1.0.0"
+       ~doc:
+         "Differential fuzzing of the SPNC pipeline: reference evaluator vs \
+          LoSPN interpreter vs CPU -O0..-O3 vs GPU simulator.")
+    Term.(
+      const run $ seed $ cases $ rows $ target_ops $ max_depth $ tol $ threads
+      $ no_gpu $ no_shrink $ marginal $ out_dir $ inject $ verbose)
+
+let () = exit (Cmd.eval' cmd)

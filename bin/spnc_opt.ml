@@ -7,9 +7,15 @@
     {v
     spnc_opt --pipeline 'canonicalize,lospn-partition=500,lospn-bufferize,verify' in.mlir
     spnc_cli inspect model.spn --hispn | spnc_opt --pipeline lower-to-lospn -
-    v} *)
+    v}
+
+    Failures are never uncaught exceptions: a failing pass is reported to
+    stderr as a structured diagnostic (pass of origin, message,
+    backtrace for escaped exceptions), a reproducer bundle is written
+    (disable with [--no-reproducer]), and the exit code is nonzero. *)
 
 open Cmdliner
+module Pass = Spnc_mlir.Pass
 
 let read_input = function
   | "-" ->
@@ -26,7 +32,15 @@ let read_input = function
         ~finally:(fun () -> close_in ic)
         (fun () -> really_input_string ic (in_channel_length ic))
 
-let run pipeline input verify_each timings list_passes print_after_all =
+let run pipeline input verify_each timings list_passes print_after_all
+    no_reproducer reproducer_dir =
+  let dump_policy =
+    if no_reproducer then Pass.No_dump
+    else
+      match reproducer_dir with
+      | Some d -> Pass.Dump_to d
+      | None -> Pass.Dump_default
+  in
   if list_passes then begin
     List.iter print_endline (Spnc.Pipelines.available ());
     0
@@ -45,34 +59,59 @@ let run pipeline input verify_each timings list_passes print_after_all =
             Fmt.epr "spnc_opt: parse error: %s@." e;
             1
         | m ->
-            let final =
-              List.fold_left
-                (fun m (p : Spnc_mlir.Pass.pass) ->
-                  match p.Spnc_mlir.Pass.run m with
-                  | Ok m' ->
-                      Fmt.epr "// ----- IR after %s -----@.%s@."
-                        p.Spnc_mlir.Pass.name
-                        (Spnc_mlir.Printer.modul_to_string m');
-                      m'
-                  | Error e ->
-                      Fmt.epr "spnc_opt: pass %s failed: %s@." p.Spnc_mlir.Pass.name e;
-                      exit 1)
-                m passes
+            let rec go m = function
+              | [] ->
+                  print_string (Spnc_mlir.Printer.modul_to_string m);
+                  0
+              | (p : Pass.pass) :: rest -> (
+                  (* one-pass pipelines through the checked manager keep
+                     the exception barrier and reproducer dumps *)
+                  match
+                    Pass.run_pipeline_checked ~dump_policy
+                      ~options:("pipeline: " ^ pipeline) [ p ] m
+                  with
+                  | Ok r ->
+                      Fmt.epr "// ----- IR after %s -----@.%s@." p.Pass.name
+                        (Spnc_mlir.Printer.modul_to_string r.Pass.modul);
+                      go r.Pass.modul rest
+                  | Error f ->
+                      Fmt.epr "spnc_opt: %a@." Pass.pp_failure f;
+                      1)
             in
-            print_string (Spnc_mlir.Printer.modul_to_string final);
-            0)
+            go m passes)
   end
   else begin
     let src = read_input input in
-    match Spnc.Pipelines.run_on_source ~verify_each ~pipeline src with
+    match
+      Spnc.Pipelines.run_on_source_checked ~verify_each ~dump_policy ~pipeline
+        src
+    with
     | Error e ->
-        Fmt.epr "spnc_opt: %s@." e;
+        Fmt.epr "spnc_opt: %s@." (Spnc.Pipelines.run_error_to_string e);
         1
     | Ok result ->
         if timings then Fmt.epr "%a" Spnc_mlir.Pass.pp_timings result;
         print_string (Spnc_mlir.Printer.modul_to_string result.Spnc_mlir.Pass.modul);
         0
   end
+
+(* Belt and braces: nothing below main should throw, but a stray
+   exception must still come out as a diagnostic, not a backtrace. *)
+let run pipeline input verify_each timings list_passes print_after_all
+    no_reproducer reproducer_dir =
+  try
+    run pipeline input verify_each timings list_passes print_after_all
+      no_reproducer reproducer_dir
+  with
+  | Sys_error e ->
+      Fmt.epr "spnc_opt: %s@." e;
+      1
+  | Pass.Pipeline_error (p, msg) ->
+      Fmt.epr "spnc_opt: pass %s failed: %s@." p msg;
+      1
+  | Spnc_resilience.Diag.Diag_error d ->
+      Fmt.epr "spnc_opt: %a@." Spnc_resilience.Diag.pp d;
+      1
 
 let cmd =
   let pipeline =
@@ -98,9 +137,25 @@ let cmd =
       & info [ "print-after-all" ]
           ~doc:"Print the IR to stderr after every pass (mlir-opt style).")
   in
+  let no_reproducer =
+    Arg.(
+      value & flag
+      & info [ "no-reproducer" ]
+          ~doc:"Do not write reproducer bundles on pass failure.")
+  in
+  let reproducer_dir =
+    Arg.(
+      value & opt (some string) None
+      & info [ "reproducer-dir" ] ~docv:"DIR"
+          ~doc:
+            "Parent directory for reproducer bundles (default: \
+             \\$SPNC_DUMP_DIR or ./spnc-reproducers).")
+  in
   Cmd.v
     (Cmd.info "spnc_opt" ~version:"1.0.0"
        ~doc:"Run pass pipelines over textual SPNC IR modules.")
-    Term.(const run $ pipeline $ input $ verify_each $ timings $ list_passes $ print_after_all)
+    Term.(
+      const run $ pipeline $ input $ verify_each $ timings $ list_passes
+      $ print_after_all $ no_reproducer $ reproducer_dir)
 
 let () = exit (Cmd.eval' cmd)

@@ -14,6 +14,8 @@
     ledger drives the compile-time experiments (Figs. 10–13, §V-B.1). *)
 
 open Spnc_mlir
+module Diag = Spnc_resilience.Diag
+module Guard = Spnc_resilience.Guard
 
 type timing = { stage : string; seconds : float }
 
@@ -40,6 +42,9 @@ type compiled = {
   num_tasks : int;
   artifact : artifact;
   datatype : Spnc_lospn.Lower_hispn.datatype_choice;
+  diags : Diag.t list;
+      (** non-fatal diagnostics accumulated during compilation (e.g. a
+          GPU→CPU fallback notice); empty on a clean compile *)
 }
 
 let compile_seconds (c : compiled) =
@@ -79,6 +84,11 @@ let compile ?(options = Options.default) (model : Spnc_spn.Model.t) : compiled =
   Spnc_spn.Validate.validate_exn model;
   let timings = ref [] in
   let timed stage f =
+    (* fault injection for the resilience tests: fail exactly at the
+       named stage, through the same code path a real bug would take *)
+    (if options.Options.debug_fail_stage = Some stage then
+       Diag.fail ~pass:stage "injected failure at stage %s (debug_fail_stage)"
+         stage);
     let t0 = Unix.gettimeofday () in
     let r = f () in
     timings := { stage; seconds = Unix.gettimeofday () -. t0 } :: !timings;
@@ -147,60 +157,80 @@ let compile ?(options = Options.default) (model : Spnc_spn.Model.t) : compiled =
   let lo = timed "buffer-optimization" (fun () -> Spnc_lospn.Buffer_opt.run lo) in
   let out_cols = out_cols_of_lospn lo in
   let num_tasks = Ir.count_ops (fun o -> o.Ir.name = Spnc_lospn.Ops.task_name) lo in
-  let artifact =
+  let build_cpu () =
+    let cir =
+      timed "cpu-lowering" (fun () ->
+          Spnc_cpu.Lower_cpu.run ~options:(Options.cpu_lower_options options) lo)
+    in
+    let lir =
+      timed "instruction-selection" (fun () ->
+          Spnc_cpu.Isel.run cir ~entry:"spn_kernel")
+    in
+    let lir =
+      timed "llvm-optimization" (fun () ->
+          Spnc_cpu.Optimizer.run options.Options.opt_level lir)
+    in
+    let regalloc =
+      timed "register-allocation" (fun () ->
+          Spnc_cpu.Regalloc.allocate_module lir)
+    in
+    Cpu_kernel { lir; regalloc; cir }
+  in
+  let build_gpu () =
+    let g =
+      timed "gpu-lowering" (fun () ->
+          Spnc_gpu.Lower_gpu.run
+            ~options:{ Spnc_gpu.Lower_gpu.block_size = options.Options.block_size }
+            lo)
+    in
+    let g = timed "gpu-copy-optimization" (fun () -> Spnc_gpu.Copy_opt.run g) in
+    (* kernel-level optimization (CSE/DCE on the device code) at -O1+;
+       -O0 keeps the naive kernels, which execute more instructions *)
+    let g =
+      if options.Options.opt_level = Spnc_cpu.Optimizer.O0 then g
+      else
+        timed "gpu-kernel-optimization" (fun () ->
+            Rewrite.dce (Cse.run g))
+    in
+    let ptx = timed "ptx-generation" (fun () -> Spnc_gpu.Ptx.emit g) in
+    let cubin =
+      (* CUBIN assembly effort scales with -O level, like ptxas *)
+      timed "cubin-assembly" (fun () ->
+          let passes =
+            match options.Options.opt_level with
+            | Spnc_cpu.Optimizer.O0 -> 1
+            | Spnc_cpu.Optimizer.O1 -> 2
+            | Spnc_cpu.Optimizer.O2 -> 3
+            | Spnc_cpu.Optimizer.O3 -> 4
+          in
+          let c = ref (Spnc_gpu.Ptx.assemble ptx) in
+          for _ = 2 to passes do
+            c := Spnc_gpu.Ptx.assemble ptx
+          done;
+          !c)
+    in
+    Gpu_kernel { gpu_module = g; ptx; cubin }
+  in
+  let artifact, diags =
     match options.Options.target with
-    | Options.Cpu ->
-        let cir =
-          timed "cpu-lowering" (fun () ->
-              Spnc_cpu.Lower_cpu.run ~options:(Options.cpu_lower_options options) lo)
-        in
-        let lir =
-          timed "instruction-selection" (fun () ->
-              Spnc_cpu.Isel.run cir ~entry:"spn_kernel")
-        in
-        let lir =
-          timed "llvm-optimization" (fun () ->
-              Spnc_cpu.Optimizer.run options.Options.opt_level lir)
-        in
-        let regalloc =
-          timed "register-allocation" (fun () ->
-              Spnc_cpu.Regalloc.allocate_module lir)
-        in
-        Cpu_kernel { lir; regalloc; cir }
-    | Options.Gpu ->
-        let g =
-          timed "gpu-lowering" (fun () ->
-              Spnc_gpu.Lower_gpu.run
-                ~options:{ Spnc_gpu.Lower_gpu.block_size = options.Options.block_size }
-                lo)
-        in
-        let g = timed "gpu-copy-optimization" (fun () -> Spnc_gpu.Copy_opt.run g) in
-        (* kernel-level optimization (CSE/DCE on the device code) at -O1+;
-           -O0 keeps the naive kernels, which execute more instructions *)
-        let g =
-          if options.Options.opt_level = Spnc_cpu.Optimizer.O0 then g
-          else
-            timed "gpu-kernel-optimization" (fun () ->
-                Rewrite.dce (Cse.run g))
-        in
-        let ptx = timed "ptx-generation" (fun () -> Spnc_gpu.Ptx.emit g) in
-        let cubin =
-          (* CUBIN assembly effort scales with -O level, like ptxas *)
-          timed "cubin-assembly" (fun () ->
-              let passes =
-                match options.Options.opt_level with
-                | Spnc_cpu.Optimizer.O0 -> 1
-                | Spnc_cpu.Optimizer.O1 -> 2
-                | Spnc_cpu.Optimizer.O2 -> 3
-                | Spnc_cpu.Optimizer.O3 -> 4
-              in
-              let c = ref (Spnc_gpu.Ptx.assemble ptx) in
-              for _ = 2 to passes do
-                c := Spnc_gpu.Ptx.assemble ptx
-              done;
-              !c)
-        in
-        Gpu_kernel { gpu_module = g; ptx; cubin }
+    | Options.Cpu -> (build_cpu (), [])
+    | Options.Gpu -> (
+        (* graceful degradation: a GPU lowering / PTX / assembly failure
+           becomes a warning and a CPU artifact for the same query, so
+           callers still get a runnable kernel that matches the reference *)
+        match build_gpu () with
+        | g -> (g, [])
+        | exception ((Stack_overflow | Out_of_memory) as e) -> raise e
+        | exception e when options.Options.gpu_fallback ->
+            let bt = Printexc.get_raw_backtrace () in
+            let cause = Diag.of_exn ~pass:"gpu-backend" e bt in
+            let warn =
+              Diag.warning ?pass:cause.Diag.pass
+                ("GPU backend failed, falling back to the CPU target: "
+               ^ cause.Diag.message)
+            in
+            Fmt.epr "spnc: warning: %a@." Diag.pp warn;
+            (build_cpu (), [ warn ]))
   in
   {
     model_stats = Spnc_spn.Stats.compute model;
@@ -211,6 +241,7 @@ let compile ?(options = Options.default) (model : Spnc_spn.Model.t) : compiled =
     num_tasks;
     artifact;
     datatype;
+    diags;
   }
 
 (* -- Execution ---------------------------------------------------------------- *)
@@ -219,11 +250,17 @@ let compile ?(options = Options.default) (model : Spnc_spn.Model.t) : compiled =
     return one {e log}-likelihood per sample (kernels compiled for linear
     space have their probabilities converted on the way out, so the API is
     uniform).  CPU kernels run on the VM through the multi-threaded
-    runtime; GPU kernels run in the functional GPU simulator. *)
+    runtime; GPU kernels run in the functional GPU simulator.  Outputs
+    pass through the configured NaN/±inf/log-underflow guard
+    ([options.output_guard]; docs/RESILIENCE.md).
+    @raise Spnc_resilience.Guard.Guard_failure under the [Fail] policy. *)
 let rec execute (c : compiled) (rows : float array array) : float array =
   let raw = execute_raw c rows in
-  if c.datatype.Spnc_lospn.Lower_hispn.use_log_space then raw
-  else Array.map log raw
+  let out =
+    if c.datatype.Spnc_lospn.Lower_hispn.use_log_space then raw
+    else Array.map log raw
+  in
+  Guard.apply ~policy:c.options.Options.output_guard ~what:"kernel output" out
 
 and execute_raw (c : compiled) (rows : float array array) : float array =
   match c.artifact with

@@ -36,6 +36,9 @@ type compiled = {
   artifact : artifact;
   datatype : Spnc_lospn.Lower_hispn.datatype_choice;
       (** the deferred-datatype decision (log space or linear, f32/f64) *)
+  diags : Spnc_resilience.Diag.t list;
+      (** non-fatal diagnostics accumulated during compilation (e.g. a
+          GPU→CPU fallback notice); empty on a clean compile *)
 }
 
 (** [compile_seconds c] — total measured compile time. *)
@@ -54,7 +57,9 @@ val compile : ?options:Options.t -> Spnc_spn.Model.t -> compiled
     returns one {e log}-likelihood per sample (linear-space kernels have
     their probabilities converted on the way out).  CPU kernels run on
     the register VM through the multi-threaded runtime; GPU kernels run
-    in the functional GPU simulator. *)
+    in the functional GPU simulator.  Outputs pass through the
+    configured NaN/±inf/log-underflow guard ([options.output_guard]).
+    @raise Spnc_resilience.Guard.Guard_failure under the [Fail] policy. *)
 val execute : compiled -> float array array -> float array
 
 (** [gpu_init_seconds c] — modelled one-time CUDA context + module-load

@@ -28,6 +28,15 @@ type t = {
   base_type : Spnc_mlir.Types.t;  (** computation base type: F32 or F64 *)
   support_marginal : bool;
   threads : int;  (** runtime worker domains *)
+  (* resilience knobs (docs/RESILIENCE.md) *)
+  output_guard : Spnc_resilience.Guard.policy;
+      (** NaN/±inf/log-underflow policy on kernel outputs *)
+  gpu_fallback : bool;
+      (** on a GPU lowering/PTX failure, fall back to a CPU artifact
+          instead of failing the compile *)
+  debug_fail_stage : string option;
+      (** fault injection: raise at the named pipeline stage (testing
+          the fallback and reporting paths only) *)
 }
 
 let default =
@@ -47,6 +56,9 @@ let default =
     base_type = Spnc_mlir.Types.F32;
     support_marginal = false;
     threads = 1;
+    output_guard = Spnc_resilience.Guard.Warn;
+    gpu_fallback = true;
+    debug_fail_stage = None;
   }
 
 (** The best CPU configuration found by the paper's DSE (Fig. 6):
@@ -74,9 +86,11 @@ let cpu_lower_options (t : t) : Spnc_cpu.Lower_cpu.options =
   }
 
 let pp ppf (t : t) =
-  Fmt.pf ppf "%s %s vec=%b veclib=%b shuffle=%b %s part=%s batch=%d block=%d"
+  Fmt.pf ppf
+    "%s %s vec=%b veclib=%b shuffle=%b %s part=%s batch=%d block=%d guard=%s"
     (target_to_string t.target) t.machine.M.cpu_name t.vectorize t.use_veclib
     t.use_shuffle
     (Spnc_cpu.Optimizer.level_to_string t.opt_level)
     (match t.max_partition_size with None -> "off" | Some s -> string_of_int s)
     t.batch_size t.block_size
+    (Spnc_resilience.Guard.policy_to_string t.output_guard)

@@ -28,6 +28,15 @@ type t = {
   base_type : Spnc_mlir.Types.t;  (** computation base type: F32 or F64 *)
   support_marginal : bool;
   threads : int;  (** runtime worker domains *)
+  (* resilience knobs (docs/RESILIENCE.md) *)
+  output_guard : Spnc_resilience.Guard.policy;
+      (** NaN/±inf/log-underflow policy on kernel outputs *)
+  gpu_fallback : bool;
+      (** on a GPU lowering/PTX failure, fall back to a CPU artifact
+          instead of failing the compile *)
+  debug_fail_stage : string option;
+      (** fault injection: raise at the named pipeline stage (testing
+          the fallback and reporting paths only) *)
 }
 
 val default : t

@@ -104,17 +104,52 @@ let available () =
     "cpu-lower-vectorized[=W]"; "gpu-lower[=BLOCK]"; "gpu-copy-opt";
   ]
 
-(** [run_on_source ?verify_each ~pipeline src] parses a textual module,
-    runs the pipeline, and returns the result module with timings. *)
+(** What can go wrong when driving a pipeline from text. *)
+type run_error =
+  | Invalid_pipeline of string  (** unknown pass / bad argument *)
+  | Parse_error of string  (** the input module does not parse *)
+  | Pass_failure of Pass.failure
+      (** a pass failed; carries the typed diagnostic and the reproducer
+          bundle, when dumping was enabled *)
+
+let run_error_to_string = function
+  | Invalid_pipeline e -> e
+  | Parse_error e -> "parse error: " ^ e
+  | Pass_failure f -> Fmt.str "%a" Pass.pp_failure f
+
+(** [run_on_source_checked ?verify_each ?dump_policy ~pipeline src]
+    parses a textual module and runs the pipeline under the crash-isolated
+    pass manager: a failing pass comes back as {!Pass_failure} with a
+    typed diagnostic and (per [dump_policy], default
+    [Pass.Dump_default]) an on-disk reproducer bundle. *)
+let run_on_source_checked ?(verify_each = false)
+    ?(dump_policy = Pass.Dump_default) ~(pipeline : string) (src : string) :
+    (Pass.result, run_error) result =
+  register_dialects ();
+  match parse_pipeline pipeline with
+  | Error e -> Error (Invalid_pipeline e)
+  | Ok passes -> (
+      match Parser.modul_of_string src with
+      | exception Parser.Error e -> Error (Parse_error e)
+      | exception Lexer.Error e -> Error (Parse_error ("lex error: " ^ e))
+      | m -> (
+          match
+            Pass.run_pipeline_checked ~verify_each ~dump_policy
+              ~options:("pipeline: " ^ pipeline) passes m
+          with
+          | Ok r -> Ok r
+          | Error f -> Error (Pass_failure f)))
+
+(** [run_on_source ?verify_each ~pipeline src] — legacy string-error
+    interface over {!run_on_source_checked}; never dumps reproducers. *)
 let run_on_source ?(verify_each = false) ~(pipeline : string) (src : string) :
     (Pass.result, string) result =
-  register_dialects ();
-  let* passes = parse_pipeline pipeline in
-  match Parser.modul_of_string src with
-  | exception Parser.Error e -> Error ("parse error: " ^ e)
-  | exception Lexer.Error e -> Error ("lex error: " ^ e)
-  | m -> (
-      match Pass.run_pipeline ~verify_each passes m with
-      | r -> Ok r
-      | exception Pass.Pipeline_error (p, msg) ->
-          Error (Printf.sprintf "pass %s failed: %s" p msg))
+  match
+    run_on_source_checked ~verify_each ~dump_policy:Pass.No_dump ~pipeline src
+  with
+  | Ok r -> Ok r
+  | Error (Pass_failure f) ->
+      Error
+        (Printf.sprintf "pass %s failed: %s" f.Pass.failed_pass
+           f.Pass.diag.Pass.Diag.message)
+  | Error e -> Error (run_error_to_string e)

@@ -21,8 +21,30 @@ val parse_pipeline : string -> (Pass.pass list, string) result
     placeholders). *)
 val available : unit -> string list
 
-(** [run_on_source ?verify_each ~pipeline src] parses a textual module,
-    runs the pipeline, and returns the result with per-pass timings.
+(** What can go wrong when driving a pipeline from text. *)
+type run_error =
+  | Invalid_pipeline of string  (** unknown pass / bad argument *)
+  | Parse_error of string  (** the input module does not parse *)
+  | Pass_failure of Pass.failure
+      (** a pass failed; carries the typed diagnostic and the reproducer
+          bundle, when dumping was enabled *)
+
+val run_error_to_string : run_error -> string
+
+(** [run_on_source_checked ?verify_each ?dump_policy ~pipeline src]
+    parses a textual module and runs the pipeline under the
+    crash-isolated pass manager; a failing pass yields {!Pass_failure}
+    with a typed diagnostic and (per [dump_policy], default
+    [Pass.Dump_default]) a reproducer bundle on disk. *)
+val run_on_source_checked :
+  ?verify_each:bool ->
+  ?dump_policy:Pass.dump_policy ->
+  pipeline:string ->
+  string ->
+  (Pass.result, run_error) result
+
+(** [run_on_source ?verify_each ~pipeline src] — legacy string-error
+    interface over {!run_on_source_checked}; never dumps reproducers.
     With [verify_each], the verifier runs after every pass. *)
 val run_on_source :
   ?verify_each:bool -> pipeline:string -> string -> (Pass.result, string) result

@@ -407,13 +407,18 @@ let rec fma_body (body : instr array) : instr array =
       | Loop l -> out := Lir.Loop { l with body = fma_body l.body } :: !out
       | FBin (FMul, t, a, b)
         when Hashtbl.find_opt use_count_f t = Some 1 && k + 1 < n -> (
-          (* look ahead a short window for FAdd(d, t, c) or FAdd(d, c, t) *)
+          (* look ahead a short window for FAdd(d, t, c) or FAdd(d, c, t).
+             The fused FMA is emitted at the multiply's position, so the
+             addend [c] is read early: fusing is only sound if nothing in
+             the window (k, j) defines [c]. *)
           let fused = ref false in
+          let window_defs = Hashtbl.create 8 in
           (try
              for j = k + 1 to min (n - 1) (k + 4) do
                match body.(j) with
                | FBin (FAdd, d, x, y) when (x = t || y = t) && not consumed.(j) ->
                    let c = if x = t then y else x in
+                   if Hashtbl.mem window_defs c then raise Exit;
                    out := FBin3 (FMA, d, a, b, c) :: !out;
                    consumed.(j) <- true;
                    fused := true;
@@ -421,18 +426,23 @@ let rec fma_body (body : instr array) : instr array =
                | instr
                  when List.exists (fun (cl, r) -> cl = F && r = t) (defs instr) ->
                    raise Exit
-               | _ -> ()
+               | instr ->
+                   List.iter
+                     (fun (cl, r) -> if cl = F then Hashtbl.replace window_defs r ())
+                     (defs instr)
              done
            with Exit -> ());
           if not !fused then out := body.(k) :: !out)
       | VBin (FMul, t, a, b)
         when Hashtbl.find_opt use_count_v t = Some 1 && k + 1 < n -> (
           let fused = ref false in
+          let window_defs = Hashtbl.create 8 in
           (try
              for j = k + 1 to min (n - 1) (k + 4) do
                match body.(j) with
                | VBin (FAdd, d, x, y) when (x = t || y = t) && not consumed.(j) ->
                    let c = if x = t then y else x in
+                   if Hashtbl.mem window_defs c then raise Exit;
                    out := VBin3 (FMA, d, a, b, c) :: !out;
                    consumed.(j) <- true;
                    fused := true;
@@ -440,7 +450,10 @@ let rec fma_body (body : instr array) : instr array =
                | instr
                  when List.exists (fun (cl, r) -> cl = V && r = t) (defs instr) ->
                    raise Exit
-               | _ -> ()
+               | instr ->
+                   List.iter
+                     (fun (cl, r) -> if cl = V then Hashtbl.replace window_defs r ())
+                     (defs instr)
              done
            with Exit -> ());
           if not !fused then out := body.(k) :: !out)
@@ -450,6 +463,35 @@ let rec fma_body (body : instr array) : instr array =
   Array.of_list (List.rev !out)
 
 let fma (f : func) : func = { f with body = fma_body f.body }
+
+(* -- Fault injection ------------------------------------------------------------------ *)
+
+(* A deliberately unsound "peephole": the first floating add of each
+   function becomes a subtract.  Enabled only through
+   [inject_bad_peephole] by the differential fuzzing harness
+   (bin/spnc_fuzz --inject-bad-peephole) to prove the harness detects
+   and shrinks a real miscompile; never on by default. *)
+let inject_bad_peephole = ref false
+
+let rec break_first_fadd (broken : bool ref) (body : instr array) : instr array
+    =
+  Array.map
+    (fun i ->
+      if !broken then i
+      else
+        match i with
+        | FBin (FAdd, d, a, b) ->
+            broken := true;
+            FBin (FSub, d, a, b)
+        | VBin (FAdd, d, a, b) ->
+            broken := true;
+            VBin (FSub, d, a, b)
+        | Loop l -> Loop { l with body = break_first_fadd broken l.body }
+        | i -> i)
+    body
+
+let bad_peephole (f : func) : func =
+  { f with body = break_first_fadd (ref false) f.body }
 
 (* -- Driver --------------------------------------------------------------------------- *)
 
@@ -461,5 +503,8 @@ let run (level : level) (m : Lir.modul) : Lir.modul =
     | O1 -> dce (cse (constfold f))
     | O2 -> dce (cse (licm (dce (cse (constfold f)))))
     | O3 -> fma (dce (cse (licm (dce (cse (constfold (dce (cse (constfold f)))))))))
+  in
+  let opt f =
+    if !inject_bad_peephole && level <> O0 then bad_peephole (opt f) else opt f
   in
   { m with Lir.funcs = Array.map opt m.Lir.funcs }

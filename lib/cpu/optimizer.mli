@@ -38,5 +38,12 @@ val dce : Lir.func -> Lir.func
 val licm : Lir.func -> Lir.func
 val fma : Lir.func -> Lir.func
 
+(** Fault injection for the differential fuzzing harness: when set, every
+    [-O1]+ optimization run applies a deliberately unsound peephole (the
+    first floating add of each function becomes a subtract), so the
+    harness can prove it detects and shrinks a real miscompile.  Never
+    enabled by default. *)
+val inject_bad_peephole : bool ref
+
 (** [run level m] optimizes every function of the module at [level]. *)
 val run : level -> Lir.modul -> Lir.modul

@@ -1,11 +1,24 @@
-(** Pass manager with per-pass wall-clock timing.
+(** Pass manager with per-pass wall-clock timing and crash isolation.
 
     The timing ledger is load-bearing for the reproduction: the paper's
     Figs. 10–13 plot compilation time against partition size and -O level,
     and §V-B.1 breaks compilation time down per stage (instruction
     selection 27%, register allocation 25%, ...).  Every pipeline in this
     code base runs through this pass manager so those numbers come from
-    real measured pass times. *)
+    real measured pass times.
+
+    Crash isolation (resilience layer, docs/RESILIENCE.md): each pass
+    runs under an exception barrier with a pre-pass snapshot of the
+    generic-form IR.  On failure — a pass returning [Error], verifier
+    diagnostics under [verify_each], or an escaped exception — the
+    checked entry point {!run_pipeline_checked} returns a typed
+    {!failure} naming the offending pass, carrying a structured
+    {!Spnc_resilience.Diag.t}, and (unless dumping is disabled) writes a
+    self-contained reproducer bundle that replays the failure through
+    [spnc_opt]. *)
+
+module Diag = Spnc_resilience.Diag
+module Reproducer = Spnc_resilience.Reproducer
 
 type timing = { pass_name : string; seconds : float }
 
@@ -42,34 +55,141 @@ let dce_pass = make "dce" Rewrite.dce
 
 exception Pipeline_error of string * string  (** pass name, message *)
 
-(** [run_pipeline ?verify_each passes m] executes [passes] in order,
-    recording wall-clock time per pass.  With [verify_each] (default
-    [false]) the verifier runs after every pass — used by the test suite
-    to catch IR breakage at the pass that introduced it.
+(** Where the exception barrier dumps reproducer bundles. *)
+type dump_policy =
+  | No_dump  (** return the failure only (unit tests, library callers) *)
+  | Dump_default  (** {!Spnc_resilience.Reproducer.default_dir} *)
+  | Dump_to of string  (** explicit parent directory *)
+
+type failure = {
+  failed_pass : string;
+  diag : Diag.t;
+  ir_before : string;  (** generic-form IR snapshot before the failing pass *)
+  replay_pipeline : string;  (** pipeline string that replays the failure *)
+  bundle : Reproducer.bundle option;  (** written reproducer, if dumping *)
+  bundle_error : string option;  (** why the dump itself failed, if it did *)
+  partial_timings : timing list;  (** passes completed before the failure *)
+}
+
+let pp_failure ppf (f : failure) =
+  Fmt.pf ppf "pass %s failed: %a" f.failed_pass Diag.pp f.diag;
+  (match f.bundle with
+  | Some b -> Fmt.pf ppf "@.reproducer written to %s" b.Reproducer.dir
+  | None -> ());
+  match f.bundle_error with
+  | Some e -> Fmt.pf ppf "@.(reproducer dump failed: %s)" e
+  | None -> ()
+
+(* Names of the failing pass and everything after it: replaying this
+   pipeline on the pre-pass snapshot reproduces the failure at its head. *)
+let replay_pipeline_of (passes : pass list) (failed : pass) : string =
+  let rec from = function
+    | [] -> [ failed.name ]
+    | p :: rest -> if p == failed then p.name :: List.map (fun p -> p.name) rest
+                   else from rest
+  in
+  String.concat "," (from passes)
+
+let dump ~(policy : dump_policy) ~(options : string) (f : failure) : failure =
+  match policy with
+  | No_dump -> f
+  | Dump_default | Dump_to _ -> (
+      let dir = match policy with Dump_to d -> Some d | _ -> None in
+      match
+        Reproducer.write ?dir ~ir:f.ir_before ~pipeline:f.replay_pipeline
+          ~options ~diag:(Diag.to_string f.diag) ()
+      with
+      | Ok b -> { f with bundle = Some b }
+      | Error e -> { f with bundle_error = Some e })
+
+(** [run_pipeline_checked ?verify_each ?dump_policy ?options passes m]
+    executes [passes] in order, each under an exception barrier, recording
+    wall-clock time per pass.  With [verify_each] (default [false]) the
+    verifier runs after every pass, attributing IR breakage to the pass
+    that introduced it.  On failure the result is a typed {!failure} (a
+    reproducer bundle is written according to [dump_policy], default
+    {!No_dump}); this function never raises on pass misbehavior. *)
+let run_pipeline_checked ?(verify_each = false) ?(dump_policy = No_dump)
+    ?(options = "") (passes : pass list) (m : Ir.modul) :
+    (result, failure) Stdlib.result =
+  let timings = ref [] in
+  let fail (p : pass) ~ir_before diag =
+    Error
+      (dump ~policy:dump_policy ~options
+         {
+           failed_pass = p.name;
+           diag = Diag.with_pass p.name diag;
+           ir_before;
+           replay_pipeline = replay_pipeline_of passes p;
+           bundle = None;
+           bundle_error = None;
+           partial_timings = List.rev !timings;
+         })
+  in
+  let run_one acc (p : pass) =
+    match acc with
+    | Error _ as e -> e
+    | Ok m ->
+        (* the snapshot is taken before the pass so the bundle replays the
+           failure, not its aftermath *)
+        let ir_before = Printer.modul_to_string m in
+        let t0 = Unix.gettimeofday () in
+        let outcome =
+          try
+            match p.run m with
+            | Ok _ as ok -> ok
+            | Error msg -> Error (Diag.error ~pass:p.name msg)
+          with
+          | (Stack_overflow | Out_of_memory) as e -> raise e
+          | e ->
+              let bt = Printexc.get_raw_backtrace () in
+              Error (Diag.of_exn ~pass:p.name e bt)
+        in
+        (match outcome with
+        | Ok _ ->
+            let t1 = Unix.gettimeofday () in
+            timings := { pass_name = p.name; seconds = t1 -. t0 } :: !timings
+        | Error _ -> ());
+        (match outcome with
+        | Ok m' ->
+            if not verify_each then Ok m'
+            else begin
+              (* the verifier itself runs under the barrier too: a
+                 dialect-registered check that throws must not take down
+                 the pipeline without a reproducer *)
+              let verdict =
+                try Ok (Verifier.verify m') with
+                | (Stack_overflow | Out_of_memory) as e -> raise e
+                | e ->
+                    let bt = Printexc.get_raw_backtrace () in
+                    Error (Diag.of_exn ~pass:p.name e bt)
+              in
+              match verdict with
+              | Ok [] -> Ok m'
+              | Ok errs ->
+                  fail p ~ir_before
+                    (Diag.error ~pass:p.name
+                       ~op_path:
+                         (List.map (fun (e : Verifier.error) -> e.op_name) errs
+                         |> List.sort_uniq compare)
+                       ("verifier failed after pass:\n"
+                      ^ Verifier.errors_to_string errs))
+              | Error d -> fail p ~ir_before d
+            end
+        | Error d -> fail p ~ir_before d)
+  in
+  match List.fold_left run_one (Ok m) passes with
+  | Ok final -> Ok { modul = final; timings = List.rev !timings }
+  | Error f -> Error f
+
+(** [run_pipeline ?verify_each passes m] — the legacy raising interface,
+    now a wrapper over {!run_pipeline_checked} (no reproducer dumping).
     @raise Pipeline_error if a pass fails. *)
 let run_pipeline ?(verify_each = false) (passes : pass list) (m : Ir.modul) :
     result =
-  let timings = ref [] in
-  let run_one m (p : pass) =
-    let t0 = Unix.gettimeofday () in
-    match p.run m with
-    | Ok m' ->
-        let t1 = Unix.gettimeofday () in
-        timings := { pass_name = p.name; seconds = t1 -. t0 } :: !timings;
-        if verify_each then begin
-          match Verifier.verify m' with
-          | [] -> m'
-          | errs ->
-              raise
-                (Pipeline_error
-                   (p.name, "verifier failed after pass:\n"
-                            ^ Verifier.errors_to_string errs))
-        end
-        else m'
-    | Error msg -> raise (Pipeline_error (p.name, msg))
-  in
-  let final = List.fold_left run_one m passes in
-  { modul = final; timings = List.rev !timings }
+  match run_pipeline_checked ~verify_each ~dump_policy:No_dump passes m with
+  | Ok r -> r
+  | Error f -> raise (Pipeline_error (f.failed_pass, f.diag.Diag.message))
 
 let total_seconds (r : result) =
   List.fold_left (fun acc t -> acc +. t.seconds) 0.0 r.timings

@@ -1,11 +1,19 @@
-(** Pass manager with per-pass wall-clock timing.
+(** Pass manager with per-pass wall-clock timing and crash isolation.
 
     The timing ledger is load-bearing for the reproduction: the paper's
     Figs. 10–13 plot compilation time against partition size and -O
     level, and §V-B.1 breaks compile time down per stage.  Every pipeline
     in this code base runs through this pass manager (or the equivalent
     timers in [Spnc.Compiler]), so those numbers are real measured pass
-    times. *)
+    times.
+
+    The checked entry point {!run_pipeline_checked} runs each pass under
+    an exception barrier with a pre-pass IR snapshot; failures come back
+    as a typed {!failure} with a structured diagnostic and an optional
+    on-disk reproducer bundle (docs/RESILIENCE.md). *)
+
+module Diag = Spnc_resilience.Diag
+module Reproducer = Spnc_resilience.Reproducer
 
 type timing = { pass_name : string; seconds : float }
 
@@ -31,9 +39,45 @@ val dce_pass : pass
 
 exception Pipeline_error of string * string  (** pass name, message *)
 
-(** [run_pipeline ?verify_each passes m] executes [passes] in order with
-    per-pass wall-clock timing.  With [verify_each] the verifier runs
-    after every pass, attributing IR breakage to the pass that caused it.
+(** Where the exception barrier dumps reproducer bundles. *)
+type dump_policy =
+  | No_dump  (** return the failure only (unit tests, library callers) *)
+  | Dump_default  (** {!Spnc_resilience.Reproducer.default_dir} *)
+  | Dump_to of string  (** explicit parent directory *)
+
+(** Everything known about a pipeline failure: the offending pass, the
+    structured diagnostic, the generic-form IR immediately before the
+    pass, the pipeline suffix that replays the failure, and the written
+    reproducer bundle (or the reason the dump itself failed). *)
+type failure = {
+  failed_pass : string;
+  diag : Diag.t;
+  ir_before : string;
+  replay_pipeline : string;
+  bundle : Reproducer.bundle option;
+  bundle_error : string option;
+  partial_timings : timing list;  (** passes completed before the failure *)
+}
+
+val pp_failure : Format.formatter -> failure -> unit
+
+(** [run_pipeline_checked ?verify_each ?dump_policy ?options passes m]
+    executes [passes] in order, each under an exception barrier with
+    per-pass timing.  With [verify_each] the verifier runs after every
+    pass, attributing IR breakage to the pass that introduced it.  A pass
+    error, verifier diagnostic, or escaped exception yields [Error f]
+    (never raises); a reproducer bundle is written per [dump_policy]
+    (default {!No_dump}), with [options] recorded alongside it. *)
+val run_pipeline_checked :
+  ?verify_each:bool ->
+  ?dump_policy:dump_policy ->
+  ?options:string ->
+  pass list ->
+  Ir.modul ->
+  (result, failure) Stdlib.result
+
+(** [run_pipeline ?verify_each passes m] — legacy raising interface over
+    {!run_pipeline_checked} (no dumping).
     @raise Pipeline_error if a pass fails. *)
 val run_pipeline : ?verify_each:bool -> pass list -> Ir.modul -> result
 

@@ -1,0 +1,322 @@
+(** Differential fuzzing harness (MLIR-Smith style, PAPERS.md).
+
+    Generates random well-formed SPNs — seeded, size/depth-parameterized,
+    with Gaussian, categorical and histogram leaves — plus matching
+    evidence data, and cross-checks a list of {e oracles} (compiled
+    kernels, interpreters, simulators) against the reference evaluator
+    [Spnc_spn.Infer].  A disagreement or a crash is a {!failure}; the
+    {!shrink} routine then reduces the model structurally (and the data
+    by rows) while the failure persists, so the reproducer bundle carries
+    a minimal case.
+
+    The module deliberately does not depend on the compiler: oracles are
+    plain functions, wired up by [bin/spnc_fuzz] (and the test suite), so
+    the harness itself can never be broken by the code it is testing. *)
+
+module Model = Spnc_spn.Model
+module Infer = Spnc_spn.Infer
+module Validate = Spnc_spn.Validate
+module Rng = Spnc_data.Rng
+
+(* -- Generation ------------------------------------------------------------- *)
+
+type var_kind = Continuous | Discrete_cat of int | Discrete_hist of int
+
+type config = {
+  min_features : int;
+  max_features : int;
+  max_depth : int;
+  target_ops : int;  (** soft node budget; generation stops growing past it *)
+  rows : int;  (** evidence rows per case *)
+  marginal_fraction : float;
+      (** fraction of NaN (marginalized) evidence entries; only
+          meaningful for kernels compiled with marginal support *)
+}
+
+let default_config =
+  {
+    min_features = 3;
+    max_features = 8;
+    max_depth = 6;
+    target_ops = 60;
+    rows = 24;
+    marginal_fraction = 0.0;
+  }
+
+type case = {
+  id : int;
+  seed : int;
+  config : config;
+  var_kinds : var_kind array;
+  model : Model.t;
+  data : float array array;
+}
+
+let gen_leaf rng (kind : var_kind) ~var : Model.node =
+  match kind with
+  | Continuous ->
+      Model.gaussian ~var ~mean:(Rng.range rng (-2.0) 2.0)
+        ~stddev:(Rng.range rng 0.4 2.0)
+  | Discrete_cat arity ->
+      let probs = Rng.dirichlet rng ~alpha:1.0 arity in
+      (* floor the probabilities so in-range evidence never hits a
+         literal zero (log-underflow is the guard's job, not the
+         generator's) *)
+      let floored = Array.map (fun p -> Float.max p 0.02) probs in
+      let total = Array.fold_left ( +. ) 0.0 floored in
+      Model.categorical ~var ~probs:(Array.map (fun p -> p /. total) floored)
+  | Discrete_hist buckets ->
+      Model.histogram ~var
+        ~breaks:(Array.init (buckets + 1) Fun.id)
+        ~densities:
+          (let d = Rng.dirichlet rng ~alpha:1.0 buckets in
+           let floored = Array.map (fun p -> Float.max p 0.02) d in
+           (* unit-width buckets: mass = sum of densities, so renormalize
+              after flooring or the model fails validation *)
+           let total = Array.fold_left ( +. ) 0.0 floored in
+           Array.map (fun p -> p /. total) floored)
+
+(* Split [scope] into [k] nonempty groups for a product node. *)
+let split_scope rng (scope : int array) ~k : int array list =
+  let shuffled = Rng.shuffle rng scope in
+  let n = Array.length shuffled in
+  (* k-1 distinct cut points in [1, n) *)
+  let cuts = Array.make (k - 1) 0 in
+  let rec pick i =
+    if i = k - 1 then ()
+    else
+      let c = 1 + Rng.int rng (n - 1) in
+      if Array.exists (( = ) c) cuts then pick i
+      else begin
+        cuts.(i) <- c;
+        pick (i + 1)
+      end
+  in
+  pick 0;
+  Array.sort compare cuts;
+  let bounds = Array.to_list cuts @ [ n ] in
+  let rec chop lo = function
+    | [] -> []
+    | hi :: rest -> Array.sub shuffled lo (hi - lo) :: chop hi rest
+  in
+  chop 0 bounds
+
+let rec gen_node rng (kinds : var_kind array) ~scope ~depth ~(budget : int ref)
+    : Model.node =
+  decr budget;
+  let leaf_block () =
+    match Array.to_list scope with
+    | [ v ] -> gen_leaf rng kinds.(v) ~var:v
+    | vars ->
+        Model.product (List.map (fun v -> gen_leaf rng kinds.(v) ~var:v) vars)
+  in
+  if Array.length scope = 1 || depth <= 0 || !budget <= Array.length scope then
+    leaf_block ()
+  else if Rng.float rng < 0.5 then begin
+    (* sum: mixture over the same scope (smoothness by construction) *)
+    let k = 2 + Rng.int rng 3 in
+    let weights = Rng.dirichlet rng ~alpha:2.0 k in
+    Model.sum
+      (List.init k (fun i ->
+           (weights.(i), gen_node rng kinds ~scope ~depth:(depth - 1) ~budget)))
+  end
+  else begin
+    (* product: split the scope (decomposability by construction) *)
+    let k = 2 + Rng.int rng (min 2 (Array.length scope - 1)) in
+    let groups = split_scope rng scope ~k in
+    Model.product
+      (List.map
+         (fun g -> gen_node rng kinds ~scope:g ~depth:(depth - 1) ~budget)
+         groups)
+  end
+
+let gen_data rng (c : config) (kinds : var_kind array) : float array array =
+  Array.init c.rows (fun _ ->
+      Array.init (Array.length kinds) (fun v ->
+          if c.marginal_fraction > 0.0 && Rng.float rng < c.marginal_fraction
+          then Float.nan
+          else
+            match kinds.(v) with
+            | Continuous -> Rng.range rng (-3.0) 3.0
+            | Discrete_cat arity -> float_of_int (Rng.int rng arity)
+            | Discrete_hist buckets -> float_of_int (Rng.int rng buckets)))
+
+(** [gen_case ?config ~seed ~id] — deterministic case [(seed, id)]: the
+    variable typing, model structure and evidence all derive from the
+    pair, so any reported case replays from two integers. *)
+let gen_case ?(config = default_config) ~seed ~id () : case =
+  let rng = Rng.create ~seed:((seed * 1_000_003) + id) in
+  let num_features =
+    config.min_features + Rng.int rng (config.max_features - config.min_features + 1)
+  in
+  let var_kinds =
+    Array.init num_features (fun _ ->
+        let r = Rng.float rng in
+        if r < 0.5 then Continuous
+        else if r < 0.75 then Discrete_cat (2 + Rng.int rng 4)
+        else Discrete_hist (2 + Rng.int rng 3))
+  in
+  let budget = ref config.target_ops in
+  let root =
+    (* force a mixture at the root when the scope allows: sum-rooted SPNs
+       exercise the accumulation path of every backend *)
+    gen_node rng var_kinds
+      ~scope:(Array.init num_features Fun.id)
+      ~depth:config.max_depth ~budget
+  in
+  let model =
+    Model.make ~name:(Printf.sprintf "fuzz_%d_%d" seed id) ~num_features root
+  in
+  let data = gen_data rng config var_kinds in
+  { id; seed; config; var_kinds; model; data }
+
+(* -- Differential checking --------------------------------------------------- *)
+
+type oracle = {
+  oracle_name : string;
+  eval : Model.t -> float array array -> float array;
+      (** log-likelihood per row; exceptions are captured as crashes *)
+}
+
+type failure_kind =
+  | Mismatch of { oracle : string; row : int; expected : float; got : float }
+  | Crash of { oracle : string; diag : Diag.t }
+
+type failure = { case : case; kind : failure_kind }
+
+let pp_failure_kind ppf = function
+  | Mismatch { oracle; row; expected; got } ->
+      Fmt.pf ppf "oracle %s disagrees at row %d: reference %.12g, got %.12g"
+        oracle row expected got
+  | Crash { oracle; diag } ->
+      Fmt.pf ppf "oracle %s crashed: %a" oracle Diag.pp diag
+
+(** The correctness reference: the memoized log-space DAG evaluator. *)
+let reference (m : Model.t) (data : float array array) : float array =
+  Infer.log_likelihood_batch m data
+
+let default_tol = 1e-6
+
+(* |a - b| within tol, scaled by the reference magnitude; two
+   log-underflows on both sides agree by convention. *)
+let within_tol ~tol expected got =
+  if expected = got then true
+  else if Float.is_nan expected || Float.is_nan got then false
+  else Float.abs (got -. expected) <= tol *. Float.max 1.0 (Float.abs expected)
+
+(** [check ?tol ~oracles model data] — first failure across all oracles,
+    in order, or [None] if every oracle matches the reference. *)
+let check ?(tol = default_tol) ~(oracles : oracle list) (model : Model.t)
+    (data : float array array) : failure_kind option =
+  let expected = reference model data in
+  let check_one (o : oracle) : failure_kind option =
+    match o.eval model data with
+    | exception e ->
+        let bt = Printexc.get_raw_backtrace () in
+        Some (Crash { oracle = o.oracle_name; diag = Diag.of_exn e bt })
+    | got ->
+        if Array.length got <> Array.length expected then
+          Some
+            (Crash
+               {
+                 oracle = o.oracle_name;
+                 diag =
+                   Diag.error
+                     (Printf.sprintf "oracle returned %d results for %d rows"
+                        (Array.length got) (Array.length expected));
+               })
+        else
+          let bad = ref None in
+          Array.iteri
+            (fun i e ->
+              if !bad = None && not (within_tol ~tol e got.(i)) then
+                bad :=
+                  Some
+                    (Mismatch
+                       { oracle = o.oracle_name; row = i; expected = e;
+                         got = got.(i) }))
+            expected;
+          !bad
+  in
+  List.find_map check_one oracles
+
+let check_case ?tol ~oracles (c : case) : failure option =
+  Option.map (fun kind -> { case = c; kind }) (check ?tol ~oracles c.model c.data)
+
+(* -- Shrinking ---------------------------------------------------------------- *)
+
+(* Rebuild the DAG with the node [target] replaced by [repl]; sharing is
+   preserved through the memo table. *)
+let replace (m : Model.t) ~(target : int) ~(repl : Model.node) : Model.t =
+  let memo = Hashtbl.create 64 in
+  let rec go (n : Model.node) : Model.node =
+    if n.Model.id = target then repl
+    else
+      match Hashtbl.find_opt memo n.Model.id with
+      | Some n' -> n'
+      | None ->
+          let n' =
+            match n.Model.desc with
+            | Model.Sum ws -> Model.sum (List.map (fun (w, c) -> (w, go c)) ws)
+            | Model.Product cs -> Model.product (List.map go cs)
+            | _ -> n
+          in
+          Hashtbl.add memo n.Model.id n';
+          n'
+  in
+  Model.make ~name:m.Model.name ~num_features:m.Model.num_features
+    (go m.Model.root)
+
+(* Structural reduction candidates: every inner node replaced by each of
+   its children, valid (smooth/decomposable) results only, ordered by
+   node count so the biggest reductions are tried first. *)
+let candidates (m : Model.t) : Model.t list =
+  let variants = ref [] in
+  Model.iter_unique
+    (fun n ->
+      match n.Model.desc with
+      | Model.Sum _ | Model.Product _ ->
+          List.iter
+            (fun child ->
+              match replace m ~target:n.Model.id ~repl:child with
+              | m' -> if Validate.check m' = [] then variants := m' :: !variants
+              | exception Invalid_argument _ -> ())
+            (Model.children n)
+      | _ -> ())
+    m;
+  List.sort
+    (fun a b -> compare (Model.node_count a) (Model.node_count b))
+    !variants
+
+(* Row reductions: halves, then single rows. *)
+let data_candidates (data : float array array) : float array array list =
+  let n = Array.length data in
+  if n <= 1 then []
+  else
+    [ Array.sub data 0 ((n + 1) / 2); Array.sub data ((n + 1) / 2) (n / 2) ]
+    @ List.init (min n 4) (fun i -> [| data.(i) |])
+
+(** [shrink ?max_steps ~still_fails model data] — greedy structural
+    reduction: repeatedly adopt the smallest variant (or row subset) on
+    which [still_fails] holds, until no candidate fails or the predicate
+    budget runs out.  Returns the reduced (model, data). *)
+let shrink ?(max_steps = 64) ~still_fails (model : Model.t)
+    (data : float array array) : Model.t * float array array =
+  let steps = ref 0 in
+  let try_pred m d =
+    if !steps >= max_steps then false
+    else begin
+      incr steps;
+      match still_fails m d with b -> b | exception _ -> false
+    end
+  in
+  let rec reduce_model m d =
+    match List.find_opt (fun m' -> try_pred m' d) (candidates m) with
+    | Some m' when Model.node_count m' < Model.node_count m -> reduce_model m' d
+    | _ -> reduce_data m d
+  and reduce_data m d =
+    match List.find_opt (fun d' -> try_pred m d') (data_candidates d) with
+    | Some d' -> reduce_data m d'
+    | None -> (m, d)
+  in
+  reduce_model model data

@@ -1,0 +1,82 @@
+(** Differential fuzzing harness (MLIR-Smith style): seeded random SPN
+    generation with Gaussian/categorical/histogram leaves, oracle
+    cross-checking against the reference evaluator, and structural
+    shrinking of failing cases.
+
+    Oracles are plain functions — the harness does not depend on the
+    compiler it tests; [bin/spnc_fuzz] and the test suite wire them up. *)
+
+module Model = Spnc_spn.Model
+
+(** Per-variable evidence typing, fixed before generation so every leaf
+    over a variable agrees on its domain. *)
+type var_kind =
+  | Continuous
+  | Discrete_cat of int  (** categorical arity *)
+  | Discrete_hist of int  (** histogram bucket count *)
+
+type config = {
+  min_features : int;
+  max_features : int;
+  max_depth : int;
+  target_ops : int;  (** soft node budget *)
+  rows : int;  (** evidence rows per case *)
+  marginal_fraction : float;  (** NaN evidence fraction *)
+}
+
+val default_config : config
+
+type case = {
+  id : int;
+  seed : int;
+  config : config;
+  var_kinds : var_kind array;
+  model : Model.t;
+  data : float array array;
+}
+
+(** [gen_case ?config ~seed ~id ()] — deterministic case derived entirely
+    from [(seed, id)]. *)
+val gen_case : ?config:config -> seed:int -> id:int -> unit -> case
+
+type oracle = {
+  oracle_name : string;
+  eval : Model.t -> float array array -> float array;
+      (** log-likelihood per row; exceptions are captured as crashes *)
+}
+
+type failure_kind =
+  | Mismatch of { oracle : string; row : int; expected : float; got : float }
+  | Crash of { oracle : string; diag : Diag.t }
+
+type failure = { case : case; kind : failure_kind }
+
+val pp_failure_kind : Format.formatter -> failure_kind -> unit
+
+(** The correctness reference: [Spnc_spn.Infer.log_likelihood_batch]. *)
+val reference : Model.t -> float array array -> float array
+
+val default_tol : float
+
+(** [check ?tol ~oracles model data] — first failure across the oracles
+    in order; [None] if all agree with the reference within [tol]
+    (relative to the reference magnitude). *)
+val check :
+  ?tol:float ->
+  oracles:oracle list ->
+  Model.t ->
+  float array array ->
+  failure_kind option
+
+val check_case : ?tol:float -> oracles:oracle list -> case -> failure option
+
+(** [shrink ?max_steps ~still_fails model data] greedily reduces the
+    model (inner nodes replaced by children, validity-preserving) and the
+    evidence rows while [still_fails] holds; [max_steps] bounds predicate
+    evaluations. *)
+val shrink :
+  ?max_steps:int ->
+  still_fails:(Model.t -> float array array -> bool) ->
+  Model.t ->
+  float array array ->
+  Model.t * float array array

@@ -1,0 +1,91 @@
+(** Numeric guards on kernel outputs.
+
+    Compiled kernels report log-likelihoods; a NaN, a [+inf], or a
+    log-underflow ([-inf], i.e. probability rounded to exactly zero) in
+    the output buffer means either malformed evidence or a miscompile.
+    The guard scans every result batch and applies a configurable
+    policy:
+
+    - {!Fail}: raise with a diagnostic naming the first bad index;
+    - {!Warn}: report a one-line summary to stderr, pass values through;
+    - {!Clamp}: replace bad values with the nearest representable
+      log-likelihood and continue. *)
+
+type policy = Fail | Warn | Clamp
+
+let policy_to_string = function
+  | Fail -> "fail"
+  | Warn -> "warn"
+  | Clamp -> "clamp"
+
+let policy_of_string = function
+  | "fail" -> Some Fail
+  | "warn" -> Some Warn
+  | "clamp" -> Some Clamp
+  | _ -> None
+
+exception Guard_failure of Diag.t
+
+(* Clamp targets: log of the smallest/largest positive finite doubles. *)
+let log_floor = -744.44
+let log_ceil = 709.78
+
+type verdict = Ok_value | Invalid  (** NaN / +inf *) | Underflow  (** -inf *)
+
+let classify (x : float) : verdict =
+  if Float.is_nan x then Invalid
+  else if x = Float.infinity then Invalid
+  else if x = Float.neg_infinity then Underflow
+  else Ok_value
+
+(** [scan out] — counts of invalid (NaN/[+inf]) and underflowed ([-inf])
+    entries, plus the first offending index. *)
+let scan (out : float array) : int * int * int option =
+  let invalid = ref 0 and underflow = ref 0 and first = ref None in
+  Array.iteri
+    (fun i x ->
+      match classify x with
+      | Ok_value -> ()
+      | Invalid ->
+          incr invalid;
+          if !first = None then first := Some i
+      | Underflow ->
+          incr underflow;
+          if !first = None then first := Some i)
+    out;
+  (!invalid, !underflow, !first)
+
+let describe ~what ~invalid ~underflow ~first (out : float array) =
+  let idx = match first with Some i -> i | None -> 0 in
+  Printf.sprintf
+    "%s: %d invalid (NaN/+inf) and %d underflowed (-inf) of %d outputs; \
+     first bad value %h at index %d"
+    what invalid underflow (Array.length out) out.(idx) idx
+
+(** [apply ~policy ?what out] checks one result batch.  Under {!Clamp} a
+    fresh clamped array is returned (the input is never mutated); under
+    {!Warn}/{!Fail} with clean outputs, [out] is returned as-is.
+    @raise Guard_failure under {!Fail} when any output is bad. *)
+let apply ~(policy : policy) ?(what = "kernel output") (out : float array) :
+    float array =
+  let invalid, underflow, first = scan out in
+  if invalid = 0 && underflow = 0 then out
+  else
+    match policy with
+    | Fail ->
+        raise
+          (Guard_failure
+             (Diag.error ~pass:"output-guard"
+                (describe ~what ~invalid ~underflow ~first out)))
+    | Warn ->
+        Fmt.epr "spnc: warning: %s@."
+          (describe ~what ~invalid ~underflow ~first out);
+        out
+    | Clamp ->
+        Array.map
+          (fun x ->
+            match classify x with
+            | Ok_value -> x
+            | Underflow -> log_floor
+            | Invalid -> if x = Float.infinity then log_ceil else log_floor)
+          out

@@ -1,0 +1,26 @@
+(** Numeric guards on kernel outputs: NaN / [+inf] / log-underflow
+    ([-inf]) detection with a configurable policy. *)
+
+type policy =
+  | Fail  (** raise {!Guard_failure} with a diagnostic *)
+  | Warn  (** one-line summary on stderr; values pass through *)
+  | Clamp  (** replace bad values with the nearest finite log-likelihood *)
+
+val policy_to_string : policy -> string
+val policy_of_string : string -> policy option
+
+exception Guard_failure of Diag.t
+
+(** Clamp targets: log of the smallest/largest positive finite doubles. *)
+val log_floor : float
+
+val log_ceil : float
+
+(** [scan out] — (invalid count, underflow count, first bad index). *)
+val scan : float array -> int * int * int option
+
+(** [apply ~policy ?what out] checks one result batch of log-likelihoods.
+    Under {!Clamp} a fresh clamped array is returned (never mutates the
+    input); clean outputs are returned as-is.
+    @raise Guard_failure under {!Fail} when any output is bad. *)
+val apply : policy:policy -> ?what:string -> float array -> float array

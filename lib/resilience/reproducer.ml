@@ -1,0 +1,95 @@
+(** Self-contained reproducer bundles for compiler failures.
+
+    When a pass crashes or a differential run mismatches, the resilience
+    layer writes everything needed to replay the failure into a fresh
+    directory: the generic-form IR (or model text) immediately before the
+    failing stage, the pipeline string that triggers it, the options in
+    effect, the rendered diagnostic, and a README with the replay command
+    line.  Bundles are append-only artifacts: nothing in the compiler
+    reads them back, [spnc_opt]/[spnc_fuzz] replay them from the files. *)
+
+type bundle = {
+  dir : string;  (** bundle directory *)
+  files : string list;  (** file names inside [dir] *)
+}
+
+(** Environment variable overriding the default dump location. *)
+let dump_dir_env = "SPNC_DUMP_DIR"
+
+let default_dir () =
+  match Sys.getenv_opt dump_dir_env with
+  | Some d when d <> "" -> d
+  | _ -> Filename.concat (Sys.getcwd ()) "spnc-reproducers"
+
+(* Process-local counter so bundles from one run never collide. *)
+let counter = Atomic.make 0
+
+let rec mkdir_p dir =
+  if not (Sys.file_exists dir) then begin
+    mkdir_p (Filename.dirname dir);
+    try Unix.mkdir dir 0o755 with Unix.Unix_error (Unix.EEXIST, _, _) -> ()
+  end
+
+let write_file path content =
+  let oc = open_out path in
+  Fun.protect
+    ~finally:(fun () -> close_out oc)
+    (fun () -> output_string oc content)
+
+let readme ~pipeline =
+  Printf.sprintf
+    "SPNC reproducer bundle\n\
+     ======================\n\n\
+     Files:\n\
+     - ir.mlir       generic-form IR immediately before the failing pass\n\
+     - pipeline.txt  pass pipeline that reproduces the failure\n\
+     - options.txt   compiler options in effect\n\
+     - diag.txt      the diagnostic that was reported\n\n\
+     Replay:\n\n\
+    \    spnc_opt --pipeline '%s' ir.mlir\n\n\
+     The command should reproduce the reported failure; a clean exit\n\
+     means the bug no longer reproduces at this commit.\n"
+    pipeline
+
+(** [write ?dir ?extra ~ir ~pipeline ~options ~diag ()] writes a bundle
+    into a fresh uniquely-named subdirectory of [dir] (default
+    {!default_dir}).  [extra] adds arbitrary named files (the fuzzer
+    stores the model text and input data this way).  Never raises: any
+    I/O problem is returned as [Error] so a dump failure cannot mask the
+    compiler failure being reported. *)
+let write ?dir ?(extra = []) ~ir ~pipeline ~options ~diag () :
+    (bundle, string) result =
+  let parent = match dir with Some d -> d | None -> default_dir () in
+  let name =
+    Printf.sprintf "repro-%d-%d" (Unix.getpid ()) (Atomic.fetch_and_add counter 1)
+  in
+  let bdir = Filename.concat parent name in
+  try
+    mkdir_p bdir;
+    let files =
+      [
+        ("ir.mlir", ir);
+        ("pipeline.txt", pipeline ^ "\n");
+        ("options.txt", options ^ "\n");
+        ("diag.txt", diag ^ "\n");
+        ("README.txt", readme ~pipeline);
+      ]
+      @ extra
+    in
+    List.iter (fun (f, c) -> write_file (Filename.concat bdir f) c) files;
+    Ok { dir = bdir; files = List.map fst files }
+  with
+  | Sys_error e -> Error (Printf.sprintf "cannot write reproducer: %s" e)
+  | Unix.Unix_error (e, fn, arg) ->
+      Error
+        (Printf.sprintf "cannot write reproducer: %s(%s): %s" fn arg
+           (Unix.error_message e))
+
+let path (b : bundle) file = Filename.concat b.dir file
+
+let read_file (b : bundle) file =
+  let p = path b file in
+  let ic = open_in p in
+  Fun.protect
+    ~finally:(fun () -> close_in ic)
+    (fun () -> really_input_string ic (in_channel_length ic))

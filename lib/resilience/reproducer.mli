@@ -1,0 +1,37 @@
+(** Self-contained reproducer bundles for compiler failures: IR before
+    the failing pass, the pipeline string that replays it, the options in
+    effect, and the rendered diagnostic, in one fresh directory (see
+    docs/RESILIENCE.md for the layout). *)
+
+type bundle = {
+  dir : string;  (** bundle directory *)
+  files : string list;  (** file names inside [dir] *)
+}
+
+(** Environment variable overriding the default dump location
+    ([SPNC_DUMP_DIR]). *)
+val dump_dir_env : string
+
+(** [default_dir ()] is [$SPNC_DUMP_DIR], or [./spnc-reproducers]. *)
+val default_dir : unit -> string
+
+(** [write ?dir ?extra ~ir ~pipeline ~options ~diag ()] writes a bundle
+    into a fresh uniquely-named subdirectory of [dir].  [extra] adds
+    arbitrary named files.  Never raises: I/O problems come back as
+    [Error] so a dump failure cannot mask the failure being reported. *)
+val write :
+  ?dir:string ->
+  ?extra:(string * string) list ->
+  ir:string ->
+  pipeline:string ->
+  options:string ->
+  diag:string ->
+  unit ->
+  (bundle, string) result
+
+(** [path b file] — absolute path of a bundle member. *)
+val path : bundle -> string -> string
+
+(** [read_file b file] — contents of a bundle member.
+    @raise Sys_error if the file cannot be read. *)
+val read_file : bundle -> string -> string

@@ -8,7 +8,14 @@
     threads to process these chunks in parallel.  In this case, the
     user-provided batch size is used as size for the chunks.  Note that
     the batch size is a mere optimization hint, the generated kernel can
-    still process an arbitrary number of inputs." *)
+    still process an arbitrary number of inputs."
+
+    Fault tolerance (docs/RESILIENCE.md): a kernel trap inside one chunk
+    must not hang the batch or lose domains.  Workers run every chunk
+    under an exception barrier; the first captured failure wins, the
+    remaining chunks are cancelled, every domain is joined, and exactly
+    one {!Chunk_error} — carrying the chunk bounds, the exception text
+    and its backtrace — surfaces to the caller. *)
 
 type t = {
   kernel : Spnc_cpu.Lir.modul;
@@ -18,7 +25,26 @@ type t = {
 }
 
 let load ?(batch_size = 4096) ?(threads = 1) ~out_cols kernel =
+  if batch_size <= 0 then invalid_arg "Exec.load: batch_size must be positive";
+  if threads <= 0 then invalid_arg "Exec.load: threads must be positive";
   { kernel; out_cols; batch_size; threads }
+
+type chunk_error = {
+  chunk_lo : int;  (** first sample index of the failing chunk *)
+  chunk_hi : int;  (** one past the last sample index *)
+  message : string;  (** text of the captured exception *)
+  backtrace : string;  (** backtrace captured inside the worker *)
+}
+
+exception Chunk_error of chunk_error
+
+let () =
+  Printexc.register_printer (function
+    | Chunk_error e ->
+        Some
+          (Printf.sprintf "Exec.Chunk_error(samples [%d,%d): %s)" e.chunk_lo
+             e.chunk_hi e.message)
+    | _ -> None)
 
 (* Execute one chunk [lo, hi) of the flat input. *)
 let run_chunk t ~(flat : float array) ~num_features ~lo ~hi : float array =
@@ -31,48 +57,102 @@ let run_chunk t ~(flat : float array) ~num_features ~lo ~hi : float array =
   Array.sub out.Spnc_cpu.Vm.data 0 rows
 
 (** [execute t ~flat ~rows ~num_features] — evaluate all samples,
-    chunked, possibly across domains; returns one value per sample. *)
+    chunked, possibly across domains; returns one value per sample.
+    @raise Invalid_argument on malformed dimensions or a size mismatch.
+    @raise Chunk_error when the kernel fails inside a chunk; all worker
+    domains are joined first and exactly one error is surfaced. *)
 let execute (t : t) ~(flat : float array) ~rows ~num_features : float array =
+  if rows < 0 then
+    invalid_arg (Printf.sprintf "Exec.execute: negative rows (%d)" rows);
+  if num_features <= 0 then
+    invalid_arg
+      (Printf.sprintf "Exec.execute: num_features must be positive (got %d)"
+         num_features);
   if Array.length flat <> rows * num_features then
-    invalid_arg "Exec.execute: input size mismatch";
-  let out = Array.make rows 0.0 in
-  let chunks = ref [] in
-  let lo = ref 0 in
-  while !lo < rows do
-    let hi = min rows (!lo + t.batch_size) in
-    chunks := (!lo, hi) :: !chunks;
-    lo := hi
-  done;
-  let chunks = Array.of_list (List.rev !chunks) in
-  let process (lo, hi) =
-    let res = run_chunk t ~flat ~num_features ~lo ~hi in
-    Array.blit res 0 out lo (hi - lo)
-  in
-  if t.threads <= 1 || Array.length chunks <= 1 then
-    Array.iter process chunks
+    invalid_arg
+      (Printf.sprintf
+         "Exec.execute: input size mismatch (%d floats for %d rows x %d \
+          features)"
+         (Array.length flat) rows num_features);
+  if rows = 0 then [||]
   else begin
-    (* domain pool over an atomic work index *)
-    let next = Atomic.make 0 in
-    let worker () =
-      let continue = ref true in
-      while !continue do
-        let i = Atomic.fetch_and_add next 1 in
-        if i >= Array.length chunks then continue := false
-        else process chunks.(i)
-      done
+    let out = Array.make rows 0.0 in
+    let chunks = ref [] in
+    let lo = ref 0 in
+    while !lo < rows do
+      let hi = min rows (!lo + t.batch_size) in
+      chunks := (!lo, hi) :: !chunks;
+      lo := hi
+    done;
+    let chunks = Array.of_list (List.rev !chunks) in
+    (* first captured failure wins; set exactly once *)
+    let failure : chunk_error option Atomic.t = Atomic.make None in
+    let record lo hi e bt =
+      let err =
+        {
+          chunk_lo = lo;
+          chunk_hi = hi;
+          message = Printexc.to_string e;
+          backtrace = Printexc.raw_backtrace_to_string bt;
+        }
+      in
+      ignore (Atomic.compare_and_set failure None (Some err))
     in
-    let n_workers = min t.threads (Array.length chunks) in
-    let domains = List.init (n_workers - 1) (fun _ -> Domain.spawn worker) in
-    worker ();
-    List.iter Domain.join domains
-  end;
-  out
+    let process (lo, hi) =
+      match run_chunk t ~flat ~num_features ~lo ~hi with
+      | res -> Array.blit res 0 out lo (hi - lo)
+      | exception ((Stack_overflow | Out_of_memory) as e) ->
+          (* even fatal resource exhaustion must not escape a worker
+             domain (a raise would be lost at Domain.join time); record
+             it like any chunk failure *)
+          record lo hi e (Printexc.get_raw_backtrace ())
+      | exception e -> record lo hi e (Printexc.get_raw_backtrace ())
+    in
+    if t.threads <= 1 || Array.length chunks <= 1 then
+      Array.iter
+        (fun c -> if Atomic.get failure = None then process c)
+        chunks
+    else begin
+      (* domain pool over an atomic work index; a recorded failure
+         cancels the remaining chunks but never a running one *)
+      let next = Atomic.make 0 in
+      let worker () =
+        let continue = ref true in
+        while !continue do
+          let i = Atomic.fetch_and_add next 1 in
+          if i >= Array.length chunks || Atomic.get failure <> None then
+            continue := false
+          else process chunks.(i)
+        done
+      in
+      let n_workers = min t.threads (Array.length chunks) in
+      let domains = List.init (n_workers - 1) (fun _ -> Domain.spawn worker) in
+      worker ();
+      List.iter Domain.join domains
+    end;
+    match Atomic.get failure with
+    | Some err -> raise (Chunk_error err)
+    | None -> out
+  end
 
-(** [execute_rows t rows_2d] — convenience over row-major samples. *)
+(** [execute_rows t rows_2d] — convenience over row-major samples.
+    @raise Invalid_argument when the rows are ragged (unequal widths). *)
 let execute_rows (t : t) (rows_2d : float array array) : float array =
   let rows = Array.length rows_2d in
   if rows = 0 then [||]
-  else
+  else begin
     let num_features = Array.length rows_2d.(0) in
+    (* a ragged matrix would silently garble the flat buffer (or trap
+       deep inside the VM); reject it here with the offending row *)
+    Array.iteri
+      (fun i row ->
+        if Array.length row <> num_features then
+          invalid_arg
+            (Printf.sprintf
+               "Exec.execute_rows: ragged input (row %d has %d features, \
+                expected %d)"
+               i (Array.length row) num_features))
+      rows_2d;
     let flat = Array.concat (Array.to_list rows_2d) in
     execute t ~flat ~rows ~num_features
+  end

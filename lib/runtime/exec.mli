@@ -4,20 +4,38 @@
     The generated kernel is single-threaded; the runtime splits the input
     into chunks of the user-provided batch size and processes them on a
     pool of OCaml 5 domains.  The batch size is an optimization hint:
-    any row count works. *)
+    any row count works.
+
+    Fault tolerance: a kernel trap inside one chunk cancels the remaining
+    chunks, every domain is joined, and exactly one {!Chunk_error}
+    surfaces (docs/RESILIENCE.md). *)
 
 type t
 
 (** [load ?batch_size ?threads ~out_cols kernel] prepares a kernel whose
     output buffer has [out_cols] slots per sample (slot 0 is the query
-    result). *)
+    result).
+    @raise Invalid_argument on non-positive [batch_size] or [threads]. *)
 val load :
   ?batch_size:int -> ?threads:int -> out_cols:int -> Spnc_cpu.Lir.modul -> t
 
+type chunk_error = {
+  chunk_lo : int;  (** first sample index of the failing chunk *)
+  chunk_hi : int;  (** one past the last sample index *)
+  message : string;  (** text of the captured exception *)
+  backtrace : string;  (** backtrace captured inside the worker *)
+}
+
+(** The single failure surfaced when a kernel fails inside a chunk. *)
+exception Chunk_error of chunk_error
+
 (** [execute t ~flat ~rows ~num_features] evaluates all samples (row-major
     flat input); one result per sample.
-    @raise Invalid_argument on size mismatch. *)
+    @raise Invalid_argument on malformed dimensions or a size mismatch.
+    @raise Chunk_error when the kernel fails inside a chunk; all worker
+    domains are joined first. *)
 val execute : t -> flat:float array -> rows:int -> num_features:int -> float array
 
-(** [execute_rows t rows] — convenience over row-major samples. *)
+(** [execute_rows t rows] — convenience over row-major samples.
+    @raise Invalid_argument when the rows are ragged (unequal widths). *)
 val execute_rows : t -> float array array -> float array

@@ -21,4 +21,5 @@ let () =
       ("edge", Test_edge.suite);
       ("optimizer", Test_optimizer.suite);
       ("gpu-model", Test_gpu_model.suite);
+      ("resilience", Test_resilience.suite);
     ]

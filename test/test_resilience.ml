@@ -1,0 +1,449 @@
+(** Tests for the resilience layer (docs/RESILIENCE.md): structured
+    diagnostics, the crash-isolated pass manager and its reproducer
+    bundles, output guards, GPU→CPU fallback, runtime chunk-failure
+    isolation, and the differential fuzzing harness. *)
+
+open Spnc_resilience
+module Compiler = Spnc.Compiler
+module Options = Spnc.Options
+module Pass = Spnc_mlir.Pass
+module Ir = Spnc_mlir.Ir
+module Exec = Spnc_runtime.Exec
+module Model = Spnc_spn.Model
+
+let check = Alcotest.check
+let tbool = Alcotest.bool
+let tint = Alcotest.int
+let tstr = Alcotest.string
+
+(* A tiny valid model over two features. *)
+let small_model () =
+  let g0 = Model.gaussian ~var:0 ~mean:0.0 ~stddev:1.0 in
+  let g1 = Model.gaussian ~var:1 ~mean:1.0 ~stddev:0.5 in
+  let c1 = Model.categorical ~var:1 ~probs:[| 0.25; 0.75 |] in
+  let p0 = Model.product [ g0; g1 ] in
+  let p1 = Model.product [ g0; c1 ] in
+  Model.make ~num_features:2 (Model.sum [ (0.4, p0); (0.6, p1) ])
+
+let small_rows =
+  [| [| 0.1; 0.9 |]; [| -0.5; 1.0 |]; [| 1.5; 0.0 |]; [| 0.0; 1.0 |] |]
+
+(* A module in generic form, obtained by running the real front half of
+   the pipeline on the small model. *)
+let small_module () =
+  let c = Compiler.compile (small_model ()) in
+  c.Compiler.lospn
+
+(* -- Diag --------------------------------------------------------------------- *)
+
+let test_diag_fail () =
+  match Diag.fail ~pass:"my-pass" ~op_path:[ "module"; "func" ] "bad %s" "op"
+  with
+  | exception Diag.Diag_error d ->
+      check tstr "message" "bad op" d.Diag.message;
+      check (Alcotest.option tstr) "pass" (Some "my-pass") d.Diag.pass;
+      check (Alcotest.list tstr) "op path" [ "module"; "func" ] d.Diag.op_path
+  | _ -> Alcotest.fail "Diag.fail must raise"
+
+let test_diag_of_exn () =
+  let bt =
+    try failwith "boom"
+    with _ -> Printexc.get_raw_backtrace ()
+  in
+  let d = Diag.of_exn ~pass:"p" (Failure "boom") bt in
+  check tbool "mentions boom" true
+    (Astring_contains.contains d.Diag.message "boom");
+  check (Alcotest.option tstr) "pass attributed" (Some "p") d.Diag.pass;
+  (* a Diag_error payload passes through unchanged except for the pass *)
+  let inner = Diag.error "inner" in
+  let d' = Diag.of_exn ~pass:"outer" (Diag.Diag_error inner) bt in
+  check tstr "payload preserved" "inner" d'.Diag.message;
+  check (Alcotest.option tstr) "pass filled in" (Some "outer") d'.Diag.pass
+
+(* -- Checked pass manager ------------------------------------------------------ *)
+
+(* A "pass" that silently breaks SSA by duplicating every top-level op:
+   the duplicate defines the same value ids a second time. *)
+let breaking_pass =
+  Pass.make "break-ssa" (fun m -> { m with Ir.mops = m.Ir.mops @ m.Ir.mops })
+
+let throwing_pass = Pass.make "throw" (fun _ -> failwith "kaboom from pass")
+
+let test_checked_verifier_blames_pass () =
+  let m = small_module () in
+  match
+    Pass.run_pipeline_checked ~verify_each:true ~dump_policy:Pass.No_dump
+      [ Pass.canonicalize_pass; breaking_pass ]
+      m
+  with
+  | Ok _ -> Alcotest.fail "expected a pipeline failure"
+  | Error f ->
+      check tstr "failing pass" "break-ssa" f.Pass.failed_pass;
+      check tstr "diag pass" "break-ssa"
+        (Option.value ~default:"?" f.Pass.diag.Diag.pass);
+      (* the pre-pass snapshot must re-parse: it is the replay input *)
+      (match Spnc_mlir.Parser.modul_of_string f.Pass.ir_before with
+      | _ -> ()
+      | exception _ -> Alcotest.fail "ir_before does not re-parse");
+      check tbool "replay pipeline starts at the failing pass" true
+        (String.length f.Pass.replay_pipeline >= 9
+        && String.sub f.Pass.replay_pipeline 0 9 = "break-ssa");
+      (* canonicalize completed, and break-ssa itself ran to completion —
+         only the verifier after it failed — so both are on the ledger *)
+      check (Alcotest.list tstr) "passes timed before the failure"
+        [ "canonicalize"; "break-ssa" ]
+        (List.map (fun t -> t.Pass.pass_name) f.Pass.partial_timings)
+
+let test_checked_captures_exception () =
+  Printexc.record_backtrace true;
+  let m = small_module () in
+  match
+    Pass.run_pipeline_checked ~dump_policy:Pass.No_dump [ throwing_pass ] m
+  with
+  | Ok _ -> Alcotest.fail "expected a pipeline failure"
+  | Error f ->
+      check tstr "failing pass" "throw" f.Pass.failed_pass;
+      check tbool "message mentions the exception" true
+        (Astring_contains.contains f.Pass.diag.Diag.message "kaboom");
+      check tbool "backtrace captured" true
+        (f.Pass.diag.Diag.backtrace <> None)
+
+let test_checked_writes_bundle () =
+  let dir = Filename.temp_file "spnc-test" "" in
+  Sys.remove dir;
+  let m = small_module () in
+  (match
+     Pass.run_pipeline_checked ~verify_each:true
+       ~dump_policy:(Pass.Dump_to dir) ~options:"pipeline: break-ssa"
+       [ breaking_pass ] m
+   with
+  | Ok _ -> Alcotest.fail "expected a pipeline failure"
+  | Error f -> (
+      match f.Pass.bundle with
+      | None ->
+          Alcotest.failf "no bundle written: %s"
+            (Option.value ~default:"?" f.Pass.bundle_error)
+      | Some b ->
+          List.iter
+            (fun file ->
+              check tbool (file ^ " exists") true
+                (Sys.file_exists (Reproducer.path b file)))
+            [ "ir.mlir"; "pipeline.txt"; "options.txt"; "diag.txt"; "README.txt" ];
+          (* the dumped IR is the pre-pass snapshot *)
+          let ir = Reproducer.read_file b "ir.mlir" in
+          check tstr "dumped IR = ir_before" f.Pass.ir_before ir));
+  (* cleanup *)
+  ignore (Sys.command (Printf.sprintf "rm -rf %s" (Filename.quote dir)))
+
+let test_legacy_pipeline_error () =
+  let m = small_module () in
+  match Pass.run_pipeline [ throwing_pass ] m with
+  | exception Pass.Pipeline_error (pass, msg) ->
+      check tstr "pass name" "throw" pass;
+      check tbool "message" true (Astring_contains.contains msg "kaboom")
+  | _ -> Alcotest.fail "expected Pipeline_error"
+
+let test_debug_fail_stage_isolated () =
+  let options =
+    { Options.default with Options.debug_fail_stage = Some "bufferization" }
+  in
+  match Compiler.compile ~options (small_model ()) with
+  | exception Diag.Diag_error d ->
+      check (Alcotest.option tstr) "stage attributed" (Some "bufferization")
+        d.Diag.pass
+  | _ -> Alcotest.fail "expected an injected stage failure"
+
+(* -- Output guards ------------------------------------------------------------- *)
+
+(* NaN evidence without marginal support propagates NaN through the
+   kernel, triggering the guard. *)
+let nan_rows = [| [| 0.1; 0.9 |]; [| Float.nan; 1.0 |] |]
+
+let compile_with_guard policy =
+  let options =
+    { Options.default with Options.output_guard = policy; threads = 1 }
+  in
+  Compiler.compile ~options (small_model ())
+
+let test_guard_fail () =
+  let c = compile_with_guard Guard.Fail in
+  match Compiler.execute c nan_rows with
+  | exception Guard.Guard_failure d ->
+      check tbool "diag mentions invalid outputs" true
+        (Astring_contains.contains d.Diag.message "invalid")
+  | _ -> Alcotest.fail "expected Guard_failure"
+
+let test_guard_warn_passes_through () =
+  let c = compile_with_guard Guard.Warn in
+  let out = Compiler.execute c nan_rows in
+  check tbool "row 0 finite" true (Float.is_finite out.(0));
+  check tbool "row 1 is NaN (passed through)" true (Float.is_nan out.(1))
+
+let test_guard_clamp () =
+  let c = compile_with_guard Guard.Clamp in
+  let out = Compiler.execute c nan_rows in
+  check tbool "row 0 finite" true (Float.is_finite out.(0));
+  check (Alcotest.float 0.0) "row 1 clamped to the log floor" Guard.log_floor
+    out.(1)
+
+let test_guard_scan_and_clamp_unit () =
+  let invalid, underflow, first = Guard.scan [| 0.0; Float.nan; Float.neg_infinity |] in
+  check tint "invalid" 1 invalid;
+  check tint "underflow" 1 underflow;
+  check (Alcotest.option tint) "first bad index" (Some 1) first;
+  let clamped =
+    Guard.apply ~policy:Guard.Clamp [| Float.nan; Float.neg_infinity; Float.infinity; -1.0 |]
+  in
+  check (Alcotest.float 0.0) "NaN -> floor" Guard.log_floor clamped.(0);
+  check (Alcotest.float 0.0) "-inf -> floor" Guard.log_floor clamped.(1);
+  check (Alcotest.float 0.0) "+inf -> ceil" Guard.log_ceil clamped.(2);
+  check (Alcotest.float 0.0) "clean value untouched" (-1.0) clamped.(3)
+
+(* -- GPU → CPU fallback --------------------------------------------------------- *)
+
+let test_gpu_fallback () =
+  let options =
+    {
+      Options.default with
+      Options.target = Options.Gpu;
+      debug_fail_stage = Some "gpu-lowering";
+      gpu_fallback = true;
+      threads = 1;
+    }
+  in
+  let c = Compiler.compile ~options (small_model ()) in
+  (match c.Compiler.artifact with
+  | Compiler.Cpu_kernel _ -> ()
+  | Compiler.Gpu_kernel _ -> Alcotest.fail "expected a CPU fallback artifact");
+  check tbool "fallback recorded as a diagnostic" true
+    (c.Compiler.diags <> []);
+  (* the fallback kernel still computes the right answer *)
+  let expected = Spnc_spn.Infer.log_likelihood_batch (small_model ()) small_rows in
+  let got = Compiler.execute c small_rows in
+  Array.iteri
+    (fun i e ->
+      if Float.abs (got.(i) -. e) > 1e-9 then
+        Alcotest.failf "row %d: expected %.12g got %.12g" i e got.(i))
+    expected
+
+let test_gpu_fallback_disabled () =
+  let options =
+    {
+      Options.default with
+      Options.target = Options.Gpu;
+      debug_fail_stage = Some "gpu-lowering";
+      gpu_fallback = false;
+    }
+  in
+  match Compiler.compile ~options (small_model ()) with
+  | exception Diag.Diag_error _ -> ()
+  | _ -> Alcotest.fail "expected the GPU failure to propagate"
+
+(* -- Runtime fault tolerance ---------------------------------------------------- *)
+
+let compiled_cpu ?(threads = 1) () =
+  let options = { Options.default with Options.threads; batch_size = 2 } in
+  let c = Compiler.compile ~options (small_model ()) in
+  match c.Compiler.artifact with
+  | Compiler.Cpu_kernel a -> (c, a.Compiler.lir)
+  | Compiler.Gpu_kernel _ -> assert false
+
+let test_exec_validation () =
+  let c, lir = compiled_cpu () in
+  let t = Exec.load ~out_cols:c.Compiler.out_cols lir in
+  (* rows = 0 is valid and yields an empty result *)
+  check tint "rows=0 -> empty" 0
+    (Array.length (Exec.execute t ~flat:[||] ~rows:0 ~num_features:2));
+  (match Exec.execute t ~flat:[| 1.0 |] ~rows:(-1) ~num_features:2 with
+  | exception Invalid_argument _ -> ()
+  | _ -> Alcotest.fail "negative rows must be rejected");
+  (match Exec.execute t ~flat:[| 1.0 |] ~rows:1 ~num_features:0 with
+  | exception Invalid_argument _ -> ()
+  | _ -> Alcotest.fail "num_features=0 must be rejected");
+  (match Exec.execute t ~flat:[| 1.0; 2.0; 3.0 |] ~rows:1 ~num_features:2 with
+  | exception Invalid_argument _ -> ()
+  | _ -> Alcotest.fail "flat size mismatch must be rejected");
+  match Exec.execute_rows t [| [| 1.0; 2.0 |]; [| 3.0 |] |] with
+  | exception Invalid_argument msg ->
+      check tbool "ragged message names the row" true
+        (Astring_contains.contains msg "row 1")
+  | _ -> Alcotest.fail "ragged rows must be rejected"
+
+let test_exec_load_validation () =
+  let _, lir = compiled_cpu () in
+  (match Exec.load ~batch_size:0 ~out_cols:1 lir with
+  | exception Invalid_argument _ -> ()
+  | _ -> Alcotest.fail "batch_size=0 must be rejected");
+  match Exec.load ~threads:0 ~out_cols:1 lir with
+  | exception Invalid_argument _ -> ()
+  | _ -> Alcotest.fail "threads=0 must be rejected"
+
+(* Feeding a 2-feature kernel 1-feature rows makes the kernel index out
+   of bounds inside a chunk: exactly one Chunk_error must surface, with
+   every worker domain joined first. *)
+let test_chunk_error () =
+  let c, lir = compiled_cpu () in
+  let t = Exec.load ~batch_size:2 ~threads:4 ~out_cols:c.Compiler.out_cols lir in
+  let rows = 16 in
+  let flat = Array.make rows 0.5 in
+  match Exec.execute t ~flat ~rows ~num_features:1 with
+  | exception Exec.Chunk_error e ->
+      check tbool "failing chunk within range" true
+        (e.Exec.chunk_lo >= 0 && e.Exec.chunk_hi <= rows
+        && e.Exec.chunk_lo < e.Exec.chunk_hi);
+      check tbool "message not empty" true (String.length e.Exec.message > 0)
+  | _ -> Alcotest.fail "expected Chunk_error"
+
+let test_multithread_deterministic () =
+  let t = small_model () in
+  let rng = Spnc_data.Rng.create ~seed:4242 in
+  let rows =
+    Array.init 64 (fun _ ->
+        Array.init 2 (fun _ -> Spnc_data.Rng.range rng (-2.0) 2.0))
+  in
+  let run threads =
+    let options =
+      { Options.default with Options.threads; batch_size = 4 }
+    in
+    Compiler.execute (Compiler.compile ~options t) rows
+  in
+  let one = run 1 and four = run 4 in
+  Array.iteri
+    (fun i a ->
+      if a <> four.(i) then
+        Alcotest.failf "row %d: 1-thread %.17g <> 4-thread %.17g" i a four.(i))
+    one
+
+(* -- Differential fuzzing ------------------------------------------------------- *)
+
+let cpu_oracle level =
+  {
+    Fuzz.oracle_name = "cpu-" ^ Spnc_cpu.Optimizer.level_to_string level;
+    eval =
+      (fun m data ->
+        let options =
+          { Options.default with Options.opt_level = level; threads = 1 }
+        in
+        Compiler.execute (Compiler.compile ~options m) data);
+  }
+
+let all_cpu_oracles =
+  List.map cpu_oracle
+    [ Spnc_cpu.Optimizer.O0; Spnc_cpu.Optimizer.O1; Spnc_cpu.Optimizer.O2;
+      Spnc_cpu.Optimizer.O3 ]
+
+let test_fuzz_clean () =
+  for id = 0 to 9 do
+    let case = Fuzz.gen_case ~seed:11 ~id () in
+    match Fuzz.check_case ~oracles:all_cpu_oracles case with
+    | None -> ()
+    | Some f -> Alcotest.failf "case %d: %a" id Fuzz.pp_failure_kind f.Fuzz.kind
+  done
+
+let test_fuzz_deterministic () =
+  let a = Fuzz.gen_case ~seed:5 ~id:3 () and b = Fuzz.gen_case ~seed:5 ~id:3 () in
+  check tint "same node count"
+    (Model.node_count a.Fuzz.model)
+    (Model.node_count b.Fuzz.model);
+  check tbool "same data" true (a.Fuzz.data = b.Fuzz.data)
+
+(* The harness must detect a real miscompile and shrink it: enable the
+   deliberately unsound peephole and fuzz until it is caught. *)
+let test_fuzz_catches_injected_miscompile () =
+  Spnc_cpu.Optimizer.inject_bad_peephole := true;
+  Fun.protect
+    ~finally:(fun () -> Spnc_cpu.Optimizer.inject_bad_peephole := false)
+    (fun () ->
+      let oracles = [ cpu_oracle Spnc_cpu.Optimizer.O2 ] in
+      let caught = ref None in
+      let id = ref 0 in
+      while !caught = None && !id < 20 do
+        let case = Fuzz.gen_case ~seed:13 ~id:!id () in
+        (match Fuzz.check_case ~oracles case with
+        | Some f -> caught := Some (case, f)
+        | None -> ());
+        incr id
+      done;
+      match !caught with
+      | None -> Alcotest.fail "injected miscompile never detected"
+      | Some (case, _) ->
+          let shrunk, shrunk_data =
+            Fuzz.shrink
+              ~still_fails:(fun m d -> Fuzz.check ~oracles m d <> None)
+              case.Fuzz.model case.Fuzz.data
+          in
+          check tbool "model shrank or stayed" true
+            (Model.node_count shrunk <= Model.node_count case.Fuzz.model);
+          check tbool "rows shrank or stayed" true
+            (Array.length shrunk_data <= Array.length case.Fuzz.data);
+          check tbool "shrunk case still fails" true
+            (Fuzz.check ~oracles shrunk shrunk_data <> None))
+
+let test_fuzz_generates_valid_models () =
+  for id = 0 to 19 do
+    let case = Fuzz.gen_case ~seed:99 ~id () in
+    match Spnc_spn.Validate.check case.Fuzz.model with
+    | [] -> ()
+    | issues ->
+        Alcotest.failf "case %d invalid: %s" id
+          (Spnc_spn.Validate.issues_to_string issues)
+  done
+
+(* -- Reproducer ----------------------------------------------------------------- *)
+
+let test_reproducer_write () =
+  let dir = Filename.temp_file "spnc-test" "" in
+  Sys.remove dir;
+  (match
+     Reproducer.write ~dir
+       ~extra:[ ("note.txt", "hello") ]
+       ~ir:"module @m {\n}\n" ~pipeline:"verify" ~options:"none"
+       ~diag:"error: nothing actually" ()
+   with
+  | Error e -> Alcotest.failf "write failed: %s" e
+  | Ok b ->
+      check tstr "ir round-trips" "module @m {\n}\n" (Reproducer.read_file b "ir.mlir");
+      check tstr "extra file" "hello" (Reproducer.read_file b "note.txt");
+      check tbool "README mentions spnc_opt replay" true
+        (Astring_contains.contains (Reproducer.read_file b "README.txt") "spnc_opt"));
+  ignore (Sys.command (Printf.sprintf "rm -rf %s" (Filename.quote dir)))
+
+let suite =
+  [
+    Alcotest.test_case "diag: fail raises structured error" `Quick test_diag_fail;
+    Alcotest.test_case "diag: of_exn normalizes" `Quick test_diag_of_exn;
+    Alcotest.test_case "pass: verifier blames the breaking pass" `Quick
+      test_checked_verifier_blames_pass;
+    Alcotest.test_case "pass: exception barrier captures throws" `Quick
+      test_checked_captures_exception;
+    Alcotest.test_case "pass: failure writes a reproducer bundle" `Quick
+      test_checked_writes_bundle;
+    Alcotest.test_case "pass: legacy Pipeline_error preserved" `Quick
+      test_legacy_pipeline_error;
+    Alcotest.test_case "compiler: debug_fail_stage isolated" `Quick
+      test_debug_fail_stage_isolated;
+    Alcotest.test_case "guard: Fail policy raises" `Quick test_guard_fail;
+    Alcotest.test_case "guard: Warn passes values through" `Quick
+      test_guard_warn_passes_through;
+    Alcotest.test_case "guard: Clamp replaces bad values" `Quick test_guard_clamp;
+    Alcotest.test_case "guard: scan/clamp unit behaviour" `Quick
+      test_guard_scan_and_clamp_unit;
+    Alcotest.test_case "gpu: fallback to CPU with diagnostic" `Quick
+      test_gpu_fallback;
+    Alcotest.test_case "gpu: fallback disabled propagates" `Quick
+      test_gpu_fallback_disabled;
+    Alcotest.test_case "exec: input validation" `Quick test_exec_validation;
+    Alcotest.test_case "exec: load validation" `Quick test_exec_load_validation;
+    Alcotest.test_case "exec: chunk failure surfaces once" `Quick
+      test_chunk_error;
+    Alcotest.test_case "exec: multi-thread bit-identical" `Quick
+      test_multithread_deterministic;
+    Alcotest.test_case "fuzz: clean run over all -O levels" `Slow test_fuzz_clean;
+    Alcotest.test_case "fuzz: generation is deterministic" `Quick
+      test_fuzz_deterministic;
+    Alcotest.test_case "fuzz: catches and shrinks injected miscompile" `Slow
+      test_fuzz_catches_injected_miscompile;
+    Alcotest.test_case "fuzz: generated models are valid" `Quick
+      test_fuzz_generates_valid_models;
+    Alcotest.test_case "reproducer: bundle layout" `Quick test_reproducer_write;
+  ]
