@@ -1,0 +1,160 @@
+(** bench_cpu — VM-vs-JIT wall-clock comparison on the speaker-ID
+    workload, writing a machine-readable [BENCH_cpu.json] so CI can track
+    the perf trajectory per PR (docs/PERFORMANCE.md).
+
+    Unlike [main.ml] (the full figure-by-figure harness, Bechamel-based),
+    this is a focused smoke benchmark: compile each speaker model once,
+    execute the clean-speech rows on both engines, report best-of-[reps]
+    wall-clock per engine, their ratio, and an exact output comparison.
+    Two configurations are measured: the scalar baseline ([no-vec]) and
+    the paper's DSE-best CPU configuration (AVX2 + veclib + shuffle); the
+    headline [jit_speedup] is the best-CPU one.  The scalar kernels spend
+    most of their time in libm (log/exp of the log-space ops), which both
+    engines pay identically, so dispatch elimination shows up strongest
+    on the vectorized kernels, where the VM pays a per-lane opcode match.
+
+    {v
+    bench_cpu [--rows N] [--reps N] [--threads N] [--out FILE]
+              [--min-speedup X]
+    v}
+
+    Exit is nonzero when the engines' outputs diverge, or when the
+    measured best-CPU JIT speedup falls below [--min-speedup] (default 0:
+    report only — CI hosts are too noisy for a hard perf gate by
+    default). *)
+
+module W = Workloads
+module Compiler = Spnc.Compiler
+module Options = Spnc.Options
+
+let usage =
+  "bench_cpu [--rows N] [--reps N] [--threads N] [--out FILE] [--min-speedup X]"
+
+let rows_arg = ref 0 (* 0 = workload default *)
+let reps = ref 5
+let threads = ref 1
+let out_path = ref "BENCH_cpu.json"
+let min_speedup = ref 0.0
+
+let spec =
+  [
+    ("--rows", Arg.Set_int rows_arg, "N Samples to execute (default: workload scale)");
+    ("--reps", Arg.Set_int reps, "N Timed repetitions; best-of wins (default 5)");
+    ("--threads", Arg.Set_int threads, "N Runtime worker domains (default 1)");
+    ("--out", Arg.Set_string out_path, "FILE Output JSON path (default BENCH_cpu.json)");
+    ( "--min-speedup",
+      Arg.Set_float min_speedup,
+      "X Fail if the best-CPU JIT speedup over VM is below X (default 0 = no gate)" );
+  ]
+
+let time_best f =
+  let best = ref infinity in
+  for _ = 1 to max 1 !reps do
+    let t0 = Unix.gettimeofday () in
+    f ();
+    let dt = Unix.gettimeofday () -. t0 in
+    if dt < !best then best := dt
+  done;
+  !best
+
+type config_result = {
+  cfg_name : string;
+  vm_s : float;
+  jit_s : float;
+  identical : bool;
+}
+
+let bench_config ~models ~data cfg_name base_options : config_result =
+  let options engine =
+    { base_options with Options.threads = !threads; engine }
+  in
+  (* engine is a runtime-only option, so the kernel cache shares one
+     compiled artifact between the VM and JIT runs of each model *)
+  let vm_c =
+    Array.map
+      (fun m -> Compiler.compile ~options:(options Spnc_cpu.Jit.Vm) m)
+      models
+  in
+  let jit_c =
+    Array.map
+      (fun m -> Compiler.compile ~options:(options Spnc_cpu.Jit.Jit) m)
+      models
+  in
+  (* warmup + exact cross-engine output check *)
+  let identical = ref true in
+  Array.iteri
+    (fun i vm ->
+      let a = Compiler.execute vm data and b = Compiler.execute jit_c.(i) data in
+      Array.iteri
+        (fun j x ->
+          if Int64.bits_of_float x <> Int64.bits_of_float b.(j) then begin
+            if !identical then
+              Fmt.epr "MISMATCH [%s]: model %d row %d: vm=%h jit=%h@." cfg_name
+                i j x b.(j);
+            identical := false
+          end)
+        a)
+    vm_c;
+  let vm_s =
+    time_best (fun () ->
+        Array.iter (fun c -> ignore (Compiler.execute c data)) vm_c)
+  in
+  let jit_s =
+    time_best (fun () ->
+        Array.iter (fun c -> ignore (Compiler.execute c data)) jit_c)
+  in
+  Fmt.pr "%-8s vm %.4fs  jit %.4fs  speedup %.2fx  bit-identical %b@." cfg_name
+    vm_s jit_s (vm_s /. jit_s) !identical;
+  { cfg_name; vm_s; jit_s; identical = !identical }
+
+let () =
+  Arg.parse spec (fun a -> raise (Arg.Bad ("unexpected argument " ^ a))) usage;
+  let models = Lazy.force W.speaker_models in
+  let all_rows = Lazy.force W.speech_clean in
+  let rows =
+    if !rows_arg > 0 then min !rows_arg (Array.length all_rows)
+    else Array.length all_rows
+  in
+  let data = Array.sub all_rows 0 rows in
+  Fmt.pr
+    "bench_cpu: %d speaker models, %d rows, %d rep(s), %d thread(s), scale %s@."
+    (Array.length models) rows !reps !threads W.scale_name;
+  let scalar = bench_config ~models ~data "no-vec" (W.cpu_novec ()) in
+  let best = bench_config ~models ~data "avx2" (W.cpu_avx2 ()) in
+  let identical = scalar.identical && best.identical in
+  let speedup = best.vm_s /. best.jit_s in
+  let k = Compiler.cache_counters () in
+  Fmt.pr "headline (best-CPU config) jit speedup: %.2fx@." speedup;
+  Fmt.pr "kernel cache: %d hit(s), %d miss(es), %d full compile(s)@."
+    k.Compiler.hits k.Compiler.misses k.Compiler.full_compiles;
+  let oc = open_out !out_path in
+  let config_json r =
+    Printf.sprintf
+      "{ \"vm_seconds\": %.6f, \"jit_seconds\": %.6f, \"jit_speedup\": %.4f, \
+       \"bit_identical\": %b }"
+      r.vm_s r.jit_s (r.vm_s /. r.jit_s) r.identical
+  in
+  Printf.fprintf oc
+    "{\n\
+    \  \"workload\": \"speaker-id-clean\",\n\
+    \  \"scale\": \"%s\",\n\
+    \  \"models\": %d,\n\
+    \  \"rows\": %d,\n\
+    \  \"reps\": %d,\n\
+    \  \"threads\": %d,\n\
+    \  \"scalar\": %s,\n\
+    \  \"best_cpu\": %s,\n\
+    \  \"jit_speedup\": %.4f,\n\
+    \  \"bit_identical\": %b,\n\
+    \  \"cache\": { \"hits\": %d, \"misses\": %d, \"full_compiles\": %d }\n\
+     }\n"
+    W.scale_name (Array.length models) rows !reps !threads (config_json scalar)
+    (config_json best) speedup identical k.Compiler.hits k.Compiler.misses
+    k.Compiler.full_compiles;
+  close_out oc;
+  Fmt.pr "wrote %s@." !out_path;
+  if not identical then exit 1;
+  if speedup < !min_speedup then begin
+    Fmt.epr "FAIL: jit speedup %.2fx below required %.2fx@." speedup !min_speedup;
+    exit 1
+  end

@@ -518,12 +518,12 @@ let bechamel_suite () =
   let open Bechamel in
   let model = (Lazy.force W.speaker_models).(0) in
   let rows = Array.sub (Lazy.force W.speech_clean) 0 (min 256 W.exec_rows) in
-  let cpu_scalar =
-    Compiler.compile ~options:{ (W.cpu_novec ()) with threads = 1 } model
-  in
-  let cpu_vec =
-    Compiler.compile ~options:{ (W.cpu_avx2 ()) with threads = 1 } model
-  in
+  let vm_opts o = { o with Options.threads = 1; engine = Spnc_cpu.Jit.Vm } in
+  let jit_opts o = { o with Options.threads = 1; engine = Spnc_cpu.Jit.Jit } in
+  let cpu_scalar = Compiler.compile ~options:(vm_opts (W.cpu_novec ())) model in
+  let cpu_vec = Compiler.compile ~options:(vm_opts (W.cpu_avx2 ())) model in
+  let jit_scalar = Compiler.compile ~options:(jit_opts (W.cpu_novec ())) model in
+  let jit_vec = Compiler.compile ~options:(jit_opts (W.cpu_avx2 ())) model in
   let tf_graph =
     match Spnc_baselines.Tf_graph.translate model ~marginal:false with
     | Ok g -> g
@@ -535,6 +535,8 @@ let bechamel_suite () =
       [
         test "spnc-vm-scalar" (fun () -> ignore (Compiler.execute cpu_scalar rows));
         test "spnc-vm-vectorized" (fun () -> ignore (Compiler.execute cpu_vec rows));
+        test "spnc-jit-scalar" (fun () -> ignore (Compiler.execute jit_scalar rows));
+        test "spnc-jit-vectorized" (fun () -> ignore (Compiler.execute jit_vec rows));
         test "spflow-interpreter" (fun () ->
             ignore (Spnc_baselines.Spflow_interp.log_likelihood_batch model rows));
         test "tf-graph-executor" (fun () ->
@@ -542,6 +544,11 @@ let bechamel_suite () =
         test "reference-evaluator" (fun () ->
             ignore (Array.map (Spnc_spn.Infer.log_likelihood model) rows));
         test "compile-cpu-novec" (fun () ->
+            ignore
+              (Compiler.compile
+                 ~options:{ (W.cpu_novec ()) with use_kernel_cache = false }
+                 model));
+        test "compile-cache-hit" (fun () ->
             ignore (Compiler.compile ~options:(W.cpu_novec ()) model));
       ]
   in

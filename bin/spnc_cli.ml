@@ -221,6 +221,22 @@ let options_term =
     Arg.(value & flag & info [ "support-marginal" ] ~doc:"Compile marginal inference support.")
   in
   let threads = Arg.(value & opt int 1 & info [ "threads" ] ~doc:"Runtime worker threads.") in
+  let engine =
+    Arg.(
+      value
+      & opt (enum [ ("vm", Spnc_cpu.Jit.Vm); ("jit", Spnc_cpu.Jit.Jit) ])
+          Spnc_cpu.Jit.Jit
+      & info [ "engine" ]
+          ~doc:
+            "CPU execution engine: jit (closure compiler, default) or vm \
+             (reference interpreter).")
+  in
+  let no_kernel_cache =
+    Arg.(
+      value & flag
+      & info [ "no-kernel-cache" ]
+          ~doc:"Always run the full pass pipeline; skip the kernel cache.")
+  in
   let machine =
     Arg.(
       value
@@ -248,7 +264,8 @@ let options_term =
           ~doc:"Fail instead of falling back to CPU on a GPU backend error.")
   in
   let build target vectorize no_veclib no_shuffle opt_level partition batch block
-      marginal threads machine output_guard no_gpu_fallback =
+      marginal threads engine no_kernel_cache machine output_guard
+      no_gpu_fallback =
     {
       Spnc.Options.default with
       target;
@@ -265,18 +282,25 @@ let options_term =
       block_size = block;
       support_marginal = marginal;
       threads;
+      engine;
+      use_kernel_cache = not no_kernel_cache;
       output_guard;
       gpu_fallback = not no_gpu_fallback;
     }
   in
   Term.(
     const build $ target $ vectorize $ no_veclib $ no_shuffle $ opt_level
-    $ partition $ batch $ block $ marginal $ threads $ machine $ output_guard
-    $ no_gpu_fallback)
+    $ partition $ batch $ block $ marginal $ threads $ engine $ no_kernel_cache
+    $ machine $ output_guard $ no_gpu_fallback)
 
 (* -- compile ---------------------------------------------------------------------- *)
 
-let compile path options dump_ptx =
+let pp_cache_counters () =
+  let k = Spnc.Compiler.cache_counters () in
+  Fmt.pr "kernel cache: %d hit(s), %d miss(es), %d full compile(s)@."
+    k.Spnc.Compiler.hits k.Spnc.Compiler.misses k.Spnc.Compiler.full_compiles
+
+let compile path options dump_ptx verbose =
   guarded @@ fun () ->
   let model = read_model path in
   let c = Spnc.Compiler.compile ~options model in
@@ -304,17 +328,23 @@ let compile path options dump_ptx =
         cubin.Spnc_gpu.Ptx.instructions cubin.Spnc_gpu.Ptx.regs_allocated
         (Bytes.length cubin.Spnc_gpu.Ptx.bytes);
       if dump_ptx then Fmt.pr "--- PTX ---@.%s@." ptx);
+  if verbose then pp_cache_counters ();
   0
 
 let compile_cmd =
   let path = Arg.(required & pos 0 (some string) None & info [] ~docv:"MODEL") in
   let ptx = Arg.(value & flag & info [ "dump-ptx" ] ~doc:"Print the pseudo-PTX.") in
+  let verbose =
+    Arg.(
+      value & flag
+      & info [ "verbose"; "v" ] ~doc:"Also print kernel-cache counters.")
+  in
   Cmd.v (Cmd.info "compile" ~doc:"Compile a model and report the pipeline.")
-    Term.(const compile $ path $ options_term $ ptx)
+    Term.(const compile $ path $ options_term $ ptx $ verbose)
 
 (* -- run ---------------------------------------------------------------------------- *)
 
-let run path options rows seed verify =
+let run path options rows seed verify verbose =
   guarded @@ fun () ->
   let model = read_model path in
   let rng = Spnc_data.Rng.create ~seed in
@@ -346,6 +376,7 @@ let run path options rows seed verify =
     Fmt.pr "verification vs reference evaluator: max |delta| = %.3g %s@." !worst
       (if !worst < 1e-6 then "(OK)" else "(MISMATCH)")
   end;
+  if verbose then pp_cache_counters ();
   0
 
 let run_cmd =
@@ -355,8 +386,13 @@ let run_cmd =
   let verify =
     Arg.(value & flag & info [ "verify" ] ~doc:"Check against the reference evaluator.")
   in
+  let verbose =
+    Arg.(
+      value & flag
+      & info [ "verbose"; "v" ] ~doc:"Also print kernel-cache counters.")
+  in
   Cmd.v (Cmd.info "run" ~doc:"Compile and execute a model on synthetic data.")
-    Term.(const run $ path $ options_term $ rows $ seed $ verify)
+    Term.(const run $ path $ options_term $ rows $ seed $ verify $ verbose)
 
 let main_cmd =
   Cmd.group

@@ -4,8 +4,13 @@
     cross-checks, for every case, the reference evaluator against:
 
     - the bufferized LoSPN interpreter (the target-independent pipeline),
-    - the CPU backend at every [-O] level (VM execution),
-    - the GPU backend in the functional simulator.
+    - the CPU backend at every [-O] level on BOTH execution engines (the
+      reference VM interpreter and the closure-compiled JIT),
+    - the GPU backend in the functional simulator,
+
+    and additionally cross-checks the two CPU engines for {e bit-exact}
+    agreement across [-O0..-O3] and worker-thread counts 1/2/4 (disable
+    with [--no-cross-engine]).
 
     A mismatch or crash is shrunk by structural reduction and written as
     a reproducer bundle (model text, evidence data, diagnostic, replay
@@ -45,10 +50,14 @@ let lospn_interp_eval ~marginal threads (model : Spnc_spn.Model.t)
   if c.Spnc.Compiler.datatype.Spnc_lospn.Lower_hispn.use_log_space then slot0
   else Array.map log slot0
 
-let cpu_eval ~marginal threads level (model : Spnc_spn.Model.t) (data : float array array)
-    : float array =
+let cpu_eval ~marginal ~engine threads level (model : Spnc_spn.Model.t)
+    (data : float array array) : float array =
   let options =
-    { (base_options ~marginal threads) with Spnc.Options.opt_level = level }
+    {
+      (base_options ~marginal threads) with
+      Spnc.Options.opt_level = level;
+      engine;
+    }
   in
   Spnc.Compiler.execute (Spnc.Compiler.compile ~options model) data
 
@@ -66,17 +75,95 @@ let gpu_eval ~marginal (model : Spnc_spn.Model.t) (data : float array array) :
   Spnc.Compiler.execute (Spnc.Compiler.compile ~options model) data
 
 let oracles ~marginal ~threads ~with_gpu : Fuzz.oracle list =
-  let cpu l = cpu_eval ~marginal threads l in
+  let vm l = cpu_eval ~marginal ~engine:Spnc_cpu.Jit.Vm threads l in
+  let jit l = cpu_eval ~marginal ~engine:Spnc_cpu.Jit.Jit threads l in
   [
     { Fuzz.oracle_name = "lospn-interp"; eval = lospn_interp_eval ~marginal threads };
-    { Fuzz.oracle_name = "cpu-O0"; eval = cpu Spnc_cpu.Optimizer.O0 };
-    { Fuzz.oracle_name = "cpu-O1"; eval = cpu Spnc_cpu.Optimizer.O1 };
-    { Fuzz.oracle_name = "cpu-O2"; eval = cpu Spnc_cpu.Optimizer.O2 };
-    { Fuzz.oracle_name = "cpu-O3"; eval = cpu Spnc_cpu.Optimizer.O3 };
+    { Fuzz.oracle_name = "vm-O0"; eval = vm Spnc_cpu.Optimizer.O0 };
+    { Fuzz.oracle_name = "vm-O1"; eval = vm Spnc_cpu.Optimizer.O1 };
+    { Fuzz.oracle_name = "vm-O2"; eval = vm Spnc_cpu.Optimizer.O2 };
+    { Fuzz.oracle_name = "vm-O3"; eval = vm Spnc_cpu.Optimizer.O3 };
+    { Fuzz.oracle_name = "jit-O0"; eval = jit Spnc_cpu.Optimizer.O0 };
+    { Fuzz.oracle_name = "jit-O1"; eval = jit Spnc_cpu.Optimizer.O1 };
+    { Fuzz.oracle_name = "jit-O2"; eval = jit Spnc_cpu.Optimizer.O2 };
+    { Fuzz.oracle_name = "jit-O3"; eval = jit Spnc_cpu.Optimizer.O3 };
   ]
   @
   if with_gpu then [ { Fuzz.oracle_name = "gpu-sim"; eval = gpu_eval ~marginal } ]
   else []
+
+(* -- Cross-engine bit-identity ------------------------------------------------- *)
+
+(* The tolerance-based oracles above catch algorithmic divergence; this
+   check is stricter: at every -O level, the JIT engine and the VM must
+   produce EXACTLY the same bits as single-threaded VM execution,
+   regardless of the worker-domain count.  Returns a diagnostic on the
+   first divergence, [None] when everything agrees.  A case where both
+   sides trap identically counts as agreement (the engines must also
+   agree on {e rejecting} malformed kernels). *)
+let bit_identity_check ~marginal (model : Spnc_spn.Model.t)
+    (data : float array array) : string option =
+  let eval engine threads level =
+    match cpu_eval ~marginal ~engine threads level model data with
+    | v -> Ok v
+    | exception ((Stack_overflow | Out_of_memory) as e) -> raise e
+    | exception e -> Error (Printexc.to_string e)
+  in
+  let exact_eq (a : float array) (b : float array) =
+    Array.length a = Array.length b
+    && (let ok = ref true in
+        Array.iteri
+          (fun i x ->
+            if Int64.bits_of_float x <> Int64.bits_of_float b.(i) then
+              ok := false)
+          a;
+        !ok)
+  in
+  let levels =
+    Spnc_cpu.Optimizer.[ O0; O1; O2; O3 ]
+  and variants =
+    Spnc_cpu.Jit.[ (Vm, 2); (Vm, 4); (Jit, 1); (Jit, 2); (Jit, 4) ]
+  in
+  let describe engine threads level =
+    Printf.sprintf "%s-%s/threads=%d"
+      (Spnc_cpu.Jit.engine_to_string engine)
+      (Spnc_cpu.Optimizer.level_to_string level)
+      threads
+  in
+  List.fold_left
+    (fun acc level ->
+      match acc with
+      | Some _ -> acc
+      | None -> (
+          let base = eval Spnc_cpu.Jit.Vm 1 level in
+          List.fold_left
+            (fun acc (engine, threads) ->
+              match acc with
+              | Some _ -> acc
+              | None -> (
+                  match (base, eval engine threads level) with
+                  | Ok b, Ok v when exact_eq b v -> None
+                  | Ok _, Ok _ ->
+                      Some
+                        (Printf.sprintf
+                           "bit-identity violation: %s differs from %s"
+                           (describe engine threads level)
+                           (describe Spnc_cpu.Jit.Vm 1 level))
+                  | Error _, Error _ -> None
+                  | Ok _, Error e ->
+                      Some
+                        (Printf.sprintf "%s trapped (%s) but %s succeeded"
+                           (describe engine threads level)
+                           e
+                           (describe Spnc_cpu.Jit.Vm 1 level))
+                  | Error e, Ok _ ->
+                      Some
+                        (Printf.sprintf "%s trapped (%s) but %s succeeded"
+                           (describe Spnc_cpu.Jit.Vm 1 level)
+                           e
+                           (describe engine threads level))))
+            None variants))
+    None levels
 
 (* -- Reporting ---------------------------------------------------------------- *)
 
@@ -91,10 +178,8 @@ let data_to_csv (data : float array array) : string =
     data;
   Buffer.contents buf
 
-let write_bundle ~out_dir (f : Fuzz.failure) ~(shrunk : Spnc_spn.Model.t)
-    ~(shrunk_data : float array array) =
-  let case = f.Fuzz.case in
-  let diag_text = Fmt.str "%a" Fuzz.pp_failure_kind f.Fuzz.kind in
+let write_bundle ~out_dir ~(case : Fuzz.case) ~(diag_text : string)
+    ~(shrunk : Spnc_spn.Model.t) ~(shrunk_data : float array array) =
   let options_text =
     Printf.sprintf "seed=%d case=%d tol-policy=differential" case.Fuzz.seed
       case.Fuzz.id
@@ -107,13 +192,14 @@ let write_bundle ~out_dir (f : Fuzz.failure) ~(shrunk : Spnc_spn.Model.t)
         ("data.csv", data_to_csv shrunk_data);
       ]
     ~ir:"// differential fuzz failure: see model.txt / data.csv\n"
-    ~pipeline:"(differential: reference vs lospn-interp vs cpu-O0..O3 vs gpu-sim)"
+    ~pipeline:
+      "(differential: reference vs lospn-interp vs vm/jit-O0..O3 vs gpu-sim)"
     ~options:options_text ~diag:diag_text ()
 
 (* -- Driver ------------------------------------------------------------------- *)
 
 let run seed cases rows target_ops max_depth tol threads no_gpu no_shrink
-    marginal_fraction out_dir inject verbose =
+    no_cross_engine marginal_fraction out_dir inject verbose =
   if inject then Spnc_cpu.Optimizer.inject_bad_peephole := true;
   let config =
     {
@@ -124,41 +210,56 @@ let run seed cases rows target_ops max_depth tol threads no_gpu no_shrink
       marginal_fraction;
     }
   in
-  let oracles = oracles ~marginal:(marginal_fraction > 0.0) ~threads ~with_gpu:(not no_gpu) in
+  let marginal = marginal_fraction > 0.0 in
+  let oracles = oracles ~marginal ~threads ~with_gpu:(not no_gpu) in
   let failures = ref 0 in
   let t0 = Unix.gettimeofday () in
+  let report ~id ~(case : Fuzz.case) ~diag_text ~still_fails =
+    incr failures;
+    Fmt.epr "FAIL case %d (seed %d): %s@." id seed diag_text;
+    let shrunk, shrunk_data =
+      if no_shrink then (case.Fuzz.model, case.Fuzz.data)
+      else Fuzz.shrink ~still_fails case.Fuzz.model case.Fuzz.data
+    in
+    if not no_shrink then
+      Fmt.epr "shrunk: %d -> %d nodes, %d -> %d rows@."
+        (Spnc_spn.Model.node_count case.Fuzz.model)
+        (Spnc_spn.Model.node_count shrunk)
+        (Array.length case.Fuzz.data)
+        (Array.length shrunk_data);
+    match write_bundle ~out_dir ~case ~diag_text ~shrunk ~shrunk_data with
+    | Ok b -> Fmt.epr "reproducer written to %s@." b.Spnc_resilience.Reproducer.dir
+    | Error e -> Fmt.epr "(reproducer dump failed: %s)@." e
+  in
   for id = 0 to cases - 1 do
     let case = Fuzz.gen_case ~config ~seed ~id () in
     if verbose then
       Fmt.epr "case %d: %d nodes, %d rows@." id
         (Spnc_spn.Model.node_count case.Fuzz.model)
         (Array.length case.Fuzz.data);
-    match Fuzz.check_case ~tol ~oracles case with
+    (match Fuzz.check_case ~tol ~oracles case with
     | None -> ()
     | Some failure ->
-        incr failures;
-        Fmt.epr "FAIL case %d (seed %d): %a@." id seed Fuzz.pp_failure_kind
-          failure.Fuzz.kind;
-        let shrunk, shrunk_data =
-          if no_shrink then (case.Fuzz.model, case.Fuzz.data)
-          else
-            Fuzz.shrink
-              ~still_fails:(fun m d -> Fuzz.check ~tol ~oracles m d <> None)
-              case.Fuzz.model case.Fuzz.data
-        in
-        if not no_shrink then
-          Fmt.epr "shrunk: %d -> %d nodes, %d -> %d rows@."
-            (Spnc_spn.Model.node_count case.Fuzz.model)
-            (Spnc_spn.Model.node_count shrunk)
-            (Array.length case.Fuzz.data)
-            (Array.length shrunk_data);
-        (match write_bundle ~out_dir failure ~shrunk ~shrunk_data with
-        | Ok b -> Fmt.epr "reproducer written to %s@." b.Spnc_resilience.Reproducer.dir
-        | Error e -> Fmt.epr "(reproducer dump failed: %s)@." e)
+        report ~id ~case
+          ~diag_text:(Fmt.str "%a" Fuzz.pp_failure_kind failure.Fuzz.kind)
+          ~still_fails:(fun m d -> Fuzz.check ~tol ~oracles m d <> None));
+    (* strict engine cross-check: VM and JIT must agree bit-for-bit at
+       every -O level and thread count (threads 1/2/4) *)
+    if not no_cross_engine then
+      match bit_identity_check ~marginal case.Fuzz.model case.Fuzz.data with
+      | None -> ()
+      | Some diag_text ->
+          report ~id ~case ~diag_text ~still_fails:(fun m d ->
+              bit_identity_check ~marginal m d <> None)
   done;
   let dt = Unix.gettimeofday () -. t0 in
-  Fmt.pr "spnc_fuzz: %d cases, %d failure(s), %d oracle(s), %.1fs@." cases
-    !failures (List.length oracles) dt;
+  let k = Spnc.Compiler.cache_counters () in
+  Fmt.pr
+    "spnc_fuzz: %d cases, %d failure(s), %d oracle(s)%s, %.1fs (kernel \
+     cache: %d hit(s), %d miss(es), %d full compile(s))@."
+    cases !failures (List.length oracles)
+    (if no_cross_engine then "" else " + engine bit-identity")
+    dt k.Spnc.Compiler.hits k.Spnc.Compiler.misses k.Spnc.Compiler.full_compiles;
   if !failures > 0 then 1 else 0
 
 let cmd =
@@ -191,6 +292,14 @@ let cmd =
   let no_shrink =
     Arg.(value & flag & info [ "no-shrink" ] ~doc:"Report failures unshrunk.")
   in
+  let no_cross_engine =
+    Arg.(
+      value & flag
+      & info [ "no-cross-engine" ]
+          ~doc:
+            "Skip the VM-vs-JIT bit-identity cross-check over -O levels and \
+             thread counts.")
+  in
   let marginal =
     Arg.(
       value & opt float 0.0
@@ -221,6 +330,7 @@ let cmd =
           LoSPN interpreter vs CPU -O0..-O3 vs GPU simulator.")
     Term.(
       const run $ seed $ cases $ rows $ target_ops $ max_depth $ tol $ threads
-      $ no_gpu $ no_shrink $ marginal $ out_dir $ inject $ verbose)
+      $ no_gpu $ no_shrink $ no_cross_engine $ marginal $ out_dir $ inject
+      $ verbose)
 
 let () = exit (Cmd.eval' cmd)

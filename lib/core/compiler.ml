@@ -23,6 +23,10 @@ type cpu_artifact = {
   lir : Spnc_cpu.Lir.modul;
   regalloc : Spnc_cpu.Regalloc.stats array;
   cir : Ir.modul;
+  jit : Spnc_cpu.Jit.kernel Lazy.t;
+      (** closure-compiled form of [lir]; forced on first JIT execution
+          (on the calling domain, before workers spawn) and shared by
+          every later run of this artifact *)
 }
 
 type gpu_artifact = {
@@ -78,9 +82,8 @@ let out_cols_of_lospn (m : Ir.modul) =
       | [] -> 1)
   | None -> 1
 
-(** [compile ?options model] — the full pipeline.
-    @raise Spnc_spn.Validate.Invalid if the model is structurally invalid. *)
-let compile ?(options = Options.default) (model : Spnc_spn.Model.t) : compiled =
+(* The full pipeline, unconditionally (the cache wrapper is below). *)
+let compile_full ~(options : Options.t) (model : Spnc_spn.Model.t) : compiled =
   Spnc_spn.Validate.validate_exn model;
   let timings = ref [] in
   let timed stage f =
@@ -174,7 +177,7 @@ let compile ?(options = Options.default) (model : Spnc_spn.Model.t) : compiled =
       timed "register-allocation" (fun () ->
           Spnc_cpu.Regalloc.allocate_module lir)
     in
-    Cpu_kernel { lir; regalloc; cir }
+    Cpu_kernel { lir; regalloc; cir; jit = lazy (Spnc_cpu.Jit.compile lir) }
   in
   let build_gpu () =
     let g =
@@ -244,6 +247,85 @@ let compile ?(options = Options.default) (model : Spnc_spn.Model.t) : compiled =
     diags;
   }
 
+(* -- Kernel compilation cache -------------------------------------------------- *)
+
+(* Content-addressed cache over (model, compile-relevant options): bench
+   sweeps and the fuzzer compile the same speaker/RAT-SPN models over and
+   over; a hit returns the previously compiled artifact and skips the
+   whole pass pipeline (docs/PERFORMANCE.md).  Keyed by an MD5 digest of
+   the deterministic model serialization plus the options fingerprint
+   (runtime-only knobs excluded), so any change to either — including the
+   fuzzer's [inject_bad_peephole] fault switch, which silently alters
+   what the -O1+ pipeline produces — yields a different key. *)
+
+type cache_counters = { hits : int; misses : int; full_compiles : int }
+
+let cache : (string, compiled) Hashtbl.t = Hashtbl.create 64
+let cache_lock = Mutex.create ()
+let cache_capacity = 128
+let n_hits = ref 0
+let n_misses = ref 0
+let n_full = ref 0
+
+let with_lock f =
+  Mutex.lock cache_lock;
+  Fun.protect ~finally:(fun () -> Mutex.unlock cache_lock) f
+
+let cache_counters () =
+  with_lock (fun () ->
+      { hits = !n_hits; misses = !n_misses; full_compiles = !n_full })
+
+let reset_kernel_cache () =
+  with_lock (fun () ->
+      Hashtbl.reset cache;
+      n_hits := 0;
+      n_misses := 0;
+      n_full := 0)
+
+let cache_key ~(options : Options.t) (model : Spnc_spn.Model.t) : string =
+  Digest.to_hex
+    (Digest.string
+       (String.concat "\x00"
+          [
+            Options.fingerprint options;
+            Spnc_spn.Serialize.to_string model;
+            (if !Spnc_cpu.Optimizer.inject_bad_peephole then "fault" else "");
+          ]))
+
+(** [compile ?options model] — the full pipeline, or a cache hit for an
+    identical (model, options) pair.  A hit reuses the compiled artifact
+    and original timings but carries the caller's [options], so
+    runtime-only knobs (threads, engine, output guard) still apply.
+    @raise Spnc_spn.Validate.Invalid if the model is structurally invalid. *)
+let compile ?(options = Options.default) (model : Spnc_spn.Model.t) : compiled =
+  if not options.Options.use_kernel_cache then begin
+    with_lock (fun () -> incr n_full);
+    compile_full ~options model
+  end
+  else begin
+    (* validate before serializing for the key: the digest must only ever
+       address well-formed models *)
+    Spnc_spn.Validate.validate_exn model;
+    let key = cache_key ~options model in
+    match
+      with_lock (fun () ->
+          match Hashtbl.find_opt cache key with
+          | Some c ->
+              incr n_hits;
+              Some c
+          | None -> None)
+    with
+    | Some c -> { c with options }
+    | None ->
+        let c = compile_full ~options model in
+        with_lock (fun () ->
+            incr n_misses;
+            incr n_full;
+            if Hashtbl.length cache >= cache_capacity then Hashtbl.reset cache;
+            Hashtbl.replace cache key c);
+        c
+  end
+
 (* -- Execution ---------------------------------------------------------------- *)
 
 (** [execute c rows] — run the compiled kernel on row-major samples and
@@ -264,10 +346,19 @@ let rec execute (c : compiled) (rows : float array array) : float array =
 
 and execute_raw (c : compiled) (rows : float array array) : float array =
   match c.artifact with
-  | Cpu_kernel { lir; _ } ->
+  | Cpu_kernel { lir; jit; _ } ->
+      let engine = c.options.Options.engine in
+      (* force the closure compilation here, on the calling domain, so the
+         worker domains only ever see the completed kernel *)
+      let jk =
+        match engine with
+        | Spnc_cpu.Jit.Jit -> Some (Lazy.force jit)
+        | Spnc_cpu.Jit.Vm -> None
+      in
       let exec =
         Spnc_runtime.Exec.load ~batch_size:c.options.Options.batch_size
-          ~threads:c.options.Options.threads ~out_cols:c.out_cols lir
+          ~threads:c.options.Options.threads ~engine ?jit:jk
+          ~out_cols:c.out_cols lir
       in
       Spnc_runtime.Exec.execute_rows exec rows
   | Gpu_kernel { gpu_module; _ } ->

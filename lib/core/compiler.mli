@@ -13,9 +13,12 @@ open Spnc_mlir
 type timing = { stage : string; seconds : float }
 
 type cpu_artifact = {
-  lir : Spnc_cpu.Lir.modul;  (** the executable kernel (VM code) *)
+  lir : Spnc_cpu.Lir.modul;  (** the executable kernel (Lir) *)
   regalloc : Spnc_cpu.Regalloc.stats array;  (** per-function allocation *)
   cir : Ir.modul;  (** mid-level IR, for inspection *)
+  jit : Spnc_cpu.Jit.kernel Lazy.t;
+      (** closure-compiled form of [lir]; forced on first JIT execution
+          and shared by every later run of this artifact *)
 }
 
 type gpu_artifact = {
@@ -49,9 +52,25 @@ val stage_seconds : compiled -> string -> float
 
 val pp_timings : Format.formatter -> compiled -> unit
 
-(** [compile ?options model] runs the full pipeline.
+(** [compile ?options model] runs the full pipeline — or, when
+    [options.use_kernel_cache] is on (the default), returns a cached
+    artifact for an identical (model, compile-relevant options) pair.
+    A hit reuses the compiled artifact and original timings but carries
+    the caller's [options], so runtime-only knobs (threads, engine,
+    output guard) still apply.
     @raise Spnc_spn.Validate.Invalid if the model is structurally invalid. *)
 val compile : ?options:Options.t -> Spnc_spn.Model.t -> compiled
+
+(** Kernel-cache observability: [hits]/[misses] count lookups with the
+    cache enabled; [full_compiles] counts actual pass-pipeline runs
+    (misses plus cache-disabled compiles). *)
+type cache_counters = { hits : int; misses : int; full_compiles : int }
+
+val cache_counters : unit -> cache_counters
+
+(** [reset_kernel_cache ()] empties the cache and zeroes the counters
+    (tests, or long-lived processes that mutate global compiler state). *)
+val reset_kernel_cache : unit -> unit
 
 (** [execute c rows] runs the compiled kernel on row-major samples and
     returns one {e log}-likelihood per sample (linear-space kernels have

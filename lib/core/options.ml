@@ -28,6 +28,12 @@ type t = {
   base_type : Spnc_mlir.Types.t;  (** computation base type: F32 or F64 *)
   support_marginal : bool;
   threads : int;  (** runtime worker domains *)
+  engine : Spnc_cpu.Jit.engine;
+      (** CPU execution engine: closure compiler (default) or reference
+          interpreter VM (docs/PERFORMANCE.md) *)
+  use_kernel_cache : bool;
+      (** reuse compiled artifacts for identical (model, options) pairs
+          via the content-addressed kernel cache in {!Compiler} *)
   (* resilience knobs (docs/RESILIENCE.md) *)
   output_guard : Spnc_resilience.Guard.policy;
       (** NaN/±inf/log-underflow policy on kernel outputs *)
@@ -56,6 +62,8 @@ let default =
     base_type = Spnc_mlir.Types.F32;
     support_marginal = false;
     threads = 1;
+    engine = Spnc_cpu.Jit.Jit;
+    use_kernel_cache = true;
     output_guard = Spnc_resilience.Guard.Warn;
     gpu_fallback = true;
     debug_fail_stage = None;
@@ -85,12 +93,32 @@ let cpu_lower_options (t : t) : Spnc_cpu.Lower_cpu.options =
          | _ -> false);
   }
 
+(* The compile-relevant subset of the options, serialized deterministically.
+   Runtime-only knobs — threads, engine, output_guard, use_kernel_cache —
+   are deliberately EXCLUDED: they do not change the compiled artifact, so
+   two compiles differing only in them must share a cache entry. *)
+let fingerprint (t : t) : string =
+  Marshal.to_string
+    ( target_to_string t.target,
+      t.machine,
+      t.gpu,
+      (t.vectorize, t.use_veclib, t.use_shuffle, t.use_gather_tables),
+      Spnc_cpu.Optimizer.level_to_string t.opt_level,
+      t.max_partition_size,
+      (t.batch_size, t.block_size),
+      (t.space, t.base_type, t.support_marginal, t.gpu_fallback,
+       t.debug_fail_stage) )
+    []
+
 let pp ppf (t : t) =
   Fmt.pf ppf
-    "%s %s vec=%b veclib=%b shuffle=%b %s part=%s batch=%d block=%d guard=%s"
+    "%s %s vec=%b veclib=%b shuffle=%b %s part=%s batch=%d block=%d \
+     engine=%s cache=%b guard=%s"
     (target_to_string t.target) t.machine.M.cpu_name t.vectorize t.use_veclib
     t.use_shuffle
     (Spnc_cpu.Optimizer.level_to_string t.opt_level)
     (match t.max_partition_size with None -> "off" | Some s -> string_of_int s)
     t.batch_size t.block_size
+    (Spnc_cpu.Jit.engine_to_string t.engine)
+    t.use_kernel_cache
     (Spnc_resilience.Guard.policy_to_string t.output_guard)

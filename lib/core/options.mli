@@ -28,6 +28,12 @@ type t = {
   base_type : Spnc_mlir.Types.t;  (** computation base type: F32 or F64 *)
   support_marginal : bool;
   threads : int;  (** runtime worker domains *)
+  engine : Spnc_cpu.Jit.engine;
+      (** CPU execution engine: closure compiler (default) or reference
+          interpreter VM (docs/PERFORMANCE.md) *)
+  use_kernel_cache : bool;
+      (** reuse compiled artifacts for identical (model, options) pairs
+          via the content-addressed kernel cache in {!Compiler} *)
   (* resilience knobs (docs/RESILIENCE.md) *)
   output_guard : Spnc_resilience.Guard.policy;
       (** NaN/±inf/log-underflow policy on kernel outputs *)
@@ -51,5 +57,11 @@ val best_gpu : ?gpu:M.gpu -> unit -> t
 (** Derives the CPU-lowering options (vector width from the machine's
     ISA, veclib availability, gather-table eligibility). *)
 val cpu_lower_options : t -> Spnc_cpu.Lower_cpu.options
+
+(** [fingerprint t] — deterministic serialization of the compile-relevant
+    options, used to key the kernel compilation cache.  Runtime-only
+    knobs (threads, engine, output_guard, use_kernel_cache) are excluded:
+    they do not change the compiled artifact. *)
+val fingerprint : t -> string
 
 val pp : Format.formatter -> t -> unit

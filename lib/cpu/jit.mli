@@ -1,0 +1,44 @@
+(** The closure-compiled execution engine: threaded code over Lir.
+
+    Where {!Vm} dispatches a [match] per executed instruction, this
+    engine compiles a [Lir.modul] {e once} into a tree of closures — one
+    closure per instruction, specialized on opcode and vector width, with
+    register indices resolved at compile time — so execution is plain
+    closure calls with zero tag matching (docs/PERFORMANCE.md).
+
+    A compiled {!kernel} is immutable and shareable across domains; all
+    mutable register state lives in a per-domain {!state}, allocated once
+    per worker and reused across batch chunks.  The engine is
+    differentially checked against {!Vm} for bit-identical output by the
+    test suite and [bin/spnc_fuzz]. *)
+
+(** Which CPU execution engine the runtime should use: the reference
+    interpreter {!module:Vm} or this closure compiler. *)
+type engine = Vm | Jit
+
+val engine_to_string : engine -> string
+val engine_of_string : string -> engine option
+
+type kernel
+(** A [Lir.modul] compiled into closures.  Immutable; safe to share
+    across domains. *)
+
+type state
+(** Per-domain register frames (one per function), reused across runs.
+    Never share a [state] between concurrently executing domains. *)
+
+(** [compile m] compiles the module once.  Raises {!Vm.Trap} only at run
+    time, never during compilation. *)
+val compile : Lir.modul -> kernel
+
+val make_state : kernel -> state
+
+(** [run k st ~buffers] executes the compiled entry function, binding
+    [buffers] to its parameters in order.  Outputs are visible through
+    the shared buffers, exactly as with {!Vm.run}.
+    @raise Vm.Trap on runtime errors (bounds, arity, malformed FMA). *)
+val run : kernel -> state -> buffers:Vm.buffer list -> unit
+
+(** [run_once m ~buffers] — compile + run in one shot (tests, one-off
+    executions).  Production callers should {!compile} once and reuse. *)
+val run_once : Lir.modul -> buffers:Vm.buffer list -> unit

@@ -102,7 +102,7 @@ let fbin_eval op a b =
   | FDiv -> a /. b
   | FMax -> Float.max a b
   | FMin -> Float.min a b
-  | FMA -> a *. b
+  | FMA -> assert false (* guarded at the call site: binary FMA never folds *)
 
 let ibin_eval op a b =
   match op with
@@ -122,6 +122,11 @@ let rec constfold_body (fenv : (reg, float) Hashtbl.t)
           i
       | ConstI (d, v) ->
           Hashtbl.replace ienv d v;
+          i
+      | FBin (FMA, d, _, _) ->
+          (* binary FMA is malformed (the addend was dropped); never fold
+             it — let it reach the engines, which trap on it *)
+          Hashtbl.remove fenv d;
           i
       | FBin (op, d, a, b) -> (
           match (Hashtbl.find_opt fenv a, Hashtbl.find_opt fenv b) with

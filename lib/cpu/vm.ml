@@ -5,7 +5,14 @@
     tight match over a flat instruction array with class-separated
     register files (float / int / vector / buffer), so measured wall-clock
     scales with the instruction count the backend actually emitted:
-    optimization levels and vectorization genuinely change VM time. *)
+    optimization levels and vectorization genuinely change VM time.
+
+    The interpreter is the reference engine; {!Jit} compiles the same Lir
+    into closures for dispatch-free execution.  Both operate on the same
+    {!buffer} values, which since the zero-copy runtime rework are
+    {e views}: a base offset + logical length into a (possibly shared)
+    flat array, so the runtime can hand a kernel a window of the batch
+    input and the batch output without copying. *)
 
 open Lir
 
@@ -13,14 +20,28 @@ exception Trap of string
 
 let trap fmt = Fmt.kstr (fun s -> raise (Trap s)) fmt
 
-type buffer = { data : float array; rows : int; cols : int }
+type buffer = {
+  data : float array;  (** backing store, possibly shared with other views *)
+  off : int;  (** base offset of this view into [data] *)
+  len : int;  (** logical length ([rows * cols]); bounds-check limit *)
+  rows : int;
+  cols : int;
+}
 
-let buffer ~rows ~cols = { data = Array.make (rows * cols) 0.0; rows; cols }
+let buffer ~rows ~cols =
+  { data = Array.make (rows * cols) 0.0; off = 0; len = rows * cols; rows; cols }
 
 let of_flat data ~rows ~cols =
   if Array.length data <> rows * cols then
     trap "buffer size %d does not match %dx%d" (Array.length data) rows cols;
-  { data; rows; cols }
+  { data; off = 0; len = rows * cols; rows; cols }
+
+let view data ~off ~rows ~cols =
+  let len = rows * cols in
+  if off < 0 || len < 0 || off + len > Array.length data then
+    trap "view [%d, %d+%d) out of bounds of backing array (%d)" off off len
+      (Array.length data);
+  { data; off; len; rows; cols }
 
 type frame = {
   fregs : float array;
@@ -29,7 +50,7 @@ type frame = {
   bregs : buffer array;
 }
 
-let dummy_buf = { data = [||]; rows = 0; cols = 0 }
+let dummy_buf = { data = [||]; off = 0; len = 0; rows = 0; cols = 0 }
 
 let frame_of (f : func) ~width =
   {
@@ -47,7 +68,11 @@ let fbin_eval (op : fbin) a b =
   | FDiv -> a /. b
   | FMax -> Float.max a b
   | FMin -> Float.min a b
-  | FMA -> a *. b
+  | FMA ->
+      (* FMA is ternary (FBin3); a binary encoding has lost its addend
+         somewhere in the pipeline.  Trap so the miscompile surfaces
+         instead of silently evaluating a*b. *)
+      trap "binary FMA (addend dropped by a malformed instruction)"
 
 let pred_eval (p : pred) a b =
   match p with
@@ -88,15 +113,15 @@ let rec exec (m : modul) (fr : frame) (body : instr array) : unit =
     | Load (d, bb, idx) ->
         let buf = b.(bb) in
         let ix = i.(idx) in
-        if ix < 0 || ix >= Array.length buf.data then
-          trap "load out of bounds: %d/%d" ix (Array.length buf.data);
-        f.(d) <- Array.unsafe_get buf.data ix
+        if ix < 0 || ix >= buf.len then
+          trap "load out of bounds: %d/%d" ix buf.len;
+        f.(d) <- Array.unsafe_get buf.data (buf.off + ix)
     | Store (bb, idx, s) ->
         let buf = b.(bb) in
         let ix = i.(idx) in
-        if ix < 0 || ix >= Array.length buf.data then
-          trap "store out of bounds: %d/%d" ix (Array.length buf.data);
-        Array.unsafe_set buf.data ix f.(s)
+        if ix < 0 || ix >= buf.len then
+          trap "store out of bounds: %d/%d" ix buf.len;
+        Array.unsafe_set buf.data (buf.off + ix) f.(s)
     | VConst (d, x) -> Array.fill v.(d) 0 (Array.length v.(d)) x
     | VBin (op, d, a, bb) ->
         let va = v.(a) and vb = v.(bb) and vd = v.(d) in
@@ -128,25 +153,23 @@ let rec exec (m : modul) (fr : frame) (body : instr array) : unit =
         let base = i.(idx) in
         let vd = v.(d) in
         let w = Array.length vd in
-        if base < 0 || base + w > Array.length buf.data then
-          trap "vload out of bounds";
-        Array.blit buf.data base vd 0 w
+        if base < 0 || base + w > buf.len then trap "vload out of bounds";
+        Array.blit buf.data (buf.off + base) vd 0 w
     | VStore (bb, idx, s) ->
         let buf = b.(bb) in
         let base = i.(idx) in
         let vs = v.(s) in
         let w = Array.length vs in
-        if base < 0 || base + w > Array.length buf.data then
-          trap "vstore out of bounds";
-        Array.blit vs 0 buf.data base w
+        if base < 0 || base + w > buf.len then trap "vstore out of bounds";
+        Array.blit vs 0 buf.data (buf.off + base) w
     | VGather (d, bb, idx, stride) | VShufLoad (d, bb, idx, stride, _, _) ->
         let buf = b.(bb) in
         let base = i.(idx) in
         let vd = v.(d) in
         for l = 0 to Array.length vd - 1 do
           let ix = base + (l * stride) in
-          if ix < 0 || ix >= Array.length buf.data then trap "gather out of bounds";
-          vd.(l) <- Array.unsafe_get buf.data ix
+          if ix < 0 || ix >= buf.len then trap "gather out of bounds";
+          vd.(l) <- Array.unsafe_get buf.data (buf.off + ix)
         done
     | VFloor (d, a) ->
         let va = v.(a) and vd = v.(d) in
@@ -159,9 +182,9 @@ let rec exec (m : modul) (fr : frame) (body : instr array) : unit =
         let vd = v.(d) in
         for l = 0 to Array.length vd - 1 do
           let k = int_of_float vi.(l) in
-          if k < 0 || k >= Array.length buf.data then
+          if k < 0 || k >= buf.len then
             trap "gather_indexed out of bounds: %d" k;
-          vd.(l) <- Array.unsafe_get buf.data k
+          vd.(l) <- Array.unsafe_get buf.data (buf.off + k)
         done
     | VExtract (d, a, lane) -> f.(d) <- v.(a).(lane)
     | VInsert (d, s, a, lane) ->
@@ -173,13 +196,24 @@ let rec exec (m : modul) (fr : frame) (body : instr array) : unit =
     | AllocBuf (d, rows, cols) -> b.(d) <- buffer ~rows:i.(rows) ~cols
     | DeallocBuf _ -> ()
     | CopyBuf (src, dst) ->
-        Array.blit b.(src).data 0 b.(dst).data 0 (Array.length b.(src).data)
+        let s = b.(src) and d = b.(dst) in
+        Array.blit s.data s.off d.data d.off s.len
     | TableConst (d, values) ->
-        b.(d) <- { data = values; rows = Array.length values; cols = 1 }
+        b.(d) <-
+          {
+            data = values;
+            off = 0;
+            len = Array.length values;
+            rows = Array.length values;
+            cols = 1;
+          }
     | CallFn (idx, args) ->
         let callee = m.funcs.(idx) in
         let cfr = frame_of callee ~width:(max 1 callee.vec_width) in
-        List.iteri (fun pi a -> cfr.bregs.(List.nth callee.params pi) <- b.(a)) args;
+        (* bind arguments to parameter registers via arrays: the former
+           List.nth-per-parameter binding was O(n²) in the task count *)
+        let params = Array.of_list callee.params in
+        List.iteri (fun pi a -> cfr.bregs.(params.(pi)) <- b.(a)) args;
         exec m cfr callee.body
     | Loop l ->
         let lb = i.(l.lb) and ub = i.(l.ub) in
@@ -201,5 +235,6 @@ let run (m : modul) ~(buffers : buffer list) : unit =
   if List.length buffers <> List.length entry.params then
     trap "entry %s expects %d buffers, got %d" entry.fname
       (List.length entry.params) (List.length buffers);
-  List.iteri (fun pi buf -> fr.bregs.(List.nth entry.params pi) <- buf) buffers;
+  let params = Array.of_list entry.params in
+  List.iteri (fun pi buf -> fr.bregs.(params.(pi)) <- buf) buffers;
   exec m fr entry.body

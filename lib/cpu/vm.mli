@@ -2,18 +2,39 @@
     the closest OCaml equivalent of the JIT-ed native code the real SPNC
     loads (§IV-B).  Execution is a tight dispatch over flat instruction
     arrays with class-separated register files, so measured wall-clock
-    scales with the instruction count the backend actually emitted. *)
+    scales with the instruction count the backend actually emitted.
+
+    {!Jit} is the dispatch-free engine over the same Lir; this module
+    remains the semantic reference the JIT is differentially checked
+    against. *)
 
 exception Trap of string  (** out-of-bounds access, arity mismatch, ... *)
 
-type buffer = { data : float array; rows : int; cols : int }
+(** A buffer {e view}: a window of [len = rows * cols] floats starting at
+    [off] inside a (possibly shared) backing array.  All kernel indices
+    are relative to [off] and bounds-checked against [len], so views over
+    the runtime's shared input/output arrays are safe and zero-copy
+    (docs/PERFORMANCE.md). *)
+type buffer = {
+  data : float array;  (** backing store, possibly shared with other views *)
+  off : int;  (** base offset of this view into [data] *)
+  len : int;  (** logical length ([rows * cols]); bounds-check limit *)
+  rows : int;
+  cols : int;
+}
 
-(** [buffer ~rows ~cols] — a zeroed buffer. *)
+(** [buffer ~rows ~cols] — a fresh zeroed buffer (a whole-array view). *)
 val buffer : rows:int -> cols:int -> buffer
 
 (** [of_flat data ~rows ~cols] wraps an existing row-major array.
     @raise Trap if the size does not match. *)
 val of_flat : float array -> rows:int -> cols:int -> buffer
+
+(** [view data ~off ~rows ~cols] — a zero-copy window of [rows * cols]
+    entries of [data] starting at [off].  Kernel loads and stores through
+    the view read and write [data] directly.
+    @raise Trap if the window exceeds the backing array. *)
+val view : float array -> off:int -> rows:int -> cols:int -> buffer
 
 (** [run m ~buffers] executes the module's entry function with the given
     buffer arguments (bound to its parameters in order).  Outputs are

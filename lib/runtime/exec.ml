@@ -10,6 +10,14 @@
     the batch size is a mere optimization hint, the generated kernel can
     still process an arbitrary number of inputs."
 
+    Zero-copy parallelism (docs/PERFORMANCE.md): chunks are handed to the
+    kernel as buffer {e views} — base offset + length into the shared
+    flat input — instead of [Array.sub] copies, and single-slot results
+    are written by the kernel directly into the shared output array.
+    Each worker domain owns a {!ctx} (JIT register frames + a scratch
+    output pool for multi-slot kernels) allocated once and reused across
+    all the chunks it processes.
+
     Fault tolerance (docs/RESILIENCE.md): a kernel trap inside one chunk
     must not hang the batch or lose domains.  Workers run every chunk
     under an exception barrier; the first captured failure wins, the
@@ -17,17 +25,30 @@
     one {!Chunk_error} — carrying the chunk bounds, the exception text
     and its backtrace — surfaces to the caller. *)
 
+module Jit = Spnc_cpu.Jit
+module Vm = Spnc_cpu.Vm
+
 type t = {
   kernel : Spnc_cpu.Lir.modul;
+  jit : Jit.kernel option;  (** compiled closures iff [engine = Jit] *)
+  engine : Jit.engine;
   out_cols : int;  (** slots per sample in the kernel output buffer *)
   batch_size : int;  (** chunk size hint *)
   threads : int;
 }
 
-let load ?(batch_size = 4096) ?(threads = 1) ~out_cols kernel =
+let load ?(batch_size = 4096) ?(threads = 1) ?(engine = Jit.Jit) ?jit ~out_cols
+    kernel =
   if batch_size <= 0 then invalid_arg "Exec.load: batch_size must be positive";
   if threads <= 0 then invalid_arg "Exec.load: threads must be positive";
-  { kernel; out_cols; batch_size; threads }
+  (* compile eagerly (and on the caller's domain): Jit.kernel is immutable
+     and shared by all workers, only the per-worker state is mutable *)
+  let jit =
+    match engine with
+    | Jit.Vm -> None
+    | Jit.Jit -> Some (match jit with Some k -> k | None -> Jit.compile kernel)
+  in
+  { kernel; jit; engine; out_cols; batch_size; threads }
 
 type chunk_error = {
   chunk_lo : int;  (** first sample index of the failing chunk *)
@@ -46,15 +67,48 @@ let () =
              e.chunk_hi e.message)
     | _ -> None)
 
-(* Execute one chunk [lo, hi) of the flat input. *)
-let run_chunk t ~(flat : float array) ~num_features ~lo ~hi : float array =
+(* Per-worker execution context, allocated once per domain and reused
+   across every chunk the domain processes. *)
+type ctx = {
+  state : Jit.state option;  (** JIT register frames (engine = Jit) *)
+  mutable scratch : float array;
+      (** pooled output backing for multi-slot kernels; grown on demand *)
+}
+
+let make_ctx (t : t) : ctx =
+  { state = Option.map Jit.make_state t.jit; scratch = [||] }
+
+let run_engine (t : t) (ctx : ctx) ~buffers : unit =
+  match (t.engine, t.jit, ctx.state) with
+  | Jit.Vm, _, _ | _, None, _ | _, _, None -> Vm.run t.kernel ~buffers
+  | Jit.Jit, Some k, Some st -> Jit.run k st ~buffers
+
+(* Execute one chunk [lo, hi) of the flat input, writing the per-sample
+   results into [out.(lo..hi-1)]. *)
+let run_chunk (t : t) (ctx : ctx) ~(flat : float array) ~(out : float array)
+    ~num_features ~lo ~hi : unit =
   let rows = hi - lo in
-  let chunk = Array.sub flat (lo * num_features) (rows * num_features) in
-  let input = Spnc_cpu.Vm.of_flat chunk ~rows ~cols:num_features in
-  let out = Spnc_cpu.Vm.buffer ~rows ~cols:t.out_cols in
-  Spnc_cpu.Vm.run t.kernel ~buffers:[ input; out ];
-  (* result slot 0 is transposed: the first [rows] entries *)
-  Array.sub out.Spnc_cpu.Vm.data 0 rows
+  (* zero-copy: a window into the shared flat input, no Array.sub *)
+  let input = Vm.view flat ~off:(lo * num_features) ~rows ~cols:num_features in
+  if t.out_cols = 1 then begin
+    (* result slot 0 is transposed (the first [rows] entries), and with a
+       single slot the output buffer IS slot 0 — so the kernel writes
+       straight into the caller-visible output array *)
+    let ob = Vm.view out ~off:lo ~rows ~cols:1 in
+    run_engine t ctx ~buffers:[ input; ob ]
+  end
+  else begin
+    (* multi-slot kernels need [rows * out_cols] of scratch; pool it per
+       worker and re-zero the used prefix so every chunk still sees the
+       fresh-buffer semantics kernels were written against *)
+    let need = rows * t.out_cols in
+    if Array.length ctx.scratch < need then ctx.scratch <- Array.make need 0.0
+    else Array.fill ctx.scratch 0 need 0.0;
+    let ob = Vm.view ctx.scratch ~off:0 ~rows ~cols:t.out_cols in
+    run_engine t ctx ~buffers:[ input; ob ];
+    (* result slot 0 is transposed: the first [rows] entries *)
+    Array.blit ctx.scratch 0 out lo rows
+  end
 
 (** [execute t ~flat ~rows ~num_features] — evaluate all samples,
     chunked, possibly across domains; returns one value per sample.
@@ -98,9 +152,9 @@ let execute (t : t) ~(flat : float array) ~rows ~num_features : float array =
       in
       ignore (Atomic.compare_and_set failure None (Some err))
     in
-    let process (lo, hi) =
-      match run_chunk t ~flat ~num_features ~lo ~hi with
-      | res -> Array.blit res 0 out lo (hi - lo)
+    let process ctx (lo, hi) =
+      match run_chunk t ctx ~flat ~out ~num_features ~lo ~hi with
+      | () -> ()
       | exception ((Stack_overflow | Out_of_memory) as e) ->
           (* even fatal resource exhaustion must not escape a worker
              domain (a raise would be lost at Domain.join time); record
@@ -108,21 +162,26 @@ let execute (t : t) ~(flat : float array) ~rows ~num_features : float array =
           record lo hi e (Printexc.get_raw_backtrace ())
       | exception e -> record lo hi e (Printexc.get_raw_backtrace ())
     in
-    if t.threads <= 1 || Array.length chunks <= 1 then
+    if t.threads <= 1 || Array.length chunks <= 1 then begin
+      let ctx = make_ctx t in
       Array.iter
-        (fun c -> if Atomic.get failure = None then process c)
+        (fun c -> if Atomic.get failure = None then process ctx c)
         chunks
+    end
     else begin
       (* domain pool over an atomic work index; a recorded failure
-         cancels the remaining chunks but never a running one *)
+         cancels the remaining chunks but never a running one.  Each
+         worker allocates its context once, then reuses its frames and
+         scratch across all the chunks it claims. *)
       let next = Atomic.make 0 in
       let worker () =
+        let ctx = make_ctx t in
         let continue = ref true in
         while !continue do
           let i = Atomic.fetch_and_add next 1 in
           if i >= Array.length chunks || Atomic.get failure <> None then
             continue := false
-          else process chunks.(i)
+          else process ctx chunks.(i)
         done
       in
       let n_workers = min t.threads (Array.length chunks) in

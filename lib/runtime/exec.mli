@@ -6,18 +6,32 @@
     pool of OCaml 5 domains.  The batch size is an optimization hint:
     any row count works.
 
+    Chunks are zero-copy: kernels receive {!Spnc_cpu.Vm.view}s into the
+    shared flat input (and, for single-slot kernels, into the shared
+    output), and each worker reuses one set of register frames and
+    scratch across all its chunks (docs/PERFORMANCE.md).
+
     Fault tolerance: a kernel trap inside one chunk cancels the remaining
     chunks, every domain is joined, and exactly one {!Chunk_error}
     surfaces (docs/RESILIENCE.md). *)
 
 type t
 
-(** [load ?batch_size ?threads ~out_cols kernel] prepares a kernel whose
-    output buffer has [out_cols] slots per sample (slot 0 is the query
-    result).
+(** [load ?batch_size ?threads ?engine ?jit ~out_cols kernel] prepares a
+    kernel whose output buffer has [out_cols] slots per sample (slot 0 is
+    the query result).  [engine] picks the execution engine (default
+    {!Spnc_cpu.Jit.Jit}, the closure compiler); pass [?jit] to reuse an
+    already-compiled {!Spnc_cpu.Jit.kernel} (e.g. from the compiler's
+    kernel cache) instead of recompiling here.
     @raise Invalid_argument on non-positive [batch_size] or [threads]. *)
 val load :
-  ?batch_size:int -> ?threads:int -> out_cols:int -> Spnc_cpu.Lir.modul -> t
+  ?batch_size:int ->
+  ?threads:int ->
+  ?engine:Spnc_cpu.Jit.engine ->
+  ?jit:Spnc_cpu.Jit.kernel ->
+  out_cols:int ->
+  Spnc_cpu.Lir.modul ->
+  t
 
 type chunk_error = {
   chunk_lo : int;  (** first sample index of the failing chunk *)

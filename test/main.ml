@@ -22,4 +22,5 @@ let () =
       ("optimizer", Test_optimizer.suite);
       ("gpu-model", Test_gpu_model.suite);
       ("resilience", Test_resilience.suite);
+      ("runtime", Test_runtime.suite);
     ]

@@ -1,0 +1,432 @@
+(** Runtime + engine tests: chunking edge cases of {!Spnc_runtime.Exec}
+    (rows not divisible by the batch size, batch size 1, more threads
+    than chunks), bit-identical output across batch sizes, thread counts
+    and execution engines, the pooled-scratch path for multi-slot
+    kernels, buffer-view semantics, the JIT's constant promotion under
+    frame reuse, and the kernel compilation cache counters. *)
+
+module Lir = Spnc_cpu.Lir
+module Vm = Spnc_cpu.Vm
+module Jit = Spnc_cpu.Jit
+module Exec = Spnc_runtime.Exec
+module Compiler = Spnc.Compiler
+module Options = Spnc.Options
+module Model = Spnc_spn.Model
+
+let check = Alcotest.check
+let tbool = Alcotest.bool
+let tint = Alcotest.int
+
+(* exact comparison: the whole point of the engine cross-checks *)
+let check_bits what (expect : float array) (got : float array) =
+  check tint (what ^ ": length") (Array.length expect) (Array.length got);
+  Array.iteri
+    (fun i x ->
+      if Int64.bits_of_float x <> Int64.bits_of_float got.(i) then
+        Alcotest.failf "%s: row %d: expected %h, got %h" what i x got.(i))
+    expect
+
+(* -- A hand-assembled two-feature kernel: out[i] = x0 + 2*x1 ----------------- *)
+
+let kernel_2feat : Lir.modul =
+  let body =
+    [|
+      Lir.Dim (0, 0);
+      Lir.ConstI (1, 0);
+      Lir.Loop
+        {
+          Lir.iv = 2;
+          lb = 1;
+          ub = 0;
+          step = 1;
+          vector_width = 1;
+          body =
+            [|
+              Lir.ConstI (3, 2);
+              Lir.IBin (Lir.IMul, 4, 2, 3);
+              Lir.Load (0, 0, 4);
+              (* x0 = in[2i] *)
+              Lir.ConstI (5, 1);
+              Lir.IBin (Lir.IAdd, 6, 4, 5);
+              Lir.Load (1, 0, 6);
+              (* x1 = in[2i+1] *)
+              Lir.ConstF (2, 2.0);
+              Lir.FBin (Lir.FMul, 3, 1, 2);
+              Lir.FBin (Lir.FAdd, 4, 0, 3);
+              Lir.Store (1, 2, 4);
+            |];
+        };
+      Lir.Ret;
+    |]
+  in
+  let f =
+    {
+      Lir.fname = "k2";
+      params = [ 0; 1 ];
+      body;
+      nf = 5;
+      ni = 7;
+      nv = 1;
+      nb = 2;
+      vec_width = 1;
+    }
+  in
+  { Lir.funcs = [| f |]; entry = 0 }
+
+let rows_2feat n =
+  Array.init n (fun i ->
+      [| float_of_int i *. 0.5; float_of_int (n - i) *. 0.25 |])
+
+let expected_2feat data = Array.map (fun r -> r.(0) +. (2.0 *. r.(1))) data
+
+(* -- Chunking edge cases ----------------------------------------------------- *)
+
+(* Every (batch_size, threads, engine) combination must produce the same
+   bits: chunk boundaries and worker scheduling are not allowed to be
+   observable. *)
+let test_chunking_grid () =
+  let n = 10 in
+  let data = rows_2feat n in
+  let expect = expected_2feat data in
+  List.iter
+    (fun engine ->
+      List.iter
+        (fun (batch_size, threads) ->
+          let t = Exec.load ~batch_size ~threads ~engine ~out_cols:1 kernel_2feat in
+          let got = Exec.execute_rows t data in
+          check_bits
+            (Printf.sprintf "engine=%s batch=%d threads=%d"
+               (Jit.engine_to_string engine) batch_size threads)
+            expect got)
+        [
+          (3, 1);  (* rows not divisible by batch: chunks 3+3+3+1 *)
+          (3, 2);
+          (3, 4);
+          (1, 4);  (* batch_size = 1: one chunk per row *)
+          (4, 16); (* more threads than chunks *)
+          (64, 4); (* one chunk, threads moot *)
+        ])
+    [ Jit.Vm; Jit.Jit ]
+
+let test_rows_below_threads () =
+  (* fewer rows than worker domains: the pool must clamp, not hang *)
+  let data = rows_2feat 3 in
+  let expect = expected_2feat data in
+  List.iter
+    (fun engine ->
+      let t = Exec.load ~batch_size:1 ~threads:8 ~engine ~out_cols:1 kernel_2feat in
+      check_bits "rows < threads" expect (Exec.execute_rows t data))
+    [ Jit.Vm; Jit.Jit ]
+
+let test_empty_input () =
+  let t = Exec.load ~batch_size:4 ~threads:4 ~out_cols:1 kernel_2feat in
+  check tint "0 rows -> 0 results" 0
+    (Array.length (Exec.execute t ~flat:[||] ~rows:0 ~num_features:2))
+
+(* -- Multi-slot kernels: the pooled-scratch path ------------------------------ *)
+
+(* out_cols = 2.  The kernel ACCUMULATES into slot 0 (out[i] += 2*x[i])
+   and dirties slot 1 — so if a worker's pooled scratch is not re-zeroed
+   between chunks, a reused buffer leaks the previous chunk's values
+   into the accumulation and the output changes with the batch size. *)
+let kernel_accum : Lir.modul =
+  let body =
+    [|
+      Lir.Dim (0, 0);
+      Lir.ConstI (1, 0);
+      Lir.Loop
+        {
+          Lir.iv = 2;
+          lb = 1;
+          ub = 0;
+          step = 1;
+          vector_width = 1;
+          body =
+            [|
+              Lir.Load (0, 0, 2);
+              (* x = in[i] *)
+              Lir.ConstF (1, 2.0);
+              Lir.FBin (Lir.FMul, 2, 0, 1);
+              Lir.Load (3, 1, 2);
+              (* prior slot-0 value: must be 0.0 in a fresh buffer *)
+              Lir.FBin (Lir.FAdd, 4, 3, 2);
+              Lir.Store (1, 2, 4);
+              (* dirty slot 1 (entries [rows, 2*rows)) *)
+              Lir.Dim (3, 1);
+              Lir.IBin (Lir.IAdd, 4, 3, 2);
+              Lir.ConstF (5, 999.0);
+              Lir.Store (1, 4, 5);
+            |];
+        };
+      Lir.Ret;
+    |]
+  in
+  let f =
+    {
+      Lir.fname = "accum";
+      params = [ 0; 1 ];
+      body;
+      nf = 6;
+      ni = 5;
+      nv = 1;
+      nb = 2;
+      vec_width = 1;
+    }
+  in
+  { Lir.funcs = [| f |]; entry = 0 }
+
+let test_multislot_scratch_reuse () =
+  let n = 13 in
+  let data = Array.init n (fun i -> [| float_of_int (i + 1) |]) in
+  let expect = Array.map (fun r -> 2.0 *. r.(0)) data in
+  List.iter
+    (fun engine ->
+      List.iter
+        (fun (batch_size, threads) ->
+          let t = Exec.load ~batch_size ~threads ~engine ~out_cols:2 kernel_accum in
+          let got = Exec.execute_rows t data in
+          check_bits
+            (Printf.sprintf "scratch engine=%s batch=%d threads=%d"
+               (Jit.engine_to_string engine) batch_size threads)
+            expect got)
+        (* batch 4: one worker processes several chunks and must re-zero
+           its pooled scratch each time; batch 100: single chunk *)
+        [ (4, 1); (4, 3); (100, 1) ])
+    [ Jit.Vm; Jit.Jit ]
+
+(* -- Buffer views ------------------------------------------------------------- *)
+
+let load_at ix =
+  (* a kernel that stores in[ix] to out[0] *)
+  let body =
+    [| Lir.ConstI (0, ix); Lir.Load (0, 0, 0); Lir.ConstI (1, 0);
+       Lir.Store (1, 1, 0); Lir.Ret |]
+  in
+  let f =
+    { Lir.fname = "ld"; params = [ 0; 1 ]; body; nf = 1; ni = 2; nv = 1;
+      nb = 2; vec_width = 1 }
+  in
+  { Lir.funcs = [| f |]; entry = 0 }
+
+let test_view_window_semantics () =
+  let backing = Array.init 10 float_of_int in
+  let input = Vm.view backing ~off:2 ~rows:4 ~cols:1 in
+  let out = Vm.buffer ~rows:1 ~cols:1 in
+  (* index 3 of the view is backing.(2 + 3) *)
+  Vm.run (load_at 3) ~buffers:[ input; out ];
+  check (Alcotest.float 0.0) "view indexes relative to off" 5.0 out.Vm.data.(0);
+  Jit.run_once (load_at 3) ~buffers:[ input; out ];
+  check (Alcotest.float 0.0) "jit agrees" 5.0 out.Vm.data.(0)
+
+let test_view_bounds_trap () =
+  (* index 4 is one past the view's len even though the backing array
+     extends further — both engines must trap, not read the backing *)
+  let backing = Array.init 10 float_of_int in
+  let input = Vm.view backing ~off:2 ~rows:4 ~cols:1 in
+  let out = Vm.buffer ~rows:1 ~cols:1 in
+  (match Vm.run (load_at 4) ~buffers:[ input; out ] with
+  | exception Vm.Trap _ -> ()
+  | () -> Alcotest.fail "vm: load past view len did not trap");
+  match Jit.run_once (load_at 4) ~buffers:[ input; out ] with
+  | exception Vm.Trap _ -> ()
+  | () -> Alcotest.fail "jit: load past view len did not trap"
+
+(* -- JIT semantics ------------------------------------------------------------ *)
+
+(* Constant promotion moves single-def consts out of the body into
+   frame initialization; re-running on the SAME state (the runtime's
+   frame-reuse pattern) must stay correct. *)
+let test_jit_state_reuse () =
+  let k = Jit.compile kernel_2feat in
+  let st = Jit.make_state k in
+  let run data =
+    let n = Array.length data in
+    let flat = Array.concat (Array.to_list data) in
+    let input = Vm.of_flat flat ~rows:n ~cols:2 in
+    let out = Vm.buffer ~rows:n ~cols:1 in
+    Jit.run k st ~buffers:[ input; out ];
+    Array.sub out.Vm.data 0 n
+  in
+  let d1 = rows_2feat 5 and d2 = Array.map (Array.map (fun x -> x -. 7.0)) (rows_2feat 8) in
+  check_bits "first run" (expected_2feat d1) (run d1);
+  check_bits "second run, reused frames" (expected_2feat d2) (run d2);
+  check_bits "third run, first data again" (expected_2feat d1) (run d1)
+
+let test_binary_fma_traps_both_engines () =
+  (* a binary FMA is a malformed instruction (the addend was dropped);
+     silently evaluating it as a*b is the historical bug both engines
+     must refuse to reproduce *)
+  let body =
+    [| Lir.ConstF (0, 2.0); Lir.ConstF (1, 3.0);
+       Lir.FBin (Lir.FMA, 2, 0, 1); Lir.ConstI (0, 0);
+       Lir.Store (0, 0, 2); Lir.Ret |]
+  in
+  let f =
+    { Lir.fname = "bad"; params = [ 0 ]; body; nf = 3; ni = 1; nv = 1;
+      nb = 1; vec_width = 1 }
+  in
+  let m = { Lir.funcs = [| f |]; entry = 0 } in
+  let out () = Vm.buffer ~rows:1 ~cols:1 in
+  (match Vm.run m ~buffers:[ out () ] with
+  | exception Vm.Trap _ -> ()
+  | () -> Alcotest.fail "vm evaluated a binary FMA");
+  match Jit.run_once m ~buffers:[ out () ] with
+  | exception Vm.Trap _ -> ()
+  | () -> Alcotest.fail "jit evaluated a binary FMA"
+
+(* -- Chunk isolation under threads -------------------------------------------- *)
+
+(* in[i] is used as a load index; the poisoned row makes exactly one
+   chunk trap.  Exactly one Chunk_error must surface, all domains must
+   be joined, and its bounds must contain the poisoned row. *)
+let kernel_indexed_load : Lir.modul =
+  let body =
+    [|
+      Lir.Dim (0, 0);
+      Lir.ConstI (1, 0);
+      Lir.Loop
+        {
+          Lir.iv = 2;
+          lb = 1;
+          ub = 0;
+          step = 1;
+          vector_width = 1;
+          body =
+            [|
+              Lir.Load (0, 0, 2);
+              Lir.FtoI (3, 0);
+              Lir.Load (1, 0, 3);
+              (* traps when in[i] is out of range *)
+              Lir.Store (1, 2, 1);
+            |];
+        };
+      Lir.Ret;
+    |]
+  in
+  let f =
+    { Lir.fname = "ix"; params = [ 0; 1 ]; body; nf = 2; ni = 4; nv = 1;
+      nb = 2; vec_width = 1 }
+  in
+  { Lir.funcs = [| f |]; entry = 0 }
+
+let test_chunk_error_bounds () =
+  let n = 20 in
+  let poisoned = 13 in
+  let data =
+    Array.init n (fun i -> [| (if i = poisoned then 9999.0 else 0.0) |])
+  in
+  List.iter
+    (fun engine ->
+      List.iter
+        (fun threads ->
+          let t =
+            Exec.load ~batch_size:4 ~threads ~engine ~out_cols:1
+              kernel_indexed_load
+          in
+          match Exec.execute_rows t data with
+          | _ -> Alcotest.fail "poisoned chunk did not fail"
+          | exception Exec.Chunk_error e ->
+              check tbool
+                (Printf.sprintf "engine=%s threads=%d: bounds [%d,%d) hold %d"
+                   (Jit.engine_to_string engine) threads e.Exec.chunk_lo
+                   e.Exec.chunk_hi poisoned)
+                true
+                (e.Exec.chunk_lo <= poisoned && poisoned < e.Exec.chunk_hi))
+        [ 1; 4 ])
+    [ Jit.Vm; Jit.Jit ]
+
+(* -- Kernel compilation cache -------------------------------------------------- *)
+
+let small_model =
+  lazy
+    (Model.make ~num_features:2
+       (Model.product
+          [
+            Model.gaussian ~var:0 ~mean:0.0 ~stddev:1.0;
+            Model.sum
+              [
+                (0.4, Model.gaussian ~var:1 ~mean:(-1.0) ~stddev:0.5);
+                (0.6, Model.gaussian ~var:1 ~mean:2.0 ~stddev:1.5);
+              ];
+          ]))
+
+let test_cache_hit_skips_pipeline () =
+  Compiler.reset_kernel_cache ();
+  let m = Lazy.force small_model in
+  let c1 = Compiler.compile m in
+  let k1 = Compiler.cache_counters () in
+  check tint "first compile misses" 1 k1.Compiler.misses;
+  check tint "first compile runs the pipeline" 1 k1.Compiler.full_compiles;
+  let c2 = Compiler.compile m in
+  let k2 = Compiler.cache_counters () in
+  check tint "second compile hits" 1 k2.Compiler.hits;
+  check tint "hit skips the pass pipeline" 1 k2.Compiler.full_compiles;
+  (* the artifact is shared, not merely equal *)
+  check tbool "artifact physically shared" true (c1.Compiler.artifact == c2.Compiler.artifact);
+  (* and the cached kernel still executes *)
+  let out = Compiler.execute c2 [| [| 0.1; 0.2 |]; [| -1.0; 3.0 |] |] in
+  check tint "cached artifact executes" 2 (Array.length out)
+
+let test_cache_key_sensitivity () =
+  Compiler.reset_kernel_cache ();
+  let m = Lazy.force small_model in
+  ignore (Compiler.compile m);
+  (* a compile-relevant option change is a different kernel *)
+  let o3 = { Options.default with opt_level = Spnc_cpu.Optimizer.O3 } in
+  ignore (Compiler.compile ~options:o3 m);
+  let k = Compiler.cache_counters () in
+  check tint "different opt level misses" 2 k.Compiler.misses;
+  (* runtime-only knobs (engine, threads) share the artifact *)
+  let vm_opts = { Options.default with engine = Jit.Vm; threads = 3 } in
+  let c = Compiler.compile ~options:vm_opts m in
+  let k = Compiler.cache_counters () in
+  check tint "engine/threads change hits" 1 k.Compiler.hits;
+  check tbool "hit carries the caller's options" true
+    (c.Compiler.options.Options.engine = Jit.Vm)
+
+let test_cache_disabled_counts_full_compiles () =
+  Compiler.reset_kernel_cache ();
+  let m = Lazy.force small_model in
+  let off = { Options.default with use_kernel_cache = false } in
+  ignore (Compiler.compile ~options:off m);
+  ignore (Compiler.compile ~options:off m);
+  let k = Compiler.cache_counters () in
+  check tint "no lookups happened" 0 (k.Compiler.hits + k.Compiler.misses);
+  check tint "every compile ran the pipeline" 2 k.Compiler.full_compiles
+
+(* -- Engine parity through the full driver ------------------------------------ *)
+
+let test_driver_engine_parity () =
+  Compiler.reset_kernel_cache ();
+  let m = Lazy.force small_model in
+  let data =
+    Array.init 23 (fun i -> [| float_of_int i *. 0.3 -. 3.0; 1.5 -. float_of_int i *. 0.2 |])
+  in
+  let run engine threads =
+    let options = { Options.default with engine; threads } in
+    Compiler.execute (Compiler.compile ~options m) data
+  in
+  let base = run Jit.Vm 1 in
+  List.iter
+    (fun (engine, threads) ->
+      check_bits
+        (Printf.sprintf "driver %s/%d vs vm/1" (Jit.engine_to_string engine) threads)
+        base (run engine threads))
+    [ (Jit.Vm, 3); (Jit.Jit, 1); (Jit.Jit, 3) ]
+
+let suite =
+  [
+    Alcotest.test_case "chunking grid bit-identical" `Quick test_chunking_grid;
+    Alcotest.test_case "rows below threads" `Quick test_rows_below_threads;
+    Alcotest.test_case "empty input" `Quick test_empty_input;
+    Alcotest.test_case "multi-slot scratch re-zeroed" `Quick test_multislot_scratch_reuse;
+    Alcotest.test_case "view window semantics" `Quick test_view_window_semantics;
+    Alcotest.test_case "view bounds trap" `Quick test_view_bounds_trap;
+    Alcotest.test_case "jit state reuse" `Quick test_jit_state_reuse;
+    Alcotest.test_case "binary fma traps (both engines)" `Quick test_binary_fma_traps_both_engines;
+    Alcotest.test_case "chunk error bounds" `Quick test_chunk_error_bounds;
+    Alcotest.test_case "cache hit skips pipeline" `Quick test_cache_hit_skips_pipeline;
+    Alcotest.test_case "cache key sensitivity" `Quick test_cache_key_sensitivity;
+    Alcotest.test_case "cache disabled counts compiles" `Quick test_cache_disabled_counts_full_compiles;
+    Alcotest.test_case "driver engine parity" `Quick test_driver_engine_parity;
+  ]
