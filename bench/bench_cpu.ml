@@ -26,6 +26,7 @@
 module W = Workloads
 module Compiler = Spnc.Compiler
 module Options = Spnc.Options
+module Exec = Spnc_runtime.Exec
 
 let usage =
   "bench_cpu [--rows N] [--reps N] [--threads N] [--out FILE] [--min-speedup X]"
@@ -35,6 +36,10 @@ let reps = ref 5
 let threads = ref 1
 let out_path = ref "BENCH_cpu.json"
 let min_speedup = ref 0.0
+let sustained_calls = ref 120
+let sustained_rows = ref 256
+let sustained_threads = ref 4
+let min_sustained_speedup = ref 0.0
 
 let spec =
   [
@@ -45,6 +50,18 @@ let spec =
     ( "--min-speedup",
       Arg.Set_float min_speedup,
       "X Fail if the best-CPU JIT speedup over VM is below X (default 0 = no gate)" );
+    ( "--sustained-calls",
+      Arg.Set_int sustained_calls,
+      "N Repeated executes in the sustained-throughput run (default 120)" );
+    ( "--sustained-rows",
+      Arg.Set_int sustained_rows,
+      "N Rows per call in the sustained-throughput run (default 256)" );
+    ( "--sustained-threads",
+      Arg.Set_int sustained_threads,
+      "N Worker domains in the sustained-throughput run (default 4)" );
+    ( "--min-sustained-speedup",
+      Arg.Set_float min_sustained_speedup,
+      "X Fail if pool throughput is below X times spawn-per-call (default 0 = no gate)" );
   ]
 
 let time_best f =
@@ -107,6 +124,80 @@ let bench_config ~models ~data cfg_name base_options : config_result =
     vm_s jit_s (vm_s /. jit_s) !identical;
   { cfg_name; vm_s; jit_s; identical = !identical }
 
+(* -- Sustained throughput (docs/PERFORMANCE.md §5) ---------------------------- *)
+
+(* The serving scenario: many small executes against one loaded kernel.
+   The pool side loads the kernel once (its worker domains persist across
+   calls); the baseline tears the runtime down and back up around every
+   call — the spawn-per-call behaviour the streaming layer replaces.
+   Both sides share one pre-compiled JIT kernel, so the difference is
+   pure runtime cost. *)
+
+type sustained_result = {
+  calls_per_sec : float;
+  p50_ms : float;
+  p99_ms : float;
+}
+
+let percentile sorted q =
+  let n = Array.length sorted in
+  sorted.(min (n - 1) (int_of_float (ceil (q *. float_of_int n)) - 1))
+
+let time_calls ~calls f =
+  let lat = Array.make calls 0.0 in
+  (* warmup: fault in the code paths and the per-worker contexts *)
+  for _ = 1 to 3 do
+    f ()
+  done;
+  let t0 = Unix.gettimeofday () in
+  for i = 0 to calls - 1 do
+    let c0 = Unix.gettimeofday () in
+    f ();
+    lat.(i) <- Unix.gettimeofday () -. c0
+  done;
+  let total = Unix.gettimeofday () -. t0 in
+  Array.sort compare lat;
+  {
+    calls_per_sec = float_of_int calls /. total;
+    p50_ms = 1e3 *. percentile lat 0.50;
+    p99_ms = 1e3 *. percentile lat 0.99;
+  }
+
+let bench_sustained ~model ~data : sustained_result * sustained_result =
+  let options =
+    { (W.cpu_avx2 ()) with Options.threads = !sustained_threads }
+  in
+  let c = Compiler.compile ~options model in
+  let lir, jit =
+    match c.Compiler.artifact with
+    | Compiler.Cpu_kernel a ->
+        (a.Compiler.lir, Lazy.force a.Compiler.jit)
+    | Compiler.Gpu_kernel _ -> assert false
+  in
+  let rows = min !sustained_rows (Array.length data) in
+  let num_features = Array.length data.(0) in
+  let flat = Array.concat (Array.to_list (Array.sub data 0 rows)) in
+  let calls = max 1 !sustained_calls in
+  let load () =
+    Exec.load ~batch_size:options.Options.batch_size
+      ~threads:!sustained_threads ~jit ~out_cols:c.Compiler.out_cols lir
+  in
+  (* persistent pool: one load, many executes *)
+  let exec = load () in
+  let pool =
+    time_calls ~calls (fun () ->
+        ignore (Exec.execute exec ~flat ~rows ~num_features))
+  in
+  Exec.shutdown exec;
+  (* spawn-per-call baseline: domains spawned and joined around each call *)
+  let spawn =
+    time_calls ~calls (fun () ->
+        let e = load () in
+        ignore (Exec.execute e ~flat ~rows ~num_features);
+        Exec.shutdown e)
+  in
+  (pool, spawn)
+
 let () =
   Arg.parse spec (fun a -> raise (Arg.Bad ("unexpected argument " ^ a))) usage;
   let models = Lazy.force W.speaker_models in
@@ -123,6 +214,17 @@ let () =
   let best = bench_config ~models ~data "avx2" (W.cpu_avx2 ()) in
   let identical = scalar.identical && best.identical in
   let speedup = best.vm_s /. best.jit_s in
+  (* sustained serving throughput on the first speaker model: persistent
+     pool vs spawn-per-call (docs/PERFORMANCE.md §5) *)
+  let pool, spawn = bench_sustained ~model:models.(0) ~data in
+  let sustained_speedup = pool.calls_per_sec /. spawn.calls_per_sec in
+  Fmt.pr
+    "sustained (threads=%d, %d rows x %d calls): pool %.0f calls/s (p50 %.3fms \
+     p99 %.3fms)  spawn-per-call %.0f calls/s (p50 %.3fms p99 %.3fms)  \
+     speedup %.2fx@."
+    !sustained_threads !sustained_rows !sustained_calls pool.calls_per_sec
+    pool.p50_ms pool.p99_ms spawn.calls_per_sec spawn.p50_ms spawn.p99_ms
+    sustained_speedup;
   let k = Compiler.cache_counters () in
   Fmt.pr "headline (best-CPU config) jit speedup: %.2fx@." speedup;
   Fmt.pr "kernel cache: %d hit(s), %d miss(es), %d full compile(s)@."
@@ -133,6 +235,11 @@ let () =
       "{ \"vm_seconds\": %.6f, \"jit_seconds\": %.6f, \"jit_speedup\": %.4f, \
        \"bit_identical\": %b }"
       r.vm_s r.jit_s (r.vm_s /. r.jit_s) r.identical
+  in
+  let sustained_json (r : sustained_result) =
+    Printf.sprintf
+      "{ \"calls_per_sec\": %.2f, \"p50_ms\": %.4f, \"p99_ms\": %.4f }"
+      r.calls_per_sec r.p50_ms r.p99_ms
   in
   Printf.fprintf oc
     "{\n\
@@ -146,15 +253,29 @@ let () =
     \  \"best_cpu\": %s,\n\
     \  \"jit_speedup\": %.4f,\n\
     \  \"bit_identical\": %b,\n\
+    \  \"sustained\": {\n\
+    \    \"threads\": %d,\n\
+    \    \"rows_per_call\": %d,\n\
+    \    \"calls\": %d,\n\
+    \    \"pool\": %s,\n\
+    \    \"spawn_per_call\": %s,\n\
+    \    \"pool_speedup\": %.4f\n\
+    \  },\n\
     \  \"cache\": { \"hits\": %d, \"misses\": %d, \"full_compiles\": %d }\n\
      }\n"
     W.scale_name (Array.length models) rows !reps !threads (config_json scalar)
-    (config_json best) speedup identical k.Compiler.hits k.Compiler.misses
-    k.Compiler.full_compiles;
+    (config_json best) speedup identical !sustained_threads !sustained_rows
+    !sustained_calls (sustained_json pool) (sustained_json spawn)
+    sustained_speedup k.Compiler.hits k.Compiler.misses k.Compiler.full_compiles;
   close_out oc;
   Fmt.pr "wrote %s@." !out_path;
   if not identical then exit 1;
   if speedup < !min_speedup then begin
     Fmt.epr "FAIL: jit speedup %.2fx below required %.2fx@." speedup !min_speedup;
+    exit 1
+  end;
+  if sustained_speedup < !min_sustained_speedup then begin
+    Fmt.epr "FAIL: sustained pool speedup %.2fx below required %.2fx@."
+      sustained_speedup !min_sustained_speedup;
     exit 1
   end

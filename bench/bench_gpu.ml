@@ -1,0 +1,138 @@
+(** bench_gpu — monolithic vs stream-pipelined GPU schedule on the
+    speaker-ID workload, writing [BENCH_gpu.json] (docs/PERFORMANCE.md §6).
+
+    The paper's Fig. 9 point: at the DSE-best batch/block size of 64 the
+    GPU schedule is transfer-bound — most of the modelled time is PCIe
+    copies, not kernels.  A double-buffered stream pipeline hides copy
+    time behind compute (and vice versa), which this benchmark quantifies
+    two ways:
+
+    - {e modelled}, at paper-scale rows: [Sim.estimate_streamed] vs the
+      monolithic [Sim.estimate_chunked] for 2 and 4 streams;
+    - {e functionally}, at small rows: [Sim.run_streamed] output must be
+      bit-identical to the monolithic [Sim.run].
+
+    Exit is nonzero when outputs diverge, or when the workload is
+    transfer-bound ([transfer_fraction > 0.4]) yet streaming shows no
+    modelled win — the regression the ISSUE gate protects. *)
+
+module W = Workloads
+module Compiler = Spnc.Compiler
+module Options = Spnc.Options
+module Sim = Spnc_gpu.Sim
+
+let usage = "bench_gpu [--rows N] [--check-rows N] [--out FILE]"
+let rows_arg = ref 0 (* 0 = paper scale *)
+let check_rows = ref 512
+let out_path = ref "BENCH_gpu.json"
+
+let spec =
+  [
+    ("--rows", Arg.Set_int rows_arg, "N Modelled samples (default: paper scale)");
+    ( "--check-rows",
+      Arg.Set_int check_rows,
+      "N Functionally executed samples for the identity check (default 512)" );
+    ("--out", Arg.Set_string out_path, "FILE Output JSON path (default BENCH_gpu.json)");
+  ]
+
+let () =
+  Arg.parse spec (fun a -> raise (Arg.Bad ("unexpected argument " ^ a))) usage;
+  let model = (Lazy.force W.speaker_models).(0) in
+  let options = W.gpu_best () in
+  let c = Compiler.compile ~options model in
+  let gpu_module =
+    match c.Compiler.artifact with
+    | Compiler.Gpu_kernel g -> g.Compiler.gpu_module
+    | Compiler.Cpu_kernel _ ->
+        Fmt.epr "bench_gpu: GPU compile fell back to CPU@.";
+        exit 2
+  in
+  let gpu = options.Options.gpu in
+  let chunk = options.Options.batch_size in
+  let rows = if !rows_arg > 0 then !rows_arg else W.clean_rows_paper in
+  (* modelled schedules at paper scale *)
+  let mono = Sim.estimate_chunked gpu_module ~gpu ~entry:"spn_kernel" ~rows ~chunk in
+  let streamed s =
+    Sim.estimate_streamed gpu_module ~gpu ~entry:"spn_kernel" ~rows ~chunk
+      ~streams:s
+  in
+  let s2 = streamed 2 and s4 = streamed 4 in
+  let tf = Sim.transfer_fraction mono in
+  Fmt.pr "bench_gpu: %d rows, chunk %d, transfer fraction %.1f%%@." rows chunk
+    (100.0 *. tf);
+  let report name l =
+    Fmt.pr "%-12s total %.4fs  (%a)@." name (Sim.total_seconds l) Sim.pp_ledger l
+  in
+  report "monolithic" mono;
+  report "streams=2" s2;
+  report "streams=4" s4;
+  (* functional identity at small rows: every chunk executes exactly *)
+  let n = !check_rows in
+  let all = Lazy.force W.speech_clean in
+  let data = Array.sub all 0 (min n (Array.length all)) in
+  let n = Array.length data in
+  let flat = Array.concat (Array.to_list data) in
+  let run streams =
+    Sim.run_streamed gpu_module ~gpu ~entry:"spn_kernel" ~inputs:[ flat ]
+      ~rows:n ~out_cols:c.Compiler.out_cols ~streams ()
+  in
+  let ref_out = (run 1).Sim.output in
+  let identical =
+    List.for_all
+      (fun streams ->
+        let out = (run streams).Sim.output in
+        let ok =
+          Array.length out = Array.length ref_out
+          && (let eq = ref true in
+              Array.iteri
+                (fun i x ->
+                  if Int64.bits_of_float x <> Int64.bits_of_float ref_out.(i)
+                  then eq := false)
+                out;
+              !eq)
+        in
+        if not ok then
+          Fmt.epr "MISMATCH: streams=%d diverges from monolithic@." streams;
+        ok)
+      [ 2; 4 ]
+  in
+  Fmt.pr "functional identity over %d rows (streams 2/4 vs 1): %b@." n identical;
+  let ledger_json l =
+    Printf.sprintf
+      "{ \"total_seconds\": %.6f, \"h2d_s\": %.6f, \"d2h_s\": %.6f, \
+       \"kernel_s\": %.6f, \"launch_s\": %.6f, \"alloc_s\": %.6f, \
+       \"overlap_s\": %.6f }"
+      (Sim.total_seconds l) l.Sim.h2d_s l.Sim.d2h_s l.Sim.kernel_s l.Sim.launch_s
+      l.Sim.alloc_s l.Sim.overlap_s
+  in
+  let oc = open_out !out_path in
+  Printf.fprintf oc
+    "{\n\
+    \  \"workload\": \"speaker-id-clean\",\n\
+    \  \"scale\": \"%s\",\n\
+    \  \"rows\": %d,\n\
+    \  \"chunk\": %d,\n\
+    \  \"transfer_fraction\": %.4f,\n\
+    \  \"monolithic\": %s,\n\
+    \  \"streams_2\": %s,\n\
+    \  \"streams_4\": %s,\n\
+    \  \"speedup_streams_2\": %.4f,\n\
+    \  \"speedup_streams_4\": %.4f,\n\
+    \  \"check_rows\": %d,\n\
+    \  \"outputs_bit_identical\": %b\n\
+     }\n"
+    W.scale_name rows chunk tf (ledger_json mono) (ledger_json s2)
+    (ledger_json s4)
+    (Sim.total_seconds mono /. Sim.total_seconds s2)
+    (Sim.total_seconds mono /. Sim.total_seconds s4)
+    n identical;
+  close_out oc;
+  Fmt.pr "wrote %s@." !out_path;
+  if not identical then exit 1;
+  if tf > 0.4 && Sim.total_seconds s4 >= Sim.total_seconds mono then begin
+    Fmt.epr
+      "FAIL: transfer-bound workload (%.1f%% transfers) but streaming shows \
+       no win@."
+      (100.0 *. tf);
+    exit 1
+  end

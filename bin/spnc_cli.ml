@@ -220,7 +220,34 @@ let options_term =
   let marginal =
     Arg.(value & flag & info [ "support-marginal" ] ~doc:"Compile marginal inference support.")
   in
-  let threads = Arg.(value & opt int 1 & info [ "threads" ] ~doc:"Runtime worker threads.") in
+  let threads =
+    Arg.(
+      value & opt int 1
+      & info [ "threads" ]
+          ~doc:
+            "Runtime worker threads; 0 (or negative) auto-detects from the \
+             available cores.")
+  in
+  let sched =
+    Arg.(
+      value
+      & opt
+          (enum
+             [ ("static", Spnc.Options.Static); ("stealing", Spnc.Options.Stealing) ])
+          Spnc.Options.Stealing
+      & info [ "sched" ]
+          ~doc:
+            "Parallel chunk scheduler: stealing (work-stealing deques, \
+             default) or static (fixed contiguous blocks).")
+  in
+  let streams =
+    Arg.(
+      value & opt int 1
+      & info [ "streams" ]
+          ~doc:
+            "GPU stream chunks for double-buffered transfer/compute overlap \
+             (1 = monolithic schedule).")
+  in
   let engine =
     Arg.(
       value
@@ -264,7 +291,7 @@ let options_term =
           ~doc:"Fail instead of falling back to CPU on a GPU backend error.")
   in
   let build target vectorize no_veclib no_shuffle opt_level partition batch block
-      marginal threads engine no_kernel_cache machine output_guard
+      marginal threads sched streams engine no_kernel_cache machine output_guard
       no_gpu_fallback =
     {
       Spnc.Options.default with
@@ -281,7 +308,9 @@ let options_term =
       batch_size = batch;
       block_size = block;
       support_marginal = marginal;
-      threads;
+      threads = Spnc.Options.normalize_threads threads;
+      sched;
+      streams = max 1 streams;
       engine;
       use_kernel_cache = not no_kernel_cache;
       output_guard;
@@ -290,8 +319,8 @@ let options_term =
   in
   Term.(
     const build $ target $ vectorize $ no_veclib $ no_shuffle $ opt_level
-    $ partition $ batch $ block $ marginal $ threads $ engine $ no_kernel_cache
-    $ machine $ output_guard $ no_gpu_fallback)
+    $ partition $ batch $ block $ marginal $ threads $ sched $ streams $ engine
+    $ no_kernel_cache $ machine $ output_guard $ no_gpu_fallback)
 
 (* -- compile ---------------------------------------------------------------------- *)
 

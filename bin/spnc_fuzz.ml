@@ -94,6 +94,15 @@ let oracles ~marginal ~threads ~with_gpu : Fuzz.oracle list =
 
 (* -- Cross-engine bit-identity ------------------------------------------------- *)
 
+let exact_eq (a : float array) (b : float array) =
+  Array.length a = Array.length b
+  && (let ok = ref true in
+      Array.iteri
+        (fun i x ->
+          if Int64.bits_of_float x <> Int64.bits_of_float b.(i) then ok := false)
+        a;
+      !ok)
+
 (* The tolerance-based oracles above catch algorithmic divergence; this
    check is stricter: at every -O level, the JIT engine and the VM must
    produce EXACTLY the same bits as single-threaded VM execution,
@@ -108,16 +117,6 @@ let bit_identity_check ~marginal (model : Spnc_spn.Model.t)
     | v -> Ok v
     | exception ((Stack_overflow | Out_of_memory) as e) -> raise e
     | exception e -> Error (Printexc.to_string e)
-  in
-  let exact_eq (a : float array) (b : float array) =
-    Array.length a = Array.length b
-    && (let ok = ref true in
-        Array.iteri
-          (fun i x ->
-            if Int64.bits_of_float x <> Int64.bits_of_float b.(i) then
-              ok := false)
-          a;
-        !ok)
   in
   let levels =
     Spnc_cpu.Optimizer.[ O0; O1; O2; O3 ]
@@ -165,6 +164,87 @@ let bit_identity_check ~marginal (model : Spnc_spn.Model.t)
             None variants))
     None levels
 
+(* -- Scheduler stress ---------------------------------------------------------- *)
+
+(* Streaming-layer stress (docs/PERFORMANCE.md §5/§6): random batch sizes
+   × pool sizes × static-vs-stealing schedulers must be bit-identical to
+   the single-threaded reference, and the GPU stream-pipelined schedule
+   at 2/4 streams must be bit-identical to the monolithic one.  [salt]
+   keeps the drawn configurations deterministic per (seed, case) yet
+   different across cases; the check is self-contained so the shrinker
+   can replay it. *)
+let sched_stress_check ~marginal ~with_gpu ~salt (model : Spnc_spn.Model.t)
+    (data : float array array) : string option =
+  let rng = Spnc_data.Rng.create ~seed:salt in
+  let eval options =
+    match Spnc.Compiler.execute (Spnc.Compiler.compile ~options model) data with
+    | v -> Ok v
+    | exception ((Stack_overflow | Out_of_memory) as e) -> raise e
+    | exception e -> Error (Printexc.to_string e)
+  in
+  let compare_to ~what reference candidate =
+    match (reference, candidate) with
+    | Ok r, Ok c when exact_eq r c -> None
+    | Ok _, Ok _ ->
+        Some
+          (Printf.sprintf
+             "scheduler stress: %s differs from the single-threaded reference"
+             what)
+    | Error _, Error _ -> None
+    | Ok _, Error e ->
+        Some (Printf.sprintf "scheduler stress: %s trapped (%s)" what e)
+    | Error e, Ok _ ->
+        Some
+          (Printf.sprintf
+             "scheduler stress: reference trapped (%s) but %s succeeded" e what)
+  in
+  let cpu_reference = eval (base_options ~marginal 1) in
+  let cpu_variant acc _ =
+    match acc with
+    | Some _ -> acc
+    | None ->
+        let batch = Spnc_data.Rng.choose rng [ 1; 3; 5; 8; 16; 32 ] in
+        let threads = Spnc_data.Rng.choose rng [ 2; 3; 4; 8 ] in
+        let sched =
+          Spnc_data.Rng.choose rng Spnc.Options.[ Static; Stealing ]
+        in
+        let options =
+          { (base_options ~marginal threads) with
+            Spnc.Options.batch_size = batch; sched }
+        in
+        compare_to
+          ~what:
+            (Printf.sprintf "batch=%d/threads=%d/sched=%s" batch threads
+               (Spnc.Options.sched_to_string sched))
+          cpu_reference (eval options)
+  in
+  let cpu_failure = List.fold_left cpu_variant None [ 1; 2; 3; 4 ] in
+  match cpu_failure with
+  | Some _ -> cpu_failure
+  | None when not with_gpu -> None
+  | None ->
+      let gpu_options streams =
+        {
+          (base_options ~marginal 1) with
+          Spnc.Options.target = Spnc.Options.Gpu;
+          batch_size = 16;
+          block_size = 8;
+          gpu_fallback = false;
+          streams;
+        }
+      in
+      let gpu_reference = eval (gpu_options 1) in
+      List.fold_left
+        (fun acc streams ->
+          match acc with
+          | Some _ -> acc
+          | None ->
+              compare_to
+                ~what:(Printf.sprintf "gpu streams=%d" streams)
+                gpu_reference
+                (eval (gpu_options streams)))
+        None [ 2; 4 ]
+
 (* -- Reporting ---------------------------------------------------------------- *)
 
 let data_to_csv (data : float array array) : string =
@@ -199,7 +279,7 @@ let write_bundle ~out_dir ~(case : Fuzz.case) ~(diag_text : string)
 (* -- Driver ------------------------------------------------------------------- *)
 
 let run seed cases rows target_ops max_depth tol threads no_gpu no_shrink
-    no_cross_engine marginal_fraction out_dir inject verbose =
+    no_cross_engine sched_stress marginal_fraction out_dir inject verbose =
   if inject then Spnc_cpu.Optimizer.inject_bad_peephole := true;
   let config =
     {
@@ -245,12 +325,26 @@ let run seed cases rows target_ops max_depth tol threads no_gpu no_shrink
           ~still_fails:(fun m d -> Fuzz.check ~tol ~oracles m d <> None));
     (* strict engine cross-check: VM and JIT must agree bit-for-bit at
        every -O level and thread count (threads 1/2/4) *)
-    if not no_cross_engine then
-      match bit_identity_check ~marginal case.Fuzz.model case.Fuzz.data with
+    (if not no_cross_engine then
+       match bit_identity_check ~marginal case.Fuzz.model case.Fuzz.data with
+       | None -> ()
+       | Some diag_text ->
+           report ~id ~case ~diag_text ~still_fails:(fun m d ->
+               bit_identity_check ~marginal m d <> None));
+    (* streaming-layer stress: random batch × pool size × scheduler and
+       GPU streams 1/2/4, all bit-identical to single-threaded *)
+    if sched_stress then begin
+      let salt = (seed * 1_000_003) + id in
+      match
+        sched_stress_check ~marginal ~with_gpu:(not no_gpu) ~salt
+          case.Fuzz.model case.Fuzz.data
+      with
       | None -> ()
       | Some diag_text ->
           report ~id ~case ~diag_text ~still_fails:(fun m d ->
-              bit_identity_check ~marginal m d <> None)
+              sched_stress_check ~marginal ~with_gpu:(not no_gpu) ~salt m d
+              <> None)
+    end
   done;
   let dt = Unix.gettimeofday () -. t0 in
   let k = Spnc.Compiler.cache_counters () in
@@ -258,7 +352,8 @@ let run seed cases rows target_ops max_depth tol threads no_gpu no_shrink
     "spnc_fuzz: %d cases, %d failure(s), %d oracle(s)%s, %.1fs (kernel \
      cache: %d hit(s), %d miss(es), %d full compile(s))@."
     cases !failures (List.length oracles)
-    (if no_cross_engine then "" else " + engine bit-identity")
+    ((if no_cross_engine then "" else " + engine bit-identity")
+    ^ if sched_stress then " + scheduler stress" else "")
     dt k.Spnc.Compiler.hits k.Spnc.Compiler.misses k.Spnc.Compiler.full_compiles;
   if !failures > 0 then 1 else 0
 
@@ -300,6 +395,15 @@ let cmd =
             "Skip the VM-vs-JIT bit-identity cross-check over -O levels and \
              thread counts.")
   in
+  let sched_stress =
+    Arg.(
+      value & flag
+      & info [ "sched-stress" ]
+          ~doc:
+            "Scheduler stress mode: per case, draw random batch sizes × pool \
+             sizes × static-vs-stealing schedulers (and GPU streams 1/2/4) \
+             and require bit-identity with the single-threaded reference.")
+  in
   let marginal =
     Arg.(
       value & opt float 0.0
@@ -330,7 +434,7 @@ let cmd =
           LoSPN interpreter vs CPU -O0..-O3 vs GPU simulator.")
     Term.(
       const run $ seed $ cases $ rows $ target_ops $ max_depth $ tol $ threads
-      $ no_gpu $ no_shrink $ no_cross_engine $ marginal $ out_dir $ inject
-      $ verbose)
+      $ no_gpu $ no_shrink $ no_cross_engine $ sched_stress $ marginal
+      $ out_dir $ inject $ verbose)
 
 let () = exit (Cmd.eval' cmd)

@@ -328,6 +328,17 @@ let compile ?(options = Options.default) (model : Spnc_spn.Model.t) : compiled =
 
 (* -- Execution ---------------------------------------------------------------- *)
 
+let jit_lock = Mutex.create ()
+
+(* [Lazy.force] on a lazy shared across domains is NOT safe in OCaml 5: a
+   concurrent force raises [CamlinternalLazy.Undefined].  Cached artifacts
+   (and their [jit] lazy) are shared by every caller of [compile], so
+   serialize the forcing. *)
+let force_jit jit =
+  Mutex.lock jit_lock;
+  Fun.protect ~finally:(fun () -> Mutex.unlock jit_lock) (fun () ->
+      Lazy.force jit)
+
 (** [execute c rows] — run the compiled kernel on row-major samples and
     return one {e log}-likelihood per sample (kernels compiled for linear
     space have their probabilities converted on the way out, so the API is
@@ -352,13 +363,20 @@ and execute_raw (c : compiled) (rows : float array array) : float array =
          worker domains only ever see the completed kernel *)
       let jk =
         match engine with
-        | Spnc_cpu.Jit.Jit -> Some (Lazy.force jit)
+        | Spnc_cpu.Jit.Jit -> Some (force_jit jit)
         | Spnc_cpu.Jit.Vm -> None
       in
+      let threads = Options.effective_threads c.options in
+      (* per-call kernels share the process-wide pool: domains are spawned
+         once, not per execute (docs/PERFORMANCE.md §5) *)
+      let pool =
+        if threads > 1 then Some (Spnc_runtime.Pool.global ~threads) else None
+      in
+      let min_chunk = (Options.cpu_lower_options c.options).Spnc_cpu.Lower_cpu.width in
       let exec =
         Spnc_runtime.Exec.load ~batch_size:c.options.Options.batch_size
-          ~threads:c.options.Options.threads ~engine ?jit:jk
-          ~out_cols:c.out_cols lir
+          ~threads ~engine ?jit:jk ~sched:c.options.Options.sched ~min_chunk
+          ?pool ~out_cols:c.out_cols lir
       in
       Spnc_runtime.Exec.execute_rows exec rows
   | Gpu_kernel { gpu_module; _ } ->
@@ -367,8 +385,9 @@ and execute_raw (c : compiled) (rows : float array array) : float array =
       else begin
         let flat = Array.concat (Array.to_list rows) in
         let res =
-          Spnc_gpu.Sim.run gpu_module ~gpu:c.options.Options.gpu
-            ~entry:"spn_kernel" ~inputs:[ flat ] ~rows:n ~out_cols:c.out_cols ()
+          Spnc_gpu.Sim.run_streamed gpu_module ~gpu:c.options.Options.gpu
+            ~entry:"spn_kernel" ~inputs:[ flat ] ~rows:n ~out_cols:c.out_cols
+            ~streams:c.options.Options.streams ()
         in
         Array.sub res.Spnc_gpu.Sim.output 0 n
       end
@@ -382,7 +401,8 @@ let rec estimate_seconds (c : compiled) ~rows : float =
         Spnc_cpu.Cost.kernel_estimate c.options.Options.machine lir ~regalloc
           ~rows ()
       in
-      Spnc_cpu.Cost.threaded_seconds est ~threads:c.options.Options.threads
+      Spnc_cpu.Cost.threaded_seconds est
+        ~threads:(Options.effective_threads c.options)
   | Gpu_kernel { gpu_module; _ } ->
       (* GPU execution is chunked by the user batch size: each chunk is a
          full upload / launch / download schedule (§V-A.1: the batch size
@@ -394,8 +414,9 @@ let rec estimate_seconds (c : compiled) ~rows : float =
          are slower on GPU than CPU (§V-B.2). *)
       gpu_init_seconds c
       +. Spnc_gpu.Sim.total_seconds
-           (Spnc_gpu.Sim.estimate_chunked gpu_module ~gpu:c.options.Options.gpu
-              ~entry:"spn_kernel" ~rows ~chunk:c.options.Options.batch_size)
+           (Spnc_gpu.Sim.estimate_streamed gpu_module ~gpu:c.options.Options.gpu
+              ~entry:"spn_kernel" ~rows ~chunk:c.options.Options.batch_size
+              ~streams:c.options.Options.streams)
 
 (** One-time CUDA context + module-load overhead of a run: a fixed
     context cost plus a per-megabyte CUBIN upload/JIT cost. *)
@@ -411,8 +432,9 @@ let gpu_ledger (c : compiled) ~rows : Spnc_gpu.Sim.ledger option =
   match c.artifact with
   | Gpu_kernel { gpu_module; _ } ->
       Some
-        (Spnc_gpu.Sim.estimate_chunked gpu_module ~gpu:c.options.Options.gpu
-           ~entry:"spn_kernel" ~rows ~chunk:c.options.Options.batch_size)
+        (Spnc_gpu.Sim.estimate_streamed gpu_module ~gpu:c.options.Options.gpu
+           ~entry:"spn_kernel" ~rows ~chunk:c.options.Options.batch_size
+           ~streams:c.options.Options.streams)
   | Cpu_kernel _ -> None
 
 (** [compile_and_execute ?options model rows] — the paper's one-call

@@ -9,6 +9,11 @@ type target = Cpu | Gpu
 
 let target_to_string = function Cpu -> "cpu" | Gpu -> "gpu"
 
+type sched = Spnc_runtime.Pool.sched = Static | Stealing
+
+let sched_to_string = Spnc_runtime.Pool.sched_to_string
+let sched_of_string = Spnc_runtime.Pool.sched_of_string
+
 type t = {
   target : target;
   machine : M.cpu;  (** CPU descriptor: ISA, veclib, frequency, cores *)
@@ -27,7 +32,11 @@ type t = {
   space : Spnc_lospn.Lower_hispn.space_option;
   base_type : Spnc_mlir.Types.t;  (** computation base type: F32 or F64 *)
   support_marginal : bool;
-  threads : int;  (** runtime worker domains *)
+  threads : int;  (** runtime worker domains; [<= 0] means auto *)
+  sched : sched;  (** parallel chunk scheduler (docs/PERFORMANCE.md §5) *)
+  streams : int;
+      (** GPU stream chunks for transfer/compute overlap; 1 = monolithic
+          schedule (docs/PERFORMANCE.md §6) *)
   engine : Spnc_cpu.Jit.engine;
       (** CPU execution engine: closure compiler (default) or reference
           interpreter VM (docs/PERFORMANCE.md) *)
@@ -62,6 +71,8 @@ let default =
     base_type = Spnc_mlir.Types.F32;
     support_marginal = false;
     threads = 1;
+    sched = Stealing;
+    streams = 1;
     engine = Spnc_cpu.Jit.Jit;
     use_kernel_cache = true;
     output_guard = Spnc_resilience.Guard.Warn;
@@ -93,10 +104,20 @@ let cpu_lower_options (t : t) : Spnc_cpu.Lower_cpu.options =
          | _ -> false);
   }
 
+(* [threads <= 0] means auto-detect; clamp explicit requests to something
+   a shared host survives.  The runtime layer applies the same rule, but
+   normalizing here keeps CLI output and pool sizing consistent. *)
+let normalize_threads n =
+  if n <= 0 then max 1 (min 64 (Domain.recommended_domain_count ()))
+  else min n 256
+
+let effective_threads (t : t) = normalize_threads t.threads
+
 (* The compile-relevant subset of the options, serialized deterministically.
-   Runtime-only knobs — threads, engine, output_guard, use_kernel_cache —
-   are deliberately EXCLUDED: they do not change the compiled artifact, so
-   two compiles differing only in them must share a cache entry. *)
+   Runtime-only knobs — threads, sched, streams, engine, output_guard,
+   use_kernel_cache — are deliberately EXCLUDED: they do not change the
+   compiled artifact, so two compiles differing only in them must share a
+   cache entry. *)
 let fingerprint (t : t) : string =
   Marshal.to_string
     ( target_to_string t.target,
@@ -113,12 +134,13 @@ let fingerprint (t : t) : string =
 let pp ppf (t : t) =
   Fmt.pf ppf
     "%s %s vec=%b veclib=%b shuffle=%b %s part=%s batch=%d block=%d \
-     engine=%s cache=%b guard=%s"
+     threads=%d sched=%s streams=%d engine=%s cache=%b guard=%s"
     (target_to_string t.target) t.machine.M.cpu_name t.vectorize t.use_veclib
     t.use_shuffle
     (Spnc_cpu.Optimizer.level_to_string t.opt_level)
     (match t.max_partition_size with None -> "off" | Some s -> string_of_int s)
-    t.batch_size t.block_size
+    t.batch_size t.block_size (effective_threads t) (sched_to_string t.sched)
+    t.streams
     (Spnc_cpu.Jit.engine_to_string t.engine)
     t.use_kernel_cache
     (Spnc_resilience.Guard.policy_to_string t.output_guard)

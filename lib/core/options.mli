@@ -9,6 +9,12 @@ type target = Cpu | Gpu
 
 val target_to_string : target -> string
 
+(** Parallel chunk scheduler — re-export of {!Spnc_runtime.Pool.sched}. *)
+type sched = Spnc_runtime.Pool.sched = Static | Stealing
+
+val sched_to_string : sched -> string
+val sched_of_string : string -> sched option
+
 type t = {
   target : target;
   machine : M.cpu;  (** CPU descriptor: ISA, veclib, frequency, cores *)
@@ -27,7 +33,11 @@ type t = {
   space : Spnc_lospn.Lower_hispn.space_option;
   base_type : Spnc_mlir.Types.t;  (** computation base type: F32 or F64 *)
   support_marginal : bool;
-  threads : int;  (** runtime worker domains *)
+  threads : int;  (** runtime worker domains; [<= 0] means auto *)
+  sched : sched;  (** parallel chunk scheduler (docs/PERFORMANCE.md §5) *)
+  streams : int;
+      (** GPU stream chunks for transfer/compute overlap; 1 = monolithic
+          schedule (docs/PERFORMANCE.md §6) *)
   engine : Spnc_cpu.Jit.engine;
       (** CPU execution engine: closure compiler (default) or reference
           interpreter VM (docs/PERFORMANCE.md) *)
@@ -58,10 +68,19 @@ val best_gpu : ?gpu:M.gpu -> unit -> t
     ISA, veclib availability, gather-table eligibility). *)
 val cpu_lower_options : t -> Spnc_cpu.Lower_cpu.options
 
+(** [normalize_threads n] — resolve a thread-count request: [n <= 0]
+    means auto ([Domain.recommended_domain_count], clamped to [1..64]);
+    positive values are clamped to 256. *)
+val normalize_threads : int -> int
+
+(** [effective_threads t] = [normalize_threads t.threads]. *)
+val effective_threads : t -> int
+
 (** [fingerprint t] — deterministic serialization of the compile-relevant
     options, used to key the kernel compilation cache.  Runtime-only
-    knobs (threads, engine, output_guard, use_kernel_cache) are excluded:
-    they do not change the compiled artifact. *)
+    knobs (threads, sched, streams, engine, output_guard,
+    use_kernel_cache) are excluded: they do not change the compiled
+    artifact. *)
 val fingerprint : t -> string
 
 val pp : Format.formatter -> t -> unit

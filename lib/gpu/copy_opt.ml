@@ -112,3 +112,64 @@ let run (m : Ir.modul) : Ir.modul =
 let count_transfers (m : Ir.modul) =
   ( Ir.count_ops (fun o -> o.Ir.name = "gpu.memcpy_h2d") m,
     Ir.count_ops (fun o -> o.Ir.name = "gpu.memcpy_d2h") m )
+
+(* -- Stream profile ------------------------------------------------------------ *)
+
+type stream_profile = {
+  h2d_bytes_per_row : int;
+  d2h_bytes_per_row : int;
+  launches : int;
+  stream_safe : bool;
+}
+
+(* Ops a row-partitioned (streamed) host schedule may contain: every one
+   of these is either row-proportional (transfers, launches over
+   per-row threads) or row-independent (alloc bookkeeping).  Anything
+   else — in particular host-side [memref.copy]/[memref.alloc], which
+   could mix data across rows — makes splitting the batch unsound, and
+   the streamed executor falls back to the monolithic schedule. *)
+let streamable_op = function
+  | "gpu.alloc" | "gpu.dealloc" | "gpu.memcpy_h2d" | "gpu.memcpy_d2h"
+  | "gpu.launch_func" | "memref.dim" | "func.return" ->
+      true
+  | _ -> false
+
+(** [stream_profile m ~entry] — per-row transfer volume and stream
+    safety of the host function [entry] (run it on the {e optimized}
+    module: copy elimination changes both).  Feeds the stream-pipelined
+    schedule in {!Sim}. *)
+let stream_profile (m : Ir.modul) ~entry : stream_profile =
+  let cols_of (v : Ir.value) =
+    match v.Ir.vty with
+    | Types.MemRef ([ _; Some c ], _) -> c
+    | Types.MemRef ([ Some c; _ ], _) -> c
+    | _ -> 1
+  in
+  let host =
+    List.find_opt
+      (fun (o : Ir.op) ->
+        o.Ir.name = "func.func" && Ir.string_attr o "sym_name" = Some entry)
+      m.Ir.mops
+  in
+  match Option.bind host Ir.entry_block with
+  | None ->
+      { h2d_bytes_per_row = 0; d2h_bytes_per_row = 0; launches = 0;
+        stream_safe = false }
+  | Some blk ->
+      List.fold_left
+        (fun p (op : Ir.op) ->
+          let p = { p with stream_safe = p.stream_safe && streamable_op op.Ir.name } in
+          match op.Ir.name with
+          | "gpu.memcpy_h2d" ->
+              { p with
+                h2d_bytes_per_row =
+                  p.h2d_bytes_per_row + (4 * cols_of (Ir.operand_n op 0)) }
+          | "gpu.memcpy_d2h" ->
+              { p with
+                d2h_bytes_per_row =
+                  p.d2h_bytes_per_row + (4 * cols_of (Ir.operand_n op 0)) }
+          | "gpu.launch_func" -> { p with launches = p.launches + 1 }
+          | _ -> p)
+        { h2d_bytes_per_row = 0; d2h_bytes_per_row = 0; launches = 0;
+          stream_safe = true }
+        blk.Ir.bops

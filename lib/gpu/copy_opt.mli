@@ -11,3 +11,18 @@ val run : Ir.modul -> Ir.modul
 
 (** [count_transfers m] — (h2d, d2h) op counts, for tests and reports. *)
 val count_transfers : Ir.modul -> int * int
+
+type stream_profile = {
+  h2d_bytes_per_row : int;  (** upload volume per sample *)
+  d2h_bytes_per_row : int;  (** download volume per sample *)
+  launches : int;  (** kernel launches per schedule *)
+  stream_safe : bool;
+      (** the host schedule only contains row-partitionable ops, so the
+          batch may be split into stream chunks *)
+}
+
+(** [stream_profile m ~entry] — per-row transfer volume and stream
+    safety of host function [entry] (run on the optimized module).
+    [stream_safe = false] when [entry] is missing or its body contains
+    host ops that could mix data across rows (e.g. [memref.copy]). *)
+val stream_profile : Ir.modul -> entry:string -> stream_profile

@@ -24,20 +24,39 @@ type ledger = {
   mutable kernel_s : float;
   mutable launch_s : float;
   mutable alloc_s : float;
+  mutable overlap_s : float;
+      (** time hidden by stream-pipelined transfer/compute overlap;
+          0 for monolithic schedules *)
 }
 
 let empty_ledger () =
-  { h2d_s = 0.0; d2h_s = 0.0; kernel_s = 0.0; launch_s = 0.0; alloc_s = 0.0 }
+  {
+    h2d_s = 0.0;
+    d2h_s = 0.0;
+    kernel_s = 0.0;
+    launch_s = 0.0;
+    alloc_s = 0.0;
+    overlap_s = 0.0;
+  }
 
-let total_seconds l = l.h2d_s +. l.d2h_s +. l.kernel_s +. l.launch_s +. l.alloc_s
+(* What the schedule would cost with every component serialized — the
+   denominator of [transfer_fraction], which characterizes the workload
+   independently of how well a given stream count hides it. *)
+let serial_seconds l =
+  l.h2d_s +. l.d2h_s +. l.kernel_s +. l.launch_s +. l.alloc_s
+
+let total_seconds l = serial_seconds l -. l.overlap_s
 
 let transfer_fraction l =
-  let t = total_seconds l in
+  let t = serial_seconds l in
   if t <= 0.0 then 0.0 else (l.h2d_s +. l.d2h_s) /. t
 
 let pp_ledger ppf l =
-  Fmt.pf ppf "h2d %.6fs d2h %.6fs kernel %.6fs launch %.6fs alloc %.6fs (transfers %.1f%%)"
-    l.h2d_s l.d2h_s l.kernel_s l.launch_s l.alloc_s (100.0 *. transfer_fraction l)
+  Fmt.pf ppf
+    "h2d %.6fs d2h %.6fs kernel %.6fs launch %.6fs alloc %.6fs overlap %.6fs \
+     (transfers %.1f%%)"
+    l.h2d_s l.d2h_s l.kernel_s l.launch_s l.alloc_s l.overlap_s
+    (100.0 *. transfer_fraction l)
 
 (* -- Per-thread kernel cost --------------------------------------------------- *)
 
@@ -245,6 +264,7 @@ let scale_ledger l k =
     kernel_s = l.kernel_s *. k;
     launch_s = l.launch_s *. k;
     alloc_s = l.alloc_s *. k;
+    overlap_s = l.overlap_s *. k;
   }
 
 let add_ledger a b =
@@ -254,6 +274,7 @@ let add_ledger a b =
     kernel_s = a.kernel_s +. b.kernel_s;
     launch_s = a.launch_s +. b.launch_s;
     alloc_s = a.alloc_s +. b.alloc_s;
+    overlap_s = a.overlap_s +. b.overlap_s;
   }
 
 (** [estimate m ~gpu ~entry ~rows] — timing ledger only, no execution;
@@ -313,3 +334,167 @@ let estimate_chunked (m : Ir.modul) ~gpu ~entry ~rows ~chunk : ledger =
   let rem = rows mod chunk in
   let l_full = scale_ledger (estimate m ~gpu ~entry ~rows:chunk) (float_of_int full) in
   if rem = 0 then l_full else add_ledger l_full (estimate m ~gpu ~entry ~rows:rem)
+
+(* -- Stream pipelining (docs/PERFORMANCE.md §6) -------------------------------- *)
+
+(* Discrete-event model of an [streams]-deep double-buffered pipeline:
+   one DMA engine (uploads and downloads share the PCIe link) and one
+   compute engine.  Per chunk i the dependencies are
+     upload_i  needs: DMA free, and chunk (i - streams)'s download done
+               (its stream buffer is being reused);
+     kernel_i  needs: compute free, upload_i done;
+     download_i needs: DMA free, kernel_i done.
+   The DMA engine is scheduled greedily: among the next pending upload
+   and the next pending download, issue whichever can start earlier
+   (tie goes to the download — draining frees a stream buffer).
+
+   Soundness of the ledger column: the makespan is at least the sum of
+   all copy times (one DMA engine) and at least the sum of all compute
+   times (one compute engine), so
+     overlap = serial - makespan <= min(total transfer, total compute)
+   — the invariant the ledger tests assert.  With [streams = 1] the
+   buffer-reuse edge serializes everything and the overlap is 0. *)
+let pipeline_overlap ~streams (chunks : (float * float * float) array) : float =
+  let n = Array.length chunks in
+  if n = 0 || streams <= 1 then 0.0
+  else begin
+    let u_done = Array.make n 0.0 in
+    let k_done = Array.make n 0.0 in
+    let d_done = Array.make n 0.0 in
+    let dma_free = ref 0.0 in
+    let next_u = ref 0 and next_d = ref 0 in
+    while !next_d < n do
+      let up_ready u =
+        if u >= n then None
+        else if u < streams then Some 0.0
+        else if u - streams < !next_d then Some d_done.(u - streams)
+        else None (* reused buffer's download not yet issued *)
+      in
+      (* the next download needs its kernel scheduled, i.e. its upload
+         issued first; uploads and downloads are each FIFO *)
+      let dn_ready d = if d < !next_u then Some k_done.(d) else None in
+      let issue_upload () =
+        let u = !next_u in
+        let ci, cp, _ = chunks.(u) in
+        let ready = Option.get (up_ready u) in
+        u_done.(u) <- Float.max !dma_free ready +. ci;
+        dma_free := u_done.(u);
+        k_done.(u) <-
+          Float.max (if u > 0 then k_done.(u - 1) else 0.0) u_done.(u) +. cp;
+        incr next_u
+      in
+      let issue_download ready =
+        let d = !next_d in
+        let _, _, co = chunks.(d) in
+        d_done.(d) <- Float.max !dma_free ready +. co;
+        dma_free := d_done.(d);
+        incr next_d
+      in
+      match (up_ready !next_u, dn_ready !next_d) with
+      | Some ru, Some rd ->
+          if Float.max !dma_free ru < Float.max !dma_free rd then
+            issue_upload ()
+          else issue_download rd
+      | Some _, None -> issue_upload ()
+      | None, Some rd -> issue_download rd
+      | None, None -> assert false (* next_d < n implies a pending op *)
+    done;
+    let makespan = d_done.(n - 1) in
+    let serial =
+      Array.fold_left (fun a (ci, cp, co) -> a +. ci +. cp +. co) 0.0 chunks
+    in
+    Float.max 0.0 (serial -. makespan)
+  end
+
+(* Per-chunk (copy-in, compute, copy-out) components for [rows] samples
+   split into chunks of [chunk]. *)
+let chunk_components m ~gpu ~entry ~rows ~chunk =
+  let chunk = max 1 (min chunk rows) in
+  let full = rows / chunk in
+  let rem = rows mod chunk in
+  let comp l = (l.h2d_s, l.kernel_s +. l.launch_s, l.d2h_s) in
+  let c_full = comp (estimate m ~gpu ~entry ~rows:chunk) in
+  Array.init
+    (full + if rem > 0 then 1 else 0)
+    (fun i ->
+      if i < full then c_full else comp (estimate m ~gpu ~entry ~rows:rem))
+
+(** [estimate_streamed m ~gpu ~entry ~rows ~chunk ~streams] — the
+    chunked schedule of {!estimate_chunked} with [streams]-deep
+    double-buffered overlap recorded in [overlap_s]; component columns
+    (and hence [transfer_fraction]) are identical to the monolithic
+    chunked ledger. *)
+let estimate_streamed (m : Ir.modul) ~gpu ~entry ~rows ~chunk ~streams : ledger =
+  let l = estimate_chunked m ~gpu ~entry ~rows ~chunk in
+  l.overlap_s <-
+    pipeline_overlap ~streams (chunk_components m ~gpu ~entry ~rows ~chunk);
+  l
+
+(** [run_streamed m ~gpu ~entry ~inputs ~rows ~out_cols ~streams ()] —
+    functional streamed execution: the batch is split into [streams]
+    chunks, every chunk runs exactly through {!run}, and the per-slot
+    outputs are concatenated so the result is bit-identical to the
+    monolithic [run].  The ledger carries the serial component sums plus
+    the modelled pipeline overlap.  Falls back to the monolithic path
+    when the host schedule is not stream-safe ({!Copy_opt.stream_profile})
+    or the split would be trivial. *)
+let run_streamed (m : Ir.modul) ~(gpu : M.gpu) ~entry
+    ~(inputs : float array list) ~rows ~out_cols ~streams () : result =
+  let streams = max 1 streams in
+  let chunk = if streams = 1 then rows else (rows + streams - 1) / streams in
+  if streams = 1 || rows <= 1 || chunk >= rows
+     || not (Copy_opt.stream_profile m ~entry).Copy_opt.stream_safe
+  then run m ~gpu ~entry ~inputs ~rows ~out_cols ()
+  else begin
+    let host =
+      List.find
+        (fun (o : Ir.op) ->
+          o.Ir.name = "func.func" && Ir.string_attr o "sym_name" = Some entry)
+        m.Ir.mops
+    in
+    let blk = Option.get (Ir.entry_block host) in
+    let cols_of (v : Ir.value) =
+      match v.Ir.vty with
+      | Types.MemRef ([ _; Some c ], _) -> c
+      | Types.MemRef ([ Some c; _ ], _) -> c
+      | _ -> 1
+    in
+    let in_cols =
+      match List.rev blk.Ir.bargs with
+      | _out :: rev_ins -> List.rev_map cols_of rev_ins
+      | [] -> fail "host function %S has no parameters" entry
+    in
+    if List.length in_cols <> List.length inputs then
+      fail "run_streamed: %d inputs for %d host input parameters"
+        (List.length inputs) (List.length in_cols);
+    let out = Array.make (rows * out_cols) 0.0 in
+    let ledger = empty_ledger () in
+    let components = ref [] in
+    let lo = ref 0 in
+    while !lo < rows do
+      let crows = min chunk (rows - !lo) in
+      let sliced =
+        List.map2
+          (fun data cols -> Array.sub data (!lo * cols) (crows * cols))
+          inputs in_cols
+      in
+      let r = run m ~gpu ~entry ~inputs:sliced ~rows:crows ~out_cols () in
+      (* chunk outputs are slot-transposed like the full output: slot j of
+         the chunk is entries [j*crows, (j+1)*crows) *)
+      for j = 0 to out_cols - 1 do
+        Array.blit r.output (j * crows) out ((j * rows) + !lo) crows
+      done;
+      components :=
+        (r.ledger.h2d_s, r.ledger.kernel_s +. r.ledger.launch_s, r.ledger.d2h_s)
+        :: !components;
+      ledger.h2d_s <- ledger.h2d_s +. r.ledger.h2d_s;
+      ledger.d2h_s <- ledger.d2h_s +. r.ledger.d2h_s;
+      ledger.kernel_s <- ledger.kernel_s +. r.ledger.kernel_s;
+      ledger.launch_s <- ledger.launch_s +. r.ledger.launch_s;
+      ledger.alloc_s <- ledger.alloc_s +. r.ledger.alloc_s;
+      lo := !lo + crows
+    done;
+    ledger.overlap_s <-
+      pipeline_overlap ~streams (Array.of_list (List.rev !components));
+    { ledger; output = out }
+  end

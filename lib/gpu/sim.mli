@@ -18,11 +18,19 @@ type ledger = {
   mutable kernel_s : float;
   mutable launch_s : float;
   mutable alloc_s : float;
+  mutable overlap_s : float;
+      (** time hidden by stream-pipelined transfer/compute overlap;
+          0 for monolithic schedules *)
 }
 
-val total_seconds : ledger -> float
+val serial_seconds : ledger -> float
+(** Sum of the component columns — the cost with no overlap. *)
 
-(** Fraction of the total spent moving data (the Fig. 9 quantity). *)
+val total_seconds : ledger -> float
+(** [serial_seconds - overlap_s] — the modelled wall-clock. *)
+
+(** Fraction of the serial total spent moving data (the Fig. 9
+    quantity); independent of how much a given stream count hides. *)
 val transfer_fraction : ledger -> float
 
 val pp_ledger : Format.formatter -> ledger -> unit
@@ -68,3 +76,42 @@ val add_ledger : ledger -> ledger -> ledger
     chunks the per-transfer latency dominates — Fig. 9). *)
 val estimate_chunked :
   Ir.modul -> gpu:M.gpu -> entry:string -> rows:int -> chunk:int -> ledger
+
+(** [pipeline_overlap ~streams chunks] — modelled seconds hidden by an
+    [streams]-deep double-buffered pipeline over per-chunk
+    [(copy_in, compute, copy_out)] components: one DMA engine, one
+    compute engine, chunk [i]'s upload gated on chunk [i - streams]'s
+    download (buffer reuse).  Guarantees
+    [0 <= overlap <= min (total copies) (total compute)]; [streams <= 1]
+    gives 0.  Exposed for the ledger-accounting tests. *)
+val pipeline_overlap : streams:int -> (float * float * float) array -> float
+
+(** [estimate_streamed m ~gpu ~entry ~rows ~chunk ~streams] — the
+    {!estimate_chunked} schedule with the pipeline overlap recorded in
+    [overlap_s]; component columns (and [transfer_fraction]) match the
+    monolithic chunked ledger. *)
+val estimate_streamed :
+  Ir.modul ->
+  gpu:M.gpu ->
+  entry:string ->
+  rows:int ->
+  chunk:int ->
+  streams:int ->
+  ledger
+
+(** [run_streamed m ~gpu ~entry ~inputs ~rows ~out_cols ~streams ()] —
+    functional streamed execution: the batch is split into [streams]
+    chunks, each run exactly, outputs concatenated per slot —
+    bit-identical to the monolithic {!run}.  Falls back to {!run} when
+    [streams <= 1] or the host schedule is not stream-safe
+    ({!Copy_opt.stream_profile}). *)
+val run_streamed :
+  Ir.modul ->
+  gpu:M.gpu ->
+  entry:string ->
+  inputs:float array list ->
+  rows:int ->
+  out_cols:int ->
+  streams:int ->
+  unit ->
+  result

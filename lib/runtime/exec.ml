@@ -2,45 +2,78 @@
     it over input data, multi-threaded.
 
     The generated kernel itself is single-threaded; the runtime splits
-    the input into chunks of the user-provided batch size and processes
-    the chunks on a pool of OCaml 5 domains — "the runtime component ...
-    will split the input data into multiple chunks and use multiple
-    threads to process these chunks in parallel.  In this case, the
-    user-provided batch size is used as size for the chunks.  Note that
-    the batch size is a mere optimization hint, the generated kernel can
-    still process an arbitrary number of inputs."
+    the input into chunks and processes the chunks on a persistent
+    {!Pool} of OCaml 5 domains — "the runtime component ... will split
+    the input data into multiple chunks and use multiple threads to
+    process these chunks in parallel."  The user-provided batch size is
+    an optimization hint and an upper bound on the chunk size; when
+    running parallel, {!chunk_plan} shrinks chunks toward ~4 per worker
+    (oversubscription so work stealing has slack to rebalance) with a
+    floor at the SIMD width so JIT lane loops stay full.
 
-    Zero-copy parallelism (docs/PERFORMANCE.md): chunks are handed to the
-    kernel as buffer {e views} — base offset + length into the shared
-    flat input — instead of [Array.sub] copies, and single-slot results
-    are written by the kernel directly into the shared output array.
-    Each worker domain owns a {!ctx} (JIT register frames + a scratch
-    output pool for multi-slot kernels) allocated once and reused across
-    all the chunks it processes.
+    Streaming execution (docs/PERFORMANCE.md §5): the pool is created
+    {e once} — at [load] time, or passed in by the caller (the compiler
+    shares one process-wide pool) — and reused across every [execute]
+    call, as are the per-worker contexts (JIT register frames + scratch).
+    Nothing is spawned per call.
+
+    Zero-copy parallelism (docs/PERFORMANCE.md §2): chunks are handed to
+    the kernel as buffer {e views} — base offset + length into the
+    shared flat input — instead of [Array.sub] copies, and single-slot
+    results are written by the kernel directly into the shared output
+    array.
 
     Fault tolerance (docs/RESILIENCE.md): a kernel trap inside one chunk
     must not hang the batch or lose domains.  Workers run every chunk
     under an exception barrier; the first captured failure wins, the
-    remaining chunks are cancelled, every domain is joined, and exactly
+    remaining chunks are cancelled, the round is drained, and exactly
     one {!Chunk_error} — carrying the chunk bounds, the exception text
     and its backtrace — surfaces to the caller. *)
 
 module Jit = Spnc_cpu.Jit
 module Vm = Spnc_cpu.Vm
 
+(* Per-worker execution context, allocated once per worker slot and
+   reused across every chunk of every [execute] call. *)
+type ctx = {
+  state : Jit.state option;  (** JIT register frames (engine = Jit) *)
+  mutable scratch : float array;
+      (** pooled output backing for multi-slot kernels; grown on demand *)
+}
+
 type t = {
   kernel : Spnc_cpu.Lir.modul;
   jit : Jit.kernel option;  (** compiled closures iff [engine = Jit] *)
   engine : Jit.engine;
   out_cols : int;  (** slots per sample in the kernel output buffer *)
-  batch_size : int;  (** chunk size hint *)
+  batch_size : int;  (** chunk size hint / upper bound *)
   threads : int;
+  sched : Pool.sched;
+  min_chunk : int;  (** adaptive-chunk floor (SIMD width) *)
+  pool : Pool.t option;  (** worker pool iff [threads > 1] *)
+  owns_pool : bool;  (** [shutdown] tears the pool down iff set *)
+  ctxs : ctx option array;  (** per-worker-slot contexts, lazily filled *)
+  exec_lock : Mutex.t;
+      (** contexts are reused across calls, so concurrent [execute] on
+          one [t] must serialize *)
 }
 
-let load ?(batch_size = 4096) ?(threads = 1) ?(engine = Jit.Jit) ?jit ~out_cols
-    kernel =
+let auto_threads () = max 1 (min 64 (Domain.recommended_domain_count ()))
+
+let chunk_plan ~rows ~threads ~batch_size ~min_chunk =
+  if rows <= 0 then batch_size
+  else if threads <= 1 then batch_size
+  else
+    (* ~4x oversubscription: aim for four chunks per worker so stealing
+       has slack to rebalance skewed chunk costs, but never exceed the
+       user's batch-size hint and never drop below the SIMD width *)
+    let target = (rows + (threads * 4) - 1) / (threads * 4) in
+    max 1 (max min_chunk (min batch_size target))
+
+let load ?(batch_size = 4096) ?(threads = 1) ?(engine = Jit.Jit) ?jit
+    ?(sched = Pool.Stealing) ?(min_chunk = 1) ?pool ~out_cols kernel =
   if batch_size <= 0 then invalid_arg "Exec.load: batch_size must be positive";
-  if threads <= 0 then invalid_arg "Exec.load: threads must be positive";
+  let threads = if threads <= 0 then auto_threads () else min threads 256 in
   (* compile eagerly (and on the caller's domain): Jit.kernel is immutable
      and shared by all workers, only the per-worker state is mutable *)
   let jit =
@@ -48,7 +81,31 @@ let load ?(batch_size = 4096) ?(threads = 1) ?(engine = Jit.Jit) ?jit ~out_cols
     | Jit.Vm -> None
     | Jit.Jit -> Some (match jit with Some k -> k | None -> Jit.compile kernel)
   in
-  { kernel; jit; engine; out_cols; batch_size; threads }
+  let pool, owns_pool =
+    if threads <= 1 then (None, false)
+    else
+      match pool with
+      | Some p -> (Some p, false)
+      | None -> (Some (Pool.create ~size:threads), true)
+  in
+  {
+    kernel;
+    jit;
+    engine;
+    out_cols;
+    batch_size;
+    threads;
+    sched;
+    min_chunk = max 1 min_chunk;
+    pool;
+    owns_pool;
+    ctxs = Array.make (max 1 threads) None;
+    exec_lock = Mutex.create ();
+  }
+
+let threads t = t.threads
+
+let shutdown t = if t.owns_pool then Option.iter Pool.shutdown t.pool
 
 type chunk_error = {
   chunk_lo : int;  (** first sample index of the failing chunk *)
@@ -67,16 +124,19 @@ let () =
              e.chunk_hi e.message)
     | _ -> None)
 
-(* Per-worker execution context, allocated once per domain and reused
-   across every chunk the domain processes. *)
-type ctx = {
-  state : Jit.state option;  (** JIT register frames (engine = Jit) *)
-  mutable scratch : float array;
-      (** pooled output backing for multi-slot kernels; grown on demand *)
-}
-
 let make_ctx (t : t) : ctx =
   { state = Option.map Jit.make_state t.jit; scratch = [||] }
+
+(* Worker slot -> context, created on first use and kept for the life of
+   [t].  Slots are owned by exactly one worker within a round, so the
+   per-index writes never race. *)
+let get_ctx (t : t) w =
+  match t.ctxs.(w) with
+  | Some c -> c
+  | None ->
+      let c = make_ctx t in
+      t.ctxs.(w) <- Some c;
+      c
 
 let run_engine (t : t) (ctx : ctx) ~buffers : unit =
   match (t.engine, t.jit, ctx.state) with
@@ -110,11 +170,6 @@ let run_chunk (t : t) (ctx : ctx) ~(flat : float array) ~(out : float array)
     Array.blit ctx.scratch 0 out lo rows
   end
 
-(** [execute t ~flat ~rows ~num_features] — evaluate all samples,
-    chunked, possibly across domains; returns one value per sample.
-    @raise Invalid_argument on malformed dimensions or a size mismatch.
-    @raise Chunk_error when the kernel fails inside a chunk; all worker
-    domains are joined first and exactly one error is surfaced. *)
 let execute (t : t) ~(flat : float array) ~rows ~num_features : float array =
   if rows < 0 then
     invalid_arg (Printf.sprintf "Exec.execute: negative rows (%d)" rows);
@@ -130,68 +185,60 @@ let execute (t : t) ~(flat : float array) ~rows ~num_features : float array =
          (Array.length flat) rows num_features);
   if rows = 0 then [||]
   else begin
-    let out = Array.make rows 0.0 in
-    let chunks = ref [] in
-    let lo = ref 0 in
-    while !lo < rows do
-      let hi = min rows (!lo + t.batch_size) in
-      chunks := (!lo, hi) :: !chunks;
-      lo := hi
-    done;
-    let chunks = Array.of_list (List.rev !chunks) in
-    (* first captured failure wins; set exactly once *)
-    let failure : chunk_error option Atomic.t = Atomic.make None in
-    let record lo hi e bt =
-      let err =
-        {
-          chunk_lo = lo;
-          chunk_hi = hi;
-          message = Printexc.to_string e;
-          backtrace = Printexc.raw_backtrace_to_string bt;
-        }
-      in
-      ignore (Atomic.compare_and_set failure None (Some err))
-    in
-    let process ctx (lo, hi) =
-      match run_chunk t ctx ~flat ~out ~num_features ~lo ~hi with
-      | () -> ()
-      | exception ((Stack_overflow | Out_of_memory) as e) ->
-          (* even fatal resource exhaustion must not escape a worker
-             domain (a raise would be lost at Domain.join time); record
-             it like any chunk failure *)
-          record lo hi e (Printexc.get_raw_backtrace ())
-      | exception e -> record lo hi e (Printexc.get_raw_backtrace ())
-    in
-    if t.threads <= 1 || Array.length chunks <= 1 then begin
-      let ctx = make_ctx t in
-      Array.iter
-        (fun c -> if Atomic.get failure = None then process ctx c)
-        chunks
-    end
-    else begin
-      (* domain pool over an atomic work index; a recorded failure
-         cancels the remaining chunks but never a running one.  Each
-         worker allocates its context once, then reuses its frames and
-         scratch across all the chunks it claims. *)
-      let next = Atomic.make 0 in
-      let worker () =
-        let ctx = make_ctx t in
-        let continue = ref true in
-        while !continue do
-          let i = Atomic.fetch_and_add next 1 in
-          if i >= Array.length chunks || Atomic.get failure <> None then
-            continue := false
-          else process ctx chunks.(i)
-        done
-      in
-      let n_workers = min t.threads (Array.length chunks) in
-      let domains = List.init (n_workers - 1) (fun _ -> Domain.spawn worker) in
-      worker ();
-      List.iter Domain.join domains
-    end;
-    match Atomic.get failure with
-    | Some err -> raise (Chunk_error err)
-    | None -> out
+    Mutex.lock t.exec_lock;
+    Fun.protect
+      ~finally:(fun () -> Mutex.unlock t.exec_lock)
+      (fun () ->
+        let out = Array.make rows 0.0 in
+        let chunk =
+          chunk_plan ~rows ~threads:t.threads ~batch_size:t.batch_size
+            ~min_chunk:t.min_chunk
+        in
+        let n_chunks = (rows + chunk - 1) / chunk in
+        let chunks =
+          Array.init n_chunks (fun i ->
+              (i * chunk, min rows ((i + 1) * chunk)))
+        in
+        (* first captured failure wins; set exactly once *)
+        let failure : chunk_error option Atomic.t = Atomic.make None in
+        let record lo hi e bt =
+          let err =
+            {
+              chunk_lo = lo;
+              chunk_hi = hi;
+              message = Printexc.to_string e;
+              backtrace = Printexc.raw_backtrace_to_string bt;
+            }
+          in
+          ignore (Atomic.compare_and_set failure None (Some err))
+        in
+        let process ctx (lo, hi) =
+          match run_chunk t ctx ~flat ~out ~num_features ~lo ~hi with
+          | () -> ()
+          | exception ((Stack_overflow | Out_of_memory) as e) ->
+              (* even fatal resource exhaustion must not escape a worker
+                 domain (a raise would be lost inside the pool); record
+                 it like any chunk failure *)
+              record lo hi e (Printexc.get_raw_backtrace ())
+          | exception e -> record lo hi e (Printexc.get_raw_backtrace ())
+        in
+        (match t.pool with
+        | None ->
+            let ctx = get_ctx t 0 in
+            Array.iter
+              (fun c -> if Atomic.get failure = None then process ctx c)
+              chunks
+        | Some _ when n_chunks <= 1 ->
+            (* one chunk: skip the round protocol entirely *)
+            process (get_ctx t 0) chunks.(0)
+        | Some pool ->
+            Pool.run pool ~sched:t.sched ~workers:t.threads
+              ~stop:(fun () -> Atomic.get failure <> None)
+              ~num_tasks:n_chunks
+              (fun ~worker i -> process (get_ctx t worker) chunks.(i)));
+        match Atomic.get failure with
+        | Some err -> raise (Chunk_error err)
+        | None -> out)
   end
 
 (** [execute_rows t rows_2d] — convenience over row-major samples.

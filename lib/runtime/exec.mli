@@ -2,36 +2,71 @@
     it over input data, multi-threaded.
 
     The generated kernel is single-threaded; the runtime splits the input
-    into chunks of the user-provided batch size and processes them on a
-    pool of OCaml 5 domains.  The batch size is an optimization hint:
-    any row count works.
+    into chunks and processes them on a persistent {!Pool} of OCaml 5
+    domains.  The batch size is an optimization hint and an upper bound
+    on the chunk size; in parallel runs {!chunk_plan} targets ~4 chunks
+    per worker with a floor at the SIMD width.
 
-    Chunks are zero-copy: kernels receive {!Spnc_cpu.Vm.view}s into the
-    shared flat input (and, for single-slot kernels, into the shared
-    output), and each worker reuses one set of register frames and
-    scratch across all its chunks (docs/PERFORMANCE.md).
+    Streaming execution (docs/PERFORMANCE.md §5): the worker pool and the
+    per-worker contexts (JIT register frames + scratch) are created once
+    per loaded kernel — or shared, via [?pool] — and reused across every
+    [execute] call; nothing is spawned per call.  Chunks are zero-copy:
+    kernels receive {!Spnc_cpu.Vm.view}s into the shared flat input (and,
+    for single-slot kernels, into the shared output).
 
     Fault tolerance: a kernel trap inside one chunk cancels the remaining
-    chunks, every domain is joined, and exactly one {!Chunk_error}
-    surfaces (docs/RESILIENCE.md). *)
+    chunks, the round is drained, and exactly one {!Chunk_error} surfaces
+    (docs/RESILIENCE.md). *)
 
 type t
 
-(** [load ?batch_size ?threads ?engine ?jit ~out_cols kernel] prepares a
-    kernel whose output buffer has [out_cols] slots per sample (slot 0 is
-    the query result).  [engine] picks the execution engine (default
-    {!Spnc_cpu.Jit.Jit}, the closure compiler); pass [?jit] to reuse an
-    already-compiled {!Spnc_cpu.Jit.kernel} (e.g. from the compiler's
-    kernel cache) instead of recompiling here.
-    @raise Invalid_argument on non-positive [batch_size] or [threads]. *)
+(** [load ?batch_size ?threads ?engine ?jit ?sched ?min_chunk ?pool
+    ~out_cols kernel] prepares a kernel whose output buffer has
+    [out_cols] slots per sample (slot 0 is the query result).
+
+    [threads <= 0] means auto: [Domain.recommended_domain_count],
+    clamped to [1..64]; positive values are clamped to 256.  [engine]
+    picks the execution engine (default {!Spnc_cpu.Jit.Jit}, the closure
+    compiler); pass [?jit] to reuse an already-compiled
+    {!Spnc_cpu.Jit.kernel} (e.g. from the compiler's kernel cache).
+    [sched] picks the parallel scheduler (default {!Pool.Stealing});
+    [min_chunk] is the adaptive-chunk floor (pass the SIMD width so JIT
+    lane loops stay full).  When [threads > 1] the kernel either uses
+    the caller-provided [?pool] (shared; never shut down by {!shutdown})
+    or creates its own (torn down by {!shutdown}).
+    @raise Invalid_argument on non-positive [batch_size]. *)
 val load :
   ?batch_size:int ->
   ?threads:int ->
   ?engine:Spnc_cpu.Jit.engine ->
   ?jit:Spnc_cpu.Jit.kernel ->
+  ?sched:Pool.sched ->
+  ?min_chunk:int ->
+  ?pool:Pool.t ->
   out_cols:int ->
   Spnc_cpu.Lir.modul ->
   t
+
+val threads : t -> int
+(** Effective worker count after auto-resolution and clamping. *)
+
+val shutdown : t -> unit
+(** Tear down the worker pool iff this [t] created it ([?pool] was not
+    passed).  Safe to call on single-threaded or pool-sharing kernels
+    (no-op). *)
+
+val chunk_plan :
+  rows:int -> threads:int -> batch_size:int -> min_chunk:int -> int
+(** The adaptive chunk size used by [execute]: [batch_size] when
+    single-threaded, otherwise
+    [max min_chunk (min batch_size (ceil (rows / (threads * 4))))]
+    (clamped to at least 1) — ~4 chunks per worker so work stealing has
+    slack, floored at the SIMD width so lane loops stay full.  Pure;
+    exposed for tests. *)
+
+val auto_threads : unit -> int
+(** [Domain.recommended_domain_count ()] clamped to [1..64] — the
+    meaning of [threads <= 0]. *)
 
 type chunk_error = {
   chunk_lo : int;  (** first sample index of the failing chunk *)
@@ -44,10 +79,11 @@ type chunk_error = {
 exception Chunk_error of chunk_error
 
 (** [execute t ~flat ~rows ~num_features] evaluates all samples (row-major
-    flat input); one result per sample.
+    flat input); one result per sample.  Calls on one [t] are serialized
+    (per-worker contexts are reused across calls).
     @raise Invalid_argument on malformed dimensions or a size mismatch.
-    @raise Chunk_error when the kernel fails inside a chunk; all worker
-    domains are joined first. *)
+    @raise Chunk_error when the kernel fails inside a chunk; the round is
+    drained first. *)
 val execute : t -> flat:float array -> rows:int -> num_features:int -> float array
 
 (** [execute_rows t rows] — convenience over row-major samples.

@@ -67,13 +67,27 @@ let test_occupancy_penalty_for_huge_blocks () =
 
 let test_ledger_arithmetic () =
   let l1 =
-    { Sim.h2d_s = 1.0; d2h_s = 2.0; kernel_s = 3.0; launch_s = 4.0; alloc_s = 5.0 }
+    {
+      Sim.h2d_s = 1.0;
+      d2h_s = 2.0;
+      kernel_s = 3.0;
+      launch_s = 4.0;
+      alloc_s = 5.0;
+      overlap_s = 0.0;
+    }
   in
   let l2 = Sim.scale_ledger l1 2.0 in
   check (Alcotest.float 1e-12) "scaled total" 30.0 (Sim.total_seconds l2);
   let l3 = Sim.add_ledger l1 l2 in
   check (Alcotest.float 1e-12) "added total" 45.0 (Sim.total_seconds l3);
   check (Alcotest.float 1e-12) "transfer fraction" (9.0 /. 45.0)
+    (Sim.transfer_fraction l3);
+  (* overlap reduces the wall-clock total but not the components, so the
+     transfer fraction is unchanged *)
+  l3.Sim.overlap_s <- 5.0;
+  check (Alcotest.float 1e-12) "overlap subtracts" 40.0 (Sim.total_seconds l3);
+  check (Alcotest.float 1e-12) "serial unchanged" 45.0 (Sim.serial_seconds l3);
+  check (Alcotest.float 1e-12) "fraction unchanged" (9.0 /. 45.0)
     (Sim.transfer_fraction l3)
 
 (* -- PTX internals ------------------------------------------------------------- *)

@@ -274,9 +274,12 @@ let test_exec_load_validation () =
   (match Exec.load ~batch_size:0 ~out_cols:1 lir with
   | exception Invalid_argument _ -> ()
   | _ -> Alcotest.fail "batch_size=0 must be rejected");
-  match Exec.load ~threads:0 ~out_cols:1 lir with
-  | exception Invalid_argument _ -> ()
-  | _ -> Alcotest.fail "threads=0 must be rejected"
+  (* threads <= 0 means auto-detect (docs/PERFORMANCE.md §5), not an error *)
+  let t = Exec.load ~threads:0 ~out_cols:1 lir in
+  check tbool "threads=0 resolves to >= 1 workers" true (Exec.threads t >= 1);
+  check tbool "auto matches the advertised resolution" true
+    (Exec.threads t = Exec.auto_threads ());
+  Exec.shutdown t
 
 (* Feeding a 2-feature kernel 1-feature rows makes the kernel index out
    of bounds inside a chunk: exactly one Chunk_error must surface, with

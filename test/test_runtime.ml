@@ -3,12 +3,19 @@
     than chunks), bit-identical output across batch sizes, thread counts
     and execution engines, the pooled-scratch path for multi-slot
     kernels, buffer-view semantics, the JIT's constant promotion under
-    frame reuse, and the kernel compilation cache counters. *)
+    frame reuse, the kernel compilation cache counters, and the
+    streaming layer (docs/PERFORMANCE.md §5-§6): persistent-pool domain
+    reuse, work stealing under skewed chunk costs, the adaptive chunk
+    plan, scheduler bit-identity, thread auto-detection, thread-safe
+    compilation/execution, and the GPU stream pipeline's output equality
+    and overlap-ledger accounting. *)
 
 module Lir = Spnc_cpu.Lir
 module Vm = Spnc_cpu.Vm
 module Jit = Spnc_cpu.Jit
 module Exec = Spnc_runtime.Exec
+module Pool = Spnc_runtime.Pool
+module Sim = Spnc_gpu.Sim
 module Compiler = Spnc.Compiler
 module Options = Spnc.Options
 module Model = Spnc_spn.Model
@@ -414,6 +421,241 @@ let test_driver_engine_parity () =
         base (run engine threads))
     [ (Jit.Vm, 3); (Jit.Jit, 1); (Jit.Jit, 3) ]
 
+(* -- Streaming execution: persistent pool + work stealing --------------------- *)
+
+(* Loading a kernel spawns the pool's domains once; repeated executes
+   must reuse them.  [Pool.total_domains_spawned] is the process-wide
+   spawn counter, so any per-call spawning shows up as a delta. *)
+let test_pool_persists_across_calls () =
+  let data = rows_2feat 64 in
+  let expect = expected_2feat data in
+  let t = Exec.load ~batch_size:4 ~threads:3 ~out_cols:1 kernel_2feat in
+  let spawned = Pool.total_domains_spawned () in
+  for _ = 1 to 5 do
+    check_bits "pooled execute" expect (Exec.execute_rows t data)
+  done;
+  check tint "no new domains across repeated executes" spawned
+    (Pool.total_domains_spawned ());
+  Exec.shutdown t
+
+(* Worker 0 owns tasks 0..3 (16 tasks over 4 workers) and, popping its
+   own deque from the bottom, takes task 3 first.  Task 3 then blocks
+   until 0..2 complete — which only a thief can make happen, so the
+   round terminates iff stealing works, and at least 3 steals are
+   guaranteed in every interleaving.  A deadline keeps a broken
+   scheduler from hanging the suite (the assertions then fail). *)
+let test_stealing_rebalances_skewed_costs () =
+  let p = Pool.create ~size:4 in
+  Fun.protect
+    ~finally:(fun () -> Pool.shutdown p)
+    (fun () ->
+      let n = 16 in
+      let runs = Array.init n (fun _ -> Atomic.make 0) in
+      let before = Pool.steal_count p in
+      let deadline = Unix.gettimeofday () +. 10.0 in
+      Pool.run p ~sched:Pool.Stealing ~num_tasks:n (fun ~worker:_ i ->
+          if i = 3 then
+            while
+              (Atomic.get runs.(0) = 0
+              || Atomic.get runs.(1) = 0
+              || Atomic.get runs.(2) = 0)
+              && Unix.gettimeofday () < deadline
+            do
+              Domain.cpu_relax ()
+            done;
+          Atomic.incr runs.(i));
+      Array.iteri
+        (fun i r ->
+          check tint (Printf.sprintf "task %d ran exactly once" i) 1
+            (Atomic.get r))
+        runs;
+      check tbool "skewed round forced steals" true
+        (Pool.steal_count p - before >= 3);
+      (* static rounds on the same pool never steal *)
+      let before_static = Pool.steal_count p in
+      let runs2 = Array.init n (fun _ -> Atomic.make 0) in
+      Pool.run p ~sched:Pool.Static ~num_tasks:n (fun ~worker:_ i ->
+          Atomic.incr runs2.(i));
+      Array.iteri
+        (fun i r ->
+          check tint (Printf.sprintf "static task %d ran exactly once" i) 1
+            (Atomic.get r))
+        runs2;
+      check tint "static round stole nothing" before_static (Pool.steal_count p))
+
+let test_adaptive_chunk_plan () =
+  check tint "single-threaded: the batch size" 64
+    (Exec.chunk_plan ~rows:100_000 ~threads:1 ~batch_size:64 ~min_chunk:8);
+  check tint "parallel: ~4 chunks per worker" 63
+    (Exec.chunk_plan ~rows:1000 ~threads:4 ~batch_size:64 ~min_chunk:8);
+  check tint "floored at the SIMD width" 16
+    (Exec.chunk_plan ~rows:1000 ~threads:32 ~batch_size:64 ~min_chunk:16);
+  check tint "capped at the batch size" 64
+    (Exec.chunk_plan ~rows:100_000 ~threads:2 ~batch_size:64 ~min_chunk:8);
+  check tint "tiny inputs still respect the floor" 8
+    (Exec.chunk_plan ~rows:3 ~threads:4 ~batch_size:64 ~min_chunk:8);
+  check tint "degenerate floor clamps to 1" 1
+    (Exec.chunk_plan ~rows:10 ~threads:4 ~batch_size:1 ~min_chunk:0)
+
+(* Static and Stealing must be observationally identical: per-sample
+   results do not depend on which worker ran which chunk. *)
+let test_sched_grid_bit_identical () =
+  let data = rows_2feat 37 in
+  let expect = expected_2feat data in
+  List.iter
+    (fun sched ->
+      List.iter
+        (fun threads ->
+          let t =
+            Exec.load ~batch_size:3 ~threads ~sched ~min_chunk:2 ~out_cols:1
+              kernel_2feat
+          in
+          check_bits
+            (Printf.sprintf "sched=%s threads=%d" (Pool.sched_to_string sched)
+               threads)
+            expect (Exec.execute_rows t data);
+          Exec.shutdown t)
+        [ 1; 2; 4 ])
+    [ Pool.Static; Pool.Stealing ]
+
+let test_threads_auto_normalization () =
+  let auto = Options.normalize_threads 0 in
+  check tbool "auto is at least 1" true (auto >= 1);
+  check tbool "auto is clamped to 64" true (auto <= 64);
+  check tint "negative also means auto" auto (Options.normalize_threads (-3));
+  check tint "auto matches the runtime's resolution" (Exec.auto_threads ()) auto;
+  check tint "positive values pass through" 8 (Options.normalize_threads 8);
+  check tint "hard cap at 256" 256 (Options.normalize_threads 1000);
+  check tint "effective_threads resolves the record" auto
+    (Options.effective_threads { Options.default with threads = -1 })
+
+(* Four domains compile the same model and execute the shared JIT
+   artifact concurrently.  This races the kernel-cache lookup and —
+   the PR-3 fix — the [Lazy.force] of the cached closure kernel, which
+   unsynchronized raises [CamlinternalLazy.Undefined] cross-domain. *)
+let test_concurrent_compile_and_execute () =
+  Compiler.reset_kernel_cache ();
+  let m = Lazy.force small_model in
+  let data =
+    Array.init 17 (fun i -> [| (0.4 *. float_of_int i) -. 2.0; 1.0 -. (0.3 *. float_of_int i) |])
+  in
+  let options = { Options.default with engine = Jit.Jit; threads = 2 } in
+  let workers =
+    Array.init 4 (fun _ ->
+        Domain.spawn (fun () ->
+            let c = Compiler.compile ~options m in
+            Array.init 3 (fun _ -> Compiler.execute c data)))
+  in
+  let results = Array.map Domain.join workers in
+  let expect = Compiler.execute (Compiler.compile ~options m) data in
+  Array.iter
+    (Array.iter (fun got -> check_bits "concurrent execute" expect got))
+    results;
+  let k = Compiler.cache_counters () in
+  check tint "every compile was a cache lookup" 5 (k.Compiler.hits + k.Compiler.misses);
+  check tbool "the artifact was compiled at least once" true
+    (k.Compiler.misses >= 1 && k.Compiler.full_compiles >= 1)
+
+(* -- GPU stream pipeline ------------------------------------------------------- *)
+
+let gpu_options streams =
+  {
+    Options.default with
+    Options.target = Options.Gpu;
+    batch_size = 16;
+    block_size = 8;
+    gpu_fallback = false;
+    streams;
+  }
+
+(* The stream count is a schedule knob, not a semantics knob: splitting
+   the batch across in-flight chunks must leave every bit unchanged. *)
+let test_gpu_streams_output_equality () =
+  let m = Lazy.force small_model in
+  let data =
+    Array.init 23 (fun i ->
+        [| (0.3 *. float_of_int i) -. 3.0; 1.5 -. (0.2 *. float_of_int i) |])
+  in
+  let base = Compiler.execute (Compiler.compile ~options:(gpu_options 1) m) data in
+  List.iter
+    (fun streams ->
+      check_bits
+        (Printf.sprintf "gpu streams=%d vs monolithic" streams)
+        base
+        (Compiler.execute (Compiler.compile ~options:(gpu_options streams) m) data))
+    [ 2; 4 ]
+
+(* The DES bound: one DMA engine + one compute engine means the
+   pipelined makespan is at least max(total copies, total compute), so
+   the hidden time can never exceed min of the two. *)
+let test_pipeline_overlap_bounds () =
+  let chunks =
+    Array.init 8 (fun i -> (0.003, 0.001 +. (0.0001 *. float_of_int i), 0.002))
+  in
+  let copies =
+    Array.fold_left (fun a (u, _, d) -> a +. u +. d) 0.0 chunks
+  in
+  let compute = Array.fold_left (fun a (_, k, _) -> a +. k) 0.0 chunks in
+  check tbool "streams=1 hides nothing" true
+    (Sim.pipeline_overlap ~streams:1 chunks = 0.0);
+  check tbool "a single chunk hides nothing" true
+    (Sim.pipeline_overlap ~streams:2 [| (1.0, 1.0, 1.0) |] = 0.0);
+  check tbool "no chunks, no overlap" true
+    (Sim.pipeline_overlap ~streams:4 [||] = 0.0);
+  List.iter
+    (fun streams ->
+      let ov = Sim.pipeline_overlap ~streams chunks in
+      check tbool
+        (Printf.sprintf "streams=%d: multi-chunk pipeline hides time" streams)
+        true (ov > 0.0);
+      check tbool
+        (Printf.sprintf "streams=%d: overlap <= min(copies, compute)" streams)
+        true
+        (ov <= Float.min copies compute +. 1e-12))
+    [ 2; 4 ]
+
+(* estimate_streamed must keep the monolithic component columns (and so
+   the Fig. 9 transfer fraction) and record the hidden time separately,
+   with total = serial - overlap. *)
+let test_streamed_ledger_accounting () =
+  let m = Lazy.force small_model in
+  let options = gpu_options 1 in
+  let c = Compiler.compile ~options m in
+  match c.Compiler.artifact with
+  | Compiler.Cpu_kernel _ -> Alcotest.fail "expected a GPU artifact"
+  | Compiler.Gpu_kernel g ->
+      let gm = g.Compiler.gpu_module in
+      let gpu = options.Options.gpu in
+      let mono =
+        Sim.estimate_chunked gm ~gpu ~entry:"spn_kernel" ~rows:4096 ~chunk:16
+      in
+      let s4 =
+        Sim.estimate_streamed gm ~gpu ~entry:"spn_kernel" ~rows:4096 ~chunk:16
+          ~streams:4
+      in
+      let feq a b = Float.abs (a -. b) <= 1e-9 *. Float.max 1.0 (Float.abs a) in
+      check tbool "monolithic ledger has no overlap" true
+        (mono.Sim.overlap_s = 0.0);
+      check tbool "component columns match the monolithic schedule" true
+        (feq mono.Sim.h2d_s s4.Sim.h2d_s
+        && feq mono.Sim.d2h_s s4.Sim.d2h_s
+        && feq mono.Sim.kernel_s s4.Sim.kernel_s
+        && feq mono.Sim.launch_s s4.Sim.launch_s
+        && feq mono.Sim.alloc_s s4.Sim.alloc_s);
+      check tbool "overlap within [0, min(transfers, compute)]" true
+        (s4.Sim.overlap_s >= 0.0
+        && s4.Sim.overlap_s
+           <= Float.min
+                (s4.Sim.h2d_s +. s4.Sim.d2h_s)
+                (s4.Sim.kernel_s +. s4.Sim.launch_s)
+              +. 1e-12);
+      check tbool "total = serial - overlap" true
+        (feq (Sim.total_seconds s4) (Sim.serial_seconds s4 -. s4.Sim.overlap_s));
+      check tbool "transfer fraction unchanged by streaming" true
+        (feq (Sim.transfer_fraction mono) (Sim.transfer_fraction s4));
+      check tbool "pipelining beats the monolithic schedule" true
+        (Sim.total_seconds s4 < Sim.total_seconds mono)
+
 let suite =
   [
     Alcotest.test_case "chunking grid bit-identical" `Quick test_chunking_grid;
@@ -429,4 +671,17 @@ let suite =
     Alcotest.test_case "cache key sensitivity" `Quick test_cache_key_sensitivity;
     Alcotest.test_case "cache disabled counts compiles" `Quick test_cache_disabled_counts_full_compiles;
     Alcotest.test_case "driver engine parity" `Quick test_driver_engine_parity;
+    Alcotest.test_case "pool persists across calls" `Quick test_pool_persists_across_calls;
+    Alcotest.test_case "stealing rebalances skewed costs" `Quick
+      test_stealing_rebalances_skewed_costs;
+    Alcotest.test_case "adaptive chunk plan" `Quick test_adaptive_chunk_plan;
+    Alcotest.test_case "sched grid bit-identical" `Quick test_sched_grid_bit_identical;
+    Alcotest.test_case "threads auto normalization" `Quick test_threads_auto_normalization;
+    Alcotest.test_case "concurrent compile and execute" `Quick
+      test_concurrent_compile_and_execute;
+    Alcotest.test_case "gpu streams output equality" `Quick
+      test_gpu_streams_output_equality;
+    Alcotest.test_case "pipeline overlap bounds" `Quick test_pipeline_overlap_bounds;
+    Alcotest.test_case "streamed ledger accounting" `Quick
+      test_streamed_ledger_accounting;
   ]
