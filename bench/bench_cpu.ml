@@ -35,6 +35,8 @@ let rows_arg = ref 0 (* 0 = workload default *)
 let reps = ref 5
 let threads = ref 1
 let out_path = ref "BENCH_cpu.json"
+let trace_path = ref "TRACE_cpu.json"
+let metrics_path = ref "METRICS_cpu.json"
 let min_speedup = ref 0.0
 let sustained_calls = ref 120
 let sustained_rows = ref 256
@@ -47,6 +49,12 @@ let spec =
     ("--reps", Arg.Set_int reps, "N Timed repetitions; best-of wins (default 5)");
     ("--threads", Arg.Set_int threads, "N Runtime worker domains (default 1)");
     ("--out", Arg.Set_string out_path, "FILE Output JSON path (default BENCH_cpu.json)");
+    ( "--trace",
+      Arg.Set_string trace_path,
+      "FILE Chrome trace artifact path (default TRACE_cpu.json)" );
+    ( "--metrics-out",
+      Arg.Set_string metrics_path,
+      "FILE Metrics snapshot path (default METRICS_cpu.json)" );
     ( "--min-speedup",
       Arg.Set_float min_speedup,
       "X Fail if the best-CPU JIT speedup over VM is below X (default 0 = no gate)" );
@@ -269,6 +277,25 @@ let () =
     sustained_speedup k.Compiler.hits k.Compiler.misses k.Compiler.full_compiles;
   close_out oc;
   Fmt.pr "wrote %s@." !out_path;
+  (* observability artifacts (docs/OBSERVABILITY.md): tracing stays OFF
+     during every timed section above so it cannot perturb the numbers;
+     a dedicated post-timing capture pass — one uncached compile plus one
+     small execute — produces the trace, and the metrics snapshot carries
+     the counters/histograms accumulated by the whole run *)
+  Spnc_obs.Trace.set_enabled true;
+  let obs_options =
+    {
+      (W.cpu_avx2 ()) with
+      Options.threads = !sustained_threads;
+      use_kernel_cache = false;
+    }
+  in
+  let c_obs = Compiler.compile ~options:obs_options models.(0) in
+  ignore (Compiler.execute c_obs (Array.sub data 0 (min 64 (Array.length data))));
+  Spnc_obs.Trace.set_enabled false;
+  Spnc_obs.Trace.write_file !trace_path;
+  Spnc_obs.Snapshot.write_file !metrics_path (Spnc_obs.Snapshot.take ());
+  Fmt.pr "wrote %s and %s@." !trace_path !metrics_path;
   if not identical then exit 1;
   if speedup < !min_speedup then begin
     Fmt.epr "FAIL: jit speedup %.2fx below required %.2fx@." speedup !min_speedup;

@@ -25,6 +25,8 @@ let usage = "bench_gpu [--rows N] [--check-rows N] [--out FILE]"
 let rows_arg = ref 0 (* 0 = paper scale *)
 let check_rows = ref 512
 let out_path = ref "BENCH_gpu.json"
+let trace_path = ref "TRACE_gpu.json"
+let metrics_path = ref "METRICS_gpu.json"
 
 let spec =
   [
@@ -33,6 +35,12 @@ let spec =
       Arg.Set_int check_rows,
       "N Functionally executed samples for the identity check (default 512)" );
     ("--out", Arg.Set_string out_path, "FILE Output JSON path (default BENCH_gpu.json)");
+    ( "--trace",
+      Arg.Set_string trace_path,
+      "FILE Chrome trace artifact path (default TRACE_gpu.json)" );
+    ( "--metrics-out",
+      Arg.Set_string metrics_path,
+      "FILE Metrics snapshot path (default METRICS_gpu.json)" );
   ]
 
 let () =
@@ -128,6 +136,15 @@ let () =
     n identical;
   close_out oc;
   Fmt.pr "wrote %s@." !out_path;
+  (* observability artifacts: the timing above is fully modelled (no wall
+     clock), so a traced re-run of the 4-stream functional schedule is
+     side-effect-free on the reported numbers *)
+  Spnc_obs.Trace.set_enabled true;
+  ignore (run 4);
+  Spnc_obs.Trace.set_enabled false;
+  Spnc_obs.Trace.write_file !trace_path;
+  Spnc_obs.Snapshot.write_file !metrics_path (Spnc_obs.Snapshot.take ());
+  Fmt.pr "wrote %s and %s@." !trace_path !metrics_path;
   if not identical then exit 1;
   if tf > 0.4 && Sim.total_seconds s4 >= Sim.total_seconds mono then begin
     Fmt.epr

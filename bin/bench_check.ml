@@ -1,0 +1,230 @@
+(** bench_check — the CI perf-regression gate (docs/OBSERVABILITY.md).
+
+    Compares freshly produced bench artifacts (BENCH_cpu.json,
+    BENCH_gpu.json, and the Obs metrics snapshots) against baselines
+    committed under [ci/baselines/].  Shared CI runners are far too
+    noisy for tight wall-clock gates, so the policy is deliberately
+    asymmetric:
+
+    {b hard failures} (exit 1) — things that are never noise:
+    - an unreadable / unparseable fresh artifact or baseline;
+    - a bit-identity break ([bit_identical] /
+      [outputs_bit_identical] false in the fresh run) — engines or
+      schedules diverging is a correctness bug, not a perf wobble;
+    - a wall-clock latency blowup of more than [!blowup] (default 3x)
+      over the baseline that is also more than [!abs_guard_ms] in
+      absolute terms (tiny numbers triple on a cache hiccup);
+    - a {e modelled} (deterministic) GPU time that moved more than the
+      blowup factor — those numbers have no noise excuse.
+
+    {b report-only} (WARN lines, exit 0) — everything else: moderate
+    latency drift, speedup erosion, metric-snapshot differences, and
+    all ratio checks when the fresh and baseline runs were produced at
+    different workload scales ([scale] field mismatch).
+
+    {v
+    bench_check --cpu BENCH_cpu.json --cpu-baseline ci/baselines/BENCH_cpu.json \
+                --gpu BENCH_gpu.json --gpu-baseline ci/baselines/BENCH_gpu.json \
+                --metrics METRICS_cpu.json --metrics-baseline ci/baselines/METRICS_cpu.json
+    v} *)
+
+module Json = Spnc_obs.Json
+module Snapshot = Spnc_obs.Snapshot
+
+let cpu_path = ref ""
+let cpu_baseline = ref ""
+let gpu_path = ref ""
+let gpu_baseline = ref ""
+let metrics_path = ref ""
+let metrics_baseline = ref ""
+let blowup = ref 3.0
+let abs_guard_ms = ref 10.0
+
+let spec =
+  [
+    ("--cpu", Arg.Set_string cpu_path, "FILE Fresh BENCH_cpu.json");
+    ("--cpu-baseline", Arg.Set_string cpu_baseline, "FILE Committed CPU baseline");
+    ("--gpu", Arg.Set_string gpu_path, "FILE Fresh BENCH_gpu.json");
+    ("--gpu-baseline", Arg.Set_string gpu_baseline, "FILE Committed GPU baseline");
+    ("--metrics", Arg.Set_string metrics_path, "FILE Fresh metrics snapshot");
+    ( "--metrics-baseline",
+      Arg.Set_string metrics_baseline,
+      "FILE Committed metrics-snapshot baseline" );
+    ( "--blowup",
+      Arg.Set_float blowup,
+      "X Hard-fail latency ratio threshold (default 3.0)" );
+    ( "--abs-guard-ms",
+      Arg.Set_float abs_guard_ms,
+      "MS Absolute regression floor below which ratios never hard-fail \
+       (default 10)" );
+  ]
+
+let usage = "bench_check --cpu FILE --cpu-baseline FILE [options]"
+
+let failures = ref 0
+let fail fmt = Printf.ksprintf (fun s -> incr failures; Printf.printf "FAIL: %s\n" s) fmt
+let warn fmt = Printf.ksprintf (fun s -> Printf.printf "WARN: %s\n" s) fmt
+let info fmt = Printf.ksprintf (fun s -> Printf.printf "  ok: %s\n" s) fmt
+
+let load name path : Json.t option =
+  if path = "" then None
+  else
+    match Json.parse_file path with
+    | Ok j -> Some j
+    | Error e ->
+        fail "%s: cannot read %s: %s" name path e;
+        None
+
+let get_num j path = Option.bind (Json.find j path) Json.num
+let get_bool j path = Option.bind (Json.find j path) Json.bool
+let get_str j path = Option.bind (Json.find j path) Json.str
+
+(* Compare one lower-is-better number.  [hard] selects whether a blowup
+   may fail the gate (wall-clock at matching scale, or modelled numbers);
+   [unit_ms] converts the value to ms for the absolute guard. *)
+let check_lower ~name ~key ~hard ~unit_ms fresh baseline =
+  match (get_num fresh key, get_num baseline key) with
+  | Some f, Some b when b > 0.0 ->
+      let ratio = f /. b in
+      let delta_ms = (f -. b) *. unit_ms in
+      if ratio > !blowup && delta_ms > !abs_guard_ms && hard then
+        fail "%s %s: %.4g vs baseline %.4g (%.2fx > %.1fx blowup)" name key f b
+          ratio !blowup
+      else if ratio > 1.25 then
+        warn "%s %s: %.4g vs baseline %.4g (%.2fx)" name key f b ratio
+      else info "%s %s: %.4g vs baseline %.4g (%.2fx)" name key f b ratio
+  | Some _, Some _ -> () (* zero baseline: nothing meaningful to compare *)
+  | None, _ -> fail "%s: missing %s in fresh artifact" name key
+  | _, None -> warn "%s: baseline has no %s (new metric?)" name key
+
+(* Higher-is-better numbers (speedups, throughput) are always
+   report-only: CI hosts routinely halve throughput under contention. *)
+let check_higher ~name ~key fresh baseline =
+  match (get_num fresh key, get_num baseline key) with
+  | Some f, Some b when b > 0.0 && f > 0.0 ->
+      let ratio = b /. f in
+      if ratio > 1.25 then
+        warn "%s %s: %.4g vs baseline %.4g (%.2fx worse)" name key f b ratio
+      else info "%s %s: %.4g vs baseline %.4g" name key f b
+  | _ -> ()
+
+let check_bit ~name ~key fresh =
+  match get_bool fresh key with
+  | Some true -> info "%s %s: true" name key
+  | Some false -> fail "%s: %s is FALSE — outputs diverged" name key
+  | None -> fail "%s: missing %s in fresh artifact" name key
+
+let scales_match ~name fresh baseline =
+  match (get_str fresh "scale", get_str baseline "scale") with
+  | Some a, Some b when a = b -> true
+  | Some a, Some b ->
+      warn
+        "%s: scale %S vs baseline %S — latency ratios are report-only for \
+         this artifact"
+        name a b;
+      false
+  | _ ->
+      warn "%s: missing scale field; latency ratios are report-only" name;
+      false
+
+let check_cpu fresh baseline =
+  let name = "cpu" in
+  (* correctness gate first: fresh-run bit identity is scale-independent *)
+  check_bit ~name ~key:"bit_identical" fresh;
+  let hard = scales_match ~name fresh baseline in
+  (* wall-clock: hard only at matching scale, and only past the blowup
+     factor + absolute guard *)
+  check_lower ~name ~key:"best_cpu.jit_seconds" ~hard ~unit_ms:1e3 fresh baseline;
+  check_lower ~name ~key:"scalar.jit_seconds" ~hard ~unit_ms:1e3 fresh baseline;
+  check_lower ~name ~key:"sustained.pool.p50_ms" ~hard ~unit_ms:1.0 fresh baseline;
+  check_lower ~name ~key:"sustained.pool.p99_ms" ~hard ~unit_ms:1.0 fresh baseline;
+  check_higher ~name ~key:"jit_speedup" fresh baseline;
+  check_higher ~name ~key:"sustained.pool_speedup" fresh baseline;
+  check_higher ~name ~key:"sustained.pool.calls_per_sec" fresh baseline
+
+let check_gpu fresh baseline =
+  let name = "gpu" in
+  check_bit ~name ~key:"outputs_bit_identical" fresh;
+  let same_scale = scales_match ~name fresh baseline in
+  (* GPU times are modelled, hence deterministic: gate them whenever the
+     scale matches, with no absolute guard excuse — use a tiny floor so
+     float formatting jitter cannot trip it *)
+  let check_modelled key =
+    match (get_num fresh key, get_num baseline key) with
+    | Some f, Some b when b > 0.0 ->
+        let ratio = f /. b in
+        if same_scale && ratio > !blowup then
+          fail "%s %s (modelled): %.6g vs baseline %.6g (%.2fx)" name key f b
+            ratio
+        else if ratio > 1.05 || ratio < 0.95 then
+          warn "%s %s (modelled): %.6g vs baseline %.6g (%.2fx)" name key f b
+            ratio
+        else info "%s %s: %.6g vs baseline %.6g" name key f b
+    | Some _, Some _ -> ()
+    | None, _ -> fail "%s: missing %s in fresh artifact" name key
+    | _, None -> warn "%s: baseline has no %s" name key
+  in
+  check_modelled "monolithic.total_seconds";
+  check_modelled "streams_4.total_seconds";
+  check_modelled "transfer_fraction";
+  check_higher ~name ~key:"speedup_streams_4" fresh baseline
+
+(* Metrics snapshots are report-only: they carry workload-dependent
+   counters (rows, chunks, steals) that legitimately move.  What the
+   diff surfaces is disappearing instrumentation and wild counter
+   swings, both of which deserve a human look but not a red build. *)
+let check_metrics fresh_j baseline_j =
+  let parse which j =
+    match Snapshot.of_json j with
+    | Ok s -> Some s
+    | Error e ->
+        fail "metrics %s: not a valid snapshot: %s" which e;
+        None
+  in
+  match (parse "fresh" fresh_j, parse "baseline" baseline_j) with
+  | Some fresh, Some baseline ->
+      let fresh_names = List.map fst fresh.Snapshot.metrics in
+      List.iter
+        (fun (bname, bm) ->
+          match List.assoc_opt bname fresh.Snapshot.metrics with
+          | None ->
+              warn "metrics: %s present in baseline but missing from fresh run"
+                bname
+          | Some fm -> (
+              match (bm, fm) with
+              | Snapshot.Counter b, Snapshot.Counter f
+                when b > 0 && (f = 0 || f > 20 * b) ->
+                  warn "metrics: counter %s moved %d -> %d" bname b f
+              | _ -> ()))
+        baseline.Snapshot.metrics;
+      List.iter
+        (fun fname ->
+          if not (List.mem_assoc fname baseline.Snapshot.metrics) then
+            info "metrics: new instrument %s (not in baseline)" fname)
+        fresh_names
+  | _ -> ()
+
+let () =
+  Arg.parse spec (fun a -> raise (Arg.Bad ("unexpected argument " ^ a))) usage;
+  let pair what fresh baseline k =
+    match (fresh, baseline) with
+    | "", "" -> ()
+    | "", _ | _, "" ->
+        fail "%s: need both the fresh artifact and the baseline" what
+    | f, b -> (
+        match (load what f, load (what ^ " baseline") b) with
+        | Some fj, Some bj -> k fj bj
+        | _ -> () (* load already recorded the failure *))
+  in
+  pair "cpu" !cpu_path !cpu_baseline check_cpu;
+  pair "gpu" !gpu_path !gpu_baseline check_gpu;
+  pair "metrics" !metrics_path !metrics_baseline check_metrics;
+  if !cpu_path = "" && !gpu_path = "" && !metrics_path = "" then begin
+    prerr_endline "bench_check: nothing to check (see --help)";
+    exit 2
+  end;
+  if !failures > 0 then begin
+    Printf.printf "bench_check: %d hard failure(s)\n" !failures;
+    exit 1
+  end
+  else print_endline "bench_check: OK (hard gates passed; WARNs are report-only)"

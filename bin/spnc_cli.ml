@@ -322,6 +322,49 @@ let options_term =
     $ partition $ batch $ block $ marginal $ threads $ sched $ streams $ engine
     $ no_kernel_cache $ machine $ output_guard $ no_gpu_fallback)
 
+(* -- observability flags ----------------------------------------------------------- *)
+
+let obs_term =
+  let trace =
+    Arg.(
+      value
+      & opt (some string) None
+      & info [ "trace" ] ~docv:"FILE"
+          ~doc:
+            "Write a Chrome trace-event JSON of this invocation to $(docv); \
+             load it in chrome://tracing or Perfetto (docs/OBSERVABILITY.md).")
+  in
+  let metrics =
+    Arg.(
+      value & flag
+      & info [ "metrics" ]
+          ~doc:"Print the metrics-registry snapshot before exiting.")
+  in
+  Term.(const (fun trace metrics -> (trace, metrics)) $ trace $ metrics)
+
+(* Runs [f] with tracing enabled iff requested, then emits the artifacts
+   even when [f] fails — a crashed compile is exactly when the trace is
+   most wanted. *)
+let with_obs (trace, metrics) (f : unit -> int) : int =
+  if trace <> None then Spnc_obs.Trace.set_enabled true;
+  let finish () =
+    (match trace with
+    | Some path ->
+        let n = List.length (Spnc_obs.Trace.events ()) in
+        Spnc_obs.Trace.set_enabled false;
+        Spnc_obs.Trace.write_file path;
+        Fmt.pr "trace: %d event(s) written to %s@." n path
+    | None -> ());
+    if metrics then Fmt.pr "%a" Spnc_obs.Snapshot.pp (Spnc_obs.Snapshot.take ())
+  in
+  match f () with
+  | code ->
+      finish ();
+      code
+  | exception e ->
+      finish ();
+      raise e
+
 (* -- compile ---------------------------------------------------------------------- *)
 
 let pp_cache_counters () =
@@ -329,8 +372,9 @@ let pp_cache_counters () =
   Fmt.pr "kernel cache: %d hit(s), %d miss(es), %d full compile(s)@."
     k.Spnc.Compiler.hits k.Spnc.Compiler.misses k.Spnc.Compiler.full_compiles
 
-let compile path options dump_ptx verbose =
+let compile path options dump_ptx verbose obs =
   guarded @@ fun () ->
+  with_obs obs @@ fun () ->
   let model = read_model path in
   let c = Spnc.Compiler.compile ~options model in
   Fmt.pr "model: %a@." Spnc_spn.Stats.pp c.Spnc.Compiler.model_stats;
@@ -369,12 +413,13 @@ let compile_cmd =
       & info [ "verbose"; "v" ] ~doc:"Also print kernel-cache counters.")
   in
   Cmd.v (Cmd.info "compile" ~doc:"Compile a model and report the pipeline.")
-    Term.(const compile $ path $ options_term $ ptx $ verbose)
+    Term.(const compile $ path $ options_term $ ptx $ verbose $ obs_term)
 
 (* -- run ---------------------------------------------------------------------------- *)
 
-let run path options rows seed verify verbose =
+let run path options rows seed verify verbose obs =
   guarded @@ fun () ->
+  with_obs obs @@ fun () ->
   let model = read_model path in
   let rng = Spnc_data.Rng.create ~seed in
   let data =
@@ -421,7 +466,9 @@ let run_cmd =
       & info [ "verbose"; "v" ] ~doc:"Also print kernel-cache counters.")
   in
   Cmd.v (Cmd.info "run" ~doc:"Compile and execute a model on synthetic data.")
-    Term.(const run $ path $ options_term $ rows $ seed $ verify $ verbose)
+    Term.(
+      const run $ path $ options_term $ rows $ seed $ verify $ verbose
+      $ obs_term)
 
 let main_cmd =
   Cmd.group

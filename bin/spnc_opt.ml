@@ -32,6 +32,21 @@ let read_input = function
         ~finally:(fun () -> close_in ic)
         (fun () -> really_input_string ic (in_channel_length ic))
 
+(* Trace/metrics artifacts are emitted even on a failing pipeline: a
+   crashing pass is exactly when the trace is most wanted.  Pass spans
+   come from the pass manager itself (lib/mlir/pass.ml). *)
+let finish_obs ~trace ~metrics code =
+  (match trace with
+  | Some path ->
+      let n = List.length (Spnc_obs.Trace.events ()) in
+      Spnc_obs.Trace.set_enabled false;
+      Spnc_obs.Trace.write_file path;
+      Fmt.epr "trace: %d event(s) written to %s@." n path
+  | None -> ());
+  if metrics then
+    Fmt.epr "%a" Spnc_obs.Snapshot.pp (Spnc_obs.Snapshot.take ());
+  code
+
 let run pipeline input verify_each timings list_passes print_after_all
     no_reproducer reproducer_dir =
   let dump_policy =
@@ -98,20 +113,24 @@ let run pipeline input verify_each timings list_passes print_after_all
 (* Belt and braces: nothing below main should throw, but a stray
    exception must still come out as a diagnostic, not a backtrace. *)
 let run pipeline input verify_each timings list_passes print_after_all
-    no_reproducer reproducer_dir =
-  try
-    run pipeline input verify_each timings list_passes print_after_all
-      no_reproducer reproducer_dir
-  with
-  | Sys_error e ->
-      Fmt.epr "spnc_opt: %s@." e;
-      1
-  | Pass.Pipeline_error (p, msg) ->
-      Fmt.epr "spnc_opt: pass %s failed: %s@." p msg;
-      1
-  | Spnc_resilience.Diag.Diag_error d ->
-      Fmt.epr "spnc_opt: %a@." Spnc_resilience.Diag.pp d;
-      1
+    no_reproducer reproducer_dir trace metrics =
+  if trace <> None then Spnc_obs.Trace.set_enabled true;
+  let code =
+    try
+      run pipeline input verify_each timings list_passes print_after_all
+        no_reproducer reproducer_dir
+    with
+    | Sys_error e ->
+        Fmt.epr "spnc_opt: %s@." e;
+        1
+    | Pass.Pipeline_error (p, msg) ->
+        Fmt.epr "spnc_opt: pass %s failed: %s@." p msg;
+        1
+    | Spnc_resilience.Diag.Diag_error d ->
+        Fmt.epr "spnc_opt: %a@." Spnc_resilience.Diag.pp d;
+        1
+  in
+  finish_obs ~trace ~metrics code
 
 let cmd =
   let pipeline =
@@ -151,11 +170,26 @@ let cmd =
             "Parent directory for reproducer bundles (default: \
              \\$SPNC_DUMP_DIR or ./spnc-reproducers).")
   in
+  let trace =
+    Arg.(
+      value
+      & opt (some string) None
+      & info [ "trace" ] ~docv:"FILE"
+          ~doc:
+            "Write a Chrome trace-event JSON with one span per pass to \
+             $(docv) (docs/OBSERVABILITY.md).")
+  in
+  let metrics =
+    Arg.(
+      value & flag
+      & info [ "metrics" ]
+          ~doc:"Print the metrics-registry snapshot to stderr before exiting.")
+  in
   Cmd.v
     (Cmd.info "spnc_opt" ~version:"1.0.0"
        ~doc:"Run pass pipelines over textual SPNC IR modules.")
     Term.(
       const run $ pipeline $ input $ verify_each $ timings $ list_passes
-      $ print_after_all $ no_reproducer $ reproducer_dir)
+      $ print_after_all $ no_reproducer $ reproducer_dir $ trace $ metrics)
 
 let () = exit (Cmd.eval' cmd)

@@ -92,9 +92,9 @@ let compile_full ~(options : Options.t) (model : Spnc_spn.Model.t) : compiled =
     (if options.Options.debug_fail_stage = Some stage then
        Diag.fail ~pass:stage "injected failure at stage %s (debug_fail_stage)"
          stage);
-    let t0 = Unix.gettimeofday () in
-    let r = f () in
-    timings := { stage; seconds = Unix.gettimeofday () -. t0 } :: !timings;
+    (* one clock pair feeds both the stage ledger and the trace span *)
+    let r, seconds = Spnc_obs.Trace.timed ~cat:"compile" stage f in
+    timings := { stage; seconds } :: !timings;
     r
   in
   let query =
@@ -139,9 +139,16 @@ let compile_full ~(options : Options.t) (model : Spnc_spn.Model.t) : compiled =
   (* LoSPN-level optimization (§IV-A5): constant folding through the
      canonicalization framework plus dialect-agnostic CSE/DCE.  Running it
      before partitioning lets the partitioner see the deduplicated DAG. *)
+  (* the driver runs these rewrites directly rather than through the Pass
+     manager, so give each one its own pass-category span here — traces
+     from [spnc_cli compile] should show the same per-pass breakdown as
+     [spnc_opt] pipelines *)
   let lo =
     timed "lospn-optimization" (fun () ->
-        Rewrite.dce (Cse.run (Constfold.run (Builder.seed_from lo) lo)))
+        let span name f = Spnc_obs.Trace.with_span ~cat:"pass" name f in
+        let lo = span "constfold" (fun () -> Constfold.run (Builder.seed_from lo) lo) in
+        let lo = span "cse" (fun () -> Cse.run lo) in
+        span "dce" (fun () -> Rewrite.dce lo))
   in
   let lo =
     match options.Options.max_partition_size with
@@ -177,7 +184,18 @@ let compile_full ~(options : Options.t) (model : Spnc_spn.Model.t) : compiled =
       timed "register-allocation" (fun () ->
           Spnc_cpu.Regalloc.allocate_module lir)
     in
-    Cpu_kernel { lir; regalloc; cir; jit = lazy (Spnc_cpu.Jit.compile lir) }
+    Cpu_kernel
+      {
+        lir;
+        regalloc;
+        cir;
+        (* the closure compilation is deferred, so it cannot ride on the
+           [timed] stage ledger — it gets its own span at force time *)
+        jit =
+          lazy
+            (Spnc_obs.Trace.with_span ~cat:"compile" "jit-build" (fun () ->
+                 Spnc_cpu.Jit.compile lir));
+      }
   in
   let build_gpu () =
     let g =
@@ -263,24 +281,34 @@ type cache_counters = { hits : int; misses : int; full_compiles : int }
 let cache : (string, compiled) Hashtbl.t = Hashtbl.create 64
 let cache_lock = Mutex.create ()
 let cache_capacity = 128
-let n_hits = ref 0
-let n_misses = ref 0
-let n_full = ref 0
+
+(* Counters live in the process-wide Obs registry as atomics: the old
+   plain [int ref]s were also bumped outside [with_lock] from concurrent
+   compiles, which was a data race under multiple domains.  Atomic
+   counters make every bump safe regardless of the lock, and the same
+   numbers now show up in `--metrics` snapshots for free. *)
+let n_hits = Spnc_obs.Metrics.counter "compiler.cache.hits"
+let n_misses = Spnc_obs.Metrics.counter "compiler.cache.misses"
+let n_full = Spnc_obs.Metrics.counter "compiler.cache.full_compiles"
 
 let with_lock f =
   Mutex.lock cache_lock;
   Fun.protect ~finally:(fun () -> Mutex.unlock cache_lock) f
 
 let cache_counters () =
-  with_lock (fun () ->
-      { hits = !n_hits; misses = !n_misses; full_compiles = !n_full })
+  let open Spnc_obs.Metrics in
+  {
+    hits = counter_value n_hits;
+    misses = counter_value n_misses;
+    full_compiles = counter_value n_full;
+  }
 
 let reset_kernel_cache () =
-  with_lock (fun () ->
-      Hashtbl.reset cache;
-      n_hits := 0;
-      n_misses := 0;
-      n_full := 0)
+  with_lock (fun () -> Hashtbl.reset cache);
+  let open Spnc_obs.Metrics in
+  reset (counter_name n_hits);
+  reset (counter_name n_misses);
+  reset (counter_name n_full)
 
 let cache_key ~(options : Options.t) (model : Spnc_spn.Model.t) : string =
   Digest.to_hex
@@ -299,7 +327,7 @@ let cache_key ~(options : Options.t) (model : Spnc_spn.Model.t) : string =
     @raise Spnc_spn.Validate.Invalid if the model is structurally invalid. *)
 let compile ?(options = Options.default) (model : Spnc_spn.Model.t) : compiled =
   if not options.Options.use_kernel_cache then begin
-    with_lock (fun () -> incr n_full);
+    Spnc_obs.Metrics.counter_incr n_full;
     compile_full ~options model
   end
   else begin
@@ -307,20 +335,18 @@ let compile ?(options = Options.default) (model : Spnc_spn.Model.t) : compiled =
        address well-formed models *)
     Spnc_spn.Validate.validate_exn model;
     let key = cache_key ~options model in
-    match
-      with_lock (fun () ->
-          match Hashtbl.find_opt cache key with
-          | Some c ->
-              incr n_hits;
-              Some c
-          | None -> None)
-    with
-    | Some c -> { c with options }
+    match with_lock (fun () -> Hashtbl.find_opt cache key) with
+    | Some c ->
+        Spnc_obs.Metrics.counter_incr n_hits;
+        { c with options }
     | None ->
         let c = compile_full ~options model in
+        (* counted after the compile so a raising pipeline (injected
+           faults, invalid stages) doesn't inflate the miss count —
+           same semantics as the old ref-based counters *)
+        Spnc_obs.Metrics.counter_incr n_misses;
+        Spnc_obs.Metrics.counter_incr n_full;
         with_lock (fun () ->
-            incr n_misses;
-            incr n_full;
             if Hashtbl.length cache >= cache_capacity then Hashtbl.reset cache;
             Hashtbl.replace cache key c);
         c

@@ -610,11 +610,15 @@ let compile (m : modul) : kernel =
 
 (* -- Execution state ----------------------------------------------------------- *)
 
+(* registered once; [run] is per-chunk so it must not hit the registry *)
+let frame_reuse_counter = Spnc_obs.Metrics.counter "cpu.jit.frame_runs"
+
 (** [make_state k] — a per-domain pool of register frames, one per
     function.  Frames are reused across runs (and across the runtime's
     chunks): compiled kernels define every register before reading it, so
     no per-run zeroing is needed. *)
 let make_state (k : kernel) : state =
+  Spnc_obs.Metrics.(counter_incr (counter "cpu.jit.states_created"));
   let n = Array.length k.cfuncs in
   let empty_buf = { Vm.data = [||]; off = 0; len = 0; rows = 0; cols = 0 } in
   let dummy = { f = [||]; i = [||]; v = [||]; b = [||]; frames = [||] } in
@@ -639,6 +643,10 @@ let make_state (k : kernel) : state =
     between concurrently running domains.
     @raise Vm.Trap on runtime errors. *)
 let run (k : kernel) (st : state) ~(buffers : Vm.buffer list) : unit =
+  (* runs / states_created is the frame-pool reuse ratio: with the
+     streaming runtime it should grow with call count while
+     states_created stays at one per worker slot *)
+  Spnc_obs.Metrics.counter_incr frame_reuse_counter;
   let entry = k.cfuncs.(k.centry) in
   let fr = st.(k.centry) in
   if List.length buffers <> Array.length entry.cparams then

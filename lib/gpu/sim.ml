@@ -17,6 +17,16 @@
 open Spnc_mlir
 module CI = Spnc_cir.Interp
 module M = Spnc_machine.Machine
+module Obs_trace = Spnc_obs.Trace
+module Obs_metrics = Spnc_obs.Metrics
+
+(* Host-op observability: spans carry the modelled seconds as args (the
+   span duration itself is simulator wall time, which is meaningless as
+   a GPU measurement), counters mirror the ledger's traffic. *)
+let m_bytes_h2d = Obs_metrics.counter "gpu.bytes_h2d"
+let m_bytes_d2h = Obs_metrics.counter "gpu.bytes_d2h"
+let m_launches = Obs_metrics.counter "gpu.launches"
+let m_stream_chunks = Obs_metrics.counter "gpu.stream_chunks"
 
 type ledger = {
   mutable h2d_s : float;
@@ -228,12 +238,26 @@ let run (m : Ir.modul) ~(gpu : M.gpu) ~entry ~(inputs : float array list)
       | "gpu.dealloc" -> ledger.alloc_s <- ledger.alloc_s +. 0.1e-6
       | "gpu.memcpy_h2d" ->
           let src = buf (Ir.operand_n op 0) and dst = buf (Ir.operand_n op 1) in
-          Array.blit src.CI.data 0 dst.CI.data 0 (Array.length src.CI.data);
-          ledger.h2d_s <- ledger.h2d_s +. transfer_seconds gpu ~bytes:(bytes_of src)
+          let bytes = bytes_of src in
+          let modelled = transfer_seconds gpu ~bytes in
+          Obs_metrics.counter_incr ~by:bytes m_bytes_h2d;
+          Obs_trace.with_span ~cat:"gpu" "upload"
+            ~args:(fun () ->
+              Obs_trace.[ ("bytes", I bytes); ("modelled_s", F modelled) ])
+            (fun () ->
+              Array.blit src.CI.data 0 dst.CI.data 0 (Array.length src.CI.data));
+          ledger.h2d_s <- ledger.h2d_s +. modelled
       | "gpu.memcpy_d2h" ->
           let src = buf (Ir.operand_n op 0) and dst = buf (Ir.operand_n op 1) in
-          Array.blit src.CI.data 0 dst.CI.data 0 (Array.length src.CI.data);
-          ledger.d2h_s <- ledger.d2h_s +. transfer_seconds gpu ~bytes:(bytes_of src)
+          let bytes = bytes_of src in
+          let modelled = transfer_seconds gpu ~bytes in
+          Obs_metrics.counter_incr ~by:bytes m_bytes_d2h;
+          Obs_trace.with_span ~cat:"gpu" "download"
+            ~args:(fun () ->
+              Obs_trace.[ ("bytes", I bytes); ("modelled_s", F modelled) ])
+            (fun () ->
+              Array.blit src.CI.data 0 dst.CI.data 0 (Array.length src.CI.data));
+          ledger.d2h_s <- ledger.d2h_s +. modelled
       | "gpu.launch_func" ->
           let kname = Option.get (Ir.string_attr op "kernel") in
           let kernel =
@@ -244,14 +268,25 @@ let run (m : Ir.modul) ~(gpu : M.gpu) ~entry ~(inputs : float array list)
           let block_size = Option.get (Ir.int_attr op "blockSize") in
           let blocks = (rows + block_size - 1) / block_size in
           let args = List.map (CI.lookup ctx) op.Ir.operands in
-          for b = 0 to blocks - 1 do
-            for t = 0 to block_size - 1 do
-              exec_thread ctx kernel ~args ~block:b ~thread:t ~block_size
-            done
-          done;
+          let modelled = kernel_seconds gpu kernel ~rows ~block_size in
+          Obs_metrics.counter_incr m_launches;
+          Obs_trace.with_span ~cat:"gpu" "compute"
+            ~args:(fun () ->
+              Obs_trace.
+                [
+                  ("kernel", S kname);
+                  ("rows", I rows);
+                  ("block_size", I block_size);
+                  ("modelled_s", F modelled);
+                ])
+            (fun () ->
+              for b = 0 to blocks - 1 do
+                for t = 0 to block_size - 1 do
+                  exec_thread ctx kernel ~args ~block:b ~thread:t ~block_size
+                done
+              done);
           ledger.launch_s <- ledger.launch_s +. (gpu.M.kernel_launch_us *. 1e-6);
-          ledger.kernel_s <-
-            ledger.kernel_s +. kernel_seconds gpu kernel ~rows ~block_size
+          ledger.kernel_s <- ledger.kernel_s +. modelled
       | "func.return" -> ()
       | other -> fail "gpu sim: unsupported host op %s" other)
     blk.Ir.bops;
@@ -478,7 +513,13 @@ let run_streamed (m : Ir.modul) ~(gpu : M.gpu) ~entry
           (fun data cols -> Array.sub data (!lo * cols) (crows * cols))
           inputs in_cols
       in
-      let r = run m ~gpu ~entry ~inputs:sliced ~rows:crows ~out_cols () in
+      Obs_metrics.counter_incr m_stream_chunks;
+      let r =
+        Obs_trace.with_span ~cat:"gpu" "stream-chunk"
+          ~args:(fun () ->
+            Obs_trace.[ ("lo", I !lo); ("rows", I crows) ])
+          (fun () -> run m ~gpu ~entry ~inputs:sliced ~rows:crows ~out_cols ())
+      in
       (* chunk outputs are slot-transposed like the full output: slot j of
          the chunk is entries [j*crows, (j+1)*crows) *)
       for j = 0 to out_cols - 1 do
@@ -496,5 +537,10 @@ let run_streamed (m : Ir.modul) ~(gpu : M.gpu) ~entry
     done;
     ledger.overlap_s <-
       pipeline_overlap ~streams (Array.of_list (List.rev !components));
+    if Obs_trace.enabled () then
+      Obs_trace.instant ~cat:"gpu" "overlap"
+        ~args:
+          Obs_trace.
+            [ ("streams", I streams); ("modelled_s", F ledger.overlap_s) ];
     { ledger; output = out }
   end

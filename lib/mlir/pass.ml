@@ -133,23 +133,25 @@ let run_pipeline_checked ?(verify_each = false) ?(dump_policy = No_dump)
         (* the snapshot is taken before the pass so the bundle replays the
            failure, not its aftermath *)
         let ir_before = Printer.modul_to_string m in
-        let t0 = Unix.gettimeofday () in
-        let outcome =
-          try
-            match p.run m with
-            | Ok _ as ok -> ok
-            | Error msg -> Error (Diag.error ~pass:p.name msg)
-          with
-          | (Stack_overflow | Out_of_memory) as e -> raise e
-          | e ->
-              let bt = Printexc.get_raw_backtrace () in
-              Error (Diag.of_exn ~pass:p.name e bt)
+        (* one clock pair serves both the timing ledger and the tracer:
+           the span also covers failing passes, so a crash still shows
+           up in the trace with its true duration *)
+        let outcome, seconds =
+          Spnc_obs.Trace.timed ~cat:"pass" p.name (fun () ->
+              try
+                match p.run m with
+                | Ok _ as ok -> ok
+                | Error msg -> Error (Diag.error ~pass:p.name msg)
+              with
+              | (Stack_overflow | Out_of_memory) as e -> raise e
+              | e ->
+                  let bt = Printexc.get_raw_backtrace () in
+                  Error (Diag.of_exn ~pass:p.name e bt))
         in
         (match outcome with
-        | Ok _ ->
-            let t1 = Unix.gettimeofday () in
-            timings := { pass_name = p.name; seconds = t1 -. t0 } :: !timings
-        | Error _ -> ());
+        | Ok _ -> timings := { pass_name = p.name; seconds } :: !timings
+        | Error _ ->
+            Spnc_obs.Metrics.(counter_incr (counter "mlir.pass.failures")));
         (match outcome with
         | Ok m' ->
             if not verify_each then Ok m'

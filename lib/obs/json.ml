@@ -1,0 +1,323 @@
+(** Minimal JSON emitter/parser for the observability layer.
+
+    Three consumers, one format: the Chrome trace exporter ({!Trace}),
+    the metrics snapshot ({!Snapshot.to_json} / [of_json] round-trip),
+    and the CI perf gate ([bin/bench_check]), which must read both the
+    snapshots and the hand-written BENCH_*.json files.  The emitter is
+    deliberately stable — object fields keep their given order, floats
+    print shortest-exact — so snapshot diffs are meaningful line diffs.
+
+    This is not a general-purpose JSON library: no streaming, no
+    \u escapes beyond the control range, numbers are OCaml floats.
+    That subset covers everything the repo emits. *)
+
+type t =
+  | Null
+  | Bool of bool
+  | Num of float
+  | Str of string
+  | List of t list
+  | Obj of (string * t) list
+
+(* -- Emit ---------------------------------------------------------------------- *)
+
+let escape (s : string) : string =
+  let buf = Buffer.create (String.length s + 2) in
+  String.iter
+    (fun c ->
+      match c with
+      | '"' -> Buffer.add_string buf "\\\""
+      | '\\' -> Buffer.add_string buf "\\\\"
+      | '\n' -> Buffer.add_string buf "\\n"
+      | '\r' -> Buffer.add_string buf "\\r"
+      | '\t' -> Buffer.add_string buf "\\t"
+      | c when Char.code c < 0x20 ->
+          Buffer.add_string buf (Printf.sprintf "\\u%04x" (Char.code c))
+      | c -> Buffer.add_char buf c)
+    s;
+  Buffer.contents buf
+
+(* Shortest representation that round-trips exactly: try %.17g only when
+   the shorter forms lose bits.  Integral values print without a point
+   ("42", not "42."), which keeps counters readable. *)
+let num_to_string (x : float) : string =
+  if Float.is_integer x && Float.abs x < 1e15 then
+    Printf.sprintf "%.0f" x
+  else
+    let s = Printf.sprintf "%.12g" x in
+    if float_of_string s = x then s else Printf.sprintf "%.17g" x
+
+let rec emit buf = function
+  | Null -> Buffer.add_string buf "null"
+  | Bool b -> Buffer.add_string buf (if b then "true" else "false")
+  | Num x ->
+      if Float.is_nan x then Buffer.add_string buf "null"
+      else if x = Float.infinity then Buffer.add_string buf "1e999"
+      else if x = Float.neg_infinity then Buffer.add_string buf "-1e999"
+      else Buffer.add_string buf (num_to_string x)
+  | Str s ->
+      Buffer.add_char buf '"';
+      Buffer.add_string buf (escape s);
+      Buffer.add_char buf '"'
+  | List items ->
+      Buffer.add_char buf '[';
+      List.iteri
+        (fun i item ->
+          if i > 0 then Buffer.add_string buf ", ";
+          emit buf item)
+        items;
+      Buffer.add_char buf ']'
+  | Obj fields ->
+      Buffer.add_char buf '{';
+      List.iteri
+        (fun i (k, v) ->
+          if i > 0 then Buffer.add_string buf ", ";
+          Buffer.add_char buf '"';
+          Buffer.add_string buf (escape k);
+          Buffer.add_string buf "\": ";
+          emit buf v)
+        fields;
+      Buffer.add_char buf '}'
+
+let to_string (v : t) : string =
+  let buf = Buffer.create 1024 in
+  emit buf v;
+  Buffer.contents buf
+
+(* Pretty form: one field per line at the top two levels, compact below —
+   matches the hand-written BENCH_*.json style so diffs stay reviewable. *)
+let rec emit_pretty buf ~indent ~depth v =
+  match v with
+  | Obj fields when depth < 2 && fields <> [] ->
+      let pad = String.make ((indent + 1) * 2) ' ' in
+      Buffer.add_string buf "{\n";
+      List.iteri
+        (fun i (k, fv) ->
+          if i > 0 then Buffer.add_string buf ",\n";
+          Buffer.add_string buf pad;
+          Buffer.add_char buf '"';
+          Buffer.add_string buf (escape k);
+          Buffer.add_string buf "\": ";
+          emit_pretty buf ~indent:(indent + 1) ~depth:(depth + 1) fv)
+        fields;
+      Buffer.add_char buf '\n';
+      Buffer.add_string buf (String.make (indent * 2) ' ');
+      Buffer.add_char buf '}'
+  | List items when depth < 2 && List.length items > 4 ->
+      let pad = String.make ((indent + 1) * 2) ' ' in
+      Buffer.add_string buf "[\n";
+      List.iteri
+        (fun i item ->
+          if i > 0 then Buffer.add_string buf ",\n";
+          Buffer.add_string buf pad;
+          emit_pretty buf ~indent:(indent + 1) ~depth:(depth + 1) item)
+        items;
+      Buffer.add_char buf '\n';
+      Buffer.add_string buf (String.make (indent * 2) ' ');
+      Buffer.add_char buf ']'
+  | v -> emit buf v
+
+let to_string_pretty (v : t) : string =
+  let buf = Buffer.create 4096 in
+  emit_pretty buf ~indent:0 ~depth:0 v;
+  Buffer.add_char buf '\n';
+  Buffer.contents buf
+
+(* -- Parse --------------------------------------------------------------------- *)
+
+exception Parse_error of string
+
+type cursor = { src : string; mutable pos : int }
+
+let peek c = if c.pos < String.length c.src then Some c.src.[c.pos] else None
+
+let error c fmt =
+  Printf.ksprintf
+    (fun msg -> raise (Parse_error (Printf.sprintf "at byte %d: %s" c.pos msg)))
+    fmt
+
+let rec skip_ws c =
+  match peek c with
+  | Some (' ' | '\t' | '\n' | '\r') ->
+      c.pos <- c.pos + 1;
+      skip_ws c
+  | _ -> ()
+
+let expect c ch =
+  match peek c with
+  | Some x when x = ch -> c.pos <- c.pos + 1
+  | Some x -> error c "expected %C, found %C" ch x
+  | None -> error c "expected %C, found end of input" ch
+
+let literal c word value =
+  let n = String.length word in
+  if c.pos + n <= String.length c.src && String.sub c.src c.pos n = word then begin
+    c.pos <- c.pos + n;
+    value
+  end
+  else error c "invalid literal"
+
+let parse_string_body c =
+  let buf = Buffer.create 16 in
+  let rec go () =
+    match peek c with
+    | None -> error c "unterminated string"
+    | Some '"' -> c.pos <- c.pos + 1
+    | Some '\\' -> (
+        c.pos <- c.pos + 1;
+        match peek c with
+        | Some '"' -> Buffer.add_char buf '"'; c.pos <- c.pos + 1; go ()
+        | Some '\\' -> Buffer.add_char buf '\\'; c.pos <- c.pos + 1; go ()
+        | Some '/' -> Buffer.add_char buf '/'; c.pos <- c.pos + 1; go ()
+        | Some 'n' -> Buffer.add_char buf '\n'; c.pos <- c.pos + 1; go ()
+        | Some 'r' -> Buffer.add_char buf '\r'; c.pos <- c.pos + 1; go ()
+        | Some 't' -> Buffer.add_char buf '\t'; c.pos <- c.pos + 1; go ()
+        | Some 'b' -> Buffer.add_char buf '\b'; c.pos <- c.pos + 1; go ()
+        | Some 'f' -> Buffer.add_char buf '\012'; c.pos <- c.pos + 1; go ()
+        | Some 'u' ->
+            if c.pos + 5 > String.length c.src then error c "truncated \\u";
+            let hex = String.sub c.src (c.pos + 1) 4 in
+            let code =
+              try int_of_string ("0x" ^ hex)
+              with _ -> error c "bad \\u escape %S" hex
+            in
+            (* BMP only, encoded as UTF-8; enough for our own output *)
+            if code < 0x80 then Buffer.add_char buf (Char.chr code)
+            else if code < 0x800 then begin
+              Buffer.add_char buf (Char.chr (0xC0 lor (code lsr 6)));
+              Buffer.add_char buf (Char.chr (0x80 lor (code land 0x3F)))
+            end
+            else begin
+              Buffer.add_char buf (Char.chr (0xE0 lor (code lsr 12)));
+              Buffer.add_char buf (Char.chr (0x80 lor ((code lsr 6) land 0x3F)));
+              Buffer.add_char buf (Char.chr (0x80 lor (code land 0x3F)))
+            end;
+            c.pos <- c.pos + 5;
+            go ()
+        | _ -> error c "bad escape")
+    | Some ch ->
+        Buffer.add_char buf ch;
+        c.pos <- c.pos + 1;
+        go ()
+  in
+  go ();
+  Buffer.contents buf
+
+let parse_number c =
+  let start = c.pos in
+  let is_num_char ch =
+    match ch with
+    | '0' .. '9' | '-' | '+' | '.' | 'e' | 'E' -> true
+    | _ -> false
+  in
+  while
+    match peek c with Some ch when is_num_char ch -> true | _ -> false
+  do
+    c.pos <- c.pos + 1
+  done;
+  let s = String.sub c.src start (c.pos - start) in
+  match float_of_string_opt s with
+  | Some x -> Num x
+  | None -> error c "invalid number %S" s
+
+let rec parse_value c : t =
+  skip_ws c;
+  match peek c with
+  | None -> error c "unexpected end of input"
+  | Some '{' ->
+      c.pos <- c.pos + 1;
+      skip_ws c;
+      if peek c = Some '}' then begin
+        c.pos <- c.pos + 1;
+        Obj []
+      end
+      else begin
+        let fields = ref [] in
+        let rec fields_loop () =
+          skip_ws c;
+          expect c '"';
+          let key = parse_string_body c in
+          skip_ws c;
+          expect c ':';
+          let v = parse_value c in
+          fields := (key, v) :: !fields;
+          skip_ws c;
+          match peek c with
+          | Some ',' ->
+              c.pos <- c.pos + 1;
+              fields_loop ()
+          | Some '}' -> c.pos <- c.pos + 1
+          | _ -> error c "expected ',' or '}'"
+        in
+        fields_loop ();
+        Obj (List.rev !fields)
+      end
+  | Some '[' ->
+      c.pos <- c.pos + 1;
+      skip_ws c;
+      if peek c = Some ']' then begin
+        c.pos <- c.pos + 1;
+        List []
+      end
+      else begin
+        let items = ref [] in
+        let rec items_loop () =
+          let v = parse_value c in
+          items := v :: !items;
+          skip_ws c;
+          match peek c with
+          | Some ',' ->
+              c.pos <- c.pos + 1;
+              items_loop ()
+          | Some ']' -> c.pos <- c.pos + 1
+          | _ -> error c "expected ',' or ']'"
+        in
+        items_loop ();
+        List (List.rev !items)
+      end
+  | Some '"' ->
+      c.pos <- c.pos + 1;
+      Str (parse_string_body c)
+  | Some 't' -> literal c "true" (Bool true)
+  | Some 'f' -> literal c "false" (Bool false)
+  | Some 'n' -> literal c "null" Null
+  | Some ('-' | '0' .. '9') -> parse_number c
+  | Some ch -> error c "unexpected character %C" ch
+
+let parse (s : string) : (t, string) result =
+  let c = { src = s; pos = 0 } in
+  match parse_value c with
+  | v ->
+      skip_ws c;
+      if c.pos <> String.length s then
+        Error (Printf.sprintf "trailing garbage at byte %d" c.pos)
+      else Ok v
+  | exception Parse_error msg -> Error msg
+
+let parse_file (path : string) : (t, string) result =
+  match
+    let ic = open_in_bin path in
+    Fun.protect
+      ~finally:(fun () -> close_in_noerr ic)
+      (fun () -> really_input_string ic (in_channel_length ic))
+  with
+  | exception Sys_error e -> Error e
+  | s -> parse s
+
+(* -- Accessors ------------------------------------------------------------------ *)
+
+let member (key : string) = function
+  | Obj fields -> List.assoc_opt key fields
+  | _ -> None
+
+(* Dotted path lookup: [find j "sustained.pool.p99_ms"]. *)
+let find (v : t) (path : string) : t option =
+  List.fold_left
+    (fun acc key -> Option.bind acc (member key))
+    (Some v)
+    (String.split_on_char '.' path)
+
+let num = function Num x -> Some x | _ -> None
+let str = function Str s -> Some s | _ -> None
+let bool = function Bool b -> Some b | _ -> None
+let list = function List l -> Some l | _ -> None

@@ -1,0 +1,35 @@
+(** Minimal JSON for the observability layer: Chrome trace export,
+    metrics snapshots, and the CI perf gate.  Stable output — object
+    field order is preserved, floats print shortest-exact — so
+    snapshots diff cleanly. *)
+
+type t =
+  | Null
+  | Bool of bool
+  | Num of float
+  | Str of string
+  | List of t list
+  | Obj of (string * t) list
+
+val to_string : t -> string
+(** Compact single-line form. *)
+
+val to_string_pretty : t -> string
+(** One field per line at the top two nesting levels, compact below;
+    ends with a newline.  Matches the BENCH_*.json house style. *)
+
+val parse : string -> (t, string) result
+(** Strict parse of a complete document (trailing garbage is an error). *)
+
+val parse_file : string -> (t, string) result
+
+val member : string -> t -> t option
+(** Field lookup on an [Obj]; [None] on anything else. *)
+
+val find : t -> string -> t option
+(** Dotted-path lookup: [find j "sustained.pool.p99_ms"]. *)
+
+val num : t -> float option
+val str : t -> string option
+val bool : t -> bool option
+val list : t -> t list option

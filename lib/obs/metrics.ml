@@ -1,0 +1,201 @@
+(** Process-wide metrics registry.
+
+    Three instrument kinds:
+
+    - {b counters}: monotonic int [Atomic.t]s (fetch_and_add);
+    - {b gauges}: last-write-wins floats, plus a CAS-loop [add];
+    - {b histograms}: fixed geometric buckets over latency seconds,
+      each bucket an int [Atomic.t], with percentile readout.
+
+    Registration (name -> instrument) goes through a mutex; the hot
+    paths — incr/observe — are single atomic RMW operations, safe and
+    non-blocking under any number of domains.  Instruments are
+    interned: registering the same name twice returns the same
+    instrument, so modules can look up lazily without coordination.
+
+    Histogram buckets are powers of two from 1 µs to ~8.6 s (24
+    buckets) plus an overflow bucket.  Percentiles report the upper
+    bound of the bucket containing the q-th sample — an upper estimate
+    with bounded (2x) relative error, which is what a regression gate
+    wants: it never under-reports a latency. *)
+
+(* -- Counters ------------------------------------------------------------------ *)
+
+type counter = { c_name : string; cell : int Atomic.t }
+
+let counter_incr ?(by = 1) c = ignore (Atomic.fetch_and_add c.cell by)
+let counter_value c = Atomic.get c.cell
+let counter_name c = c.c_name
+
+(* -- Gauges -------------------------------------------------------------------- *)
+
+type gauge = { g_name : string; g_cell : float Atomic.t }
+
+let gauge_set g x = Atomic.set g.g_cell x
+let gauge_value g = Atomic.get g.g_cell
+let gauge_name g = g.g_name
+
+(* CAS must compare the same boxed float we read, not a re-boxed equal
+   value — [Atomic.compare_and_set] on floats is physical equality. *)
+let gauge_add g dx =
+  let rec go () =
+    let cur = Atomic.get g.g_cell in
+    if not (Atomic.compare_and_set g.g_cell cur (cur +. dx)) then go ()
+  in
+  go ()
+
+(* -- Histograms ---------------------------------------------------------------- *)
+
+let n_buckets = 25 (* 24 geometric + overflow *)
+let base_seconds = 1e-6
+
+(* Upper bound of bucket i: base * 2^i (last bucket is unbounded). *)
+let bucket_upper i =
+  if i >= n_buckets - 1 then Float.infinity
+  else base_seconds *. Float.of_int (1 lsl i)
+
+let bucket_of_seconds (s : float) : int =
+  if s <= base_seconds then 0
+  else begin
+    let i = ref 0 in
+    let ub = ref base_seconds in
+    while !i < n_buckets - 1 && s > !ub do
+      incr i;
+      ub := !ub *. 2.0
+    done;
+    !i
+  end
+
+type histogram = {
+  h_name : string;
+  buckets : int Atomic.t array; (* sample counts per bucket *)
+  sum_us : int Atomic.t;        (* total observed time, microseconds *)
+}
+
+let histogram_observe h (seconds : float) =
+  let seconds = if seconds < 0.0 then 0.0 else seconds in
+  ignore (Atomic.fetch_and_add h.buckets.(bucket_of_seconds seconds) 1);
+  ignore
+    (Atomic.fetch_and_add h.sum_us (int_of_float (Float.round (seconds *. 1e6))))
+
+let histogram_count h =
+  Array.fold_left (fun acc b -> acc + Atomic.get b) 0 h.buckets
+
+let histogram_sum h = float_of_int (Atomic.get h.sum_us) *. 1e-6
+let histogram_name h = h.h_name
+
+(* Upper bound of the bucket holding the ceil(q*n)-th sample (1-based).
+   Over-reports by at most one bucket width; never under-reports. *)
+let histogram_percentile h (q : float) : float =
+  let counts = Array.map Atomic.get h.buckets in
+  let n = Array.fold_left ( + ) 0 counts in
+  if n = 0 then 0.0
+  else begin
+    let rank = max 1 (int_of_float (Float.ceil (q *. float_of_int n))) in
+    let rank = min rank n in
+    let acc = ref 0 in
+    let result = ref (bucket_upper (n_buckets - 2)) in
+    (try
+       Array.iteri
+         (fun i c ->
+           acc := !acc + c;
+           if !acc >= rank then begin
+             (* overflow bucket has no upper bound; report the last
+                finite boundary so the gate sees a number, not inf *)
+             result :=
+               (if i >= n_buckets - 1 then bucket_upper (n_buckets - 2) *. 2.0
+                else bucket_upper i);
+             raise Exit
+           end)
+         counts
+     with Exit -> ());
+    !result
+  end
+
+let histogram_buckets h : (float * int) list =
+  List.init n_buckets (fun i -> (bucket_upper i, Atomic.get h.buckets.(i)))
+
+(* -- Registry ------------------------------------------------------------------ *)
+
+type instrument =
+  | Counter of counter
+  | Gauge of gauge
+  | Histogram of histogram
+
+let registry : (string, instrument) Hashtbl.t = Hashtbl.create 64
+let registry_lock = Mutex.create ()
+
+let with_registry f =
+  Mutex.lock registry_lock;
+  Fun.protect ~finally:(fun () -> Mutex.unlock registry_lock) f
+
+let intern (name : string) (make : unit -> instrument) ~(kind : string) :
+    instrument =
+  with_registry (fun () ->
+      match Hashtbl.find_opt registry name with
+      | Some i -> i
+      | None ->
+          let i = make () in
+          ignore kind;
+          Hashtbl.replace registry name i;
+          i)
+
+let counter name : counter =
+  match
+    intern name ~kind:"counter" (fun () ->
+        Counter { c_name = name; cell = Atomic.make 0 })
+  with
+  | Counter c -> c
+  | _ -> invalid_arg (Printf.sprintf "Obs.Metrics: %s is not a counter" name)
+
+let gauge name : gauge =
+  match
+    intern name ~kind:"gauge" (fun () ->
+        Gauge { g_name = name; g_cell = Atomic.make 0.0 })
+  with
+  | Gauge g -> g
+  | _ -> invalid_arg (Printf.sprintf "Obs.Metrics: %s is not a gauge" name)
+
+let histogram name : histogram =
+  match
+    intern name ~kind:"histogram" (fun () ->
+        Histogram
+          {
+            h_name = name;
+            buckets = Array.init n_buckets (fun _ -> Atomic.make 0);
+            sum_us = Atomic.make 0;
+          })
+  with
+  | Histogram h -> h
+  | _ -> invalid_arg (Printf.sprintf "Obs.Metrics: %s is not a histogram" name)
+
+let all () : (string * instrument) list =
+  with_registry (fun () ->
+      Hashtbl.fold (fun k v acc -> (k, v) :: acc) registry []
+      |> List.sort (fun (a, _) (b, _) -> compare a b))
+
+let find (name : string) : instrument option =
+  with_registry (fun () -> Hashtbl.find_opt registry name)
+
+(* Zero every instrument in place (registrations survive — modules hold
+   instrument handles).  Used by tests and by cache resets. *)
+let reset_all () =
+  with_registry (fun () ->
+      Hashtbl.iter
+        (fun _ i ->
+          match i with
+          | Counter c -> Atomic.set c.cell 0
+          | Gauge g -> Atomic.set g.g_cell 0.0
+          | Histogram h ->
+              Array.iter (fun b -> Atomic.set b 0) h.buckets;
+              Atomic.set h.sum_us 0)
+        registry)
+
+let reset (name : string) =
+  match find name with
+  | None -> ()
+  | Some (Counter c) -> Atomic.set c.cell 0
+  | Some (Gauge g) -> Atomic.set g.g_cell 0.0
+  | Some (Histogram h) ->
+      Array.iter (fun b -> Atomic.set b 0) h.buckets;
+      Atomic.set h.sum_us 0

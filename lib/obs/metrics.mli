@@ -1,0 +1,67 @@
+(** Process-wide metrics registry: named monotonic counters, gauges,
+    and fixed-bucket latency histograms with percentile readout.
+
+    Registration is interned and mutex-protected; the hot paths
+    ([counter_incr], [histogram_observe]) are single atomic RMW
+    operations — safe and non-blocking under any number of domains.
+
+    Naming convention: dot-separated, layer-first —
+    ["compiler.cache.hits"], ["runtime.exec.call_seconds"],
+    ["runtime.pool.steals"]. *)
+
+type counter
+type gauge
+type histogram
+
+type instrument =
+  | Counter of counter
+  | Gauge of gauge
+  | Histogram of histogram
+
+val counter : string -> counter
+(** Register (or look up) the counter with this name.
+    @raise Invalid_argument if the name is taken by another kind. *)
+
+val counter_incr : ?by:int -> counter -> unit
+val counter_value : counter -> int
+val counter_name : counter -> string
+
+val gauge : string -> gauge
+val gauge_set : gauge -> float -> unit
+val gauge_add : gauge -> float -> unit
+val gauge_value : gauge -> float
+val gauge_name : gauge -> string
+
+val histogram : string -> histogram
+(** Latency histogram: geometric power-of-two buckets from 1 µs to
+    ~8.4 s plus an overflow bucket. *)
+
+val histogram_observe : histogram -> float -> unit
+(** Record one sample, in seconds.  Negative samples clamp to 0. *)
+
+val histogram_count : histogram -> int
+val histogram_sum : histogram -> float
+(** Total observed seconds (µs resolution). *)
+
+val histogram_percentile : histogram -> float -> float
+(** [histogram_percentile h 0.99] — upper bound of the bucket holding
+    the q-th sample, in seconds.  Over-estimates by at most 2x, never
+    under-reports.  0.0 when empty. *)
+
+val histogram_buckets : histogram -> (float * int) list
+(** [(upper_bound_seconds, count)] per bucket, ascending; the last
+    upper bound is [infinity]. *)
+
+val histogram_name : histogram -> string
+
+val all : unit -> (string * instrument) list
+(** Every registered instrument, sorted by name. *)
+
+val find : string -> instrument option
+
+val reset : string -> unit
+(** Zero one instrument in place (no-op if unregistered). *)
+
+val reset_all : unit -> unit
+(** Zero every instrument; registrations (and handles held by modules)
+    stay valid. *)

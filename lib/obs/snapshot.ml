@@ -1,0 +1,175 @@
+(** Point-in-time capture of the metrics registry in a stable,
+    diffable JSON shape.
+
+    The format is versioned and sorted by metric name so two snapshots
+    of the same workload diff line-by-line.  [bin/bench_check] and the
+    CI perf gate parse this with {!of_json}; benches write it next to
+    their BENCH_*.json. *)
+
+type metric =
+  | Counter of int
+  | Gauge of float
+  | Histogram of {
+      count : int;
+      sum : float;        (* seconds *)
+      p50 : float;
+      p95 : float;
+      p99 : float;
+      buckets : (float * int) list; (* (upper bound seconds, count) *)
+    }
+
+type t = { version : int; metrics : (string * metric) list }
+
+let current_version = 1
+
+let take () : t =
+  let metrics =
+    Metrics.all ()
+    |> List.map (fun (name, i) ->
+           match i with
+           | Metrics.Counter c -> (name, Counter (Metrics.counter_value c))
+           | Metrics.Gauge g -> (name, Gauge (Metrics.gauge_value g))
+           | Metrics.Histogram h ->
+               ( name,
+                 Histogram
+                   {
+                     count = Metrics.histogram_count h;
+                     sum = Metrics.histogram_sum h;
+                     p50 = Metrics.histogram_percentile h 0.50;
+                     p95 = Metrics.histogram_percentile h 0.95;
+                     p99 = Metrics.histogram_percentile h 0.99;
+                     (* drop empty buckets: keeps snapshots short and
+                        diffs focused on populated ranges *)
+                     buckets =
+                       List.filter
+                         (fun (_, c) -> c > 0)
+                         (Metrics.histogram_buckets h);
+                   } ))
+  in
+  { version = current_version; metrics }
+
+let metric_to_json = function
+  | Counter n ->
+      Json.Obj [ ("type", Json.Str "counter"); ("value", Json.Num (float_of_int n)) ]
+  | Gauge x -> Json.Obj [ ("type", Json.Str "gauge"); ("value", Json.Num x) ]
+  | Histogram { count; sum; p50; p95; p99; buckets } ->
+      Json.Obj
+        [
+          ("type", Json.Str "histogram");
+          ("count", Json.Num (float_of_int count));
+          ("sum_seconds", Json.Num sum);
+          ("p50_seconds", Json.Num p50);
+          ("p95_seconds", Json.Num p95);
+          ("p99_seconds", Json.Num p99);
+          ( "buckets",
+            Json.List
+              (List.map
+                 (fun (ub, c) ->
+                   Json.Obj
+                     [
+                       ("le_seconds", Json.Num ub);
+                       ("count", Json.Num (float_of_int c));
+                     ])
+                 buckets) );
+        ]
+
+let to_json (t : t) : Json.t =
+  Json.Obj
+    [
+      ("snapshot_version", Json.Num (float_of_int t.version));
+      ( "metrics",
+        Json.Obj (List.map (fun (name, m) -> (name, metric_to_json m)) t.metrics)
+      );
+    ]
+
+let to_string t = Json.to_string_pretty (to_json t)
+
+let metric_of_json (j : Json.t) : (metric, string) result =
+  let open Json in
+  match Option.bind (member "type" j) str with
+  | Some "counter" -> (
+      match Option.bind (member "value" j) num with
+      | Some v -> Ok (Counter (int_of_float v))
+      | None -> Error "counter missing numeric value")
+  | Some "gauge" -> (
+      match Option.bind (member "value" j) num with
+      | Some v -> Ok (Gauge v)
+      | None -> Error "gauge missing numeric value")
+  | Some "histogram" ->
+      let get k =
+        match Option.bind (member k j) num with
+        | Some v -> Ok v
+        | None -> Error (Printf.sprintf "histogram missing %s" k)
+      in
+      Result.bind (get "count") (fun count ->
+          Result.bind (get "sum_seconds") (fun sum ->
+              Result.bind (get "p50_seconds") (fun p50 ->
+                  Result.bind (get "p95_seconds") (fun p95 ->
+                      Result.bind (get "p99_seconds") (fun p99 ->
+                          let buckets =
+                            match Option.bind (member "buckets" j) list with
+                            | None -> []
+                            | Some items ->
+                                List.filter_map
+                                  (fun b ->
+                                    match
+                                      ( Option.bind (member "le_seconds" b) num,
+                                        Option.bind (member "count" b) num )
+                                    with
+                                    | Some ub, Some c -> Some (ub, int_of_float c)
+                                    | _ -> None)
+                                  items
+                          in
+                          Ok
+                            (Histogram
+                               {
+                                 count = int_of_float count;
+                                 sum;
+                                 p50;
+                                 p95;
+                                 p99;
+                                 buckets;
+                               }))))))
+  | Some other -> Error (Printf.sprintf "unknown metric type %S" other)
+  | None -> Error "metric missing type"
+
+let of_json (j : Json.t) : (t, string) result =
+  let open Json in
+  match Option.bind (member "snapshot_version" j) num with
+  | None -> Error "not a snapshot: missing snapshot_version"
+  | Some v ->
+      let version = int_of_float v in
+      let fields =
+        match member "metrics" j with Some (Obj fields) -> fields | _ -> []
+      in
+      let rec go acc = function
+        | [] -> Ok { version; metrics = List.rev acc }
+        | (name, mj) :: rest -> (
+            match metric_of_json mj with
+            | Ok m -> go ((name, m) :: acc) rest
+            | Error e -> Error (Printf.sprintf "metric %s: %s" name e))
+      in
+      go [] fields
+
+let of_string (s : string) : (t, string) result =
+  Result.bind (Json.parse s) of_json
+
+let write_file path (t : t) =
+  let oc = open_out_bin path in
+  Fun.protect
+    ~finally:(fun () -> close_out_noerr oc)
+    (fun () -> output_string oc (to_string t))
+
+let pp ppf (t : t) =
+  Fmt.pf ppf "metrics snapshot (v%d, %d metrics)@." t.version
+    (List.length t.metrics);
+  List.iter
+    (fun (name, m) ->
+      match m with
+      | Counter n -> Fmt.pf ppf "  %-44s %d@." name n
+      | Gauge x -> Fmt.pf ppf "  %-44s %g@." name x
+      | Histogram { count; sum; p50; p95; p99; _ } ->
+          Fmt.pf ppf
+            "  %-44s n=%d sum=%.3fs p50=%.3gms p95=%.3gms p99=%.3gms@." name
+            count sum (p50 *. 1e3) (p95 *. 1e3) (p99 *. 1e3))
+    t.metrics

@@ -1,0 +1,35 @@
+(** Stable, diffable JSON capture of the metrics registry.
+
+    Snapshots are versioned, sorted by metric name, and round-trip
+    through {!to_json}/{!of_json}; the CI perf gate compares a fresh
+    snapshot against a committed baseline. *)
+
+type metric =
+  | Counter of int
+  | Gauge of float
+  | Histogram of {
+      count : int;
+      sum : float;  (** seconds *)
+      p50 : float;
+      p95 : float;
+      p99 : float;
+      buckets : (float * int) list;
+          (** (upper bound seconds, count); empty buckets elided *)
+    }
+
+type t = { version : int; metrics : (string * metric) list }
+
+val current_version : int
+
+val take : unit -> t
+(** Capture every registered instrument, sorted by name. *)
+
+val to_json : t -> Json.t
+val of_json : Json.t -> (t, string) result
+
+val to_string : t -> string
+(** Pretty JSON, newline-terminated. *)
+
+val of_string : string -> (t, string) result
+val write_file : string -> t -> unit
+val pp : Format.formatter -> t -> unit

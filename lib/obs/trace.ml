@@ -1,0 +1,261 @@
+(** Ring-buffered span tracer.
+
+    Design constraints, in order:
+
+    1. Disabled cost must be unmeasurable.  Every public entry point
+       first reads one [Atomic.t bool]; when tracing is off the only
+       work is that load plus the closure call the caller was going to
+       make anyway.  Callers that would build an argument list should
+       guard on {!enabled} themselves so the list is never allocated.
+    2. Enabled cost must be small and bounded.  Events go into a
+       fixed-size ring (default 65536 complete events, oldest dropped),
+       timestamped with [Unix.gettimeofday].  The ring is protected by
+       a mutex: at span granularity (passes, compile phases, execution
+       chunks) contention is negligible, and a mutex keeps the
+       multi-domain story simple and obviously correct.
+    3. Export matches the Chrome [trace_event] format — complete
+       events ("ph":"X") plus instants ("ph":"i") — so traces load
+       directly in chrome://tracing and Perfetto.  {!to_tree} renders
+       the same data as an indented tree for terminals. *)
+
+type arg_value = S of string | I of int | F of float | B of bool
+
+type event = {
+  name : string;
+  cat : string;
+  ts : float;  (** wall-clock start, seconds since epoch *)
+  dur : float; (** seconds; 0.0 for instants *)
+  tid : int;   (** Domain id of the emitting domain *)
+  phase : [ `Complete | `Instant ];
+  args : (string * arg_value) list;
+}
+
+let enabled_flag = Atomic.make false
+let enabled () = Atomic.get enabled_flag
+let set_enabled b = Atomic.set enabled_flag b
+
+let default_capacity = 65536
+
+type ring = {
+  mutable buf : event option array;
+  mutable head : int;     (* next write slot *)
+  mutable count : int;    (* live events, <= capacity *)
+  mutable dropped : int;  (* events evicted by wraparound *)
+  lock : Mutex.t;
+}
+
+let ring =
+  {
+    buf = Array.make default_capacity None;
+    head = 0;
+    count = 0;
+    dropped = 0;
+    lock = Mutex.create ();
+  }
+
+let with_lock f =
+  Mutex.lock ring.lock;
+  Fun.protect ~finally:(fun () -> Mutex.unlock ring.lock) f
+
+let set_capacity n =
+  let n = max 16 n in
+  with_lock (fun () ->
+      ring.buf <- Array.make n None;
+      ring.head <- 0;
+      ring.count <- 0;
+      ring.dropped <- 0)
+
+let clear () =
+  with_lock (fun () ->
+      Array.fill ring.buf 0 (Array.length ring.buf) None;
+      ring.head <- 0;
+      ring.count <- 0;
+      ring.dropped <- 0)
+
+let record (ev : event) =
+  with_lock (fun () ->
+      let cap = Array.length ring.buf in
+      if ring.count = cap then ring.dropped <- ring.dropped + 1
+      else ring.count <- ring.count + 1;
+      ring.buf.(ring.head) <- Some ev;
+      ring.head <- (ring.head + 1) mod cap)
+
+(* Oldest-first snapshot of the live events. *)
+let events () : event list =
+  with_lock (fun () ->
+      let cap = Array.length ring.buf in
+      let start = (ring.head - ring.count + cap) mod cap in
+      List.init ring.count (fun i ->
+          match ring.buf.((start + i) mod cap) with
+          | Some ev -> ev
+          | None -> assert false))
+
+let dropped () = with_lock (fun () -> ring.dropped)
+
+(* -- Emission ------------------------------------------------------------------ *)
+
+let instant ?(args = []) ~cat name =
+  if Atomic.get enabled_flag then
+    record
+      {
+        name;
+        cat;
+        ts = Unix.gettimeofday ();
+        dur = 0.0;
+        tid = (Domain.self () :> int);
+        phase = `Instant;
+        args;
+      }
+
+(* [args] is a thunk so the argument list is only built when the span
+   is actually recorded. *)
+let with_span ?args ~cat name f =
+  if not (Atomic.get enabled_flag) then f ()
+  else begin
+    let t0 = Unix.gettimeofday () in
+    let finish () =
+      let t1 = Unix.gettimeofday () in
+      record
+        {
+          name;
+          cat;
+          ts = t0;
+          dur = t1 -. t0;
+          tid = (Domain.self () :> int);
+          phase = `Complete;
+          args = (match args with Some g -> g () | None -> []);
+        }
+    in
+    match f () with
+    | v ->
+        finish ();
+        v
+    | exception e ->
+        finish ();
+        raise e
+  end
+
+(* Like [with_span] but also hands the elapsed seconds back to the
+   caller, so layers that keep their own timing ledgers (Pass records,
+   the compiler's stage list) reuse the tracer's clock reads instead of
+   timing twice. *)
+let timed ?args ~cat name f =
+  let t0 = Unix.gettimeofday () in
+  let v = f () in
+  let dt = Unix.gettimeofday () -. t0 in
+  if Atomic.get enabled_flag then
+    record
+      {
+        name;
+        cat;
+        ts = t0;
+        dur = dt;
+        tid = (Domain.self () :> int);
+        phase = `Complete;
+        args = (match args with Some g -> g () | None -> []);
+      };
+  (v, dt)
+
+(* -- Export -------------------------------------------------------------------- *)
+
+let arg_to_json = function
+  | S s -> Json.Str s
+  | I i -> Json.Num (float_of_int i)
+  | F x -> Json.Num x
+  | B b -> Json.Bool b
+
+let event_to_json (ev : event) : Json.t =
+  let base =
+    [
+      ("name", Json.Str ev.name);
+      ("cat", Json.Str ev.cat);
+      ("ph", Json.Str (match ev.phase with `Complete -> "X" | `Instant -> "i"));
+      ("ts", Json.Num (ev.ts *. 1e6));
+      ("pid", Json.Num 1.0);
+      ("tid", Json.Num (float_of_int ev.tid));
+    ]
+  in
+  let base =
+    match ev.phase with
+    | `Complete -> base @ [ ("dur", Json.Num (ev.dur *. 1e6)) ]
+    | `Instant -> base @ [ ("s", Json.Str "t") ]
+  in
+  let base =
+    match ev.args with
+    | [] -> base
+    | args ->
+        base @ [ ("args", Json.Obj (List.map (fun (k, v) -> (k, arg_to_json v)) args)) ]
+  in
+  Json.Obj base
+
+let to_json () : Json.t =
+  Json.Obj
+    [
+      ("traceEvents", Json.List (List.map event_to_json (events ())));
+      ("displayTimeUnit", Json.Str "ms");
+    ]
+
+let write_file path =
+  let oc = open_out_bin path in
+  Fun.protect
+    ~finally:(fun () -> close_out_noerr oc)
+    (fun () -> output_string oc (Json.to_string (to_json ())))
+
+(* Human-readable tree: events nested by [start, start+dur] containment
+   within each domain, printed oldest-first with durations in ms. *)
+let to_tree () : string =
+  let evs = events () in
+  let buf = Buffer.create 1024 in
+  let by_tid = Hashtbl.create 8 in
+  List.iter
+    (fun ev ->
+      let l = try Hashtbl.find by_tid ev.tid with Not_found -> [] in
+      Hashtbl.replace by_tid ev.tid (ev :: l))
+    evs;
+  let tids =
+    Hashtbl.fold (fun tid _ acc -> tid :: acc) by_tid [] |> List.sort compare
+  in
+  let pp_args args =
+    if args = [] then ""
+    else
+      " {"
+      ^ String.concat ", "
+          (List.map
+             (fun (k, v) ->
+               k ^ "="
+               ^
+               match v with
+               | S s -> s
+               | I i -> string_of_int i
+               | F x -> Printf.sprintf "%g" x
+               | B b -> string_of_bool b)
+             args)
+      ^ "}"
+  in
+  List.iter
+    (fun tid ->
+      Buffer.add_string buf (Printf.sprintf "domain %d:\n" tid);
+      let evs =
+        Hashtbl.find by_tid tid |> List.rev
+        |> List.stable_sort (fun a b -> compare a.ts b.ts)
+      in
+      (* stack of (end-time) for indent depth *)
+      let stack = ref [] in
+      List.iter
+        (fun ev ->
+          stack := List.filter (fun tend -> ev.ts < tend -. 1e-9) !stack;
+          let depth = List.length !stack in
+          let indent = String.make ((depth + 1) * 2) ' ' in
+          (match ev.phase with
+          | `Complete ->
+              Buffer.add_string buf
+                (Printf.sprintf "%s%s [%s] %.3f ms%s\n" indent ev.name ev.cat
+                   (ev.dur *. 1e3) (pp_args ev.args));
+              stack := (ev.ts +. ev.dur) :: !stack
+          | `Instant ->
+              Buffer.add_string buf
+                (Printf.sprintf "%s* %s [%s]%s\n" indent ev.name ev.cat
+                   (pp_args ev.args))))
+        evs)
+    tids;
+  Buffer.contents buf

@@ -1,0 +1,69 @@
+(** Low-overhead span tracer.
+
+    Disabled (the default), every entry point is a single atomic load.
+    Enabled, begin/end pairs are recorded as complete events into a
+    fixed-size ring buffer (oldest dropped on overflow) and exported in
+    Chrome [trace_event] JSON — loadable in chrome://tracing and
+    Perfetto — or as an indented tree for terminals.
+
+    The tracer is process-wide: one ring shared by all domains, each
+    event tagged with its emitting domain id. *)
+
+type arg_value = S of string | I of int | F of float | B of bool
+
+type event = {
+  name : string;
+  cat : string;
+  ts : float;  (** wall-clock start, seconds since epoch *)
+  dur : float; (** seconds; 0.0 for instants *)
+  tid : int;   (** emitting domain id *)
+  phase : [ `Complete | `Instant ];
+  args : (string * arg_value) list;
+}
+
+val enabled : unit -> bool
+val set_enabled : bool -> unit
+
+val set_capacity : int -> unit
+(** Resize the ring (clears it).  Minimum 16; default 65536. *)
+
+val clear : unit -> unit
+
+val with_span :
+  ?args:(unit -> (string * arg_value) list) ->
+  cat:string ->
+  string ->
+  (unit -> 'a) ->
+  'a
+(** [with_span ~cat name f] runs [f] and records a complete event
+    spanning it.  [args] is a thunk, only forced if the span is
+    recorded; exceptions still close the span and propagate. *)
+
+val timed :
+  ?args:(unit -> (string * arg_value) list) ->
+  cat:string ->
+  string ->
+  (unit -> 'a) ->
+  'a * float
+(** Like {!with_span} but always measures, returning [(result, elapsed
+    seconds)] — for layers keeping their own timing ledger.  The span
+    is only recorded when tracing is enabled. *)
+
+val instant :
+  ?args:(string * arg_value) list -> cat:string -> string -> unit
+(** Zero-duration marker event. *)
+
+val events : unit -> event list
+(** Oldest-first snapshot of the live ring contents. *)
+
+val dropped : unit -> int
+(** Events evicted by ring wraparound since the last {!clear}. *)
+
+val to_json : unit -> Json.t
+(** Chrome trace-event document: [{"traceEvents": [...], ...}]. *)
+
+val write_file : string -> unit
+(** {!to_json} serialized to [path]. *)
+
+val to_tree : unit -> string
+(** Events as an indented per-domain tree with ms durations. *)

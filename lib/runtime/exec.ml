@@ -32,6 +32,16 @@
 
 module Jit = Spnc_cpu.Jit
 module Vm = Spnc_cpu.Vm
+module Obs_trace = Spnc_obs.Trace
+module Obs_metrics = Spnc_obs.Metrics
+
+(* Registered once at module init; the hot paths below only touch the
+   atomics inside these handles. *)
+let m_calls = Obs_metrics.counter "runtime.exec.calls"
+let m_rows = Obs_metrics.counter "runtime.exec.rows"
+let m_chunks = Obs_metrics.counter "runtime.exec.chunks"
+let m_ctx_created = Obs_metrics.counter "runtime.exec.ctx_created"
+let m_call_seconds = Obs_metrics.histogram "runtime.exec.call_seconds"
 
 (* Per-worker execution context, allocated once per worker slot and
    reused across every chunk of every [execute] call. *)
@@ -125,6 +135,7 @@ let () =
     | _ -> None)
 
 let make_ctx (t : t) : ctx =
+  Obs_metrics.counter_incr m_ctx_created;
   { state = Option.map Jit.make_state t.jit; scratch = [||] }
 
 (* Worker slot -> context, created on first use and kept for the life of
@@ -212,7 +223,7 @@ let execute (t : t) ~(flat : float array) ~rows ~num_features : float array =
           in
           ignore (Atomic.compare_and_set failure None (Some err))
         in
-        let process ctx (lo, hi) =
+        let process_plain ctx (lo, hi) =
           match run_chunk t ctx ~flat ~out ~num_features ~lo ~hi with
           | () -> ()
           | exception ((Stack_overflow | Out_of_memory) as e) ->
@@ -222,20 +233,49 @@ let execute (t : t) ~(flat : float array) ~rows ~num_features : float array =
               record lo hi e (Printexc.get_raw_backtrace ())
           | exception e -> record lo hi e (Printexc.get_raw_backtrace ())
         in
-        (match t.pool with
-        | None ->
-            let ctx = get_ctx t 0 in
-            Array.iter
-              (fun c -> if Atomic.get failure = None then process ctx c)
-              chunks
-        | Some _ when n_chunks <= 1 ->
-            (* one chunk: skip the round protocol entirely *)
-            process (get_ctx t 0) chunks.(0)
-        | Some pool ->
-            Pool.run pool ~sched:t.sched ~workers:t.threads
-              ~stop:(fun () -> Atomic.get failure <> None)
-              ~num_tasks:n_chunks
-              (fun ~worker i -> process (get_ctx t worker) chunks.(i)));
+        (* the enabled check is hoisted out of the span helper so the
+           disabled path allocates nothing per chunk (<2% overhead
+           budget on the sustained-serving bench) *)
+        let process ctx ((lo, hi) as c) =
+          if Obs_trace.enabled () then
+            Obs_trace.with_span ~cat:"exec" "chunk"
+              ~args:(fun () -> Obs_trace.[ ("lo", I lo); ("hi", I hi) ])
+              (fun () -> process_plain ctx c)
+          else process_plain ctx c
+        in
+        let run_round () =
+          match t.pool with
+          | None ->
+              let ctx = get_ctx t 0 in
+              Array.iter
+                (fun c -> if Atomic.get failure = None then process ctx c)
+                chunks
+          | Some _ when n_chunks <= 1 ->
+              (* one chunk: skip the round protocol entirely *)
+              process (get_ctx t 0) chunks.(0)
+          | Some pool ->
+              Pool.run pool ~sched:t.sched ~workers:t.threads
+                ~stop:(fun () -> Atomic.get failure <> None)
+                ~num_tasks:n_chunks
+                (fun ~worker i -> process (get_ctx t worker) chunks.(i))
+        in
+        (* the per-call span doubles as the latency-histogram clock *)
+        let (), call_seconds =
+          Obs_trace.timed ~cat:"exec" "execute"
+            ~args:(fun () ->
+              Obs_trace.
+                [
+                  ("rows", I rows);
+                  ("chunk", I chunk);
+                  ("chunks", I n_chunks);
+                  ("threads", I t.threads);
+                ])
+            run_round
+        in
+        Obs_metrics.counter_incr m_calls;
+        Obs_metrics.counter_incr ~by:rows m_rows;
+        Obs_metrics.counter_incr ~by:n_chunks m_chunks;
+        Obs_metrics.histogram_observe m_call_seconds call_seconds;
         match Atomic.get failure with
         | Some err -> raise (Chunk_error err)
         | None -> out)

@@ -72,9 +72,35 @@ type t = {
 
 (* Process-wide observability: how many domains pool creation has ever
    spawned.  The pool-reuse tests assert this does not move between
-   executes. *)
+   executes.  The local atomics stay authoritative (they are per-process
+   / per-pool and resettable independently of the metrics registry); the
+   Obs counters mirror them so `--metrics` snapshots carry the same
+   numbers. *)
 let spawn_counter = Atomic.make 0
 let total_domains_spawned () = Atomic.get spawn_counter
+let obs_spawns = Spnc_obs.Metrics.counter "runtime.pool.spawns"
+let obs_steals = Spnc_obs.Metrics.counter "runtime.pool.steals"
+let obs_rounds = Spnc_obs.Metrics.counter "runtime.pool.rounds"
+
+(* Per-worker-slot busy time (seconds inside [do_round]), memoized so the
+   per-round cost is one array read, not a registry lookup.  A racing
+   first-fill writes the same interned gauge twice — benign. *)
+let max_busy_slots = 257
+
+let busy_gauges : Spnc_obs.Metrics.gauge option array =
+  Array.make max_busy_slots None
+
+let busy_gauge w =
+  let i = min w (max_busy_slots - 1) in
+  match busy_gauges.(i) with
+  | Some g -> g
+  | None ->
+      let g =
+        Spnc_obs.Metrics.gauge
+          (Printf.sprintf "runtime.pool.worker%d.busy_seconds" i)
+      in
+      busy_gauges.(i) <- Some g;
+      g
 
 let size t = t.size
 let steal_count t = Atomic.get t.steals
@@ -120,6 +146,7 @@ let exec_task t w i =
    sweep over the other participants.  Deques are never refilled during
    a round, so a sweep that finds everything empty is a sound exit. *)
 let do_round t w =
+  let t_start = Unix.gettimeofday () in
   let n = t.workers_in_round in
   let own = t.deques.(w) in
   let continue_ = ref true in
@@ -138,6 +165,7 @@ let do_round t w =
                | Some i ->
                    found := true;
                    Atomic.incr t.steals;
+                   Spnc_obs.Metrics.counter_incr obs_steals;
                    exec_task t w i
                | None -> ());
             v := (!v + 1) mod n;
@@ -145,7 +173,10 @@ let do_round t w =
           done;
           if not !found then continue_ := false
         end
-  done
+  done;
+  (* busy = time from round entry to running dry; at chunk granularity the
+     mutex waits inside are negligible, so this is effectively kernel time *)
+  Spnc_obs.Metrics.gauge_add (busy_gauge w) (Unix.gettimeofday () -. t_start)
 
 let worker_main t w =
   let seen = ref 0 in
@@ -192,6 +223,7 @@ let create ~size =
   t.domains <-
     List.init (size - 1) (fun k ->
         Atomic.incr spawn_counter;
+        Spnc_obs.Metrics.counter_incr obs_spawns;
         Domain.spawn (fun () -> worker_main t (k + 1)));
   t
 
@@ -245,6 +277,7 @@ let run t ?(sched = Stealing) ?workers ?(stop = fun () -> false) ~num_tasks
           end;
           Mutex.unlock d.dq_lock
         done;
+        Spnc_obs.Metrics.counter_incr obs_rounds;
         Mutex.lock t.lock;
         t.round <- t.round + 1;
         Condition.broadcast t.work_ready;

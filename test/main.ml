@@ -23,4 +23,5 @@ let () =
       ("gpu-model", Test_gpu_model.suite);
       ("resilience", Test_resilience.suite);
       ("runtime", Test_runtime.suite);
+      ("obs", Test_obs.suite);
     ]

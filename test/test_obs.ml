@@ -1,0 +1,281 @@
+(** Observability-layer tests (docs/OBSERVABILITY.md): span nesting and
+    ring semantics of {!Spnc_obs.Trace}, Chrome trace-JSON
+    well-formedness, histogram percentile math on known inputs, counter
+    atomicity under four domains, and the snapshot JSON round-trip the
+    CI perf gate depends on. *)
+
+module Json = Spnc_obs.Json
+module Trace = Spnc_obs.Trace
+module Metrics = Spnc_obs.Metrics
+module Snapshot = Spnc_obs.Snapshot
+
+let check = Alcotest.check
+let tbool = Alcotest.bool
+let tint = Alcotest.int
+let tstr = Alcotest.string
+
+let contains s sub =
+  let n = String.length s and m = String.length sub in
+  let rec go i = i + m <= n && (String.sub s i m = sub || go (i + 1)) in
+  m = 0 || go 0
+
+(* The tracer and registry are process-wide; every test starts from a
+   clean slate so suite order cannot matter. *)
+let fresh () =
+  Trace.set_enabled false;
+  Trace.clear ();
+  Metrics.reset_all ()
+
+(* -- Tracing ------------------------------------------------------------------ *)
+
+let test_disabled_records_nothing () =
+  fresh ();
+  let forced = ref false in
+  let r =
+    Trace.with_span
+      ~args:(fun () ->
+        forced := true;
+        [ ("k", Trace.I 1) ])
+      ~cat:"test" "off" (fun () -> 41 + 1)
+  in
+  check tint "with_span is transparent" 42 r;
+  check tbool "args thunk never forced while disabled" false !forced;
+  check tint "nothing recorded" 0 (List.length (Trace.events ()));
+  (* timed still measures even when disabled *)
+  let r, dt = Trace.timed ~cat:"test" "t" (fun () -> 7) in
+  check tint "timed returns the result" 7 r;
+  check tbool "timed returns a sane elapsed" true (dt >= 0.0);
+  check tint "timed recorded nothing" 0 (List.length (Trace.events ()))
+
+let test_span_nesting () =
+  fresh ();
+  Trace.set_enabled true;
+  Trace.with_span ~cat:"test" "outer" (fun () ->
+      Trace.with_span ~cat:"test" "inner" (fun () -> ());
+      Trace.instant ~cat:"test" "mark");
+  Trace.set_enabled false;
+  match Trace.events () with
+  | [ inner; mark; outer ] ->
+      (* completion order: inner closes first, the instant fires, then
+         the outer span closes *)
+      check tstr "inner first" "inner" inner.Trace.name;
+      check tstr "instant second" "mark" mark.Trace.name;
+      check tstr "outer last" "outer" outer.Trace.name;
+      check tbool "instant has zero duration" true (mark.Trace.dur = 0.0);
+      (* the outer interval contains the inner one *)
+      check tbool "outer starts before inner" true
+        (outer.Trace.ts <= inner.Trace.ts);
+      check tbool "inner ends before outer ends" true
+        (inner.Trace.ts +. inner.Trace.dur
+        <= outer.Trace.ts +. outer.Trace.dur +. 1e-9);
+      check tbool "same domain" true (inner.Trace.tid = outer.Trace.tid)
+  | evs -> Alcotest.failf "expected 3 events, got %d" (List.length evs)
+
+let test_span_closes_on_exception () =
+  fresh ();
+  Trace.set_enabled true;
+  (match
+     Trace.with_span ~cat:"test" "boom" (fun () -> failwith "expected")
+   with
+  | exception Failure _ -> ()
+  | _ -> Alcotest.fail "exception was swallowed");
+  Trace.set_enabled false;
+  check tint "the failing span was still recorded" 1
+    (List.length (Trace.events ()))
+
+let test_ring_drops_oldest () =
+  fresh ();
+  Trace.set_capacity 16;
+  Trace.set_enabled true;
+  for i = 0 to 24 do
+    Trace.instant ~cat:"test" (Printf.sprintf "e%d" i)
+  done;
+  Trace.set_enabled false;
+  let evs = Trace.events () in
+  check tint "ring holds exactly its capacity" 16 (List.length evs);
+  check tint "9 oldest were dropped" 9 (Trace.dropped ());
+  check tstr "survivors start at e9" "e9" (List.hd evs).Trace.name;
+  check tstr "newest survives" "e24"
+    (List.nth evs 15).Trace.name;
+  Trace.set_capacity 65536
+
+let test_trace_json_well_formed () =
+  fresh ();
+  Trace.set_enabled true;
+  Trace.with_span
+    ~args:(fun () -> [ ("rows", Trace.I 5); ("label", Trace.S "a\"b\n") ])
+    ~cat:"test" "span" (fun () -> ());
+  Trace.instant ~cat:"test" "tick" ~args:[ ("ok", Trace.B true) ];
+  Trace.set_enabled false;
+  (* round-trip the document through our own strict parser *)
+  let doc =
+    match Json.parse (Json.to_string (Trace.to_json ())) with
+    | Ok j -> j
+    | Error e -> Alcotest.failf "trace JSON does not re-parse: %s" e
+  in
+  let events =
+    match Option.bind (Json.member "traceEvents" doc) Json.list with
+    | Some l -> l
+    | None -> Alcotest.fail "no traceEvents array"
+  in
+  check tint "two events exported" 2 (List.length events);
+  List.iter
+    (fun ev ->
+      let field name = Option.bind (Json.member name ev) in
+      check tbool "has name" true (field "name" Json.str <> None);
+      check tbool "has cat" true (field "cat" Json.str <> None);
+      check tbool "has ts" true (field "ts" Json.num <> None);
+      check tbool "pid is 1" (Some 1.0 = field "pid" Json.num) true;
+      match field "ph" Json.str with
+      | Some "X" ->
+          check tbool "complete events carry dur" true
+            (field "dur" Json.num <> None);
+          (* escaped args survive the round trip *)
+          check tbool "string arg intact"
+            (Some "a\"b\n"
+            = Option.bind (Json.find ev "args.label") Json.str)
+            true
+      | Some "i" ->
+          check tbool "instant scope" (Some "t" = field "s" Json.str) true
+      | ph -> Alcotest.failf "unexpected phase %s" (Option.value ~default:"?" ph))
+    events;
+  (* the tree renderer must mention both events *)
+  let tree = Trace.to_tree () in
+  check tbool "tree lists the span" true (contains tree "span");
+  check tbool "tree lists the instant" true (contains tree "tick")
+
+(* -- Metrics ------------------------------------------------------------------- *)
+
+let test_counter_basics () =
+  fresh ();
+  let c = Metrics.counter "test.counter" in
+  check tint "starts at zero" 0 (Metrics.counter_value c);
+  Metrics.counter_incr c;
+  Metrics.counter_incr ~by:41 c;
+  check tint "incr accumulates" 42 (Metrics.counter_value c);
+  check tbool "interned: same handle" true
+    (Metrics.counter_value (Metrics.counter "test.counter") = 42);
+  (match Metrics.gauge "test.counter" with
+  | exception Invalid_argument _ -> ()
+  | _ -> Alcotest.fail "kind clash was not rejected");
+  Metrics.reset "test.counter";
+  check tint "reset zeroes in place" 0 (Metrics.counter_value c)
+
+let test_counter_atomicity_4_domains () =
+  fresh ();
+  let c = Metrics.counter "test.par.counter" in
+  let g = Metrics.gauge "test.par.gauge" in
+  let h = Metrics.histogram "test.par.hist" in
+  let per_domain = 25_000 in
+  let workers =
+    Array.init 4 (fun _ ->
+        Domain.spawn (fun () ->
+            for _ = 1 to per_domain do
+              Metrics.counter_incr c;
+              Metrics.gauge_add g 1.0;
+              Metrics.histogram_observe h 1e-4
+            done))
+  in
+  Array.iter Domain.join workers;
+  check tint "no lost counter increments" (4 * per_domain)
+    (Metrics.counter_value c);
+  check tbool "no lost gauge adds" true
+    (Float.abs (Metrics.gauge_value g -. float_of_int (4 * per_domain))
+    < 0.5);
+  check tint "no lost histogram samples" (4 * per_domain)
+    (Metrics.histogram_count h)
+
+let test_histogram_percentiles () =
+  fresh ();
+  let h = Metrics.histogram "test.hist" in
+  check tbool "empty histogram reads 0" true
+    (Metrics.histogram_percentile h 0.99 = 0.0);
+  (* 100 samples: 90 in the (512µs, 1024µs] bucket, 10 in the
+     (8192µs, 16384µs] bucket.  p50/p90 land in the first, p95/p99 in
+     the second; the readout is the bucket's upper bound. *)
+  for _ = 1 to 90 do
+    Metrics.histogram_observe h 0.000_700
+  done;
+  for _ = 1 to 10 do
+    Metrics.histogram_observe h 0.010_000
+  done;
+  let p q = Metrics.histogram_percentile h q in
+  let feq a b = Float.abs (a -. b) < 1e-12 in
+  check tbool "p50 = 1024us bound" true (feq (p 0.50) 0.001_024);
+  check tbool "p90 = 1024us bound" true (feq (p 0.90) 0.001_024);
+  check tbool "p95 = 16384us bound" true (feq (p 0.95) 0.016_384);
+  check tbool "p99 = 16384us bound" true (feq (p 0.99) 0.016_384);
+  check tbool "percentile never under-reports" true
+    (p 0.50 >= 0.000_700 && p 0.99 >= 0.010_000);
+  check tint "count" 100 (Metrics.histogram_count h);
+  check tbool "sum ~ 0.163s (us resolution)" true
+    (Float.abs (Metrics.histogram_sum h -. 0.163) < 1e-3);
+  (* negative samples clamp instead of throwing *)
+  Metrics.histogram_observe h (-1.0);
+  check tint "negative sample clamped, still counted" 101
+    (Metrics.histogram_count h);
+  check tbool "buckets cover every sample" true
+    (List.fold_left (fun a (_, n) -> a + n) 0 (Metrics.histogram_buckets h)
+    = 101)
+
+(* -- Snapshot round-trip -------------------------------------------------------- *)
+
+let test_snapshot_roundtrip () =
+  fresh ();
+  Metrics.counter_incr ~by:7 (Metrics.counter "test.snap.counter");
+  Metrics.gauge_set (Metrics.gauge "test.snap.gauge") 2.5;
+  let h = Metrics.histogram "test.snap.hist" in
+  List.iter (Metrics.histogram_observe h) [ 0.001; 0.002; 0.004; 0.064 ];
+  let s = Snapshot.take () in
+  check tint "snapshot carries the version" Snapshot.current_version
+    s.Snapshot.version;
+  let names = List.map fst s.Snapshot.metrics in
+  check tbool "sorted by name" true
+    (names = List.sort compare names);
+  let s' =
+    match Snapshot.of_string (Snapshot.to_string s) with
+    | Ok s' -> s'
+    | Error e -> Alcotest.failf "snapshot does not round-trip: %s" e
+  in
+  check tint "version survives" s.Snapshot.version s'.Snapshot.version;
+  check tint "metric count survives"
+    (List.length s.Snapshot.metrics)
+    (List.length s'.Snapshot.metrics);
+  List.iter2
+    (fun (n1, m1) (n2, m2) ->
+      check tstr "metric name survives" n1 n2;
+      match (m1, m2) with
+      | Snapshot.Counter a, Snapshot.Counter b ->
+          check tint (n1 ^ " counter value") a b
+      | Snapshot.Gauge a, Snapshot.Gauge b ->
+          check tbool (n1 ^ " gauge value") true (Float.abs (a -. b) < 1e-12)
+      | ( Snapshot.Histogram { count = c1; p99 = p1; buckets = b1; _ },
+          Snapshot.Histogram { count = c2; p99 = p2; buckets = b2; _ } ) ->
+          check tint (n1 ^ " hist count") c1 c2;
+          check tbool (n1 ^ " hist p99") true (Float.abs (p1 -. p2) < 1e-12);
+          check tint (n1 ^ " hist buckets") (List.length b1) (List.length b2)
+      | _ -> Alcotest.failf "%s changed kind across the round trip" n1)
+    s.Snapshot.metrics s'.Snapshot.metrics;
+  (* corrupt documents are rejected, not crashed on *)
+  check tbool "garbage rejected" true
+    (Result.is_error (Snapshot.of_string "{ nope"));
+  check tbool "wrong shape rejected" true
+    (Result.is_error (Snapshot.of_string "{\"snapshot_version\": \"x\"}"))
+
+let suite =
+  [
+    Alcotest.test_case "disabled tracer records nothing" `Quick
+      test_disabled_records_nothing;
+    Alcotest.test_case "span nesting" `Quick test_span_nesting;
+    Alcotest.test_case "span closes on exception" `Quick
+      test_span_closes_on_exception;
+    Alcotest.test_case "ring drops oldest" `Quick test_ring_drops_oldest;
+    Alcotest.test_case "trace JSON well-formed" `Quick
+      test_trace_json_well_formed;
+    Alcotest.test_case "counter basics" `Quick test_counter_basics;
+    Alcotest.test_case "counter atomicity under 4 domains" `Quick
+      test_counter_atomicity_4_domains;
+    Alcotest.test_case "histogram percentiles" `Quick
+      test_histogram_percentiles;
+    Alcotest.test_case "snapshot round-trip" `Quick test_snapshot_roundtrip;
+  ]

@@ -483,6 +483,46 @@ let test_stealing_rebalances_skewed_costs () =
         runs2;
       check tint "static round stole nothing" before_static (Pool.steal_count p))
 
+(* The Obs counters mirror the pool's own bookkeeping: process-wide
+   spawn and steal totals must move in lockstep with
+   [Pool.total_domains_spawned] / [Pool.steal_count] (the Obs counters
+   are process-wide, so deltas — not absolutes — are compared). *)
+let test_pool_obs_metrics_parity () =
+  let obs name =
+    Spnc_obs.Metrics.(counter_value (counter name))
+  in
+  let spawns0 = obs "runtime.pool.spawns" in
+  let steals0 = obs "runtime.pool.steals" in
+  let spawned0 = Pool.total_domains_spawned () in
+  let p = Pool.create ~size:3 in
+  Fun.protect
+    ~finally:(fun () -> Pool.shutdown p)
+    (fun () ->
+      check tint "spawn metric mirrors total_domains_spawned"
+        (Pool.total_domains_spawned () - spawned0)
+        (obs "runtime.pool.spawns" - spawns0);
+      let stolen0 = Pool.steal_count p in
+      (* same skewed round as above: task 3 blocks until a thief runs
+         tasks 0..2, so at least 3 steals are forced *)
+      let n = 12 in
+      let runs = Array.init n (fun _ -> Atomic.make 0) in
+      let deadline = Unix.gettimeofday () +. 10.0 in
+      Pool.run p ~sched:Pool.Stealing ~num_tasks:n (fun ~worker:_ i ->
+          if i = 3 then
+            while
+              (Atomic.get runs.(0) = 0
+              || Atomic.get runs.(1) = 0
+              || Atomic.get runs.(2) = 0)
+              && Unix.gettimeofday () < deadline
+            do
+              Domain.cpu_relax ()
+            done;
+          Atomic.incr runs.(i));
+      let pool_steals = Pool.steal_count p - stolen0 in
+      check tbool "round forced steals" true (pool_steals >= 3);
+      check tint "steal metric mirrors the pool's own count" pool_steals
+        (obs "runtime.pool.steals" - steals0))
+
 let test_adaptive_chunk_plan () =
   check tint "single-threaded: the batch size" 64
     (Exec.chunk_plan ~rows:100_000 ~threads:1 ~batch_size:64 ~min_chunk:8);
@@ -674,6 +714,8 @@ let suite =
     Alcotest.test_case "pool persists across calls" `Quick test_pool_persists_across_calls;
     Alcotest.test_case "stealing rebalances skewed costs" `Quick
       test_stealing_rebalances_skewed_costs;
+    Alcotest.test_case "pool obs metrics parity" `Quick
+      test_pool_obs_metrics_parity;
     Alcotest.test_case "adaptive chunk plan" `Quick test_adaptive_chunk_plan;
     Alcotest.test_case "sched grid bit-identical" `Quick test_sched_grid_bit_identical;
     Alcotest.test_case "threads auto normalization" `Quick test_threads_auto_normalization;
