@@ -37,6 +37,8 @@ let threads = ref 1
 let out_path = ref "BENCH_cpu.json"
 let trace_path = ref "TRACE_cpu.json"
 let metrics_path = ref "METRICS_cpu.json"
+let remarks_path = ref "REMARKS_cpu.json"
+let profile_path = ref "PROFILE_cpu.json"
 let min_speedup = ref 0.0
 let sustained_calls = ref 120
 let sustained_rows = ref 256
@@ -55,6 +57,12 @@ let spec =
     ( "--metrics-out",
       Arg.Set_string metrics_path,
       "FILE Metrics snapshot path (default METRICS_cpu.json)" );
+    ( "--remarks-out",
+      Arg.Set_string remarks_path,
+      "FILE Optimization-remark artifact path (default REMARKS_cpu.json)" );
+    ( "--profile-out",
+      Arg.Set_string profile_path,
+      "FILE Per-SPN-node profile artifact path (default PROFILE_cpu.json)" );
     ( "--min-speedup",
       Arg.Set_float min_speedup,
       "X Fail if the best-CPU JIT speedup over VM is below X (default 0 = no gate)" );
@@ -277,25 +285,42 @@ let () =
     sustained_speedup k.Compiler.hits k.Compiler.misses k.Compiler.full_compiles;
   close_out oc;
   Fmt.pr "wrote %s@." !out_path;
-  (* observability artifacts (docs/OBSERVABILITY.md): tracing stays OFF
-     during every timed section above so it cannot perturb the numbers;
-     a dedicated post-timing capture pass — one uncached compile plus one
-     small execute — produces the trace, and the metrics snapshot carries
-     the counters/histograms accumulated by the whole run *)
+  (* observability artifacts (docs/OBSERVABILITY.md): tracing, remarks and
+     the node profiler stay OFF during every timed section above so they
+     cannot perturb the numbers; a dedicated post-timing capture pass —
+     one uncached compile plus one small profiled execute — produces the
+     trace, the remark stream and the per-node profile, and the metrics
+     snapshot carries the counters/histograms accumulated by the whole
+     run *)
   Spnc_obs.Trace.set_enabled true;
+  Spnc_obs.Remark.set_enabled true;
   let obs_options =
     {
       (W.cpu_avx2 ()) with
       Options.threads = !sustained_threads;
       use_kernel_cache = false;
+      profile = true;
+      (* -O3 so the FMA-fusion rewrites fire and the remark stream shows
+         what the optimizer did to this kernel; the capture pass is off
+         the timed path, so the extra pipeline work costs nothing *)
+      opt_level = Spnc_cpu.Optimizer.O3;
     }
   in
   let c_obs = Compiler.compile ~options:obs_options models.(0) in
-  ignore (Compiler.execute c_obs (Array.sub data 0 (min 64 (Array.length data))));
+  let _, prof =
+    Compiler.execute_profiled c_obs
+      (Array.sub data 0 (min 64 (Array.length data)))
+  in
+  (* hot nodes as instant events, lined up with the execution spans *)
+  Spnc_cpu.Profile.to_trace prof;
   Spnc_obs.Trace.set_enabled false;
+  Spnc_obs.Remark.set_enabled false;
   Spnc_obs.Trace.write_file !trace_path;
   Spnc_obs.Snapshot.write_file !metrics_path (Spnc_obs.Snapshot.take ());
-  Fmt.pr "wrote %s and %s@." !trace_path !metrics_path;
+  Spnc_obs.Remark.write_file !remarks_path;
+  Spnc_cpu.Profile.write_file prof !profile_path;
+  Fmt.pr "wrote %s, %s, %s and %s@." !trace_path !metrics_path !remarks_path
+    !profile_path;
   if not identical then exit 1;
   if speedup < !min_speedup then begin
     Fmt.epr "FAIL: jit speedup %.2fx below required %.2fx@." speedup !min_speedup;

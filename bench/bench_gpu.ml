@@ -27,6 +27,7 @@ let check_rows = ref 512
 let out_path = ref "BENCH_gpu.json"
 let trace_path = ref "TRACE_gpu.json"
 let metrics_path = ref "METRICS_gpu.json"
+let remarks_path = ref "REMARKS_gpu.json"
 
 let spec =
   [
@@ -41,13 +42,20 @@ let spec =
     ( "--metrics-out",
       Arg.Set_string metrics_path,
       "FILE Metrics snapshot path (default METRICS_gpu.json)" );
+    ( "--remarks-out",
+      Arg.Set_string remarks_path,
+      "FILE Optimization-remark artifact path (default REMARKS_gpu.json)" );
   ]
 
 let () =
   Arg.parse spec (fun a -> raise (Arg.Bad ("unexpected argument " ^ a))) usage;
   let model = (Lazy.force W.speaker_models).(0) in
   let options = W.gpu_best () in
+  (* remarks fire at compile time, and the timing below is fully modelled,
+     so collecting them costs the reported numbers nothing *)
+  Spnc_obs.Remark.set_enabled true;
   let c = Compiler.compile ~options model in
+  Spnc_obs.Remark.set_enabled false;
   let gpu_module =
     match c.Compiler.artifact with
     | Compiler.Gpu_kernel g -> g.Compiler.gpu_module
@@ -144,7 +152,8 @@ let () =
   Spnc_obs.Trace.set_enabled false;
   Spnc_obs.Trace.write_file !trace_path;
   Spnc_obs.Snapshot.write_file !metrics_path (Spnc_obs.Snapshot.take ());
-  Fmt.pr "wrote %s and %s@." !trace_path !metrics_path;
+  Spnc_obs.Remark.write_file !remarks_path;
+  Fmt.pr "wrote %s, %s and %s@." !trace_path !metrics_path !remarks_path;
   if not identical then exit 1;
   if tf > 0.4 && Sim.total_seconds s4 >= Sim.total_seconds mono then begin
     Fmt.epr

@@ -7,7 +7,8 @@
     asymmetric:
 
     {b hard failures} (exit 1) — things that are never noise:
-    - an unreadable / unparseable fresh artifact or baseline;
+    - an unreadable / unparseable fresh artifact (it was produced by the
+      same CI run, so a broken one means the bench itself broke);
     - a bit-identity break ([bit_identical] /
       [outputs_bit_identical] false in the fresh run) — engines or
       schedules diverging is a correctness bug, not a perf wobble;
@@ -18,9 +19,13 @@
       blowup factor — those numbers have no noise excuse.
 
     {b report-only} (WARN lines, exit 0) — everything else: moderate
-    latency drift, speedup erosion, metric-snapshot differences, and
-    all ratio checks when the fresh and baseline runs were produced at
-    different workload scales ([scale] field mismatch).
+    latency drift, speedup erosion, metric-snapshot differences, all
+    ratio checks when the fresh and baseline runs were produced at
+    different workload scales ([scale] field mismatch), and a missing
+    or unparsable {e baseline} under [ci/baselines/] — a branch that
+    has not committed baselines yet (or whose baseline format predates
+    a schema change) gets its comparisons skipped with a WARN, not a
+    red build.
 
     {v
     bench_check --cpu BENCH_cpu.json --cpu-baseline ci/baselines/BENCH_cpu.json \
@@ -66,13 +71,19 @@ let fail fmt = Printf.ksprintf (fun s -> incr failures; Printf.printf "FAIL: %s\
 let warn fmt = Printf.ksprintf (fun s -> Printf.printf "WARN: %s\n" s) fmt
 let info fmt = Printf.ksprintf (fun s -> Printf.printf "  ok: %s\n" s) fmt
 
-let load name path : Json.t option =
+(* A broken FRESH artifact is a hard failure (the same CI run produced
+   it); a broken BASELINE is report-only — branches without committed
+   baselines, or baselines predating a schema change, skip the
+   comparison with a WARN instead of going red. *)
+let load ?(baseline = false) name path : Json.t option =
   if path = "" then None
   else
     match Json.parse_file path with
     | Ok j -> Some j
     | Error e ->
-        fail "%s: cannot read %s: %s" name path e;
+        if baseline then
+          warn "%s: cannot read %s: %s — comparisons skipped" name path e
+        else fail "%s: cannot read %s: %s" name path e;
         None
 
 let get_num j path = Option.bind (Json.find j path) Json.num
@@ -178,7 +189,10 @@ let check_metrics fresh_j baseline_j =
     match Snapshot.of_json j with
     | Ok s -> Some s
     | Error e ->
-        fail "metrics %s: not a valid snapshot: %s" which e;
+        if which = "baseline" then
+          warn "metrics %s: not a valid snapshot: %s — comparisons skipped"
+            which e
+        else fail "metrics %s: not a valid snapshot: %s" which e;
         None
   in
   match (parse "fresh" fresh_j, parse "baseline" baseline_j) with
@@ -209,12 +223,14 @@ let () =
   let pair what fresh baseline k =
     match (fresh, baseline) with
     | "", "" -> ()
-    | "", _ | _, "" ->
-        fail "%s: need both the fresh artifact and the baseline" what
+    | "", _ -> fail "%s: baseline given but no fresh artifact" what
+    | _, "" ->
+        warn "%s: no baseline configured — comparisons skipped" what
     | f, b -> (
-        match (load what f, load (what ^ " baseline") b) with
+        match (load what f, load ~baseline:true (what ^ " baseline") b) with
         | Some fj, Some bj -> k fj bj
-        | _ -> () (* load already recorded the failure *))
+        | Some _, None | None, _ -> ()
+        (* load already recorded the failure or warning *))
   in
   pair "cpu" !cpu_path !cpu_baseline check_cpu;
   pair "gpu" !gpu_path !gpu_baseline check_gpu;

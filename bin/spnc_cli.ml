@@ -340,13 +340,27 @@ let obs_term =
       & info [ "metrics" ]
           ~doc:"Print the metrics-registry snapshot before exiting.")
   in
-  Term.(const (fun trace metrics -> (trace, metrics)) $ trace $ metrics)
+  let remarks =
+    Arg.(
+      value
+      & opt ~vopt:(Some "-") (some string) None
+      & info [ "remarks" ] ~docv:"FILE"
+          ~doc:
+            "Collect optimization remarks (the -Rpass analogue: which \
+             rewrite fired, at which spn.node location).  Without a value \
+             the remark stream is printed to stderr; with $(docv) it is \
+             written as JSON (docs/OBSERVABILITY.md).")
+  in
+  Term.(
+    const (fun trace metrics remarks -> (trace, metrics, remarks))
+    $ trace $ metrics $ remarks)
 
-(* Runs [f] with tracing enabled iff requested, then emits the artifacts
-   even when [f] fails — a crashed compile is exactly when the trace is
-   most wanted. *)
-let with_obs (trace, metrics) (f : unit -> int) : int =
+(* Runs [f] with tracing/remarks enabled iff requested, then emits the
+   artifacts even when [f] fails — a crashed compile is exactly when the
+   trace is most wanted. *)
+let with_obs (trace, metrics, remarks) (f : unit -> int) : int =
   if trace <> None then Spnc_obs.Trace.set_enabled true;
+  if remarks <> None then Spnc_obs.Remark.set_enabled true;
   let finish () =
     (match trace with
     | Some path ->
@@ -354,6 +368,14 @@ let with_obs (trace, metrics) (f : unit -> int) : int =
         Spnc_obs.Trace.set_enabled false;
         Spnc_obs.Trace.write_file path;
         Fmt.pr "trace: %d event(s) written to %s@." n path
+    | None -> ());
+    (match remarks with
+    | Some "-" -> Fmt.epr "%a" Spnc_obs.Remark.pp ()
+    | Some path ->
+        Spnc_obs.Remark.write_file path;
+        Fmt.pr "remarks: %d remark(s) written to %s@."
+          (List.length (Spnc_obs.Remark.all ()))
+          path
     | None -> ());
     if metrics then Fmt.pr "%a" Spnc_obs.Snapshot.pp (Spnc_obs.Snapshot.take ())
   in
@@ -417,9 +439,10 @@ let compile_cmd =
 
 (* -- run ---------------------------------------------------------------------------- *)
 
-let run path options rows seed verify verbose obs =
+let run path options rows seed verify verbose profile obs =
   guarded @@ fun () ->
   with_obs obs @@ fun () ->
+  let options = { options with Spnc.Options.profile = profile <> None } in
   let model = read_model path in
   let rng = Spnc_data.Rng.create ~seed in
   let data =
@@ -429,7 +452,13 @@ let run path options rows seed verify verbose obs =
   in
   let c = Spnc.Compiler.compile ~options model in
   let t0 = Unix.gettimeofday () in
-  let out = Spnc.Compiler.execute c data in
+  let out, prof =
+    match profile with
+    | None -> (Spnc.Compiler.execute c data, None)
+    | Some _ ->
+        let out, p = Spnc.Compiler.execute_profiled c data in
+        (out, Some p)
+  in
   let wall = Unix.gettimeofday () -. t0 in
   let sum = Array.fold_left ( +. ) 0.0 out in
   Fmt.pr "evaluated %d samples in %.4fs (host wall-clock)@." rows wall;
@@ -450,6 +479,19 @@ let run path options rows seed verify verbose obs =
     Fmt.pr "verification vs reference evaluator: max |delta| = %.3g %s@." !worst
       (if !worst < 1e-6 then "(OK)" else "(MISMATCH)")
   end;
+  (match prof with
+  | None -> ()
+  | Some p ->
+      Fmt.pr "--- per-SPN-node profile ---@.%a"
+        (Spnc_cpu.Profile.pp_report ?k:None)
+        p;
+      (* line the hot nodes up with the execution spans in the trace *)
+      if Spnc_obs.Trace.enabled () then Spnc_cpu.Profile.to_trace p;
+      (match profile with
+      | Some path when path <> "-" ->
+          Spnc_cpu.Profile.write_file p path;
+          Fmt.pr "profile: written to %s@." path
+      | _ -> ()));
   if verbose then pp_cache_counters ();
   0
 
@@ -465,10 +507,22 @@ let run_cmd =
       value & flag
       & info [ "verbose"; "v" ] ~doc:"Also print kernel-cache counters.")
   in
+  let profile =
+    Arg.(
+      value
+      & opt ~vopt:(Some "-") (some string) None
+      & info [ "profile" ] ~docv:"FILE"
+          ~doc:
+            "Profile the execution per SPN node (sampling-free: every \
+             executed instruction is counted and attributed through \
+             provenance; CPU targets only).  Prints the hottest-node \
+             table; with $(docv) the full profile is also written as \
+             JSON (docs/OBSERVABILITY.md).")
+  in
   Cmd.v (Cmd.info "run" ~doc:"Compile and execute a model on synthetic data.")
     Term.(
       const run $ path $ options_term $ rows $ seed $ verify $ verbose
-      $ obs_term)
+      $ profile $ obs_term)
 
 let main_cmd =
   Cmd.group

@@ -32,10 +32,10 @@ let read_input = function
         ~finally:(fun () -> close_in ic)
         (fun () -> really_input_string ic (in_channel_length ic))
 
-(* Trace/metrics artifacts are emitted even on a failing pipeline: a
-   crashing pass is exactly when the trace is most wanted.  Pass spans
-   come from the pass manager itself (lib/mlir/pass.ml). *)
-let finish_obs ~trace ~metrics code =
+(* Trace/metrics/remark artifacts are emitted even on a failing pipeline:
+   a crashing pass is exactly when they are most wanted.  Pass spans come
+   from the pass manager itself (lib/mlir/pass.ml). *)
+let finish_obs ~trace ~metrics ~remarks code =
   (match trace with
   | Some path ->
       let n = List.length (Spnc_obs.Trace.events ()) in
@@ -43,12 +43,20 @@ let finish_obs ~trace ~metrics code =
       Spnc_obs.Trace.write_file path;
       Fmt.epr "trace: %d event(s) written to %s@." n path
   | None -> ());
+  (match remarks with
+  | Some "-" -> Fmt.epr "%a" Spnc_obs.Remark.pp ()
+  | Some path ->
+      Spnc_obs.Remark.write_file path;
+      Fmt.epr "remarks: %d remark(s) written to %s@."
+        (List.length (Spnc_obs.Remark.all ()))
+        path
+  | None -> ());
   if metrics then
     Fmt.epr "%a" Spnc_obs.Snapshot.pp (Spnc_obs.Snapshot.take ());
   code
 
-let run pipeline input verify_each timings list_passes print_after_all
-    no_reproducer reproducer_dir =
+let run pipeline input verify_each timings list_passes print_ir no_reproducer
+    reproducer_dir =
   let dump_policy =
     if no_reproducer then Pass.No_dump
     else
@@ -60,46 +68,15 @@ let run pipeline input verify_each timings list_passes print_after_all
     List.iter print_endline (Spnc.Pipelines.available ());
     0
   end
-  else if print_after_all then begin
-    (* run pass-by-pass, dumping the IR after each stage to stderr —
-       the equivalent of mlir-opt's --print-ir-after-all *)
-    let src = read_input input in
-    match Spnc.Pipelines.parse_pipeline pipeline with
-    | Error e ->
-        Fmt.epr "spnc_opt: %s@." e;
-        1
-    | Ok passes -> (
-        match Spnc_mlir.Parser.modul_of_string src with
-        | exception (Spnc_mlir.Parser.Error e | Spnc_mlir.Lexer.Error e) ->
-            Fmt.epr "spnc_opt: parse error: %s@." e;
-            1
-        | m ->
-            let rec go m = function
-              | [] ->
-                  print_string (Spnc_mlir.Printer.modul_to_string m);
-                  0
-              | (p : Pass.pass) :: rest -> (
-                  (* one-pass pipelines through the checked manager keep
-                     the exception barrier and reproducer dumps *)
-                  match
-                    Pass.run_pipeline_checked ~dump_policy
-                      ~options:("pipeline: " ^ pipeline) [ p ] m
-                  with
-                  | Ok r ->
-                      Fmt.epr "// ----- IR after %s -----@.%s@." p.Pass.name
-                        (Spnc_mlir.Printer.modul_to_string r.Pass.modul);
-                      go r.Pass.modul rest
-                  | Error f ->
-                      Fmt.epr "spnc_opt: %a@." Pass.pp_failure f;
-                      1)
-            in
-            go m passes)
-  end
   else begin
     let src = read_input input in
+    (* IR dumping is the pass manager's instrument (mlir-opt's
+       --print-ir-after-all / --print-ir-after-change): dumps and diffs
+       go to stderr, the final module to stdout *)
+    let instr = Pass.instrument print_ir in
     match
-      Spnc.Pipelines.run_on_source_checked ~verify_each ~dump_policy ~pipeline
-        src
+      Spnc.Pipelines.run_on_source_checked ~verify_each ~dump_policy ~instr
+        ~pipeline src
     with
     | Error e ->
         Fmt.epr "spnc_opt: %s@." (Spnc.Pipelines.run_error_to_string e);
@@ -113,11 +90,17 @@ let run pipeline input verify_each timings list_passes print_after_all
 (* Belt and braces: nothing below main should throw, but a stray
    exception must still come out as a diagnostic, not a backtrace. *)
 let run pipeline input verify_each timings list_passes print_after_all
-    no_reproducer reproducer_dir trace metrics =
+    print_after_change no_reproducer reproducer_dir trace metrics remarks =
   if trace <> None then Spnc_obs.Trace.set_enabled true;
+  if remarks <> None then Spnc_obs.Remark.set_enabled true;
+  let print_ir =
+    if print_after_change then Pass.Print_after_change
+    else if print_after_all then Pass.Print_after_all
+    else Pass.Print_never
+  in
   let code =
     try
-      run pipeline input verify_each timings list_passes print_after_all
+      run pipeline input verify_each timings list_passes print_ir
         no_reproducer reproducer_dir
     with
     | Sys_error e ->
@@ -130,7 +113,7 @@ let run pipeline input verify_each timings list_passes print_after_all
         Fmt.epr "spnc_opt: %a@." Spnc_resilience.Diag.pp d;
         1
   in
-  finish_obs ~trace ~metrics code
+  finish_obs ~trace ~metrics ~remarks code
 
 let cmd =
   let pipeline =
@@ -145,7 +128,12 @@ let cmd =
     Arg.(value & flag & info [ "verify-each" ] ~doc:"Run the verifier after every pass.")
   in
   let timings =
-    Arg.(value & flag & info [ "timings" ] ~doc:"Print per-pass timings to stderr.")
+    Arg.(
+      value & flag
+      & info [ "timings"; "timing" ]
+          ~doc:
+            "Print the per-pass wall-time table (seconds, share, op-count \
+             delta, change marker) to stderr.")
   in
   let list_passes =
     Arg.(value & flag & info [ "list-passes" ] ~doc:"List available passes and exit.")
@@ -153,8 +141,19 @@ let cmd =
   let print_after_all =
     Arg.(
       value & flag
-      & info [ "print-after-all" ]
+      & info
+          [ "print-ir-after-all"; "print-after-all" ]
           ~doc:"Print the IR to stderr after every pass (mlir-opt style).")
+  in
+  let print_after_change =
+    Arg.(
+      value & flag
+      & info
+          [ "print-ir-after-change"; "print-after-change" ]
+          ~doc:
+            "Print a textual IR diff to stderr after each pass that \
+             actually changed the module; passes that left the IR alone \
+             print nothing.")
   in
   let no_reproducer =
     Arg.(
@@ -185,11 +184,23 @@ let cmd =
       & info [ "metrics" ]
           ~doc:"Print the metrics-registry snapshot to stderr before exiting.")
   in
+  let remarks =
+    Arg.(
+      value
+      & opt ~vopt:(Some "-") (some string) None
+      & info [ "remarks" ] ~docv:"FILE"
+          ~doc:
+            "Collect optimization remarks (the -Rpass analogue: which \
+             rewrite fired, at which spn.node location).  Without a value \
+             the remark stream is printed to stderr; with $(docv) it is \
+             written as JSON (docs/OBSERVABILITY.md).")
+  in
   Cmd.v
     (Cmd.info "spnc_opt" ~version:"1.0.0"
        ~doc:"Run pass pipelines over textual SPNC IR modules.")
     Term.(
       const run $ pipeline $ input $ verify_each $ timings $ list_passes
-      $ print_after_all $ no_reproducer $ reproducer_dir $ trace $ metrics)
+      $ print_after_all $ print_after_change $ no_reproducer $ reproducer_dir
+      $ trace $ metrics $ remarks)
 
 let () = exit (Cmd.eval' cmd)

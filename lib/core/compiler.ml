@@ -374,23 +374,43 @@ let force_jit jit =
     ([options.output_guard]; docs/RESILIENCE.md).
     @raise Spnc_resilience.Guard.Guard_failure under the [Fail] policy. *)
 let rec execute (c : compiled) (rows : float array array) : float array =
-  let raw = execute_raw c rows in
+  finish c (execute_raw c rows)
+
+(** [execute_profiled c rows] — like {!execute}, but every Lir instruction
+    the CPU kernel executes is counted into a fresh per-SPN-node profile
+    (docs/OBSERVABILITY.md).  The JIT is re-compiled with the counters
+    baked in (the cached unprofiled closures are left alone), so the
+    default {!execute} path pays nothing.  GPU artifacts execute normally
+    and the returned profile is empty. *)
+and execute_profiled (c : compiled) (rows : float array array) :
+    float array * Spnc_cpu.Profile.t =
+  let profile = Spnc_cpu.Profile.create ~cpu:c.options.Options.machine () in
+  (finish c (execute_raw ~profile c rows), profile)
+
+and finish (c : compiled) (raw : float array) : float array =
   let out =
     if c.datatype.Spnc_lospn.Lower_hispn.use_log_space then raw
     else Array.map log raw
   in
   Guard.apply ~policy:c.options.Options.output_guard ~what:"kernel output" out
 
-and execute_raw (c : compiled) (rows : float array array) : float array =
+and execute_raw ?profile (c : compiled) (rows : float array array) :
+    float array =
   match c.artifact with
   | Cpu_kernel { lir; jit; _ } ->
       let engine = c.options.Options.engine in
       (* force the closure compilation here, on the calling domain, so the
          worker domains only ever see the completed kernel *)
       let jk =
-        match engine with
-        | Spnc_cpu.Jit.Jit -> Some (force_jit jit)
-        | Spnc_cpu.Jit.Vm -> None
+        match (engine, profile) with
+        | Spnc_cpu.Jit.Jit, None -> Some (force_jit jit)
+        | Spnc_cpu.Jit.Jit, Some p ->
+            (* profiled closures are per-run (they capture the profile's
+               cells), so they bypass the artifact's shared lazy *)
+            Some
+              (Spnc_obs.Trace.with_span ~cat:"compile" "jit-build-profiled"
+                 (fun () -> Spnc_cpu.Jit.compile ~profile:p lir))
+        | Spnc_cpu.Jit.Vm, _ -> None
       in
       let threads = Options.effective_threads c.options in
       (* per-call kernels share the process-wide pool: domains are spawned
@@ -401,8 +421,8 @@ and execute_raw (c : compiled) (rows : float array array) : float array =
       let min_chunk = (Options.cpu_lower_options c.options).Spnc_cpu.Lower_cpu.width in
       let exec =
         Spnc_runtime.Exec.load ~batch_size:c.options.Options.batch_size
-          ~threads ~engine ?jit:jk ~sched:c.options.Options.sched ~min_chunk
-          ?pool ~out_cols:c.out_cols lir
+          ~threads ~engine ?jit:jk ?profile ~sched:c.options.Options.sched
+          ~min_chunk ?pool ~out_cols:c.out_cols lir
       in
       Spnc_runtime.Exec.execute_rows exec rows
   | Gpu_kernel { gpu_module; _ } ->

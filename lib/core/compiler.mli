@@ -81,6 +81,16 @@ val reset_kernel_cache : unit -> unit
     @raise Spnc_resilience.Guard.Guard_failure under the [Fail] policy. *)
 val execute : compiled -> float array array -> float array
 
+(** [execute_profiled c rows] — like {!execute}, but every Lir
+    instruction the CPU kernel executes is counted into a fresh
+    per-SPN-node profile (docs/OBSERVABILITY.md): render it with
+    {!Spnc_cpu.Profile.pp_report} or export with
+    {!Spnc_cpu.Profile.write_file}.  The artifact's cached unprofiled
+    JIT closures are left alone, so the default {!execute} path pays
+    nothing.  GPU artifacts execute normally; their profile is empty. *)
+val execute_profiled :
+  compiled -> float array array -> float array * Spnc_cpu.Profile.t
+
 (** [gpu_init_seconds c] — modelled one-time CUDA context + module-load
     overhead of a GPU run (grows with CUBIN size); [0] for CPU. *)
 val gpu_init_seconds : compiled -> float

@@ -43,6 +43,11 @@ type t = {
   use_kernel_cache : bool;
       (** reuse compiled artifacts for identical (model, options) pairs
           via the content-addressed kernel cache in {!Compiler} *)
+  profile : bool;
+      (** per-SPN-node execution profiling: count every executed Lir
+          instruction into (node, opcode) cells via register provenance
+          (docs/OBSERVABILITY.md).  Runtime-only; the default execution
+          path is untouched when off *)
   (* resilience knobs (docs/RESILIENCE.md) *)
   output_guard : Spnc_resilience.Guard.policy;
       (** NaN/±inf/log-underflow policy on kernel outputs *)
@@ -75,6 +80,7 @@ let default =
     streams = 1;
     engine = Spnc_cpu.Jit.Jit;
     use_kernel_cache = true;
+    profile = false;
     output_guard = Spnc_resilience.Guard.Warn;
     gpu_fallback = true;
     debug_fail_stage = None;
@@ -115,9 +121,9 @@ let effective_threads (t : t) = normalize_threads t.threads
 
 (* The compile-relevant subset of the options, serialized deterministically.
    Runtime-only knobs — threads, sched, streams, engine, output_guard,
-   use_kernel_cache — are deliberately EXCLUDED: they do not change the
-   compiled artifact, so two compiles differing only in them must share a
-   cache entry. *)
+   use_kernel_cache, profile — are deliberately EXCLUDED: they do not
+   change the compiled artifact, so two compiles differing only in them
+   must share a cache entry. *)
 let fingerprint (t : t) : string =
   Marshal.to_string
     ( target_to_string t.target,
@@ -134,7 +140,7 @@ let fingerprint (t : t) : string =
 let pp ppf (t : t) =
   Fmt.pf ppf
     "%s %s vec=%b veclib=%b shuffle=%b %s part=%s batch=%d block=%d \
-     threads=%d sched=%s streams=%d engine=%s cache=%b guard=%s"
+     threads=%d sched=%s streams=%d engine=%s cache=%b profile=%b guard=%s"
     (target_to_string t.target) t.machine.M.cpu_name t.vectorize t.use_veclib
     t.use_shuffle
     (Spnc_cpu.Optimizer.level_to_string t.opt_level)
@@ -142,5 +148,5 @@ let pp ppf (t : t) =
     t.batch_size t.block_size (effective_threads t) (sched_to_string t.sched)
     t.streams
     (Spnc_cpu.Jit.engine_to_string t.engine)
-    t.use_kernel_cache
+    t.use_kernel_cache t.profile
     (Spnc_resilience.Guard.policy_to_string t.output_guard)

@@ -44,6 +44,11 @@ type t = {
   use_kernel_cache : bool;
       (** reuse compiled artifacts for identical (model, options) pairs
           via the content-addressed kernel cache in {!Compiler} *)
+  profile : bool;
+      (** per-SPN-node execution profiling: count every executed Lir
+          instruction into (node, opcode) cells via register provenance
+          (docs/OBSERVABILITY.md).  Runtime-only; the default execution
+          path is untouched when off *)
   (* resilience knobs (docs/RESILIENCE.md) *)
   output_guard : Spnc_resilience.Guard.policy;
       (** NaN/±inf/log-underflow policy on kernel outputs *)
@@ -79,8 +84,8 @@ val effective_threads : t -> int
 (** [fingerprint t] — deterministic serialization of the compile-relevant
     options, used to key the kernel compilation cache.  Runtime-only
     knobs (threads, sched, streams, engine, output_guard,
-    use_kernel_cache) are excluded: they do not change the compiled
-    artifact. *)
+    use_kernel_cache, profile) are excluded: they do not change the
+    compiled artifact. *)
 val fingerprint : t -> string
 
 val pp : Format.formatter -> t -> unit

@@ -123,8 +123,8 @@ let run_error_to_string = function
     typed diagnostic and (per [dump_policy], default
     [Pass.Dump_default]) an on-disk reproducer bundle. *)
 let run_on_source_checked ?(verify_each = false)
-    ?(dump_policy = Pass.Dump_default) ~(pipeline : string) (src : string) :
-    (Pass.result, run_error) result =
+    ?(dump_policy = Pass.Dump_default) ?(instr = Pass.no_instrument)
+    ~(pipeline : string) (src : string) : (Pass.result, run_error) result =
   register_dialects ();
   match parse_pipeline pipeline with
   | Error e -> Error (Invalid_pipeline e)
@@ -134,7 +134,7 @@ let run_on_source_checked ?(verify_each = false)
       | exception Lexer.Error e -> Error (Parse_error ("lex error: " ^ e))
       | m -> (
           match
-            Pass.run_pipeline_checked ~verify_each ~dump_policy
+            Pass.run_pipeline_checked ~verify_each ~dump_policy ~instr
               ~options:("pipeline: " ^ pipeline) passes m
           with
           | Ok r -> Ok r

@@ -31,14 +31,17 @@ type run_error =
 
 val run_error_to_string : run_error -> string
 
-(** [run_on_source_checked ?verify_each ?dump_policy ~pipeline src]
+(** [run_on_source_checked ?verify_each ?dump_policy ?instr ~pipeline src]
     parses a textual module and runs the pipeline under the
     crash-isolated pass manager; a failing pass yields {!Pass_failure}
     with a typed diagnostic and (per [dump_policy], default
-    [Pass.Dump_default]) a reproducer bundle on disk. *)
+    [Pass.Dump_default]) a reproducer bundle on disk.  [instr] controls
+    between-pass IR dumping ({!Pass.Print_after_all} /
+    {!Pass.Print_after_change}). *)
 val run_on_source_checked :
   ?verify_each:bool ->
   ?dump_policy:Pass.dump_policy ->
+  ?instr:Pass.instrument ->
   pipeline:string ->
   string ->
   (Pass.result, run_error) result

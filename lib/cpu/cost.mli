@@ -5,6 +5,10 @@
 
 module M = Spnc_machine.Machine
 
+(** Amortized throughput-flavoured cost in cycles of one instruction
+    (used by the per-node profiler to weight hit counts). *)
+val instr_cycles : M.cpu -> Lir.instr -> float
+
 type estimate = {
   cycles : float;
   seconds : float;  (** single-threaded *)

@@ -33,6 +33,9 @@ type st = {
   const_ints : (int, int) Hashtbl.t;  (** int registers with known value *)
   func_index : (string, int) Hashtbl.t;
   mutable max_vec_width : int;
+  reg_locs : (cls * Lir.reg, Loc.t) Hashtbl.t;
+      (** provenance of each minted register (from the defining cir op) *)
+  mutable cur_loc : Loc.t;  (** location of the op being selected *)
 }
 
 let fresh st (c : cls) : Lir.reg =
@@ -63,6 +66,7 @@ let def st (v : Ir.value) : Lir.reg =
   let c = class_of_type v.Ir.vty in
   let r = fresh st c in
   Hashtbl.replace st.regs v.Ir.vid (c, r);
+  if Loc.is_known st.cur_loc then Hashtbl.replace st.reg_locs (c, r) st.cur_loc;
   r
 
 let is_vec (v : Ir.value) = match v.Ir.vty with Types.Vector _ -> true | _ -> false
@@ -96,6 +100,7 @@ let rec sel_ops st (ops : Ir.op list) : Lir.instr list =
   List.concat_map (sel_op st) ops
 
 and sel_op st (op : Ir.op) : Lir.instr list =
+  st.cur_loc <- op.Ir.loc;
   let o n = Ir.operand_n op n in
   let r0 () = Ir.result op in
   match op.Ir.name with
@@ -277,11 +282,17 @@ let sel_func st (f : Ir.op) : Lir.func =
   st.nb <- 0;
   Hashtbl.reset st.regs;
   Hashtbl.reset st.const_ints;
+  Hashtbl.reset st.reg_locs;
+  st.cur_loc <- Loc.Unknown;
   st.max_vec_width <- 1;
   let blk = Option.get (Ir.entry_block f) in
   let params = List.map (def st) blk.Ir.bargs in
   let body = Array.of_list (sel_ops st blk.Ir.bops) in
   ignore (schedule_scan body : int);
+  let locs_of c n =
+    Array.init n (fun r ->
+        Option.value ~default:Loc.Unknown (Hashtbl.find_opt st.reg_locs (c, r)))
+  in
   {
     Lir.fname = Option.value ~default:"?" (Ir.string_attr f "sym_name");
     params;
@@ -291,6 +302,13 @@ let sel_func st (f : Ir.op) : Lir.func =
     nv = st.nv;
     nb = st.nb;
     vec_width = st.max_vec_width;
+    prov =
+      {
+        Lir.pf = locs_of CF st.nf;
+        pi = locs_of CI st.ni;
+        pv = locs_of CV st.nv;
+        pb = locs_of CB st.nb;
+      };
   }
 
 (** [run m ~entry] selects instructions for every [func.func] of a cir
@@ -316,6 +334,8 @@ let run (m : Ir.modul) ~entry : Lir.modul =
       const_ints = Hashtbl.create 64;
       func_index;
       max_vec_width = 1;
+      reg_locs = Hashtbl.create 1024;
+      cur_loc = Loc.Unknown;
     }
   in
   let lfuncs = Array.of_list (List.map (sel_func st) funcs) in

@@ -226,7 +226,8 @@ let[@inline] si fr r x = Array.unsafe_set fr.i r x
 let[@inline] gv fr r = Array.unsafe_get fr.v r
 let[@inline] gb fr r = Array.unsafe_get fr.b r
 
-let rec compile_instr (k : kernel) ~skip ~w (ins : instr) : code =
+let rec compile_instr (k : kernel) ~skip ~w ~prof (ins : instr) : code =
+  ignore (prof : instr -> Profile.cell option);
   match ins with
   | ConstF (d, x) -> fun fr -> sf fr d x
   | ConstI (d, x) -> fun fr -> si fr d x
@@ -409,7 +410,7 @@ let rec compile_instr (k : kernel) ~skip ~w (ins : instr) : code =
         done;
         callee.code cfr
   | Loop l ->
-      let body = compile_body k ~skip ~w l.body in
+      let body = compile_body k ~skip ~w ~prof l.body in
       let iv = l.iv and lb = l.lb and ub = l.ub and step = l.step in
       if step = 1 then
         fun fr ->
@@ -562,15 +563,28 @@ and compile_vcmp (p : pred) d a b : code =
           x <> y && not (Float.is_nan x || Float.is_nan y))
   | Uno -> mask (fun (x : float) y -> Float.is_nan x || Float.is_nan y)
 
-and compile_body (k : kernel) ~skip ~w (body : instr array) : code =
+and compile_body (k : kernel) ~skip ~w ~prof (body : instr array) : code =
   let kept =
     Array.of_seq (Seq.filter (fun i -> not (skip i)) (Array.to_seq body))
   in
-  fuse (Array.map (compile_instr k ~skip ~w) kept)
+  fuse
+    (Array.map
+       (fun ins ->
+         let c = compile_instr k ~skip ~w ~prof ins in
+         (* profiled compile: each closure first bumps its pre-resolved
+            (node, opcode) cell — one Atomic.incr, no lookup at run time *)
+         match prof ins with
+         | None -> c
+         | Some cell ->
+             fun fr ->
+               Profile.bump cell;
+               c fr)
+       kept)
 
 let no_skip (_ : instr) = false
+let no_prof (_ : instr) = None
 
-let compile_func (k : kernel) (fn : func) : cfunc =
+let compile_func ?profile (k : kernel) (fn : func) : cfunc =
   let fr_nf, fr_ni, fr_nv, fr_nb = reg_bounds fn in
   (* [w] is the exact lane count of every vector register in this
      function's frame ([make_state] sizes them from [fr_width]), which is
@@ -578,14 +592,21 @@ let compile_func (k : kernel) (fn : func) : cfunc =
   let w = max 1 fn.vec_width in
   let promoted = promoted_regs fn in
   let skip = if RSet.is_empty promoted then no_skip else promotes promoted in
+  let prof =
+    match profile with
+    | None -> no_prof
+    | Some p -> fun ins -> Some (Profile.cell_for p fn ins)
+  in
   let init_instrs =
     Array.of_list (List.rev (collect_promoted promoted [] fn.body))
   in
   {
     src = fn;
     cparams = Array.of_list fn.params;
-    code = compile_body k ~skip ~w fn.body;
-    init = fuse (Array.map (compile_instr k ~skip:no_skip ~w) init_instrs);
+    code = compile_body k ~skip ~w ~prof fn.body;
+    (* init runs once per state, outside any profiled execution *)
+    init =
+      fuse (Array.map (compile_instr k ~skip:no_skip ~w ~prof:no_prof) init_instrs);
     fr_nf;
     fr_ni;
     fr_nv;
@@ -593,10 +614,13 @@ let compile_func (k : kernel) (fn : func) : cfunc =
     fr_width = w;
   }
 
-(** [compile m] — compile the module once into closures.  The result is
-    immutable and safe to share across domains; pair it with one
-    {!make_state} per domain to execute. *)
-let compile (m : modul) : kernel =
+(** [compile ?profile m] — compile the module once into closures.  The
+    result is immutable and safe to share across domains; pair it with
+    one {!make_state} per domain to execute.  With [profile], every
+    compiled instruction closure first bumps its pre-resolved
+    per-SPN-node cell ({!Profile}); without it, the generated code is
+    byte-identical to before — the default path pays nothing. *)
+let compile ?profile (m : modul) : kernel =
   (* tie the knot: CallFn closures capture [k] and index [cfuncs] at call
      time, so the placeholders can be replaced after each function
      compiles — by run time every slot holds its real cfunc *)
@@ -605,7 +629,7 @@ let compile (m : modul) : kernel =
       fr_nf = 1; fr_ni = 1; fr_nv = 1; fr_nb = 1; fr_width = 1 }
   in
   let k = { cfuncs = Array.map placeholder m.funcs; centry = m.entry } in
-  Array.iteri (fun i fn -> k.cfuncs.(i) <- compile_func k fn) m.funcs;
+  Array.iteri (fun i fn -> k.cfuncs.(i) <- compile_func ?profile k fn) m.funcs;
   k
 
 (* -- Execution state ----------------------------------------------------------- *)

@@ -27,9 +27,12 @@ type state
 (** Per-domain register frames (one per function), reused across runs.
     Never share a [state] between concurrently executing domains. *)
 
-(** [compile m] compiles the module once.  Raises {!Vm.Trap} only at run
+(** [compile ?profile m] compiles the module once.  With [profile],
+    every compiled instruction closure first bumps its pre-resolved
+    per-SPN-node {!Profile} cell; without it the generated code is
+    identical to an unprofiled compile.  Raises {!Vm.Trap} only at run
     time, never during compilation. *)
-val compile : Lir.modul -> kernel
+val compile : ?profile:Profile.t -> Lir.modul -> kernel
 
 val make_state : kernel -> state
 

@@ -75,6 +75,28 @@ and loop = {
   vector_width : int;  (** 1 for scalar loops; >1 for the vectorized loop *)
 }
 
+(** Per-register provenance: the SPN-node location of the op that minted
+    each virtual register, one array per register class (indexed by
+    register number).  Registers are SSA-like — minted once by {!Isel} and
+    preserved by the optimizer (which only rewrites instruction bodies via
+    [{f with body}]) — so a (class, reg) pair identifies its defining
+    instruction's provenance for the whole pipeline, including inside the
+    JIT/VM where the MLIR op is long gone. *)
+type prov = {
+  pf : Spnc_mlir.Loc.t array;
+  pi : Spnc_mlir.Loc.t array;
+  pv : Spnc_mlir.Loc.t array;
+  pb : Spnc_mlir.Loc.t array;
+}
+
+(** Empty provenance, for hand-built funcs (tests, fixtures). *)
+let no_prov = { pf = [||]; pi = [||]; pv = [||]; pb = [||] }
+
+(** [prov_reg a r] — location of register [r], Unknown when out of bounds
+    (hand-built funcs carry empty arrays). *)
+let prov_reg (a : Spnc_mlir.Loc.t array) (r : reg) : Spnc_mlir.Loc.t =
+  if r >= 0 && r < Array.length a then a.(r) else Spnc_mlir.Loc.Unknown
+
 type func = {
   fname : string;
   params : reg list;  (** buffer registers, in order *)
@@ -84,6 +106,7 @@ type func = {
   nv : int;
   nb : int;
   vec_width : int;  (** SIMD width used by vector instrs of this function *)
+  prov : prov;  (** per-register SPN-node provenance *)
 }
 
 type modul = { funcs : func array; entry : int }

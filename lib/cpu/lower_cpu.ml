@@ -61,13 +61,22 @@ type emitter = {
   b : Builder.t;
   opts : options;
   mutable acc : Ir.op list;  (** reversed *)
+  mutable cur_loc : Loc.t;
+      (** provenance of the LoSPN op currently being expanded; stamped
+          onto every emitted cir op that has no location of its own, so
+          the SPN node id survives down to cir *)
 }
 
+let stamp e (op : Ir.op) =
+  if Loc.is_known op.Ir.loc || not (Loc.is_known e.cur_loc) then op
+  else { op with Ir.loc = e.cur_loc }
+
 let emit e op =
+  let op = stamp e op in
   e.acc <- op :: e.acc;
   Ir.result op
 
-let emit_ e op = e.acc <- op :: e.acc
+let emit_ e op = e.acc <- stamp e op :: e.acc
 
 let scalar_of (t : Types.t) = Types.strip_log (Types.element_type t)
 
@@ -382,6 +391,7 @@ let lower_body_ops e mode ~(env : (int, Ir.value) Hashtbl.t) ~tables ~base
   let setr (op : Ir.op) value = Hashtbl.replace env (Ir.result op).Ir.vid value in
   List.iter
     (fun (op : Ir.op) ->
+      e.cur_loc <- op.Ir.loc;
       let is_log =
         match op.Ir.results with
         | r :: _ -> (match r.Ir.vty with Types.Log _ -> true | _ -> false)
@@ -465,6 +475,7 @@ let lower_iteration e mode ~iv ~(arg_env : (int, Ir.value) Hashtbl.t)
   let env : (int, Ir.value) Hashtbl.t = Hashtbl.create 64 in
   List.iter
     (fun (op : Ir.op) ->
+      e.cur_loc <- op.Ir.loc;
       if op.Ir.name = Spnc_lospn.Ops.batch_read_name then begin
         let buf_lospn = Ir.operand_n op 0 in
         let buf = Hashtbl.find arg_env buf_lospn.Ir.vid in
@@ -527,7 +538,7 @@ let lower_task b opts (task : Ir.op) ~name : Ir.op =
   let is_log = match ct with Types.Log _ -> true | _ -> false in
   let block =
     Builder.block b ~arg_tys (fun args ->
-        let e = { b; opts; acc = [] } in
+        let e = { b; opts; acc = []; cur_loc = Loc.Unknown } in
         (* bind LoSPN block args (minus the index) to function params *)
         let arg_env = Hashtbl.create 8 in
         List.iter2
@@ -561,7 +572,7 @@ let lower_task b opts (task : Ir.op) ~name : Ir.op =
           let vec_block =
             Builder.block b ~arg_tys:[ Types.Index ] (fun ivs ->
                 let iv = List.hd ivs in
-                let e' = { b; opts; acc = [] } in
+                let e' = { b; opts; acc = []; cur_loc = Loc.Unknown } in
                 lower_iteration e' (Vec w) ~iv ~arg_env ~rows_of ~tables ~base
                   tb.Ir.bops;
                 List.rev (Builder.op b C.yield () :: e'.acc))
@@ -571,7 +582,7 @@ let lower_task b opts (task : Ir.op) ~name : Ir.op =
           let epi_block =
             Builder.block b ~arg_tys:[ Types.Index ] (fun ivs ->
                 let iv = List.hd ivs in
-                let e' = { b; opts; acc = [] } in
+                let e' = { b; opts; acc = []; cur_loc = Loc.Unknown } in
                 lower_iteration e' Scalar ~iv ~arg_env ~rows_of ~tables ~base
                   tb.Ir.bops;
                 List.rev (Builder.op b C.yield () :: e'.acc))
@@ -582,7 +593,7 @@ let lower_task b opts (task : Ir.op) ~name : Ir.op =
           let body_block =
             Builder.block b ~arg_tys:[ Types.Index ] (fun ivs ->
                 let iv = List.hd ivs in
-                let e' = { b; opts; acc = [] } in
+                let e' = { b; opts; acc = []; cur_loc = Loc.Unknown } in
                 lower_iteration e' Scalar ~iv ~arg_env ~rows_of ~tables ~base
                   tb.Ir.bops;
                 List.rev (Builder.op b C.yield () :: e'.acc))
@@ -623,7 +634,7 @@ let run ?(options = scalar_options) (m : Ir.modul) : Ir.modul =
         let arg_tys = List.map (fun (v : Ir.value) -> v.Ir.vty) kb.Ir.bargs in
         let block =
           Builder.block b ~arg_tys (fun args ->
-              let e = { b; opts = options; acc = [] } in
+              let e = { b; opts = options; acc = []; cur_loc = Loc.Unknown } in
               let env = Hashtbl.create 16 in
               List.iter2
                 (fun (old_arg : Ir.value) newv ->

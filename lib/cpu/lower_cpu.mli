@@ -36,6 +36,9 @@ type emitter = {
   b : Builder.t;
   opts : options;
   mutable acc : Ir.op list;  (** reversed *)
+  mutable cur_loc : Loc.t;
+      (** provenance of the op currently being expanded; [emit] stamps it
+          onto emitted ops that carry no location of their own *)
 }
 
 val emit : emitter -> Ir.op -> Ir.value

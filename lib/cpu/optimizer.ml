@@ -384,7 +384,15 @@ let licm (f : func) : func =
 
 (* -- FMA fusion (-O3) ------------------------------------------------------------------- *)
 
-let rec fma_body (body : instr array) : instr array =
+let remark_fused ~vec loc =
+  if Spnc_obs.Remark.enabled () then
+    Spnc_obs.Remark.emit ~pass:"lir-fma"
+      ~loc:
+        (if Spnc_mlir.Loc.is_known loc then Spnc_mlir.Loc.to_string loc else "")
+      (if vec then "fused vector multiply-add into one FMA"
+       else "fused multiply-add into one FMA")
+
+let rec fma_body ?(prov = Lir.no_prov) (body : instr array) : instr array =
   let n = Array.length body in
   let consumed = Array.make n false in
   let use_count_f = Hashtbl.create 64 and use_count_v = Hashtbl.create 64 in
@@ -409,7 +417,7 @@ let rec fma_body (body : instr array) : instr array =
   for k = 0 to n - 1 do
     if not consumed.(k) then begin
       match body.(k) with
-      | Loop l -> out := Lir.Loop { l with body = fma_body l.body } :: !out
+      | Loop l -> out := Lir.Loop { l with body = fma_body ~prov l.body } :: !out
       | FBin (FMul, t, a, b)
         when Hashtbl.find_opt use_count_f t = Some 1 && k + 1 < n -> (
           (* look ahead a short window for FAdd(d, t, c) or FAdd(d, c, t).
@@ -425,6 +433,7 @@ let rec fma_body (body : instr array) : instr array =
                    let c = if x = t then y else x in
                    if Hashtbl.mem window_defs c then raise Exit;
                    out := FBin3 (FMA, d, a, b, c) :: !out;
+                   remark_fused ~vec:false (prov_reg prov.pf d);
                    consumed.(j) <- true;
                    fused := true;
                    raise Exit
@@ -449,6 +458,7 @@ let rec fma_body (body : instr array) : instr array =
                    let c = if x = t then y else x in
                    if Hashtbl.mem window_defs c then raise Exit;
                    out := VBin3 (FMA, d, a, b, c) :: !out;
+                   remark_fused ~vec:true (prov_reg prov.pv d);
                    consumed.(j) <- true;
                    fused := true;
                    raise Exit
@@ -467,7 +477,7 @@ let rec fma_body (body : instr array) : instr array =
   done;
   Array.of_list (List.rev !out)
 
-let fma (f : func) : func = { f with body = fma_body f.body }
+let fma (f : func) : func = { f with body = fma_body ~prov:f.prov f.body }
 
 (* -- Fault injection ------------------------------------------------------------------ *)
 

@@ -227,6 +227,53 @@ let rec exec (m : modul) (fr : frame) (body : instr array) : unit =
     | Ret -> ()
   done
 
+(* -- Profiled execution -------------------------------------------------------- *)
+
+(* A separate walker so the default [exec] above stays untouched: each
+   instruction bumps its pre-resolved (SPN node, opcode) cell, then runs
+   through the reference semantics.  Cells (and singleton bodies, to
+   avoid re-allocating per instruction inside loops) are resolved once
+   per body entry, so loop iterations pay one Atomic.incr plus one
+   [exec] call per instruction. *)
+let run_profiled (m : modul) (p : Profile.t) ~(buffers : buffer list) : unit =
+  let resolve (f : func) (body : instr array) =
+    (Array.map (Profile.cell_for p f) body, Array.map (fun i -> [| i |]) body)
+  in
+  let rec go (f : func) (fr : frame) (body : instr array) : unit =
+    let cells, singles = resolve f body in
+    step f fr body cells singles
+  and step f fr body cells singles =
+    for k = 0 to Array.length body - 1 do
+      Profile.bump cells.(k);
+      match Array.unsafe_get body k with
+      | Loop l ->
+          let lcells, lsingles = resolve f l.body in
+          let lb = fr.iregs.(l.lb) and ub = fr.iregs.(l.ub) in
+          let iv = l.iv and stp = l.step in
+          let j = ref lb in
+          while !j < ub do
+            fr.iregs.(iv) <- !j;
+            step f fr l.body lcells lsingles;
+            j := !j + stp
+          done
+      | CallFn (idx, args) ->
+          let callee = m.funcs.(idx) in
+          let cfr = frame_of callee ~width:(max 1 callee.vec_width) in
+          let params = Array.of_list callee.params in
+          List.iteri (fun pi a -> cfr.bregs.(params.(pi)) <- fr.bregs.(a)) args;
+          go callee cfr callee.body
+      | _ -> exec m fr singles.(k)
+    done
+  in
+  let entry = m.funcs.(m.entry) in
+  let fr = frame_of entry ~width:(max 1 entry.vec_width) in
+  if List.length buffers <> List.length entry.params then
+    trap "entry %s expects %d buffers, got %d" entry.fname
+      (List.length entry.params) (List.length buffers);
+  let params = Array.of_list entry.params in
+  List.iteri (fun pi buf -> fr.bregs.(params.(pi)) <- buf) buffers;
+  go entry fr entry.body
+
 (** [run m ~buffers] executes the entry function with the given buffer
     arguments (bound to the entry's parameters in order). *)
 let run (m : modul) ~(buffers : buffer list) : unit =

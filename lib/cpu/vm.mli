@@ -41,3 +41,8 @@ val view : float array -> off:int -> rows:int -> cols:int -> buffer
     visible through the shared buffers.
     @raise Trap on runtime errors. *)
 val run : Lir.modul -> buffers:buffer list -> unit
+
+val run_profiled : Lir.modul -> Profile.t -> buffers:buffer list -> unit
+(** Like {!run}, but every executed instruction bumps its (SPN node,
+    opcode) cell in the given {!Profile}.  Semantics are identical to
+    {!run}; only for profiling runs — the default path is untouched. *)

@@ -103,6 +103,7 @@ let lower_body_ops e ~(env : (int, Ir.value) Hashtbl.t) ~base (ops : Ir.op list)
   let mode = L.Scalar in
   List.iter
     (fun (op : Ir.op) ->
+      e.L.cur_loc <- op.Ir.loc;
       let is_log =
         match op.Ir.results with
         | r :: _ -> (match r.Ir.vty with Types.Log _ -> true | _ -> false)
@@ -162,7 +163,7 @@ let lower_task_kernel b (task : Ir.op) ~name : Ir.op =
   let base = Types.strip_log ct in
   let block =
     Builder.block b ~arg_tys (fun args ->
-        let e = { L.b; opts = L.scalar_options; acc = [] } in
+        let e = { L.b; opts = L.scalar_options; acc = []; cur_loc = Spnc_mlir.Loc.Unknown } in
         let arg_env = Hashtbl.create 8 in
         List.iter2
           (fun (old_arg : Ir.value) (newv : Ir.value) ->
@@ -191,7 +192,7 @@ let lower_task_kernel b (task : Ir.op) ~name : Ir.op =
         (* guarded body: reads, arithmetic, writes for this sample *)
         let then_block =
           Builder.block b ~arg_tys:[] (fun _ ->
-              let e' = { L.b; opts = L.scalar_options; acc = [] } in
+              let e' = { L.b; opts = L.scalar_options; acc = []; cur_loc = Spnc_mlir.Loc.Unknown } in
               let env = Hashtbl.create 64 in
               List.iter
                 (fun (op : Ir.op) ->
@@ -294,7 +295,7 @@ let run ?(options = default_options) (m : Ir.modul) : Ir.modul =
         let arg_tys = List.map (fun (v : Ir.value) -> v.Ir.vty) kb.Ir.bargs in
         let block =
           Builder.block b ~arg_tys (fun args ->
-              let e = { L.b; opts = L.scalar_options; acc = [] } in
+              let e = { L.b; opts = L.scalar_options; acc = []; cur_loc = Spnc_mlir.Loc.Unknown } in
               (* host-side buffer for each LoSPN value *)
               let host = Hashtbl.create 16 in
               List.iter2

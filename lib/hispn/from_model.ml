@@ -39,6 +39,9 @@ let translate ?(query = default_query) (model : Model.t) : Ir.modul =
           match Hashtbl.find_opt translated n.Model.id with
           | Some v -> v
           | None ->
+              (* provenance: every op knows which model node it came from,
+                 and the location survives all later lowerings *)
+              let loc = Loc.node n.Model.id in
               let v =
                 match n.Model.desc with
                 | Model.Sum cs ->
@@ -46,17 +49,17 @@ let translate ?(query = default_query) (model : Model.t) : Ir.modul =
                     let weights =
                       Array.of_list (List.map (fun (w, _) -> w) cs)
                     in
-                    emit (Ops.sum b ~operands ~weights)
+                    emit (Ops.sum b ~loc ~operands ~weights ())
                 | Model.Product cs ->
-                    emit (Ops.product b ~operands:(List.map go cs))
+                    emit (Ops.product b ~loc ~operands:(List.map go cs) ())
                 | Model.Gaussian { var; mean; stddev } ->
-                    emit (Ops.gaussian b ~evidence:feature.(var) ~mean ~stddev)
+                    emit (Ops.gaussian b ~loc ~evidence:feature.(var) ~mean ~stddev ())
                 | Model.Categorical { var; probs } ->
                     emit
-                      (Ops.categorical b ~index:feature.(var)
-                         ~probabilities:probs)
+                      (Ops.categorical b ~loc ~index:feature.(var)
+                         ~probabilities:probs ())
                 | Model.Histogram { var; breaks; densities } ->
-                    emit (Ops.histogram b ~index:feature.(var) ~breaks ~densities)
+                    emit (Ops.histogram b ~loc ~index:feature.(var) ~breaks ~densities ())
               in
               Hashtbl.replace translated n.Model.id v;
               v

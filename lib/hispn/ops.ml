@@ -25,25 +25,25 @@ let histogram_name = "hi_spn.histogram"
 
 (* -- Builders -------------------------------------------------------------- *)
 
-let sum b ~operands ~weights =
+let sum b ?loc ~operands ~weights () =
   Builder.op b sum_name ~operands ~results:[ Types.Prob ]
     ~attrs:[ ("weights", Attr.DenseF weights) ]
-    ()
+    ?loc ()
 
-let product b ~operands =
-  Builder.op b product_name ~operands ~results:[ Types.Prob ] ()
+let product b ?loc ~operands () =
+  Builder.op b product_name ~operands ~results:[ Types.Prob ] ?loc ()
 
-let gaussian b ~evidence ~mean ~stddev =
+let gaussian b ?loc ~evidence ~mean ~stddev () =
   Builder.op b gaussian_name ~operands:[ evidence ] ~results:[ Types.Prob ]
     ~attrs:[ ("mean", Attr.Float mean); ("stddev", Attr.Float stddev) ]
-    ()
+    ?loc ()
 
-let categorical b ~index ~probabilities =
+let categorical b ?loc ~index ~probabilities () =
   Builder.op b categorical_name ~operands:[ index ] ~results:[ Types.Prob ]
     ~attrs:[ ("probabilities", Attr.DenseF probabilities) ]
-    ()
+    ?loc ()
 
-let histogram b ~index ~breaks ~densities =
+let histogram b ?loc ~index ~breaks ~densities () =
   Builder.op b histogram_name ~operands:[ index ] ~results:[ Types.Prob ]
     ~attrs:
       [
@@ -51,7 +51,7 @@ let histogram b ~index ~breaks ~densities =
         ("bucketCount", Attr.Int (Array.length densities));
         ("densities", Attr.DenseF densities);
       ]
-    ()
+    ?loc ()
 
 let root b ~value = Builder.op b root_name ~operands:[ value ] ()
 

@@ -104,7 +104,7 @@ let run (m : Ir.modul) : Ir.modul =
                   Builder.op b Ops.batch_read_name
                     ~operands:(List.map subst o.Ir.operands)
                     ~results:(List.map (fun (r : Ir.value) -> r.Ir.vty) o.Ir.results)
-                    ~attrs:o.Ir.attrs ()
+                    ~attrs:o.Ir.attrs ~loc:o.Ir.loc ()
                 in
                 Hashtbl.replace subst_tbl (Ir.result o).Ir.vid (Ir.result read);
                 [ read ]

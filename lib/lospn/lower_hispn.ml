@@ -143,14 +143,18 @@ let lower_graph_ops b ~(ct : Types.t) ~support_marginal
         | [ r ] -> env := Ir.VMap.add r value !env
         | _ -> ()
       in
+      (* every LoSPN op derived from this HiSPN op — including the whole
+         constant/mul/add expansion of a weighted sum — inherits its
+         provenance, so the SPN node id survives the lowering *)
+      let loc = op.Ir.loc in
       match op.Ir.name with
       | "hi_spn.gaussian" ->
           let mean = Option.get (Ir.float_attr op "mean") in
           let stddev = Option.get (Ir.float_attr op "stddev") in
           map_result
             (emit
-               (Ops.gaussian b ~evidence:(subst (Ir.operand_n op 0)) ~mean
-                  ~stddev ~support_marginal ~ty:ct))
+               (Ops.gaussian b ~loc ~evidence:(subst (Ir.operand_n op 0)) ~mean
+                  ~stddev ~support_marginal ~ty:ct ()))
       | "hi_spn.categorical" ->
           let probabilities = Option.get (Ir.dense_attr op "probabilities") in
           let probabilities =
@@ -159,8 +163,8 @@ let lower_graph_ops b ~(ct : Types.t) ~support_marginal
           in
           map_result
             (emit
-               (Ops.categorical b ~index:(subst (Ir.operand_n op 0))
-                  ~probabilities ~support_marginal ~ty:ct))
+               (Ops.categorical b ~loc ~index:(subst (Ir.operand_n op 0))
+                  ~probabilities ~support_marginal ~ty:ct ()))
       | "hi_spn.histogram" ->
           let densities = Option.get (Ir.dense_attr op "densities") in
           let densities =
@@ -175,12 +179,12 @@ let lower_graph_ops b ~(ct : Types.t) ~support_marginal
           in
           map_result
             (emit
-               (Ops.histogram b ~index:(subst (Ir.operand_n op 0)) ~breaks
-                  ~densities ~support_marginal ~ty:ct))
+               (Ops.histogram b ~loc ~index:(subst (Ir.operand_n op 0)) ~breaks
+                  ~densities ~support_marginal ~ty:ct ()))
       | "hi_spn.product" ->
           let children = List.map subst op.Ir.operands in
           map_result
-            (reduce (fun l r -> emit (Ops.mul b ~lhs:l ~rhs:r ~ty:ct)) children)
+            (reduce (fun l r -> emit (Ops.mul b ~loc ~lhs:l ~rhs:r ~ty:ct ())) children)
       | "hi_spn.sum" ->
           let weights = Option.get (Ir.dense_attr op "weights") in
           let children = List.map subst op.Ir.operands in
@@ -189,12 +193,12 @@ let lower_graph_ops b ~(ct : Types.t) ~support_marginal
               (fun i child ->
                 let w = weights.(i) in
                 let w = if is_log then log_of_weight w else w in
-                let c = emit (Ops.constant b ~value:w ~ty:ct) in
-                emit (Ops.mul b ~lhs:c ~rhs:child ~ty:ct))
+                let c = emit (Ops.constant b ~loc ~value:w ~ty:ct ()) in
+                emit (Ops.mul b ~loc ~lhs:c ~rhs:child ~ty:ct ()))
               children
           in
           map_result
-            (reduce (fun l r -> emit (Ops.add b ~lhs:l ~rhs:r ~ty:ct)) terms)
+            (reduce (fun l r -> emit (Ops.add b ~loc ~lhs:l ~rhs:r ~ty:ct ())) terms)
       | "hi_spn.root" -> root_value := Some (subst (Ir.operand_n op 0))
       | other -> invalid_arg ("lower_graph_ops: unexpected op " ^ other))
     graph_ops;

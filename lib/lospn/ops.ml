@@ -103,13 +103,18 @@ let batch_write b ~memref ~batch_index ~values ~transposed =
     ~attrs:[ ("transposed", Attr.Bool transposed) ]
     ()
 
-let mul b ~lhs ~rhs ~ty = Builder.op b mul_name ~operands:[ lhs; rhs ] ~results:[ ty ] ()
-let add b ~lhs ~rhs ~ty = Builder.op b add_name ~operands:[ lhs; rhs ] ~results:[ ty ] ()
+let mul b ?loc ~lhs ~rhs ~ty () =
+  Builder.op b mul_name ~operands:[ lhs; rhs ] ~results:[ ty ] ?loc ()
 
-let constant b ~value ~ty =
-  Builder.op b constant_name ~results:[ ty ] ~attrs:[ ("value", Attr.Float value) ] ()
+let add b ?loc ~lhs ~rhs ~ty () =
+  Builder.op b add_name ~operands:[ lhs; rhs ] ~results:[ ty ] ?loc ()
 
-let gaussian b ~evidence ~mean ~stddev ~support_marginal ~ty =
+let constant b ?loc ~value ~ty () =
+  Builder.op b constant_name ~results:[ ty ]
+    ~attrs:[ ("value", Attr.Float value) ]
+    ?loc ()
+
+let gaussian b ?loc ~evidence ~mean ~stddev ~support_marginal ~ty () =
   Builder.op b gaussian_name ~operands:[ evidence ] ~results:[ ty ]
     ~attrs:
       [
@@ -117,18 +122,18 @@ let gaussian b ~evidence ~mean ~stddev ~support_marginal ~ty =
         ("stddev", Attr.Float stddev);
         ("supportMarginal", Attr.Bool support_marginal);
       ]
-    ()
+    ?loc ()
 
-let categorical b ~index ~probabilities ~support_marginal ~ty =
+let categorical b ?loc ~index ~probabilities ~support_marginal ~ty () =
   Builder.op b categorical_name ~operands:[ index ] ~results:[ ty ]
     ~attrs:
       [
         ("probabilities", Attr.DenseF probabilities);
         ("supportMarginal", Attr.Bool support_marginal);
       ]
-    ()
+    ?loc ()
 
-let histogram b ~index ~breaks ~densities ~support_marginal ~ty =
+let histogram b ?loc ~index ~breaks ~densities ~support_marginal ~ty () =
   Builder.op b histogram_name ~operands:[ index ] ~results:[ ty ]
     ~attrs:
       [
@@ -138,7 +143,7 @@ let histogram b ~index ~breaks ~densities ~support_marginal ~ty =
         ("densities", Attr.DenseF densities);
         ("supportMarginal", Attr.Bool support_marginal);
       ]
-    ()
+    ?loc ()
 
 let yield b ~values = Builder.op b yield_name ~operands:values ()
 let return_ b ~values = Builder.op b return_name ~operands:values ()

@@ -352,7 +352,7 @@ let run ?(options = default_options) (m : Ir.modul) : Ir.modul =
                                     ~results:
                                       (List.map (fun (r : Ir.value) -> r.Ir.vty)
                                          cop.Ir.results)
-                                    ~attrs:cop.Ir.attrs ()
+                                    ~attrs:cop.Ir.attrs ~loc:cop.Ir.loc ()
                                 in
                                 new_ops := c :: !new_ops;
                                 Hashtbl.replace env v.Ir.vid (Ir.result c);

@@ -36,16 +36,19 @@ let fresh b (ty : Types.t) : Ir.value =
 
 let fresh_list b tys = List.map (fresh b) tys
 
-(** [op name ~operands ~results ~attrs ~regions] constructs an operation.
-    [results] are value {e types}; the values themselves are minted here. *)
-let op b name ?(operands = []) ?(results = []) ?(attrs = []) ?(regions = []) ()
-    : Ir.op =
+(** [op name ~operands ~results ~attrs ~regions ~loc] constructs an
+    operation.  [results] are value {e types}; the values themselves are
+    minted here.  [loc] (default {!Loc.Unknown}) records which SPN node
+    the operation implements. *)
+let op b name ?(operands = []) ?(results = []) ?(attrs = []) ?(regions = [])
+    ?(loc = Loc.Unknown) () : Ir.op =
   {
     Ir.name;
     operands;
     results = fresh_list b results;
     attrs = Attr.Dict.of_list attrs;
     regions;
+    loc;
   }
 
 (** [block b ~arg_tys ops_of_args] builds a block: mints the block

@@ -18,9 +18,10 @@ val fresh : t -> Types.t -> Ir.value
 
 val fresh_list : t -> Types.t list -> Ir.value list
 
-(** [op b name ~operands ~results ~attrs ~regions ()] constructs an
+(** [op b name ~operands ~results ~attrs ~regions ~loc ()] constructs an
     operation; [results] are the result {e types}, the values themselves
-    are minted here. *)
+    are minted here.  [loc] (default {!Loc.Unknown}) is the provenance
+    location. *)
 val op :
   t ->
   string ->
@@ -28,6 +29,7 @@ val op :
   ?results:Types.t list ->
   ?attrs:(string * Attr.t) list ->
   ?regions:Ir.region list ->
+  ?loc:Loc.t ->
   unit ->
   Ir.op
 

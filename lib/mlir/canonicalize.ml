@@ -18,6 +18,11 @@ let apply_patterns (b : Builder.t) (m : Ir.modul) : Ir.modul * int =
             match pattern b op with
             | Some (ops, values) ->
                 incr applied;
+                if Spnc_obs.Remark.enabled () then
+                  Spnc_obs.Remark.emit ~pass:"canonicalize"
+                    ~loc:(if Loc.is_known op.Ir.loc then Loc.to_string op.Ir.loc else "")
+                    (Fmt.str "canonicalized %s away (%d replacement ops)"
+                       op.Ir.name (List.length ops));
                 Rewrite.Replace (ops, values)
             | None -> Rewrite.Keep)
         | _ -> Rewrite.Keep)

@@ -33,12 +33,16 @@ let run (b : Builder.t) (m : Ir.modul) : Ir.modul =
             | Some folded ->
                 let r = Ir.result op in
                 let dialect = Ir.dialect_of op in
+                if Spnc_obs.Remark.enabled () then
+                  Spnc_obs.Remark.emit ~pass:"constfold"
+                    ~loc:(if Loc.is_known op.Ir.loc then Loc.to_string op.Ir.loc else "")
+                    (Fmt.str "folded %s to constant %a" op.Ir.name Attr.pp folded);
                 let cst =
                   Builder.op b
                     (dialect ^ ".constant")
                     ~results:[ r.Ir.vty ]
                     ~attrs:[ ("value", folded) ]
-                    ()
+                    ~loc:op.Ir.loc ()
                 in
                 Hashtbl.replace consts (Ir.result cst).Ir.vid folded;
                 Rewrite.Replace ([ cst ], [ Ir.result cst ])

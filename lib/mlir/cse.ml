@@ -46,6 +46,11 @@ let run (m : Ir.modul) : Ir.modul =
               List.iter2
                 (fun old_r new_r -> s := Ir.VMap.add old_r new_r !s)
                 op.Ir.results prior_results;
+              if Spnc_obs.Remark.enabled () then
+                Spnc_obs.Remark.emit ~pass:"cse"
+                  ~loc:(if Loc.is_known op.Ir.loc then Loc.to_string op.Ir.loc else "")
+                  (Fmt.str "deduplicated %s with an earlier identical op"
+                     op.Ir.name);
               []
           | None ->
               Hashtbl.replace seen k op.Ir.results;

@@ -18,6 +18,7 @@ type op = {
   results : value list;
   attrs : Attr.Dict.t;
   regions : region list;
+  loc : Loc.t;  (** provenance: which SPN node this op implements *)
 }
 
 and block = { bargs : value list; bops : op list }

@@ -1,0 +1,57 @@
+(** Source locations: provenance from the original SPN model.
+
+    Mirrors MLIR's location attributes in miniature.  Every operation
+    carries a location (default {!Unknown}); lowerings propagate the
+    location of the op they expand, so an instruction deep in the CPU
+    backend can name the SPN node it implements ("spn.node 17").
+
+    [Derived] wraps a location with the name of the transformation that
+    produced the derived op, like MLIR's [NameLoc]/[CallSiteLoc] chains;
+    {!origin} unwraps to the innermost location and {!node_id} to the SPN
+    node id, which is what the runtime profiler aggregates on.
+
+    Textual form (round-tripped by {!Printer}/{!Parser} as a trailing
+    [loc(...)] suffix on operations):
+
+    {v
+    loc(unknown)
+    loc(spn.node 17)
+    loc("lower_hispn"(spn.node 17))
+    v} *)
+
+type t =
+  | Unknown
+  | Node of int  (** original SPN model node id *)
+  | Derived of string * t  (** transformation name, underlying location *)
+
+let unknown = Unknown
+let node id = Node id
+
+(* Derivation chains are informative but must not grow without bound
+   under repeated rewriting; collapse repeated identical derivations. *)
+let derived name loc =
+  match loc with
+  | Derived (n, _) when n = name -> loc
+  | _ -> Derived (name, loc)
+
+(** [origin loc] unwraps all [Derived] layers. *)
+let rec origin = function Derived (_, l) -> origin l | l -> l
+
+(** [node_id loc] — the SPN node id at the root of the chain, if any. *)
+let node_id loc = match origin loc with Node id -> Some id | _ -> None
+
+let is_known = function Unknown -> false | _ -> true
+
+let rec equal a b =
+  match (a, b) with
+  | Unknown, Unknown -> true
+  | Node i, Node j -> i = j
+  | Derived (n, l), Derived (m, k) -> n = m && equal l k
+  | _ -> false
+
+let rec pp ppf = function
+  | Unknown -> Fmt.string ppf "unknown"
+  | Node id -> Fmt.pf ppf "spn.node %d" id
+  | Derived (name, l) -> Fmt.pf ppf "%S(%a)" name pp l
+
+let to_string l = Fmt.str "%a" pp l

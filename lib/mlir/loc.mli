@@ -1,0 +1,29 @@
+(** Source locations: provenance from the original SPN model.
+
+    Every operation carries a location (default {!Unknown}); lowerings
+    propagate the location of the op they expand, so an instruction deep
+    in the CPU backend can name the SPN node it implements.  Printed and
+    re-parsed as a trailing [loc(...)] suffix on operations. *)
+
+type t =
+  | Unknown
+  | Node of int  (** original SPN model node id *)
+  | Derived of string * t  (** transformation name, underlying location *)
+
+val unknown : t
+val node : int -> t
+
+(** [derived name loc] wraps [loc]; identical adjacent derivations are
+    collapsed so chains stay bounded under repeated rewriting. *)
+val derived : string -> t -> t
+
+(** [origin loc] unwraps all [Derived] layers. *)
+val origin : t -> t
+
+(** [node_id loc] — the SPN node id at the root of the chain, if any. *)
+val node_id : t -> int option
+
+val is_known : t -> bool
+val equal : t -> t -> bool
+val pp : Format.formatter -> t -> unit
+val to_string : t -> string

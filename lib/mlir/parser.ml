@@ -254,6 +254,34 @@ let define_value st id (ty : Types.t) : Ir.value =
       Hashtbl.replace st.env id v;
       v
 
+(* -- Locations ----------------------------------------------------------- *)
+
+(* loc := "unknown" | "spn.node" INT | STRING "(" loc ")" *)
+let rec parse_loc st : Loc.t =
+  match next st with
+  | Lexer.IDENT "unknown" -> Loc.Unknown
+  | Lexer.IDENT "spn.node" -> (
+      match next st with
+      | Lexer.INT id -> Loc.Node id
+      | t -> raise (Error (Fmt.str "expected node id, found %a" Lexer.pp_token t)))
+  | Lexer.STRING name ->
+      expect st Lexer.LPAREN;
+      let inner = parse_loc st in
+      expect st Lexer.RPAREN;
+      Loc.Derived (name, inner)
+  | t -> raise (Error (Fmt.str "expected location, found %a" Lexer.pp_token t))
+
+(* Optional trailing [loc(...)] after an operation's type signature. *)
+let parse_opt_loc st : Loc.t =
+  match (peek st, peek2 st) with
+  | Lexer.IDENT "loc", Lexer.LPAREN ->
+      advance st;
+      advance st;
+      let l = parse_loc st in
+      expect st Lexer.RPAREN;
+      l
+  | _ -> Loc.Unknown
+
 (* -- Operations ---------------------------------------------------------- *)
 
 let rec parse_op st : Ir.op =
@@ -325,7 +353,8 @@ let rec parse_op st : Ir.op =
                 (List.length result_ids) (List.length result_tys));
   let operands = List.map2 (value_of_id st) operand_ids operand_tys in
   let results = List.map2 (define_value st) result_ids result_tys in
-  { Ir.name; operands; results; attrs; regions }
+  let loc = parse_opt_loc st in
+  { Ir.name; operands; results; attrs; regions; loc }
 
 and parse_region st : Ir.region =
   expect st Lexer.LBRACE;

@@ -20,12 +20,33 @@
 module Diag = Spnc_resilience.Diag
 module Reproducer = Spnc_resilience.Reproducer
 
-type timing = { pass_name : string; seconds : float }
+type timing = {
+  pass_name : string;
+  seconds : float;
+  ops_before : int;  (** op count when the pass started *)
+  ops_after : int;  (** op count when the pass finished *)
+  changed : bool;  (** whether the pass modified the printed IR *)
+}
 
 type result = {
   modul : Ir.modul;
   timings : timing list;  (** in execution order *)
 }
+
+(* -- Instrumentation (MLIR's --print-ir-after-* in miniature) ---------------- *)
+
+type print_ir =
+  | Print_never
+  | Print_after_all  (** dump the full IR after every pass *)
+  | Print_after_change  (** dump a textual diff, only when the IR changed *)
+
+type instrument = {
+  print_ir : print_ir;
+  out : Format.formatter;  (** where IR dumps and diffs go *)
+}
+
+let no_instrument = { print_ir = Print_never; out = Fmt.stderr }
+let instrument ?(out = Fmt.stderr) print_ir = { print_ir; out }
 
 type pass = {
   name : string;
@@ -102,17 +123,21 @@ let dump ~(policy : dump_policy) ~(options : string) (f : failure) : failure =
       | Ok b -> { f with bundle = Some b }
       | Error e -> { f with bundle_error = Some e })
 
-(** [run_pipeline_checked ?verify_each ?dump_policy ?options passes m]
+(** [run_pipeline_checked ?verify_each ?dump_policy ?options ?instr passes m]
     executes [passes] in order, each under an exception barrier, recording
-    wall-clock time per pass.  With [verify_each] (default [false]) the
-    verifier runs after every pass, attributing IR breakage to the pass
-    that introduced it.  On failure the result is a typed {!failure} (a
+    wall-clock time, op-count deltas and did-the-IR-change per pass.  With
+    [verify_each] (default [false]) the verifier runs after every pass,
+    attributing IR breakage to the pass that introduced it.  [instr]
+    controls IR dumping: {!Print_after_all} dumps the full IR after every
+    pass, {!Print_after_change} emits a textual diff only for passes that
+    modified the IR.  On failure the result is a typed {!failure} (a
     reproducer bundle is written according to [dump_policy], default
     {!No_dump}); this function never raises on pass misbehavior. *)
 let run_pipeline_checked ?(verify_each = false) ?(dump_policy = No_dump)
-    ?(options = "") (passes : pass list) (m : Ir.modul) :
-    (result, failure) Stdlib.result =
+    ?(options = "") ?(instr = no_instrument) (passes : pass list)
+    (m : Ir.modul) : (result, failure) Stdlib.result =
   let timings = ref [] in
+  let count_all m = Ir.count_ops (fun _ -> true) m in
   let fail (p : pass) ~ir_before diag =
     Error
       (dump ~policy:dump_policy ~options
@@ -126,13 +151,17 @@ let run_pipeline_checked ?(verify_each = false) ?(dump_policy = No_dump)
            partial_timings = List.rev !timings;
          })
   in
+  (* The accumulator threads the printed IR along with the module: the
+     snapshot before pass N+1 is the same text as the snapshot after pass
+     N, so exact change detection costs one print per pass — which the
+     reproducer machinery was already paying. *)
   let run_one acc (p : pass) =
     match acc with
     | Error _ as e -> e
-    | Ok m ->
+    | Ok (m, ir_before) ->
         (* the snapshot is taken before the pass so the bundle replays the
            failure, not its aftermath *)
-        let ir_before = Printer.modul_to_string m in
+        let ops_before = count_all m in
         (* one clock pair serves both the timing ledger and the tracer:
            the span also covers failing passes, so a crash still shows
            up in the trace with its true duration *)
@@ -149,12 +178,31 @@ let run_pipeline_checked ?(verify_each = false) ?(dump_policy = No_dump)
                   Error (Diag.of_exn ~pass:p.name e bt))
         in
         (match outcome with
-        | Ok _ -> timings := { pass_name = p.name; seconds } :: !timings
-        | Error _ ->
-            Spnc_obs.Metrics.(counter_incr (counter "mlir.pass.failures")));
-        (match outcome with
         | Ok m' ->
-            if not verify_each then Ok m'
+            let ir_after = Printer.modul_to_string m' in
+            let changed = not (String.equal ir_before ir_after) in
+            timings :=
+              {
+                pass_name = p.name;
+                seconds;
+                ops_before;
+                ops_after = count_all m';
+                changed;
+              }
+              :: !timings;
+            (match instr.print_ir with
+            | Print_never -> ()
+            | Print_after_all ->
+                Fmt.pf instr.out "// -----// IR Dump After %s%s //----- //@.%s@?"
+                  p.name
+                  (if changed then "" else " (no change)")
+                  ir_after
+            | Print_after_change ->
+                if changed then
+                  Fmt.pf instr.out "// -----// IR Diff After %s //----- //@.%s@?"
+                    p.name
+                    (Spnc_obs.Textdiff.diff ~before:ir_before ~after:ir_after));
+            if not verify_each then Ok (m', ir_after)
             else begin
               (* the verifier itself runs under the barrier too: a
                  dialect-registered check that throws must not take down
@@ -167,7 +215,7 @@ let run_pipeline_checked ?(verify_each = false) ?(dump_policy = No_dump)
                     Error (Diag.of_exn ~pass:p.name e bt)
               in
               match verdict with
-              | Ok [] -> Ok m'
+              | Ok [] -> Ok (m', ir_after)
               | Ok errs ->
                   fail p ~ir_before
                     (Diag.error ~pass:p.name
@@ -178,10 +226,12 @@ let run_pipeline_checked ?(verify_each = false) ?(dump_policy = No_dump)
                       ^ Verifier.errors_to_string errs))
               | Error d -> fail p ~ir_before d
             end
-        | Error d -> fail p ~ir_before d)
+        | Error d ->
+            Spnc_obs.Metrics.(counter_incr (counter "mlir.pass.failures"));
+            fail p ~ir_before d)
   in
-  match List.fold_left run_one (Ok m) passes with
-  | Ok final -> Ok { modul = final; timings = List.rev !timings }
+  match List.fold_left run_one (Ok (m, Printer.modul_to_string m)) passes with
+  | Ok (final, _) -> Ok { modul = final; timings = List.rev !timings }
   | Error f -> Error f
 
 (** [run_pipeline ?verify_each passes m] — the legacy raising interface,
@@ -200,7 +250,10 @@ let pp_timings ppf (r : result) =
   let total = total_seconds r in
   List.iter
     (fun t ->
-      Fmt.pf ppf "%-28s %8.4fs (%5.1f%%)@." t.pass_name t.seconds
-        (if total > 0.0 then 100.0 *. t.seconds /. total else 0.0))
+      Fmt.pf ppf "%-28s %8.4fs (%5.1f%%)  %6d -> %-6d ops%s@." t.pass_name
+        t.seconds
+        (if total > 0.0 then 100.0 *. t.seconds /. total else 0.0)
+        t.ops_before t.ops_after
+        (if t.changed then "" else "  (no change)"))
     r.timings;
   Fmt.pf ppf "%-28s %8.4fs@." "TOTAL" total

@@ -15,12 +15,35 @@
 module Diag = Spnc_resilience.Diag
 module Reproducer = Spnc_resilience.Reproducer
 
-type timing = { pass_name : string; seconds : float }
+type timing = {
+  pass_name : string;
+  seconds : float;
+  ops_before : int;  (** op count when the pass started *)
+  ops_after : int;  (** op count when the pass finished *)
+  changed : bool;  (** whether the pass modified the printed IR *)
+}
 
 type result = {
   modul : Ir.modul;
   timings : timing list;  (** in execution order *)
 }
+
+(** IR dumping between passes (MLIR's [--print-ir-after-*]). *)
+type print_ir =
+  | Print_never
+  | Print_after_all  (** dump the full IR after every pass *)
+  | Print_after_change  (** dump a textual diff, only when the IR changed *)
+
+type instrument = {
+  print_ir : print_ir;
+  out : Format.formatter;  (** where IR dumps and diffs go *)
+}
+
+val no_instrument : instrument
+
+(** [instrument ?out print_ir] — dump policy writing to [out] (default
+    stderr). *)
+val instrument : ?out:Format.formatter -> print_ir -> instrument
 
 type pass = { name : string; run : Ir.modul -> (Ir.modul, string) Result.t }
 
@@ -61,17 +84,21 @@ type failure = {
 
 val pp_failure : Format.formatter -> failure -> unit
 
-(** [run_pipeline_checked ?verify_each ?dump_policy ?options passes m]
+(** [run_pipeline_checked ?verify_each ?dump_policy ?options ?instr passes m]
     executes [passes] in order, each under an exception barrier with
-    per-pass timing.  With [verify_each] the verifier runs after every
-    pass, attributing IR breakage to the pass that introduced it.  A pass
-    error, verifier diagnostic, or escaped exception yields [Error f]
-    (never raises); a reproducer bundle is written per [dump_policy]
-    (default {!No_dump}), with [options] recorded alongside it. *)
+    per-pass timing, op-count deltas and change tracking.  With
+    [verify_each] the verifier runs after every pass, attributing IR
+    breakage to the pass that introduced it.  [instr] controls IR
+    dumping between passes ({!Print_after_all} / {!Print_after_change}).
+    A pass error, verifier diagnostic, or escaped exception yields
+    [Error f] (never raises); a reproducer bundle is written per
+    [dump_policy] (default {!No_dump}), with [options] recorded
+    alongside it. *)
 val run_pipeline_checked :
   ?verify_each:bool ->
   ?dump_policy:dump_policy ->
   ?options:string ->
+  ?instr:instrument ->
   pass list ->
   Ir.modul ->
   (result, failure) Stdlib.result

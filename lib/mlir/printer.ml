@@ -42,7 +42,8 @@ let rec pp_op ~indent ppf (op : Ir.op) =
     (Fmt.list ~sep:(Fmt.any ", ") (fun ppf (v : Ir.value) -> Types.pp ppf v.vty))
     op.operands
     (Fmt.list ~sep:(Fmt.any ", ") (fun ppf (v : Ir.value) -> Types.pp ppf v.vty))
-    op.results
+    op.results;
+  if Loc.is_known op.loc then Fmt.pf ppf " loc(%a)" Loc.pp op.loc
 
 and pp_region ~indent ppf (r : Ir.region) =
   Fmt.pf ppf "{@.";

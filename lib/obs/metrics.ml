@@ -191,6 +191,12 @@ let reset_all () =
               Atomic.set h.sum_us 0)
         registry)
 
+(* The registry is process-wide, so counters bumped by one test are
+   visible to the next.  Tests that assert on absolute instrument values
+   call this in their setup; the name spells out the intent at call
+   sites (it is exactly [reset_all], which cache resets also use). *)
+let reset_for_tests () = reset_all ()
+
 let reset (name : string) =
   match find name with
   | None -> ()

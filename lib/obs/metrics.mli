@@ -65,3 +65,8 @@ val reset : string -> unit
 val reset_all : unit -> unit
 (** Zero every instrument; registrations (and handles held by modules)
     stay valid. *)
+
+val reset_for_tests : unit -> unit
+(** Test-isolation alias for {!reset_all}: the registry is process-wide,
+    so tests asserting on absolute instrument values must zero it in
+    their setup or counts bleed across test cases. *)

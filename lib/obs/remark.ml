@@ -1,0 +1,100 @@
+(** Optimization remarks — the LLVM [-Rpass] analogue.
+
+    Compiler rewrites (canonicalization patterns, constant folding, CSE
+    dedups, LIR peepholes like FMA fusion) report {e what fired and
+    where} as structured remarks.  Like {!Trace}, the disabled path is a
+    single atomic load, so emitters guard with {!enabled} and pay
+    nothing by default; when enabled, remarks accumulate in a bounded
+    in-memory buffer exportable as JSON next to TRACE/METRICS files.
+
+    Locations are carried as pre-rendered strings ("spn.node 17"): this
+    library sits below the IR, so it cannot depend on [Mlir.Loc]. *)
+
+type kind =
+  | Applied  (** a rewrite fired *)
+  | Missed  (** a rewrite was considered and declined *)
+  | Analysis  (** informational (counts, decisions) *)
+
+type remark = {
+  pass : string;  (** pass or rewrite family, e.g. "constfold" *)
+  kind : kind;
+  message : string;
+  loc : string;  (** pre-rendered location; "" when unknown *)
+}
+
+let kind_to_string = function
+  | Applied -> "applied"
+  | Missed -> "missed"
+  | Analysis -> "analysis"
+
+let enabled_flag = Atomic.make false
+let enabled () = Atomic.get enabled_flag
+let set_enabled b = Atomic.set enabled_flag b
+
+let default_capacity = 65536
+
+type buffer = {
+  mutable items : remark list;  (** newest first *)
+  mutable count : int;
+  mutable dropped : int;
+  lock : Mutex.t;
+}
+
+let buffer = { items = []; count = 0; dropped = 0; lock = Mutex.create () }
+
+let with_lock f =
+  Mutex.lock buffer.lock;
+  Fun.protect ~finally:(fun () -> Mutex.unlock buffer.lock) f
+
+let clear () =
+  with_lock (fun () ->
+      buffer.items <- [];
+      buffer.count <- 0;
+      buffer.dropped <- 0)
+
+(** [emit ~pass ?kind ?loc message] records a remark when enabled.  The
+    hot path should guard on {!enabled} before building [message]. *)
+let emit ~pass ?(kind = Applied) ?(loc = "") message =
+  if Atomic.get enabled_flag then
+    with_lock (fun () ->
+        if buffer.count >= default_capacity then
+          buffer.dropped <- buffer.dropped + 1
+        else begin
+          buffer.items <- { pass; kind; message; loc } :: buffer.items;
+          buffer.count <- buffer.count + 1
+        end)
+
+(** Oldest-first snapshot. *)
+let all () : remark list = with_lock (fun () -> List.rev buffer.items)
+
+let dropped () = with_lock (fun () -> buffer.dropped)
+
+(* -- Export -------------------------------------------------------------- *)
+
+let remark_to_json (r : remark) : Json.t =
+  Json.Obj
+    ([
+       ("pass", Json.Str r.pass);
+       ("kind", Json.Str (kind_to_string r.kind));
+       ("message", Json.Str r.message);
+     ]
+    @ if r.loc = "" then [] else [ ("loc", Json.Str r.loc) ])
+
+let to_json () : Json.t =
+  Json.Obj
+    [
+      ("remarks", Json.List (List.map remark_to_json (all ())));
+      ("dropped", Json.Num (float_of_int (dropped ())));
+    ]
+
+let write_file path =
+  let oc = open_out_bin path in
+  Fun.protect
+    ~finally:(fun () -> close_out_noerr oc)
+    (fun () -> output_string oc (Json.to_string_pretty (to_json ())))
+
+let pp_remark ppf (r : remark) =
+  Fmt.pf ppf "remark [%s] %s: %s%s" (kind_to_string r.kind) r.pass r.message
+    (if r.loc = "" then "" else " at loc(" ^ r.loc ^ ")")
+
+let pp ppf () = List.iter (fun r -> Fmt.pf ppf "%a@." pp_remark r) (all ())

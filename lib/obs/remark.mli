@@ -1,0 +1,36 @@
+(** Optimization remarks — the LLVM [-Rpass] analogue.
+
+    Disabled path is one atomic load; emitters should guard on
+    {!enabled} before building messages.  Locations arrive pre-rendered
+    ("spn.node 17") because this library sits below the IR. *)
+
+type kind =
+  | Applied  (** a rewrite fired *)
+  | Missed  (** a rewrite was considered and declined *)
+  | Analysis  (** informational (counts, decisions) *)
+
+type remark = {
+  pass : string;
+  kind : kind;
+  message : string;
+  loc : string;  (** pre-rendered location; "" when unknown *)
+}
+
+val kind_to_string : kind -> string
+val enabled : unit -> bool
+val set_enabled : bool -> unit
+val clear : unit -> unit
+
+(** [emit ~pass ?kind ?loc message] records a remark when enabled. *)
+val emit : pass:string -> ?kind:kind -> ?loc:string -> string -> unit
+
+(** Oldest-first snapshot of recorded remarks. *)
+val all : unit -> remark list
+
+(** Remarks discarded after the buffer filled. *)
+val dropped : unit -> int
+
+val to_json : unit -> Json.t
+val write_file : string -> unit
+val pp_remark : Format.formatter -> remark -> unit
+val pp : Format.formatter -> unit -> unit

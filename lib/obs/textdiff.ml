@@ -1,0 +1,54 @@
+(** Line-oriented textual diff for IR snapshots.
+
+    Built for [--print-ir-after-change]: pass outputs are large and
+    mostly identical, so the diff trims the common prefix and suffix and
+    prints only the middle as removed/added lines.  This is O(n) and
+    good enough for human inspection of what a pass changed; it makes no
+    attempt at a minimal edit script (a full LCS would be quadratic on
+    multi-thousand-line task bodies). *)
+
+let split_lines (s : string) : string array =
+  Array.of_list (String.split_on_char '\n' s)
+
+(** [equal a b] — true when the two texts are identical. *)
+let equal (a : string) (b : string) = String.equal a b
+
+(** [diff ~before ~after] renders a trimmed-context line diff, or [""]
+    when the texts are identical.  Format:
+
+    {v
+    @@ lines 4-6 -> 4-5 @@
+    - old line
+    - old line
+    + new line
+    v} *)
+let diff ~(before : string) ~(after : string) : string =
+  if String.equal before after then ""
+  else begin
+    let a = split_lines before and b = split_lines after in
+    let na = Array.length a and nb = Array.length b in
+    let prefix = ref 0 in
+    while !prefix < na && !prefix < nb && String.equal a.(!prefix) b.(!prefix) do
+      incr prefix
+    done;
+    let suffix = ref 0 in
+    while
+      !suffix < na - !prefix
+      && !suffix < nb - !prefix
+      && String.equal a.(na - 1 - !suffix) b.(nb - 1 - !suffix)
+    do
+      incr suffix
+    done;
+    let p = !prefix and s = !suffix in
+    let buf = Buffer.create 256 in
+    Buffer.add_string buf
+      (Printf.sprintf "@@ lines %d-%d -> %d-%d @@\n" (p + 1) (na - s) (p + 1)
+         (nb - s));
+    for i = p to na - s - 1 do
+      Buffer.add_string buf ("- " ^ a.(i) ^ "\n")
+    done;
+    for i = p to nb - s - 1 do
+      Buffer.add_string buf ("+ " ^ b.(i) ^ "\n")
+    done;
+    Buffer.contents buf
+  end

@@ -1,0 +1,8 @@
+(** Line-oriented textual diff for IR snapshots ([--print-ir-after-change]).
+
+    O(n) common-prefix/suffix trimming, not a minimal edit script. *)
+
+val equal : string -> string -> bool
+
+(** [diff ~before ~after] — trimmed line diff, or [""] when identical. *)
+val diff : before:string -> after:string -> string

@@ -55,6 +55,9 @@ type t = {
   kernel : Spnc_cpu.Lir.modul;
   jit : Jit.kernel option;  (** compiled closures iff [engine = Jit] *)
   engine : Jit.engine;
+  profile : Spnc_cpu.Profile.t option;
+      (** per-node instruction profile; [Some] switches the VM engine to
+          {!Vm.run_profiled} (the JIT bakes profiling in at compile time) *)
   out_cols : int;  (** slots per sample in the kernel output buffer *)
   batch_size : int;  (** chunk size hint / upper bound *)
   threads : int;
@@ -80,7 +83,7 @@ let chunk_plan ~rows ~threads ~batch_size ~min_chunk =
     let target = (rows + (threads * 4) - 1) / (threads * 4) in
     max 1 (max min_chunk (min batch_size target))
 
-let load ?(batch_size = 4096) ?(threads = 1) ?(engine = Jit.Jit) ?jit
+let load ?(batch_size = 4096) ?(threads = 1) ?(engine = Jit.Jit) ?jit ?profile
     ?(sched = Pool.Stealing) ?(min_chunk = 1) ?pool ~out_cols kernel =
   if batch_size <= 0 then invalid_arg "Exec.load: batch_size must be positive";
   let threads = if threads <= 0 then auto_threads () else min threads 256 in
@@ -89,7 +92,11 @@ let load ?(batch_size = 4096) ?(threads = 1) ?(engine = Jit.Jit) ?jit
   let jit =
     match engine with
     | Jit.Vm -> None
-    | Jit.Jit -> Some (match jit with Some k -> k | None -> Jit.compile kernel)
+    | Jit.Jit ->
+        Some
+          (match jit with
+          | Some k -> k
+          | None -> Jit.compile ?profile kernel)
   in
   let pool, owns_pool =
     if threads <= 1 then (None, false)
@@ -102,6 +109,7 @@ let load ?(batch_size = 4096) ?(threads = 1) ?(engine = Jit.Jit) ?jit
     kernel;
     jit;
     engine;
+    profile;
     out_cols;
     batch_size;
     threads;
@@ -151,8 +159,14 @@ let get_ctx (t : t) w =
 
 let run_engine (t : t) (ctx : ctx) ~buffers : unit =
   match (t.engine, t.jit, ctx.state) with
-  | Jit.Vm, _, _ | _, None, _ | _, _, None -> Vm.run t.kernel ~buffers
   | Jit.Jit, Some k, Some st -> Jit.run k st ~buffers
+  | Jit.Vm, _, _ | _, None, _ | _, _, None -> (
+      (* the JIT path above needs no dispatch here — profiling is baked
+         into the closures at compile time; the VM interprets, so the
+         profiled walker is a separate entry point *)
+      match t.profile with
+      | Some p -> Vm.run_profiled t.kernel p ~buffers
+      | None -> Vm.run t.kernel ~buffers)
 
 (* Execute one chunk [lo, hi) of the flat input, writing the per-sample
    results into [out.(lo..hi-1)]. *)

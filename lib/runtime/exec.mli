@@ -34,12 +34,20 @@ type t
     lane loops stay full).  When [threads > 1] the kernel either uses
     the caller-provided [?pool] (shared; never shut down by {!shutdown})
     or creates its own (torn down by {!shutdown}).
+
+    [?profile] enables per-SPN-node instruction profiling
+    (docs/OBSERVABILITY.md): the VM engine switches to
+    {!Spnc_cpu.Vm.run_profiled}, and a self-compiled JIT bakes the
+    counters into its closures.  When passing a pre-compiled [?jit]
+    alongside [?profile], compile it with the same profile —
+    [Jit.compile ~profile] — or the JIT path will not count.
     @raise Invalid_argument on non-positive [batch_size]. *)
 val load :
   ?batch_size:int ->
   ?threads:int ->
   ?engine:Spnc_cpu.Jit.engine ->
   ?jit:Spnc_cpu.Jit.kernel ->
+  ?profile:Spnc_cpu.Profile.t ->
   ?sched:Pool.sched ->
   ?min_chunk:int ->
   ?pool:Pool.t ->

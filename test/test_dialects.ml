@@ -29,7 +29,7 @@ let with_evidence f =
 let test_sum_weight_count_mismatch () =
   let m =
     with_evidence (fun b ev ->
-        let g = Spnc_hispn.Ops.gaussian b ~evidence:ev ~mean:0.0 ~stddev:1.0 in
+        let g = Spnc_hispn.Ops.gaussian b ~evidence:ev ~mean:0.0 ~stddev:1.0 () in
         (* two operands but only one weight *)
         let s =
           Builder.op b "hi_spn.sum"
@@ -45,11 +45,11 @@ let test_sum_weight_count_mismatch () =
 let test_sum_weights_not_normalized () =
   let m =
     with_evidence (fun b ev ->
-        let g = Spnc_hispn.Ops.gaussian b ~evidence:ev ~mean:0.0 ~stddev:1.0 in
+        let g = Spnc_hispn.Ops.gaussian b ~evidence:ev ~mean:0.0 ~stddev:1.0 () in
         let s =
           Spnc_hispn.Ops.sum b
             ~operands:[ Ir.result g; Ir.result g ]
-            ~weights:[| 0.5; 0.2 |]
+            ~weights:[| 0.5; 0.2 |] ()
         in
         [ g; s ])
   in
@@ -109,7 +109,7 @@ let test_graph_without_root () =
   let b = Builder.create () in
   let body =
     Builder.block b ~arg_tys:[ f32 ] (fun args ->
-        [ Spnc_hispn.Ops.gaussian b ~evidence:(List.hd args) ~mean:0.0 ~stddev:1.0 ])
+        [ Spnc_hispn.Ops.gaussian b ~evidence:(List.hd args) ~mean:0.0 ~stddev:1.0 () ])
   in
   let g = Spnc_hispn.Ops.graph b ~num_features:1 ~body in
   check tbool "rejected" true (invalid (Builder.modul [ g ]))
@@ -120,7 +120,7 @@ let test_graph_arg_count_mismatch () =
   let body =
     Builder.block b ~arg_tys:[ f32 ] (fun args ->
         let g =
-          Spnc_hispn.Ops.gaussian b ~evidence:(List.hd args) ~mean:0.0 ~stddev:1.0
+          Spnc_hispn.Ops.gaussian b ~evidence:(List.hd args) ~mean:0.0 ~stddev:1.0 ()
         in
         [ g; Spnc_hispn.Ops.root b ~value:(Ir.result g) ])
   in

@@ -314,6 +314,61 @@ let test_buffer_opt_deallocs_match_allocs () =
   let deallocs = Ir.count_ops (fun o -> o.Ir.name = "lo_spn.dealloc") m' in
   check tint "alloc/dealloc balance" allocs deallocs
 
+(* -- Provenance locations ----------------------------------------------------- *)
+
+(* the set of SPN node ids appearing as op locations anywhere in a module *)
+let loc_nodes m =
+  let ids = ref [] in
+  Ir.walk
+    (fun (o : Ir.op) ->
+      match Loc.node_id o.Ir.loc with
+      | Some n -> ids := n :: !ids
+      | None -> ())
+    m;
+  List.sort_uniq compare !ids
+
+let test_loc_survives_lowering () =
+  let t = example_spn () in
+  let hi = Spnc_hispn.From_model.translate t in
+  let hi_nodes = loc_nodes hi in
+  (* every SPN op minted by the translation is located: the example model
+     has 1 sum + 2 products + 4 gaussians = 7 distinct nodes *)
+  check tint "7 located HiSPN nodes" 7 (List.length hi_nodes);
+  let count_located m =
+    Ir.count_ops
+      (fun o ->
+        String.length o.Ir.name >= 7
+        && String.sub o.Ir.name 0 7 = "hi_spn."
+        && (match o.Ir.name with
+           | "hi_spn.joint_query" | "hi_spn.graph" | "hi_spn.root" -> false
+           | _ -> true)
+        && Loc.is_known o.Ir.loc)
+      m
+  in
+  check tint "every sum/product/leaf op carries a loc" 7 (count_located hi);
+  (* lowering to LoSPN keeps provenance: each surviving node id was a
+     HiSPN node id, and the arithmetic body is still fully attributed *)
+  let lo = lower t in
+  let lo_nodes = loc_nodes lo in
+  check tbool "LoSPN locs are a subset of HiSPN locs" true
+    (List.for_all (fun n -> List.mem n hi_nodes) lo_nodes);
+  check tbool "leaf provenance survives" true
+    (Ir.count_ops
+       (fun o -> o.Ir.name = "lo_spn.gaussian" && Loc.is_known o.Ir.loc)
+       lo
+    = Ir.count_ops (fun o -> o.Ir.name = "lo_spn.gaussian") lo);
+  check tbool "sum/mul provenance survives" true
+    (Ir.count_ops
+       (fun o ->
+         (o.Ir.name = "lo_spn.add" || o.Ir.name = "lo_spn.mul")
+         && Loc.is_known o.Ir.loc)
+       lo
+    > 0);
+  (* ...and survives bufferization + the full pipeline to the kernel *)
+  let full = pipeline t in
+  check tbool "locs survive the full lowering pipeline" true
+    (loc_nodes full <> [])
+
 let test_print_parse_lowered_module () =
   (* the full textual format handles real lowered modules *)
   let m = pipeline (example_spn ()) in
@@ -343,5 +398,6 @@ let suite =
     Alcotest.test_case "bufferize converts" `Quick test_bufferize_converts_types;
     Alcotest.test_case "buffer_opt removes copy" `Quick test_buffer_opt_removes_copy;
     Alcotest.test_case "alloc/dealloc balance" `Quick test_buffer_opt_deallocs_match_allocs;
+    Alcotest.test_case "loc survives lowering" `Quick test_loc_survives_lowering;
     Alcotest.test_case "print/parse lowered module" `Quick test_print_parse_lowered_module;
   ]

@@ -276,6 +276,138 @@ let test_dce_removes_dead () =
   let m' = Rewrite.dce m in
   check tint "dead constant removed" 3 (Ir.count_ops (fun _ -> true) m')
 
+(* -- Locations ------------------------------------------------------------- *)
+
+let test_loc_roundtrip () =
+  let b = Builder.create () in
+  let c1 =
+    Builder.op b "lo_spn.constant" ~results:[ Types.F32 ]
+      ~attrs:[ ("value", Attr.Float 2.0) ]
+      ~loc:(Loc.node 17) ()
+  in
+  let c2 =
+    Builder.op b "lo_spn.constant" ~results:[ Types.F32 ]
+      ~attrs:[ ("value", Attr.Float 3.0) ] ()
+  in
+  let m =
+    Builder.op b "lo_spn.mul"
+      ~operands:[ Ir.result c1; Ir.result c2 ]
+      ~results:[ Types.F32 ]
+      ~loc:(Loc.derived "vectorize" (Loc.node 3))
+      ()
+  in
+  let s = Printer.modul_to_string (Builder.modul ~name:"t" [ c1; c2; m ]) in
+  (* unknown locations print nothing; known ones print a loc(...) suffix *)
+  check tbool "node loc printed" true
+    (Astring_contains.contains s "loc(spn.node 17)");
+  check tbool "derived loc printed" true
+    (Astring_contains.contains s {|loc("vectorize"(spn.node 3))|});
+  let m' = Parser.modul_of_string s in
+  let locs =
+    List.map (fun (o : Ir.op) -> (o.Ir.name, o.Ir.loc)) m'.Ir.mops
+  in
+  check tint "three ops back" 3 (List.length locs);
+  let loc_of name = List.assoc name locs in
+  check tbool "constant keeps its node" true
+    (Loc.equal (Loc.node 17) (loc_of "lo_spn.constant"));
+  check tbool "mul keeps its derivation chain" true
+    (Loc.equal (Loc.derived "vectorize" (Loc.node 3)) (loc_of "lo_spn.mul"));
+  check tbool "derived origin unwraps" true
+    (Loc.node_id (loc_of "lo_spn.mul") = Some 3);
+  (* second constant carried no loc and must come back Unknown *)
+  let unknowns =
+    List.filter (fun (n, l) -> n = "lo_spn.constant" && not (Loc.is_known l))
+      locs
+  in
+  check tint "unlocated op stays unlocated" 1 (List.length unknowns)
+
+(* -- Pass instrumentation ---------------------------------------------------- *)
+
+(* --print-ir-after-change must stay silent across a pass that does not
+   touch the IR, and must produce a diff when one does. *)
+let test_print_after_change_silent_when_unchanged () =
+  let m, _ = simple_module () in
+  let run_with instr passes =
+    let buf = Buffer.create 256 in
+    let fmt = Format.formatter_of_buffer buf in
+    let instr = Pass.instrument ~out:fmt instr in
+    (match Pass.run_pipeline_checked ~instr passes m with
+    | Ok _ -> ()
+    | Error f -> Alcotest.failf "pipeline failed in %s" f.Pass.failed_pass);
+    Format.pp_print_flush fmt ();
+    Buffer.contents buf
+  in
+  let identity = Pass.make "identity" Fun.id in
+  check tstr "no-op pass dumps nothing under after-change" ""
+    (run_with Pass.Print_after_change [ identity ]);
+  (* the same module has no CSE opportunity either — still silent *)
+  check tstr "cse without duplicates dumps nothing" ""
+    (run_with Pass.Print_after_change [ Pass.cse_pass ]);
+  (* after-all always dumps, and labels the unchanged pass as such *)
+  let dump = run_with Pass.Print_after_all [ identity ] in
+  check tbool "after-all dumps even without change" true
+    (Astring_contains.contains dump "IR Dump After identity (no change)")
+
+let test_print_after_change_emits_diff () =
+  Spnc_lospn.Ops.register ();
+  let b = Builder.create () in
+  let c1 = Builder.op b "lo_spn.constant" ~results:[ Types.F32 ]
+      ~attrs:[ ("value", Attr.Float 2.0) ] () in
+  let c2 = Builder.op b "lo_spn.constant" ~results:[ Types.F32 ]
+      ~attrs:[ ("value", Attr.Float 2.0) ] () in
+  let s = Builder.op b "lo_spn.add" ~operands:[ Ir.result c1; Ir.result c2 ]
+      ~results:[ Types.F32 ] () in
+  let m = Builder.modul [ c1; c2; s ] in
+  let buf = Buffer.create 256 in
+  let fmt = Format.formatter_of_buffer buf in
+  let instr = Pass.instrument ~out:fmt Pass.Print_after_change in
+  (match Pass.run_pipeline_checked ~instr [ Pass.cse_pass ] m with
+  | Ok r ->
+      check tint "cse deduped" 2 (Ir.count_ops (fun _ -> true) r.Pass.modul)
+  | Error f -> Alcotest.failf "pipeline failed in %s" f.Pass.failed_pass);
+  Format.pp_print_flush fmt ();
+  let out = Buffer.contents buf in
+  check tbool "diff header present" true
+    (Astring_contains.contains out "IR Diff After cse");
+  (* the dedup shows up as a removed line *)
+  check tbool "diff shows a removal" true (Astring_contains.contains out "-")
+
+(* -- Optimization remarks ----------------------------------------------------- *)
+
+let test_constfold_emits_remark () =
+  Spnc_lospn.Ops.register ();
+  Spnc_obs.Remark.set_enabled true;
+  Spnc_obs.Remark.clear ();
+  Fun.protect
+    ~finally:(fun () ->
+      Spnc_obs.Remark.set_enabled false;
+      Spnc_obs.Remark.clear ())
+    (fun () ->
+      let b = Builder.create () in
+      let c1 = Builder.op b "lo_spn.constant" ~results:[ Types.F32 ]
+          ~attrs:[ ("value", Attr.Float 2.0) ] ~loc:(Loc.node 4) () in
+      let c2 = Builder.op b "lo_spn.constant" ~results:[ Types.F32 ]
+          ~attrs:[ ("value", Attr.Float 3.0) ] () in
+      let m1 = Builder.op b "lo_spn.mul"
+          ~operands:[ Ir.result c1; Ir.result c2 ]
+          ~results:[ Types.F32 ] ~loc:(Loc.node 4) () in
+      let m = Builder.modul [ c1; c2; m1 ] in
+      ignore (Constfold.run (Builder.seed_from m) m);
+      let remarks = Spnc_obs.Remark.all () in
+      let folds =
+        List.filter
+          (fun (r : Spnc_obs.Remark.remark) ->
+            r.Spnc_obs.Remark.pass = "constfold"
+            && r.Spnc_obs.Remark.kind = Spnc_obs.Remark.Applied)
+          remarks
+      in
+      check tbool "constfold reported its rewrite" true (folds <> []);
+      check tbool "remark carries the SPN node" true
+        (List.exists
+           (fun (r : Spnc_obs.Remark.remark) ->
+             Astring_contains.contains r.Spnc_obs.Remark.loc "spn.node 4")
+           folds))
+
 (* -- Pass manager ----------------------------------------------------------- *)
 
 let test_pass_manager_timing () =
@@ -315,6 +447,13 @@ let suite =
     Alcotest.test_case "constfold chain" `Quick test_constfold_folds_chain;
     Alcotest.test_case "constfold log space" `Quick test_constfold_log_space;
     Alcotest.test_case "dce removes dead" `Quick test_dce_removes_dead;
+    Alcotest.test_case "loc print/parse roundtrip" `Quick test_loc_roundtrip;
+    Alcotest.test_case "print-after-change silent when unchanged" `Quick
+      test_print_after_change_silent_when_unchanged;
+    Alcotest.test_case "print-after-change emits diff" `Quick
+      test_print_after_change_emits_diff;
+    Alcotest.test_case "constfold emits remark" `Quick
+      test_constfold_emits_remark;
     Alcotest.test_case "pass manager timing" `Quick test_pass_manager_timing;
     Alcotest.test_case "pass manager error" `Quick test_pass_manager_error;
   ]

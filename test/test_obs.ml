@@ -24,7 +24,7 @@ let contains s sub =
 let fresh () =
   Trace.set_enabled false;
   Trace.clear ();
-  Metrics.reset_all ()
+  Metrics.reset_for_tests ()
 
 (* -- Tracing ------------------------------------------------------------------ *)
 

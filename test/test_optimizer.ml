@@ -19,6 +19,7 @@ let func body ~nf ~ni =
     nv = 0;
     nb = 1;
     vec_width = 1;
+    prov = Lir.no_prov;
   }
 
 let size f = Lir.func_size f

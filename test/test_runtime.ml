@@ -76,6 +76,7 @@ let kernel_2feat : Lir.modul =
       nv = 1;
       nb = 2;
       vec_width = 1;
+      prov = Lir.no_prov;
     }
   in
   { Lir.funcs = [| f |]; entry = 0 }
@@ -178,6 +179,7 @@ let kernel_accum : Lir.modul =
       nv = 1;
       nb = 2;
       vec_width = 1;
+      prov = Lir.no_prov;
     }
   in
   { Lir.funcs = [| f |]; entry = 0 }
@@ -211,7 +213,7 @@ let load_at ix =
   in
   let f =
     { Lir.fname = "ld"; params = [ 0; 1 ]; body; nf = 1; ni = 2; nv = 1;
-      nb = 2; vec_width = 1 }
+      nb = 2; vec_width = 1; prov = Lir.no_prov }
   in
   { Lir.funcs = [| f |]; entry = 0 }
 
@@ -270,7 +272,7 @@ let test_binary_fma_traps_both_engines () =
   in
   let f =
     { Lir.fname = "bad"; params = [ 0 ]; body; nf = 3; ni = 1; nv = 1;
-      nb = 1; vec_width = 1 }
+      nb = 1; vec_width = 1; prov = Lir.no_prov }
   in
   let m = { Lir.funcs = [| f |]; entry = 0 } in
   let out () = Vm.buffer ~rows:1 ~cols:1 in
@@ -312,7 +314,7 @@ let kernel_indexed_load : Lir.modul =
   in
   let f =
     { Lir.fname = "ix"; params = [ 0; 1 ]; body; nf = 2; ni = 4; nv = 1;
-      nb = 2; vec_width = 1 }
+      nb = 2; vec_width = 1; prov = Lir.no_prov }
   in
   { Lir.funcs = [| f |]; entry = 0 }
 

@@ -42,6 +42,7 @@ let test_vm_hand_assembled () =
       nv = 1;
       nb = 1;
       vec_width = 1;
+      prov = Lir.no_prov;
     }
   in
   let m = { Lir.funcs = [| f |]; entry = 0 } in
@@ -77,7 +78,7 @@ let test_vm_loop_and_dim () =
     |]
   in
   let f =
-    { Lir.fname = "t"; params = [ 0 ]; body; nf = 3; ni = 3; nv = 1; nb = 1; vec_width = 1 }
+    { Lir.fname = "t"; params = [ 0 ]; body; nf = 3; ni = 3; nv = 1; nb = 1; vec_width = 1; prov = Lir.no_prov }
   in
   let out = Vm.buffer ~rows:5 ~cols:1 in
   Vm.run { Lir.funcs = [| f |]; entry = 0 } ~buffers:[ out ];
@@ -99,7 +100,7 @@ let test_vm_vector_semantics () =
     |]
   in
   let f =
-    { Lir.fname = "t"; params = [ 0 ]; body; nf = 1; ni = 1; nv = 5; nb = 1; vec_width = w }
+    { Lir.fname = "t"; params = [ 0 ]; body; nf = 1; ni = 1; nv = 5; nb = 1; vec_width = w; prov = Lir.no_prov }
   in
   let buf = Vm.of_flat [| 1.0; -2.0; 3.0; 0.0 |] ~rows:4 ~cols:1 in
   Vm.run { Lir.funcs = [| f |]; entry = 0 } ~buffers:[ buf ];
@@ -119,12 +120,148 @@ let test_vm_traps () =
       nv = 1;
       nb = 1;
       vec_width = 1;
+      prov = Lir.no_prov;
     }
   in
   let out = Vm.buffer ~rows:1 ~cols:1 in
   match Vm.run { Lir.funcs = [| f |]; entry = 0 } ~buffers:[ out ] with
   | exception Vm.Trap _ -> ()
   | () -> Alcotest.fail "out-of-bounds load did not trap"
+
+(* -- Per-node profiler --------------------------------------------------------- *)
+
+module Profile = Spnc_cpu.Profile
+module Jit = Spnc_cpu.Jit
+
+let tint = Alcotest.int
+
+(* The straight-line func from [test_vm_hand_assembled]: 11 instructions,
+   executed exactly once per run. *)
+let straightline_func ~prov =
+  let body =
+    [|
+      Lir.ConstF (0, 2.0);
+      Lir.ConstF (1, 3.0);
+      Lir.ConstF (2, 4.0);
+      Lir.FBin3 (Lir.FMA, 3, 0, 1, 2);
+      Lir.ConstI (0, 0);
+      Lir.Store (0, 0, 3);
+      Lir.FCmp (Lir.Olt, 1, 0, 1);
+      Lir.SelF (4, 1, 2, 0);
+      Lir.ConstI (1, 1);
+      Lir.Store (0, 1, 4);
+      Lir.Ret;
+    |]
+  in
+  { Lir.fname = "t"; params = [ 0 ]; body; nf = 5; ni = 2; nv = 1; nb = 1;
+    vec_width = 1; prov }
+
+let test_profile_straightline_exact_total () =
+  let m = { Lir.funcs = [| straightline_func ~prov:Lir.no_prov |]; entry = 0 } in
+  let p = Profile.create () in
+  let out = Vm.buffer ~rows:2 ~cols:1 in
+  Vm.run_profiled m p ~buffers:[ out ];
+  (* profiling must not change the computed result *)
+  check tfloat "fma result unchanged" 10.0 out.Vm.data.(0);
+  check tint "every instruction counted exactly once" 11 (Profile.total p);
+  (* the total is the sum of the cells, by construction *)
+  let cell_sum =
+    List.fold_left (fun a (c : Profile.cell) -> a + Atomic.get c.Profile.count)
+      0 (Profile.cells p)
+  in
+  check tint "cells sum to the total" (Profile.total p) cell_sum;
+  (* opcode breakdown: three ConstF, two ConstI, two Store *)
+  let count op =
+    List.fold_left
+      (fun a (c : Profile.cell) ->
+        if c.Profile.opcode = op then a + Atomic.get c.Profile.count else a)
+      0 (Profile.cells p)
+  in
+  check tint "constf x3" 3 (count "constf");
+  check tint "consti x2" 2 (count "consti");
+  check tint "store x2" 2 (count "store");
+  check tint "fma x1" 1 (count "fma");
+  (* a second run doubles every count — cells accumulate across runs *)
+  Vm.run_profiled m p ~buffers:[ out ];
+  check tint "second run doubles the total" 22 (Profile.total p)
+
+let test_profile_loop_trip_count () =
+  (* the loop func from [test_vm_loop_and_dim]: 4 top-level instructions
+     (Dim, ConstI, Loop, Ret) plus 4 body instructions per row *)
+  let body =
+    [|
+      Lir.Dim (0, 0);
+      Lir.ConstI (1, 0);
+      Lir.Loop
+        {
+          Lir.iv = 2; lb = 1; ub = 0; step = 1; vector_width = 1;
+          body =
+            [|
+              Lir.ItoF (0, 2);
+              Lir.ConstF (1, 2.0);
+              Lir.FBin (Lir.FMul, 2, 0, 1);
+              Lir.Store (0, 2, 2);
+            |];
+        };
+      Lir.Ret;
+    |]
+  in
+  let f =
+    { Lir.fname = "t"; params = [ 0 ]; body; nf = 3; ni = 3; nv = 1; nb = 1;
+      vec_width = 1; prov = Lir.no_prov }
+  in
+  let rows = 5 in
+  let p = Profile.create () in
+  let out = Vm.buffer ~rows ~cols:1 in
+  Vm.run_profiled { Lir.funcs = [| f |]; entry = 0 } p ~buffers:[ out ];
+  check tint "4 straight-line + rows*4 body instructions"
+    (4 + (rows * 4))
+    (Profile.total p)
+
+let test_profile_attribution_via_provenance () =
+  (* tag the FMA destination (f3) as SPN node 7 and the select destination
+     (f4) as node 9; everything else stays unattributed (-1) *)
+  let pf = Array.make 5 Spnc_mlir.Loc.Unknown in
+  pf.(3) <- Spnc_mlir.Loc.node 7;
+  pf.(4) <- Spnc_mlir.Loc.node 9;
+  let prov = { Lir.pf; pi = [||]; pv = [||]; pb = [||] } in
+  let m = { Lir.funcs = [| straightline_func ~prov |]; entry = 0 } in
+  let p = Profile.create () in
+  let out = Vm.buffer ~rows:2 ~cols:1 in
+  Vm.run_profiled m p ~buffers:[ out ];
+  let stats = Profile.by_node p in
+  let hits n =
+    match List.find_opt (fun s -> s.Profile.ns_node = n) stats with
+    | Some s -> s.Profile.ns_hits
+    | None -> 0
+  in
+  (* node 7: the FMA itself plus the Store whose source is f3 (a store has
+     no destination, so attribution falls back to the located source) *)
+  check tint "node 7 owns fma + its store" 2 (hits 7);
+  check tint "node 9 owns the select + its store" 2 (hits 9);
+  (* attribution is a partition: per-node hits sum to the exact total *)
+  let sum = List.fold_left (fun a s -> a + s.Profile.ns_hits) 0 stats in
+  check tint "per-node hits sum to the total" (Profile.total p) sum;
+  check tint "the rest lands on the unattributed bucket" (11 - 4) (hits (-1))
+
+let test_profile_jit_matches_vm_shape () =
+  (* the JIT hoists single-definition constants into the per-state init
+     (run once, unprofiled), so its dynamic count excludes them; beyond
+     that, counts must be deterministic and accumulate linearly *)
+  let prov = Lir.no_prov in
+  let m = { Lir.funcs = [| straightline_func ~prov |]; entry = 0 } in
+  let p = Profile.create () in
+  let k = Jit.compile ~profile:p m in
+  let st = Jit.make_state k in
+  let out = Vm.buffer ~rows:2 ~cols:1 in
+  Jit.run k st ~buffers:[ out ];
+  check tfloat "jit result unchanged under profiling" 10.0 out.Vm.data.(0);
+  let t1 = Profile.total p in
+  check tbool "profiled jit counts executions" true (t1 > 0);
+  check tbool "promoted constants are excluded" true (t1 <= 11);
+  Jit.run k st ~buffers:[ out ];
+  check tint "second run adds exactly one run's worth" (2 * t1)
+    (Profile.total p)
 
 (* -- Optimizer equivalence properties ------------------------------------------ *)
 
@@ -298,6 +435,14 @@ let suite =
     Alcotest.test_case "vm loop + dim" `Quick test_vm_loop_and_dim;
     Alcotest.test_case "vm vector semantics" `Quick test_vm_vector_semantics;
     Alcotest.test_case "vm traps" `Quick test_vm_traps;
+    Alcotest.test_case "profile straight-line exact total" `Quick
+      test_profile_straightline_exact_total;
+    Alcotest.test_case "profile loop trip count" `Quick
+      test_profile_loop_trip_count;
+    Alcotest.test_case "profile attribution via provenance" `Quick
+      test_profile_attribution_via_provenance;
+    Alcotest.test_case "profile jit accumulates deterministically" `Quick
+      test_profile_jit_matches_vm_shape;
     QCheck_alcotest.to_alcotest test_optimizer_equivalence_prop;
     QCheck_alcotest.to_alcotest test_scalar_vector_equivalence_prop;
     Alcotest.test_case "remat excludes constants" `Quick test_remat_reduces_intervals;
