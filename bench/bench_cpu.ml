@@ -40,6 +40,8 @@ let metrics_path = ref "METRICS_cpu.json"
 let remarks_path = ref "REMARKS_cpu.json"
 let profile_path = ref "PROFILE_cpu.json"
 let min_speedup = ref 0.0
+let cache_dir = ref ""
+let cache_mb = ref 256
 let sustained_calls = ref 120
 let sustained_rows = ref 256
 let sustained_threads = ref 4
@@ -66,6 +68,13 @@ let spec =
     ( "--min-speedup",
       Arg.Set_float min_speedup,
       "X Fail if the best-CPU JIT speedup over VM is below X (default 0 = no gate)" );
+    ( "--kernel-cache-dir",
+      Arg.Set_string cache_dir,
+      "DIR Persistent kernel-cache directory, used by every compile and by \
+       the cold-start section (default: cold-start uses a fresh temp dir)" );
+    ( "--kernel-cache-mb",
+      Arg.Set_int cache_mb,
+      "MB Disk budget for the persistent kernel cache (default 256)" );
     ( "--sustained-calls",
       Arg.Set_int sustained_calls,
       "N Repeated executes in the sustained-throughput run (default 120)" );
@@ -97,9 +106,18 @@ type config_result = {
   identical : bool;
 }
 
+(* apply the --kernel-cache-dir/--kernel-cache-mb flags to a workload
+   option set (no-op when the flag is unset) *)
+let with_cache_flags base =
+  {
+    base with
+    Options.kernel_cache_dir = (if !cache_dir = "" then None else Some !cache_dir);
+    kernel_cache_mb = max 1 !cache_mb;
+  }
+
 let bench_config ~models ~data cfg_name base_options : config_result =
   let options engine =
-    { base_options with Options.threads = !threads; engine }
+    { (with_cache_flags base_options) with Options.threads = !threads; engine }
   in
   (* engine is a runtime-only option, so the kernel cache shares one
      compiled artifact between the VM and JIT runs of each model *)
@@ -181,13 +199,13 @@ let time_calls ~calls f =
 
 let bench_sustained ~model ~data : sustained_result * sustained_result =
   let options =
-    { (W.cpu_avx2 ()) with Options.threads = !sustained_threads }
+    { (with_cache_flags (W.cpu_avx2 ())) with Options.threads = !sustained_threads }
   in
   let c = Compiler.compile ~options model in
   let lir, jit =
     match c.Compiler.artifact with
     | Compiler.Cpu_kernel a ->
-        (a.Compiler.lir, Lazy.force a.Compiler.jit)
+        (a.Compiler.lir, Compiler.force_jit a.Compiler.jit)
     | Compiler.Gpu_kernel _ -> assert false
   in
   let rows = min !sustained_rows (Array.length data) in
@@ -213,6 +231,48 @@ let bench_sustained ~model ~data : sustained_result * sustained_result =
         Exec.shutdown e)
   in
   (pool, spawn)
+
+(* -- Cold start: persistent disk tier vs full compile ------------------------- *)
+
+(* The serving-restart scenario (docs/RESILIENCE.md §1): a process comes
+   up with an empty in-memory cache and must produce runnable kernels for
+   every speaker model.  We time that in two worlds — nothing cached
+   anywhere (full pipeline per model) and a warm on-disk kernel cache
+   (deserialize + JIT-cell rebuild per model) — with best-of-[reps]
+   timing, resetting the memory tier before every repetition. *)
+
+type cold_start_result = {
+  full_compile_s : float;
+  disk_hit_s : float;
+  cold_disk_hits : int;
+}
+
+let bench_cold_start ~models : cold_start_result =
+  let dir =
+    if !cache_dir <> "" then !cache_dir
+    else
+      Filename.concat
+        (Filename.get_temp_dir_name ())
+        (Printf.sprintf "spnc-bench-kcache-%d" (Unix.getpid ()))
+  in
+  let base = W.cpu_avx2 () in
+  let disk_options =
+    {
+      base with
+      Options.kernel_cache_dir = Some dir;
+      kernel_cache_mb = max 1 !cache_mb;
+    }
+  in
+  let compile_all options =
+    Compiler.reset_kernel_cache ();
+    Array.iter (fun m -> ignore (Compiler.compile ~options m)) models
+  in
+  let full_compile_s = time_best (fun () -> compile_all base) in
+  (* seed the disk tier, then measure fresh-process compiles against it *)
+  compile_all disk_options;
+  let disk_hit_s = time_best (fun () -> compile_all disk_options) in
+  let k = Compiler.cache_counters () in
+  { full_compile_s; disk_hit_s; cold_disk_hits = k.Compiler.disk_hits }
 
 let () =
   Arg.parse spec (fun a -> raise (Arg.Bad ("unexpected argument " ^ a))) usage;
@@ -243,8 +303,17 @@ let () =
     sustained_speedup;
   let k = Compiler.cache_counters () in
   Fmt.pr "headline (best-CPU config) jit speedup: %.2fx@." speedup;
-  Fmt.pr "kernel cache: %d hit(s), %d miss(es), %d full compile(s)@."
-    k.Compiler.hits k.Compiler.misses k.Compiler.full_compiles;
+  Fmt.pr "kernel cache: %d hit(s), %d miss(es), %d full compile(s), %d disk hit(s)@."
+    k.Compiler.hits k.Compiler.misses k.Compiler.full_compiles k.Compiler.disk_hits;
+  (* cold start: full pipeline vs warm disk tier (resets the memory
+     cache, so runs after the main counters are captured) *)
+  let cold = bench_cold_start ~models in
+  Fmt.pr
+    "cold start (%d models): full compile %.4fs  disk-served %.4fs  speedup \
+     %.2fx  (%d disk hit(s))@."
+    (Array.length models) cold.full_compile_s cold.disk_hit_s
+    (cold.full_compile_s /. cold.disk_hit_s)
+    cold.cold_disk_hits;
   let oc = open_out !out_path in
   let config_json r =
     Printf.sprintf
@@ -277,12 +346,24 @@ let () =
     \    \"spawn_per_call\": %s,\n\
     \    \"pool_speedup\": %.4f\n\
     \  },\n\
-    \  \"cache\": { \"hits\": %d, \"misses\": %d, \"full_compiles\": %d }\n\
+    \  \"cache\": { \"hits\": %d, \"misses\": %d, \"full_compiles\": %d, \
+     \"disk_hits\": %d },\n\
+    \  \"cold_start\": {\n\
+    \    \"models\": %d,\n\
+    \    \"full_compile_seconds\": %.6f,\n\
+    \    \"disk_hit_seconds\": %.6f,\n\
+    \    \"speedup\": %.4f,\n\
+    \    \"disk_hits\": %d\n\
+    \  }\n\
      }\n"
     W.scale_name (Array.length models) rows !reps !threads (config_json scalar)
     (config_json best) speedup identical !sustained_threads !sustained_rows
     !sustained_calls (sustained_json pool) (sustained_json spawn)
-    sustained_speedup k.Compiler.hits k.Compiler.misses k.Compiler.full_compiles;
+    sustained_speedup k.Compiler.hits k.Compiler.misses k.Compiler.full_compiles
+    k.Compiler.disk_hits (Array.length models) cold.full_compile_s
+    cold.disk_hit_s
+    (cold.full_compile_s /. cold.disk_hit_s)
+    cold.cold_disk_hits;
   close_out oc;
   Fmt.pr "wrote %s@." !out_path;
   (* observability artifacts (docs/OBSERVABILITY.md): tracing, remarks and

@@ -28,6 +28,8 @@ let out_path = ref "BENCH_gpu.json"
 let trace_path = ref "TRACE_gpu.json"
 let metrics_path = ref "METRICS_gpu.json"
 let remarks_path = ref "REMARKS_gpu.json"
+let cache_dir = ref ""
+let cache_mb = ref 256
 
 let spec =
   [
@@ -45,12 +47,25 @@ let spec =
     ( "--remarks-out",
       Arg.Set_string remarks_path,
       "FILE Optimization-remark artifact path (default REMARKS_gpu.json)" );
+    ( "--kernel-cache-dir",
+      Arg.Set_string cache_dir,
+      "DIR Persistent kernel-cache directory for the compile (default: none)" );
+    ( "--kernel-cache-mb",
+      Arg.Set_int cache_mb,
+      "MB Disk budget for the persistent kernel cache (default 256)" );
   ]
 
 let () =
   Arg.parse spec (fun a -> raise (Arg.Bad ("unexpected argument " ^ a))) usage;
   let model = (Lazy.force W.speaker_models).(0) in
-  let options = W.gpu_best () in
+  let options =
+    {
+      (W.gpu_best ()) with
+      Options.kernel_cache_dir =
+        (if !cache_dir = "" then None else Some !cache_dir);
+      kernel_cache_mb = max 1 !cache_mb;
+    }
+  in
   (* remarks fire at compile time, and the timing below is fully modelled,
      so collecting them costs the reported numbers nothing *)
   Spnc_obs.Remark.set_enabled true;

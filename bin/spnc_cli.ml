@@ -13,9 +13,16 @@
 open Cmdliner
 module Model = Spnc_spn.Model
 
+(* sysexits-style exit codes (documented in README.md): scripts driving
+   spnc can tell a bad input from a runtime failure from a timeout
+   without parsing stderr. *)
+let exit_compile_failure = 65 (* EX_DATAERR: bad model / failed pipeline *)
+let exit_execution_failure = 70 (* EX_SOFTWARE: kernel failed at runtime *)
+let exit_timeout = 75 (* EX_TEMPFAIL: deadline exceeded; retry may work *)
+
 (* Every subcommand runs under this barrier: compiler and runtime
-   failures land on stderr as one diagnostic with a nonzero exit code,
-   never as an uncaught-exception backtrace. *)
+   failures land on stderr as one diagnostic with a class-specific
+   nonzero exit code, never as an uncaught-exception backtrace. *)
 let guarded (f : unit -> int) : int =
   try f () with
   | Failure msg | Sys_error msg | Invalid_argument msg ->
@@ -23,20 +30,29 @@ let guarded (f : unit -> int) : int =
       1
   | Spnc_mlir.Pass.Pipeline_error (p, msg) ->
       Fmt.epr "spnc: error: pass %s failed: %s@." p msg;
-      1
-  | Spnc_resilience.Diag.Diag_error d | Spnc_resilience.Guard.Guard_failure d
-    ->
+      exit_compile_failure
+  | Spnc_resilience.Diag.Diag_error d ->
       Fmt.epr "spnc: error: %a@." Spnc_resilience.Diag.pp d;
-      1
+      exit_compile_failure
+  | Spnc_resilience.Guard.Guard_failure d ->
+      Fmt.epr "spnc: error: %a@." Spnc_resilience.Diag.pp d;
+      exit_execution_failure
+  | Spnc_resilience.Fault.Transient msg ->
+      Fmt.epr "spnc: error: transient execution failure: %s@." msg;
+      exit_execution_failure
   | Spnc_runtime.Exec.Chunk_error e ->
       Fmt.epr "spnc: error: kernel failed on samples [%d,%d): %s@."
         e.Spnc_runtime.Exec.chunk_lo e.Spnc_runtime.Exec.chunk_hi
         e.Spnc_runtime.Exec.message;
-      1
+      exit_execution_failure
+  | Spnc_runtime.Exec.Deadline_exceeded d ->
+      Fmt.epr "spnc: error: deadline exceeded (over budget by %.3fs)@."
+        (d.Spnc_runtime.Exec.now -. d.Spnc_runtime.Exec.deadline);
+      exit_timeout
   | Spnc_spn.Validate.Invalid issues ->
       Fmt.epr "spnc: error: invalid model:@.%s@."
         (Spnc_spn.Validate.issues_to_string issues);
-      1
+      exit_compile_failure
 
 let read_model path : Spnc_spn.Model.t =
   if Filename.check_suffix path ".spn" then
@@ -264,6 +280,40 @@ let options_term =
       & info [ "no-kernel-cache" ]
           ~doc:"Always run the full pass pipeline; skip the kernel cache.")
   in
+  let kernel_cache_dir =
+    Arg.(
+      value
+      & opt (some string) None
+      & info [ "kernel-cache-dir" ] ~docv:"DIR"
+          ~doc:
+            "Persist compiled kernels to $(docv) across processes \
+             (crash-safe: checksummed entries, atomic publish, LRU-bounded; \
+             corrupt entries are quarantined and recompiled — \
+             docs/RESILIENCE.md).")
+  in
+  let kernel_cache_mb =
+    Arg.(
+      value & opt int 256
+      & info [ "kernel-cache-mb" ]
+          ~doc:"On-disk kernel cache size budget in megabytes.")
+  in
+  let deadline_ms =
+    Arg.(
+      value
+      & opt (some float) None
+      & info [ "deadline-ms" ]
+          ~doc:
+            "Wall-clock budget per execution call, in milliseconds; \
+             exceeding it cancels in-flight work and exits with code 75.")
+  in
+  let exec_retries =
+    Arg.(
+      value & opt int 2
+      & info [ "exec-retries" ]
+          ~doc:
+            "Retries for transient execution failures (capped exponential \
+             backoff, never past the deadline).")
+  in
   let machine =
     Arg.(
       value
@@ -291,7 +341,8 @@ let options_term =
           ~doc:"Fail instead of falling back to CPU on a GPU backend error.")
   in
   let build target vectorize no_veclib no_shuffle opt_level partition batch block
-      marginal threads sched streams engine no_kernel_cache machine output_guard
+      marginal threads sched streams engine no_kernel_cache kernel_cache_dir
+      kernel_cache_mb deadline_ms exec_retries machine output_guard
       no_gpu_fallback =
     {
       Spnc.Options.default with
@@ -313,6 +364,10 @@ let options_term =
       streams = max 1 streams;
       engine;
       use_kernel_cache = not no_kernel_cache;
+      kernel_cache_dir;
+      kernel_cache_mb = max 1 kernel_cache_mb;
+      deadline_ms;
+      exec_retries = max 0 exec_retries;
       output_guard;
       gpu_fallback = not no_gpu_fallback;
     }
@@ -320,7 +375,8 @@ let options_term =
   Term.(
     const build $ target $ vectorize $ no_veclib $ no_shuffle $ opt_level
     $ partition $ batch $ block $ marginal $ threads $ sched $ streams $ engine
-    $ no_kernel_cache $ machine $ output_guard $ no_gpu_fallback)
+    $ no_kernel_cache $ kernel_cache_dir $ kernel_cache_mb $ deadline_ms
+    $ exec_retries $ machine $ output_guard $ no_gpu_fallback)
 
 (* -- observability flags ----------------------------------------------------------- *)
 
@@ -391,8 +447,17 @@ let with_obs (trace, metrics, remarks) (f : unit -> int) : int =
 
 let pp_cache_counters () =
   let k = Spnc.Compiler.cache_counters () in
-  Fmt.pr "kernel cache: %d hit(s), %d miss(es), %d full compile(s)@."
-    k.Spnc.Compiler.hits k.Spnc.Compiler.misses k.Spnc.Compiler.full_compiles
+  Fmt.pr
+    "kernel cache: %d hit(s), %d miss(es), %d disk hit(s), %d full compile(s)@."
+    k.Spnc.Compiler.hits k.Spnc.Compiler.misses k.Spnc.Compiler.disk_hits
+    k.Spnc.Compiler.full_compiles;
+  let d = Spnc.Kcache.counters () in
+  if d.Spnc.Kcache.stores + d.Spnc.Kcache.hits + d.Spnc.Kcache.misses > 0 then
+    Fmt.pr
+      "disk cache: %d hit(s), %d miss(es), %d store(s), %d eviction(s), %d \
+       corrupt@."
+      d.Spnc.Kcache.hits d.Spnc.Kcache.misses d.Spnc.Kcache.stores
+      d.Spnc.Kcache.evictions d.Spnc.Kcache.corrupt
 
 let compile path options dump_ptx verbose obs =
   guarded @@ fun () ->
@@ -530,4 +595,8 @@ let main_cmd =
        ~doc:"MLIR-style compiler for fast Sum-Product Network inference.")
     [ generate_cmd; train_cmd; inspect_cmd; compile_cmd; run_cmd ]
 
-let () = exit (Cmd.eval' main_cmd)
+let () =
+  (* CI chaos canaries arm fault injection in this unmodified binary via
+     the SPNC_CHAOS environment variable (docs/RESILIENCE.md) *)
+  Spnc_resilience.Fault.arm_from_env ();
+  exit (Cmd.eval' main_cmd)

@@ -276,10 +276,279 @@ let write_bundle ~out_dir ~(case : Fuzz.case) ~(diag_text : string)
       "(differential: reference vs lospn-interp vs vm/jit-O0..O3 vs gpu-sim)"
     ~options:options_text ~diag:diag_text ()
 
+(* -- Chaos mode ---------------------------------------------------------------- *)
+
+module Fault = Spnc_resilience.Fault
+
+(* Everything the resilience layer is allowed to surface under injected
+   faults.  Anything else escaping a run is a crash — the chaos harness
+   exists to prove this set is closed. *)
+let is_clean_diagnostic = function
+  | Spnc_resilience.Diag.Diag_error _ | Spnc_resilience.Guard.Guard_failure _
+  | Fault.Transient _
+  | Spnc_runtime.Exec.Chunk_error _ | Spnc_runtime.Exec.Deadline_exceeded _
+  | Spnc_mlir.Pass.Pipeline_error _ | Spnc_spn.Validate.Invalid _ ->
+      true
+  | _ -> false
+
+(* The fault families a chaos schedule may arm (prefix-matched). *)
+let chaos_families =
+  [
+    "kcache.";
+    "pool.chunk_fail";
+    "pool.chunk_stall";
+    "pool.round_stall";
+    "jit.build_fail";
+    "gpu.build_fail";
+    "gpu.launch_fail";
+    "repro.write_fail";
+  ]
+
+type chaos_outcome = (float array * bool (* gpu->cpu fallback fired *), exn) result
+
+let chaos_eval options model data : chaos_outcome =
+  match Spnc.Compiler.compile ~options model with
+  | c -> (
+      match Spnc.Compiler.execute c data with
+      | v -> Ok (v, c.Spnc.Compiler.diags <> [])
+      | exception ((Stack_overflow | Out_of_memory) as e) -> raise e
+      | exception e -> Error e)
+  | exception ((Stack_overflow | Out_of_memory) as e) -> raise e
+  | exception e -> Error e
+
+(* One chaos case: run a workload clean, then replay it bit-for-bit under
+   a deterministic fault schedule.  The run must either agree with the
+   clean output EXACTLY or surface one clean structured diagnostic —
+   wrong bits are "silent corruption", an unlisted exception is a crash. *)
+let run_chaos seed cases rows no_gpu out_dir verbose =
+  let cache_dir =
+    Filename.concat
+      (Filename.get_temp_dir_name ())
+      (Printf.sprintf "spnc-chaos-kcache-%d-%d" seed (Unix.getpid ()))
+  in
+  let failures = ref 0 in
+  let fault_total = ref 0 in
+  let t0 = Unix.gettimeofday () in
+  let fail ~id ~schedule ~model msg =
+    incr failures;
+    Fmt.epr "CHAOS FAIL case %d (seed %d): %s@." id seed msg;
+    (match
+       Spnc_resilience.Reproducer.write ?dir:out_dir
+         ~extra:[ ("model.txt", Spnc_spn.Text.to_string model) ]
+         ~ir:"// chaos-mode failure: see model.txt and options.txt\n"
+         ~pipeline:"(chaos: clean run vs fault-injected replay)"
+         ~options:schedule ~diag:msg ()
+     with
+    | Ok b -> Fmt.epr "reproducer written to %s@." b.Spnc_resilience.Reproducer.dir
+    | Error e -> Fmt.epr "(reproducer dump failed: %s)@." e)
+  in
+  for id = 0 to cases - 1 do
+    let rng = Spnc_data.Rng.create ~seed:((seed * 7_368_787) + id) in
+    (* workload: alternate the paper's speaker-ID shape and the fuzzer's
+       adversarial random SPNs *)
+    let model, data =
+      if id mod 2 = 0 then begin
+        let m =
+          Spnc_spn.Random_spn.generate_sized rng
+            Spnc_spn.Random_spn.speaker_id_config ~min_ops:200
+        in
+        let d =
+          Array.init rows (fun _ ->
+              Array.init m.Spnc_spn.Model.num_features (fun _ ->
+                  Spnc_data.Rng.range rng (-3.0) 3.0))
+        in
+        (m, d)
+      end
+      else
+        let case =
+          Fuzz.gen_case
+            ~config:{ Fuzz.default_config with Fuzz.rows }
+            ~seed:(seed + 1) ~id ()
+        in
+        (case.Fuzz.model, case.Fuzz.data)
+    in
+    (* the randomized dimensions: engine x threads x target x schedule *)
+    let threads = Spnc_data.Rng.choose rng [ 1; 2; 4 ] in
+    let engine = Spnc_data.Rng.choose rng Spnc_cpu.Jit.[ Vm; Jit ] in
+    let use_gpu = (not no_gpu) && Spnc_data.Rng.range rng 0.0 1.0 < 0.25 in
+    let gpu_fallback = Spnc_data.Rng.range rng 0.0 1.0 < 0.5 in
+    let deadline_ms =
+      (* mostly none; sometimes generous (must not fire by itself);
+         occasionally absurdly tight (must fire as a clean timeout) *)
+      let p = Spnc_data.Rng.range rng 0.0 1.0 in
+      if p < 0.70 then None else if p < 0.95 then Some 30_000.0 else Some 0.001
+    in
+    let options =
+      {
+        Spnc.Options.default with
+        Spnc.Options.threads;
+        engine;
+        batch_size = 8;
+        target = (if use_gpu then Spnc.Options.Gpu else Spnc.Options.Cpu);
+        gpu_fallback;
+        kernel_cache_dir = Some cache_dir;
+        kernel_cache_mb = 1;
+        deadline_ms;
+        exec_retries = Spnc_data.Rng.choose rng [ 0; 2; 4 ];
+      }
+    in
+    let rate = Spnc_data.Rng.range rng 0.02 0.35 in
+    let chaos_seed = (seed * 1_000_003) + id in
+    let points =
+      (* half the cases arm everything; the rest arm a random subset *)
+      if Spnc_data.Rng.range rng 0.0 1.0 < 0.5 then None
+      else
+        Some
+          (List.filter
+             (fun _ -> Spnc_data.Rng.range rng 0.0 1.0 < 0.5)
+             chaos_families)
+    in
+    let schedule =
+      Printf.sprintf
+        "chaos-seed=%d rate=%.3f points=%s threads=%d engine=%s target=%s \
+         fallback=%b deadline=%s retries=%d"
+        chaos_seed rate
+        (match points with
+        | None -> "all"
+        | Some ps -> String.concat ";" ps)
+        threads
+        (Spnc_cpu.Jit.engine_to_string engine)
+        (if use_gpu then "gpu" else "cpu")
+        gpu_fallback
+        (match deadline_ms with None -> "none" | Some ms -> Fmt.str "%gms" ms)
+        options.Spnc.Options.exec_retries
+    in
+    if verbose then Fmt.epr "case %d: %s@." id schedule;
+    (* clean references, faults disarmed.  For GPU cases also compute the
+       CPU reference: an injected GPU failure with fallback on yields a
+       CPU artifact, whose outputs must match the CPU reference bit-ford
+       bit — NOT the GPU one. *)
+    Fault.disarm ();
+    let clean = chaos_eval options model data in
+    let clean_cpu_fallback =
+      if use_gpu && gpu_fallback then
+        Some (chaos_eval { options with Spnc.Options.target = Spnc.Options.Cpu } model data)
+      else None
+    in
+    (* deterministic chaos replay: reset occurrence counters so the case
+       is self-contained (same schedule + workload => same faults).  The
+       memory cache is dropped so the replay recompiles through the disk
+       tier — read-side corruption faults then exercise quarantine and
+       the transparent recompile fallback. *)
+    Spnc.Compiler.reset_kernel_cache ();
+    Fault.reset_for_tests ();
+    Fault.arm ?points ~seed:chaos_seed ~rate ();
+    let chaotic =
+      match chaos_eval options model data with
+      | r -> r
+      | exception e -> Error e
+      (* chaos_eval already catches; this belt-and-braces keeps the
+         harness alive even if the barrier itself is buggy *)
+    in
+    Fault.disarm ();
+    List.iter
+      (fun p -> fault_total := !fault_total + Fault.fired_count p)
+      (Fault.points ());
+    (match (clean, chaotic) with
+    | Ok (c, _), Ok (v, fb) ->
+        let matches_clean = exact_eq c v in
+        let matches_cpu_fallback =
+          fb
+          &&
+          match clean_cpu_fallback with
+          | Some (Ok (cc, _)) -> exact_eq cc v
+          | _ -> false
+        in
+        if not (matches_clean || matches_cpu_fallback) then
+          fail ~id ~schedule ~model
+            "silent corruption: fault-injected run produced different bits \
+             with no diagnostic"
+    | _, Error e when is_clean_diagnostic e ->
+        if verbose then
+          Fmt.epr "case %d: clean diagnostic (%s)@." id (Printexc.to_string e)
+    | _, Error e ->
+        fail ~id ~schedule ~model
+          (Printf.sprintf "crash: unstructured exception escaped: %s"
+             (Printexc.to_string e))
+    | Error e, Ok _ ->
+        (* only plausible when the clean run timed out on a tight
+           deadline that the chaotic run (different scheduling) met;
+           anything else means the clean run itself is broken *)
+        if not (is_clean_diagnostic e) then
+          fail ~id ~schedule ~model
+            (Printf.sprintf "clean run crashed without faults armed: %s"
+               (Printexc.to_string e)))
+  done;
+  (* recovery invariant: after every schedule ran, the cache directory
+     must still be usable — a fresh process-equivalent (memory cache
+     dropped) must load-or-recompile cleanly and agree with a cache-free
+     compile bit-for-bit *)
+  Fault.disarm ();
+  let recovery_failed = ref false in
+  (let rng = Spnc_data.Rng.create ~seed in
+   let model =
+     Spnc_spn.Random_spn.generate_sized rng
+       Spnc_spn.Random_spn.speaker_id_config ~min_ops:200
+   in
+   let data =
+     Array.init rows (fun _ ->
+         Array.init model.Spnc_spn.Model.num_features (fun _ ->
+             Spnc_data.Rng.range rng (-3.0) 3.0))
+   in
+   let with_cache =
+     {
+       Spnc.Options.default with
+       Spnc.Options.kernel_cache_dir = Some cache_dir;
+       kernel_cache_mb = 1;
+     }
+   in
+   let no_cache =
+     { Spnc.Options.default with Spnc.Options.use_kernel_cache = false }
+   in
+   Spnc.Compiler.reset_kernel_cache ();
+   let first = chaos_eval with_cache model data in
+   (* a fresh "process" (memory cache dropped) must now be served by the
+      surviving disk tier *)
+   Spnc.Compiler.reset_kernel_cache ();
+   let second = chaos_eval with_cache model data in
+   let disk_hits = (Spnc.Compiler.cache_counters ()).Spnc.Compiler.disk_hits in
+   match (first, second, chaos_eval no_cache model data) with
+   | Ok (a0, _), Ok (a, _), Ok (b, _)
+     when exact_eq a0 a && exact_eq a b && disk_hits >= 1 ->
+       Fmt.pr "cache recovery: OK (%d entr(ies) live, %d quarantined)@."
+         (match Spnc.Kcache.open_ ~dir:cache_dir ~max_mb:1 with
+         | Ok t -> List.length (Spnc.Kcache.entry_keys t)
+         | Error _ -> -1)
+         (match Spnc.Kcache.open_ ~dir:cache_dir ~max_mb:1 with
+         | Ok t -> Spnc.Kcache.quarantined_count t
+         | Error _ -> -1)
+   | Ok _, Ok _, Ok _ ->
+       recovery_failed := true;
+       Fmt.epr
+         "CHAOS FAIL: post-chaos cached compile diverged from a cache-free \
+          compile (or the disk tier served no hit)@."
+   | _ ->
+       recovery_failed := true;
+       Fmt.epr "CHAOS FAIL: post-chaos compile through the surviving cache \
+                directory failed@.");
+  if !recovery_failed then incr failures;
+  let dt = Unix.gettimeofday () -. t0 in
+  let d = Spnc.Kcache.counters () in
+  Fmt.pr
+    "spnc_fuzz --chaos: %d schedule(s), %d failure(s), %d injected fault(s), \
+     %.1fs (disk cache: %d hit(s), %d miss(es), %d store(s), %d eviction(s), \
+     %d corrupt, %d store failure(s))@."
+    cases !failures !fault_total dt d.Spnc.Kcache.hits d.Spnc.Kcache.misses
+    d.Spnc.Kcache.stores d.Spnc.Kcache.evictions d.Spnc.Kcache.corrupt
+    d.Spnc.Kcache.store_failures;
+  if !failures > 0 then 1 else 0
+
 (* -- Driver ------------------------------------------------------------------- *)
 
 let run seed cases rows target_ops max_depth tol threads no_gpu no_shrink
-    no_cross_engine sched_stress marginal_fraction out_dir inject verbose =
+    no_cross_engine sched_stress chaos marginal_fraction out_dir inject verbose =
+  if chaos then run_chaos seed cases (max rows 8) no_gpu out_dir verbose
+  else begin
   if inject then Spnc_cpu.Optimizer.inject_bad_peephole := true;
   let config =
     {
@@ -356,6 +625,7 @@ let run seed cases rows target_ops max_depth tol threads no_gpu no_shrink
     ^ if sched_stress then " + scheduler stress" else "")
     dt k.Spnc.Compiler.hits k.Spnc.Compiler.misses k.Spnc.Compiler.full_compiles;
   if !failures > 0 then 1 else 0
+  end
 
 let cmd =
   let seed = Arg.(value & opt int 1 & info [ "seed" ] ~doc:"Base RNG seed.") in
@@ -404,6 +674,18 @@ let cmd =
              sizes × static-vs-stealing schedulers (and GPU streams 1/2/4) \
              and require bit-identity with the single-threaded reference.")
   in
+  let chaos =
+    Arg.(
+      value & flag
+      & info [ "chaos" ]
+          ~doc:
+            "Chaos mode: run speaker-ID and random-SPN workloads under \
+             deterministic randomized fault-injection schedules (cache I/O, \
+             pool workers, JIT/GPU builds) across threads and engines; every \
+             run must be bit-identical to its clean reference or fail with \
+             one clean structured diagnostic, and the persistent kernel \
+             cache must stay usable afterwards.")
+  in
   let marginal =
     Arg.(
       value & opt float 0.0
@@ -434,7 +716,7 @@ let cmd =
           LoSPN interpreter vs CPU -O0..-O3 vs GPU simulator.")
     Term.(
       const run $ seed $ cases $ rows $ target_ops $ max_depth $ tol $ threads
-      $ no_gpu $ no_shrink $ no_cross_engine $ sched_stress $ marginal
+      $ no_gpu $ no_shrink $ no_cross_engine $ sched_stress $ chaos $ marginal
       $ out_dir $ inject $ verbose)
 
 let () = exit (Cmd.eval' cmd)

@@ -16,15 +16,28 @@
 open Spnc_mlir
 module Diag = Spnc_resilience.Diag
 module Guard = Spnc_resilience.Guard
+module Fault = Spnc_resilience.Fault
 
 type timing = { stage : string; seconds : float }
+
+(* A lazy-like cell for the deferred closure compilation that is safe to
+   share across domains AND retryable after a failed build: [Lazy.t]
+   poisons permanently when the thunk raises (every later force re-raises
+   [Lazy.Undefined]), which turned one transient JIT failure into a
+   permanently dead cached artifact.  Failure here leaves the cell
+   [Jit_pending], so the next force simply tries again. *)
+type jit_state =
+  | Jit_pending of (unit -> Spnc_cpu.Jit.kernel)
+  | Jit_ready of Spnc_cpu.Jit.kernel
+
+type jit_cell = { mutable jit_state : jit_state }
 
 type cpu_artifact = {
   lir : Spnc_cpu.Lir.modul;
   regalloc : Spnc_cpu.Regalloc.stats array;
   cir : Ir.modul;
-  jit : Spnc_cpu.Jit.kernel Lazy.t;
-      (** closure-compiled form of [lir]; forced on first JIT execution
+  jit : jit_cell;
+      (** closure-compiled form of [lir]; built on first JIT execution
           (on the calling domain, before workers spawn) and shared by
           every later run of this artifact *)
 }
@@ -81,6 +94,20 @@ let out_cols_of_lospn (m : Ir.modul) =
           | _ -> 1)
       | [] -> 1)
   | None -> 1
+
+(* The closure compilation is deferred, so it cannot ride on the [timed]
+   stage ledger — it gets its own span at force time ([force_jit]).  The
+   chaos point sits inside the thunk: an injected build failure must leave
+   the cell retryable, exactly like a real one. *)
+let make_jit_cell (lir : Spnc_cpu.Lir.modul) : jit_cell =
+  {
+    jit_state =
+      Jit_pending
+        (fun () ->
+          Fault.maybe_transient "jit.build_fail";
+          Spnc_obs.Trace.with_span ~cat:"compile" "jit-build" (fun () ->
+              Spnc_cpu.Jit.compile lir));
+  }
 
 (* The full pipeline, unconditionally (the cache wrapper is below). *)
 let compile_full ~(options : Options.t) (model : Spnc_spn.Model.t) : compiled =
@@ -184,20 +211,13 @@ let compile_full ~(options : Options.t) (model : Spnc_spn.Model.t) : compiled =
       timed "register-allocation" (fun () ->
           Spnc_cpu.Regalloc.allocate_module lir)
     in
-    Cpu_kernel
-      {
-        lir;
-        regalloc;
-        cir;
-        (* the closure compilation is deferred, so it cannot ride on the
-           [timed] stage ledger — it gets its own span at force time *)
-        jit =
-          lazy
-            (Spnc_obs.Trace.with_span ~cat:"compile" "jit-build" (fun () ->
-                 Spnc_cpu.Jit.compile lir));
-      }
+    Cpu_kernel { lir; regalloc; cir; jit = make_jit_cell lir }
   in
   let build_gpu () =
+    (* chaos: an injected GPU build failure takes the same graceful-
+       degradation path as a real lowering/PTX bug — warning + CPU
+       artifact when [gpu_fallback] is on *)
+    Fault.maybe_transient "gpu.build_fail";
     let g =
       timed "gpu-lowering" (fun () ->
           Spnc_gpu.Lower_gpu.run
@@ -276,7 +296,12 @@ let compile_full ~(options : Options.t) (model : Spnc_spn.Model.t) : compiled =
    fuzzer's [inject_bad_peephole] fault switch, which silently alters
    what the -O1+ pipeline produces — yields a different key. *)
 
-type cache_counters = { hits : int; misses : int; full_compiles : int }
+type cache_counters = {
+  hits : int;
+  misses : int;
+  full_compiles : int;
+  disk_hits : int;
+}
 
 let cache : (string, compiled) Hashtbl.t = Hashtbl.create 64
 let cache_lock = Mutex.create ()
@@ -290,6 +315,7 @@ let cache_capacity = 128
 let n_hits = Spnc_obs.Metrics.counter "compiler.cache.hits"
 let n_misses = Spnc_obs.Metrics.counter "compiler.cache.misses"
 let n_full = Spnc_obs.Metrics.counter "compiler.cache.full_compiles"
+let n_disk_hits = Spnc_obs.Metrics.counter "compiler.cache.disk_hits"
 
 let with_lock f =
   Mutex.lock cache_lock;
@@ -301,6 +327,7 @@ let cache_counters () =
     hits = counter_value n_hits;
     misses = counter_value n_misses;
     full_compiles = counter_value n_full;
+    disk_hits = counter_value n_disk_hits;
   }
 
 let reset_kernel_cache () =
@@ -308,7 +335,8 @@ let reset_kernel_cache () =
   let open Spnc_obs.Metrics in
   reset (counter_name n_hits);
   reset (counter_name n_misses);
-  reset (counter_name n_full)
+  reset (counter_name n_full);
+  reset (counter_name n_disk_hits)
 
 let cache_key ~(options : Options.t) (model : Spnc_spn.Model.t) : string =
   Digest.to_hex
@@ -320,10 +348,116 @@ let cache_key ~(options : Options.t) (model : Spnc_spn.Model.t) : string =
             (if !Spnc_cpu.Optimizer.inject_bad_peephole then "fault" else "");
           ]))
 
+(* -- Persistent (on-disk) tier ------------------------------------------------- *)
+
+(* What survives a process: the compiled record minus its process-bound
+   parts — [options] and [diags] belong to the calling context, and the
+   JIT closure cell is rebuilt from [lir] on load.  Everything below is
+   pure immutable data, safe to [Marshal]. *)
+type stored_artifact =
+  | Stored_cpu of {
+      s_lir : Spnc_cpu.Lir.modul;
+      s_regalloc : Spnc_cpu.Regalloc.stats array;
+      s_cir : Ir.modul;
+    }
+  | Stored_gpu of gpu_artifact
+
+type stored = {
+  s_model_stats : Spnc_spn.Stats.t;
+  s_timings : timing list;
+  s_lospn : Ir.modul;
+  s_out_cols : int;
+  s_num_tasks : int;
+  s_artifact : stored_artifact;
+  s_datatype : Spnc_lospn.Lower_hispn.datatype_choice;
+}
+
+(* Bump the "v" whenever [stored] (or anything it transitively contains)
+   changes shape: the format tag keeps old entries from being
+   unmarshalled into the wrong layout.  The OCaml version rides along
+   because Marshal output is not stable across compiler versions. *)
+let disk_fmt = "spnc-compiled-v1/" ^ Sys.ocaml_version
+
+let stored_of_compiled (c : compiled) : stored =
+  {
+    s_model_stats = c.model_stats;
+    s_timings = c.timings;
+    s_lospn = c.lospn;
+    s_out_cols = c.out_cols;
+    s_num_tasks = c.num_tasks;
+    s_artifact =
+      (match c.artifact with
+      | Cpu_kernel { lir; regalloc; cir; _ } ->
+          Stored_cpu { s_lir = lir; s_regalloc = regalloc; s_cir = cir }
+      | Gpu_kernel g -> Stored_gpu g);
+    s_datatype = c.datatype;
+  }
+
+let compiled_of_stored ~(options : Options.t) (s : stored) : compiled =
+  {
+    model_stats = s.s_model_stats;
+    options;
+    timings = s.s_timings;
+    lospn = s.s_lospn;
+    out_cols = s.s_out_cols;
+    num_tasks = s.s_num_tasks;
+    artifact =
+      (match s.s_artifact with
+      | Stored_cpu { s_lir; s_regalloc; s_cir } ->
+          Cpu_kernel
+            {
+              lir = s_lir;
+              regalloc = s_regalloc;
+              cir = s_cir;
+              jit = make_jit_cell s_lir;
+            }
+      | Stored_gpu g -> Gpu_kernel g);
+    datatype = s.s_datatype;
+    diags = [];
+  }
+
+(* one warning per process for an unusable cache dir, not one per compile *)
+let disk_warned = Atomic.make false
+
+let disk_cache (options : Options.t) : Kcache.t option =
+  match options.Options.kernel_cache_dir with
+  | None -> None
+  | Some dir -> (
+      match Kcache.open_ ~dir ~max_mb:options.Options.kernel_cache_mb with
+      | Ok t -> Some t
+      | Error e ->
+          if not (Atomic.exchange disk_warned true) then
+            Fmt.epr
+              "spnc: warning: kernel cache dir %s unusable (%s), running \
+               without the persistent cache@."
+              dir e;
+          None)
+
+let disk_find (kc : Kcache.t) ~options key : compiled option =
+  match Kcache.find kc ~fmt:disk_fmt ~key with
+  | None -> None
+  | Some payload -> (
+      match (Marshal.from_string payload 0 : stored) with
+      | s -> Some (compiled_of_stored ~options s)
+      | exception _ ->
+          (* checksum-valid bytes that still fail to decode (a stale
+             layout that kept the tag): quarantine like corruption and
+             fall through to a recompile *)
+          Kcache.quarantine kc ~key;
+          None)
+
+let disk_store (kc : Kcache.t) ~key (c : compiled) : unit =
+  match Marshal.to_string (stored_of_compiled c) [] with
+  | payload -> Kcache.store kc ~fmt:disk_fmt ~key payload
+  | exception _ -> ()
+
 (** [compile ?options model] — the full pipeline, or a cache hit for an
-    identical (model, options) pair.  A hit reuses the compiled artifact
-    and original timings but carries the caller's [options], so
-    runtime-only knobs (threads, engine, output guard) still apply.
+    identical (model, options) pair: memory first, then — when
+    [options.kernel_cache_dir] is set — the persistent on-disk tier
+    ({!Kcache}), then a full compile (published to both tiers).  A hit
+    reuses the compiled artifact and original timings but carries the
+    caller's [options], so runtime-only knobs (threads, engine, output
+    guard, deadline) still apply.
     @raise Spnc_spn.Validate.Invalid if the model is structurally invalid. *)
 let compile ?(options = Options.default) (model : Spnc_spn.Model.t) : compiled =
   if not options.Options.use_kernel_cache then begin
@@ -339,31 +473,59 @@ let compile ?(options = Options.default) (model : Spnc_spn.Model.t) : compiled =
     | Some c ->
         Spnc_obs.Metrics.counter_incr n_hits;
         { c with options }
-    | None ->
-        let c = compile_full ~options model in
-        (* counted after the compile so a raising pipeline (injected
-           faults, invalid stages) doesn't inflate the miss count —
-           same semantics as the old ref-based counters *)
-        Spnc_obs.Metrics.counter_incr n_misses;
-        Spnc_obs.Metrics.counter_incr n_full;
-        with_lock (fun () ->
-            if Hashtbl.length cache >= cache_capacity then Hashtbl.reset cache;
-            Hashtbl.replace cache key c);
-        c
+    | None -> (
+        let publish_memory c =
+          with_lock (fun () ->
+              if Hashtbl.length cache >= cache_capacity then Hashtbl.reset cache;
+              Hashtbl.replace cache key c)
+        in
+        let kc = disk_cache options in
+        match Option.bind kc (fun kc -> disk_find kc ~options key) with
+        | Some c ->
+            (* a memory miss either way; the disk tier saved the compile *)
+            Spnc_obs.Metrics.counter_incr n_misses;
+            Spnc_obs.Metrics.counter_incr n_disk_hits;
+            publish_memory c;
+            c
+        | None ->
+            let c = compile_full ~options model in
+            (* counted after the compile so a raising pipeline (injected
+               faults, invalid stages) doesn't inflate the miss count —
+               same semantics as the old ref-based counters *)
+            Spnc_obs.Metrics.counter_incr n_misses;
+            Spnc_obs.Metrics.counter_incr n_full;
+            publish_memory c;
+            Option.iter (fun kc -> disk_store kc ~key c) kc;
+            c)
   end
 
 (* -- Execution ---------------------------------------------------------------- *)
 
 let jit_lock = Mutex.create ()
+let jit_build_failures = Spnc_obs.Metrics.counter "compiler.jit.build_failures"
 
-(* [Lazy.force] on a lazy shared across domains is NOT safe in OCaml 5: a
-   concurrent force raises [CamlinternalLazy.Undefined].  Cached artifacts
-   (and their [jit] lazy) are shared by every caller of [compile], so
-   serialize the forcing. *)
-let force_jit jit =
+(* Building the closures is serialized process-wide: cached artifacts
+   (and their [jit] cell) are shared by every caller of [compile], and a
+   mutable cell is not safe under concurrent mutation in OCaml 5.  A
+   build that raises leaves the cell [Jit_pending] — the next force
+   retries — where the previous [Lazy.t] representation poisoned the
+   cell permanently (every later force re-raised), turning one transient
+   JIT failure into a permanently dead cached artifact. *)
+let force_jit (cell : jit_cell) =
   Mutex.lock jit_lock;
-  Fun.protect ~finally:(fun () -> Mutex.unlock jit_lock) (fun () ->
-      Lazy.force jit)
+  Fun.protect
+    ~finally:(fun () -> Mutex.unlock jit_lock)
+    (fun () ->
+      match cell.jit_state with
+      | Jit_ready k -> k
+      | Jit_pending build -> (
+          match build () with
+          | k ->
+              cell.jit_state <- Jit_ready k;
+              k
+          | exception e ->
+              Spnc_obs.Metrics.counter_incr jit_build_failures;
+              raise e))
 
 (** [execute c rows] — run the compiled kernel on row-major samples and
     return one {e log}-likelihood per sample (kernels compiled for linear
@@ -396,6 +558,14 @@ and finish (c : compiled) (raw : float array) : float array =
 
 and execute_raw ?profile (c : compiled) (rows : float array array) :
     float array =
+  (* the deadline clock starts when the call enters the runtime — it
+     covers JIT forcing, chunked execution, and the GPU simulation, but
+     not the compile (which happened in [compile]) *)
+  let deadline =
+    Option.map
+      (fun ms -> Unix.gettimeofday () +. (ms /. 1000.0))
+      c.options.Options.deadline_ms
+  in
   match c.artifact with
   | Cpu_kernel { lir; jit; _ } ->
       let engine = c.options.Options.engine in
@@ -424,17 +594,32 @@ and execute_raw ?profile (c : compiled) (rows : float array array) :
           ~threads ~engine ?jit:jk ?profile ~sched:c.options.Options.sched
           ~min_chunk ?pool ~out_cols:c.out_cols lir
       in
-      Spnc_runtime.Exec.execute_rows exec rows
+      Spnc_runtime.Exec.execute_rows ?deadline
+        ~retries:(max 0 c.options.Options.exec_retries)
+        exec rows
   | Gpu_kernel { gpu_module; _ } ->
       let n = Array.length rows in
       if n = 0 then [||]
       else begin
+        (* chaos: a device failure at launch takes the transient path so
+           chaos runs exercise retry-or-diagnose on the GPU engine too *)
+        Fault.maybe_transient "gpu.launch_fail";
         let flat = Array.concat (Array.to_list rows) in
         let res =
           Spnc_gpu.Sim.run_streamed gpu_module ~gpu:c.options.Options.gpu
             ~entry:"spn_kernel" ~inputs:[ flat ] ~rows:n ~out_cols:c.out_cols
             ~streams:c.options.Options.streams ()
         in
+        (* the simulator is a pure function and cannot be cancelled
+           mid-run; the deadline is enforced at the boundary, with the
+           same structured error and discarded-output semantics *)
+        (match deadline with
+        | Some d ->
+            let now = Unix.gettimeofday () in
+            if now > d then
+              raise
+                (Spnc_runtime.Exec.Deadline_exceeded { deadline = d; now })
+        | None -> ());
         Array.sub res.Spnc_gpu.Sim.output 0 n
       end
 

@@ -12,12 +12,28 @@ open Spnc_mlir
 
 type timing = { stage : string; seconds : float }
 
+type jit_cell
+(** Deferred closure compilation with retryable failure: unlike
+    [Lazy.t] — which poisons permanently when its thunk raises — a
+    failed build leaves the cell pending, so the next {!force_jit}
+    tries again (failures are counted in
+    [compiler.jit.build_failures]). *)
+
+val make_jit_cell : Spnc_cpu.Lir.modul -> jit_cell
+(** A fresh pending cell that will closure-compile [lir] when forced. *)
+
+val force_jit : jit_cell -> Spnc_cpu.Jit.kernel
+(** Build (or return the already-built) JIT kernel.  Serialized
+    process-wide: cells live in shared cached artifacts.
+    @raise whatever the underlying build raises; the cell stays
+    retryable. *)
+
 type cpu_artifact = {
   lir : Spnc_cpu.Lir.modul;  (** the executable kernel (Lir) *)
   regalloc : Spnc_cpu.Regalloc.stats array;  (** per-function allocation *)
   cir : Ir.modul;  (** mid-level IR, for inspection *)
-  jit : Spnc_cpu.Jit.kernel Lazy.t;
-      (** closure-compiled form of [lir]; forced on first JIT execution
+  jit : jit_cell;
+      (** closure-compiled form of [lir]; built on first JIT execution
           and shared by every later run of this artifact *)
 }
 
@@ -55,16 +71,26 @@ val pp_timings : Format.formatter -> compiled -> unit
 (** [compile ?options model] runs the full pipeline — or, when
     [options.use_kernel_cache] is on (the default), returns a cached
     artifact for an identical (model, compile-relevant options) pair.
+    Lookup order: in-memory cache, then — when
+    [options.kernel_cache_dir] is set — the crash-safe persistent
+    on-disk tier ({!Kcache}; checksummed, LRU-bounded, corruption falls
+    back to a recompile), then a full compile published to both tiers.
     A hit reuses the compiled artifact and original timings but carries
     the caller's [options], so runtime-only knobs (threads, engine,
-    output guard) still apply.
+    output guard, deadline) still apply.
     @raise Spnc_spn.Validate.Invalid if the model is structurally invalid. *)
 val compile : ?options:Options.t -> Spnc_spn.Model.t -> compiled
 
-(** Kernel-cache observability: [hits]/[misses] count lookups with the
-    cache enabled; [full_compiles] counts actual pass-pipeline runs
-    (misses plus cache-disabled compiles). *)
-type cache_counters = { hits : int; misses : int; full_compiles : int }
+(** Kernel-cache observability: [hits]/[misses] count memory-tier
+    lookups with the cache enabled; [disk_hits] counts compiles served
+    by the persistent tier; [full_compiles] counts actual pass-pipeline
+    runs (misses not served by disk, plus cache-disabled compiles). *)
+type cache_counters = {
+  hits : int;
+  misses : int;
+  full_compiles : int;
+  disk_hits : int;
+}
 
 val cache_counters : unit -> cache_counters
 
@@ -78,7 +104,14 @@ val reset_kernel_cache : unit -> unit
     the register VM through the multi-threaded runtime; GPU kernels run
     in the functional GPU simulator.  Outputs pass through the
     configured NaN/±inf/log-underflow guard ([options.output_guard]).
-    @raise Spnc_resilience.Guard.Guard_failure under the [Fail] policy. *)
+
+    When [options.deadline_ms] is set the call gets that wall-clock
+    budget (JIT forcing + execution); transient chunk failures retry up
+    to [options.exec_retries] times under capped exponential backoff
+    (docs/RESILIENCE.md).
+    @raise Spnc_resilience.Guard.Guard_failure under the [Fail] policy.
+    @raise Spnc_runtime.Exec.Deadline_exceeded when the budget expires
+    (partial outputs are discarded). *)
 val execute : compiled -> float array array -> float array
 
 (** [execute_profiled c rows] — like {!execute}, but every Lir

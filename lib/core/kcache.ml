@@ -1,0 +1,350 @@
+(** Crash-safe persistent kernel cache — see kcache.mli for the contract.
+
+    On-disk entry layout ([<key>.kc], documented in docs/RESILIENCE.md):
+
+    {v
+    SPNCKC1 <fmt>\n            magic + caller format tag
+    <len> <md5hex> <key>\n     payload length, checksum, bound key
+    <payload bytes>
+    v}
+
+    The header is line-oriented ASCII so a human (or the CI canary) can
+    inspect an entry with [head -2]; the payload is opaque bytes. *)
+
+module Fault = Spnc_resilience.Fault
+module Metrics = Spnc_obs.Metrics
+
+let magic = "SPNCKC1"
+
+type t = {
+  dir : string;
+  quarantine_dir : string;
+  lock_path : string;
+  max_bytes : int;
+}
+
+let dir t = t.dir
+
+(* -- Metrics ------------------------------------------------------------------- *)
+
+let c_hit = Metrics.counter "kcache.hit"
+let c_miss = Metrics.counter "kcache.miss"
+let c_evict = Metrics.counter "kcache.evict"
+let c_corrupt = Metrics.counter "kcache.corrupt"
+let c_store = Metrics.counter "kcache.store"
+let c_store_fail = Metrics.counter "kcache.store_fail"
+
+type counters = {
+  hits : int;
+  misses : int;
+  evictions : int;
+  corrupt : int;
+  stores : int;
+  store_failures : int;
+}
+
+let counters () =
+  {
+    hits = Metrics.counter_value c_hit;
+    misses = Metrics.counter_value c_miss;
+    evictions = Metrics.counter_value c_evict;
+    corrupt = Metrics.counter_value c_corrupt;
+    stores = Metrics.counter_value c_store;
+    store_failures = Metrics.counter_value c_store_fail;
+  }
+
+let reset_counters_for_tests () =
+  List.iter Metrics.reset
+    [
+      "kcache.hit";
+      "kcache.miss";
+      "kcache.evict";
+      "kcache.corrupt";
+      "kcache.store";
+      "kcache.store_fail";
+    ]
+
+(* -- Paths --------------------------------------------------------------------- *)
+
+let rec mkdir_p d =
+  if not (Sys.file_exists d) then begin
+    mkdir_p (Filename.dirname d);
+    try Unix.mkdir d 0o755 with Unix.Unix_error (Unix.EEXIST, _, _) -> ()
+  end
+
+let entry_suffix = ".kc"
+
+let safe_key key =
+  key <> ""
+  && String.for_all
+       (fun c ->
+         (c >= 'a' && c <= 'z')
+         || (c >= 'A' && c <= 'Z')
+         || (c >= '0' && c <= '9')
+         || c = '-' || c = '_' || c = '.')
+       key
+
+(* Compiler keys are hex digests, which pass [safe_key] untouched; an
+   arbitrary key degrades to its own digest so it can never escape the
+   cache directory or smuggle whitespace into the header. *)
+let file_of_key key =
+  (if safe_key key then key else Digest.to_hex (Digest.string key))
+  ^ entry_suffix
+
+let entry_path t key = Filename.concat t.dir (file_of_key key)
+
+let open_ ~dir ~max_mb =
+  let max_mb = if max_mb <= 0 then 1 else max_mb in
+  try
+    mkdir_p dir;
+    let quarantine_dir = Filename.concat dir "quarantine" in
+    mkdir_p quarantine_dir;
+    Ok
+      {
+        dir;
+        quarantine_dir;
+        lock_path = Filename.concat dir ".lock";
+        max_bytes = max_mb * 1024 * 1024;
+      }
+  with
+  | Sys_error e -> Error e
+  | Unix.Unix_error (e, fn, arg) ->
+      Error (Printf.sprintf "%s(%s): %s" fn arg (Unix.error_message e))
+
+(* -- Cross-process lock -------------------------------------------------------- *)
+
+let with_lock t f =
+  let fd = Unix.openfile t.lock_path [ Unix.O_CREAT; Unix.O_WRONLY ] 0o644 in
+  Fun.protect
+    ~finally:(fun () -> Unix.close fd)
+    (fun () ->
+      Fault.maybe_stall "kcache.lock_stall" ~seconds:0.02;
+      Unix.lockf fd Unix.F_LOCK 0;
+      Fun.protect
+        ~finally:(fun () -> try Unix.lockf fd Unix.F_ULOCK 0 with _ -> ())
+        f)
+
+(* -- Directory scans ----------------------------------------------------------- *)
+
+type entry_stat = { path : string; base : string; mtime : float; size : int }
+
+let scan_entries t =
+  match Sys.readdir t.dir with
+  | exception Sys_error _ -> []
+  | names ->
+      Array.to_list names
+      |> List.filter_map (fun base ->
+             if Filename.check_suffix base entry_suffix then
+               let path = Filename.concat t.dir base in
+               match Unix.stat path with
+               | { Unix.st_kind = Unix.S_REG; st_mtime; st_size; _ } ->
+                   Some { path; base; mtime = st_mtime; size = st_size }
+               | _ | (exception Unix.Unix_error _) -> None
+             else None)
+
+let entry_keys t =
+  scan_entries t
+  |> List.map (fun e -> Filename.chop_suffix e.base entry_suffix)
+  |> List.sort String.compare
+
+let size_bytes t = List.fold_left (fun acc e -> acc + e.size) 0 (scan_entries t)
+
+let quarantined_count t =
+  match Sys.readdir t.quarantine_dir with
+  | exception Sys_error _ -> 0
+  | names -> Array.length names
+
+(* -- Quarantine ---------------------------------------------------------------- *)
+
+let quarantine_seq = Atomic.make 0
+
+let quarantine_path t path =
+  (* move aside, never delete: a corrupt entry is evidence.  Unique
+     target name so repeated corruption of the same key keeps every
+     specimen. *)
+  let target =
+    Filename.concat t.quarantine_dir
+      (Printf.sprintf "%s.%d.%d" (Filename.basename path) (Unix.getpid ())
+         (Atomic.fetch_and_add quarantine_seq 1))
+  in
+  (try Sys.rename path target with Sys_error _ | Unix.Unix_error _ -> ());
+  Metrics.counter_incr c_corrupt
+
+let quarantine t ~key =
+  let path = entry_path t key in
+  if Sys.file_exists path then quarantine_path t path
+
+(* -- Read path ----------------------------------------------------------------- *)
+
+let read_all path =
+  let ic = open_in_bin path in
+  Fun.protect
+    ~finally:(fun () -> close_in_noerr ic)
+    (fun () -> really_input_string ic (in_channel_length ic))
+
+(* Parse "<magic> <fmt>\n<len> <md5> <key>\n<payload>"; returns the
+   header fields plus the byte offset where the payload starts. *)
+let parse_header content =
+  match String.index_opt content '\n' with
+  | None -> None
+  | Some nl1 -> (
+      let line1 = String.sub content 0 nl1 in
+      match String.index_opt line1 ' ' with
+      | None -> None
+      | Some sp when String.sub line1 0 sp = magic -> (
+          let fmt = String.sub line1 (sp + 1) (String.length line1 - sp - 1) in
+          match String.index_from_opt content (nl1 + 1) '\n' with
+          | None -> None
+          | Some nl2 -> (
+              let line2 = String.sub content (nl1 + 1) (nl2 - nl1 - 1) in
+              match String.split_on_char ' ' line2 with
+              | [ len; md5; key ] -> (
+                  match int_of_string_opt len with
+                  | Some len when len >= 0 -> Some (fmt, len, md5, key, nl2 + 1)
+                  | _ -> None)
+              | _ -> None))
+      | Some _ -> None)
+
+let find t ~fmt ~key =
+  let path = entry_path t key in
+  match read_all path with
+  | exception (Sys_error _ | Unix.Unix_error _ | End_of_file) ->
+      Metrics.counter_incr c_miss;
+      None
+  | content -> (
+      (* chaos: a short read models a crash that truncated the file (or
+         a filesystem that lost the tail); a bit flip models silent media
+         corruption.  Both must land in the quarantine path below. *)
+      let content =
+        if Fault.fire "kcache.read_short" then
+          String.sub content 0 (String.length content / 2)
+        else content
+      in
+      let content =
+        if Fault.fire "kcache.read_bitflip" && String.length content > 0 then begin
+          let b = Bytes.of_string content in
+          let i = String.length content - 1 in
+          Bytes.set b i (Char.chr (Char.code (Bytes.get b i) lxor 0x40));
+          Bytes.to_string b
+        end
+        else content
+      in
+      match parse_header content with
+      | None ->
+          (* not even a parseable header: quarantine, don't trust it *)
+          quarantine_path t path;
+          None
+      | Some (entry_fmt, len, md5, entry_key, payload_off) ->
+          if entry_fmt <> fmt then begin
+            (* stale format (compiler or OCaml version changed): the
+               entry is well-formed, just useless — drop it quietly *)
+            (try Sys.remove path with Sys_error _ -> ());
+            Metrics.counter_incr c_miss;
+            None
+          end
+          else if
+            String.length content - payload_off <> len
+            || entry_key ^ entry_suffix <> file_of_key key
+          then begin
+            quarantine_path t path;
+            None
+          end
+          else
+            let payload = String.sub content payload_off len in
+            if Digest.to_hex (Digest.string payload) <> md5 then begin
+              quarantine_path t path;
+              None
+            end
+            else begin
+              (* LRU touch: both times to "now" *)
+              (try Unix.utimes path 0.0 0.0 with Unix.Unix_error _ -> ());
+              Metrics.counter_incr c_hit;
+              Some payload
+            end)
+
+(* -- Write path ---------------------------------------------------------------- *)
+
+let tmp_seq = Atomic.make 0
+
+(* A tmp file left behind by a crashed writer is garbage after it is
+   clearly not being written anymore; ten minutes is generous. *)
+let tmp_max_age = 600.0
+
+let sweep_stale_tmp t =
+  match Sys.readdir t.dir with
+  | exception Sys_error _ -> ()
+  | names ->
+      let now = Unix.gettimeofday () in
+      Array.iter
+        (fun base ->
+          if String.starts_with ~prefix:".tmp-" base then
+            let path = Filename.concat t.dir base in
+            match Unix.stat path with
+            | { Unix.st_mtime; _ } when now -. st_mtime > tmp_max_age -> (
+                try Sys.remove path with Sys_error _ -> ())
+            | _ | (exception Unix.Unix_error _) -> ())
+        names
+
+let evict t ~keep =
+  let entries =
+    List.sort (fun a b -> compare a.mtime b.mtime) (scan_entries t)
+  in
+  let total = List.fold_left (fun acc e -> acc + e.size) 0 entries in
+  let excess = ref (total - t.max_bytes) in
+  List.iter
+    (fun e ->
+      if !excess > 0 && e.base <> keep then begin
+        (try
+           Sys.remove e.path;
+           excess := !excess - e.size;
+           Metrics.counter_incr c_evict
+         with Sys_error _ -> ())
+      end)
+    entries
+
+let header ~fmt ~entry_key payload =
+  Printf.sprintf "%s %s\n%d %s %s\n" magic fmt (String.length payload)
+    (Digest.to_hex (Digest.string payload))
+    entry_key
+
+let store t ~fmt ~key payload =
+  let base = file_of_key key in
+  let path = Filename.concat t.dir base in
+  let tmp =
+    Filename.concat t.dir
+      (Printf.sprintf ".tmp-%d-%d" (Unix.getpid ())
+         (Atomic.fetch_and_add tmp_seq 1))
+  in
+  try
+    with_lock t (fun () ->
+        if Fault.fire "kcache.write_enospc" then
+          raise (Unix.Unix_error (Unix.ENOSPC, "write", path));
+        let content =
+          header ~fmt
+            ~entry_key:(Filename.chop_suffix base entry_suffix)
+            payload
+          ^ payload
+        in
+        (* chaos: a torn write publishes an entry whose bytes never fully
+           hit disk — rename is atomic but carries garbage.  The read
+           path's checksum must catch it. *)
+        let content =
+          if Fault.fire "kcache.write_torn" then
+            String.sub content 0 (String.length content * 3 / 4)
+          else content
+        in
+        let oc = open_out_bin tmp in
+        (try
+           Fun.protect
+             ~finally:(fun () -> close_out_noerr oc)
+             (fun () -> output_string oc content)
+         with e ->
+           (try Sys.remove tmp with Sys_error _ -> ());
+           raise e);
+        Sys.rename tmp path;
+        Metrics.counter_incr c_store;
+        evict t ~keep:base;
+        sweep_stale_tmp t)
+  with Sys_error _ | Unix.Unix_error _ ->
+    (try Sys.remove tmp with Sys_error _ -> ());
+    Metrics.counter_incr c_store_fail

@@ -1,0 +1,76 @@
+(** Crash-safe persistent kernel cache (docs/RESILIENCE.md).
+
+    A directory of content-addressed entries: the key is the compiler's
+    (model digest × options fingerprint) cache key, the payload is an
+    opaque byte string (the marshalled compiled artifact).  The store is
+    built so that no sequence of crashes, torn writes, or on-disk
+    corruption can ever make a reader crash or return wrong bytes:
+
+    - every entry carries a versioned header with the payload length and
+      an MD5 checksum; a reader verifies both before returning anything;
+    - publishing is atomic: payload bytes go to a temp file which is
+      [rename]d into place, so a reader sees either the whole entry or
+      no entry — never a half-written one;
+    - a checksum/length mismatch {e quarantines} the entry (moved aside
+      for post-mortem, never deleted in place) and reports a miss, so
+      the caller transparently recompiles;
+    - a caller-supplied format tag is embedded in the header; entries
+      written by a different format (or OCaml version — payloads are
+      [Marshal]led) are treated as stale misses and removed;
+    - total size is bounded: after each publish, least-recently-used
+      entries (by mtime; hits touch the file) are evicted until the
+      configured budget holds;
+    - cross-process writers serialize on a lock file ([.lock], advisory
+      [lockf]), so concurrent publishes and evictions do not race.
+
+    Every operation is total: I/O failures surface as [None]/unit plus a
+    metrics bump ([kcache.{hit,miss,evict,corrupt,store,store_fail}]),
+    never as an exception.  Chaos injection points (short read, bit
+    flip, torn write, ENOSPC, lock contention) are wired through
+    {!Spnc_resilience.Fault}. *)
+
+type t
+
+val open_ : dir:string -> max_mb:int -> (t, string) result
+(** Create/open the cache rooted at [dir] (created if missing) with a
+    total-size budget of [max_mb] megabytes ([<= 0] means 1 MB). *)
+
+val dir : t -> string
+
+val find : t -> fmt:string -> key:string -> string option
+(** Checksum-verified lookup.  [Some payload] is bit-exact what was
+    stored; [None] is a miss (absent, stale format, corrupt —
+    quarantined — or unreadable).  A hit refreshes the entry's mtime so
+    eviction stays LRU. *)
+
+val store : t -> fmt:string -> key:string -> string -> unit
+(** Atomically publish [payload] under [key], then evict
+    least-recently-used entries until the size budget holds.  Failures
+    (including injected ENOSPC) are absorbed: the cache simply does not
+    gain the entry. *)
+
+val quarantine : t -> key:string -> unit
+(** Move [key]'s entry into the [quarantine/] subdirectory (callers use
+    this when a checksum-valid payload still fails to decode). *)
+
+val entry_keys : t -> string list
+(** Keys with a live entry on disk, sorted (diagnostics and tests). *)
+
+val size_bytes : t -> int
+(** Total bytes of live entries. *)
+
+val quarantined_count : t -> int
+
+(** {2 Metrics handles} (process-wide; also in the Obs registry) *)
+
+type counters = {
+  hits : int;
+  misses : int;
+  evictions : int;
+  corrupt : int;
+  stores : int;
+  store_failures : int;
+}
+
+val counters : unit -> counters
+val reset_counters_for_tests : unit -> unit

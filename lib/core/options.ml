@@ -43,6 +43,12 @@ type t = {
   use_kernel_cache : bool;
       (** reuse compiled artifacts for identical (model, options) pairs
           via the content-addressed kernel cache in {!Compiler} *)
+  kernel_cache_dir : string option;
+      (** persistent on-disk kernel cache directory ({!Kcache});
+          [None] keeps the cache memory-only.  Runtime-only knob — the
+          same artifact is produced either way *)
+  kernel_cache_mb : int;
+      (** on-disk cache size budget in megabytes (LRU-evicted) *)
   profile : bool;
       (** per-SPN-node execution profiling: count every executed Lir
           instruction into (node, opcode) cells via register provenance
@@ -57,6 +63,13 @@ type t = {
   debug_fail_stage : string option;
       (** fault injection: raise at the named pipeline stage (testing
           the fallback and reporting paths only) *)
+  deadline_ms : float option;
+      (** wall-clock budget for one [execute] call; exceeding it raises
+          a structured [Deadline_exceeded] (docs/RESILIENCE.md).
+          Runtime-only *)
+  exec_retries : int;
+      (** max retries (capped exponential backoff) for transient
+          execution failures before surfacing them.  Runtime-only *)
 }
 
 let default =
@@ -80,10 +93,14 @@ let default =
     streams = 1;
     engine = Spnc_cpu.Jit.Jit;
     use_kernel_cache = true;
+    kernel_cache_dir = None;
+    kernel_cache_mb = 256;
     profile = false;
     output_guard = Spnc_resilience.Guard.Warn;
     gpu_fallback = true;
     debug_fail_stage = None;
+    deadline_ms = None;
+    exec_retries = 2;
   }
 
 (** The best CPU configuration found by the paper's DSE (Fig. 6):
@@ -121,9 +138,10 @@ let effective_threads (t : t) = normalize_threads t.threads
 
 (* The compile-relevant subset of the options, serialized deterministically.
    Runtime-only knobs — threads, sched, streams, engine, output_guard,
-   use_kernel_cache, profile — are deliberately EXCLUDED: they do not
-   change the compiled artifact, so two compiles differing only in them
-   must share a cache entry. *)
+   use_kernel_cache, kernel_cache_dir/mb, profile, deadline_ms,
+   exec_retries — are deliberately EXCLUDED: they do not change the
+   compiled artifact, so two compiles differing only in them must share
+   a cache entry (including an on-disk one across processes). *)
 let fingerprint (t : t) : string =
   Marshal.to_string
     ( target_to_string t.target,

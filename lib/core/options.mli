@@ -44,6 +44,12 @@ type t = {
   use_kernel_cache : bool;
       (** reuse compiled artifacts for identical (model, options) pairs
           via the content-addressed kernel cache in {!Compiler} *)
+  kernel_cache_dir : string option;
+      (** persistent on-disk kernel cache directory ({!Kcache});
+          [None] keeps the cache memory-only.  Runtime-only knob — the
+          same artifact is produced either way *)
+  kernel_cache_mb : int;
+      (** on-disk cache size budget in megabytes (LRU-evicted) *)
   profile : bool;
       (** per-SPN-node execution profiling: count every executed Lir
           instruction into (node, opcode) cells via register provenance
@@ -58,6 +64,13 @@ type t = {
   debug_fail_stage : string option;
       (** fault injection: raise at the named pipeline stage (testing
           the fallback and reporting paths only) *)
+  deadline_ms : float option;
+      (** wall-clock budget for one [execute] call; exceeding it raises
+          a structured [Deadline_exceeded] (docs/RESILIENCE.md).
+          Runtime-only *)
+  exec_retries : int;
+      (** max retries (capped exponential backoff) for transient
+          execution failures before surfacing them.  Runtime-only *)
 }
 
 val default : t
@@ -82,9 +95,10 @@ val normalize_threads : int -> int
 val effective_threads : t -> int
 
 (** [fingerprint t] — deterministic serialization of the compile-relevant
-    options, used to key the kernel compilation cache.  Runtime-only
-    knobs (threads, sched, streams, engine, output_guard,
-    use_kernel_cache, profile) are excluded: they do not change the
+    options, used to key the kernel compilation cache (in-memory and
+    on-disk).  Runtime-only knobs (threads, sched, streams, engine,
+    output_guard, use_kernel_cache, kernel_cache_dir/mb, profile,
+    deadline_ms, exec_retries) are excluded: they do not change the
     compiled artifact. *)
 val fingerprint : t -> string
 

@@ -1,0 +1,148 @@
+(** Deterministic, seed-driven fault injection — see fault.mli. *)
+
+exception Transient of string
+
+let () =
+  Printexc.register_printer (function
+    | Transient msg -> Some (Printf.sprintf "Fault.Transient(%s)" msg)
+    | _ -> None)
+
+let is_transient = function Transient _ -> true | _ -> false
+
+type schedule = { seed : int; rate : float; points : string list option }
+
+(* The armed schedule.  An [option Atomic.t] keeps the disarmed fast
+   path at one atomic load; arming swaps in an immutable record. *)
+let current : schedule option Atomic.t = Atomic.make None
+
+let arm ?points ~seed ~rate () =
+  let rate = Float.max 0.0 (Float.min 1.0 rate) in
+  Atomic.set current (Some { seed; rate; points })
+
+let disarm () = Atomic.set current None
+let armed () = Atomic.get current
+
+(* -- Point registry ------------------------------------------------------------ *)
+
+type point_state = {
+  occurrences : int Atomic.t;
+  fired : int Atomic.t;
+  obs_fired : Spnc_obs.Metrics.counter;
+}
+
+let registry : (string, point_state) Hashtbl.t = Hashtbl.create 32
+let registry_lock = Mutex.create ()
+
+let point_state name =
+  Mutex.lock registry_lock;
+  Fun.protect
+    ~finally:(fun () -> Mutex.unlock registry_lock)
+    (fun () ->
+      match Hashtbl.find_opt registry name with
+      | Some s -> s
+      | None ->
+          let s =
+            {
+              occurrences = Atomic.make 0;
+              fired = Atomic.make 0;
+              obs_fired = Spnc_obs.Metrics.counter ("fault." ^ name ^ ".fired");
+            }
+          in
+          Hashtbl.add registry name s;
+          s)
+
+let occurrence_count name = Atomic.get (point_state name).occurrences
+let fired_count name = Atomic.get (point_state name).fired
+
+let points () =
+  Mutex.lock registry_lock;
+  Fun.protect
+    ~finally:(fun () -> Mutex.unlock registry_lock)
+    (fun () ->
+      List.sort String.compare
+        (Hashtbl.fold (fun k _ acc -> k :: acc) registry []))
+
+let reset_for_tests () =
+  disarm ();
+  Mutex.lock registry_lock;
+  Fun.protect
+    ~finally:(fun () -> Mutex.unlock registry_lock)
+    (fun () ->
+      Hashtbl.iter
+        (fun _ s ->
+          Atomic.set s.occurrences 0;
+          Atomic.set s.fired 0)
+        registry)
+
+(* -- Decision stream ----------------------------------------------------------- *)
+
+(* A decision is a pure function of (seed, point, occurrence): hash the
+   coordinates through MD5 and map the first 8 bytes to [0,1).  MD5 is
+   stable across platforms and OCaml versions, so a chaos schedule
+   replayed anywhere makes the same calls fire. *)
+let decide ~seed ~point ~occurrence =
+  let d = Digest.string (Printf.sprintf "%d\x00%s\x00%d" seed point occurrence) in
+  let bits = ref 0L in
+  for i = 0 to 7 do
+    bits := Int64.logor (Int64.shift_left !bits 8)
+        (Int64.of_int (Char.code d.[i]))
+  done;
+  (* top 53 bits -> uniform double in [0,1) *)
+  Int64.to_float (Int64.shift_right_logical !bits 11) /. 9007199254740992.0
+
+let point_armed (sch : schedule) name =
+  match sch.points with
+  | None -> true
+  | Some ps -> List.exists (fun p -> String.starts_with ~prefix:p name) ps
+
+let fire name =
+  match Atomic.get current with
+  | None -> false
+  | Some sch ->
+      let st = point_state name in
+      let occurrence = Atomic.fetch_and_add st.occurrences 1 in
+      if
+        point_armed sch name
+        && decide ~seed:sch.seed ~point:name ~occurrence < sch.rate
+      then begin
+        Atomic.incr st.fired;
+        Spnc_obs.Metrics.counter_incr st.obs_fired;
+        true
+      end
+      else false
+
+let maybe_transient name =
+  if fire name then raise (Transient (Printf.sprintf "injected fault at %s" name))
+
+let maybe_stall name ~seconds = if fire name then Unix.sleepf seconds
+
+(* -- Environment arming -------------------------------------------------------- *)
+
+(* "seed=7,rate=0.2,points=kcache.;pool.chunk_fail" — used by the CI
+   chaos canaries to arm unmodified binaries.  Anything malformed is
+   silently ignored: a bad env var must never take down the host. *)
+let arm_from_env () =
+  match Sys.getenv_opt "SPNC_CHAOS" with
+  | None | Some "" -> ()
+  | Some spec -> (
+      let kvs =
+        List.filter_map
+          (fun part ->
+            match String.index_opt part '=' with
+            | Some i ->
+                Some
+                  ( String.sub part 0 i,
+                    String.sub part (i + 1) (String.length part - i - 1) )
+            | None -> None)
+          (String.split_on_char ',' spec)
+      in
+      let seed = Option.bind (List.assoc_opt "seed" kvs) int_of_string_opt in
+      let rate = Option.bind (List.assoc_opt "rate" kvs) float_of_string_opt in
+      let points =
+        Option.map
+          (fun s -> List.filter (fun p -> p <> "") (String.split_on_char ';' s))
+          (List.assoc_opt "points" kvs)
+      in
+      match (seed, rate) with
+      | Some seed, Some rate -> arm ?points ~seed ~rate ()
+      | _ -> ())

@@ -31,6 +31,11 @@ let rec mkdir_p dir =
   end
 
 let write_file path content =
+  (* chaos: bundle writes share the same graceful-degradation contract as
+     the rest of the layer — an injected I/O fault here must surface as
+     [Error], never crash the failure path that is dumping the bundle *)
+  if Fault.fire "repro.write_fail" then
+    raise (Sys_error (path ^ ": injected reproducer I/O fault"));
   let oc = open_out path in
   Fun.protect
     ~finally:(fun () -> close_out oc)

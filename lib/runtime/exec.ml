@@ -34,6 +34,7 @@ module Jit = Spnc_cpu.Jit
 module Vm = Spnc_cpu.Vm
 module Obs_trace = Spnc_obs.Trace
 module Obs_metrics = Spnc_obs.Metrics
+module Fault = Spnc_resilience.Fault
 
 (* Registered once at module init; the hot paths below only touch the
    atomics inside these handles. *)
@@ -42,6 +43,14 @@ let m_rows = Obs_metrics.counter "runtime.exec.rows"
 let m_chunks = Obs_metrics.counter "runtime.exec.chunks"
 let m_ctx_created = Obs_metrics.counter "runtime.exec.ctx_created"
 let m_call_seconds = Obs_metrics.histogram "runtime.exec.call_seconds"
+let m_retries = Obs_metrics.counter "runtime.exec.retries"
+let m_deadline_exceeded = Obs_metrics.counter "runtime.exec.deadline_exceeded"
+
+(* how close successful deadline-bearing calls come to their budget:
+   p01 of this histogram trending toward 0 means deadlines are set too
+   tight for the workload *)
+let m_deadline_margin =
+  Obs_metrics.histogram "runtime.exec.deadline_margin_seconds"
 
 (* Per-worker execution context, allocated once per worker slot and
    reused across every chunk of every [execute] call. *)
@@ -130,16 +139,36 @@ type chunk_error = {
   chunk_hi : int;  (** one past the last sample index *)
   message : string;  (** text of the captured exception *)
   backtrace : string;  (** backtrace captured inside the worker *)
+  transient : bool;  (** retryable ({!Spnc_resilience.Fault.Transient}) *)
 }
 
 exception Chunk_error of chunk_error
+
+type deadline_info = {
+  deadline : float;  (** the absolute deadline, epoch seconds *)
+  now : float;  (** when the overrun was detected *)
+}
+
+exception Deadline_exceeded of deadline_info
+
+(* Capped exponential backoff before retrying a transient failure:
+   1 ms, 2 ms, 4 ms, ... capped at 50 ms.  The cap keeps worst-case
+   added latency bounded even with a generous retry budget. *)
+let backoff_seconds attempt =
+  Float.min 0.05 (0.001 *. Float.pow 2.0 (float_of_int (max 0 (attempt - 1))))
 
 let () =
   Printexc.register_printer (function
     | Chunk_error e ->
         Some
-          (Printf.sprintf "Exec.Chunk_error(samples [%d,%d): %s)" e.chunk_lo
-             e.chunk_hi e.message)
+          (Printf.sprintf "Exec.Chunk_error(samples [%d,%d)%s: %s)" e.chunk_lo
+             e.chunk_hi
+             (if e.transient then ", transient" else "")
+             e.message)
+    | Deadline_exceeded d ->
+        Some
+          (Printf.sprintf "Exec.Deadline_exceeded(over by %.3fs)"
+             (d.now -. d.deadline))
     | _ -> None)
 
 let make_ctx (t : t) : ctx =
@@ -195,7 +224,8 @@ let run_chunk (t : t) (ctx : ctx) ~(flat : float array) ~(out : float array)
     Array.blit ctx.scratch 0 out lo rows
   end
 
-let execute (t : t) ~(flat : float array) ~rows ~num_features : float array =
+let execute ?deadline ?(retries = 0) (t : t) ~(flat : float array) ~rows
+    ~num_features : float array =
   if rows < 0 then
     invalid_arg (Printf.sprintf "Exec.execute: negative rows (%d)" rows);
   if num_features <= 0 then
@@ -224,8 +254,13 @@ let execute (t : t) ~(flat : float array) ~rows ~num_features : float array =
           Array.init n_chunks (fun i ->
               (i * chunk, min rows ((i + 1) * chunk)))
         in
-        (* first captured failure wins; set exactly once *)
+        (* first captured failure wins; set exactly once per round *)
         let failure : chunk_error option Atomic.t = Atomic.make None in
+        let over () =
+          match deadline with
+          | None -> false
+          | Some d -> Unix.gettimeofday () > d
+        in
         let record lo hi e bt =
           let err =
             {
@@ -233,12 +268,20 @@ let execute (t : t) ~(flat : float array) ~rows ~num_features : float array =
               chunk_hi = hi;
               message = Printexc.to_string e;
               backtrace = Printexc.raw_backtrace_to_string bt;
+              transient = Fault.is_transient e;
             }
           in
           ignore (Atomic.compare_and_set failure None (Some err))
         in
         let process_plain ctx (lo, hi) =
-          match run_chunk t ctx ~flat ~out ~num_features ~lo ~hi with
+          match
+            (* chaos: a stalled chunk exercises deadline cancellation, a
+               failed chunk exercises the capture/retry path — both through
+               the exact barrier real kernel traps take *)
+            Fault.maybe_stall "pool.chunk_stall" ~seconds:0.002;
+            Fault.maybe_transient "pool.chunk_fail";
+            run_chunk t ctx ~flat ~out ~num_features ~lo ~hi
+          with
           | () -> ()
           | exception ((Stack_overflow | Out_of_memory) as e) ->
               (* even fatal resource exhaustion must not escape a worker
@@ -262,42 +305,84 @@ let execute (t : t) ~(flat : float array) ~rows ~num_features : float array =
           | None ->
               let ctx = get_ctx t 0 in
               Array.iter
-                (fun c -> if Atomic.get failure = None then process ctx c)
+                (fun c ->
+                  if Atomic.get failure = None && not (over ()) then
+                    process ctx c)
                 chunks
           | Some _ when n_chunks <= 1 ->
               (* one chunk: skip the round protocol entirely *)
               process (get_ctx t 0) chunks.(0)
           | Some pool ->
+              (* the stop poll is how in-flight rounds observe both a
+                 captured failure and an expired deadline: workers check
+                 it before every chunk, so cancellation latency is one
+                 chunk, not one round *)
               Pool.run pool ~sched:t.sched ~workers:t.threads
-                ~stop:(fun () -> Atomic.get failure <> None)
+                ~stop:(fun () -> Atomic.get failure <> None || over ())
                 ~num_tasks:n_chunks
                 (fun ~worker i -> process (get_ctx t worker) chunks.(i))
         in
         (* the per-call span doubles as the latency-histogram clock *)
-        let (), call_seconds =
-          Obs_trace.timed ~cat:"exec" "execute"
-            ~args:(fun () ->
-              Obs_trace.
-                [
-                  ("rows", I rows);
-                  ("chunk", I chunk);
-                  ("chunks", I n_chunks);
-                  ("threads", I t.threads);
-                ])
-            run_round
+        let timed_round () =
+          let (), call_seconds =
+            Obs_trace.timed ~cat:"exec" "execute"
+              ~args:(fun () ->
+                Obs_trace.
+                  [
+                    ("rows", I rows);
+                    ("chunk", I chunk);
+                    ("chunks", I n_chunks);
+                    ("threads", I t.threads);
+                  ])
+              run_round
+          in
+          call_seconds
         in
-        Obs_metrics.counter_incr m_calls;
-        Obs_metrics.counter_incr ~by:rows m_rows;
-        Obs_metrics.counter_incr ~by:n_chunks m_chunks;
-        Obs_metrics.histogram_observe m_call_seconds call_seconds;
-        match Atomic.get failure with
-        | Some err -> raise (Chunk_error err)
-        | None -> out)
+        let total_seconds = ref 0.0 in
+        let attempt = ref 0 in
+        (* transient chunk failures retry the whole round (the output
+           array is rewritten from scratch) under capped exponential
+           backoff; anything else — and any deadline overrun — surfaces
+           immediately.  Partial outputs never escape: the only [out]
+           that returns is from a round that completed cleanly. *)
+        let rec go () =
+          Atomic.set failure None;
+          total_seconds := !total_seconds +. timed_round ();
+          if over () then begin
+            Obs_metrics.counter_incr m_deadline_exceeded;
+            let d = Option.get deadline in
+            raise (Deadline_exceeded { deadline = d; now = Unix.gettimeofday () })
+          end;
+          match Atomic.get failure with
+          | Some err when err.transient && !attempt < max 0 retries ->
+              incr attempt;
+              Obs_metrics.counter_incr m_retries;
+              Unix.sleepf (backoff_seconds !attempt);
+              go ()
+          | Some err -> raise (Chunk_error err)
+          | None -> ()
+        in
+        Fun.protect
+          ~finally:(fun () ->
+            (* call accounting happens whether the call succeeded or
+               raised — failed calls are still load *)
+            Obs_metrics.counter_incr m_calls;
+            Obs_metrics.counter_incr ~by:rows m_rows;
+            Obs_metrics.counter_incr ~by:n_chunks m_chunks;
+            Obs_metrics.histogram_observe m_call_seconds !total_seconds)
+          go;
+        (match deadline with
+        | Some d ->
+            Obs_metrics.histogram_observe m_deadline_margin
+              (d -. Unix.gettimeofday ())
+        | None -> ());
+        out)
   end
 
 (** [execute_rows t rows_2d] — convenience over row-major samples.
     @raise Invalid_argument when the rows are ragged (unequal widths). *)
-let execute_rows (t : t) (rows_2d : float array array) : float array =
+let execute_rows ?deadline ?retries (t : t) (rows_2d : float array array) :
+    float array =
   let rows = Array.length rows_2d in
   if rows = 0 then [||]
   else begin
@@ -314,5 +399,5 @@ let execute_rows (t : t) (rows_2d : float array array) : float array =
                i (Array.length row) num_features))
       rows_2d;
     let flat = Array.concat (Array.to_list rows_2d) in
-    execute t ~flat ~rows ~num_features
+    execute ?deadline ?retries t ~flat ~rows ~num_features
   end

@@ -81,19 +81,53 @@ type chunk_error = {
   chunk_hi : int;  (** one past the last sample index *)
   message : string;  (** text of the captured exception *)
   backtrace : string;  (** backtrace captured inside the worker *)
+  transient : bool;
+      (** the failure was a {!Spnc_resilience.Fault.Transient} — a retry
+          may succeed; [execute ~retries] retries exactly these *)
 }
 
 (** The single failure surfaced when a kernel fails inside a chunk. *)
 exception Chunk_error of chunk_error
 
-(** [execute t ~flat ~rows ~num_features] evaluates all samples (row-major
-    flat input); one result per sample.  Calls on one [t] are serialized
-    (per-worker contexts are reused across calls).
+type deadline_info = {
+  deadline : float;  (** the absolute deadline, epoch seconds *)
+  now : float;  (** when the overrun was detected *)
+}
+
+(** Structured timeout: the call's wall-clock budget expired.  In-flight
+    parallel rounds observe the deadline through the pool's stop poll
+    (cancellation latency is one chunk); partial outputs are discarded. *)
+exception Deadline_exceeded of deadline_info
+
+val backoff_seconds : int -> float
+(** Backoff before retry [attempt] (1-based): capped exponential,
+    [min 50ms (1ms * 2^(attempt-1))].  Pure; exposed for tests. *)
+
+(** [execute ?deadline ?retries t ~flat ~rows ~num_features] evaluates
+    all samples (row-major flat input); one result per sample.  Calls on
+    one [t] are serialized (per-worker contexts are reused across calls).
+
+    [deadline] is an {e absolute} wall-clock instant (epoch seconds, as
+    from [Unix.gettimeofday]); when it expires the round is cancelled
+    and {!Deadline_exceeded} raised — the successful-call margin to the
+    deadline is recorded in the [runtime.exec.deadline_margin_seconds]
+    histogram.  [retries] (default 0) re-runs the round under capped
+    exponential backoff ({!backoff_seconds}) when the captured failure
+    is {e transient}; retries never extend past the deadline.
     @raise Invalid_argument on malformed dimensions or a size mismatch.
     @raise Chunk_error when the kernel fails inside a chunk; the round is
-    drained first. *)
-val execute : t -> flat:float array -> rows:int -> num_features:int -> float array
+    drained first.
+    @raise Deadline_exceeded when the budget expires. *)
+val execute :
+  ?deadline:float ->
+  ?retries:int ->
+  t ->
+  flat:float array ->
+  rows:int ->
+  num_features:int ->
+  float array
 
 (** [execute_rows t rows] — convenience over row-major samples.
     @raise Invalid_argument when the rows are ragged (unequal widths). *)
-val execute_rows : t -> float array array -> float array
+val execute_rows :
+  ?deadline:float -> ?retries:int -> t -> float array array -> float array

@@ -26,10 +26,22 @@
     deque is empty is waited for, never abandoned.  Tasks are integers;
     all task state lives in the caller's closure.
 
+    Straggler isolation: deques are stamped with the round they were
+    filled for and task claims check the stamp, so a worker that was
+    signalled for round R but descheduled until after R completed (and
+    R+1 was installed) claims nothing from R+1's deques under its stale
+    worker id — it re-reads the round under the lock and joins R+1
+    properly (or sits it out if R+1 uses fewer workers).  Without the
+    stamp such a straggler could steal an R+1 task whose job closure
+    rejects the stale worker id, and the swallowed raise would count
+    the task complete without computing it.
+
     The job callback must not raise: {!Exec} runs every chunk under its
     own exception barrier and records failures on the side.  A raise
     that slips through is swallowed (the task still counts as complete)
     so a buggy kernel can never wedge or kill a pool domain. *)
+
+module Fault = Spnc_resilience.Fault
 
 type sched = Static | Stealing
 
@@ -47,6 +59,7 @@ let sched_of_string = function
    structure would buy nothing here. *)
 type deque = {
   dq_lock : Mutex.t;
+  mutable dq_round : int;  (** round this buffer was filled for *)
   mutable buf : int array;
   mutable top : int;  (** next index a thief would take *)
   mutable bot : int;  (** one past the last index the owner would take *)
@@ -105,10 +118,21 @@ let busy_gauge w =
 let size t = t.size
 let steal_count t = Atomic.get t.steals
 
-let take_own (d : deque) : int option =
+(* Task claims are round-guarded: a worker that was signalled for round
+   [r] but got descheduled before claiming anything can resume after its
+   round already completed and a NEWER round (possibly with a different
+   job, task set and worker count) has been installed in the same
+   deques.  Without the [dq_round] check such a straggler would claim
+   the new round's tasks under its stale worker id — and since the job
+   callback's raises are deliberately swallowed by {!exec_task}, an
+   out-of-range worker id silently counts a task as complete without
+   running it.  With the check the straggler's claims all return [None]
+   and it falls back to [worker_main]'s loop, which re-reads the round
+   under the lock before re-entering. *)
+let take_own (d : deque) ~round : int option =
   Mutex.lock d.dq_lock;
   let r =
-    if d.bot > d.top then begin
+    if d.dq_round = round && d.bot > d.top then begin
       d.bot <- d.bot - 1;
       Some d.buf.(d.bot)
     end
@@ -117,10 +141,10 @@ let take_own (d : deque) : int option =
   Mutex.unlock d.dq_lock;
   r
 
-let steal_top (d : deque) : int option =
+let steal_top (d : deque) ~round : int option =
   Mutex.lock d.dq_lock;
   let r =
-    if d.top < d.bot then begin
+    if d.dq_round = round && d.top < d.bot then begin
       let i = d.buf.(d.top) in
       d.top <- d.top + 1;
       Some i
@@ -145,13 +169,17 @@ let exec_task t w i =
 (* Drain work for one round: own deque first, then (stealing only) a
    sweep over the other participants.  Deques are never refilled during
    a round, so a sweep that finds everything empty is a sound exit. *)
-let do_round t w =
+let do_round t w ~round =
+  (* chaos: a stall here models a worker descheduled between being
+     signalled for a round and actually claiming work — the straggler
+     scenario the round-stamped deques exist for *)
+  Fault.maybe_stall "pool.round_stall" ~seconds:0.002;
   let t_start = Unix.gettimeofday () in
   let n = t.workers_in_round in
   let own = t.deques.(w) in
   let continue_ = ref true in
   while !continue_ do
-    match take_own own with
+    match take_own own ~round with
     | Some i -> exec_task t w i
     | None ->
         if not t.stealing then continue_ := false
@@ -161,7 +189,7 @@ let do_round t w =
           let tries = ref 0 in
           while (not !found) && !tries < n - 1 do
             (if !v <> w then
-               match steal_top t.deques.(!v) with
+               match steal_top t.deques.(!v) ~round with
                | Some i ->
                    found := true;
                    Atomic.incr t.steals;
@@ -193,7 +221,7 @@ let worker_main t w =
     else begin
       seen := t.round;
       Mutex.unlock t.lock;
-      if w < t.workers_in_round then do_round t w
+      if w < t.workers_in_round then do_round t w ~round:!seen
     end
   done
 
@@ -214,7 +242,13 @@ let create ~size =
       stop = (fun () -> false);
       deques =
         Array.init size (fun _ ->
-            { dq_lock = Mutex.create (); buf = [||]; top = 0; bot = 0 });
+            {
+              dq_lock = Mutex.create ();
+              dq_round = 0;
+              buf = [||];
+              top = 0;
+              bot = 0;
+            });
       remaining = Atomic.make 0;
       steals = Atomic.make 0;
       domains = [];
@@ -255,12 +289,16 @@ let run t ?(sched = Stealing) ?workers ?(stop = fun () -> false) ~num_tasks
         t.stealing <- sched = Stealing;
         t.workers_in_round <- n;
         Atomic.set t.remaining num_tasks;
+        (* only [run] (serialized by [run_lock]) ever writes [t.round],
+           so reading it outside [t.lock] here is race-free *)
+        let round = t.round + 1 in
         (* contiguous block distribution: worker w owns tasks
            [w*num_tasks/n, (w+1)*num_tasks/n) in its own deque; under
            Stealing the blocks are merely the initial assignment *)
         for w = 0 to t.size - 1 do
           let d = t.deques.(w) in
           Mutex.lock d.dq_lock;
+          d.dq_round <- round;
           if w < n then begin
             let lo = w * num_tasks / n and hi = (w + 1) * num_tasks / n in
             let len = hi - lo in
@@ -279,11 +317,11 @@ let run t ?(sched = Stealing) ?workers ?(stop = fun () -> false) ~num_tasks
         done;
         Spnc_obs.Metrics.counter_incr obs_rounds;
         Mutex.lock t.lock;
-        t.round <- t.round + 1;
+        t.round <- round;
         Condition.broadcast t.work_ready;
         Mutex.unlock t.lock;
         (* the calling domain is worker 0 *)
-        do_round t 0;
+        do_round t 0 ~round;
         Mutex.lock t.lock;
         while Atomic.get t.remaining > 0 do
           Condition.wait t.round_done t.lock

@@ -33,7 +33,10 @@ val run :
     have completed.  [worker] is the executing worker slot in
     [0..size-1] (stable per task, usable as an index into per-worker
     state).  [?workers] restricts the round to the first [workers]
-    slots (clamped to [1..size]).  [?stop] is polled before each task
+    slots (clamped to [1..size]): [f] is only ever called with
+    [worker < workers], even when a worker descheduled during an
+    earlier round with more participants wakes up mid-round (task
+    claims are round-stamped, so such a straggler claims nothing).  [?stop] is polled before each task
     body; once it returns [true], remaining tasks are skipped (they
     still count as completed).  [f] should not raise — an escaping
     exception is swallowed, not propagated.  Rounds are serialized, so

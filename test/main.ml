@@ -22,6 +22,7 @@ let () =
       ("optimizer", Test_optimizer.suite);
       ("gpu-model", Test_gpu_model.suite);
       ("resilience", Test_resilience.suite);
+      ("kcache", Test_kcache.suite);
       ("runtime", Test_runtime.suite);
       ("obs", Test_obs.suite);
     ]

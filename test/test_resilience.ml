@@ -411,6 +411,123 @@ let test_reproducer_write () =
         (Astring_contains.contains (Reproducer.read_file b "README.txt") "spnc_opt"));
   ignore (Sys.command (Printf.sprintf "rm -rf %s" (Filename.quote dir)))
 
+(* -- Deterministic fault injection (docs/RESILIENCE.md §3) --------------------- *)
+
+let test_fault_decide_deterministic () =
+  (* the decision stream is a pure function of its coordinates *)
+  for occ = 0 to 9 do
+    let a = Fault.decide ~seed:7 ~point:"p.x" ~occurrence:occ in
+    let b = Fault.decide ~seed:7 ~point:"p.x" ~occurrence:occ in
+    check tbool "same coordinates, same draw" true (a = b);
+    check tbool "draw in [0,1)" true (a >= 0.0 && a < 1.0)
+  done;
+  (* distinct coordinates decorrelate *)
+  check tbool "seed changes the stream" true
+    (Fault.decide ~seed:1 ~point:"p.x" ~occurrence:0
+    <> Fault.decide ~seed:2 ~point:"p.x" ~occurrence:0);
+  check tbool "point name changes the stream" true
+    (Fault.decide ~seed:1 ~point:"p.x" ~occurrence:0
+    <> Fault.decide ~seed:1 ~point:"p.y" ~occurrence:0)
+
+let test_fault_replay_identical () =
+  let record () =
+    Fault.reset_for_tests ();
+    Fault.arm ~seed:99 ~rate:0.5 ();
+    let fired = List.init 64 (fun _ -> Fault.fire "replay.point") in
+    Fault.reset_for_tests ();
+    fired
+  in
+  let a = record () and b = record () in
+  check tbool "armed firing sequence replays exactly" true (a = b);
+  check tbool "roughly rate-proportional" true
+    (let n = List.length (List.filter Fun.id a) in
+     n > 10 && n < 54)
+
+let test_fault_point_families () =
+  Fault.reset_for_tests ();
+  Fault.arm ~points:[ "kcache." ] ~seed:5 ~rate:1.0 ();
+  Fun.protect ~finally:Fault.reset_for_tests (fun () ->
+      check tbool "family member fires" true (Fault.fire "kcache.read_bitflip");
+      check tbool "other families stay quiet" false (Fault.fire "pool.chunk_fail");
+      check tint "suppressed point never counted as fired" 0
+        (Fault.fired_count "pool.chunk_fail"))
+
+let test_fault_arm_from_env () =
+  Fun.protect
+    ~finally:(fun () ->
+      Unix.putenv "SPNC_CHAOS" "";
+      Fault.reset_for_tests ())
+    (fun () ->
+      Unix.putenv "SPNC_CHAOS" "seed=5,rate=0.25,points=kcache.;jit.build_fail";
+      Fault.arm_from_env ();
+      (match Fault.armed () with
+      | Some s ->
+          check tint "seed parsed" 5 s.Fault.seed;
+          check tbool "rate parsed" true (s.Fault.rate = 0.25);
+          check
+            (Alcotest.option (Alcotest.list tstr))
+            "points parsed"
+            (Some [ "kcache."; "jit.build_fail" ])
+            s.Fault.points
+      | None -> Alcotest.fail "well-formed SPNC_CHAOS must arm");
+      (* malformed values must never crash the host process *)
+      Fault.disarm ();
+      Unix.putenv "SPNC_CHAOS" "rate=banana";
+      Fault.arm_from_env ();
+      check tbool "malformed env leaves the registry disarmed" true
+        (Fault.armed () = None))
+
+let test_reproducer_write_under_injected_fault () =
+  let dir = Filename.temp_file "spnc-test" "" in
+  Sys.remove dir;
+  Fault.reset_for_tests ();
+  Fault.arm ~points:[ "repro.write_fail" ] ~seed:8 ~rate:1.0 ();
+  Fun.protect
+    ~finally:(fun () ->
+      Fault.reset_for_tests ();
+      ignore (Sys.command (Printf.sprintf "rm -rf %s" (Filename.quote dir))))
+    (fun () ->
+      (match
+         Reproducer.write ~dir ~ir:"module @m {\n}\n" ~pipeline:"verify"
+           ~options:"none" ~diag:"d" ()
+       with
+      | Error _ -> () (* a structured error, not an exception *)
+      | Ok _ -> Alcotest.fail "injected write fault must fail the bundle");
+      Fault.disarm ();
+      (* and the same write succeeds once the fault clears *)
+      match
+        Reproducer.write ~dir ~ir:"module @m {\n}\n" ~pipeline:"verify"
+          ~options:"none" ~diag:"d" ()
+      with
+      | Ok b ->
+          check tstr "bundle usable after recovery" "module @m {\n}\n"
+            (Reproducer.read_file b "ir.mlir")
+      | Error e -> Alcotest.failf "clean retry failed: %s" e)
+
+(* The jit cell must stay retryable after an injected build failure —
+   the Lazy.t it replaced would poison permanently. *)
+let test_force_jit_retryable () =
+  Compiler.reset_kernel_cache ();
+  let options = { Options.default with Options.engine = Spnc_cpu.Jit.Jit } in
+  let c = Compiler.compile ~options (small_model ()) in
+  Fault.reset_for_tests ();
+  Fault.arm ~points:[ "jit.build_fail" ] ~seed:2 ~rate:1.0 ();
+  Fun.protect ~finally:Fault.reset_for_tests (fun () ->
+      (match Compiler.execute c small_rows with
+      | exception Fault.Transient _ -> ()
+      | _ -> Alcotest.fail "expected the injected JIT build failure");
+      Fault.disarm ();
+      (* same compiled value, same cell: the retry must succeed *)
+      let out = Compiler.execute c small_rows in
+      let expected =
+        Spnc_spn.Infer.log_likelihood_batch (small_model ()) small_rows
+      in
+      Array.iteri
+        (fun i e ->
+          if Float.abs (out.(i) -. e) > 1e-9 then
+            Alcotest.failf "row %d: expected %.12g got %.12g" i e out.(i))
+        expected)
+
 let suite =
   [
     Alcotest.test_case "diag: fail raises structured error" `Quick test_diag_fail;
@@ -449,4 +566,16 @@ let suite =
     Alcotest.test_case "fuzz: generated models are valid" `Quick
       test_fuzz_generates_valid_models;
     Alcotest.test_case "reproducer: bundle layout" `Quick test_reproducer_write;
+    Alcotest.test_case "fault: decision stream deterministic" `Quick
+      test_fault_decide_deterministic;
+    Alcotest.test_case "fault: armed schedule replays exactly" `Quick
+      test_fault_replay_identical;
+    Alcotest.test_case "fault: point families prefix-match" `Quick
+      test_fault_point_families;
+    Alcotest.test_case "fault: SPNC_CHAOS env arming" `Quick
+      test_fault_arm_from_env;
+    Alcotest.test_case "reproducer: structured error under injected I/O fault"
+      `Quick test_reproducer_write_under_injected_fault;
+    Alcotest.test_case "jit cell: retryable after injected build failure"
+      `Quick test_force_jit_retryable;
   ]

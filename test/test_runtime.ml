@@ -698,6 +698,169 @@ let test_streamed_ledger_accounting () =
       check tbool "pipelining beats the monolithic schedule" true
         (Sim.total_seconds s4 < Sim.total_seconds mono)
 
+(* -- Deadlines, cancellation and retry (docs/RESILIENCE.md §2) ----------------- *)
+
+module Fault = Spnc_resilience.Fault
+
+let test_backoff_schedule () =
+  let feq a b = Float.abs (a -. b) < 1e-12 in
+  check tbool "attempt 1 = 1ms" true (feq (Exec.backoff_seconds 1) 0.001);
+  check tbool "attempt 2 = 2ms" true (feq (Exec.backoff_seconds 2) 0.002);
+  check tbool "attempt 3 = 4ms" true (feq (Exec.backoff_seconds 3) 0.004);
+  check tbool "cap at 50ms" true (feq (Exec.backoff_seconds 10) 0.05);
+  check tbool "monotone non-decreasing" true
+    (Exec.backoff_seconds 1 <= Exec.backoff_seconds 2
+    && Exec.backoff_seconds 9 <= Exec.backoff_seconds 10)
+
+let test_deadline_already_past () =
+  let data = rows_2feat 16 in
+  let flat = Array.concat (Array.to_list data) in
+  let t = Exec.load ~batch_size:4 ~out_cols:1 kernel_2feat in
+  let deadline = Unix.gettimeofday () -. 1.0 in
+  (match Exec.execute t ~deadline ~flat ~rows:16 ~num_features:2 with
+  | exception Exec.Deadline_exceeded d ->
+      check tbool "deadline echoed" true (d.Exec.deadline = deadline);
+      check tbool "now is past the deadline" true (d.Exec.now >= d.Exec.deadline)
+  | _ -> Alcotest.fail "expected Deadline_exceeded");
+  Exec.shutdown t
+
+let test_generous_deadline_is_transparent () =
+  let data = rows_2feat 32 in
+  let flat = Array.concat (Array.to_list data) in
+  let t = Exec.load ~batch_size:4 ~threads:2 ~out_cols:1 kernel_2feat in
+  let clean = Exec.execute t ~flat ~rows:32 ~num_features:2 in
+  let deadline = Unix.gettimeofday () +. 60.0 in
+  let timed = Exec.execute t ~deadline ~flat ~rows:32 ~num_features:2 in
+  check_bits "deadline does not perturb outputs" clean timed;
+  Exec.shutdown t
+
+(* An injected per-chunk stall makes in-flight work observe the deadline:
+   the call must come back with the structured error instead of running
+   every remaining chunk to completion. *)
+let test_deadline_cancels_inflight_chunks () =
+  Fault.reset_for_tests ();
+  Fault.arm ~points:[ "pool.chunk_stall" ] ~seed:1 ~rate:1.0 ();
+  Fun.protect ~finally:Fault.reset_for_tests (fun () ->
+      let rows = 512 in
+      let data = rows_2feat rows in
+      let flat = Array.concat (Array.to_list data) in
+      let t = Exec.load ~batch_size:1 ~threads:2 ~out_cols:1 kernel_2feat in
+      let t0 = Unix.gettimeofday () in
+      let deadline = t0 +. 0.02 in
+      (match Exec.execute t ~deadline ~flat ~rows ~num_features:2 with
+      | exception Exec.Deadline_exceeded _ ->
+          (* 512 chunks x 2ms stall = >1s if cancellation were ignored *)
+          check tbool "cancelled promptly, not run to completion" true
+            (Unix.gettimeofday () -. t0 < 0.5)
+      | _ -> Alcotest.fail "expected Deadline_exceeded under stall");
+      Exec.shutdown t)
+
+(* Deterministically find a seed whose decision stream fails the single
+   chunk of attempt 0 and passes it on the retry. *)
+let retry_seed ~rate =
+  let rec go s =
+    if s > 10_000 then Alcotest.fail "no suitable retry seed found"
+    else if
+      Fault.decide ~seed:s ~point:"pool.chunk_fail" ~occurrence:0 < rate
+      && Fault.decide ~seed:s ~point:"pool.chunk_fail" ~occurrence:1 >= rate
+    then s
+    else go (s + 1)
+  in
+  go 0
+
+let test_transient_failure_retried () =
+  let rate = 0.5 in
+  let seed = retry_seed ~rate in
+  let data = rows_2feat 4 in
+  let flat = Array.concat (Array.to_list data) in
+  let t = Exec.load ~batch_size:4 ~out_cols:1 kernel_2feat in
+  let clean = Exec.execute t ~flat ~rows:4 ~num_features:2 in
+  Fault.reset_for_tests ();
+  Fault.arm ~points:[ "pool.chunk_fail" ] ~seed ~rate ();
+  Fun.protect ~finally:Fault.reset_for_tests (fun () ->
+      (* one chunk: attempt 0 draws occurrence 0 (fails), the retry draws
+         occurrence 1 (passes) *)
+      let out = Exec.execute t ~retries:2 ~flat ~rows:4 ~num_features:2 in
+      check_bits "retried run bit-identical" clean out;
+      check tint "exactly one injected failure" 1
+        (Fault.fired_count "pool.chunk_fail"));
+  Exec.shutdown t
+
+let test_no_retries_surfaces_transient_chunk_error () =
+  let data = rows_2feat 4 in
+  let flat = Array.concat (Array.to_list data) in
+  let t = Exec.load ~batch_size:4 ~out_cols:1 kernel_2feat in
+  Fault.reset_for_tests ();
+  Fault.arm ~points:[ "pool.chunk_fail" ] ~seed:3 ~rate:1.0 ();
+  Fun.protect ~finally:Fault.reset_for_tests (fun () ->
+      match Exec.execute t ~retries:0 ~flat ~rows:4 ~num_features:2 with
+      | exception Exec.Chunk_error e ->
+          check tbool "failure marked transient" true e.Exec.transient
+      | _ -> Alcotest.fail "expected Chunk_error with retries=0");
+  Exec.shutdown t
+
+(* A permanent (non-transient) failure must not burn the retry budget. *)
+let test_permanent_failure_not_retried () =
+  let t = Exec.load ~batch_size:2 ~out_cols:1 kernel_2feat in
+  (* 1-feature rows on a 2-feature kernel: deterministic out-of-bounds *)
+  match Exec.execute t ~retries:5 ~flat:(Array.make 8 0.5) ~rows:8 ~num_features:1 with
+  | exception Exec.Chunk_error e ->
+      check tbool "permanent failure not marked transient" false e.Exec.transient;
+      Exec.shutdown t
+  | _ -> Alcotest.fail "expected Chunk_error"
+
+(* Straggler-round isolation (the race behind sporadic cold-machine
+   bit-identity failures in spnc_fuzz): two kernels with DIFFERENT
+   thread counts share one pool; [pool.round_stall] deschedules random
+   workers between the round signal and their first task claim, so a
+   stalled worker from a 4-worker round routinely wakes up inside the
+   next 2-worker round.  Pre-fix it would steal that round's tasks
+   under its stale (out-of-range) worker id, the swallowed raise
+   counted them complete, and rows came back unwritten.  Post-fix the
+   round-stamped deques refuse the stale claims, so every interleaving
+   must stay bit-identical. *)
+let test_straggler_round_isolation () =
+  let rows = 64 in
+  let data = rows_2feat rows in
+  let flat = Array.concat (Array.to_list data) in
+  let expect = expected_2feat data in
+  let pool = Pool.create ~size:4 in
+  let wide = Exec.load ~batch_size:1 ~threads:4 ~pool ~out_cols:1 kernel_2feat in
+  let narrow =
+    Exec.load ~batch_size:1 ~threads:2 ~pool ~out_cols:1 kernel_2feat
+  in
+  Fault.reset_for_tests ();
+  Fault.arm ~points:[ "pool.round_stall" ] ~seed:11 ~rate:0.4 ();
+  Fun.protect
+    ~finally:(fun () ->
+      Fault.reset_for_tests ();
+      Pool.shutdown pool)
+    (fun () ->
+      for i = 1 to 40 do
+        let t = if i land 1 = 0 then wide else narrow in
+        let got = Exec.execute t ~flat ~rows ~num_features:2 in
+        check_bits
+          (Printf.sprintf "straggler round %d (threads=%d)" i (Exec.threads t))
+          expect got
+      done;
+      check tbool "stall point exercised" true
+        (Fault.fired_count "pool.round_stall" > 0))
+
+let test_driver_deadline_option () =
+  Compiler.reset_kernel_cache ();
+  let m = Lazy.force small_model in
+  let rows = Array.init 8 (fun i -> [| float_of_int i; 0.5 |]) in
+  (* a microscopic budget must fail structurally through the driver *)
+  let tight = { Options.default with Options.deadline_ms = Some 1e-6 } in
+  (match Compiler.execute (Compiler.compile ~options:tight m) rows with
+  | exception Exec.Deadline_exceeded _ -> ()
+  | _ -> Alcotest.fail "expected Deadline_exceeded through the driver");
+  (* a generous budget is output-transparent *)
+  let clean = Compiler.execute (Compiler.compile m) rows in
+  let lax = { Options.default with Options.deadline_ms = Some 60_000.0 } in
+  let timed = Compiler.execute (Compiler.compile ~options:lax m) rows in
+  check_bits "driver deadline transparent" clean timed
+
 let suite =
   [
     Alcotest.test_case "chunking grid bit-identical" `Quick test_chunking_grid;
@@ -728,4 +891,20 @@ let suite =
     Alcotest.test_case "pipeline overlap bounds" `Quick test_pipeline_overlap_bounds;
     Alcotest.test_case "streamed ledger accounting" `Quick
       test_streamed_ledger_accounting;
+    Alcotest.test_case "backoff schedule capped exponential" `Quick
+      test_backoff_schedule;
+    Alcotest.test_case "deadline already past" `Quick test_deadline_already_past;
+    Alcotest.test_case "generous deadline transparent" `Quick
+      test_generous_deadline_is_transparent;
+    Alcotest.test_case "deadline cancels in-flight chunks" `Quick
+      test_deadline_cancels_inflight_chunks;
+    Alcotest.test_case "transient failure retried" `Quick
+      test_transient_failure_retried;
+    Alcotest.test_case "retries=0 surfaces transient chunk error" `Quick
+      test_no_retries_surfaces_transient_chunk_error;
+    Alcotest.test_case "permanent failure not retried" `Quick
+      test_permanent_failure_not_retried;
+    Alcotest.test_case "straggler round isolation" `Quick
+      test_straggler_round_isolation;
+    Alcotest.test_case "driver deadline option" `Quick test_driver_deadline_option;
   ]
