@@ -46,6 +46,8 @@ let sustained_calls = ref 120
 let sustained_rows = ref 256
 let sustained_threads = ref 4
 let min_sustained_speedup = ref 0.0
+let dse_budget = ref 4
+let dse_out = ref "DSE_cpu.json"
 
 let spec =
   [
@@ -87,6 +89,12 @@ let spec =
     ( "--min-sustained-speedup",
       Arg.Set_float min_sustained_speedup,
       "X Fail if pool throughput is below X times spawn-per-call (default 0 = no gate)" );
+    ( "--dse-budget",
+      Arg.Set_int dse_budget,
+      "N Wall-clock validation budget for the auto-tuner section (default 4)" );
+    ( "--dse-out",
+      Arg.Set_string dse_out,
+      "FILE Full DSE report artifact path (default DSE_cpu.json)" );
   ]
 
 let time_best f =
@@ -232,6 +240,91 @@ let bench_sustained ~model ~data : sustained_result * sustained_result =
   in
   (pool, spawn)
 
+(* -- Fig. 6: vectorization design space + auto-tuner -------------------------- *)
+
+(* The paper's central CPU experiment, closed-loop: first the four Fig. 6
+   points measured explicitly (the figure's shape is gated on the
+   deterministic modelled times — vectorizing WITHOUT a vector library is
+   a slowdown over scalar; the veclib is the big win; shuffled loads add
+   a small extra win on AVX2), then the auto-tuner searching the same
+   lattice automatically, with every measured candidate bit-checked
+   against the scalar reference. *)
+
+module Tune = Spnc_tune.Tune
+
+type fig6_cfg = {
+  f6_name : string;
+  f6_est : float;  (** modelled seconds at the paper's sample count *)
+  f6_wall : float;
+  f6_identical : bool;
+}
+
+let bits_equal (a : float array) (b : float array) =
+  Array.length a = Array.length b
+  &&
+  let ok = ref true in
+  Array.iteri
+    (fun i x ->
+      if Int64.bits_of_float x <> Int64.bits_of_float b.(i) then ok := false)
+    a;
+  !ok
+
+let bench_fig6 ~model ~data : fig6_cfg list * Tune.result =
+  let est_rows = W.clean_rows_paper in
+  let configs =
+    [
+      ("novec", W.cpu_novec ());
+      ("vec", W.cpu_avx2 ~veclib:false ~shuffle:false ());
+      ("vec+veclib", W.cpu_avx2 ~shuffle:false ());
+      ("vec+veclib+shuffle", W.cpu_avx2 ());
+    ]
+  in
+  let ref_out = ref [||] in
+  let points =
+    List.map
+      (fun (f6_name, o) ->
+        let options = { (with_cache_flags o) with Options.threads = !threads } in
+        let c = Compiler.compile ~options model in
+        let out = Compiler.execute c data in
+        if f6_name = "novec" then ref_out := out;
+        let f6_wall = time_best (fun () -> ignore (Compiler.execute c data)) in
+        let r =
+          {
+            f6_name;
+            f6_est = Compiler.estimate_seconds c ~rows:est_rows;
+            f6_wall;
+            f6_identical = bits_equal out !ref_out;
+          }
+        in
+        Fmt.pr "fig6 %-20s est %.6fs  wall %.4fs  bit-identical %b@." r.f6_name
+          r.f6_est r.f6_wall r.f6_identical;
+        r)
+      configs
+  in
+  (* auto-tuner, seeded from the repo's fixed best-CPU config: the tuned
+     result must be no slower (modelled) than what we hard-code today *)
+  let base = { (with_cache_flags (W.cpu_avx2 ())) with Options.threads = !threads } in
+  let tune_rows = min 500 (Array.length data) in
+  let r =
+    Tune.tune
+      ~budget:{ Tune.measure = max 1 !dse_budget; reps = !reps }
+      ~est_rows ~options:base
+      ~data:(Array.sub data 0 tune_rows)
+      model
+  in
+  Fmt.pr "--- auto-tune (budget %d) ---@.%a" !dse_budget Tune.pp_result r;
+  (points, r)
+
+let fig6_order_ok (points : fig6_cfg list) =
+  let est name =
+    match List.find_opt (fun p -> p.f6_name = name) points with
+    | Some p -> p.f6_est
+    | None -> nan
+  in
+  est "vec" > est "novec"
+  && est "novec" > est "vec+veclib"
+  && est "vec+veclib" >= est "vec+veclib+shuffle"
+
 (* -- Cold start: persistent disk tier vs full compile ------------------------- *)
 
 (* The serving-restart scenario (docs/RESILIENCE.md §1): a process comes
@@ -305,6 +398,13 @@ let () =
   Fmt.pr "headline (best-CPU config) jit speedup: %.2fx@." speedup;
   Fmt.pr "kernel cache: %d hit(s), %d miss(es), %d full compile(s), %d disk hit(s)@."
     k.Compiler.hits k.Compiler.misses k.Compiler.full_compiles k.Compiler.disk_hits;
+  (* Fig. 6 design space + auto-tuner (after the counters are captured,
+     so its ~dozens of compiles do not shift the cache section) *)
+  let fig6_points, tune_r = bench_fig6 ~model:models.(0) ~data in
+  let order_ok = fig6_order_ok fig6_points in
+  let fig6_identical = List.for_all (fun p -> p.f6_identical) fig6_points in
+  Fmt.pr "fig6 ordering (vec > novec > vec+veclib >= vec+veclib+shuffle): %s@."
+    (if order_ok then "OK" else "VIOLATED");
   (* cold start: full pipeline vs warm disk tier (resets the memory
      cache, so runs after the main counters are captured) *)
   let cold = bench_cold_start ~models in
@@ -315,6 +415,53 @@ let () =
     (cold.full_compile_s /. cold.disk_hit_s)
     cold.cold_disk_hits;
   let oc = open_out !out_path in
+  let fig6_json =
+    let pts =
+      String.concat ",\n      "
+        (List.map
+           (fun p ->
+             Printf.sprintf
+               "{ \"name\": \"%s\", \"est_seconds\": %.6f, \"wall_seconds\": \
+                %.6f, \"bit_identical\": %b }"
+               p.f6_name p.f6_est p.f6_wall p.f6_identical)
+           fig6_points)
+    in
+    let measured =
+      List.filter (fun c -> c.Tune.wall_seconds <> None) tune_r.Tune.candidates
+    in
+    let all_measured_identical =
+      measured <> []
+      && List.for_all (fun c -> c.Tune.identical = Some true) measured
+    in
+    let best = tune_r.Tune.best and reference = tune_r.Tune.reference in
+    Printf.sprintf
+      "{\n\
+      \    \"configs\": [\n\
+      \      %s\n\
+      \    ],\n\
+      \    \"order_ok\": %b,\n\
+      \    \"bit_identical\": %b,\n\
+      \    \"autotune\": {\n\
+      \      \"budget\": %d,\n\
+      \      \"space_size\": %d,\n\
+      \      \"searched\": %d,\n\
+      \      \"best\": \"%s\",\n\
+      \      \"best_est_seconds\": %.6f,\n\
+      \      \"default_est_seconds\": %.6f,\n\
+      \      \"best_no_slower_than_default\": %b,\n\
+      \      \"all_measured_bit_identical\": %b,\n\
+      \      \"spearman\": %s\n\
+      \    }\n\
+      \  }"
+      pts order_ok fig6_identical tune_r.Tune.budget.Tune.measure
+      tune_r.Tune.space_size tune_r.Tune.searched best.Tune.label
+      best.Tune.est_seconds reference.Tune.est_seconds
+      (best.Tune.est_seconds <= reference.Tune.est_seconds)
+      all_measured_identical
+      (match Tune.spearman tune_r with
+      | None -> "null"
+      | Some v -> Printf.sprintf "%.4f" v)
+  in
   let config_json r =
     Printf.sprintf
       "{ \"vm_seconds\": %.6f, \"jit_seconds\": %.6f, \"jit_speedup\": %.4f, \
@@ -338,6 +485,7 @@ let () =
     \  \"best_cpu\": %s,\n\
     \  \"jit_speedup\": %.4f,\n\
     \  \"bit_identical\": %b,\n\
+    \  \"fig6_cpu_dse\": %s,\n\
     \  \"sustained\": {\n\
     \    \"threads\": %d,\n\
     \    \"rows_per_call\": %d,\n\
@@ -357,7 +505,7 @@ let () =
     \  }\n\
      }\n"
     W.scale_name (Array.length models) rows !reps !threads (config_json scalar)
-    (config_json best) speedup identical !sustained_threads !sustained_rows
+    (config_json best) speedup identical fig6_json !sustained_threads !sustained_rows
     !sustained_calls (sustained_json pool) (sustained_json spawn)
     sustained_speedup k.Compiler.hits k.Compiler.misses k.Compiler.full_compiles
     k.Compiler.disk_hits (Array.length models) cold.full_compile_s
@@ -366,6 +514,11 @@ let () =
     cold.cold_disk_hits;
   close_out oc;
   Fmt.pr "wrote %s@." !out_path;
+  let dse_oc = open_out !dse_out in
+  output_string dse_oc
+    (Spnc_obs.Json.to_string_pretty (Tune.result_to_json tune_r));
+  close_out dse_oc;
+  Fmt.pr "wrote %s@." !dse_out;
   (* observability artifacts (docs/OBSERVABILITY.md): tracing, remarks and
      the node profiler stay OFF during every timed section above so they
      cannot perturb the numbers; a dedicated post-timing capture pass —
@@ -403,6 +556,10 @@ let () =
   Fmt.pr "wrote %s, %s, %s and %s@." !trace_path !metrics_path !remarks_path
     !profile_path;
   if not identical then exit 1;
+  if not fig6_identical then begin
+    Fmt.epr "FAIL: a fig6 configuration diverged bitwise from the scalar reference@.";
+    exit 1
+  end;
   if speedup < !min_speedup then begin
     Fmt.epr "FAIL: jit speedup %.2fx below required %.2fx@." speedup !min_speedup;
     exit 1

@@ -159,7 +159,34 @@ let check_cpu fresh baseline =
     ~unit_ms:1e3 fresh baseline;
   check_lower ~name ~key:"cold_start.disk_hit_seconds" ~hard:false ~unit_ms:1e3
     fresh baseline;
-  check_higher ~name ~key:"cold_start.speedup" fresh baseline
+  check_higher ~name ~key:"cold_start.speedup" fresh baseline;
+  (* Fig. 6 DSE + auto-tuner section.  Hard gates are reserved for bit
+     identity (a measured candidate or fig6 point diverging from the
+     scalar reference is a miscompile, never noise); everything else —
+     the paper-shape ordering, the tuner finding a config at least as
+     good as the fixed default, the cost-model/wall rank correlation —
+     is WARN-only, because small-scale modelled gaps and shared-runner
+     wall clocks both wobble *)
+  check_bit ~name ~key:"fig6_cpu_dse.bit_identical" fresh;
+  check_bit ~name ~key:"fig6_cpu_dse.autotune.all_measured_bit_identical" fresh;
+  let warn_bool key =
+    match get_bool fresh key with
+    | Some true -> info "%s %s: true" name key
+    | Some false -> warn "%s: %s is false" name key
+    | None -> warn "%s: missing %s (bench predates the DSE section?)" name key
+  in
+  warn_bool "fig6_cpu_dse.order_ok";
+  warn_bool "fig6_cpu_dse.autotune.best_no_slower_than_default";
+  (match get_num fresh "fig6_cpu_dse.autotune.spearman" with
+  | Some rho when rho < 0.0 ->
+      warn "%s: autotune spearman(est, wall) = %.2f (anti-correlated; \
+            measured set may be too homogeneous for rank stability)"
+        name rho
+  | Some rho -> info "%s fig6_cpu_dse.autotune.spearman: %.2f" name rho
+  | None -> info "%s fig6_cpu_dse.autotune.spearman: n/a (< 3 measurements)" name);
+  check_lower ~name ~key:"fig6_cpu_dse.autotune.best_est_seconds" ~hard:false
+    ~unit_ms:1e3 fresh baseline;
+  check_higher ~name ~key:"fig6_cpu_dse.autotune.space_size" fresh baseline
 
 let check_gpu fresh baseline =
   let name = "gpu" in

@@ -320,6 +320,20 @@ let options_term =
       & opt (enum [ ("ryzen", `Ryzen); ("xeon", `Xeon) ]) `Ryzen
       & info [ "machine" ] ~doc:"CPU model: ryzen (AVX2) or xeon (AVX-512).")
   in
+  let veclib =
+    Arg.(
+      value
+      & opt (some (enum (List.map (fun v -> (Spnc_machine.Machine.veclib_to_string v, v))
+                           [ Spnc_machine.Machine.No_veclib; Spnc_machine.Machine.SVML;
+                             Spnc_machine.Machine.Libmvec ])))
+          None
+      & info [ "veclib" ]
+          ~doc:
+            "Vector math library the machine links: libmvec, svml or none \
+             (default: the machine's own — libmvec on ryzen, svml on xeon).  \
+             Distinct from $(b,--no-veclib), which keeps the library \
+             available but stops the compiler from calling it.")
+  in
   let output_guard =
     Arg.(
       value
@@ -342,15 +356,20 @@ let options_term =
   in
   let build target vectorize no_veclib no_shuffle opt_level partition batch block
       marginal threads sched streams engine no_kernel_cache kernel_cache_dir
-      kernel_cache_mb deadline_ms exec_retries machine output_guard
+      kernel_cache_mb deadline_ms exec_retries machine veclib output_guard
       no_gpu_fallback =
     {
       Spnc.Options.default with
       target;
       machine =
-        (match machine with
-        | `Ryzen -> Spnc_machine.Machine.ryzen_3900xt
-        | `Xeon -> Spnc_machine.Machine.xeon_9242);
+        (let m =
+           match machine with
+           | `Ryzen -> Spnc_machine.Machine.ryzen_3900xt
+           | `Xeon -> Spnc_machine.Machine.xeon_9242
+         in
+         match veclib with
+         | None -> m
+         | Some v -> { m with Spnc_machine.Machine.veclib = v });
       vectorize;
       use_veclib = not no_veclib;
       use_shuffle = not no_shuffle;
@@ -376,7 +395,7 @@ let options_term =
     const build $ target $ vectorize $ no_veclib $ no_shuffle $ opt_level
     $ partition $ batch $ block $ marginal $ threads $ sched $ streams $ engine
     $ no_kernel_cache $ kernel_cache_dir $ kernel_cache_mb $ deadline_ms
-    $ exec_retries $ machine $ output_guard $ no_gpu_fallback)
+    $ exec_retries $ machine $ veclib $ output_guard $ no_gpu_fallback)
 
 (* -- observability flags ----------------------------------------------------------- *)
 
@@ -443,6 +462,55 @@ let with_obs (trace, metrics, remarks) (f : unit -> int) : int =
       finish ();
       raise e
 
+(* -- tuned configurations --------------------------------------------------------- *)
+
+(* A tuned config replaces the compile-relevant knobs only; runtime-only
+   knobs (threads, scheduler, engine, caches, guards, deadlines) keep
+   their command-line values. *)
+let merge_tuned ~tuned (o : Spnc.Options.t) : Spnc.Options.t =
+  let open Spnc.Options in
+  {
+    o with
+    target = tuned.target;
+    machine = tuned.machine;
+    vectorize = tuned.vectorize;
+    use_veclib = tuned.use_veclib;
+    use_shuffle = tuned.use_shuffle;
+    use_gather_tables = tuned.use_gather_tables;
+    opt_level = tuned.opt_level;
+    max_partition_size = tuned.max_partition_size;
+    batch_size = tuned.batch_size;
+    block_size = tuned.block_size;
+    support_marginal = tuned.support_marginal;
+  }
+
+let load_tuned_config path (o : Spnc.Options.t) : Spnc.Options.t =
+  match Spnc_obs.Json.parse_file path with
+  | Error e -> failwith (Printf.sprintf "%s: %s" path e)
+  | Ok j -> (
+      (* accept a bare config object, a tuned-cache entry ("config") or a
+         full DSE report ("best_config") *)
+      let cj =
+        match
+          ( Spnc_obs.Json.member "config" j,
+            Spnc_obs.Json.member "best_config" j )
+        with
+        | Some c, _ -> c
+        | None, Some c -> c
+        | None, None -> j
+      in
+      match Spnc_tune.Tune.config_of_json cj with
+      | Ok tuned -> merge_tuned ~tuned o
+      | Error e -> failwith (Printf.sprintf "%s: %s" path e))
+
+(* Tuned configs live next to the kernel cache (their own subdirectory so
+   the kcache LRU scan never sees them): a tuned model served from this
+   cache recompiles free through the kernel cache as well. *)
+let tuned_cache_dir (o : Spnc.Options.t) =
+  Option.map
+    (fun d -> Filename.concat d "tuned")
+    o.Spnc.Options.kernel_cache_dir
+
 (* -- compile ---------------------------------------------------------------------- *)
 
 let pp_cache_counters () =
@@ -504,16 +572,35 @@ let compile_cmd =
 
 (* -- run ---------------------------------------------------------------------------- *)
 
-let run path options rows seed verify verbose profile obs =
+let run path options rows seed verify verbose profile tuned_config autotune obs =
   guarded @@ fun () ->
   with_obs obs @@ fun () ->
   let options = { options with Spnc.Options.profile = profile <> None } in
+  let options =
+    match tuned_config with
+    | None -> options
+    | Some p -> load_tuned_config p options
+  in
   let model = read_model path in
   let rng = Spnc_data.Rng.create ~seed in
   let data =
     Array.init rows (fun _ ->
         Array.init model.Model.num_features (fun _ ->
             Spnc_data.Rng.range rng (-3.0) 3.0))
+  in
+  let options =
+    match autotune with
+    | None -> options
+    | Some measure ->
+        let module T = Spnc_tune.Tune in
+        let r =
+          T.tune
+            ~budget:{ T.measure; reps = 3 }
+            ?cache_dir:(tuned_cache_dir options) ~options ~data model
+        in
+        Fmt.pr "--- autotune ---@.%a" T.pp_result r;
+        Fmt.pr "autotuned config: %s@." r.T.best.T.label;
+        merge_tuned ~tuned:r.T.best.T.options options
   in
   let c = Spnc.Compiler.compile ~options model in
   let t0 = Unix.gettimeofday () in
@@ -584,16 +671,132 @@ let run_cmd =
              table; with $(docv) the full profile is also written as \
              JSON (docs/OBSERVABILITY.md).")
   in
+  let tuned_config =
+    Arg.(
+      value
+      & opt (some string) None
+      & info [ "tuned-config" ] ~docv:"FILE"
+          ~doc:
+            "Load a tuned configuration JSON (from $(b,spnc tune --out) or \
+             the DSE report) and compile with it; runtime knobs given on \
+             this command line still apply.")
+  in
+  let autotune =
+    Arg.(
+      value
+      & opt ~vopt:(Some 5) (some int) None
+      & info [ "autotune" ] ~docv:"BUDGET"
+          ~doc:
+            "Auto-tune the vectorization configuration before running: \
+             explore the design space, wall-clock-validate the top $(docv) \
+             candidates (default 5) and run with the winner.  With \
+             $(b,--kernel-cache-dir) the tuned config is cached by model \
+             digest, so tuned models recompile free.")
+  in
   Cmd.v (Cmd.info "run" ~doc:"Compile and execute a model on synthetic data.")
     Term.(
       const run $ path $ options_term $ rows $ seed $ verify $ verbose
-      $ profile $ obs_term)
+      $ profile $ tuned_config $ autotune $ obs_term)
+
+(* -- tune --------------------------------------------------------------------------- *)
+
+let tune path options rows seed budget reps no_profile out report obs =
+  guarded @@ fun () ->
+  with_obs obs @@ fun () ->
+  let module T = Spnc_tune.Tune in
+  let model = read_model path in
+  let rng = Spnc_data.Rng.create ~seed in
+  let data =
+    Array.init rows (fun _ ->
+        Array.init model.Model.num_features (fun _ ->
+            Spnc_data.Rng.range rng (-3.0) 3.0))
+  in
+  let r =
+    T.tune
+      ~budget:{ T.measure = budget; reps = max 1 reps }
+      ~use_profile:(not no_profile)
+      ?cache_dir:(tuned_cache_dir options) ~options ~data model
+  in
+  Fmt.pr "%a" T.pp_result r;
+  let write_json path doc =
+    let oc = open_out path in
+    Fun.protect
+      ~finally:(fun () -> close_out oc)
+      (fun () -> output_string oc (Spnc_obs.Json.to_string_pretty doc))
+  in
+  let config_json = T.config_to_json r.T.best.T.options in
+  (match out with
+  | None -> Fmt.pr "%s" (Spnc_obs.Json.to_string_pretty config_json)
+  | Some p ->
+      write_json p config_json;
+      Fmt.pr "tuned config: written to %s@." p);
+  (match report with
+  | None -> ()
+  | Some p ->
+      write_json p (T.result_to_json r);
+      Fmt.pr "dse report: written to %s@." p);
+  0
+
+let tune_cmd =
+  let path = Arg.(required & pos 0 (some string) None & info [] ~docv:"MODEL") in
+  let rows =
+    Arg.(
+      value & opt int 500
+      & info [ "rows" ] ~doc:"Sample count for measurement and profiling.")
+  in
+  let seed = Arg.(value & opt int 7 & info [ "seed" ] ~doc:"Data RNG seed.") in
+  let budget =
+    Arg.(
+      value & opt int 5
+      & info [ "budget" ]
+          ~doc:
+            "Wall-clock validation budget: how many top-ranked candidates \
+             (by modelled time) get measured and bit-checked.")
+  in
+  let reps =
+    Arg.(
+      value & opt int 3
+      & info [ "reps" ] ~doc:"Best-of repetitions per measured candidate.")
+  in
+  let no_profile =
+    Arg.(
+      value & flag
+      & info [ "no-profile" ]
+          ~doc:
+            "Skip the profile-feedback stage (no search-space pruning, no \
+             per-task refinement).")
+  in
+  let out =
+    Arg.(
+      value
+      & opt (some string) None
+      & info [ "o"; "out" ] ~docv:"FILE"
+          ~doc:
+            "Write the tuned configuration JSON to $(docv) (otherwise it is \
+             printed); feed it back via $(b,spnc run --tuned-config).")
+  in
+  let report =
+    Arg.(
+      value
+      & opt (some string) None
+      & info [ "report" ] ~docv:"FILE"
+          ~doc:"Write the full DSE report JSON (ranking, measurements, \
+                profile feedback) to $(docv).")
+  in
+  Cmd.v
+    (Cmd.info "tune"
+       ~doc:
+         "Explore the vectorization design space (the paper's Fig. 6) and \
+          auto-tune a model's compile configuration.")
+    Term.(
+      const tune $ path $ options_term $ rows $ seed $ budget $ reps
+      $ no_profile $ out $ report $ obs_term)
 
 let main_cmd =
   Cmd.group
     (Cmd.info "spnc" ~version:"1.0.0"
        ~doc:"MLIR-style compiler for fast Sum-Product Network inference.")
-    [ generate_cmd; train_cmd; inspect_cmd; compile_cmd; run_cmd ]
+    [ generate_cmd; train_cmd; inspect_cmd; compile_cmd; run_cmd; tune_cmd ]
 
 let () =
   (* CI chaos canaries arm fault injection in this unmodified binary via

@@ -21,6 +21,13 @@ let level_of_int = function
 
 let level_to_string = function O0 -> "-O0" | O1 -> "-O1" | O2 -> "-O2" | O3 -> "-O3"
 
+let level_of_string = function
+  | "-O0" | "O0" -> Some O0
+  | "-O1" | "O1" -> Some O1
+  | "-O2" | "O2" -> Some O2
+  | "-O3" | "O3" -> Some O3
+  | _ -> None
+
 open Lir
 
 (* Register-class tagging of instruction operands, needed to reason about
@@ -510,8 +517,11 @@ let bad_peephole (f : func) : func =
 
 (* -- Driver --------------------------------------------------------------------------- *)
 
-(** [run level m] optimizes every function of the module. *)
-let run (level : level) (m : Lir.modul) : Lir.modul =
+(** [run_func level f] — the per-function pipeline of [run].  Exposed so
+    the auto-tuner can re-optimize {e individual} task functions of an
+    already-compiled module (profile-guided per-task levels: extra -O3
+    effort only on the functions that dominate dynamic cycles). *)
+let run_func (level : level) (f : func) : func =
   let opt f =
     match level with
     | O0 -> f
@@ -519,7 +529,8 @@ let run (level : level) (m : Lir.modul) : Lir.modul =
     | O2 -> dce (cse (licm (dce (cse (constfold f)))))
     | O3 -> fma (dce (cse (licm (dce (cse (constfold (dce (cse (constfold f)))))))))
   in
-  let opt f =
-    if !inject_bad_peephole && level <> O0 then bad_peephole (opt f) else opt f
-  in
-  { m with Lir.funcs = Array.map opt m.Lir.funcs }
+  if !inject_bad_peephole && level <> O0 then bad_peephole (opt f) else opt f
+
+(** [run level m] optimizes every function of the module. *)
+let run (level : level) (m : Lir.modul) : Lir.modul =
+  { m with Lir.funcs = Array.map (run_func level) m.Lir.funcs }

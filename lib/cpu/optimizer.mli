@@ -15,6 +15,9 @@ type level = O0 | O1 | O2 | O3
 val level_of_int : int -> level
 val level_to_string : level -> string
 
+(** Inverse of {!level_to_string}; accepts "-O2" and "O2" forms. *)
+val level_of_string : string -> level option
+
 (** Register class of an operand/result (used by regalloc and isel's
     hazard scan): float / int / vector / buffer. *)
 type rc = F | I | V | B
@@ -47,3 +50,9 @@ val inject_bad_peephole : bool ref
 
 (** [run level m] optimizes every function of the module at [level]. *)
 val run : level -> Lir.modul -> Lir.modul
+
+(** [run_func level f] — the same pipeline on a single function.  Used by
+    the auto-tuner's profile-guided per-task refinement: task functions
+    that dominate dynamic cycles get extra [-O3] effort, cold ones keep
+    the module's base level (docs/PERFORMANCE.md §7). *)
+val run_func : level -> Lir.func -> Lir.func

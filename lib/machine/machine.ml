@@ -35,6 +35,12 @@ let veclib_to_string = function
   | SVML -> "svml"
   | Libmvec -> "libmvec"
 
+let veclib_of_string = function
+  | "none" -> Some No_veclib
+  | "svml" -> Some SVML
+  | "libmvec" -> Some Libmvec
+  | _ -> None
+
 type cpu = {
   cpu_name : string;
   isa : isa;

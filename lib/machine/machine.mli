@@ -19,6 +19,11 @@ type veclib = No_veclib | SVML | Libmvec
 
 val veclib_to_string : veclib -> string
 
+(** Inverse of {!veclib_to_string} ("none" / "svml" / "libmvec"); [None]
+    on anything else.  The CLI's [--veclib] and the tuner's config JSON
+    both parse through this. *)
+val veclib_of_string : string -> veclib option
+
 type cpu = {
   cpu_name : string;
   isa : isa;

@@ -1,0 +1,849 @@
+(* Vectorization design-space explorer + profile-guided auto-tuner.
+   See tune.mli and docs/PERFORMANCE.md §7 for the design. *)
+
+module Options = Spnc.Options
+module Compiler = Spnc.Compiler
+module M = Spnc_machine.Machine
+module Json = Spnc_obs.Json
+module Lir = Spnc_cpu.Lir
+module Optimizer = Spnc_cpu.Optimizer
+module Profile = Spnc_cpu.Profile
+module Exec = Spnc_runtime.Exec
+
+type knob = Opt_level | Vectorize | Veclib | Shuffle | Gather_tables | Partition
+
+let knob_to_string = function
+  | Opt_level -> "opt_level"
+  | Vectorize -> "vectorize"
+  | Veclib -> "veclib"
+  | Shuffle -> "shuffle"
+  | Gather_tables -> "gather_tables"
+  | Partition -> "partition"
+
+type candidate = {
+  label : string;
+  options : Options.t;
+  est_seconds : float;
+  wall_seconds : float option;
+  identical : bool option;
+}
+
+type feedback = {
+  fb_total_cycles : float;
+  fb_call_share : float;
+  fb_mem_share : float;
+  fb_table_share : float;
+  fb_dropped : knob list;
+}
+
+type task_stat = {
+  ts_fn : string;
+  ts_cycles : float;
+  ts_share : float;
+  ts_level : Optimizer.level;
+}
+
+type per_task = {
+  pt_stats : task_stat list;
+  pt_refined : bool;
+  pt_wall_seconds : float option;
+  pt_identical : bool option;
+}
+
+type budget = { measure : int; reps : int }
+
+let default_budget = { measure = 5; reps = 3 }
+
+type result = {
+  model_digest : string;
+  space_size : int;
+  searched : int;
+  budget : budget;
+  feedback : feedback option;
+  candidates : candidate list;
+  reference : candidate;
+  best : candidate;
+  per_task : per_task option;
+  from_cache : bool;
+}
+
+(* -- Labels and digests ----------------------------------------------------- *)
+
+let label_of (o : Options.t) =
+  let vec =
+    if not o.vectorize then "novec"
+    else
+      "vec"
+      ^ (if o.use_veclib then "+veclib" else "")
+      ^ (if o.use_shuffle then "+shuffle" else "")
+      ^ if o.use_gather_tables then "+gt" else ""
+  in
+  let part =
+    match o.max_partition_size with
+    | None -> "none"
+    | Some n -> string_of_int n
+  in
+  Printf.sprintf "%s %s part=%s"
+    (Optimizer.level_to_string o.opt_level)
+    vec part
+
+let digest_of (model : Spnc_spn.Model.t) =
+  Digest.to_hex (Digest.string (Spnc_spn.Serialize.to_string model))
+
+(* -- Lattice enumeration ---------------------------------------------------- *)
+
+(* Scalar points canonicalize the vectorization-only knobs to the
+   [Options.default] values: those knobs do not change a scalar artifact,
+   but they do change the fingerprint, so without canonicalization every
+   scalar point would appear 2^3 times under distinct cache keys. *)
+let scalar_canonical (o : Options.t) =
+  if o.vectorize then o
+  else
+    {
+      o with
+      use_veclib = true;
+      use_shuffle = true;
+      use_gather_tables = false;
+    }
+
+let enumerate ?(dropped = []) ~(stats : Spnc_spn.Stats.t) (base : Options.t) =
+  let has k = List.mem k dropped in
+  let dedup_cons xs x = if List.mem x xs then xs else xs @ [ x ] in
+  let levels =
+    if has Opt_level then [ base.opt_level ]
+    else dedup_cons [ Optimizer.O0; O1; O2; O3 ] base.opt_level
+  in
+  let vecs =
+    (* a scalar ISA has no lanes: force the scalar point even when the
+       base config asked for vectorization *)
+    if base.machine.isa = M.Scalar then [ false ]
+    else if has Vectorize then [ base.vectorize ]
+    else [ false; true ]
+  in
+  let gatherable =
+    match base.machine.isa with M.AVX2 | M.AVX512 -> true | _ -> false
+  in
+  let partitions =
+    if has Partition then [ base.max_partition_size ]
+    else
+      let buckets =
+        None
+        :: List.filter_map
+             (fun n -> if stats.total > 2 * n then Some (Some n) else None)
+             [ 128; 512 ]
+      in
+      dedup_cons buckets base.max_partition_size
+  in
+  let seen = Hashtbl.create 64 in
+  let out = ref [] in
+  List.iter
+    (fun opt_level ->
+      List.iter
+        (fun vectorize ->
+          let veclibs =
+            if not vectorize then [ true ]
+            else if has Veclib || base.machine.veclib = M.No_veclib then
+              [ base.use_veclib ]
+            else [ false; true ]
+          in
+          let shuffles =
+            if not vectorize then [ true ]
+            else if has Shuffle then [ base.use_shuffle ]
+            else [ false; true ]
+          in
+          let gts =
+            if not (vectorize && gatherable) then [ false ]
+            else if has Gather_tables then [ base.use_gather_tables ]
+            else [ false; true ]
+          in
+          List.iter
+            (fun use_veclib ->
+              List.iter
+                (fun use_shuffle ->
+                  List.iter
+                    (fun use_gather_tables ->
+                      List.iter
+                        (fun max_partition_size ->
+                          let o =
+                            scalar_canonical
+                              {
+                                base with
+                                opt_level;
+                                vectorize;
+                                use_veclib;
+                                use_shuffle;
+                                use_gather_tables;
+                                max_partition_size;
+                              }
+                          in
+                          let fp = Options.fingerprint o in
+                          if not (Hashtbl.mem seen fp) then begin
+                            Hashtbl.add seen fp ();
+                            out := o :: !out
+                          end)
+                        partitions)
+                    gts)
+                shuffles)
+            veclibs)
+        vecs)
+    levels;
+  List.rev !out
+
+(* -- Measurement ------------------------------------------------------------ *)
+
+let bits_equal (a : float array) (b : float array) =
+  Array.length a = Array.length b
+  &&
+  let ok = ref true in
+  Array.iteri
+    (fun i x ->
+      if Int64.bits_of_float x <> Int64.bits_of_float b.(i) then ok := false)
+    a;
+  !ok
+
+(* One untimed warm-up run forces the JIT so the timed repetitions see the
+   steady state the paper's figures report; best-of-[reps] rejects noise. *)
+let measure ~reps (c : Compiler.compiled) data =
+  let out = Compiler.execute c data in
+  let best = ref infinity in
+  for _ = 1 to max 1 reps do
+    let t0 = Unix.gettimeofday () in
+    ignore (Compiler.execute c data : float array);
+    let dt = Unix.gettimeofday () -. t0 in
+    if dt < !best then best := dt
+  done;
+  (out, !best)
+
+(* -- Stage 2: profile feedback ---------------------------------------------- *)
+
+type opclass = Call | Mem | Table | Other
+
+let classify op =
+  if String.starts_with ~prefix:"call." op
+     || String.starts_with ~prefix:"vcall." op
+  then Call
+  else
+    match op with
+    | "load" | "vload" | "vgather" | "vshufload" -> Mem
+    | "table" | "vgatheridx" | "vfloor" -> Table
+    | _ -> Other
+
+(* Cold-class → droppable-dimension thresholds.  A knob only pays off when
+   the opcode class it steers carries dynamic cycles: the veclib swaps
+   libm calls, shuffle/gather swaps input loads, gather-tables swaps
+   discrete-leaf lookups. *)
+let call_threshold = 0.05
+let mem_threshold = 0.03
+let table_threshold = 0.02
+
+let feedback_of (p : Profile.t) =
+  let call = ref 0. and mem = ref 0. and table = ref 0. and total = ref 0. in
+  List.iter
+    (fun (c : Profile.cell) ->
+      let cyc = c.cycles *. float_of_int (Atomic.get c.count) in
+      total := !total +. cyc;
+      match classify c.opcode with
+      | Call -> call := !call +. cyc
+      | Mem -> mem := !mem +. cyc
+      | Table -> table := !table +. cyc
+      | Other -> ())
+    (Profile.cells p);
+  let share x = if !total > 0. then x /. !total else 0. in
+  let call_share = share !call
+  and mem_share = share !mem
+  and table_share = share !table in
+  let dropped =
+    if !total <= 0. then []
+    else
+      (if call_share < call_threshold then [ Veclib ] else [])
+      @ (if mem_share < mem_threshold then [ Shuffle ] else [])
+      @ if table_share < table_threshold then [ Gather_tables ] else []
+  in
+  {
+    fb_total_cycles = !total;
+    fb_call_share = call_share;
+    fb_mem_share = mem_share;
+    fb_table_share = table_share;
+    fb_dropped = dropped;
+  }
+
+(* -- Per-task refinement ---------------------------------------------------- *)
+
+let rec iter_instrs f (body : Lir.instr array) =
+  Array.iter
+    (fun i ->
+      f i;
+      match i with Lir.Loop l -> iter_instrs f l.body | _ -> ())
+    body
+
+(* SPN nodes implemented by a task function, via register provenance. *)
+let func_nodes (fn : Lir.func) =
+  let s = Hashtbl.create 32 in
+  iter_instrs
+    (fun i ->
+      let n = Profile.node_of fn i in
+      if n >= 0 then Hashtbl.replace s n ())
+    fn.body;
+  s
+
+let hot_task_share = 0.10
+
+(* Raw single-threaded execution of a Lir module (kernel outputs, before
+   the log-space conversion and output guard — those are per-artifact
+   deterministic, so raw bit-equality implies finished bit-equality). *)
+let run_raw (lir : Lir.modul) ~out_cols data =
+  let t = Exec.load ~threads:1 ~out_cols lir in
+  let t0 = Unix.gettimeofday () in
+  let out = Exec.execute_rows t data in
+  let dt = Unix.gettimeofday () -. t0 in
+  Exec.shutdown t;
+  (out, dt)
+
+let refine_per_task ~(base_level : Optimizer.level) ~(profile : Profile.t)
+    (bestc : Compiler.compiled) data : per_task option =
+  match bestc.artifact with
+  | Compiler.Gpu_kernel _ -> None
+  | Compiler.Cpu_kernel art ->
+      let lir = art.lir in
+      if Array.length lir.funcs < 2 then None
+      else begin
+        let node_cycles = Hashtbl.create 64 in
+        List.iter
+          (fun (ns : Profile.node_stat) ->
+            Hashtbl.replace node_cycles ns.ns_node ns.ns_cycles)
+          (Profile.by_node profile);
+        let tasks = ref [] in
+        Array.iteri
+          (fun i (f : Lir.func) ->
+            if i <> lir.entry then begin
+              let cyc = ref 0. in
+              Hashtbl.iter
+                (fun n () ->
+                  match Hashtbl.find_opt node_cycles n with
+                  | Some c -> cyc := !cyc +. c
+                  | None -> ())
+                (func_nodes f);
+              tasks := (i, f.fname, !cyc) :: !tasks
+            end)
+          lir.funcs;
+        let tasks = List.rev !tasks in
+        let total = List.fold_left (fun acc (_, _, c) -> acc +. c) 0. tasks in
+        let level_of share =
+          if total > 0. && share >= hot_task_share && base_level < Optimizer.O3
+          then Optimizer.O3
+          else base_level
+        in
+        let stats =
+          List.map
+            (fun (i, fname, cyc) ->
+              let share = if total > 0. then cyc /. total else 0. in
+              ( i,
+                {
+                  ts_fn = fname;
+                  ts_cycles = cyc;
+                  ts_share = share;
+                  ts_level = level_of share;
+                } ))
+            tasks
+        in
+        let refined_idx =
+          List.filter_map
+            (fun (i, s) -> if s.ts_level > base_level then Some i else None)
+            stats
+        in
+        let pt_stats =
+          List.stable_sort
+            (fun a b -> compare b.ts_cycles a.ts_cycles)
+            (List.map snd stats)
+        in
+        if refined_idx = [] then
+          Some
+            {
+              pt_stats;
+              pt_refined = false;
+              pt_wall_seconds = None;
+              pt_identical = None;
+            }
+        else begin
+          let refined =
+            {
+              lir with
+              Lir.funcs =
+                Array.mapi
+                  (fun i f ->
+                    if List.mem i refined_idx then
+                      Optimizer.run_func Optimizer.O3 f
+                    else f)
+                  lir.funcs;
+            }
+          in
+          let base_raw, _ = run_raw lir ~out_cols:bestc.out_cols data in
+          let ref_raw, wall = run_raw refined ~out_cols:bestc.out_cols data in
+          Some
+            {
+              pt_stats;
+              pt_refined = true;
+              pt_wall_seconds = Some wall;
+              pt_identical = Some (bits_equal base_raw ref_raw);
+            }
+        end
+      end
+
+(* -- Tuned-config serialization --------------------------------------------- *)
+
+let machine_key (m : M.cpu) =
+  if m.cpu_name = M.ryzen_3900xt.cpu_name then "ryzen_3900xt"
+  else if m.cpu_name = M.xeon_9242.cpu_name then "xeon_9242"
+  else if m.cpu_name = M.neoverse_n1.cpu_name then "neoverse_n1"
+  else m.cpu_name
+
+let machine_of_key = function
+  | "ryzen_3900xt" -> Some M.ryzen_3900xt
+  | "xeon_9242" -> Some M.xeon_9242
+  | "neoverse_n1" -> Some M.neoverse_n1
+  | _ -> None
+
+let config_to_json (o : Options.t) =
+  Json.Obj
+    [
+      ("spnc_tuned_config", Json.Num 1.);
+      ("target", Json.Str (Options.target_to_string o.target));
+      ("machine", Json.Str (machine_key o.machine));
+      ("veclib", Json.Str (M.veclib_to_string o.machine.veclib));
+      ("vectorize", Json.Bool o.vectorize);
+      ("use_veclib", Json.Bool o.use_veclib);
+      ("use_shuffle", Json.Bool o.use_shuffle);
+      ("use_gather_tables", Json.Bool o.use_gather_tables);
+      ("opt_level", Json.Str (Optimizer.level_to_string o.opt_level));
+      ( "max_partition_size",
+        match o.max_partition_size with
+        | None -> Json.Null
+        | Some n -> Json.Num (float_of_int n) );
+      ("batch_size", Json.Num (float_of_int o.batch_size));
+      ("block_size", Json.Num (float_of_int o.block_size));
+      ("support_marginal", Json.Bool o.support_marginal);
+    ]
+
+let config_of_json (j : Json.t) : (Options.t, string) Stdlib.result =
+  let ( let* ) = Result.bind in
+  let field name conv =
+    match Json.member name j with
+    | None -> Error (Printf.sprintf "tuned config: missing field %S" name)
+    | Some v -> (
+        match conv v with
+        | Some x -> Ok x
+        | None -> Error (Printf.sprintf "tuned config: bad field %S" name))
+  in
+  let* version = field "spnc_tuned_config" Json.num in
+  if version <> 1. then
+    Error
+      (Printf.sprintf "tuned config: unsupported version %g (want 1)" version)
+  else
+    let* target = field "target" Json.str in
+    if target <> "cpu" then
+      Error (Printf.sprintf "tuned config: unsupported target %S" target)
+    else
+      let* machine =
+        field "machine" (fun v -> Option.bind (Json.str v) machine_of_key)
+      in
+      let* veclib =
+        field "veclib" (fun v -> Option.bind (Json.str v) M.veclib_of_string)
+      in
+      let* vectorize = field "vectorize" Json.bool in
+      let* use_veclib = field "use_veclib" Json.bool in
+      let* use_shuffle = field "use_shuffle" Json.bool in
+      let* use_gather_tables = field "use_gather_tables" Json.bool in
+      let* opt_level =
+        field "opt_level" (fun v ->
+            Option.bind (Json.str v) Optimizer.level_of_string)
+      in
+      let* max_partition_size =
+        field "max_partition_size" (function
+          | Json.Null -> Some None
+          | Json.Num n -> Some (Some (int_of_float n))
+          | _ -> None)
+      in
+      let* batch_size =
+        field "batch_size" (fun v -> Option.map int_of_float (Json.num v))
+      in
+      let* block_size =
+        field "block_size" (fun v -> Option.map int_of_float (Json.num v))
+      in
+      let* support_marginal = field "support_marginal" Json.bool in
+      Ok
+        {
+          Options.default with
+          target = Options.Cpu;
+          machine = { machine with veclib };
+          vectorize;
+          use_veclib;
+          use_shuffle;
+          use_gather_tables;
+          opt_level;
+          max_partition_size;
+          batch_size;
+          block_size;
+          support_marginal;
+        }
+
+(* -- Spearman rank correlation ---------------------------------------------- *)
+
+let spearman_of_candidates (cands : candidate list) =
+  let measured = List.filter (fun c -> c.wall_seconds <> None) cands in
+  let n = List.length measured in
+  if n < 3 then None
+  else begin
+    let rank key =
+      let arr = List.mapi (fun i c -> (i, key c)) measured in
+      let sorted = List.stable_sort (fun (_, a) (_, b) -> compare a b) arr in
+      let ranks = Array.make n 0. in
+      List.iteri (fun rk (i, _) -> ranks.(i) <- float_of_int rk) sorted;
+      ranks
+    in
+    let re = rank (fun c -> c.est_seconds) in
+    let rw = rank (fun c -> Option.value ~default:0. c.wall_seconds) in
+    let d2 = ref 0. in
+    for i = 0 to n - 1 do
+      let d = re.(i) -. rw.(i) in
+      d2 := !d2 +. (d *. d)
+    done;
+    let nf = float_of_int n in
+    Some (1. -. (6. *. !d2 /. (nf *. ((nf *. nf) -. 1.))))
+  end
+
+let spearman r = spearman_of_candidates r.candidates
+
+(* -- Result JSON ------------------------------------------------------------ *)
+
+let opt_num = function None -> Json.Null | Some x -> Json.Num x
+let opt_bool = function None -> Json.Null | Some b -> Json.Bool b
+
+let candidate_to_json (c : candidate) =
+  Json.Obj
+    [
+      ("label", Json.Str c.label);
+      ("est_seconds", Json.Num c.est_seconds);
+      ("wall_seconds", opt_num c.wall_seconds);
+      ("bit_identical", opt_bool c.identical);
+    ]
+
+let feedback_to_json (f : feedback) =
+  Json.Obj
+    [
+      ("total_cycles", Json.Num f.fb_total_cycles);
+      ("call_share", Json.Num f.fb_call_share);
+      ("mem_share", Json.Num f.fb_mem_share);
+      ("table_share", Json.Num f.fb_table_share);
+      ( "dropped_knobs",
+        Json.List (List.map (fun k -> Json.Str (knob_to_string k)) f.fb_dropped)
+      );
+    ]
+
+let per_task_to_json (pt : per_task) =
+  Json.Obj
+    [
+      ( "tasks",
+        Json.List
+          (List.map
+             (fun t ->
+               Json.Obj
+                 [
+                   ("fn", Json.Str t.ts_fn);
+                   ("cycles", Json.Num t.ts_cycles);
+                   ("share", Json.Num t.ts_share);
+                   ("level", Json.Str (Optimizer.level_to_string t.ts_level));
+                 ])
+             pt.pt_stats) );
+      ("refined", Json.Bool pt.pt_refined);
+      ("wall_seconds", opt_num pt.pt_wall_seconds);
+      ("bit_identical", opt_bool pt.pt_identical);
+    ]
+
+let result_to_json (r : result) =
+  Json.Obj
+    [
+      ("schema", Json.Str "spnc-dse-v1");
+      ("model_digest", Json.Str r.model_digest);
+      ("space_size", Json.Num (float_of_int r.space_size));
+      ("searched", Json.Num (float_of_int r.searched));
+      ( "budget",
+        Json.Obj
+          [
+            ("measure", Json.Num (float_of_int r.budget.measure));
+            ("reps", Json.Num (float_of_int r.budget.reps));
+          ] );
+      ( "feedback",
+        match r.feedback with None -> Json.Null | Some f -> feedback_to_json f
+      );
+      ("reference", candidate_to_json r.reference);
+      ("candidates", Json.List (List.map candidate_to_json r.candidates));
+      ("best", candidate_to_json r.best);
+      ("best_config", config_to_json r.best.options);
+      ( "per_task",
+        match r.per_task with
+        | None -> Json.Null
+        | Some pt -> per_task_to_json pt );
+      ("spearman", opt_num (spearman r));
+      ("from_cache", Json.Bool r.from_cache);
+    ]
+
+(* -- Tuned-config cache ----------------------------------------------------- *)
+
+let rec mkdir_p dir =
+  if not (Sys.file_exists dir) then begin
+    mkdir_p (Filename.dirname dir);
+    try Unix.mkdir dir 0o755 with Unix.Unix_error (Unix.EEXIST, _, _) -> ()
+  end
+
+let cache_path ~cache_dir digest = Filename.concat cache_dir (digest ^ ".tuned.json")
+
+let load_cached ~cache_dir model =
+  let path = cache_path ~cache_dir (digest_of model) in
+  if not (Sys.file_exists path) then None
+  else
+    match Json.parse_file path with
+    | Error _ -> None
+    | Ok j -> (
+        match Option.map config_of_json (Json.member "config" j) with
+        | Some (Ok opts) ->
+            let label =
+              match Option.bind (Json.member "label" j) Json.str with
+              | Some l -> l
+              | None -> label_of opts
+            in
+            Some (opts, label)
+        | Some (Error _) | None -> None)
+
+let store_cached ~cache_dir ~digest (best : candidate) =
+  mkdir_p cache_dir;
+  let path = cache_path ~cache_dir digest in
+  let doc =
+    Json.Obj
+      [
+        ("model_digest", Json.Str digest);
+        ("label", Json.Str best.label);
+        ("est_seconds", Json.Num best.est_seconds);
+        ("config", config_to_json best.options);
+      ]
+  in
+  (* tmp + rename so a crash mid-write never leaves a torn cache entry *)
+  let tmp = path ^ ".tmp" in
+  let oc = open_out tmp in
+  output_string oc (Json.to_string_pretty doc);
+  close_out oc;
+  Sys.rename tmp path
+
+(* -- The explorer ----------------------------------------------------------- *)
+
+let rec take n = function
+  | [] -> []
+  | _ when n <= 0 -> []
+  | x :: tl -> x :: take (n - 1) tl
+
+let tune ?(budget = default_budget) ?(use_profile = true) ?(profile_rows = 64)
+    ?(est_rows = 8192) ?cache_dir ~(options : Options.t) ~data model =
+  if options.target <> Options.Cpu then
+    invalid_arg "Tune.tune: the design-space explorer targets the CPU backend";
+  if Array.length data = 0 then invalid_arg "Tune.tune: empty sample set";
+  let digest = digest_of model in
+  let cached =
+    Option.bind cache_dir (fun dir -> load_cached ~cache_dir:dir model)
+  in
+  match cached with
+  | Some (best_opts, best_label) ->
+      (* Cache hit: no search.  Estimates still come from a (kcache-served)
+         compile so the report stays meaningful. *)
+      let ref_c = Compiler.compile ~options model in
+      let best_c = Compiler.compile ~options:best_opts model in
+      let mk label opts c =
+        {
+          label;
+          options = opts;
+          est_seconds = Compiler.estimate_seconds c ~rows:est_rows;
+          wall_seconds = None;
+          identical = None;
+        }
+      in
+      let reference = mk (label_of options) options ref_c in
+      let best = mk best_label best_opts best_c in
+      {
+        model_digest = digest;
+        space_size = 0;
+        searched = 0;
+        budget;
+        feedback = None;
+        candidates = [ best ];
+        reference;
+        best;
+        per_task = None;
+        from_cache = true;
+      }
+  | None ->
+      let ref_c = Compiler.compile ~options model in
+      (* Stage 2 input: one profiled run of the reference configuration. *)
+      let profile =
+        if not use_profile then None
+        else begin
+          let rows =
+            Array.sub data 0 (min (max 1 profile_rows) (Array.length data))
+          in
+          let _, p = Compiler.execute_profiled ref_c rows in
+          Some p
+        end
+      in
+      let feedback = Option.map feedback_of profile in
+      let dropped =
+        match feedback with None -> [] | Some f -> f.fb_dropped
+      in
+      let stats = ref_c.model_stats in
+      let space_size = List.length (enumerate ~stats options) in
+      let lattice = enumerate ~dropped ~stats options in
+      (* Stage 1: compile + cost-model score every surviving point. *)
+      let scored =
+        List.map
+          (fun o ->
+            let c = Compiler.compile ~options:o model in
+            (o, c, Compiler.estimate_seconds c ~rows:est_rows))
+          lattice
+      in
+      let ranked =
+        List.stable_sort
+          (fun (oa, _, ea) (ob, _, eb) ->
+            compare (ea, label_of oa) (eb, label_of ob))
+          scored
+      in
+      (* Reference wall-clock + outputs: the bit-identity oracle. *)
+      let ref_out, ref_wall = measure ~reps:budget.reps ref_c data in
+      let reference =
+        {
+          label = label_of options;
+          options;
+          est_seconds = Compiler.estimate_seconds ref_c ~rows:est_rows;
+          wall_seconds = Some ref_wall;
+          identical = Some true;
+        }
+      in
+      (* Wall-clock validation of the top-[measure] by modelled time. *)
+      let to_measure = take (max 0 budget.measure) ranked in
+      let measured_fps =
+        List.map (fun (o, _, _) -> Options.fingerprint o) to_measure
+      in
+      let candidates =
+        List.map
+          (fun (o, c, est) ->
+            let fp = Options.fingerprint o in
+            if List.mem fp measured_fps then begin
+              let out, wall = measure ~reps:budget.reps c data in
+              {
+                label = label_of o;
+                options = o;
+                est_seconds = est;
+                wall_seconds = Some wall;
+                identical = Some (bits_equal out ref_out);
+              }
+            end
+            else
+              {
+                label = label_of o;
+                options = o;
+                est_seconds = est;
+                wall_seconds = None;
+                identical = None;
+              })
+          ranked
+      in
+      (* Winner: best-ranked measured candidate that validated
+         bit-identical; selection never consults wall-clock, so tuning is
+         deterministic for a fixed (model, options, budget). *)
+      let best =
+        match List.find_opt (fun c -> c.identical = Some true) candidates with
+        | Some c -> c
+        | None -> reference
+      in
+      let per_task =
+        match profile with
+        | None -> None
+        | Some p ->
+            let best_c =
+              match
+                List.find_opt
+                  (fun (o, _, _) ->
+                    Options.fingerprint o = Options.fingerprint best.options)
+                  ranked
+              with
+              | Some (_, c, _) -> c
+              | None -> ref_c
+            in
+            refine_per_task ~base_level:best.options.opt_level ~profile:p
+              best_c data
+      in
+      let r =
+        {
+          model_digest = digest;
+          space_size;
+          searched = List.length lattice;
+          budget;
+          feedback;
+          candidates;
+          reference;
+          best;
+          per_task;
+          from_cache = false;
+        }
+      in
+      Option.iter (fun dir -> store_cached ~cache_dir:dir ~digest best) cache_dir;
+      r
+
+(* -- Report ----------------------------------------------------------------- *)
+
+let pp_seconds ppf = function
+  | None -> Fmt.string ppf "-"
+  | Some s -> Fmt.pf ppf "%.4fs" s
+
+let pp_result ppf (r : result) =
+  Fmt.pf ppf "model %s: %d/%d configs searched (budget %d measured x%d)%s@."
+    (String.sub r.model_digest 0 (min 12 (String.length r.model_digest)))
+    r.searched r.space_size r.budget.measure r.budget.reps
+    (if r.from_cache then " [cached]" else "");
+  Option.iter
+    (fun f ->
+      Fmt.pf ppf
+        "profile feedback: calls %.1f%%, loads %.1f%%, tables %.1f%%; dropped: %s@."
+        (100. *. f.fb_call_share) (100. *. f.fb_mem_share)
+        (100. *. f.fb_table_share)
+        (if f.fb_dropped = [] then "none"
+         else String.concat ", " (List.map knob_to_string f.fb_dropped)))
+    r.feedback;
+  Fmt.pf ppf "  %-32s %12s %10s %s@." "config" "est" "wall" "bits";
+  List.iter
+    (fun c ->
+      Fmt.pf ppf "  %-32s %10.6fs %a %s@." c.label c.est_seconds pp_seconds
+        c.wall_seconds
+        (match c.identical with
+        | None -> "-"
+        | Some true -> "ok"
+        | Some false -> "DIFF"))
+    r.candidates;
+  Fmt.pf ppf "reference: %s (est %.6fs, wall %a)@." r.reference.label
+    r.reference.est_seconds pp_seconds r.reference.wall_seconds;
+  Fmt.pf ppf "best:      %s (est %.6fs, wall %a)@." r.best.label
+    r.best.est_seconds pp_seconds r.best.wall_seconds;
+  Option.iter
+    (fun pt ->
+      Fmt.pf ppf "per-task (%d tasks, refined=%b):@." (List.length pt.pt_stats)
+        pt.pt_refined;
+      List.iter
+        (fun t ->
+          Fmt.pf ppf "  %-24s %10.0f cyc %5.1f%% %s@." t.ts_fn t.ts_cycles
+            (100. *. t.ts_share)
+            (Optimizer.level_to_string t.ts_level))
+        pt.pt_stats;
+      match pt.pt_identical with
+      | Some id ->
+          Fmt.pf ppf "  refined artifact: wall %a, bit-identical=%b@."
+            pp_seconds pt.pt_wall_seconds id
+      | None -> ())
+    r.per_task;
+  Option.iter
+    (fun rho -> Fmt.pf ppf "spearman(est, wall) = %.2f@." rho)
+    (spearman r)

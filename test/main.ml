@@ -25,4 +25,5 @@ let () =
       ("kcache", Test_kcache.suite);
       ("runtime", Test_runtime.suite);
       ("obs", Test_obs.suite);
+      ("tune", Test_tune.suite);
     ]
