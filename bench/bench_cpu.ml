@@ -450,7 +450,8 @@ let () =
       \      \"default_est_seconds\": %.6f,\n\
       \      \"best_no_slower_than_default\": %b,\n\
       \      \"all_measured_bit_identical\": %b,\n\
-      \      \"spearman\": %s\n\
+      \      \"spearman\": %s,\n\
+      \      \"inverted_dimensions\": \"%s\"\n\
       \    }\n\
       \  }"
       pts order_ok fig6_identical tune_r.Tune.budget.Tune.measure
@@ -461,6 +462,7 @@ let () =
       (match Tune.spearman tune_r with
       | None -> "null"
       | Some v -> Printf.sprintf "%.4f" v)
+      (String.concat "," (Tune.inverted_dimensions tune_r))
   in
   let config_json r =
     Printf.sprintf

@@ -40,6 +40,8 @@ let cpu_path = ref ""
 let cpu_baseline = ref ""
 let gpu_path = ref ""
 let gpu_baseline = ref ""
+let serve_path = ref ""
+let serve_baseline = ref ""
 let metrics_path = ref ""
 let metrics_baseline = ref ""
 let blowup = ref 3.0
@@ -51,6 +53,10 @@ let spec =
     ("--cpu-baseline", Arg.Set_string cpu_baseline, "FILE Committed CPU baseline");
     ("--gpu", Arg.Set_string gpu_path, "FILE Fresh BENCH_gpu.json");
     ("--gpu-baseline", Arg.Set_string gpu_baseline, "FILE Committed GPU baseline");
+    ("--serve", Arg.Set_string serve_path, "FILE Fresh BENCH_serve.json");
+    ( "--serve-baseline",
+      Arg.Set_string serve_baseline,
+      "FILE Committed serving baseline" );
     ("--metrics", Arg.Set_string metrics_path, "FILE Fresh metrics snapshot");
     ( "--metrics-baseline",
       Arg.Set_string metrics_baseline,
@@ -178,10 +184,22 @@ let check_cpu fresh baseline =
   warn_bool "fig6_cpu_dse.order_ok";
   warn_bool "fig6_cpu_dse.autotune.best_no_slower_than_default";
   (match get_num fresh "fig6_cpu_dse.autotune.spearman" with
-  | Some rho when rho < 0.0 ->
-      warn "%s: autotune spearman(est, wall) = %.2f (anti-correlated; \
-            measured set may be too homogeneous for rank stability)"
-        name rho
+  | Some rho when rho < 0.0 -> (
+      (* name the dimension the cost model prices backwards instead of
+         leaving a bare coefficient in the log (EXPERIMENTS.md §DSE) *)
+      match get_str fresh "fig6_cpu_dse.autotune.inverted_dimensions" with
+      | Some dims when dims <> "" ->
+          warn
+            "%s: autotune spearman(est, wall) = %.2f — cost model ranks the \
+             %s dimension(s) opposite to the wall clock over the measured \
+             candidates"
+            name rho dims
+      | _ ->
+          warn
+            "%s: autotune spearman(est, wall) = %.2f (anti-correlated, but \
+             no single dimension is inverted: the measured set is too \
+             homogeneous for rank stability)"
+            name rho)
   | Some rho -> info "%s fig6_cpu_dse.autotune.spearman: %.2f" name rho
   | None -> info "%s fig6_cpu_dse.autotune.spearman: n/a (< 3 measurements)" name);
   check_lower ~name ~key:"fig6_cpu_dse.autotune.best_est_seconds" ~hard:false
@@ -214,6 +232,42 @@ let check_gpu fresh baseline =
   check_modelled "streams_4.total_seconds";
   check_modelled "transfer_fraction";
   check_higher ~name ~key:"speedup_streams_4" fresh baseline
+
+(* Serving bench (BENCH_serve.json).  Hard gates: bit identity only — a
+   batched response diverging from sequential per-request execution is a
+   scatter/coalescing bug, never noise.  Throughput, speedups and tail
+   latencies are WARN past the blowup factor: the serving numbers are
+   client-side-bound on small CI hosts, so wall gates would flap. *)
+let check_serve fresh baseline =
+  let name = "serve" in
+  check_bit ~name ~key:"bit_identical" fresh;
+  (match get_num fresh "shed_below_knee_rate" with
+  | Some r when r > 0.0 ->
+      warn
+        "%s: shed_below_knee_rate = %.4f — requests were shed below the \
+         capacity knee (admission caps too tight for this host?)"
+        name r
+  | Some _ -> info "%s shed_below_knee_rate: 0" name
+  | None -> fail "%s: missing shed_below_knee_rate in fresh artifact" name);
+  let drift key =
+    match (get_num fresh key, get_num baseline key) with
+    | Some f, Some b when b > 0.0 && f > 0.0 ->
+        let worse = b /. f in
+        if worse > !blowup then
+          warn "%s %s: %.4g vs baseline %.4g (%.2fx worse than the %.1fx drift \
+                guard)" name key f b worse !blowup
+        else if worse > 1.25 then
+          warn "%s %s: %.4g vs baseline %.4g (%.2fx worse)" name key f b worse
+        else info "%s %s: %.4g vs baseline %.4g" name key f b
+    | Some _, Some _ -> ()
+    | None, _ -> fail "%s: missing %s in fresh artifact" name key
+    | _, None -> warn "%s: baseline has no %s (new metric?)" name key
+  in
+  drift "batched_capacity_rps";
+  drift "batched_vs_unbatched_speedup";
+  drift "speedup_at_peak";
+  check_lower ~name ~key:"unbatched_at_peak.p99_ms" ~hard:false ~unit_ms:1.0
+    fresh baseline
 
 (* Metrics snapshots are report-only: they carry workload-dependent
    counters (rows, chunks, steals) that legitimately move.  What the
@@ -269,8 +323,10 @@ let () =
   in
   pair "cpu" !cpu_path !cpu_baseline check_cpu;
   pair "gpu" !gpu_path !gpu_baseline check_gpu;
+  pair "serve" !serve_path !serve_baseline check_serve;
   pair "metrics" !metrics_path !metrics_baseline check_metrics;
-  if !cpu_path = "" && !gpu_path = "" && !metrics_path = "" then begin
+  if !cpu_path = "" && !gpu_path = "" && !serve_path = "" && !metrics_path = ""
+  then begin
     prerr_endline "bench_check: nothing to check (see --help)";
     exit 2
   end;

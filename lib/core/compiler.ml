@@ -527,6 +527,47 @@ let force_jit (cell : jit_cell) =
               Spnc_obs.Metrics.counter_incr jit_build_failures;
               raise e))
 
+(** [load_exec ?pool c] — build the reusable runtime engine handle for a
+    CPU artifact: JIT closures forced (once, through the retryable cell
+    shared by every caller of this cached artifact), worker pool wired up
+    (the process-wide {!Spnc_runtime.Pool.global} unless [?pool] is
+    given), chunking/scheduling knobs taken from [c.options].  Loading is
+    the per-call cost {!execute} used to pay on every invocation; a
+    server holds the returned handle hot and amortizes it across the
+    artifact's lifetime (the {!Spnc_serve} registry LRU does exactly
+    this).  Calls on one handle are serialized by the runtime. *)
+let load_exec ?pool (c : compiled) : Spnc_runtime.Exec.t =
+  match c.artifact with
+  | Gpu_kernel _ ->
+      invalid_arg
+        "Compiler.load_exec: GPU artifacts run in the simulator, not the CPU \
+         runtime"
+  | Cpu_kernel { lir; jit; _ } ->
+      let engine = c.options.Options.engine in
+      (* force the closure compilation here, on the calling domain, so the
+         worker domains only ever see the completed kernel *)
+      let jk =
+        match engine with
+        | Spnc_cpu.Jit.Jit -> Some (force_jit jit)
+        | Spnc_cpu.Jit.Vm -> None
+      in
+      let threads = Options.effective_threads c.options in
+      (* engine handles share the process-wide pool: domains are spawned
+         once, not per loaded model (docs/PERFORMANCE.md §5) *)
+      let pool =
+        match pool with
+        | Some p -> Some p
+        | None ->
+            if threads > 1 then Some (Spnc_runtime.Pool.global ~threads)
+            else None
+      in
+      let min_chunk =
+        (Options.cpu_lower_options c.options).Spnc_cpu.Lower_cpu.width
+      in
+      Spnc_runtime.Exec.load ~batch_size:c.options.Options.batch_size ~threads
+        ~engine ?jit:jk ~sched:c.options.Options.sched ~min_chunk ?pool
+        ~out_cols:c.out_cols lir
+
 (** [execute c rows] — run the compiled kernel on row-major samples and
     return one {e log}-likelihood per sample (kernels compiled for linear
     space have their probabilities converted on the way out, so the API is
@@ -567,32 +608,36 @@ and execute_raw ?profile (c : compiled) (rows : float array array) :
       c.options.Options.deadline_ms
   in
   match c.artifact with
-  | Cpu_kernel { lir; jit; _ } ->
-      let engine = c.options.Options.engine in
-      (* force the closure compilation here, on the calling domain, so the
-         worker domains only ever see the completed kernel *)
-      let jk =
-        match (engine, profile) with
-        | Spnc_cpu.Jit.Jit, None -> Some (force_jit jit)
-        | Spnc_cpu.Jit.Jit, Some p ->
-            (* profiled closures are per-run (they capture the profile's
-               cells), so they bypass the artifact's shared lazy *)
-            Some
-              (Spnc_obs.Trace.with_span ~cat:"compile" "jit-build-profiled"
-                 (fun () -> Spnc_cpu.Jit.compile ~profile:p lir))
-        | Spnc_cpu.Jit.Vm, _ -> None
-      in
-      let threads = Options.effective_threads c.options in
-      (* per-call kernels share the process-wide pool: domains are spawned
-         once, not per execute (docs/PERFORMANCE.md §5) *)
-      let pool =
-        if threads > 1 then Some (Spnc_runtime.Pool.global ~threads) else None
-      in
-      let min_chunk = (Options.cpu_lower_options c.options).Spnc_cpu.Lower_cpu.width in
+  | Cpu_kernel { lir; _ } ->
       let exec =
-        Spnc_runtime.Exec.load ~batch_size:c.options.Options.batch_size
-          ~threads ~engine ?jit:jk ?profile ~sched:c.options.Options.sched
-          ~min_chunk ?pool ~out_cols:c.out_cols lir
+        match profile with
+        | None -> load_exec c
+        | Some p ->
+            (* profiled closures are per-run (they capture the profile's
+               cells), so they bypass the artifact's shared cell and the
+               plain [load_exec] path *)
+            let engine = c.options.Options.engine in
+            let jk =
+              match engine with
+              | Spnc_cpu.Jit.Jit ->
+                  Some
+                    (Spnc_obs.Trace.with_span ~cat:"compile"
+                       "jit-build-profiled" (fun () ->
+                         Spnc_cpu.Jit.compile ~profile:p lir))
+              | Spnc_cpu.Jit.Vm -> None
+            in
+            let threads = Options.effective_threads c.options in
+            let pool =
+              if threads > 1 then Some (Spnc_runtime.Pool.global ~threads)
+              else None
+            in
+            let min_chunk =
+              (Options.cpu_lower_options c.options).Spnc_cpu.Lower_cpu.width
+            in
+            Spnc_runtime.Exec.load ~batch_size:c.options.Options.batch_size
+              ~threads ~engine ?jit:jk ~profile:p
+              ~sched:c.options.Options.sched ~min_chunk ?pool
+              ~out_cols:c.out_cols lir
       in
       Spnc_runtime.Exec.execute_rows ?deadline
         ~retries:(max 0 c.options.Options.exec_retries)
@@ -622,6 +667,15 @@ and execute_raw ?profile (c : compiled) (rows : float array array) :
         | None -> ());
         Array.sub res.Spnc_gpu.Sim.output 0 n
       end
+
+(** [finalize_output c raw] — the post-processing step {!execute} applies
+    to raw kernel outputs: log-space conversion for linear-space kernels
+    and the configured output guard.  Exposed for callers that drive the
+    runtime through {!load_exec} +
+    {!Spnc_runtime.Exec.execute_segments} (the serving batcher) and must
+    stay bit-identical to {!execute}. *)
+let finalize_output (c : compiled) (raw : float array) : float array =
+  finish c raw
 
 (** [estimate_seconds c ~rows] — modelled single-run execution time on the
     configured machine (the quantity plotted in Figs. 6–8 and 10–13). *)

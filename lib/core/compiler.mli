@@ -98,6 +98,17 @@ val cache_counters : unit -> cache_counters
     (tests, or long-lived processes that mutate global compiler state). *)
 val reset_kernel_cache : unit -> unit
 
+(** [load_exec ?pool c] — the engine-handle reuse point: build a runtime
+    {!Spnc_runtime.Exec.t} for a CPU artifact once (JIT closures forced
+    through the shared retryable cell, process-wide pool wired up,
+    chunking knobs from [c.options]) and execute on it many times via
+    {!Spnc_runtime.Exec.execute} / [execute_segments].  {!execute} pays
+    this load on every call; servers (the {!Spnc_serve} registry) hold
+    the handle hot instead.
+    @raise Invalid_argument on a GPU artifact (those run in the
+    simulator, not the CPU runtime). *)
+val load_exec : ?pool:Spnc_runtime.Pool.t -> compiled -> Spnc_runtime.Exec.t
+
 (** [execute c rows] runs the compiled kernel on row-major samples and
     returns one {e log}-likelihood per sample (linear-space kernels have
     their probabilities converted on the way out).  CPU kernels run on
@@ -123,6 +134,14 @@ val execute : compiled -> float array array -> float array
     nothing.  GPU artifacts execute normally; their profile is empty. *)
 val execute_profiled :
   compiled -> float array array -> float array * Spnc_cpu.Profile.t
+
+(** [finalize_output c raw] — the post-processing {!execute} applies to
+    raw kernel outputs (log-space conversion for linear-space kernels,
+    then the configured output guard).  For callers that drive the
+    runtime directly via {!load_exec}; applying it to raw segment
+    outputs keeps them bit-identical to {!execute}.
+    @raise Spnc_resilience.Guard.Guard_failure under the [Fail] policy. *)
+val finalize_output : compiled -> float array -> float array
 
 (** [gpu_init_seconds c] — modelled one-time CUDA context + module-load
     overhead of a GPU run (grows with CUBIN size); [0] for CPU. *)

@@ -70,6 +70,30 @@ type t = {
   exec_retries : int;
       (** max retries (capped exponential backoff) for transient
           execution failures before surfacing them.  Runtime-only *)
+  (* serving knobs (docs/PERFORMANCE.md §"Serving") — all runtime-only:
+     they configure the spnc_serve batcher/admission layer and never
+     change the compiled artifact, so none participates in
+     [fingerprint]. *)
+  serve_max_batch : int;
+      (** dynamic-batcher flush threshold, in rows: a model queue is
+          dispatched as soon as it holds this many rows *)
+  serve_max_delay_ms : float;
+      (** dynamic-batcher flush timer: the oldest queued request waits
+          at most this long before its queue is dispatched anyway *)
+  serve_queue_cap : int;
+      (** per-model admission bound, in queued requests; requests over
+          it are shed with a structured [overloaded] rejection *)
+  serve_global_queue_cap : int;
+      (** process-wide admission bound across all model queues *)
+  serve_engines_cap : int;
+      (** bounded LRU of hot engines: at most this many models keep a
+          loaded [Exec] handle resident at once *)
+  serve_dispatchers : int;
+      (** dispatcher domains draining model queues (EDF order) *)
+  serve_starvation_ms : float;
+      (** starvation guard: a queued request's effective deadline is at
+          most [enqueued_at + serve_starvation_ms], so deadline-less
+          traffic cannot be starved forever by tight-SLO tenants *)
 }
 
 let default =
@@ -101,6 +125,13 @@ let default =
     debug_fail_stage = None;
     deadline_ms = None;
     exec_retries = 2;
+    serve_max_batch = 256;
+    serve_max_delay_ms = 2.0;
+    serve_queue_cap = 256;
+    serve_global_queue_cap = 4096;
+    serve_engines_cap = 64;
+    serve_dispatchers = 2;
+    serve_starvation_ms = 50.0;
   }
 
 (** The best CPU configuration found by the paper's DSE (Fig. 6):

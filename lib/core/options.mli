@@ -71,6 +71,25 @@ type t = {
   exec_retries : int;
       (** max retries (capped exponential backoff) for transient
           execution failures before surfacing them.  Runtime-only *)
+  (* serving knobs (docs/PERFORMANCE.md §"Serving") — all runtime-only:
+     they configure the spnc_serve batcher/admission layer and never
+     change the compiled artifact, so none participates in
+     [fingerprint]. *)
+  serve_max_batch : int;
+      (** dynamic-batcher flush threshold, in rows *)
+  serve_max_delay_ms : float;
+      (** dynamic-batcher flush timer (oldest queued request) *)
+  serve_queue_cap : int;
+      (** per-model admission bound, in queued requests *)
+  serve_global_queue_cap : int;
+      (** process-wide admission bound across all model queues *)
+  serve_engines_cap : int;
+      (** bounded LRU of resident [Exec] engine handles *)
+  serve_dispatchers : int;
+      (** dispatcher domains draining model queues (EDF order) *)
+  serve_starvation_ms : float;
+      (** starvation guard: cap on how long a deadline-less request can
+          be out-prioritized by tight-SLO traffic *)
 }
 
 val default : t

@@ -169,6 +169,37 @@ let histogram name : histogram =
   | Histogram h -> h
   | _ -> invalid_arg (Printf.sprintf "Obs.Metrics: %s is not a histogram" name)
 
+(* -- Labels -------------------------------------------------------------------- *)
+
+(* Canonical labeled-instrument name: base{k1="v1",k2="v2"} with keys
+   sorted, so the same label set always interns the same instrument no
+   matter the order callers list the pairs in.  Quotes/backslashes in
+   values are escaped; keys are expected to be bare identifiers. *)
+let labeled (base : string) (labels : (string * string) list) : string =
+  match labels with
+  | [] -> base
+  | _ ->
+      let escape v =
+        let b = Buffer.create (String.length v) in
+        String.iter
+          (fun c ->
+            if c = '"' || c = '\\' then Buffer.add_char b '\\';
+            Buffer.add_char b c)
+          v;
+        Buffer.contents b
+      in
+      let sorted =
+        List.sort (fun (a, _) (b, _) -> String.compare a b) labels
+      in
+      let parts =
+        List.map (fun (k, v) -> Printf.sprintf "%s=\"%s\"" k (escape v)) sorted
+      in
+      Printf.sprintf "%s{%s}" base (String.concat "," parts)
+
+let counter_l base labels = counter (labeled base labels)
+let gauge_l base labels = gauge (labeled base labels)
+let histogram_l base labels = histogram (labeled base labels)
+
 let all () : (string * instrument) list =
   with_registry (fun () ->
       Hashtbl.fold (fun k v acc -> (k, v) :: acc) registry []

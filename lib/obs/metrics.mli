@@ -54,6 +54,21 @@ val histogram_buckets : histogram -> (float * int) list
 
 val histogram_name : histogram -> string
 
+val labeled : string -> (string * string) list -> string
+(** [labeled "serve.queue_depth" [("model", "m3")]] —
+    ["serve.queue_depth{model=\"m3\"}"].  Keys are sorted so the same
+    label set always produces the same name regardless of pair order;
+    quotes and backslashes in values are escaped.  An empty label list
+    returns the base name unchanged. *)
+
+val counter_l : string -> (string * string) list -> counter
+(** [counter_l base labels] = [counter (labeled base labels)] — a
+    per-label-set instrument family (e.g. per-model serve counters).
+    Same interning/kind rules as {!counter}. *)
+
+val gauge_l : string -> (string * string) list -> gauge
+val histogram_l : string -> (string * string) list -> histogram
+
 val all : unit -> (string * instrument) list
 (** Every registered instrument, sorted by name. *)
 

@@ -52,6 +52,15 @@ let m_deadline_exceeded = Obs_metrics.counter "runtime.exec.deadline_exceeded"
 let m_deadline_margin =
   Obs_metrics.histogram "runtime.exec.deadline_margin_seconds"
 
+(* Shared serving vocabulary (docs/OBSERVABILITY.md): plain CLI runs and
+   the spnc_serve batcher report into the SAME two instruments, so one
+   dashboard covers both.  [rows_in_flight] counts rows admitted to the
+   runtime (or queued in serve) but not yet returned; [queue_wait]
+   records time spent waiting to execute — here the exec-lock wait, in
+   serve the time a request sits in its model queue. *)
+let m_rows_in_flight = Obs_metrics.gauge "runtime.exec.rows_in_flight"
+let m_queue_wait = Obs_metrics.histogram "runtime.exec.queue_wait_seconds"
+
 (* Per-worker execution context, allocated once per worker slot and
    reused across every chunk of every [execute] call. *)
 type ctx = {
@@ -197,18 +206,33 @@ let run_engine (t : t) (ctx : ctx) ~buffers : unit =
       | Some p -> Vm.run_profiled t.kernel p ~buffers
       | None -> Vm.run t.kernel ~buffers)
 
-(* Execute one chunk [lo, hi) of the flat input, writing the per-sample
-   results into [out.(lo..hi-1)]. *)
-let run_chunk (t : t) (ctx : ctx) ~(flat : float array) ~(out : float array)
-    ~num_features ~lo ~hi : unit =
+(* A caller-owned slice of a batch: [seg_rows] row-major samples in
+   [seg_flat], results written into [seg_out] starting at [seg_out_pos].
+   Segments let the serving batcher coalesce many small requests into
+   one runtime call while each caller's results land directly in that
+   caller's buffer — the scatter is the kernel write itself, no
+   gather-then-blit. *)
+type segment = {
+  seg_flat : float array;
+  seg_rows : int;
+  seg_out : float array;
+  seg_out_pos : int;
+}
+
+(* Execute one chunk [lo, hi) (row indices local to [seg]), writing the
+   per-sample results into [seg.seg_out.(seg_out_pos + lo ..)]. *)
+let run_chunk (t : t) (ctx : ctx) ~(seg : segment) ~num_features ~lo ~hi :
+    unit =
   let rows = hi - lo in
   (* zero-copy: a window into the shared flat input, no Array.sub *)
-  let input = Vm.view flat ~off:(lo * num_features) ~rows ~cols:num_features in
+  let input =
+    Vm.view seg.seg_flat ~off:(lo * num_features) ~rows ~cols:num_features
+  in
   if t.out_cols = 1 then begin
     (* result slot 0 is transposed (the first [rows] entries), and with a
        single slot the output buffer IS slot 0 — so the kernel writes
        straight into the caller-visible output array *)
-    let ob = Vm.view out ~off:lo ~rows ~cols:1 in
+    let ob = Vm.view seg.seg_out ~off:(seg.seg_out_pos + lo) ~rows ~cols:1 in
     run_engine t ctx ~buffers:[ input; ob ]
   end
   else begin
@@ -221,39 +245,51 @@ let run_chunk (t : t) (ctx : ctx) ~(flat : float array) ~(out : float array)
     let ob = Vm.view ctx.scratch ~off:0 ~rows ~cols:t.out_cols in
     run_engine t ctx ~buffers:[ input; ob ];
     (* result slot 0 is transposed: the first [rows] entries *)
-    Array.blit ctx.scratch 0 out lo rows
+    Array.blit ctx.scratch 0 seg.seg_out (seg.seg_out_pos + lo) rows
   end
 
-let execute ?deadline ?(retries = 0) (t : t) ~(flat : float array) ~rows
-    ~num_features : float array =
-  if rows < 0 then
-    invalid_arg (Printf.sprintf "Exec.execute: negative rows (%d)" rows);
-  if num_features <= 0 then
-    invalid_arg
-      (Printf.sprintf "Exec.execute: num_features must be positive (got %d)"
-         num_features);
-  if Array.length flat <> rows * num_features then
-    invalid_arg
-      (Printf.sprintf
-         "Exec.execute: input size mismatch (%d floats for %d rows x %d \
-          features)"
-         (Array.length flat) rows num_features);
-  if rows = 0 then [||]
+(* The shared execution core: chunk every segment, run the chunks on the
+   pool (chunks never straddle a segment boundary, so each kernel write
+   stays inside one caller's output view), retry transient failures,
+   enforce the deadline.  Chunk-error bounds are reported as global row
+   indices across the whole batch. *)
+let run_segments ?deadline ?(retries = 0) (t : t) ~num_features
+    (segs : segment array) : unit =
+  let rows = Array.fold_left (fun acc s -> acc + s.seg_rows) 0 segs in
+  if rows = 0 then ()
   else begin
+    Obs_metrics.gauge_add m_rows_in_flight (float_of_int rows);
+    Fun.protect
+      ~finally:(fun () ->
+        Obs_metrics.gauge_add m_rows_in_flight (-.float_of_int rows))
+    @@ fun () ->
+    let t_enter = Unix.gettimeofday () in
     Mutex.lock t.exec_lock;
+    Obs_metrics.histogram_observe m_queue_wait
+      (Unix.gettimeofday () -. t_enter);
     Fun.protect
       ~finally:(fun () -> Mutex.unlock t.exec_lock)
       (fun () ->
-        let out = Array.make rows 0.0 in
         let chunk =
           chunk_plan ~rows ~threads:t.threads ~batch_size:t.batch_size
             ~min_chunk:t.min_chunk
         in
-        let n_chunks = (rows + chunk - 1) / chunk in
+        (* (segment index, local lo, local hi, global row base) *)
         let chunks =
-          Array.init n_chunks (fun i ->
-              (i * chunk, min rows ((i + 1) * chunk)))
+          let acc = ref [] and base = ref 0 in
+          Array.iteri
+            (fun si s ->
+              let lo = ref 0 in
+              while !lo < s.seg_rows do
+                let hi = min s.seg_rows (!lo + chunk) in
+                acc := (si, !lo, hi, !base) :: !acc;
+                lo := hi
+              done;
+              base := !base + s.seg_rows)
+            segs;
+          Array.of_list (List.rev !acc)
         in
+        let n_chunks = Array.length chunks in
         (* first captured failure wins; set exactly once per round *)
         let failure : chunk_error option Atomic.t = Atomic.make None in
         let over () =
@@ -273,30 +309,32 @@ let execute ?deadline ?(retries = 0) (t : t) ~(flat : float array) ~rows
           in
           ignore (Atomic.compare_and_set failure None (Some err))
         in
-        let process_plain ctx (lo, hi) =
+        let process_plain ctx (si, lo, hi, base) =
           match
             (* chaos: a stalled chunk exercises deadline cancellation, a
                failed chunk exercises the capture/retry path — both through
                the exact barrier real kernel traps take *)
             Fault.maybe_stall "pool.chunk_stall" ~seconds:0.002;
             Fault.maybe_transient "pool.chunk_fail";
-            run_chunk t ctx ~flat ~out ~num_features ~lo ~hi
+            run_chunk t ctx ~seg:segs.(si) ~num_features ~lo ~hi
           with
           | () -> ()
           | exception ((Stack_overflow | Out_of_memory) as e) ->
               (* even fatal resource exhaustion must not escape a worker
                  domain (a raise would be lost inside the pool); record
                  it like any chunk failure *)
-              record lo hi e (Printexc.get_raw_backtrace ())
-          | exception e -> record lo hi e (Printexc.get_raw_backtrace ())
+              record (base + lo) (base + hi) e (Printexc.get_raw_backtrace ())
+          | exception e ->
+              record (base + lo) (base + hi) e (Printexc.get_raw_backtrace ())
         in
         (* the enabled check is hoisted out of the span helper so the
            disabled path allocates nothing per chunk (<2% overhead
            budget on the sustained-serving bench) *)
-        let process ctx ((lo, hi) as c) =
+        let process ctx ((_, lo, hi, base) as c) =
           if Obs_trace.enabled () then
             Obs_trace.with_span ~cat:"exec" "chunk"
-              ~args:(fun () -> Obs_trace.[ ("lo", I lo); ("hi", I hi) ])
+              ~args:(fun () ->
+                Obs_trace.[ ("lo", I (base + lo)); ("hi", I (base + hi)) ])
               (fun () -> process_plain ctx c)
           else process_plain ctx c
         in
@@ -330,6 +368,7 @@ let execute ?deadline ?(retries = 0) (t : t) ~(flat : float array) ~rows
                 Obs_trace.
                   [
                     ("rows", I rows);
+                    ("segments", I (Array.length segs));
                     ("chunk", I chunk);
                     ("chunks", I n_chunks);
                     ("threads", I t.threads);
@@ -375,9 +414,56 @@ let execute ?deadline ?(retries = 0) (t : t) ~(flat : float array) ~rows
         | Some d ->
             Obs_metrics.histogram_observe m_deadline_margin
               (d -. Unix.gettimeofday ())
-        | None -> ());
-        out)
+        | None -> ()))
   end
+
+let check_dims ~what ~rows ~num_features ~flat_len =
+  if rows < 0 then
+    invalid_arg (Printf.sprintf "Exec.%s: negative rows (%d)" what rows);
+  if num_features <= 0 then
+    invalid_arg
+      (Printf.sprintf "Exec.%s: num_features must be positive (got %d)" what
+         num_features);
+  if flat_len <> rows * num_features then
+    invalid_arg
+      (Printf.sprintf
+         "Exec.%s: input size mismatch (%d floats for %d rows x %d features)"
+         what flat_len rows num_features)
+
+let execute ?deadline ?retries (t : t) ~(flat : float array) ~rows
+    ~num_features : float array =
+  check_dims ~what:"execute" ~rows ~num_features ~flat_len:(Array.length flat);
+  if rows = 0 then [||]
+  else begin
+    let out = Array.make rows 0.0 in
+    run_segments ?deadline ?retries t ~num_features
+      [| { seg_flat = flat; seg_rows = rows; seg_out = out; seg_out_pos = 0 } |];
+    out
+  end
+
+let execute_segments ?deadline ?retries (t : t) ~num_features
+    (segs : segment array) : unit =
+  Array.iteri
+    (fun i s ->
+      check_dims
+        ~what:(Printf.sprintf "execute_segments (segment %d)" i)
+        ~rows:s.seg_rows ~num_features ~flat_len:(Array.length s.seg_flat);
+      if
+        s.seg_out_pos < 0
+        || s.seg_out_pos + s.seg_rows > Array.length s.seg_out
+      then
+        invalid_arg
+          (Printf.sprintf
+             "Exec.execute_segments: segment %d output window [%d,%d) exceeds \
+              buffer of %d"
+             i s.seg_out_pos
+             (s.seg_out_pos + s.seg_rows)
+             (Array.length s.seg_out)))
+    segs;
+  let segs = Array.of_seq (Seq.filter (fun s -> s.seg_rows > 0)
+                             (Array.to_seq segs)) in
+  if Array.length segs > 0 then
+    run_segments ?deadline ?retries t ~num_features segs
 
 (** [execute_rows t rows_2d] — convenience over row-major samples.
     @raise Invalid_argument when the rows are ragged (unequal widths). *)

@@ -131,3 +131,38 @@ val execute :
     @raise Invalid_argument when the rows are ragged (unequal widths). *)
 val execute_rows :
   ?deadline:float -> ?retries:int -> t -> float array array -> float array
+
+(** One caller's slice of a coalesced batch: [seg_rows] row-major samples
+    in [seg_flat]; results are written into
+    [seg_out.(seg_out_pos .. seg_out_pos + seg_rows - 1)]. *)
+type segment = {
+  seg_flat : float array;
+  seg_rows : int;
+  seg_out : float array;  (** caller-owned output buffer *)
+  seg_out_pos : int;  (** write offset within [seg_out] *)
+}
+
+(** [execute_segments t ~num_features segs] — the batch-of-segments entry
+    point behind the {!Spnc_serve} dynamic batcher: evaluates every
+    segment's rows in one runtime call (one chunk plan, one parallel
+    round over the shared pool) while each segment's results are written
+    {e directly} into that segment's own output window — the scatter back
+    to callers is the kernel write itself, zero-copy, no gather-then-blit.
+    Chunks never straddle a segment boundary.  Per-row results are
+    bit-identical to [execute]-ing each segment separately (rows are
+    independent), which the serve tests and bench assert.
+
+    Deadline/retry semantics are those of {!execute}, applied to the
+    whole batch; {!chunk_error} bounds are global row indices across the
+    batch (segment order, in array order).  Zero-row segments are
+    skipped; segments may alias one output array as long as their
+    windows are disjoint.
+    @raise Invalid_argument on a dimension mismatch in any segment or an
+    output window exceeding its buffer. *)
+val execute_segments :
+  ?deadline:float ->
+  ?retries:int ->
+  t ->
+  num_features:int ->
+  segment array ->
+  unit

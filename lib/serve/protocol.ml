@@ -1,0 +1,130 @@
+(** Line-delimited JSON wire protocol for [spnc_serve].
+
+    One request or response per line, newline-terminated, over any byte
+    stream (the binary uses TCP).  Floats are encoded with
+    {!Spnc_obs.Json}'s shortest-exact printer and parse back to the same
+    bits, so bit-identity survives the wire — the CI smoke test compares
+    served results against local execution bitwise.
+
+    Request:  [{"id":1,"model":"m3","rows":[[...],...],"deadline_ms":50}]
+    Response: [{"id":1,"ok":true,"values":[...]}]
+          or  [{"id":1,"ok":false,"error":"overloaded_model","detail":"..."}]
+
+    [deadline_ms] is a {e relative} budget; the server turns it into an
+    absolute deadline on receipt.  [id] is an opaque caller token echoed
+    back — responses may arrive out of submission order. *)
+
+module J = Spnc_obs.Json
+module T = Types
+
+type wire_request = {
+  wr_id : int;
+  wr_model : string;
+  wr_rows : float array array;
+  wr_deadline_ms : float option;
+}
+
+let encode_request (r : wire_request) : string =
+  let rows =
+    J.List
+      (Array.to_list r.wr_rows
+      |> List.map (fun row ->
+             J.List (Array.to_list row |> List.map (fun x -> J.Num x))))
+  in
+  let fields =
+    [
+      ("id", J.Num (float_of_int r.wr_id));
+      ("model", J.Str r.wr_model);
+      ("rows", rows);
+    ]
+    @
+    match r.wr_deadline_ms with
+    | None -> []
+    | Some ms -> [ ("deadline_ms", J.Num ms) ]
+  in
+  J.to_string (J.Obj fields)
+
+let decode_request (line : string) : (wire_request, string) result =
+  match J.parse line with
+  | Error e -> Error e
+  | Ok j -> (
+      let id = Option.bind (J.member "id" j) J.num in
+      let model = Option.bind (J.member "model" j) J.str in
+      let rows = Option.bind (J.member "rows" j) J.list in
+      let deadline_ms = Option.bind (J.member "deadline_ms" j) J.num in
+      match (id, model, rows) with
+      | Some id, Some model, Some rows -> (
+          let parse_row r =
+            match J.list r with
+            | None -> None
+            | Some cells ->
+                let vals = List.map J.num cells in
+                if List.exists Option.is_none vals then None
+                else Some (Array.of_list (List.map Option.get vals))
+          in
+          let parsed = List.map parse_row rows in
+          if List.exists Option.is_none parsed then
+            Error "rows must be arrays of numbers"
+          else
+            match
+              Array.of_list (List.map Option.get parsed)
+            with
+            | rows ->
+                Ok
+                  {
+                    wr_id = int_of_float id;
+                    wr_model = model;
+                    wr_rows = rows;
+                    wr_deadline_ms = deadline_ms;
+                  })
+      | _ -> Error "request needs id, model and rows fields")
+
+let encode_response ~(id : int) (resp : T.response) : string =
+  let fields =
+    match resp with
+    | Ok values ->
+        [
+          ("id", J.Num (float_of_int id));
+          ("ok", J.Bool true);
+          ( "values",
+            J.List (Array.to_list values |> List.map (fun x -> J.Num x)) );
+        ]
+    | Error e ->
+        [
+          ("id", J.Num (float_of_int id));
+          ("ok", J.Bool false);
+          ("error", J.Str (T.reject_reason_to_string e.T.reason));
+          ("detail", J.Str e.T.detail);
+        ]
+  in
+  J.to_string (J.Obj fields)
+
+let decode_response (line : string) : (int * T.response, string) result =
+  match J.parse line with
+  | Error e -> Error e
+  | Ok j -> (
+      let id = Option.bind (J.member "id" j) J.num in
+      let ok = Option.bind (J.member "ok" j) J.bool in
+      match (id, ok) with
+      | Some id, Some true -> (
+          match Option.bind (J.member "values" j) J.list with
+          | None -> Error "ok response needs values"
+          | Some vs ->
+              let vals = List.map J.num vs in
+              if List.exists Option.is_none vals then
+                Error "values must be numbers"
+              else
+                Ok
+                  ( int_of_float id,
+                    Ok (Array.of_list (List.map Option.get vals)) ))
+      | Some id, Some false ->
+          let reason =
+            Option.bind (J.member "error" j) J.str
+            |> Fun.flip Option.bind T.reject_reason_of_string
+            |> Option.value ~default:T.Engine_failure
+          in
+          let detail =
+            Option.bind (J.member "detail" j) J.str |> Option.value ~default:""
+          in
+          Ok (int_of_float id, Error { T.reason; detail })
+      | _ -> Error "response needs id and ok fields")

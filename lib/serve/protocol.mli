@@ -1,0 +1,20 @@
+(** Line-delimited JSON wire protocol for [spnc_serve]: one request or
+    response per line.  Floats use {!Spnc_obs.Json}'s shortest-exact
+    printer, so values round-trip bit-identically over the wire.
+    [deadline_ms] is a relative budget (made absolute server-side); [id]
+    is an opaque caller token echoed back — responses may arrive out of
+    submission order. *)
+
+type wire_request = {
+  wr_id : int;
+  wr_model : string;
+  wr_rows : float array array;
+  wr_deadline_ms : float option;
+}
+
+val encode_request : wire_request -> string
+(** Single line, no trailing newline. *)
+
+val decode_request : string -> (wire_request, string) result
+val encode_response : id:int -> Types.response -> string
+val decode_response : string -> (int * Types.response, string) result

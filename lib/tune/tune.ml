@@ -513,6 +513,115 @@ let spearman_of_candidates (cands : candidate list) =
 
 let spearman r = spearman_of_candidates r.candidates
 
+(* -- Per-dimension rank correlation ----------------------------------------- *)
+
+type dimension_corr = {
+  dc_knob : knob;
+  dc_rho_est : float option;
+  dc_rho_wall : float option;
+  dc_inverted : bool;
+}
+
+(* tie-averaged (fractional) ranks: knob ordinals are massively tied
+   (booleans!), so the plain distinct-rank scheme used for the global
+   est-vs-wall coefficient would manufacture spurious order *)
+let fractional_ranks (xs : float array) : float array =
+  let n = Array.length xs in
+  let idx = Array.init n (fun i -> i) in
+  Array.sort (fun a b -> compare xs.(a) xs.(b)) idx;
+  let ranks = Array.make n 0. in
+  let i = ref 0 in
+  while !i < n do
+    let j = ref !i in
+    while !j + 1 < n && xs.(idx.(!j + 1)) = xs.(idx.(!i)) do
+      incr j
+    done;
+    let avg = float_of_int (!i + !j) /. 2. in
+    for k = !i to !j do
+      ranks.(idx.(k)) <- avg
+    done;
+    i := !j + 1
+  done;
+  ranks
+
+(* Spearman with ties = Pearson over fractional ranks; [None] when
+   either vector is constant (correlation undefined) *)
+let spearman_ranks (xs : float array) (ys : float array) : float option =
+  let n = Array.length xs in
+  if n < 3 then None
+  else begin
+    let rx = fractional_ranks xs and ry = fractional_ranks ys in
+    let mean a = Array.fold_left ( +. ) 0. a /. float_of_int n in
+    let mx = mean rx and my = mean ry in
+    let cov = ref 0. and vx = ref 0. and vy = ref 0. in
+    for i = 0 to n - 1 do
+      let dx = rx.(i) -. mx and dy = ry.(i) -. my in
+      cov := !cov +. (dx *. dy);
+      vx := !vx +. (dx *. dx);
+      vy := !vy +. (dy *. dy)
+    done;
+    if !vx = 0. || !vy = 0. then None
+    else Some (!cov /. sqrt (!vx *. !vy))
+  end
+
+let knob_ordinal (k : knob) (o : Options.t) : float =
+  match k with
+  | Opt_level -> (
+      match o.Options.opt_level with
+      | Optimizer.O0 -> 0.
+      | Optimizer.O1 -> 1.
+      | Optimizer.O2 -> 2.
+      | Optimizer.O3 -> 3.)
+  | Vectorize -> if o.Options.vectorize then 1. else 0.
+  | Veclib -> if o.Options.use_veclib then 1. else 0.
+  | Shuffle -> if o.Options.use_shuffle then 1. else 0.
+  | Gather_tables -> if o.Options.use_gather_tables then 1. else 0.
+  | Partition -> (
+      (* unpartitioned sorts above every finite bucket *)
+      match o.Options.max_partition_size with
+      | None -> infinity
+      | Some n -> float_of_int n)
+
+let all_knobs =
+  [ Opt_level; Vectorize; Veclib; Shuffle; Gather_tables; Partition ]
+
+(* a dimension is "inverted" when the cost model and the wall clock rank
+   it in clearly opposite directions — both correlations past a noise
+   floor, with opposite signs *)
+let inversion_floor = 0.25
+
+let spearman_by_dimension (r : result) : dimension_corr list =
+  let measured =
+    List.filter (fun c -> c.wall_seconds <> None) r.candidates
+  in
+  let est = Array.of_list (List.map (fun c -> c.est_seconds) measured) in
+  let wall =
+    Array.of_list
+      (List.map (fun c -> Option.value ~default:0. c.wall_seconds) measured)
+  in
+  List.map
+    (fun k ->
+      let dim =
+        Array.of_list (List.map (fun c -> knob_ordinal k c.options) measured)
+      in
+      let rho_est = spearman_ranks dim est in
+      let rho_wall = spearman_ranks dim wall in
+      let inverted =
+        match (rho_est, rho_wall) with
+        | Some e, Some w ->
+            e *. w < 0.
+            && Float.abs e >= inversion_floor
+            && Float.abs w >= inversion_floor
+        | _ -> false
+      in
+      { dc_knob = k; dc_rho_est = rho_est; dc_rho_wall = rho_wall; dc_inverted = inverted })
+    all_knobs
+
+let inverted_dimensions r =
+  List.filter_map
+    (fun dc -> if dc.dc_inverted then Some (knob_to_string dc.dc_knob) else None)
+    (spearman_by_dimension r)
+
 (* -- Result JSON ------------------------------------------------------------ *)
 
 let opt_num = function None -> Json.Null | Some x -> Json.Num x
@@ -584,6 +693,18 @@ let result_to_json (r : result) =
         | None -> Json.Null
         | Some pt -> per_task_to_json pt );
       ("spearman", opt_num (spearman r));
+      ( "spearman_by_dimension",
+        Json.List
+          (List.map
+             (fun dc ->
+               Json.Obj
+                 [
+                   ("knob", Json.Str (knob_to_string dc.dc_knob));
+                   ("rho_est", opt_num dc.dc_rho_est);
+                   ("rho_wall", opt_num dc.dc_rho_wall);
+                   ("inverted", Json.Bool dc.dc_inverted);
+                 ])
+             (spearman_by_dimension r)) );
       ("from_cache", Json.Bool r.from_cache);
     ]
 

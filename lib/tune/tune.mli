@@ -155,6 +155,28 @@ val spearman : result -> float option
     stays non-negative — the model must not be anti-correlated with
     reality. *)
 
+(** Per-dimension diagnosis of a bad global {!spearman}: for each lattice
+    knob, the tie-aware rank correlation of the knob's ordinal against
+    the cost-model estimate ([dc_rho_est]) and against the measured wall
+    clock ([dc_rho_wall]) over the validated candidates.  A dimension is
+    {e inverted} when the two correlations are clearly opposite in sign
+    (both past a 0.25 noise floor): the cost model prices that knob in
+    the wrong direction, which is actionable — unlike the bare global
+    coefficient. *)
+type dimension_corr = {
+  dc_knob : knob;
+  dc_rho_est : float option;  (** [None]: knob constant among measured *)
+  dc_rho_wall : float option;
+  dc_inverted : bool;
+}
+
+val spearman_by_dimension : result -> dimension_corr list
+(** One entry per lattice dimension, in {!knob} order.  Uses fractional
+    (tie-averaged) ranks, since knob ordinals are massively tied. *)
+
+val inverted_dimensions : result -> string list
+(** Names of the inverted dimensions, for report strings. *)
+
 (** {2 Tuned-config serialization}
 
     A tuned configuration round-trips through JSON so CI jobs, the

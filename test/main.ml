@@ -26,4 +26,5 @@ let () =
       ("runtime", Test_runtime.suite);
       ("obs", Test_obs.suite);
       ("tune", Test_tune.suite);
+      ("serve", Test_serve.suite);
     ]

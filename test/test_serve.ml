@@ -1,0 +1,412 @@
+(** Serving-layer tests ({!Spnc_serve}): batcher flush policy
+    (flush-on-size vs flush-on-timer, driven by an injected clock), EDF
+    ordering across model queues, admission control (per-model and
+    global queue caps shedding with structured rejections),
+    deadline-expired requests being swept and never dispatched, scatter
+    bit-identity of batched execution against sequential per-request
+    {!Spnc.Compiler.execute} under randomized concurrent interleavings
+    at 1/2/4 engine threads, and the registry's bounded engine LRU
+    including reload through the persistent kernel cache's disk tier. *)
+
+module Serve = Spnc_serve.Server
+module Batcher = Spnc_serve.Batcher
+module Registry = Spnc_serve.Registry
+module T = Spnc_serve.Types
+module Compiler = Spnc.Compiler
+module Options = Spnc.Options
+module Model = Spnc_spn.Model
+module Rng = Spnc_data.Rng
+
+let check = Alcotest.check
+let tbool = Alcotest.bool
+let tint = Alcotest.int
+
+let check_bits what (expect : float array) (got : float array) =
+  check tint (what ^ ": length") (Array.length expect) (Array.length got);
+  Array.iteri
+    (fun i x ->
+      if Int64.bits_of_float x <> Int64.bits_of_float got.(i) then
+        Alcotest.failf "%s: row %d: expected %h, got %h" what i x got.(i))
+    expect
+
+(* tiny-but-real SPNs; Clamp keeps underflowed outputs finite and
+   deterministic without stderr noise *)
+let base_options =
+  {
+    Options.default with
+    threads = 1;
+    output_guard = Spnc_resilience.Guard.Clamp;
+  }
+
+let tiny_config =
+  {
+    Spnc_spn.Random_spn.default_config with
+    num_features = 6;
+    max_depth = 5;
+  }
+
+let models =
+  lazy
+    (let rng = Rng.create ~seed:4242 in
+     Array.init 4 (fun i ->
+         Spnc_spn.Random_spn.generate_sized rng
+           ~name:(Printf.sprintf "serve-m%d" i)
+           tiny_config ~min_ops:60))
+
+let model i = (Lazy.force models).(i)
+
+let rows_for ?(seed = 11) m n =
+  let rng = Rng.create ~seed in
+  Array.init n (fun _ ->
+      Array.init m.Model.num_features (fun _ -> Rng.range rng (-3.0) 3.0))
+
+(* -- batcher policy (pure, injected clock) ----------------------------------- *)
+
+let mk_req ?deadline ~model ~rows ~now () =
+  let features = 2 in
+  T.make_request ~model
+    ~flat:(Array.make (rows * features) 0.0)
+    ~rows ~features ~deadline ~now
+
+let mk_batcher ?(max_batch = 8) ?(max_delay_ms = 10.0) ?(starvation_ms = 1000.0)
+    ?(queue_cap = 16) ?(global_cap = 64) () =
+  Batcher.create ~max_batch ~max_delay_ms ~starvation_ms ~queue_cap ~global_cap
+
+let test_flush_on_size () =
+  let b = mk_batcher ~max_batch:8 ~max_delay_ms:10.0 () in
+  let now = 100.0 in
+  for _ = 1 to 7 do
+    match Batcher.enqueue b (mk_req ~model:"a" ~rows:1 ~now ()) with
+    | Ok () -> ()
+    | Error _ -> Alcotest.fail "enqueue under cap must admit"
+  done;
+  (* 7 rows, no time passed: not size-ready, not timer-ready *)
+  let p = Batcher.pop_ready b ~now in
+  check tbool "7 rows: no batch yet" true (p.Batcher.p_batch = None);
+  check tbool "7 rows: nothing expired" true (p.Batcher.p_expired = []);
+  (match Batcher.enqueue b (mk_req ~model:"a" ~rows:1 ~now ()) with
+  | Ok () -> ()
+  | Error _ -> Alcotest.fail "8th enqueue must admit");
+  (* 8 rows = max_batch: flushes with zero elapsed time *)
+  match (Batcher.pop_ready b ~now).Batcher.p_batch with
+  | Some batch ->
+      check tint "size flush takes the whole queue" 8 batch.Batcher.b_rows;
+      check tint "queue drained" 0 (Batcher.depth b "a")
+  | None -> Alcotest.fail "size-ready queue must flush without waiting"
+
+let test_flush_on_timer () =
+  let b = mk_batcher ~max_batch:100 ~max_delay_ms:10.0 () in
+  let now = 50.0 in
+  (match Batcher.enqueue b (mk_req ~model:"a" ~rows:2 ~now ()) with
+  | Ok () -> ()
+  | Error _ -> Alcotest.fail "enqueue must admit");
+  let early = Batcher.pop_ready b ~now:(now +. 0.005) in
+  check tbool "before max_delay: held back" true (early.Batcher.p_batch = None);
+  (* p_next names the pending timer flush *)
+  (match early.Batcher.p_next with
+  | Some t ->
+      check tbool "p_next = enqueue + max_delay" true
+        (Float.abs (t -. (now +. 0.010)) < 1e-9)
+  | None -> Alcotest.fail "a queued request must schedule a flush");
+  match (Batcher.pop_ready b ~now:(now +. 0.011)).Batcher.p_batch with
+  | Some batch -> check tint "timer flush rows" 2 batch.Batcher.b_rows
+  | None -> Alcotest.fail "past max_delay the queue must flush"
+
+let test_edf_order () =
+  let b = mk_batcher ~max_batch:100 ~max_delay_ms:5.0 ~starvation_ms:1e7 () in
+  let now = 10.0 in
+  (* both timer-ready at pop time; "late" enqueued first but has the
+     later deadline — EDF must pick "soon" (starvation guard pushed out
+     of the way so the deadlines alone order the pick) *)
+  (match Batcher.enqueue b (mk_req ~deadline:(now +. 60.0) ~model:"late" ~rows:1 ~now ()) with
+  | Ok () -> ()
+  | Error _ -> Alcotest.fail "enqueue late");
+  (match Batcher.enqueue b (mk_req ~deadline:(now +. 1.0) ~model:"soon" ~rows:1 ~now ()) with
+  | Ok () -> ()
+  | Error _ -> Alcotest.fail "enqueue soon");
+  (match (Batcher.pop_ready b ~now:(now +. 0.006)).Batcher.p_batch with
+  | Some batch ->
+      check Alcotest.string "earliest deadline dispatches first" "soon"
+        batch.Batcher.b_model
+  | None -> Alcotest.fail "timer-ready queues must flush");
+  match (Batcher.pop_ready b ~now:(now +. 0.006)).Batcher.p_batch with
+  | Some batch ->
+      check Alcotest.string "then the later deadline" "late"
+        batch.Batcher.b_model
+  | None -> Alcotest.fail "second queue must flush next"
+
+let test_starvation_guard () =
+  let b = mk_batcher ~max_batch:100 ~max_delay_ms:1.0 ~starvation_ms:50.0 () in
+  let now = 10.0 in
+  (* deadline-less request enqueued long ago: its effective deadline is
+     enqueued+starvation, which beats a fresh tight-deadline tenant *)
+  (match Batcher.enqueue b (mk_req ~model:"old" ~rows:1 ~now ()) with
+  | Ok () -> ()
+  | Error _ -> Alcotest.fail "enqueue old");
+  let later = now +. 0.2 in
+  (match
+     Batcher.enqueue b
+       (mk_req ~deadline:(later +. 0.5) ~model:"fresh" ~rows:1 ~now:later ())
+   with
+  | Ok () -> ()
+  | Error _ -> Alcotest.fail "enqueue fresh");
+  match (Batcher.pop_ready b ~now:(later +. 0.002)).Batcher.p_batch with
+  | Some batch ->
+      check Alcotest.string "starved best-effort traffic dispatches first"
+        "old" batch.Batcher.b_model
+  | None -> Alcotest.fail "both queues are timer-ready"
+
+let test_queue_caps () =
+  let b = mk_batcher ~queue_cap:3 ~global_cap:5 () in
+  let now = 1.0 in
+  for _ = 1 to 3 do
+    match Batcher.enqueue b (mk_req ~model:"a" ~rows:1 ~now ()) with
+    | Ok () -> ()
+    | Error _ -> Alcotest.fail "under per-model cap must admit"
+  done;
+  (match Batcher.enqueue b (mk_req ~model:"a" ~rows:1 ~now ()) with
+  | Error T.Overloaded_model -> ()
+  | _ -> Alcotest.fail "4th request on a cap-3 queue must shed");
+  (* other models still admitted up to the global cap *)
+  (match Batcher.enqueue b (mk_req ~model:"b" ~rows:1 ~now ()) with
+  | Ok () -> ()
+  | Error _ -> Alcotest.fail "other model under caps must admit");
+  (match Batcher.enqueue b (mk_req ~model:"c" ~rows:1 ~now ()) with
+  | Ok () -> ()
+  | Error _ -> Alcotest.fail "5th request reaches the global cap");
+  match Batcher.enqueue b (mk_req ~model:"d" ~rows:1 ~now ()) with
+  | Error T.Overloaded_global -> ()
+  | _ -> Alcotest.fail "6th request past the global cap must shed"
+
+(* -- server (dispatchers:0 + injected clock = deterministic step) ------------- *)
+
+let stepped_server ?(options = base_options) ~clock () =
+  Serve.create ~clock:(fun () -> !clock) ~dispatchers:0 ~options ()
+
+let test_server_shed_and_depth () =
+  let clock = ref 1000.0 in
+  let options = { base_options with serve_queue_cap = 2 } in
+  let server = stepped_server ~options ~clock () in
+  Serve.register_model server ~name:"m0" (model 0);
+  let data = rows_for (model 0) 1 in
+  let t1 = Serve.submit_async server ~model:"m0" data in
+  let t2 = Serve.submit_async server ~model:"m0" data in
+  let t3 = Serve.submit_async server ~model:"m0" data in
+  check tint "queue depth at cap" 2 (Serve.queue_depth server "m0");
+  (* the third settles immediately with a structured shed *)
+  (match Serve.await t3 with
+  | Error e ->
+      check tbool "overloaded rejection" true (T.is_overloaded e);
+      check Alcotest.string "reason" "overloaded_model"
+        (T.reject_reason_to_string e.T.reason)
+  | Ok _ -> Alcotest.fail "over-cap submit must shed");
+  (* unknown model settles immediately too *)
+  (match Serve.await (Serve.submit_async server ~model:"nope" data) with
+  | Error { T.reason = T.Unknown_model; _ } -> ()
+  | _ -> Alcotest.fail "unknown model must reject");
+  (* drain: flush-on-timer via stepped clock *)
+  clock := !clock +. 1.0;
+  check tbool "step dispatches" true (Serve.step server ~now:!clock);
+  (match (Serve.await t1, Serve.await t2) with
+  | Ok _, Ok _ -> ()
+  | _ -> Alcotest.fail "queued requests must dispatch on step");
+  Serve.shutdown server
+
+let test_server_expired_never_dispatched () =
+  let clock = ref 2000.0 in
+  let server = stepped_server ~clock () in
+  Serve.register_model server ~name:"m0" (model 0);
+  Spnc_obs.Metrics.reset "serve.dispatched_rows";
+  let data = rows_for (model 0) 2 in
+  let ticket =
+    Serve.submit_async server ~model:"m0" ~deadline:(!clock +. 0.5) data
+  in
+  (* deadline passes while queued; the sweep must fulfill Expired
+     without running the kernel *)
+  clock := !clock +. 1.0;
+  check tbool "step sweeps the expired request" true
+    (Serve.step server ~now:!clock);
+  (match Serve.await ticket with
+  | Error { T.reason = T.Expired; _ } -> ()
+  | _ -> Alcotest.fail "expired request must settle as deadline_expired");
+  check tint "expired requests never reach the engine" 0
+    (Spnc_obs.Metrics.counter_value
+       (Spnc_obs.Metrics.counter "serve.dispatched_rows"));
+  (* a pre-expired submit settles at admission *)
+  (match
+     Serve.await
+       (Serve.submit_async server ~model:"m0" ~deadline:(!clock -. 1.0) data)
+   with
+  | Error { T.reason = T.Expired; _ } -> ()
+  | _ -> Alcotest.fail "already-expired submit must reject");
+  Serve.shutdown server
+
+let test_server_bad_request () =
+  let clock = ref 3000.0 in
+  let server = stepped_server ~clock () in
+  Serve.register_model server ~name:"m0" (model 0);
+  let ragged = [| Array.make (model 0).Model.num_features 0.0; [| 1.0 |] |] in
+  (match Serve.await (Serve.submit_async server ~model:"m0" ragged) with
+  | Error { T.reason = T.Bad_request; _ } -> ()
+  | _ -> Alcotest.fail "ragged rows must reject");
+  (* feature-count mismatch is admitted (rows are rectangular) and
+     surfaces per request at dispatch, against the engine's count *)
+  let wrong = [| Array.make ((model 0).Model.num_features + 1) 0.0 |] in
+  let ticket = Serve.submit_async server ~model:"m0" wrong in
+  clock := !clock +. 1.0;
+  ignore (Serve.step server ~now:!clock);
+  (match Serve.await ticket with
+  | Error { T.reason = T.Bad_request; _ } -> ()
+  | _ -> Alcotest.fail "feature mismatch must reject at dispatch");
+  (* zero rows: trivially complete *)
+  (match Serve.await (Serve.submit_async server ~model:"m0" [||]) with
+  | Ok [||] -> ()
+  | _ -> Alcotest.fail "empty request must return an empty result");
+  Serve.shutdown server
+
+let test_server_shutdown_drains () =
+  let clock = ref 4000.0 in
+  let server = stepped_server ~clock () in
+  Serve.register_model server ~name:"m0" (model 0);
+  let data = rows_for (model 0) 1 in
+  let t1 = Serve.submit_async server ~model:"m0" data in
+  Serve.shutdown server;
+  (match Serve.await t1 with
+  | Error { T.reason = T.Closed; _ } -> ()
+  | _ -> Alcotest.fail "shutdown must settle queued requests as closed");
+  match Serve.await (Serve.submit_async server ~model:"m0" data) with
+  | Error { T.reason = T.Closed; _ } -> ()
+  | _ -> Alcotest.fail "submits after shutdown must reject as closed"
+
+(* -- scatter bit-identity under concurrency ----------------------------------- *)
+
+(* Real dispatcher domains, several client threads firing randomized
+   slices of precomputed pools at randomized models: every response must
+   be bit-identical to the sequential whole-pool reference, whatever
+   batches the flush policy happened to coalesce. *)
+let scatter_identity ~threads () =
+  let options = { base_options with threads } in
+  let server = Serve.create ~options () in
+  let pools =
+    Array.init 4 (fun i ->
+        let m = model i in
+        Serve.register_model server ~name:m.Model.name m;
+        let pool = rows_for ~seed:(500 + i) m 64 in
+        let reference =
+          Compiler.execute (Compiler.compile ~options:base_options m) pool
+        in
+        (m.Model.name, pool, reference))
+  in
+  let failures = Atomic.make 0 in
+  let client c =
+    let rng = Rng.create ~seed:(900 + c) in
+    for _ = 1 to 25 do
+      let name, pool, reference = pools.(Rng.int rng 4) in
+      let rows = 1 + Rng.int rng 4 in
+      let off = Rng.int rng (Array.length pool - rows + 1) in
+      match Serve.submit server ~model:name (Array.sub pool off rows) with
+      | Ok values ->
+          let expect = Array.sub reference off rows in
+          let same =
+            Array.length values = rows
+            && (let ok = ref true in
+                Array.iteri
+                  (fun i v ->
+                    if Int64.bits_of_float v <> Int64.bits_of_float expect.(i)
+                    then ok := false)
+                  values;
+                !ok)
+          in
+          if not same then Atomic.incr failures
+      | Error _ -> Atomic.incr failures
+    done
+  in
+  let clients = List.init 6 (fun c -> Thread.create client c) in
+  List.iter Thread.join clients;
+  Serve.shutdown server;
+  check tint
+    (Printf.sprintf "threads=%d: all responses bit-identical" threads)
+    0 (Atomic.get failures)
+
+(* -- registry: LRU + kcache reload -------------------------------------------- *)
+
+let test_registry_lru () =
+  let options = { base_options with serve_engines_cap = 2 } in
+  let reg = Registry.create ~options () in
+  for i = 0 to 2 do
+    Registry.register_model reg ~name:(Printf.sprintf "m%d" i) (model i)
+  done;
+  let touch name =
+    match Registry.engine reg name with
+    | Ok e -> check Alcotest.string "engine name" name e.Registry.eng_name
+    | Error e -> Alcotest.failf "engine %s: %s" name e
+  in
+  touch "m0";
+  touch "m1";
+  check (Alcotest.list Alcotest.string) "two resident" [ "m0"; "m1" ]
+    (Registry.loaded reg);
+  (* m0 is LRU; loading m2 must evict it *)
+  touch "m1";
+  touch "m2";
+  check (Alcotest.list Alcotest.string) "LRU evicted m0" [ "m1"; "m2" ]
+    (Registry.loaded reg);
+  (* touching the survivor, then loading m0 again, evicts m2 *)
+  touch "m1";
+  touch "m0";
+  check (Alcotest.list Alcotest.string) "LRU evicted m2" [ "m0"; "m1" ]
+    (Registry.loaded reg);
+  match Registry.engine reg "unregistered" with
+  | Error _ -> ()
+  | Ok _ -> Alcotest.fail "unregistered name must error"
+
+let test_registry_kcache_reload () =
+  let dir =
+    Filename.concat (Filename.get_temp_dir_name ())
+      (Printf.sprintf "spnc-serve-kc-%d" (Unix.getpid ()))
+  in
+  let options =
+    {
+      base_options with
+      use_kernel_cache = true;
+      kernel_cache_dir = Some dir;
+    }
+  in
+  let reg = Registry.create ~options () in
+  Registry.register_model reg ~name:"m0" (model 0);
+  (* earlier tests may have this artifact hot in the in-memory tier; a
+     memory hit would skip the disk publish, so start from a cold cache *)
+  Compiler.reset_kernel_cache ();
+  (match Registry.engine reg "m0" with
+  | Ok _ -> ()
+  | Error e -> Alcotest.failf "first load: %s" e);
+  (* drop the hot engine AND the in-memory compile cache; the reload
+     must come back through the persistent disk tier *)
+  Registry.flush_engines reg;
+  check (Alcotest.list Alcotest.string) "flushed" [] (Registry.loaded reg);
+  Compiler.reset_kernel_cache ();
+  let before = (Compiler.cache_counters ()).Compiler.disk_hits in
+  (match Registry.engine reg "m0" with
+  | Ok _ -> ()
+  | Error e -> Alcotest.failf "reload: %s" e);
+  let after = (Compiler.cache_counters ()).Compiler.disk_hits in
+  check tbool "reload served from the kcache disk tier" true (after > before)
+
+let suite =
+  [
+    ("batcher: flush on size", `Quick, test_flush_on_size);
+    ("batcher: flush on timer", `Quick, test_flush_on_timer);
+    ("batcher: EDF ordering", `Quick, test_edf_order);
+    ("batcher: starvation guard", `Quick, test_starvation_guard);
+    ("batcher: queue caps shed", `Quick, test_queue_caps);
+    ("server: shed + depth + unknown model", `Quick, test_server_shed_and_depth);
+    ( "server: expired never dispatched",
+      `Quick,
+      test_server_expired_never_dispatched );
+    ("server: bad requests reject", `Quick, test_server_bad_request);
+    ("server: shutdown drains as closed", `Quick, test_server_shutdown_drains);
+    ("scatter identity, threads=1", `Quick, scatter_identity ~threads:1);
+    ("scatter identity, threads=2", `Quick, scatter_identity ~threads:2);
+    ("scatter identity, threads=4", `Quick, scatter_identity ~threads:4);
+    ("registry: engine LRU eviction", `Quick, test_registry_lru);
+    ("registry: kcache disk reload", `Quick, test_registry_kcache_reload);
+  ]
