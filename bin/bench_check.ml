@@ -44,6 +44,8 @@ let serve_path = ref ""
 let serve_baseline = ref ""
 let metrics_path = ref ""
 let metrics_baseline = ref ""
+let passorder_path = ref ""
+let passorder_baseline = ref ""
 let blowup = ref 3.0
 let abs_guard_ms = ref 10.0
 
@@ -61,6 +63,12 @@ let spec =
     ( "--metrics-baseline",
       Arg.Set_string metrics_baseline,
       "FILE Committed metrics-snapshot baseline" );
+    ( "--passorder",
+      Arg.Set_string passorder_path,
+      "FILE Fresh PASSORDER_cpu.json pass-ordering leaderboard" );
+    ( "--passorder-baseline",
+      Arg.Set_string passorder_baseline,
+      "FILE Committed pass-ordering leaderboard baseline" );
     ( "--blowup",
       Arg.Set_float blowup,
       "X Hard-fail latency ratio threshold (default 3.0)" );
@@ -269,6 +277,70 @@ let check_serve fresh baseline =
   check_lower ~name ~key:"unbatched_at_peak.p99_ms" ~hard:false ~unit_ms:1.0
     fresh baseline
 
+(* Pass-ordering leaderboard (PASSORDER_cpu.json, written by spnc_fuzz
+   --smith-explore).  Hard gates: a wrong schema (the explorer and the
+   gate disagree about the format) and any entry with
+   [bit_identical=false] — a leaderboard is a promotion shortlist, and a
+   miscompiling ordering on it must go red before anyone promotes it
+   with --passorder-file.  Baseline comparison is WARN-only drift: the
+   winning ordering changing, or its profiled cycle estimate moving, is
+   information for a human, not a regression. *)
+let check_passorder fresh baseline =
+  let name = "passorder" in
+  (match get_str fresh "schema" with
+  | Some "spnc-passorder-v1" -> info "%s schema: spnc-passorder-v1" name
+  | Some s -> fail "%s: unknown schema %S (expected spnc-passorder-v1)" name s
+  | None -> fail "%s: missing schema field" name);
+  let entries j =
+    match Option.bind (Json.find j "entries") Json.list with
+    | Some l -> l
+    | None -> []
+  in
+  let fresh_entries = entries fresh in
+  if fresh_entries = [] then fail "%s: leaderboard has no entries" name
+  else begin
+    List.iter
+      (fun e ->
+        let order =
+          Option.value ~default:"?"
+            (Option.bind (Json.member "order" e) Json.str)
+        in
+        match Option.bind (Json.member "bit_identical" e) Json.bool with
+        | Some true -> ()
+        | Some false ->
+            fail
+              "%s: ordering %S is NOT bit-identical to the default — a \
+               miscompiling ordering must never sit on the promotion \
+               shortlist"
+              name order
+        | None -> fail "%s: entry %S missing bit_identical" name order)
+      fresh_entries;
+    let best j =
+      match entries j with
+      | e :: _ ->
+          ( Option.bind (Json.member "order" e) Json.str,
+            Option.bind (Json.member "est_cycles" e) Json.num )
+      | [] -> (None, None)
+    in
+    let f_order, f_cycles = best fresh in
+    (match f_order with
+    | Some o -> info "%s best ordering: %s" name o
+    | None -> ());
+    match baseline with
+    | None -> ()
+    | Some b ->
+        let b_order, b_cycles = best b in
+        (match (f_order, b_order) with
+        | Some f, Some bo when f <> bo ->
+            warn "%s: best ordering changed: %S -> %S" name bo f
+        | _ -> ());
+        (match (f_cycles, b_cycles) with
+        | Some f, Some bc when bc > 0.0 && f /. bc > 1.25 ->
+            warn "%s: best est_cycles %.4g vs baseline %.4g (%.2fx)" name f bc
+              (f /. bc)
+        | _ -> ())
+  end
+
 (* Metrics snapshots are report-only: they carry workload-dependent
    counters (rows, chunks, steals) that legitimately move.  What the
    diff surfaces is disappearing instrumentation and wild counter
@@ -325,7 +397,23 @@ let () =
   pair "gpu" !gpu_path !gpu_baseline check_gpu;
   pair "serve" !serve_path !serve_baseline check_serve;
   pair "metrics" !metrics_path !metrics_baseline check_metrics;
-  if !cpu_path = "" && !gpu_path = "" && !serve_path = "" && !metrics_path = ""
+  (* passorder runs its fresh-only gates even without a baseline *)
+  (match !passorder_path with
+  | "" ->
+      if !passorder_baseline <> "" then
+        fail "passorder: baseline given but no fresh artifact"
+  | p -> (
+      match load "passorder" p with
+      | None -> ()
+      | Some fresh ->
+          let baseline =
+            if !passorder_baseline = "" then None
+            else load ~baseline:true "passorder baseline" !passorder_baseline
+          in
+          check_passorder fresh baseline));
+  if
+    !cpu_path = "" && !gpu_path = "" && !serve_path = "" && !metrics_path = ""
+    && !passorder_path = ""
   then begin
     prerr_endline "bench_check: nothing to check (see --help)";
     exit 2

@@ -354,10 +354,55 @@ let options_term =
       & info [ "no-gpu-fallback" ]
           ~doc:"Fail instead of falling back to CPU on a GPU backend error.")
   in
+  let passorder =
+    let passorder_c =
+      let parse s =
+        let order = Spnc_smith.Passorder.order_of_string s in
+        match Spnc.Pipelines.lospn_opt_passes order with
+        | Ok _ -> Ok order
+        | Error e -> Error (`Msg e)
+      in
+      let pp ppf o = Fmt.string ppf (Spnc_smith.Passorder.order_to_string o) in
+      Arg.conv (parse, pp)
+    in
+    Arg.(
+      value
+      & opt (some passorder_c) None
+      & info [ "passorder" ] ~docv:"P1,P2,.."
+          ~doc:
+            "Override the LoSPN opt-stage pass ordering (pool: constfold, \
+             cse, dce, canonicalize).  Validated against the pass pool; \
+             participates in the artifact fingerprint, so cached kernels are \
+             keyed per ordering.  Orderings are discovered by $(b,spnc_fuzz \
+             --smith-explore) (docs/FUZZING.md).")
+  in
+  let passorder_file =
+    let passorder_file_c =
+      let parse path =
+        match Spnc_smith.Passorder.read_leaderboard ~path with
+        | Error e -> Error (`Msg (Printf.sprintf "%s: %s" path e))
+        | Ok scores -> (
+            match Spnc_smith.Passorder.best scores with
+            | Some s -> Ok s.Spnc_smith.Passorder.order
+            | None ->
+                Error (`Msg (path ^ ": no bit-identical ordering to promote")))
+      in
+      let pp ppf o = Fmt.string ppf (Spnc_smith.Passorder.order_to_string o) in
+      Arg.conv (parse, pp)
+    in
+    Arg.(
+      value
+      & opt (some passorder_file_c) None
+      & info [ "passorder-file" ] ~docv:"FILE"
+          ~doc:
+            "Promote the best bit-identical pass ordering from a \
+             $(b,PASSORDER_cpu.json) leaderboard written by $(b,spnc_fuzz \
+             --smith-explore); $(b,--passorder) wins when both are given.")
+  in
   let build target vectorize no_veclib no_shuffle opt_level partition batch block
       marginal threads sched streams engine no_kernel_cache kernel_cache_dir
       kernel_cache_mb deadline_ms exec_retries machine veclib output_guard
-      no_gpu_fallback =
+      no_gpu_fallback passorder passorder_file =
     {
       Spnc.Options.default with
       target;
@@ -389,13 +434,16 @@ let options_term =
       exec_retries = max 0 exec_retries;
       output_guard;
       gpu_fallback = not no_gpu_fallback;
+      lospn_opt_order =
+        (match passorder with Some o -> Some o | None -> passorder_file);
     }
   in
   Term.(
     const build $ target $ vectorize $ no_veclib $ no_shuffle $ opt_level
     $ partition $ batch $ block $ marginal $ threads $ sched $ streams $ engine
     $ no_kernel_cache $ kernel_cache_dir $ kernel_cache_mb $ deadline_ms
-    $ exec_retries $ machine $ veclib $ output_guard $ no_gpu_fallback)
+    $ exec_retries $ machine $ veclib $ output_guard $ no_gpu_fallback
+    $ passorder $ passorder_file)
 
 (* -- observability flags ----------------------------------------------------------- *)
 

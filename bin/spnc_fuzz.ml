@@ -25,6 +25,17 @@
 open Cmdliner
 module Fuzz = Spnc_resilience.Fuzz
 module Diag = Spnc_resilience.Diag
+module Smith = Spnc_smith.Smith
+module Harness = Spnc_smith.Harness
+module Shrink = Spnc_smith.Shrink
+module Passorder = Spnc_smith.Passorder
+
+(* sysexits, matching the spnc CLI convention (README exit table):
+   65 EX_DATAERR for failures the harness FOUND (miscompiles, divergence,
+   illegal orderings), 70 EX_SOFTWARE for the harness itself crashing. *)
+let exit_ok = 0
+let exit_data = 65
+let exit_internal = 70
 
 (* -- Oracles ------------------------------------------------------------------ *)
 
@@ -541,13 +552,213 @@ let run_chaos seed cases rows no_gpu out_dir verbose =
     cases !failures !fault_total dt d.Spnc.Kcache.hits d.Spnc.Kcache.misses
     d.Spnc.Kcache.stores d.Spnc.Kcache.evictions d.Spnc.Kcache.corrupt
     d.Spnc.Kcache.store_failures;
-  if !failures > 0 then 1 else 0
+  if !failures > 0 then exit_data else exit_ok
+
+(* -- Smith mode: grammar-based pipeline fuzzing (docs/FUZZING.md) -------------- *)
+
+let smith_repro_command ~seed ~id ~cases ~rows ~target_ops ~max_depth
+    ~orderings =
+  Printf.sprintf
+    "spnc_fuzz --smith --seed %d --case %d --cases %d --rows %d --target-ops \
+     %d --max-depth %d --smith-orderings %d"
+    seed id cases rows target_ops max_depth orderings
+
+let write_smith_bundle ~out_dir ~(p : Smith.program) ~(f : Harness.failure)
+    ~(shrunk : Spnc_mlir.Ir.modul) ~(shrunk_data : float array array) ~repro =
+  Spnc_resilience.Reproducer.write ?dir:out_dir
+    ~extra:
+      [
+        ( "program-original.mlir",
+          Spnc_mlir.Printer.modul_to_string p.Smith.modul );
+        ("data.csv", Smith.data_to_csv shrunk_data);
+        ("repro-command.txt", repro ^ "\n");
+      ]
+    ~ir:(Spnc_mlir.Printer.modul_to_string shrunk)
+    ~pipeline:f.Harness.pipeline
+    ~options:repro
+    ~diag:(Fmt.str "%a" Harness.pp_failure f)
+    ()
+
+let run_smith ~seed ~cases ~rows ~target_ops ~max_depth ~tol ~orderings
+    ~forced_order ~explore ~passorder_out ~budget_s ~case_only ~corpus_dir
+    ~no_shrink ~out_dir ~inject ~verbose =
+  if inject then Spnc_cpu.Optimizer.inject_bad_peephole := true;
+  (* a forced ordering is legality-gated up front: the CI canary feeds an
+     intentionally mis-ordered pass pair here and asserts a loud failure *)
+  let forced_ok =
+    match forced_order with
+    | None -> true
+    | Some spec -> (
+        match Spnc.Pipelines.validate_pipeline spec with
+        | Ok () -> true
+        | Error e ->
+            Fmt.epr "ILLEGAL PIPELINE %S: %s@." spec e;
+            false)
+  in
+  if not forced_ok then exit_data
+  else begin
+    let config =
+      { Smith.default_config with Smith.rows; target_ops; max_depth }
+    in
+    let hconfig = { Harness.default_config with Harness.orderings; tol } in
+    let failures = ref 0 in
+    let programs = ref [] in
+    let ran = ref 0 in
+    let t0 = Unix.gettimeofday () in
+    (match corpus_dir with
+    | Some d when not (Sys.file_exists d) -> Unix.mkdir d 0o755
+    | _ -> ());
+    let first, last =
+      match case_only with Some c -> (c, c) | None -> (0, cases - 1)
+    in
+    (try
+       for id = first to last do
+         if budget_s > 0.0 && Unix.gettimeofday () -. t0 > budget_s then
+           raise Exit;
+         let p = Smith.generate ~config ~seed ~id () in
+         incr ran;
+         if List.length !programs < 32 then programs := p :: !programs;
+         (match corpus_dir with
+         | Some d when id - first < 1000 ->
+             let oc =
+               open_out
+                 (Filename.concat d (Printf.sprintf "case_s%d_c%d.mlir" seed id))
+             in
+             output_string oc (Spnc_mlir.Printer.modul_to_string p.Smith.modul);
+             close_out oc
+         | _ -> ());
+         if verbose then
+           Fmt.epr "case %d: %d features, %d rows, space=%s, batch=%d@." id
+             p.Smith.num_features p.Smith.rows
+             (match p.Smith.space with
+             | Spnc_lospn.Lower_hispn.Auto -> "auto"
+             | Spnc_lospn.Lower_hispn.Force_linear -> "linear"
+             | Spnc_lospn.Lower_hispn.Force_log -> "log")
+             p.Smith.batch_size;
+         let failure =
+           match forced_order with
+           | Some spec -> (
+               (* forced mode: run the given full pipeline and compare its
+                  interp result against the baseline pipeline's *)
+               match
+                 ( Harness.run_pipeline ~pipeline:Harness.baseline_pipeline
+                     p.Smith.modul,
+                   Harness.run_pipeline ~pipeline:spec p.Smith.modul )
+               with
+               | Ok base, Ok forced -> (
+                   match
+                     ( Harness.eval_interp base p,
+                       Harness.eval_interp forced p )
+                   with
+                   | Ok a, Ok b when Harness.tol_eq ~tol a b -> None
+                   | Ok _, Ok _ ->
+                       Some
+                         {
+                           Harness.case_id = id;
+                           check = "ordering-divergence";
+                           pipeline = spec;
+                           detail = "forced ordering diverges from baseline";
+                         }
+                   | Error _, Error _ -> None
+                   | _, Error e | Error e, _ ->
+                       Some
+                         {
+                           Harness.case_id = id;
+                           check = "pipeline";
+                           pipeline = spec;
+                           detail = e;
+                         })
+               | _, Error e ->
+                   Some
+                     {
+                       Harness.case_id = id;
+                       check = "pipeline";
+                       pipeline = spec;
+                       detail = e;
+                     }
+               | Error e, _ ->
+                   Some
+                     {
+                       Harness.case_id = id;
+                       check = "pipeline";
+                       pipeline = Harness.baseline_pipeline;
+                       detail = e;
+                     })
+           | None -> Harness.check_program ~config:hconfig p
+         in
+         match failure with
+         | None -> ()
+         | Some f ->
+             incr failures;
+             let repro =
+               smith_repro_command ~seed ~id ~cases ~rows ~target_ops
+                 ~max_depth ~orderings
+             in
+             Fmt.epr "SMITH FAIL %a@.repro: %s@." Harness.pp_failure f repro;
+             let still_fails m d =
+               Harness.check_program ~config:hconfig
+                 { p with Smith.modul = m; data = d; rows = Array.length d }
+               <> None
+             in
+             let shrunk, shrunk_data =
+               if no_shrink || forced_order <> None then
+                 (p.Smith.modul, p.Smith.data)
+               else Shrink.shrink ~still_fails p.Smith.modul p.Smith.data
+             in
+             if not (no_shrink || forced_order <> None) then
+               Fmt.epr "shrunk: %d -> %d ops, %d -> %d rows@."
+                 (Shrink.count_ops p.Smith.modul)
+                 (Shrink.count_ops shrunk)
+                 (Array.length p.Smith.data)
+                 (Array.length shrunk_data);
+             (match
+                write_smith_bundle ~out_dir ~p ~f ~shrunk ~shrunk_data ~repro
+              with
+             | Ok b ->
+                 Fmt.epr "reproducer written to %s@."
+                   b.Spnc_resilience.Reproducer.dir
+             | Error e -> Fmt.epr "(reproducer dump failed: %s)@." e)
+       done
+     with Exit -> ());
+    (* pass-ordering exploration over a corpus sample *)
+    if explore then begin
+      let rng = Spnc_data.Rng.create ~seed:(seed + 997) in
+      let orders = Passorder.candidate_orders ~rng ~extra:4 in
+      let sample = List.rev !programs in
+      let scores = Harness.explore ~programs:sample ~orders in
+      Passorder.write_leaderboard ~path:passorder_out ~seed scores;
+      Fmt.pr "pass-ordering leaderboard (%d orderings over %d programs) -> %s@."
+        (List.length orders) (List.length sample) passorder_out;
+      match Passorder.best scores with
+      | Some s ->
+          Fmt.pr "best promotable ordering: %s (%d ops, %.4fs, %.0f cycles)@."
+            (Passorder.order_to_string s.Passorder.order)
+            s.Passorder.final_ops s.Passorder.compile_s s.Passorder.est_cycles
+      | None -> Fmt.pr "no bit-identical ordering found (nothing promotable)@."
+    end;
+    let dt = Unix.gettimeofday () -. t0 in
+    Fmt.pr
+      "spnc_fuzz --smith: %d program(s), %d failure(s), %d random legal \
+       ordering(s)/case, levels O0..O3, engines vm+jit, threads 1/%d, %.1fs@."
+      !ran !failures
+      (match forced_order with Some _ -> 0 | None -> orderings)
+      hconfig.Harness.threads dt;
+    if !failures > 0 then exit_data else exit_ok
+  end
 
 (* -- Driver ------------------------------------------------------------------- *)
 
 let run seed cases rows target_ops max_depth tol threads no_gpu no_shrink
-    no_cross_engine sched_stress chaos marginal_fraction out_dir inject verbose =
-  if chaos then run_chaos seed cases (max rows 8) no_gpu out_dir verbose
+    no_cross_engine sched_stress chaos marginal_fraction out_dir inject verbose
+    smith smith_orderings smith_order smith_explore passorder_out budget_s
+    case_only corpus_dir =
+  try
+  if smith then
+    run_smith ~seed ~cases ~rows ~target_ops ~max_depth ~tol
+      ~orderings:smith_orderings ~forced_order:smith_order
+      ~explore:smith_explore ~passorder_out ~budget_s ~case_only ~corpus_dir
+      ~no_shrink ~out_dir ~inject ~verbose
+  else if chaos then run_chaos seed cases (max rows 8) no_gpu out_dir verbose
   else begin
   if inject then Spnc_cpu.Optimizer.inject_bad_peephole := true;
   let config =
@@ -624,8 +835,16 @@ let run seed cases rows target_ops max_depth tol threads no_gpu no_shrink
     ((if no_cross_engine then "" else " + engine bit-identity")
     ^ if sched_stress then " + scheduler stress" else "")
     dt k.Spnc.Compiler.hits k.Spnc.Compiler.misses k.Spnc.Compiler.full_compiles;
-  if !failures > 0 then 1 else 0
+  if !failures > 0 then exit_data else exit_ok
   end
+  with
+  | (Stack_overflow | Out_of_memory) as e -> raise e
+  | e ->
+      (* EX_SOFTWARE: the harness itself crashed — distinct from finding
+         failures in the system under test (EX_DATAERR) *)
+      Fmt.epr "spnc_fuzz: internal error: %s@.%s@." (Printexc.to_string e)
+        (Printexc.get_backtrace ());
+      exit_internal
 
 let cmd =
   let seed = Arg.(value & opt int 1 & info [ "seed" ] ~doc:"Base RNG seed.") in
@@ -709,14 +928,78 @@ let cmd =
              the run must then report mismatches.")
   in
   let verbose = Arg.(value & flag & info [ "verbose"; "v" ] ~doc:"Per-case log.") in
+  let smith =
+    Arg.(
+      value & flag
+      & info [ "smith" ]
+          ~doc:
+            "Smith mode: grammar-based IR-level generation (spnc_smith) with \
+             the differential pipeline harness — every program is checked \
+             across -O0..-O3 × VM/JIT × threads and randomized legal pass \
+             orderings against the LoSPN interpreter reference.")
+  in
+  let smith_orderings =
+    Arg.(
+      value & opt int 5
+      & info [ "smith-orderings" ]
+          ~doc:"Random legal pass orderings checked per program (smith mode).")
+  in
+  let smith_order =
+    Arg.(
+      value & opt (some string) None
+      & info [ "smith-order" ] ~docv:"PIPELINE"
+          ~doc:
+            "Run every generated program through this exact textual pipeline \
+             instead of random orderings; the pipeline is legality-checked \
+             first and an illegal ordering fails loudly (exit 65).")
+  in
+  let smith_explore =
+    Arg.(
+      value & flag
+      & info [ "smith-explore" ]
+          ~doc:
+            "Score candidate LoSPN opt-stage pass orderings over the \
+             generated corpus and write a leaderboard (see --passorder-out).")
+  in
+  let passorder_out =
+    Arg.(
+      value & opt string "PASSORDER_cpu.json"
+      & info [ "passorder-out" ] ~docv:"FILE"
+          ~doc:"Leaderboard output path for --smith-explore.")
+  in
+  let budget_s =
+    Arg.(
+      value & opt float 0.0
+      & info [ "budget-s" ] ~docv:"SECONDS"
+          ~doc:
+            "Wall-clock budget; stop generating new cases once exceeded (0 = \
+             unlimited). Used by the nightly long-fuzz CI tier.")
+  in
+  let case_only =
+    Arg.(
+      value & opt (some int) None
+      & info [ "case" ] ~docv:"ID"
+          ~doc:"Replay exactly one case id (reproducer bundles print this).")
+  in
+  let corpus_dir =
+    Arg.(
+      value & opt (some string) None
+      & info [ "corpus-dir" ] ~docv:"DIR"
+          ~doc:"Dump generated programs (first 1000) as .mlir files here.")
+  in
   Cmd.v
     (Cmd.info "spnc_fuzz" ~version:"1.0.0"
        ~doc:
          "Differential fuzzing of the SPNC pipeline: reference evaluator vs \
-          LoSPN interpreter vs CPU -O0..-O3 vs GPU simulator.")
+          LoSPN interpreter vs CPU -O0..-O3 vs GPU simulator. Exit codes: 0 \
+          clean, 65 failures found (EX_DATAERR), 70 internal harness error \
+          (EX_SOFTWARE).")
     Term.(
       const run $ seed $ cases $ rows $ target_ops $ max_depth $ tol $ threads
       $ no_gpu $ no_shrink $ no_cross_engine $ sched_stress $ chaos $ marginal
-      $ out_dir $ inject $ verbose)
+      $ out_dir $ inject $ verbose $ smith $ smith_orderings $ smith_order
+      $ smith_explore $ passorder_out $ budget_s $ case_only $ corpus_dir)
 
-let () = exit (Cmd.eval' cmd)
+let () =
+  Printexc.record_backtrace true;
+  exit (Cmd.eval' cmd)

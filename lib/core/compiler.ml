@@ -173,9 +173,17 @@ let compile_full ~(options : Options.t) (model : Spnc_spn.Model.t) : compiled =
   let lo =
     timed "lospn-optimization" (fun () ->
         let span name f = Spnc_obs.Trace.with_span ~cat:"pass" name f in
-        let lo = span "constfold" (fun () -> Constfold.run (Builder.seed_from lo) lo) in
-        let lo = span "cse" (fun () -> Cse.run lo) in
-        span "dce" (fun () -> Rewrite.dce lo))
+        let order =
+          match options.Options.lospn_opt_order with
+          | None -> Pipelines.default_lospn_opt_order
+          | Some o -> o
+        in
+        match Pipelines.lospn_opt_passes order with
+        | Error e -> invalid_arg ("lospn_opt_order: " ^ e)
+        | Ok passes ->
+            List.fold_left
+              (fun lo (name, run) -> span name (fun () -> run lo))
+              lo passes)
   in
   let lo =
     match options.Options.max_partition_size with

@@ -25,6 +25,11 @@ type t = {
       (** vectorize discrete-leaf lookups with hardware indexed gathers
           (extension; requires AVX2/AVX-512) *)
   opt_level : Spnc_cpu.Optimizer.level;
+  lospn_opt_order : string list option;
+      (** pass order for the lospn-optimization stage; [None] runs the
+          fixed default ([Pipelines.default_lospn_opt_order]).  Promoted
+          winners come from the PASSORDER leaderboard (docs/FUZZING.md).
+          Compile-relevant: participates in [fingerprint] *)
   max_partition_size : int option;
       (** [None] disables graph partitioning (whole graph in one Task) *)
   batch_size : int;  (** chunk-size hint for the runtime *)
@@ -106,6 +111,7 @@ let default =
     use_shuffle = true;
     use_gather_tables = false;
     opt_level = Spnc_cpu.Optimizer.O1;
+    lospn_opt_order = None;
     max_partition_size = None;
     batch_size = 4096;
     block_size = 64;
@@ -180,6 +186,7 @@ let fingerprint (t : t) : string =
       t.gpu,
       (t.vectorize, t.use_veclib, t.use_shuffle, t.use_gather_tables),
       Spnc_cpu.Optimizer.level_to_string t.opt_level,
+      t.lospn_opt_order,
       t.max_partition_size,
       (t.batch_size, t.block_size),
       (t.space, t.base_type, t.support_marginal, t.gpu_fallback,

@@ -26,6 +26,12 @@ type t = {
       (** vectorize discrete-leaf lookups with hardware indexed gathers
           (extension; requires AVX2/AVX-512) *)
   opt_level : Spnc_cpu.Optimizer.level;
+  lospn_opt_order : string list option;
+      (** pass order for the lospn-optimization stage ([None] = the fixed
+          default, [Pipelines.default_lospn_opt_order]).  Names must come
+          from [Pipelines.lospn_opt_pool]; promoted winners come from the
+          PASSORDER leaderboard (docs/FUZZING.md).  Compile-relevant:
+          participates in {!fingerprint} *)
   max_partition_size : int option;
       (** [None] disables graph partitioning (whole graph in one Task) *)
   batch_size : int;  (** chunk-size hint for the runtime *)

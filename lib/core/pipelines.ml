@@ -36,16 +36,30 @@ let pass_of_name (spec : string) : (Pass.pass, string) result =
   match name with
   | "verify" -> Ok Pass.verify_pass
   | "canonicalize" -> Ok Pass.canonicalize_pass
-  | "cse" -> Ok Pass.cse_pass
-  | "dce" -> Ok Pass.dce_pass
+  (* The scalar-opt trio only ever runs in the LoSPN opt slot (between
+     lowering and bufferization), so legality pins them there;
+     [canonicalize] stays stage-agnostic — it also runs on HiSPN. *)
+  | "cse" -> Ok { Pass.cse_pass with legality = Pass.preserves "lospn" }
+  | "dce" -> Ok { Pass.dce_pass with legality = Pass.preserves "lospn" }
   | "constfold" ->
-      Ok (Pass.make "constfold" (fun m -> Constfold.run (Builder.seed_from m) m))
+      Ok
+        (Pass.make
+           ~legality:(Pass.preserves "lospn")
+           "constfold"
+           (fun m -> Constfold.run (Builder.seed_from m) m))
   | "lower-to-lospn" ->
-      Ok (Pass.make "lower-to-lospn" (fun m -> Spnc_lospn.Lower_hispn.run m))
+      Ok
+        (Pass.make
+           ~legality:(Pass.lowers ~from_:"hispn" ~to_:"lospn")
+           "lower-to-lospn"
+           (fun m -> Spnc_lospn.Lower_hispn.run m))
   | "lospn-partition" ->
       let* size = int_arg ~default:10_000 in
       Ok
-        (Pass.make "lospn-partition" (fun m ->
+        (Pass.make
+           ~legality:(Pass.preserves "lospn")
+           "lospn-partition"
+           (fun m ->
              Spnc_lospn.Partition_pass.run
                ~options:
                  {
@@ -53,15 +67,29 @@ let pass_of_name (spec : string) : (Pass.pass, string) result =
                    max_partition_size = size;
                  }
                m))
-  | "lospn-bufferize" -> Ok (Pass.make "lospn-bufferize" Spnc_lospn.Bufferize.run)
+  | "lospn-bufferize" ->
+      Ok
+        (Pass.make
+           ~legality:(Pass.lowers ~from_:"lospn" ~to_:"lospn-buf")
+           "lospn-bufferize" Spnc_lospn.Bufferize.run)
   | "lospn-buffer-opt" ->
-      Ok (Pass.make "lospn-buffer-opt" Spnc_lospn.Buffer_opt.run)
+      Ok
+        (Pass.make
+           ~legality:(Pass.preserves "lospn-buf")
+           "lospn-buffer-opt" Spnc_lospn.Buffer_opt.run)
   | "cpu-lower" ->
-      Ok (Pass.make "cpu-lower" (fun m -> Spnc_cpu.Lower_cpu.run m))
+      Ok
+        (Pass.make
+           ~legality:(Pass.lowers ~from_:"lospn-buf" ~to_:"cir")
+           "cpu-lower"
+           (fun m -> Spnc_cpu.Lower_cpu.run m))
   | "cpu-lower-vectorized" ->
       let* width = int_arg ~default:8 in
       Ok
-        (Pass.make "cpu-lower-vectorized" (fun m ->
+        (Pass.make
+           ~legality:(Pass.lowers ~from_:"lospn-buf" ~to_:"cir")
+           "cpu-lower-vectorized"
+           (fun m ->
              Spnc_cpu.Lower_cpu.run
                ~options:
                  {
@@ -75,9 +103,16 @@ let pass_of_name (spec : string) : (Pass.pass, string) result =
   | "gpu-lower" ->
       let* block_size = int_arg ~default:64 in
       Ok
-        (Pass.make "gpu-lower" (fun m ->
+        (Pass.make
+           ~legality:(Pass.lowers ~from_:"lospn-buf" ~to_:"gpu")
+           "gpu-lower"
+           (fun m ->
              Spnc_gpu.Lower_gpu.run ~options:{ Spnc_gpu.Lower_gpu.block_size } m))
-  | "gpu-copy-opt" -> Ok (Pass.make "gpu-copy-opt" Spnc_gpu.Copy_opt.run)
+  | "gpu-copy-opt" ->
+      Ok
+        (Pass.make
+           ~legality:(Pass.preserves "gpu")
+           "gpu-copy-opt" Spnc_gpu.Copy_opt.run)
   | other -> Error (Printf.sprintf "unknown pass %S" other)
 
 (** [parse_pipeline spec] parses a comma-separated pipeline such as
@@ -95,6 +130,57 @@ let parse_pipeline (spec : string) : (Pass.pass list, string) result =
       Ok (p :: acc))
     (Ok []) names
   |> Result.map List.rev
+
+(** [validate_pipeline ?start spec] resolves the pipeline and checks its
+    pass-ordering legality, threading the IR stage from [start] (default
+    ["hispn"], the stage every frontend emits). *)
+let validate_pipeline ?(start = "hispn") (spec : string) :
+    (unit, string) result =
+  let* passes = parse_pipeline spec in
+  Pass.validate_ordering ~start passes
+
+(* -- LoSPN optimization stage ordering --------------------------------------- *)
+
+(* The compiler's "lospn-optimization" stage is the one pipeline region
+   where pass *order* is an open tuning question (the dialect-conversion
+   skeleton around it is fixed by legality).  The stage runs a sequence
+   drawn from this pool; [Spnc_smith] explores random orders and the
+   leaderboard can promote a winner via [Options.lospn_opt_order]. *)
+
+let lospn_opt_pool = [ "constfold"; "cse"; "dce"; "canonicalize" ]
+let default_lospn_opt_order = [ "constfold"; "cse"; "dce" ]
+
+(** [lospn_opt_passes order] resolves each name in [order] against the
+    stage-preserving optimization pool.  Names outside {!lospn_opt_pool}
+    are rejected: dialect conversions must not sneak into the stage. *)
+let lospn_opt_passes (order : string list) :
+    ((string * (Ir.modul -> Ir.modul)) list, string) result =
+  register_dialects ();
+  let resolve name =
+    if not (List.mem name lospn_opt_pool) then
+      Error
+        (Printf.sprintf
+           "pass %S is not a legal lospn-optimization stage pass (pool: %s)"
+           name
+           (String.concat ", " lospn_opt_pool))
+    else
+      match name with
+      | "constfold" ->
+          Ok (name, fun m -> Constfold.run (Builder.seed_from m) m)
+      | "cse" -> Ok (name, Cse.run)
+      | "dce" -> Ok (name, Rewrite.dce)
+      | "canonicalize" -> Ok (name, fun m -> Canonicalize.run m)
+      | _ -> assert false
+  in
+  if order = [] then Error "lospn-optimization order must not be empty"
+  else
+    List.fold_left
+      (fun acc name ->
+        let* acc = acc in
+        let* p = resolve name in
+        Ok (p :: acc))
+      (Ok []) order
+    |> Result.map List.rev
 
 (** [available ()] lists the registered pass names. *)
 let available () =

@@ -17,6 +17,26 @@ val pass_of_name : string -> (Pass.pass, string) result
 (** [parse_pipeline spec] resolves a comma-separated pipeline. *)
 val parse_pipeline : string -> (Pass.pass list, string) result
 
+(** [validate_pipeline ?start spec] resolves the pipeline and checks its
+    pass-ordering legality via {!Pass.validate_ordering}, threading the
+    IR stage from [start] (default ["hispn"]).  An illegal ordering —
+    e.g. ["lospn-bufferize,lospn-partition"] — is a loud [Error]. *)
+val validate_pipeline : ?start:string -> string -> (unit, string) result
+
+(** Stage-preserving passes eligible for the compiler's
+    lospn-optimization stage. *)
+val lospn_opt_pool : string list
+
+(** The fixed ordering the compiler runs when no override is promoted:
+    [constfold; cse; dce]. *)
+val default_lospn_opt_order : string list
+
+(** [lospn_opt_passes order] resolves an ordering of
+    lospn-optimization-stage passes to named module transforms; rejects
+    names outside {!lospn_opt_pool} and empty orders. *)
+val lospn_opt_passes :
+  string list -> ((string * (Ir.modul -> Ir.modul)) list, string) result
+
 (** [available ()] lists the registered pass names (with argument
     placeholders). *)
 val available : unit -> string list

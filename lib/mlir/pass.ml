@@ -48,16 +48,56 @@ type instrument = {
 let no_instrument = { print_ir = Print_never; out = Fmt.stderr }
 let instrument ?(out = Fmt.stderr) print_ir = { print_ir; out }
 
+(* -- Pass-ordering legality -------------------------------------------------- *)
+
+type legality = {
+  consumes : string option;
+      (** IR stage the pass requires on entry; [None] accepts any stage *)
+  produces : string option;
+      (** IR stage the pass leaves behind; [None] preserves the input stage *)
+}
+
+let any_stage = { consumes = None; produces = None }
+let preserves stage = { consumes = Some stage; produces = None }
+let lowers ~from_ ~to_ = { consumes = Some from_; produces = Some to_ }
+
 type pass = {
   name : string;
   run : Ir.modul -> (Ir.modul, string) Result.t;
+  legality : legality;
 }
 
-(** [make name f] wraps a total transformation as a pass. *)
-let make name f = { name; run = (fun m -> Ok (f m)) }
+(** [make ?legality name f] wraps a total transformation as a pass. *)
+let make ?(legality = any_stage) name f =
+  { name; run = (fun m -> Ok (f m)); legality }
 
-(** [make_fallible name f] wraps a transformation that can fail. *)
-let make_fallible name f = { name; run = f }
+(** [make_fallible ?legality name f] wraps a transformation that can fail. *)
+let make_fallible ?(legality = any_stage) name f = { name; run = f; legality }
+
+(** [validate_ordering ~start passes] threads the IR stage through the
+    pipeline: each pass must find the stage its [legality.consumes]
+    declares (or accept any), and advances the stage per
+    [legality.produces].  The first violation is reported with both the
+    expected and the actual stage so CI canaries fail loudly. *)
+let validate_ordering ~(start : string) (passes : pass list) :
+    (unit, string) Stdlib.result =
+  let step stage (p : pass) =
+    match stage with
+    | Error _ as e -> e
+    | Ok current -> (
+        match p.legality.consumes with
+        | Some want when not (String.equal want current) ->
+            Error
+              (Fmt.str
+                 "illegal pass ordering: pass '%s' consumes %s IR but would \
+                  run on %s IR"
+                 p.name want current)
+        | _ ->
+            Ok (match p.legality.produces with Some s -> s | None -> current))
+  in
+  match List.fold_left step (Ok start) passes with
+  | Ok _ -> Ok ()
+  | Error _ as e -> e
 
 (** [verify_pass] runs the verifier and fails the pipeline on diagnostics. *)
 let verify_pass =
@@ -68,6 +108,7 @@ let verify_pass =
         match Verifier.verify m with
         | [] -> Ok m
         | errs -> Error (Verifier.errors_to_string errs));
+    legality = any_stage;
   }
 
 let canonicalize_pass = make "canonicalize" Canonicalize.run

@@ -45,13 +45,48 @@ val no_instrument : instrument
     stderr). *)
 val instrument : ?out:Format.formatter -> print_ir -> instrument
 
-type pass = { name : string; run : Ir.modul -> (Ir.modul, string) Result.t }
+(** Pass-ordering legality: the IR stage a pass consumes and the stage it
+    leaves behind.  Stages are lowercase dialect-level names threaded by
+    {!validate_ordering} ("hispn", "lospn", "lospn-buf", "cir", "gpu");
+    [consumes = None] accepts any stage, [produces = None] preserves the
+    input stage (the shape of every cleanup pass). *)
+type legality = {
+  consumes : string option;  (** required entry stage; [None] = any *)
+  produces : string option;  (** resulting stage; [None] = unchanged *)
+}
 
-(** [make name f] wraps a total transformation as a pass. *)
-val make : string -> (Ir.modul -> Ir.modul) -> pass
+(** Accepts any stage and preserves it (canonicalize, cse, dce, ...). *)
+val any_stage : legality
 
-(** [make_fallible name f] wraps a transformation that can fail. *)
-val make_fallible : string -> (Ir.modul -> (Ir.modul, string) Result.t) -> pass
+(** [preserves s] — requires stage [s], leaves the IR at stage [s]. *)
+val preserves : string -> legality
+
+(** [lowers ~from_ ~to_] — a dialect-conversion pass. *)
+val lowers : from_:string -> to_:string -> legality
+
+type pass = {
+  name : string;
+  run : Ir.modul -> (Ir.modul, string) Result.t;
+  legality : legality;
+}
+
+(** [make ?legality name f] wraps a total transformation as a pass
+    (default legality {!any_stage}, so existing callers are unchanged). *)
+val make : ?legality:legality -> string -> (Ir.modul -> Ir.modul) -> pass
+
+(** [make_fallible ?legality name f] wraps a transformation that can fail. *)
+val make_fallible :
+  ?legality:legality ->
+  string ->
+  (Ir.modul -> (Ir.modul, string) Result.t) ->
+  pass
+
+(** [validate_ordering ~start passes] checks the pipeline's stage chain
+    starting from IR stage [start], returning a loud error naming the
+    first pass whose [consumes] stage does not match the stage the
+    preceding passes left behind. *)
+val validate_ordering :
+  start:string -> pass list -> (unit, string) Stdlib.result
 
 (** Runs the verifier; fails the pipeline on diagnostics. *)
 val verify_pass : pass

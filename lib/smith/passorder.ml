@@ -1,0 +1,187 @@
+(** Random legal pass orderings and the pass-ordering leaderboard
+    (docs/FUZZING.md).
+
+    Two jobs share this module.  The differential harness draws {e full}
+    randomized pipelines — opt passes interleaved at random slots around
+    the fixed dialect-conversion skeleton, with partitioning optionally
+    present — that are legal by construction and double-checked against
+    the per-pass legality metadata in {!Spnc_mlir.Pass}.  The explorer
+    scores orderings of the compiler's lospn-optimization stage
+    (final op count, compile seconds, exact profiled cycles) into a
+    [PASSORDER_cpu.json] leaderboard; a winner can be promoted through
+    [Options.lospn_opt_order] after bit-identical validation against the
+    fixed ordering. *)
+
+module Rng = Spnc_data.Rng
+module Json = Spnc_obs.Json
+module Pipelines = Spnc.Pipelines
+
+let schema = "spnc-passorder-v1"
+
+(* -- Random legal pipelines -------------------------------------------------- *)
+
+let random_opt_burst rng ~max_len =
+  List.init (Rng.int rng (max_len + 1)) (fun _ ->
+      Rng.choose rng Pipelines.lospn_opt_pool)
+
+(** [random_pipeline rng] — a randomized legal pipeline from HiSPN down
+    to bufferized LoSPN: stage-preserving opt passes are interleaved at
+    random slots, partitioning is optionally present (at a legal slot
+    only — after [lower-to-lospn], before [lospn-bufferize]). *)
+let random_pipeline rng : string list =
+  let pre = random_opt_burst rng ~max_len:2 in
+  let part =
+    if Rng.float rng < 0.5 then
+      [ Printf.sprintf "lospn-partition=%d" (Rng.choose rng [ 2; 4; 8; 10_000 ]) ]
+    else []
+  in
+  let mid = random_opt_burst rng ~max_len:2 in
+  let post =
+    if Rng.float rng < 0.5 then [ "lospn-buffer-opt" ] else []
+  in
+  (("lower-to-lospn" :: pre) @ part @ mid @ [ "lospn-bufferize" ]) @ post
+
+let pipeline_to_string = String.concat ","
+
+(* -- Opt-stage ordering candidates ------------------------------------------- *)
+
+(** [random_opt_order rng] — a nonempty ordering over the opt pool
+    (repeats allowed: running cse twice is legal, just wasteful — the
+    explorer should be able to measure that). *)
+let random_opt_order rng : string list =
+  List.init
+    (1 + Rng.int rng 4)
+    (fun _ -> Rng.choose rng Pipelines.lospn_opt_pool)
+
+(** [candidate_orders ~rng ~extra] — the fixed default, every permutation
+    of it, a canonicalize-augmented variant, plus [extra] random draws;
+    deduplicated, default first. *)
+let candidate_orders ~rng ~extra : string list list =
+  let rec permutations = function
+    | [] -> [ [] ]
+    | l ->
+        List.concat_map
+          (fun x ->
+            List.map
+              (fun rest -> x :: rest)
+              (permutations (List.filter (fun y -> y <> x) l)))
+          l
+  in
+  let fixed =
+    (Pipelines.default_lospn_opt_order
+    :: permutations Pipelines.default_lospn_opt_order)
+    @ [ "canonicalize" :: Pipelines.default_lospn_opt_order ]
+  in
+  let random = List.init extra (fun _ -> random_opt_order rng) in
+  List.fold_left
+    (fun acc o -> if List.mem o acc then acc else acc @ [ o ])
+    [] (fixed @ random)
+
+(* -- Leaderboard ------------------------------------------------------------- *)
+
+type score = {
+  order : string list;  (** opt-stage ordering *)
+  programs : int;  (** programs this ordering was scored on *)
+  final_ops : int;  (** total op count after the opt stage *)
+  compile_s : float;  (** total opt-stage seconds *)
+  est_cycles : float;  (** total exact-profiled estimated cycles *)
+  bit_identical : bool;
+      (** outputs bit-identical to the fixed default ordering on every
+          scored program — a prerequisite for promotion *)
+}
+
+let order_to_string (o : string list) = String.concat "," o
+
+let order_of_string s =
+  String.split_on_char ',' s
+  |> List.map String.trim
+  |> List.filter (fun x -> x <> "")
+
+let score_to_json (s : score) : Json.t =
+  Json.Obj
+    [
+      ("order", Json.Str (order_to_string s.order));
+      ("programs", Json.Num (float_of_int s.programs));
+      ("final_ops", Json.Num (float_of_int s.final_ops));
+      ("compile_s", Json.Num s.compile_s);
+      ("est_cycles", Json.Num s.est_cycles);
+      ("bit_identical", Json.Bool s.bit_identical);
+    ]
+
+let score_of_json (j : Json.t) : (score, string) result =
+  let ( let* ) = Result.bind in
+  let field name conv =
+    match Option.bind (Json.member name j) conv with
+    | Some v -> Ok v
+    | None -> Error (Printf.sprintf "passorder entry: bad field %S" name)
+  in
+  let* order = field "order" Json.str in
+  let* programs = field "programs" Json.num in
+  let* final_ops = field "final_ops" Json.num in
+  let* compile_s = field "compile_s" Json.num in
+  let* est_cycles = field "est_cycles" Json.num in
+  let* bit_identical = field "bit_identical" Json.bool in
+  Ok
+    {
+      order = order_of_string order;
+      programs = int_of_float programs;
+      final_ops = int_of_float final_ops;
+      compile_s;
+      est_cycles;
+      bit_identical;
+    }
+
+(* Promotion ranking: only bit-identical orderings are eligible; fewer
+   profiled cycles wins, then fewer surviving ops, then cheaper compile. *)
+let compare_scores (a : score) (b : score) =
+  match compare a.est_cycles b.est_cycles with
+  | 0 -> (
+      match compare a.final_ops b.final_ops with
+      | 0 -> compare a.compile_s b.compile_s
+      | c -> c)
+  | c -> c
+
+let leaderboard_to_json ~seed (scores : score list) : Json.t =
+  Json.Obj
+    [
+      ("schema", Json.Str schema);
+      ("target", Json.Str "cpu");
+      ("seed", Json.Num (float_of_int seed));
+      ( "baseline",
+        Json.Str (order_to_string Pipelines.default_lospn_opt_order) );
+      ( "entries",
+        Json.List
+          (List.map score_to_json (List.sort compare_scores scores)) );
+    ]
+
+let leaderboard_of_json (j : Json.t) : (score list, string) result =
+  match Option.bind (Json.member "schema" j) Json.str with
+  | Some s when s = schema -> (
+      match Option.bind (Json.member "entries" j) Json.list with
+      | None -> Error "passorder leaderboard: missing entries"
+      | Some entries ->
+          List.fold_left
+            (fun acc e ->
+              Result.bind acc (fun acc ->
+                  Result.map (fun s -> s :: acc) (score_of_json e)))
+            (Ok []) entries
+          |> Result.map List.rev)
+  | Some s -> Error (Printf.sprintf "passorder leaderboard: schema %S" s)
+  | None -> Error "passorder leaderboard: missing schema"
+
+let write_leaderboard ~path ~seed (scores : score list) : unit =
+  let oc = open_out path in
+  output_string oc (Json.to_string_pretty (leaderboard_to_json ~seed scores));
+  close_out oc
+
+let read_leaderboard ~path : (score list, string) result =
+  Result.bind (Json.parse_file path) leaderboard_of_json
+
+(** [best scores] — the top promotable (bit-identical) ordering. *)
+let best (scores : score list) : score option =
+  scores
+  |> List.filter (fun s -> s.bit_identical)
+  |> List.sort compare_scores
+  |> function
+  | [] -> None
+  | s :: _ -> Some s

@@ -1,0 +1,50 @@
+(** Random legal pass orderings and the pass-ordering leaderboard
+    (docs/FUZZING.md, [PASSORDER_cpu.json]). *)
+
+module Rng = Spnc_data.Rng
+module Json = Spnc_obs.Json
+
+(** Leaderboard schema identifier ([spnc-passorder-v1]). *)
+val schema : string
+
+(** [random_pipeline rng] — a randomized legal pipeline from HiSPN down
+    to bufferized LoSPN (opt passes at random slots, optional
+    partitioning at a legal slot only).  Legal by construction; callers
+    still double-check via {!Spnc.Pipelines.validate_pipeline}. *)
+val random_pipeline : Rng.t -> string list
+
+val pipeline_to_string : string list -> string
+
+(** [random_opt_order rng] — a nonempty random ordering over
+    {!Spnc.Pipelines.lospn_opt_pool} (repeats allowed). *)
+val random_opt_order : Rng.t -> string list
+
+(** [candidate_orders ~rng ~extra] — default ordering, its permutations,
+    a canonicalize-augmented variant, plus [extra] random draws;
+    deduplicated, default first. *)
+val candidate_orders : rng:Rng.t -> extra:int -> string list list
+
+(** One leaderboard row: an opt-stage ordering with its aggregate
+    score over the program corpus. *)
+type score = {
+  order : string list;
+  programs : int;
+  final_ops : int;  (** total op count after the opt stage *)
+  compile_s : float;  (** total opt-stage seconds *)
+  est_cycles : float;  (** total exact-profiled estimated cycles *)
+  bit_identical : bool;  (** promotion prerequisite *)
+}
+
+val order_to_string : string list -> string
+val order_of_string : string -> string list
+
+(** Promotion ranking: cycles, then surviving ops, then compile time. *)
+val compare_scores : score -> score -> int
+
+val leaderboard_to_json : seed:int -> score list -> Json.t
+val leaderboard_of_json : Json.t -> (score list, string) result
+val write_leaderboard : path:string -> seed:int -> score list -> unit
+val read_leaderboard : path:string -> (score list, string) result
+
+(** [best scores] — top bit-identical ordering, if any. *)
+val best : score list -> score option

@@ -27,4 +27,5 @@ let () =
       ("obs", Test_obs.suite);
       ("tune", Test_tune.suite);
       ("serve", Test_serve.suite);
+      ("smith", Test_smith.suite);
     ]
